@@ -1,0 +1,44 @@
+"""ABL-APS — access-point count ablation.
+
+The paper deploys exactly four APs at the corners.  This ablation grows
+the deployment from the 3-AP minimum (the geometric approach's floor)
+to 8 and measures how much each extra AP buys.  Expected shape: both
+approaches improve with more APs, with diminishing returns after ~5-6
+(each new AP adds a less-independent constraint).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import record
+
+from repro.experiments.house import HouseConfig
+from repro.experiments.sweeps import format_table, summarize, sweep
+from repro.parallel.pool import ParallelConfig
+
+COUNTS = [3, 4, 6, 8]
+
+
+def run_sweep():
+    return sweep(
+        "n_aps",
+        COUNTS,
+        algorithms=("probabilistic", "geometric"),
+        n_runs=3,
+        base_config=HouseConfig(dwell_s=30.0),
+        parallel=ParallelConfig(max_workers=1),
+        seed_label="abl-aps",
+    )
+
+
+def test_abl_ap_count(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    summary = summarize(rows)
+    record("ABL-APS", format_table(summary, title="AP-count ablation"))
+
+    by = {(s["value"], s["algorithm"]): s for s in summary}
+    for alg in ("probabilistic", "geometric"):
+        # 8 APs must beat the 3-AP minimum end-to-end.
+        assert by[(8, alg)]["mean_deviation_ft"] < by[(3, alg)]["mean_deviation_ft"]
+    # Fingerprinting with 8 APs should reach single-grid-cell accuracy.
+    assert by[(8, "probabilistic")]["mean_deviation_ft"] < 10.0

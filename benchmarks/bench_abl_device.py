@@ -1,0 +1,71 @@
+"""ABL-DEVICE — device heterogeneity: train on one NIC, query with another.
+
+The paper's evaluation uses a single laptop, dodging a failure mode
+every deployed fingerprinting system meets: RSSI scales are
+vendor-defined, so a query device with a few dB of offset or a
+different gain silently degrades dB-space matchers.  This bench trains
+on the reference card and queries through a catalogue of distorted
+cards, comparing the §5.1 probabilistic matcher and kNN against the
+rank localizer (whose AP-ordering features are invariant to monotone
+per-device distortion).
+
+Expected shapes: dB-space matchers degrade sharply with offset/gain
+distortion; the rank matcher is coarse but nearly flat across devices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import record
+
+from repro.algorithms.base import make_localizer
+from repro.experiments.metrics import ExperimentMetrics
+from repro.radio.device import DEVICE_CATALOGUE
+
+ALGS = ("probabilistic", "knn", "rank")
+DEVICES = ("reference", "optimistic", "pessimistic", "compressed", "noisy")
+
+
+def run_matrix(house, training_db, test_points):
+    localizers = {a: make_localizer(a).fit(training_db) for a in ALGS}
+    results = {}
+    for dev_name in DEVICES:
+        device = DEVICE_CATALOGUE[dev_name]
+        observations = house.observe_all(
+            test_points, rng=1, device=None if dev_name == "reference" else device
+        )
+        for alg, loc in localizers.items():
+            ests = [loc.locate(o) for o in observations]
+            m = ExperimentMetrics.compute(test_points, ests, tolerance_ft=10.0)
+            results[(dev_name, alg)] = m
+    return results
+
+
+def test_abl_device_heterogeneity(benchmark, house, training_db, test_points):
+    results = benchmark.pedantic(
+        run_matrix, args=(house, training_db, test_points), rounds=1, iterations=1
+    )
+
+    lines = ["Train on reference card, query through distorted cards"]
+    lines.append(f"{'device':<14s}" + "".join(f"{a:>16s}" for a in ALGS) + "   (mean error, ft)")
+    for dev in DEVICES:
+        cells = "".join(f"{results[(dev, a)].mean_deviation_ft:>16.2f}" for a in ALGS)
+        lines.append(f"{dev:<14s}{cells}")
+    record("ABL-DEVICE", "\n".join(lines))
+
+    # Shape 1: an 8-9 dB offset hurts the dB-space matchers badly.
+    for alg in ("probabilistic", "knn"):
+        ref = results[("reference", alg)].mean_deviation_ft
+        off = results[("pessimistic", alg)].mean_deviation_ft
+        assert off > ref * 1.5, f"{alg}: expected offset damage, got {ref:.1f}->{off:.1f}"
+    # Shape 2: the rank matcher barely moves across monotone distortions.
+    rank_errors = [
+        results[(d, "rank")].mean_deviation_ft
+        for d in ("reference", "optimistic", "pessimistic", "compressed")
+    ]
+    assert max(rank_errors) < min(rank_errors) * 1.6
+    # Shape 3: under heavy distortion, rank beats the dB-space matchers.
+    assert (
+        results[("pessimistic", "rank")].mean_deviation_ft
+        < results[("pessimistic", "probabilistic")].mean_deviation_ft
+    )

@@ -1,0 +1,78 @@
+"""ABL-FACTORS — §6.1: "control one factor each time".
+
+The paper's first future-work item: "perform more experiments that
+control one factor each time to explore a more predicable location
+model" — listing construction, furniture, people, temperature and
+humidity.  The simulator models the controllable ones; this bench runs
+the §5 protocol under each single-factor change while holding
+everything else at the reference condition.
+
+Expected shapes: occupancy (people blocking paths) is the factor that
+bites — bodies attenuate 3-4 dB intermittently, which is *temporal*
+noise fingerprints can't average into their means; temperature and
+humidity excursions are sub-dB static biases that both approaches
+absorb (a static bias cancels in fingerprint *differences* and only
+slightly skews the ranging curves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import record
+
+from repro.experiments.house import ExperimentHouse, HouseConfig
+from repro.experiments.runner import run_protocol
+from repro.parallel.rng import stable_seed
+
+FACTORS = [
+    ("reference", {}),
+    ("hot (35 C)", {"temperature_c": 35.0}),
+    ("humid (90%)", {"humidity_pct": 90.0}),
+    ("3 people", {"people": 3}),
+    ("8 people", {"people": 8}),
+    ("no walls", {"with_walls": False}),
+]
+
+
+def run_cells():
+    rows = []
+    for label, overrides in FACTORS:
+        house = ExperimentHouse(HouseConfig(dwell_s=30.0, **overrides))
+        for alg in ("probabilistic", "geometric"):
+            devs, rates = [], []
+            for rep in range(3):
+                r = run_protocol(alg, house=house, rng=stable_seed("abl-factors", label, alg, rep))
+                devs.append(r.metrics.mean_deviation_ft)
+                rates.append(r.metrics.valid_rate)
+            rows.append(
+                {
+                    "factor": label,
+                    "algorithm": alg,
+                    "mean_deviation_ft": float(np.mean([d for d in devs if np.isfinite(d)])),
+                    "valid_rate": float(np.mean(rates)),
+                }
+            )
+    return rows
+
+
+def test_abl_environmental_factors(benchmark):
+    rows = benchmark.pedantic(run_cells, rounds=1, iterations=1)
+    lines = ["Single-factor experiments (paper §6.1), vs reference conditions"]
+    lines.append(f"{'factor':<14s} {'algorithm':<14s} {'valid%':>7s} {'mean_ft':>8s}")
+    for row in rows:
+        lines.append(
+            f"{row['factor']:<14s} {row['algorithm']:<14s} "
+            f"{100 * row['valid_rate']:>6.1f}% {row['mean_deviation_ft']:>8.2f}"
+        )
+    record("ABL-FACTORS", "\n".join(lines))
+
+    by = {(r["factor"], r["algorithm"]): r for r in rows}
+    # Static climate biases are benign for fingerprinting (within noise).
+    ref = by[("reference", "probabilistic")]["mean_deviation_ft"]
+    assert by[("hot (35 C)", "probabilistic")]["mean_deviation_ft"] < ref * 1.5
+    assert by[("humid (90%)", "probabilistic")]["mean_deviation_ft"] < ref * 1.5
+    # A crowd is worse than an empty room for fingerprinting.
+    assert (
+        by[("8 people", "probabilistic")]["mean_deviation_ft"]
+        > by[("reference", "probabilistic")]["mean_deviation_ft"] * 0.95
+    )

@@ -1,0 +1,54 @@
+"""ABL-NOISE — shadowing-σ ablation.
+
+The paper's conclusion names "the unstableness of the RF signal
+strength" as "the largest barrier".  This ablation quantifies it:
+sweep the shadowing σ over the plausible indoor range and watch both
+approaches degrade — and check the *shape* claim that the probabilistic
+approach dominates the geometric one throughout (the paper's own two
+results imply it at the calibrated point).
+
+Timing covers the full sweep cell grid (serial workers inside
+pytest-benchmark to keep timings fork-free).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import record
+
+from repro.experiments.house import HouseConfig
+from repro.experiments.sweeps import format_table, summarize, sweep
+from repro.parallel.pool import ParallelConfig
+
+SIGMAS = [2.0, 4.0, 6.0, 8.0, 10.0]
+
+
+def run_sweep():
+    return sweep(
+        "shadowing_sigma_db",
+        SIGMAS,
+        algorithms=("probabilistic", "geometric"),
+        n_runs=3,
+        base_config=HouseConfig(dwell_s=30.0),
+        parallel=ParallelConfig(max_workers=1),
+        seed_label="abl-noise",
+    )
+
+
+def test_abl_noise_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    summary = summarize(rows)
+    record("ABL-NOISE", format_table(summary, title="Shadowing σ ablation (dB)"))
+
+    by = {(s["value"], s["algorithm"]): s for s in summary}
+    # Shape 1: probabilistic beats geometric at every noise level.
+    for sigma in SIGMAS:
+        assert (
+            by[(sigma, "probabilistic")]["mean_deviation_ft"]
+            < by[(sigma, "geometric")]["mean_deviation_ft"]
+        )
+    # Shape 2: both algorithms degrade from the quietest to the noisiest
+    # channel (monotonicity per-step is seed noise; end-to-end must hold).
+    for alg in ("probabilistic", "geometric"):
+        assert by[(SIGMAS[0], alg)]["mean_deviation_ft"] < by[(SIGMAS[-1], alg)]["mean_deviation_ft"]
+        assert by[(SIGMAS[0], alg)]["valid_rate"] >= by[(SIGMAS[-1], alg)]["valid_rate"]

@@ -1,0 +1,55 @@
+"""EXT-CONF — design-time confusion predictions vs live behaviour.
+
+The planning package predicts, before any survey, which grid-point
+pairs a fingerprinting system will mix up (Gaussian pairwise confusion
+from deterministic fingerprint separability).  This bench measures the
+§5.1 localizer's *empirical* confusion matrix over the real (shadowed,
+fading) channel and scores the prediction's discrimination (AUC: does a
+confused pair carry a higher predicted confusion than a clean one?).
+
+Expected shape: AUC well above 0.5 — the pairs the model flags are the
+pairs the system confuses — which is the evidence that the planning
+metrics are decision-grade, not decoration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import record
+
+from repro.algorithms.probabilistic import ProbabilisticLocalizer
+from repro.experiments.confusion import discrimination_auc, measure_confusion
+from repro.planning.quality import expected_confusion, fingerprint_separability
+
+
+def test_ext_confusion_prediction(benchmark, house, training_db):
+    localizer = ProbabilisticLocalizer().fit(training_db)
+
+    confusion = benchmark.pedantic(
+        measure_confusion,
+        args=(localizer, house, training_db),
+        kwargs={"n_trials": 8, "dwell_s": 10.0, "rng": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    grid = training_db.positions()
+    dprime = fingerprint_separability(house.environment, grid)
+    predicted = expected_confusion(dprime)
+    auc, n_confused = discrimination_auc(confusion, predicted)
+
+    worst = confusion.most_confused_pairs(top=3)
+    lines = ["Predicted vs empirical confusion (probabilistic, 8 trials/point)"]
+    lines.append(f"exact-point accuracy: {100 * confusion.accuracy():.1f}%")
+    lines.append(f"mean answer entropy: {confusion.entropy_bits():.2f} bits")
+    lines.append("most confused pairs (truth -> answered, empirical prob):")
+    for a, b, p in worst:
+        lines.append(f"  {a} -> {b}: {p:.2f}")
+    lines.append(
+        f"prediction AUC over {n_confused} confused pairs: {auc:.3f} "
+        "(0.5 = useless, 1.0 = perfect)"
+    )
+    record("EXT-CONF", "\n".join(lines))
+
+    assert 0.0 < confusion.accuracy() < 1.0  # neither trivial nor broken
+    assert auc > 0.7  # design-time metric clearly flags the risky pairs

@@ -1,0 +1,48 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (see DESIGN.md §4).  Each
+writes its paper-style table to ``benchmarks/results/<exp>.txt`` (and
+prints it), so the numbers recorded in EXPERIMENTS.md are reproducible
+with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.house import ExperimentHouse, HouseConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(exp_id: str, text: str) -> None:
+    """Print a bench's paper-style table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"== {exp_id} =="
+    body = f"{banner}\n{text.rstrip()}\n"
+    print("\n" + body)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(body, encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def house():
+    """The calibrated §5 experiment house (full 90 s dwell protocol)."""
+    return ExperimentHouse(HouseConfig())
+
+
+@pytest.fixture(scope="session")
+def training_db(house):
+    """One Phase-1 survey shared by the benches that hold Phase 1 fixed."""
+    return house.training_database(rng=0)
+
+
+@pytest.fixture(scope="session")
+def test_points(house):
+    return house.test_points()
+
+
+@pytest.fixture(scope="session")
+def observations(house, test_points):
+    return house.observe_all(test_points, rng=1)

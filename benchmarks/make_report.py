@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Stitch benchmarks/results/*.txt into one RESULTS.md report.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python benchmarks/make_report.py
+"""
+
+from pathlib import Path
+
+ORDER = [
+    "EXP5.1", "EXP5.2", "FIG2", "FIG3", "FIG4", "TAB-DB", "CMP-ALL",
+    "ABL-NOISE", "ABL-GRID", "ABL-APS", "ABL-WINDOW", "ABL-DEVICE",
+    "ABL-FACTORS", "ABL-MAP", "EXT-TRACK", "EXT-UWB", "EXT-PLAN",
+    "EXT-CONF", "EXT-CRLB", "GEN-SITES", "PERF-BATCH",
+]
+
+
+def main() -> None:
+    results = Path(__file__).parent / "results"
+    out = [
+        "# Benchmark results",
+        "",
+        "Regenerate with `pytest benchmarks/ --benchmark-only` followed by",
+        "`python benchmarks/make_report.py`.  EXPERIMENTS.md interprets",
+        "these numbers against the paper.",
+        "",
+    ]
+    seen = set()
+    for exp in ORDER + sorted(p.stem for p in results.glob("*.txt")):
+        path = results / f"{exp}.txt"
+        if exp in seen or not path.is_file():
+            continue
+        seen.add(exp)
+        out.append(f"## {exp}")
+        out.append("")
+        out.append("```")
+        body = path.read_text(encoding="utf-8").splitlines()
+        out.extend(body[1:])  # drop the == EXP == banner
+        out.append("```")
+        out.append("")
+    target = results.parent / "RESULTS.md"
+    target.write_text("\n".join(out), encoding="utf-8")
+    print(f"wrote {target} ({len(seen)} experiments)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""The complete toolkit workflow, through files on disk.
+
+This is the paper's Figure-1 process exactly as a deployment crew would
+run it with the three §4 utility programs:
+
+1. scan the architectural blueprint → GIF,
+2. Floor Plan Processor: load, add APs, set scale, set origin, add
+   location names, save (the six §4.1 operations),
+3. walk the building collecting wi-scan files (the survey),
+4. Training Database Generator: wi-scan collection + location map →
+   compressed .tdb,
+5. locate a few Phase-2 observations,
+6. Floor Plan Compositor: render true vs estimated positions.
+
+Artifacts land in ``examples/output/``; every one is a real file the
+CLI tools (floorplan-processor, training-db-generator,
+floorplan-compositor, locate) could have produced or can consume.
+
+Run:  python examples/site_survey_workflow.py
+"""
+
+from pathlib import Path
+
+from repro.algorithms.base import make_localizer
+from repro.core.compositor import EstimatePair, FloorPlanCompositor
+from repro.core.floorplan import FloorPlan
+from repro.core.processor import FloorPlanProcessor
+from repro.core.system import ap_positions_by_bssid
+from repro.core.trainingdb import TrainingDatabase, generate_training_db
+from repro.experiments.house import ExperimentHouse, HouseConfig
+from repro.imaging.blueprint import experiment_house_blueprint
+from repro.imaging.gif import write_gif
+
+OUT = Path(__file__).parent / "output"
+
+
+def main() -> None:
+    OUT.mkdir(exist_ok=True)
+    house = ExperimentHouse(HouseConfig(dwell_s=30.0))
+    margin, ppf = 40, 8.0
+
+    def px(x_ft: float, y_ft: float):
+        return (margin + x_ft * ppf, margin + (40 - y_ft) * ppf)
+
+    # -- 1. the scanned blueprint ------------------------------------
+    blueprint = OUT / "blueprint.gif"
+    write_gif(blueprint, experiment_house_blueprint(pixels_per_foot=ppf))
+    print(f"[1] scanned blueprint      -> {blueprint}")
+
+    # -- 2. annotate with the Processor (six operations) --------------
+    proc = FloorPlanProcessor()
+    proc.load(blueprint)
+    proc.set_scale(*px(0, 0), *px(50, 0), 50.0)
+    proc.set_origin(*px(0, 0))
+    for ap in house.aps:
+        proc.add_access_point(ap.name, *px(ap.position.x, ap.position.y))
+    for sp in house.training_points():
+        proc.add_location(sp.name, *px(sp.position.x, sp.position.y))
+    plan_path = OUT / "annotated_plan.gif"
+    proc.save(plan_path)
+    print(f"[2] annotated plan         -> {plan_path}  ({proc.info()})")
+
+    # -- 3. the survey: one wi-scan file per training point -----------
+    survey_dir = OUT / "survey"
+    house.survey(rng=0).save_directory(survey_dir)
+    map_path = OUT / "locations.txt"
+    proc.export_locations(map_path)
+    n_files = len(list(survey_dir.glob("*.wi-scan")))
+    print(f"[3] survey                 -> {survey_dir}/ ({n_files} wi-scan files)")
+
+    # -- 4. the Training Database Generator ----------------------------
+    db_path = OUT / "training.tdb"
+    db = generate_training_db(survey_dir, map_path, output=db_path)
+    raw = sum(p.stat().st_size for p in survey_dir.glob("*.wi-scan"))
+    print(f"[4] training database      -> {db_path} "
+          f"({db_path.stat().st_size} bytes vs {raw} raw, "
+          f"{raw / db_path.stat().st_size:.0f}x smaller)")
+
+    # -- 5. Phase 2: locate test observations --------------------------
+    plan = FloorPlan.load(plan_path)
+    localizer = make_localizer(
+        "geometric", ap_positions=ap_positions_by_bssid(plan, db)
+    ).fit(TrainingDatabase.load(db_path))
+    test_points = house.test_points()[:6]
+    pairs = []
+    print("[5] phase-2 localization:")
+    for i, p in enumerate(test_points):
+        est = localizer.locate(house.observe(p, rng=200 + i))
+        err = est.error_to(p)
+        pairs.append(EstimatePair(p, est.position, label=f"T{i + 1}"))
+        print(f"      T{i + 1}: true ({p.x:5.1f},{p.y:5.1f})  "
+              f"est ({est.position.x:5.1f},{est.position.y:5.1f})  err {err:5.1f} ft")
+
+    # -- 6. the Compositor's test view ---------------------------------
+    results_path = OUT / "results.gif"
+    write_gif(results_path, FloorPlanCompositor(plan).render(pairs=pairs))
+    print(f"[6] compositor test view   -> {results_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""repro — "A Toolkit-Based Approach to Indoor Localization", reproduced.
+
+A full reimplementation of Wang & Harder's 802.11 RSSI indoor-location
+toolkit (ICPP 2006) with every substrate the paper leans on built from
+scratch: a simulated indoor radio channel, the wi-scan survey file
+format, a GIF codec for floor plans, the three toolkit programs (Floor
+Plan Processor, Floor Plan Compositor, Training Database Generator),
+the paper's probabilistic and geometric localizers, the baselines the
+paper surveys (kNN/RADAR, histogram Bayes, multilateration, identifying
+codes, scene analysis), and the future-work extensions (tracking
+filters, UWB ranging).
+
+Quick start::
+
+    from repro import ExperimentHouse, run_protocol
+
+    house = ExperimentHouse()          # the paper's 50x40 ft house
+    result = run_protocol("probabilistic", house=house, rng=0)
+    print(result.metrics.row("probabilistic"))
+
+See README.md for the architecture tour, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+__version__ = "1.0.0"
+
+from repro.algorithms import (
+    FieldMLELocalizer,
+    GeometricLocalizer,
+    HistogramLocalizer,
+    KNNLocalizer,
+    LocationEstimate,
+    Localizer,
+    MultilaterationLocalizer,
+    Observation,
+    ProbabilisticLocalizer,
+    RankLocalizer,
+    SceneAnalysisLocalizer,
+    SectorLocalizer,
+    available_algorithms,
+    make_localizer,
+)
+from repro.core import (
+    EstimatePair,
+    FloorPlan,
+    FloorPlanCompositor,
+    FloorPlanProcessor,
+    LocalizationSystem,
+    LocationMap,
+    Mark,
+    Point,
+    TrainingDatabase,
+    generate_training_db,
+)
+from repro.experiments import ExperimentHouse, HouseConfig, run_protocol
+from repro.radio import AccessPoint, RadioEnvironment, SimulatedScanner, Wall
+from repro.wiscan import CaptureSession, WiScanCollection
+
+__all__ = [
+    "__version__",
+    # algorithms
+    "FieldMLELocalizer",
+    "GeometricLocalizer",
+    "HistogramLocalizer",
+    "KNNLocalizer",
+    "LocationEstimate",
+    "Localizer",
+    "MultilaterationLocalizer",
+    "Observation",
+    "ProbabilisticLocalizer",
+    "RankLocalizer",
+    "SceneAnalysisLocalizer",
+    "SectorLocalizer",
+    "available_algorithms",
+    "make_localizer",
+    # core toolkit
+    "EstimatePair",
+    "FloorPlan",
+    "FloorPlanCompositor",
+    "FloorPlanProcessor",
+    "LocalizationSystem",
+    "LocationMap",
+    "Mark",
+    "Point",
+    "TrainingDatabase",
+    "generate_training_db",
+    # experiments
+    "ExperimentHouse",
+    "HouseConfig",
+    "run_protocol",
+    # substrates
+    "AccessPoint",
+    "RadioEnvironment",
+    "SimulatedScanner",
+    "Wall",
+    "CaptureSession",
+    "WiScanCollection",
+]

@@ -1,0 +1,67 @@
+"""Localization algorithms.
+
+The paper's two evaluated approaches plus the baselines and extensions
+its related-work and future-work sections call for:
+
+* :mod:`repro.algorithms.probabilistic` — §5.1 Gaussian maximum
+  likelihood against training points (the paper's headline method).
+* :mod:`repro.algorithms.geometric` — §5.2 inverse-square regression,
+  circle intersections, median point.
+* :mod:`repro.algorithms.knn` — RADAR-style nearest neighbour(s) in
+  signal space (the classic fingerprinting baseline, ref [15]).
+* :mod:`repro.algorithms.histogram` — histogram Bayes fingerprinting
+  (the "consider the distribution" future-work item, §6.2).
+* :mod:`repro.algorithms.multilateration` — linear least-squares
+  multilateration (the GPS/Cricket machinery, §2.4; also the solver the
+  UWB extension uses).
+* :mod:`repro.algorithms.sector` — identifying-code sector approach
+  (§2.2, ref [22]).
+* :mod:`repro.algorithms.scene` — scene-analysis landmark matching
+  (§2.1), simplified to signature matching.
+* :mod:`repro.algorithms.rank` — Spearman rank matching, invariant to
+  per-device monotone RSSI distortion (pairs with
+  :mod:`repro.radio.device`).
+* :mod:`repro.algorithms.fieldmle` — continuous-space ML over an
+  interpolated radio map (the §6.2 "finer-grained" processing).
+* :mod:`repro.algorithms.tracking` — §6.2 temporal filters (discrete
+  Bayes, Kalman, particle) layered over any static localizer.
+
+Every algorithm implements the :class:`~repro.algorithms.base.Localizer`
+interface: ``fit(TrainingDatabase)`` then ``locate(Observation)``.
+"""
+
+from repro.algorithms.base import (
+    LocationEstimate,
+    Localizer,
+    Observation,
+    available_algorithms,
+    make_localizer,
+    register_algorithm,
+)
+from repro.algorithms.probabilistic import ProbabilisticLocalizer
+from repro.algorithms.geometric import GeometricLocalizer
+from repro.algorithms.knn import KNNLocalizer
+from repro.algorithms.histogram import HistogramLocalizer
+from repro.algorithms.multilateration import MultilaterationLocalizer
+from repro.algorithms.sector import SectorLocalizer
+from repro.algorithms.scene import SceneAnalysisLocalizer
+from repro.algorithms.rank import RankLocalizer
+from repro.algorithms.fieldmle import FieldMLELocalizer
+
+__all__ = [
+    "LocationEstimate",
+    "Localizer",
+    "Observation",
+    "available_algorithms",
+    "make_localizer",
+    "register_algorithm",
+    "ProbabilisticLocalizer",
+    "GeometricLocalizer",
+    "KNNLocalizer",
+    "HistogramLocalizer",
+    "MultilaterationLocalizer",
+    "SectorLocalizer",
+    "SceneAnalysisLocalizer",
+    "RankLocalizer",
+    "FieldMLELocalizer",
+]

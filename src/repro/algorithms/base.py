@@ -1,0 +1,205 @@
+"""The localizer interface and the observation/estimate types.
+
+The paper's two-phase structure (§3) is the interface:
+
+* **Phase 1 (training)** — :meth:`Localizer.fit` consumes a
+  :class:`~repro.core.trainingdb.TrainingDatabase` and learns "certain
+  mapping relationship between the locations and signal strengths".
+* **Phase 2 (working)** — :meth:`Localizer.locate` consumes one
+  :class:`Observation` (a window of scan sweeps at the unknown spot)
+  and returns a :class:`LocationEstimate`.
+
+Algorithms register themselves under a short name so experiments and
+the CLI can construct them by string (``make_localizer("probabilistic")``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.core.geometry import Point
+from repro.core.trainingdb import TrainingDatabase
+
+
+def _nan_column_mean(samples: np.ndarray) -> np.ndarray:
+    """Column means ignoring NaN, NaN for all-NaN columns — silently.
+
+    Equivalent to ``np.nanmean(..., axis=0)`` without the "Mean of empty
+    slice" RuntimeWarning: an AP that was never heard is an expected
+    state, not a numerical anomaly.
+    """
+    finite = np.isfinite(samples)
+    counts = finite.sum(axis=0)
+    sums = np.where(finite, samples, 0.0).sum(axis=0)
+    return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+
+
+@dataclass(frozen=True)
+class Observation:
+    """A Phase-2 measurement window at one (unknown) position.
+
+    ``samples`` is an ``(n_sweeps, n_aps)`` matrix in the same BSSID
+    column order as the training database, NaN marking misses — the
+    toolkit-wide RSSI layout.  Helpers expose the summaries different
+    algorithms want: the paper's Phase-2 protocol "uses only the average
+    signal strength value" (:meth:`mean_rssi`), while the distribution-
+    aware extensions read the full matrix.
+    """
+
+    samples: np.ndarray
+    bssids: Sequence[str] = ()
+
+    def __post_init__(self):
+        arr = np.atleast_2d(np.asarray(self.samples, dtype=float))
+        object.__setattr__(self, "samples", arr)
+        if arr.ndim != 2:
+            raise ValueError(f"observation samples must be 2-D, got shape {arr.shape}")
+        if self.bssids and len(self.bssids) != arr.shape[1]:
+            raise ValueError(
+                f"{len(self.bssids)} BSSIDs for {arr.shape[1]} sample columns"
+            )
+
+    @property
+    def n_aps(self) -> int:
+        return self.samples.shape[1]
+
+    @property
+    def n_sweeps(self) -> int:
+        return self.samples.shape[0]
+
+    def mean_rssi(self) -> np.ndarray:
+        """Per-AP mean over detected sweeps (NaN if never heard)."""
+        return _nan_column_mean(self.samples)
+
+    def detection_rate(self) -> np.ndarray:
+        if self.n_sweeps == 0:
+            return np.zeros(self.n_aps)
+        return np.isfinite(self.samples).mean(axis=0)
+
+    def heard_mask(self) -> np.ndarray:
+        """Boolean per-AP: heard in at least one sweep."""
+        return np.isfinite(self.samples).any(axis=0)
+
+    def truncated(self, n_sweeps: int) -> "Observation":
+        """The first ``n_sweeps`` sweeps (averaging-window ablations)."""
+        if n_sweeps < 1:
+            raise ValueError(f"n_sweeps must be >= 1, got {n_sweeps}")
+        return Observation(self.samples[:n_sweeps], self.bssids)
+
+    def reordered(self, bssid_order: Sequence[str]) -> "Observation":
+        """Columns permuted into ``bssid_order``.
+
+        Requires this observation to carry BSSIDs.  Target BSSIDs absent
+        from the observation become all-NaN columns (AP never heard);
+        observation columns absent from the target are dropped.  This is
+        how localizers align a wild observation to their training
+        database's column order.
+        """
+        if not self.bssids:
+            raise ValueError("observation carries no BSSIDs; cannot reorder")
+        col = {b: j for j, b in enumerate(self.bssids)}
+        out = np.full((self.n_sweeps, len(bssid_order)), np.nan)
+        for j, b in enumerate(bssid_order):
+            src = col.get(b)
+            if src is not None:
+                out[:, j] = self.samples[:, src]
+        return Observation(out, bssids=list(bssid_order))
+
+
+@dataclass(frozen=True)
+class LocationEstimate:
+    """A Phase-2 answer.
+
+    ``position`` is the coordinate estimate (feet).  ``location_name``
+    is set when the algorithm answers in training-point/location terms
+    (the probabilistic approach "does not return the coordinate values
+    of the observed location, but returns the most approximate training
+    location instead").  ``score`` is algorithm-specific confidence
+    (likelihood, inverse distance, vote share); ``valid`` mirrors the
+    paper's notion of an estimation that the system is willing to report
+    at all.
+    """
+
+    position: Optional[Point]
+    location_name: Optional[str] = None
+    score: float = 0.0
+    valid: bool = True
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def error_to(self, true_position: Point) -> float:
+        """Euclidean deviation (ft); +inf for invalid/position-less answers."""
+        if not self.valid or self.position is None:
+            return float("inf")
+        return self.position.distance_to(true_position)
+
+
+class Localizer(abc.ABC):
+    """Phase-1 fit / Phase-2 locate, the toolkit's algorithm contract."""
+
+    #: Registry name, set by :func:`register_algorithm`.
+    name: str = ""
+
+    @abc.abstractmethod
+    def fit(self, db: TrainingDatabase) -> "Localizer":
+        """Phase 1: learn the location ↔ signal-strength mapping."""
+
+    @abc.abstractmethod
+    def locate(self, observation: Observation) -> LocationEstimate:
+        """Phase 2: resolve one observation to a location."""
+
+    def locate_many(self, observations: Sequence[Observation]) -> List[LocationEstimate]:
+        """Batch convenience; subclasses may vectorize."""
+        return [self.locate(o) for o in observations]
+
+    def _check_fitted(self, attr: str) -> None:
+        if not hasattr(self, attr) or getattr(self, attr) is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted — call fit(training_db) first"
+            )
+
+    @staticmethod
+    def _aligned(observation: Observation, bssids: Sequence[str]) -> Observation:
+        """Align an observation's columns to the training BSSID order.
+
+        Observations that carry BSSIDs are permuted to match (scan tools
+        list APs in discovery order, which rarely equals survey order);
+        bare observations are trusted to already be in training order.
+        """
+        if observation.bssids and list(observation.bssids) != list(bssids):
+            return observation.reordered(bssids)
+        return observation
+
+
+_REGISTRY: Dict[str, Callable[..., Localizer]] = {}
+
+
+def register_algorithm(name: str) -> Callable[[Type[Localizer]], Type[Localizer]]:
+    """Class decorator: register a localizer under ``name``."""
+
+    def deco(cls: Type[Localizer]) -> Type[Localizer]:
+        if name in _REGISTRY:
+            raise ValueError(f"algorithm {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def make_localizer(name: str, **kwargs) -> Localizer:
+    """Construct a registered localizer by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_algorithms() -> List[str]:
+    return sorted(_REGISTRY)

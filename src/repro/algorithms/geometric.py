@@ -1,0 +1,198 @@
+"""The geometric approach (paper §5.2).
+
+Phase 1: fit each AP's inverse-square SS↔distance formula from the
+training points (:mod:`repro.algorithms.regression`).  Phase 2, exactly
+as the paper walks through it for APs A, B, C, D:
+
+    "the observed signal strength vector <AO, BO, CO, DO> is used to
+    calculate the distances to the four APs <dA, dB, dC, dD>.  As
+    locations for APs A and B are known, we calculate the intersect
+    points P1 of circle (A, dA) and circle (B, dB).  Similarly we can
+    get three more intersect points P2 out of dB and dC, P3 out of dC
+    and dD, P4 out of dD and dA.  Finally we can get the median point P
+    of P1, P2, P3 and P4.  This median point P is the estimated
+    location."
+
+Two details the paper leaves implicit, resolved here explicitly:
+
+* a circle pair generically yields **two** intersection points; we keep
+  the candidate most consistent with the *other* APs' distance circles
+  (smallest sum of absolute radial residuals), a disambiguation any
+  working implementation needs;
+* noisy distance estimates often produce non-intersecting circles; we
+  use :func:`~repro.core.geometry.best_circle_intersection`'s
+  least-squares fallback point so the pipeline never dies mid-estimate.
+
+The pairing is the paper's ring ``(1,2), (2,3), …, (n,1)`` over the APs
+ordered as configured, generalized to any ``n ≥ 3``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms.base import (
+    LocationEstimate,
+    Localizer,
+    Observation,
+    register_algorithm,
+)
+from repro.algorithms.regression import FitResult, fit_per_ap
+from repro.core.geometry import (
+    Circle,
+    Point,
+    best_circle_intersection,
+    geometric_median,
+    median_point,
+)
+from repro.core.trainingdb import TrainingDatabase
+from repro.radio.pathloss import dbm_to_ss_units
+
+
+@register_algorithm("geometric")
+class GeometricLocalizer(Localizer):
+    """Inverse-square ranging + ring circle-intersection + median point.
+
+    Parameters
+    ----------
+    ap_positions:
+        BSSID → floor position of each AP (the Floor Plan Processor's
+        AP layer provides this).  APs absent from the mapping are
+        ignored.
+    aggregator:
+        ``"median"`` (the paper's componentwise median point, default),
+        ``"geometric_median"`` (Weiszfeld; ablation) or ``"centroid"``.
+    min_aps:
+        Minimum ranged APs for a valid estimate (3 circles define a
+        point; the paper's protocol uses 4).
+    """
+
+    _AGGREGATORS = {
+        "median": median_point,
+        "geometric_median": geometric_median,
+        "centroid": lambda pts: sum(pts[1:], pts[0]) / len(pts),
+    }
+
+    def __init__(
+        self,
+        ap_positions: Dict[str, Point],
+        aggregator: str = "median",
+        min_aps: int = 3,
+    ):
+        if not ap_positions:
+            raise ValueError("geometric localizer needs AP positions")
+        if aggregator not in self._AGGREGATORS:
+            raise ValueError(
+                f"unknown aggregator {aggregator!r}; use one of {sorted(self._AGGREGATORS)}"
+            )
+        if min_aps < 3:
+            raise ValueError(f"min_aps must be >= 3 (circle intersection), got {min_aps}")
+        self.ap_positions = dict(ap_positions)
+        self.aggregator = aggregator
+        self.min_aps = int(min_aps)
+        self._fits: Optional[Dict[str, FitResult]] = None
+        self._bssids: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, db: TrainingDatabase) -> "GeometricLocalizer":
+        self._bssids = list(db.bssids)
+        self._fits = fit_per_ap(db, self.ap_positions)
+        if len(self._fits) < self.min_aps:
+            raise ValueError(
+                f"only {len(self._fits)} AP(s) produced a usable SS↔distance fit; "
+                f"need >= {self.min_aps}"
+            )
+        return self
+
+    @property
+    def fits(self) -> Dict[str, FitResult]:
+        """Per-AP Figure 4 fits (available after :meth:`fit`)."""
+        self._check_fitted("_fits")
+        return dict(self._fits)
+
+    # ------------------------------------------------------------------
+    def estimate_distances(self, observation: Observation) -> Dict[str, float]:
+        """Phase-2 step 1: observed SS vector → per-AP distances (ft)."""
+        self._check_fitted("_fits")
+        observation = self._aligned(observation, self._bssids)
+        obs = observation.mean_rssi()
+        if obs.shape[0] != len(self._bssids):
+            raise ValueError(
+                f"observation has {obs.shape[0]} AP columns, "
+                f"training had {len(self._bssids)}"
+            )
+        out: Dict[str, float] = {}
+        for j, bssid in enumerate(self._bssids):
+            fit = self._fits.get(bssid)
+            if fit is None or not np.isfinite(obs[j]):
+                continue
+            ss = float(dbm_to_ss_units(obs[j]))
+            out[bssid] = float(fit.model.invert(ss))
+        return out
+
+    def _pick_candidate(
+        self, candidates: Sequence[Point], others: Sequence[Circle]
+    ) -> Point:
+        """Disambiguate a circle pair's two intersections.
+
+        The paper's house has the APs at the corners, so the wrong
+        intersection lies outside the building and far from the other
+        circles; scoring by total radial residual against the remaining
+        circles picks the right one without needing explicit bounds.
+        """
+        if len(candidates) == 1 or not others:
+            return candidates[0]
+        best, best_score = candidates[0], float("inf")
+        for cand in candidates:
+            score = sum(abs(c.center.distance_to(cand) - c.radius) for c in others)
+            if score < best_score:
+                best, best_score = cand, score
+        return best
+
+    def locate(self, observation: Observation) -> LocationEstimate:
+        self._check_fitted("_fits")
+        distances = self.estimate_distances(observation)
+        if len(distances) < self.min_aps:
+            return LocationEstimate(
+                position=None,
+                valid=False,
+                details={"reason": f"only {len(distances)} ranged AP(s)", "distances": distances},
+            )
+
+        # Ring order: configured AP order restricted to the ranged set.
+        order = [b for b in self._bssids if b in distances]
+        circles = [Circle(self.ap_positions[b], distances[b]) for b in order]
+
+        intersections: List[Point] = []
+        n = len(circles)
+        for i in range(n):
+            c1, c2 = circles[i], circles[(i + 1) % n]
+            others = [circles[k] for k in range(n) if k != i and k != (i + 1) % n]
+            candidates = best_circle_intersection(c1, c2)
+            if not candidates:
+                continue  # concentric centers: no usable point
+            intersections.append(self._pick_candidate(candidates, others))
+
+        if len(intersections) < 2:
+            return LocationEstimate(
+                position=None,
+                valid=False,
+                details={"reason": "fewer than 2 circle-pair intersections", "distances": distances},
+            )
+        position = self._AGGREGATORS[self.aggregator](intersections)
+        residual = float(
+            np.mean([abs(c.center.distance_to(position) - c.radius) for c in circles])
+        )
+        return LocationEstimate(
+            position=position,
+            location_name=None,
+            score=-residual,
+            valid=True,
+            details={
+                "distances": distances,
+                "intersections": intersections,
+                "mean_radial_residual_ft": residual,
+            },
+        )

@@ -1,0 +1,150 @@
+"""Histogram-Bayes fingerprinting (the §6.2 "distribution" extension).
+
+The paper's future work: "Our new algorithm will consider the
+distribution of these values" instead of "only the average signal
+strength value".  The standard way to do that (Youssef's Horus family)
+is a nonparametric per-``<training point, AP>`` histogram of RSSI used
+as the emission probability, with Laplace smoothing so unseen bins keep
+finite likelihood.  Each *sweep* of the observation is scored
+independently and log-likelihoods sum over sweeps and APs — the full
+distribution of the observation window participates, not just its mean.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import (
+    LocationEstimate,
+    Localizer,
+    Observation,
+    register_algorithm,
+)
+from repro.core.trainingdb import TrainingDatabase
+
+
+@register_algorithm("histogram")
+class HistogramLocalizer(Localizer):
+    """Per-(location, AP) RSSI histograms as emission probabilities.
+
+    Parameters
+    ----------
+    bin_width_db:
+        Histogram bin width; RSSI is quantized hardware-side anyway so
+        2 dB bins lose little.
+    rssi_range:
+        Histogram support (dBm).  Samples outside clamp to the edge bins.
+    laplace:
+        Additive smoothing mass per bin.
+    absence_weight:
+        Probability mass reserved for "AP not heard" as its own outcome,
+        estimated from the training detection rate — presence itself is
+        informative indoors.
+    """
+
+    def __init__(
+        self,
+        bin_width_db: float = 2.0,
+        rssi_range: tuple = (-100.0, -20.0),
+        laplace: float = 0.5,
+        absence_weight: float = 1.0,
+    ):
+        if bin_width_db <= 0:
+            raise ValueError(f"bin width must be positive, got {bin_width_db}")
+        if rssi_range[0] >= rssi_range[1]:
+            raise ValueError(f"invalid RSSI range {rssi_range}")
+        if laplace <= 0:
+            raise ValueError(f"laplace smoothing must be positive, got {laplace}")
+        self.bin_width_db = float(bin_width_db)
+        self.rssi_range = (float(rssi_range[0]), float(rssi_range[1]))
+        self.laplace = float(laplace)
+        self.absence_weight = float(absence_weight)
+        self._db: Optional[TrainingDatabase] = None
+        self._log_pmf: Optional[np.ndarray] = None  # (L, A, n_bins)
+        self._log_absence: Optional[np.ndarray] = None  # (L, A)
+        self._log_presence: Optional[np.ndarray] = None  # (L, A)
+
+    @property
+    def n_bins(self) -> int:
+        lo, hi = self.rssi_range
+        return int(math.ceil((hi - lo) / self.bin_width_db))
+
+    def _bin_of(self, rssi: np.ndarray) -> np.ndarray:
+        lo, _ = self.rssi_range
+        idx = np.floor((rssi - lo) / self.bin_width_db).astype(int)
+        return np.clip(idx, 0, self.n_bins - 1)
+
+    def fit(self, db: TrainingDatabase) -> "HistogramLocalizer":
+        if len(db) == 0:
+            raise ValueError("training database has no locations")
+        self._db = db
+        L, A, B = len(db), len(db.bssids), self.n_bins
+        counts = np.full((L, A, B), self.laplace)
+        present = np.zeros((L, A))
+        total = np.zeros((L, A))
+        for li, rec in enumerate(db.records):
+            samples = rec.samples  # (n, A)
+            total[li] = samples.shape[0]
+            for a in range(A):
+                col = samples[:, a]
+                heard = np.isfinite(col)
+                present[li, a] = heard.sum()
+                if heard.any():
+                    bins = self._bin_of(col[heard])
+                    np.add.at(counts[li, a], bins, 1.0)
+        self._log_pmf = np.log(counts / counts.sum(axis=2, keepdims=True))
+        # Presence/absence as a Bernoulli with Laplace smoothing.
+        p_present = (present + self.absence_weight) / (total + 2.0 * self.absence_weight)
+        self._log_presence = np.log(p_present)
+        self._log_absence = np.log1p(-p_present)
+        return self
+
+    def log_likelihoods(self, observation: Observation) -> np.ndarray:
+        """Per-location log P(observation window | location)."""
+        self._check_fitted("_log_pmf")
+        observation = self._aligned(observation, self._db.bssids)
+        samples = observation.samples  # (n, A)
+        if samples.shape[1] != self._log_pmf.shape[1]:
+            raise ValueError(
+                f"observation has {samples.shape[1]} AP columns, "
+                f"training had {self._log_pmf.shape[1]}"
+            )
+        L = self._log_pmf.shape[0]
+        out = np.zeros(L)
+        heard = np.isfinite(samples)
+        for a in range(samples.shape[1]):
+            col = samples[:, a]
+            h = heard[:, a]
+            n_heard = int(h.sum())
+            n_missed = col.shape[0] - n_heard
+            if n_heard:
+                bins = self._bin_of(col[h])
+                # (L, n_heard) gather then sum over sweeps
+                out += self._log_pmf[:, a, :][:, bins].sum(axis=1)
+                out += n_heard * self._log_presence[:, a]
+            if n_missed:
+                out += n_missed * self._log_absence[:, a]
+        return out
+
+    def posterior(self, observation: Observation) -> np.ndarray:
+        ll = self.log_likelihoods(observation)
+        ll = ll - ll.max()
+        p = np.exp(ll)
+        return p / p.sum()
+
+    def locate(self, observation: Observation) -> LocationEstimate:
+        self._check_fitted("_log_pmf")
+        ll = self.log_likelihoods(observation)
+        best = int(np.argmax(ll))
+        record = self._db.records[best]
+        valid = bool(np.isfinite(observation.samples).any())
+        return LocationEstimate(
+            position=record.position,
+            location_name=record.name,
+            score=float(ll[best]),
+            valid=valid,
+            details={"log_likelihoods": ll},
+        )

@@ -1,0 +1,170 @@
+"""RADAR-style (k-)nearest-neighbour fingerprinting (baseline, ref [15]).
+
+Bahl & Padmanabhan's RADAR — the paper's own exemplar of the
+probabilistic family's ancestor — matches an observed signal-strength
+vector to training fingerprints in *signal space* by Euclidean distance
+and averages the top-``k`` training positions.  With ``k = 1`` this is
+the classic NNSS; ``k > 1`` interpolates between training points, which
+(unlike the paper's §5.1 argmax) can land between grid cells.
+
+Missing-data policy matches the probabilistic localizer: a comparison
+happens over the APs both sides heard, mismatched presence costs a
+fixed per-AP penalty, and distances are normalized by the count of
+compared APs so fingerprints with different audible sets stay
+comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import (
+    LocationEstimate,
+    Localizer,
+    Observation,
+    register_algorithm,
+)
+from repro.core.geometry import Point
+from repro.core.trainingdb import TrainingDatabase
+
+
+@register_algorithm("knn")
+class KNNLocalizer(Localizer):
+    """k-nearest neighbours in signal space.
+
+    Parameters
+    ----------
+    k:
+        Neighbours averaged into the answer.  ``k = 1`` names the
+        nearest training point (like §5.1); larger ``k`` interpolates.
+    mismatch_penalty_db:
+        Squared-dB charge per AP heard on exactly one side.
+    weighted:
+        If True, neighbours are weighted by inverse signal distance
+        (the common WKNN variant).
+    """
+
+    def __init__(self, k: int = 3, mismatch_penalty_db: float = 12.0, weighted: bool = False):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if mismatch_penalty_db < 0:
+            raise ValueError(f"mismatch penalty must be non-negative, got {mismatch_penalty_db}")
+        self.k = int(k)
+        self.mismatch_penalty_db = float(mismatch_penalty_db)
+        self.weighted = bool(weighted)
+        self._db: Optional[TrainingDatabase] = None
+        self._means: Optional[np.ndarray] = None
+
+    def fit(self, db: TrainingDatabase) -> "KNNLocalizer":
+        if len(db) == 0:
+            raise ValueError("training database has no locations")
+        self._db = db
+        self._means = db.mean_matrix()
+        return self
+
+    def signal_distances(self, observation: Observation) -> np.ndarray:
+        """Per-training-point RMS signal distance (dB), vectorized."""
+        self._check_fitted("_means")
+        observation = self._aligned(observation, self._db.bssids)
+        means = self._means
+        obs = observation.mean_rssi()
+        if obs.shape[0] != means.shape[1]:
+            raise ValueError(
+                f"observation has {obs.shape[0]} AP columns, "
+                f"training database has {means.shape[1]}"
+            )
+        obs_heard = np.isfinite(obs)
+        train_heard = np.isfinite(means)
+        both = train_heard & obs_heard[None, :]
+        diff = np.where(both, obs[None, :] - np.where(both, means, 0.0), 0.0)
+        sq = (diff**2).sum(axis=1)
+        mismatch = (train_heard ^ obs_heard[None, :]).sum(axis=1)
+        sq = sq + mismatch * self.mismatch_penalty_db**2
+        denom = np.maximum(both.sum(axis=1) + mismatch, 1)
+        return np.sqrt(sq / denom)
+
+    def signal_distance_matrix(self, observations) -> np.ndarray:
+        """Batched :meth:`signal_distances`: ``(n_obs, n_locations)``.
+
+        One ``(M, L, A)`` broadcast instead of M separate passes — the
+        throughput path for bulk queries.
+        """
+        self._check_fitted("_means")
+        means = self._means
+        obs_rows = np.vstack(
+            [self._aligned(o, self._db.bssids).mean_rssi() for o in observations]
+        )
+        obs_heard = np.isfinite(obs_rows)
+        train_heard = np.isfinite(means)
+        both = obs_heard[:, None, :] & train_heard[None, :, :]
+        diff = np.where(
+            both, obs_rows[:, None, :] - np.where(train_heard, means, 0.0)[None, :, :], 0.0
+        )
+        sq = (diff**2).sum(axis=2)
+        mismatch = (obs_heard[:, None, :] ^ train_heard[None, :, :]).sum(axis=2)
+        sq = sq + mismatch * self.mismatch_penalty_db**2
+        denom = np.maximum(both.sum(axis=2) + mismatch, 1)
+        return np.sqrt(sq / denom)
+
+    def locate_many(self, observations):
+        """Vectorized batch :meth:`locate` (identical answers, one pass)."""
+        observations = list(observations)
+        if not observations:
+            return []
+        dist = self.signal_distance_matrix(observations)  # (M, L)
+        k = min(self.k, dist.shape[1])
+        idx = np.argsort(dist, axis=1)[:, :k]  # (M, k)
+        positions = self._db.positions()  # (L, 2)
+        rows = np.arange(dist.shape[0])[:, None]
+        neighbor_d = dist[rows, idx]
+        if self.weighted:
+            w = 1.0 / np.maximum(neighbor_d, 1e-6)
+            w = w / w.sum(axis=1, keepdims=True)
+        else:
+            w = np.full((dist.shape[0], k), 1.0 / k)
+        est = np.einsum("mk,mkc->mc", w, positions[idx])
+        out = []
+        for m, obs in enumerate(observations):
+            aligned = self._aligned(obs, self._db.bssids)
+            nearest = self._db.records[int(idx[m, 0])]
+            out.append(
+                LocationEstimate(
+                    position=Point(float(est[m, 0]), float(est[m, 1])),
+                    location_name=nearest.name if k == 1 else None,
+                    score=-float(neighbor_d[m, 0]),
+                    valid=bool(np.isfinite(aligned.mean_rssi()).sum() >= 2),
+                    details={
+                        "neighbors": [self._db.records[int(i)].name for i in idx[m]],
+                        "signal_distances_db": neighbor_d[m],
+                    },
+                )
+            )
+        return out
+
+    def locate(self, observation: Observation) -> LocationEstimate:
+        self._check_fitted("_means")
+        observation = self._aligned(observation, self._db.bssids)
+        dist = self.signal_distances(observation)
+        k = min(self.k, len(dist))
+        idx = np.argsort(dist)[:k]
+        positions = self._db.positions()[idx]
+        if self.weighted:
+            w = 1.0 / np.maximum(dist[idx], 1e-6)
+            w = w / w.sum()
+        else:
+            w = np.full(k, 1.0 / k)
+        est = (positions * w[:, None]).sum(axis=0)
+        nearest = self._db.records[int(idx[0])]
+        valid = bool(np.isfinite(observation.mean_rssi()).sum() >= 2)
+        return LocationEstimate(
+            position=Point(float(est[0]), float(est[1])),
+            location_name=nearest.name if k == 1 else None,
+            score=-float(dist[idx[0]]),
+            valid=valid,
+            details={
+                "neighbors": [self._db.records[int(i)].name for i in idx],
+                "signal_distances_db": dist[idx],
+            },
+        )

@@ -1,0 +1,215 @@
+"""The probabilistic approach (paper §5.1).
+
+Phase 1 groups the training samples per training point and keeps, for
+every ``<training point, AP>`` pair, the **average value and standard
+deviation**.  Phase 2 scores an observation against every training
+point with the paper's Gaussian likelihood
+
+.. math::
+
+    value = \\frac{e^{-\\frac{(observation - training)^2}{2\\sigma^2}}}
+                 {\\sqrt{2\\pi\\sigma^2}}
+
+multiplied across access points (sum of logs here, for numeric sanity),
+and "the training point that generates the maximum likelihood value is
+our estimate location.  Therefore, this approach does not return the
+coordinate values of the observed location, but returns the most
+approximate training location instead."
+
+Implementation notes
+--------------------
+* The score loop is fully vectorized: one ``(n_locations, n_aps)``
+  broadcast per observation.
+* Missing data needs a policy the paper didn't have to spell out:
+  an AP heard in the observation but never during training at some
+  point (or vice versa) is evidence *against* that point.  We charge
+  such mismatches a fixed log-penalty equivalent to a
+  ``missing_penalty_sigma``-σ outlier, which keeps scores comparable
+  across training points with different audible-AP sets.
+* ``locate`` marks the estimate invalid when fewer than ``min_common_aps``
+  APs are shared between observation and the best training point — with
+  a single AP the likelihood field is a ring, not a point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import (
+    LocationEstimate,
+    Localizer,
+    Observation,
+    register_algorithm,
+)
+from repro.core.geometry import Point
+from repro.core.trainingdb import TrainingDatabase
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+@register_algorithm("probabilistic")
+class ProbabilisticLocalizer(Localizer):
+    """Gaussian maximum-likelihood fingerprinting over training points.
+
+    Parameters
+    ----------
+    min_std_db:
+        Variance floor applied to the per-pair standard deviations
+        (quantized RSSI can sit constant for a whole session).
+    missing_penalty_sigma:
+        A presence/absence mismatch between observation and training is
+        charged like an outlier this many σ away.
+    min_common_aps:
+        Below this many shared APs the estimate is flagged invalid.
+    """
+
+    def __init__(
+        self,
+        min_std_db: float = 0.5,
+        missing_penalty_sigma: float = 3.0,
+        min_common_aps: int = 2,
+    ):
+        if min_std_db <= 0:
+            raise ValueError(f"min_std_db must be positive, got {min_std_db}")
+        if missing_penalty_sigma < 0:
+            raise ValueError(
+                f"missing_penalty_sigma must be non-negative, got {missing_penalty_sigma}"
+            )
+        if min_common_aps < 1:
+            raise ValueError(f"min_common_aps must be >= 1, got {min_common_aps}")
+        self.min_std_db = float(min_std_db)
+        self.missing_penalty_sigma = float(missing_penalty_sigma)
+        self.min_common_aps = int(min_common_aps)
+        self._db: Optional[TrainingDatabase] = None
+        self._means: Optional[np.ndarray] = None
+        self._stds: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, db: TrainingDatabase) -> "ProbabilisticLocalizer":
+        if len(db) == 0:
+            raise ValueError("training database has no locations")
+        self._db = db
+        self._means = db.mean_matrix()  # (L, A), NaN = AP unheard there
+        self._stds = db.std_matrix(min_std=self.min_std_db)
+        return self
+
+    # ------------------------------------------------------------------
+    def log_likelihoods(self, observation: Observation) -> np.ndarray:
+        """Per-training-point log likelihood of the observation's mean.
+
+        Returns shape ``(n_locations,)``.  This is the quantity the §5.1
+        argmax runs over; the Bayes-filter tracker reuses it as its
+        emission model.
+        """
+        self._check_fitted("_means")
+        observation = self._aligned(observation, self._db.bssids)
+        means, stds = self._means, self._stds
+        obs = observation.mean_rssi()
+        if obs.shape[0] != means.shape[1]:
+            raise ValueError(
+                f"observation has {obs.shape[0]} AP columns, "
+                f"training database has {means.shape[1]}"
+            )
+        obs_heard = np.isfinite(obs)  # (A,)
+        train_heard = np.isfinite(means)  # (L, A)
+
+        both = train_heard & obs_heard[None, :]
+        # Gaussian log-density where both sides heard the AP.
+        z = np.where(both, (obs[None, :] - np.where(both, means, 0.0)), 0.0)
+        sd = np.where(both, stds, 1.0)
+        loglik = np.where(both, -0.5 * (z / sd) ** 2 - np.log(sd) - 0.5 * _LOG_2PI, 0.0)
+
+        # Presence/absence mismatch: outlier-equivalent penalty.
+        mismatch = train_heard ^ obs_heard[None, :]
+        penalty = -0.5 * self.missing_penalty_sigma**2 - 0.5 * _LOG_2PI
+        loglik = loglik + np.where(mismatch, penalty, 0.0)
+        return loglik.sum(axis=1)
+
+    def log_likelihood_matrix(self, observations) -> np.ndarray:
+        """Batched :meth:`log_likelihoods`: ``(n_obs, n_locations)``.
+
+        One broadcasted ``(M, L, A)`` evaluation instead of M separate
+        ``(L, A)`` passes — the throughput path for bulk scoring
+        (sweeps, offline evaluation, the PERF-BATCH bench).
+        """
+        self._check_fitted("_means")
+        means, stds = self._means, self._stds
+        obs_rows = np.vstack(
+            [self._aligned(o, self._db.bssids).mean_rssi() for o in observations]
+        )  # (M, A)
+        obs_heard = np.isfinite(obs_rows)  # (M, A)
+        train_heard = np.isfinite(means)  # (L, A)
+
+        both = obs_heard[:, None, :] & train_heard[None, :, :]  # (M, L, A)
+        z = np.where(both, obs_rows[:, None, :] - np.where(train_heard, means, 0.0)[None, :, :], 0.0)
+        sd = np.where(train_heard, stds, 1.0)[None, :, :]
+        loglik = np.where(both, -0.5 * (z / sd) ** 2 - np.log(sd) - 0.5 * _LOG_2PI, 0.0)
+        mismatch = obs_heard[:, None, :] ^ train_heard[None, :, :]
+        penalty = -0.5 * self.missing_penalty_sigma**2 - 0.5 * _LOG_2PI
+        loglik = loglik + np.where(mismatch, penalty, 0.0)
+        return loglik.sum(axis=2)
+
+    def locate_many(self, observations):
+        """Vectorized batch :meth:`locate` (identical answers, one pass)."""
+        observations = list(observations)
+        if not observations:
+            return []
+        ll = self.log_likelihood_matrix(observations)  # (M, L)
+        best = ll.argmax(axis=1)
+        order = np.argsort(ll, axis=1)
+        out = []
+        for m, obs in enumerate(observations):
+            record = self._db.records[int(best[m])]
+            aligned = self._aligned(obs, self._db.bssids)
+            obs_heard = np.isfinite(aligned.mean_rssi())
+            common = int((np.isfinite(self._means[int(best[m])]) & obs_heard).sum())
+            out.append(
+                LocationEstimate(
+                    position=record.position,
+                    location_name=record.name,
+                    score=float(ll[m, best[m]]),
+                    valid=common >= self.min_common_aps,
+                    details={
+                        "log_likelihoods": ll[m],
+                        "common_aps": common,
+                        "runner_up": self._db.records[int(order[m, -2])].name
+                        if ll.shape[1] > 1
+                        else None,
+                    },
+                )
+            )
+        return out
+
+    def posterior(self, observation: Observation) -> np.ndarray:
+        """Normalized probability over training points (softmax of logs)."""
+        ll = self.log_likelihoods(observation)
+        ll = ll - ll.max()
+        p = np.exp(ll)
+        return p / p.sum()
+
+    def locate(self, observation: Observation) -> LocationEstimate:
+        self._check_fitted("_means")
+        observation = self._aligned(observation, self._db.bssids)
+        ll = self.log_likelihoods(observation)
+        best = int(np.argmax(ll))
+        record = self._db.records[best]
+
+        obs_heard = np.isfinite(observation.mean_rssi())
+        common = int((np.isfinite(self._means[best]) & obs_heard).sum())
+        valid = common >= self.min_common_aps
+        return LocationEstimate(
+            position=record.position,
+            location_name=record.name,
+            score=float(ll[best]),
+            valid=valid,
+            details={
+                "log_likelihoods": ll,
+                "common_aps": common,
+                "runner_up": self._db.records[int(np.argsort(ll)[-2])].name
+                if len(ll) > 1
+                else None,
+            },
+        )

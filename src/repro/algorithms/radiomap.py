@@ -1,0 +1,191 @@
+"""Continuous radio maps: interpolating the survey into a field.
+
+Two interpolators turn the training database's per-point means into a
+continuous RSSI field over the floor, behind one protocol
+(``expected_rssi(positions) -> (n, n_aps)``, ``sigma_db``):
+
+* :class:`IDWRadioMap` — inverse-distance weighting over the ``k``
+  nearest training points.  Cheap, local, the classic choice (this is
+  the engine behind :class:`~repro.algorithms.tracking.particle.RSSIField`).
+* :class:`GPRadioMap` — Gaussian-process regression with a squared-
+  exponential kernel per AP.  Principled uncertainty, smooth fields,
+  and it extrapolates with a trend instead of plateauing; the standard
+  "modern" radio-map construction.  Exact GP — the survey is 30–100
+  points, so the Cholesky solve is trivial.
+
+The GP regresses the *residual* from a fitted log-distance trend when
+AP positions are known, or from the constant mean otherwise; kernel
+hyper-parameters (signal σ, length scale, noise) default to physically
+sensible values and can be tuned by maximum marginal likelihood over a
+small grid (:meth:`GPRadioMap.fit_hyperparameters`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+
+from repro.core.geometry import Point
+from repro.core.trainingdb import TrainingDatabase
+
+#: RSSI assumed where an AP was never heard during training (detection floor).
+UNHEARD_FLOOR_DBM = -95.0
+
+
+class IDWRadioMap:
+    """Inverse-distance-weighted field (see RSSIField; kept thin here)."""
+
+    def __init__(self, db: TrainingDatabase, k: int = 4, min_std_db: float = 1.0):
+        from repro.algorithms.tracking.particle import RSSIField
+
+        self._field = RSSIField(db, k=k, min_std_db=min_std_db)
+
+    @property
+    def sigma_db(self) -> np.ndarray:
+        return self._field.sigma_db
+
+    def expected_rssi(self, positions: np.ndarray) -> np.ndarray:
+        return self._field.expected_rssi(positions)
+
+
+class GPRadioMap:
+    """Per-AP exact Gaussian-process regression of the radio map.
+
+    Parameters
+    ----------
+    db:
+        The training database (means per location feed the GP).
+    length_scale_ft:
+        Kernel length scale; ~the shadowing correlation length.
+    signal_sigma_db:
+        Kernel signal standard deviation (prior residual spread).
+    noise_sigma_db:
+        Observation noise on the training means (temporal noise shrunk
+        by the dwell averaging — a fraction of a dB for 90 s dwells).
+    ap_positions:
+        Optional BSSID → position; when given, a log-distance trend is
+        fitted per AP and the GP models only its residual, which makes
+        extrapolation behave physically.
+    """
+
+    def __init__(
+        self,
+        db: TrainingDatabase,
+        length_scale_ft: float = 10.0,
+        signal_sigma_db: float = 5.0,
+        noise_sigma_db: float = 1.0,
+        ap_positions: Optional[Dict[str, Point]] = None,
+    ):
+        if len(db) == 0:
+            raise ValueError("training database has no locations")
+        if length_scale_ft <= 0 or signal_sigma_db <= 0 or noise_sigma_db <= 0:
+            raise ValueError("GP hyper-parameters must be positive")
+        self.db = db
+        self.length_scale_ft = float(length_scale_ft)
+        self.signal_sigma_db = float(signal_sigma_db)
+        self.noise_sigma_db = float(noise_sigma_db)
+        self.ap_positions = dict(ap_positions or {})
+        self._train_x = db.positions()  # (L, 2)
+        means = db.mean_matrix()
+        self._train_y = np.where(np.isfinite(means), means, UNHEARD_FLOOR_DBM)
+        stds = db.std_matrix()
+        per_ap = np.where(
+            np.isfinite(stds), stds, 1.0
+        ).mean(axis=0)
+        self._sigma = np.maximum(per_ap, 1.0)
+        self._fit()
+
+    # ------------------------------------------------------------------
+    def _trend(self, positions: np.ndarray) -> np.ndarray:
+        """Per-AP mean function at ``positions``: log-distance or constant."""
+        out = np.empty((positions.shape[0], len(self.db.bssids)))
+        for j, bssid in enumerate(self.db.bssids):
+            ap = self.ap_positions.get(bssid)
+            if ap is None or self._trend_params[j] is None:
+                out[:, j] = self._train_y[:, j].mean()
+            else:
+                p0, n = self._trend_params[j]
+                d = np.maximum(np.hypot(positions[:, 0] - ap.x, positions[:, 1] - ap.y), 1.0)
+                out[:, j] = p0 - 10.0 * n * np.log10(d)
+        return out
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        d2 = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        return self.signal_sigma_db**2 * np.exp(-0.5 * d2 / self.length_scale_ft**2)
+
+    def _fit(self) -> None:
+        from repro.algorithms.regression import fit_log_distance
+
+        self._trend_params = []
+        for j, bssid in enumerate(self.db.bssids):
+            ap = self.ap_positions.get(bssid)
+            params = None
+            if ap is not None:
+                d = np.hypot(self._train_x[:, 0] - ap.x, self._train_x[:, 1] - ap.y)
+                keep = d > 0
+                if keep.sum() >= 2:
+                    try:
+                        fit = fit_log_distance(d[keep], self._train_y[keep, j])
+                        params = (fit.p0_dbm, fit.exponent)
+                    except ValueError:
+                        params = None
+            self._trend_params.append(params)
+
+        K = self._kernel(self._train_x, self._train_x)
+        K[np.diag_indices_from(K)] += self.noise_sigma_db**2
+        self._cho = cho_factor(K, lower=True)
+        self._residuals = self._train_y - self._trend(self._train_x)  # (L, A)
+        self._alpha = cho_solve(self._cho, self._residuals)  # (L, A)
+
+    # ------------------------------------------------------------------
+    @property
+    def sigma_db(self) -> np.ndarray:
+        """Per-AP emission σ for likelihood evaluation (training std)."""
+        return self._sigma.copy()
+
+    def expected_rssi(self, positions: np.ndarray) -> np.ndarray:
+        """(n, n_aps) posterior-mean RSSI at arbitrary positions."""
+        pos = np.atleast_2d(np.asarray(positions, dtype=float))
+        k_star = self._kernel(pos, self._train_x)  # (n, L)
+        return self._trend(pos) + k_star @ self._alpha
+
+    def posterior_std(self, positions: np.ndarray) -> np.ndarray:
+        """(n, n_aps) posterior standard deviation (same for all APs by
+        construction: the kernel is shared, only the data differ)."""
+        pos = np.atleast_2d(np.asarray(positions, dtype=float))
+        k_star = self._kernel(pos, self._train_x)
+        v = cho_solve(self._cho, k_star.T)  # (L, n)
+        var = self.signal_sigma_db**2 - (k_star * v.T).sum(axis=1)
+        std = np.sqrt(np.maximum(var, 0.0))
+        return np.repeat(std[:, None], len(self.db.bssids), axis=1)
+
+    def log_marginal_likelihood(self) -> float:
+        """Summed over APs — the hyper-parameter selection criterion."""
+        L = self._cho[0]
+        logdet = 2.0 * np.log(np.diag(L)).sum()
+        n = self._train_x.shape[0]
+        quad = (self._residuals * self._alpha).sum(axis=0)  # per AP
+        return float(
+            (-0.5 * quad - 0.5 * logdet - 0.5 * n * np.log(2 * np.pi)).sum()
+        )
+
+    def fit_hyperparameters(
+        self,
+        length_scales=(5.0, 8.0, 12.0, 20.0),
+        signal_sigmas=(3.0, 5.0, 8.0),
+    ) -> Tuple[float, float]:
+        """Grid-search (ℓ, σ_f) by marginal likelihood; refits in place."""
+        best = (self.length_scale_ft, self.signal_sigma_db)
+        best_lml = self.log_marginal_likelihood()
+        for ls in length_scales:
+            for sf in signal_sigmas:
+                self.length_scale_ft, self.signal_sigma_db = float(ls), float(sf)
+                self._fit()
+                lml = self.log_marginal_likelihood()
+                if lml > best_lml:
+                    best, best_lml = (float(ls), float(sf)), lml
+        self.length_scale_ft, self.signal_sigma_db = best
+        self._fit()
+        return best

@@ -1,0 +1,137 @@
+"""Rank-based fingerprinting: device-invariant matching.
+
+Motivated by the device-heterogeneity substrate
+(:mod:`repro.radio.device`): any *monotone* per-device distortion of
+the RSSI scale — offset, gain, mild compression — preserves the
+**ordering** of the APs by strength.  Matching on the rank vector
+therefore survives an uncalibrated query device where dB-space matchers
+(Euclidean kNN, the §5.1 Gaussian) degrade.
+
+Phase 1 ranks each training point's mean fingerprint; Phase 2 ranks the
+observation and scores candidates by Spearman footrule / rho over the
+commonly-heard APs, with a presence-mismatch penalty.  With four APs
+the rank alphabet is small (24 orderings), so this is a coarse
+localizer — its value, shown in the ABL-DEVICE bench, is *robustness*,
+not precision, and it sharpens quickly as APs are added.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import (
+    LocationEstimate,
+    Localizer,
+    Observation,
+    register_algorithm,
+)
+from repro.core.trainingdb import TrainingDatabase
+
+
+def _rank_vector(values: np.ndarray) -> np.ndarray:
+    """Average-tie ranks of the finite entries; NaN where input is NaN."""
+    out = np.full(values.shape, np.nan)
+    finite = np.isfinite(values)
+    vals = values[finite]
+    if vals.size == 0:
+        return out
+    order = np.argsort(vals, kind="stable")
+    ranks = np.empty(vals.size, dtype=float)
+    ranks[order] = np.arange(1, vals.size + 1, dtype=float)
+    # Average ties.
+    for v in np.unique(vals):
+        mask = vals == v
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    out[finite] = ranks
+    return out
+
+
+@register_algorithm("rank")
+class RankLocalizer(Localizer):
+    """Spearman-style rank matching over AP orderings.
+
+    Parameters
+    ----------
+    mismatch_penalty:
+        Squared-rank-units charge per AP heard on exactly one side.
+    min_common_aps:
+        Fewer shared APs than this → invalid estimate (ordering of one
+        or two APs says almost nothing).
+    """
+
+    def __init__(self, mismatch_penalty: float = 2.0, min_common_aps: int = 3):
+        if mismatch_penalty < 0:
+            raise ValueError(f"mismatch penalty must be non-negative, got {mismatch_penalty}")
+        if min_common_aps < 2:
+            raise ValueError(f"min_common_aps must be >= 2, got {min_common_aps}")
+        self.mismatch_penalty = float(mismatch_penalty)
+        self.min_common_aps = int(min_common_aps)
+        self._db: Optional[TrainingDatabase] = None
+        self._means: Optional[np.ndarray] = None
+
+    def fit(self, db: TrainingDatabase) -> "RankLocalizer":
+        if len(db) == 0:
+            raise ValueError("training database has no locations")
+        self._db = db
+        self._means = db.mean_matrix()
+        return self
+
+    def rank_distances(self, observation: Observation) -> np.ndarray:
+        """Per-training-point mean squared rank difference (lower = better).
+
+        Ranks are recomputed per pair over the commonly heard APs, so a
+        missing AP on either side changes the candidate's score through
+        the mismatch penalty rather than corrupting the ranks.
+        """
+        self._check_fitted("_means")
+        observation = self._aligned(observation, self._db.bssids)
+        obs = observation.mean_rssi()
+        if obs.shape[0] != self._means.shape[1]:
+            raise ValueError(
+                f"observation has {obs.shape[0]} AP columns, "
+                f"training had {self._means.shape[1]}"
+            )
+        obs_heard = np.isfinite(obs)
+        out = np.full(self._means.shape[0], np.inf)
+        for i, train in enumerate(self._means):
+            both = obs_heard & np.isfinite(train)
+            mismatch = int((obs_heard ^ np.isfinite(train)).sum())
+            if both.sum() < 2:
+                out[i] = self.mismatch_penalty * (mismatch + 4)
+                continue
+            r_obs = _rank_vector(obs[both])
+            r_train = _rank_vector(train[both])
+            out[i] = float(((r_obs - r_train) ** 2).mean()) + self.mismatch_penalty * mismatch
+        return out
+
+    def locate(self, observation: Observation) -> LocationEstimate:
+        self._check_fitted("_means")
+        dist = self.rank_distances(observation)
+        # Ties are common (24 orderings of 4 APs): average the tied
+        # training positions rather than picking arbitrarily.
+        best = float(dist.min())
+        tied = np.nonzero(dist <= best + 1e-12)[0]
+        positions = self._db.positions()[tied]
+        mean_xy = positions.mean(axis=0)
+        from repro.core.geometry import Point
+
+        common = int(
+            (np.isfinite(observation.mean_rssi())).sum()
+            if not observation.bssids
+            else np.isfinite(
+                self._aligned(observation, self._db.bssids).mean_rssi()
+            ).sum()
+        )
+        return LocationEstimate(
+            position=Point(float(mean_xy[0]), float(mean_xy[1])),
+            location_name=self._db.records[int(tied[0])].name if tied.size == 1 else None,
+            score=-best,
+            valid=common >= self.min_common_aps,
+            details={
+                "rank_distance": best,
+                "tied_locations": [self._db.records[int(i)].name for i in tied],
+            },
+        )

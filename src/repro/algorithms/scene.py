@@ -1,0 +1,104 @@
+"""Scene-analysis localization (paper §2.1), transposed to RF.
+
+The scene-analysis family "operates much the same way humans localize
+themselves": compare the *currently observed scene* against "a database
+of landmarks of known size, shape, and location" built by "a separate
+robot performing an exploratory tour".  The essence is **signature
+matching against a surveyed database** — invariant to global gain, which
+for a camera means lighting and for a NIC means per-device RSSI offset
+(a real deployment headache: two cards report the same channel shifted
+by several dB).
+
+This localizer is that transposition: the "scene" is the RSSI vector,
+the "landmark database" is the training survey, and matching uses the
+**Pearson correlation** of the signal vectors — so a constant additive
+(dB) or multiplicative bias on the observing device cancels, unlike the
+Euclidean matchers.  Appropriately for the family, it is a *symbolic*
+localizer: the answer is a named training location, never interpolated
+coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import (
+    LocationEstimate,
+    Localizer,
+    Observation,
+    register_algorithm,
+)
+from repro.core.trainingdb import TrainingDatabase
+
+
+@register_algorithm("scene")
+class SceneAnalysisLocalizer(Localizer):
+    """Gain-invariant signature matching (Pearson correlation).
+
+    Parameters
+    ----------
+    min_common_aps:
+        Correlation over fewer than this many shared APs is meaningless;
+        such training points are skipped (and the estimate invalid if no
+        point qualifies).
+    """
+
+    def __init__(self, min_common_aps: int = 3):
+        if min_common_aps < 2:
+            raise ValueError(f"min_common_aps must be >= 2, got {min_common_aps}")
+        self.min_common_aps = int(min_common_aps)
+        self._db: Optional[TrainingDatabase] = None
+        self._means: Optional[np.ndarray] = None
+
+    def fit(self, db: TrainingDatabase) -> "SceneAnalysisLocalizer":
+        if len(db) == 0:
+            raise ValueError("training database has no locations")
+        self._db = db
+        self._means = db.mean_matrix()
+        return self
+
+    def correlations(self, observation: Observation) -> np.ndarray:
+        """Pearson r against each training signature (NaN = unusable)."""
+        self._check_fitted("_means")
+        observation = self._aligned(observation, self._db.bssids)
+        means = self._means
+        obs = observation.mean_rssi()
+        if obs.shape[0] != means.shape[1]:
+            raise ValueError(
+                f"observation has {obs.shape[0]} AP columns, "
+                f"training had {means.shape[1]}"
+            )
+        out = np.full(means.shape[0], np.nan)
+        obs_heard = np.isfinite(obs)
+        for i in range(means.shape[0]):
+            both = obs_heard & np.isfinite(means[i])
+            if both.sum() < self.min_common_aps:
+                continue
+            a = obs[both]
+            b = means[i][both]
+            sa, sb = a.std(), b.std()
+            if sa < 1e-9 or sb < 1e-9:
+                continue
+            out[i] = float(np.corrcoef(a, b)[0, 1])
+        return out
+
+    def locate(self, observation: Observation) -> LocationEstimate:
+        self._check_fitted("_means")
+        corr = self.correlations(observation)
+        if not np.isfinite(corr).any():
+            return LocationEstimate(
+                position=None,
+                valid=False,
+                details={"reason": "no training signature shares enough APs"},
+            )
+        best = int(np.nanargmax(corr))
+        record = self._db.records[best]
+        return LocationEstimate(
+            position=record.position,
+            location_name=record.name,
+            score=float(corr[best]),
+            valid=True,
+            details={"correlations": corr},
+        )

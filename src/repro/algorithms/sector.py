@@ -1,0 +1,179 @@
+"""The sector approach: identifying codes (paper §2.2, ref [22]).
+
+"Stationary units are placed in the location space, each with a unique
+identification tag … The set of visible broadcast tags forms an
+identifying code, which determines the location from a table of
+vertex-code pairings."
+
+Phase 1 derives each training location's *code* — the set of APs that
+are reliably audible there (detection rate ≥ ``presence_threshold``) —
+and builds the vertex-code table.  Phase 2 computes the observation's
+code and looks it up; unseen codes fall back to the nearest code by
+symmetric-difference (Hamming) distance, breaking ties by averaging the
+tied locations.
+
+The module also ships the design-side tooling the identifying-codes
+literature is actually about: :func:`is_identifying` checks a code
+table's uniqueness, and :func:`minimal_identifying_subset` greedily
+prunes transmitters while keeping all locations distinguishable — the
+planning question an installer of this approach faces.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import (
+    LocationEstimate,
+    Localizer,
+    Observation,
+    register_algorithm,
+)
+from repro.core.geometry import Point, centroid
+from repro.core.trainingdb import TrainingDatabase
+
+Code = FrozenSet[str]
+
+
+def is_identifying(codes: Dict[str, Code]) -> bool:
+    """True iff every location has a distinct, non-empty code."""
+    seen = set()
+    for code in codes.values():
+        if not code or code in seen:
+            return False
+        seen.add(code)
+    return True
+
+
+def minimal_identifying_subset(codes: Dict[str, Code]) -> List[str]:
+    """Greedy minimum transmitter set that keeps all codes distinct.
+
+    Classic greedy set-cover on the "pairs of locations still confused"
+    universe: repeatedly keep the transmitter that separates the most
+    currently-confused pairs.  Raises ``ValueError`` if even the full
+    transmitter set is not identifying.
+    """
+    if not is_identifying(codes):
+        raise ValueError("full transmitter set is not identifying; cannot reduce")
+    names = sorted(codes)
+    transmitters = sorted(set().union(*codes.values()))
+    confused = set(combinations(range(len(names)), 2))
+    chosen: List[str] = []
+    remaining = list(transmitters)
+    while confused:
+        best_t, best_sep = None, -1
+        for t in remaining:
+            sep = sum(
+                1
+                for i, j in confused
+                if (t in codes[names[i]]) != (t in codes[names[j]])
+            )
+            if sep > best_sep:
+                best_t, best_sep = t, sep
+        if best_sep <= 0:
+            # Remaining confusion is only resolvable by emptiness rules;
+            # keep every transmitter that appears in some confused pair.
+            break
+        chosen.append(best_t)
+        remaining.remove(best_t)
+        confused = {
+            (i, j)
+            for i, j in confused
+            if (best_t in codes[names[i]]) == (best_t in codes[names[j]])
+        }
+    # Ensure non-empty codes for every location.
+    for name in names:
+        if not (codes[name] & set(chosen)):
+            extra = sorted(codes[name])[0]
+            if extra not in chosen:
+                chosen.append(extra)
+    return sorted(chosen)
+
+
+@register_algorithm("sector")
+class SectorLocalizer(Localizer):
+    """Identifying-code lookup over presence/absence patterns.
+
+    Parameters
+    ----------
+    presence_threshold:
+        Detection-rate cutoff for an AP to count as "visible" at a
+        location (both phases).
+    """
+
+    def __init__(self, presence_threshold: float = 0.5):
+        if not 0.0 < presence_threshold <= 1.0:
+            raise ValueError(
+                f"presence_threshold must be in (0, 1], got {presence_threshold}"
+            )
+        self.presence_threshold = float(presence_threshold)
+        self._db: Optional[TrainingDatabase] = None
+        self._table: Optional[Dict[Code, List[int]]] = None
+        self._codes: Optional[Dict[str, Code]] = None
+
+    def fit(self, db: TrainingDatabase) -> "SectorLocalizer":
+        if len(db) == 0:
+            raise ValueError("training database has no locations")
+        self._db = db
+        self._codes = {}
+        self._table = {}
+        for i, rec in enumerate(db.records):
+            rate = rec.detection_rate()
+            code: Code = frozenset(
+                b for b, r in zip(db.bssids, rate) if r >= self.presence_threshold
+            )
+            self._codes[rec.name] = code
+            self._table.setdefault(code, []).append(i)
+        return self
+
+    @property
+    def codes(self) -> Dict[str, Code]:
+        """Per-location identifying codes (after :meth:`fit`)."""
+        self._check_fitted("_codes")
+        return dict(self._codes)
+
+    def identifying(self) -> bool:
+        """Is the deployed AP set an identifying code for the locations?"""
+        self._check_fitted("_codes")
+        return is_identifying(self._codes)
+
+    def observation_code(self, observation: Observation) -> Code:
+        observation = self._aligned(observation, self._db.bssids)
+        rate = observation.detection_rate()
+        return frozenset(
+            b for b, r in zip(self._db.bssids, rate) if r >= self.presence_threshold
+        )
+
+    def locate(self, observation: Observation) -> LocationEstimate:
+        self._check_fitted("_table")
+        code = self.observation_code(observation)
+        exact = self._table.get(code)
+        if exact is not None:
+            indices, hamming = exact, 0
+        else:
+            # Nearest code by symmetric difference.
+            best_d = None
+            indices = []
+            for tcode, idxs in self._table.items():
+                d = len(tcode ^ code)
+                if best_d is None or d < best_d:
+                    best_d, indices = d, list(idxs)
+                elif d == best_d:
+                    indices.extend(idxs)
+            hamming = best_d or 0
+        records = [self._db.records[i] for i in indices]
+        position = centroid([r.position for r in records])
+        return LocationEstimate(
+            position=position,
+            location_name=records[0].name if len(records) == 1 else None,
+            score=-float(hamming),
+            valid=bool(code),
+            details={
+                "code": sorted(code),
+                "hamming_distance": hamming,
+                "matched_locations": [r.name for r in records],
+            },
+        )

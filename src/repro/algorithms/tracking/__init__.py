@@ -1,0 +1,35 @@
+"""Temporal tracking filters (paper future work §6.2).
+
+"We will borrow the idea of some client-tracking algorithm, which use
+the combination of the historical location value and the current signal
+strength value to derive the current location.  Moreover, we will use
+more powerful statistic tool, such as Bayesian-filter, to facilitate
+the estimation."
+
+Three trackers, all sharing the :class:`~repro.algorithms.tracking.base.Tracker`
+step interface (feed one observation per scan period, read an estimate):
+
+* :class:`~repro.algorithms.tracking.bayes.DiscreteBayesTracker` —
+  exact Bayes filter over the training points, with a distance-kernel
+  motion model; emissions from any localizer exposing
+  ``log_likelihoods`` (probabilistic or histogram).
+* :class:`~repro.algorithms.tracking.kalman.KalmanTracker` — constant
+  velocity Kalman filter smoothing any static localizer's positional
+  estimates (the ref [18] idea).
+* :class:`~repro.algorithms.tracking.particle.ParticleFilterTracker` —
+  sequential Monte Carlo in continuous floor coordinates with an
+  interpolated RSSI field as the emission model.
+"""
+
+from repro.algorithms.tracking.base import Tracker
+from repro.algorithms.tracking.bayes import DiscreteBayesTracker
+from repro.algorithms.tracking.kalman import KalmanTracker
+from repro.algorithms.tracking.particle import ParticleFilterTracker, RSSIField
+
+__all__ = [
+    "Tracker",
+    "DiscreteBayesTracker",
+    "KalmanTracker",
+    "ParticleFilterTracker",
+    "RSSIField",
+]

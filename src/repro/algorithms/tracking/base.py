@@ -1,0 +1,32 @@
+"""The tracker interface: a stateful stream of observations."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple
+
+from repro.algorithms.base import LocationEstimate, Observation
+
+
+class Tracker(abc.ABC):
+    """Sequential estimator: one :meth:`step` per scan period.
+
+    Unlike a :class:`~repro.algorithms.base.Localizer`, a tracker owns
+    state between observations — "the combination of the historical
+    location value and the current signal strength value" (§6.2).
+    """
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all history (start of a new track)."""
+
+    @abc.abstractmethod
+    def step(self, observation: Observation, dt_s: float = 1.0) -> LocationEstimate:
+        """Fold in one observation taken ``dt_s`` after the previous one."""
+
+    def track(
+        self, observations: Sequence[Observation], dt_s: float = 1.0
+    ) -> List[LocationEstimate]:
+        """Run a whole observation stream through a fresh filter."""
+        self.reset()
+        return [self.step(obs, dt_s) for obs in observations]

@@ -1,0 +1,114 @@
+"""Exact discrete Bayes filter over the training points.
+
+State space = the training points (the §5.1 answer vocabulary), prior =
+uniform, motion model = a distance kernel: from point *i* the client
+moves to point *j* with probability ∝ exp(−d(i,j)²/2(v·Δt)²) + a small
+uniform teleport mass (kidnapped-robot recovery).  Emissions come from
+any fitted localizer exposing ``log_likelihoods(observation)`` — the
+probabilistic (§5.1) and histogram (§6.2) models both qualify, so the
+filter literally implements the paper's plan of combining "the
+historical location value and the current signal strength value".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.algorithms.base import LocationEstimate, Observation
+from repro.algorithms.histogram import HistogramLocalizer
+from repro.algorithms.probabilistic import ProbabilisticLocalizer
+from repro.algorithms.tracking.base import Tracker
+from repro.core.geometry import Point
+from repro.core.trainingdb import TrainingDatabase
+
+EmissionModel = Union[ProbabilisticLocalizer, HistogramLocalizer]
+
+
+class DiscreteBayesTracker(Tracker):
+    """Grid Bayes filter with Gaussian-kernel motion over training points.
+
+    Parameters
+    ----------
+    emission:
+        A **fitted** localizer with ``log_likelihoods``.
+    db:
+        The training database (defines the state grid; must be the one
+        the emission model was fitted on).
+    speed_ft_s:
+        Prior walking speed scale for the motion kernel.
+    teleport:
+        Uniform mixture mass added to every transition row, bounding
+        how confidently the filter can lock onto a wrong point.
+    """
+
+    def __init__(
+        self,
+        emission: EmissionModel,
+        db: TrainingDatabase,
+        speed_ft_s: float = 4.0,
+        teleport: float = 0.02,
+    ):
+        if not hasattr(emission, "log_likelihoods"):
+            raise TypeError(
+                f"emission model {type(emission).__name__} lacks log_likelihoods()"
+            )
+        if speed_ft_s <= 0:
+            raise ValueError(f"speed must be positive, got {speed_ft_s}")
+        if not 0.0 <= teleport < 1.0:
+            raise ValueError(f"teleport must be in [0, 1), got {teleport}")
+        self.emission = emission
+        self.db = db
+        self.speed_ft_s = float(speed_ft_s)
+        self.teleport = float(teleport)
+        self._positions = db.positions()
+        n = len(db)
+        diff = self._positions[:, None, :] - self._positions[None, :, :]
+        self._pair_d2 = (diff**2).sum(axis=2)
+        self._belief: Optional[np.ndarray] = None
+        self.reset()
+
+    def reset(self) -> None:
+        n = len(self.db)
+        self._belief = np.full(n, 1.0 / n)
+
+    def _transition(self, dt_s: float) -> np.ndarray:
+        """Row-stochastic motion kernel for a Δt step."""
+        scale = max(self.speed_ft_s * dt_s, 1e-6)
+        kernel = np.exp(-self._pair_d2 / (2.0 * scale * scale))
+        kernel /= kernel.sum(axis=1, keepdims=True)
+        n = kernel.shape[0]
+        return (1.0 - self.teleport) * kernel + self.teleport / n
+
+    @property
+    def belief(self) -> np.ndarray:
+        """Current posterior over training points."""
+        return self._belief.copy()
+
+    def step(self, observation: Observation, dt_s: float = 1.0) -> LocationEstimate:
+        if dt_s <= 0:
+            raise ValueError(f"dt must be positive, got {dt_s}")
+        # Predict.
+        belief = self._belief @ self._transition(dt_s)
+        # Update.
+        ll = self.emission.log_likelihoods(observation)
+        ll = ll - ll.max()
+        belief = belief * np.exp(ll)
+        total = belief.sum()
+        if total <= 0 or not np.isfinite(total):
+            # Degenerate update: fall back to the emission alone.
+            belief = np.exp(ll)
+            total = belief.sum()
+        self._belief = belief / total
+
+        best = int(np.argmax(self._belief))
+        record = self.db.records[best]
+        mean_xy = (self._positions * self._belief[:, None]).sum(axis=0)
+        return LocationEstimate(
+            position=Point(float(mean_xy[0]), float(mean_xy[1])),
+            location_name=record.name,
+            score=float(self._belief[best]),
+            valid=True,
+            details={"map_point": record.name, "posterior": self._belief.copy()},
+        )

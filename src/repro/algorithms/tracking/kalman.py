@@ -1,0 +1,189 @@
+"""Constant-velocity Kalman smoothing of static position estimates.
+
+Ref [18] of the paper ("Improving the accuracy of WLAN based location
+determination using Kalman filter and multiple observers") layers a
+Kalman filter over a WLAN localizer; this is that layer.  The state is
+``[x, y, vx, vy]`` with white-noise acceleration; the measurement is
+whatever a wrapped static localizer answers for each observation (its
+invalid answers are handled as missed measurements — predict only).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import LocationEstimate, Localizer, Observation
+from repro.algorithms.tracking.base import Tracker
+from repro.core.geometry import Point
+
+
+class KalmanTracker(Tracker):
+    """CV-model Kalman filter over a static localizer's outputs.
+
+    Parameters
+    ----------
+    localizer:
+        A **fitted** static localizer supplying position measurements.
+    process_accel_ft_s2:
+        White-acceleration σ of the motion model (how hard the target
+        can maneuver).
+    measurement_std_ft:
+        σ of the localizer's positional error, the measurement noise.
+    """
+
+    def __init__(
+        self,
+        localizer: Localizer,
+        process_accel_ft_s2: float = 2.0,
+        measurement_std_ft: float = 8.0,
+    ):
+        if process_accel_ft_s2 <= 0 or measurement_std_ft <= 0:
+            raise ValueError("process and measurement noise must be positive")
+        self.localizer = localizer
+        self.q_accel = float(process_accel_ft_s2)
+        self.r_std = float(measurement_std_ft)
+        self._x: Optional[np.ndarray] = None  # state [x, y, vx, vy]
+        self._P: Optional[np.ndarray] = None
+        self.reset()
+
+    def reset(self) -> None:
+        self._x = None
+        self._P = None
+
+    @staticmethod
+    def _f_matrix(dt: float) -> np.ndarray:
+        F = np.eye(4)
+        F[0, 2] = dt
+        F[1, 3] = dt
+        return F
+
+    def _q_matrix(self, dt: float) -> np.ndarray:
+        # Discrete white-noise acceleration model.
+        q = self.q_accel**2
+        dt2, dt3, dt4 = dt * dt, dt**3, dt**4
+        Q = np.zeros((4, 4))
+        Q[0, 0] = Q[1, 1] = dt4 / 4 * q
+        Q[0, 2] = Q[2, 0] = Q[1, 3] = Q[3, 1] = dt3 / 2 * q
+        Q[2, 2] = Q[3, 3] = dt2 * q
+        return Q
+
+    _H = np.array([[1.0, 0, 0, 0], [0, 1.0, 0, 0]])
+
+    def step(self, observation: Observation, dt_s: float = 1.0) -> LocationEstimate:
+        if dt_s <= 0:
+            raise ValueError(f"dt must be positive, got {dt_s}")
+        measurement = self.localizer.locate(observation)
+        z = (
+            np.array([measurement.position.x, measurement.position.y])
+            if measurement.valid and measurement.position is not None
+            else None
+        )
+
+        if self._x is None:
+            if z is None:
+                # Nothing to initialize from yet.
+                return LocationEstimate(position=None, valid=False, details={"reason": "no fix yet"})
+            self._x = np.array([z[0], z[1], 0.0, 0.0])
+            self._P = np.diag([self.r_std**2, self.r_std**2, 25.0, 25.0])
+            return self._estimate(measurement)
+
+        # Predict.
+        F = self._f_matrix(dt_s)
+        self._x = F @ self._x
+        self._P = F @ self._P @ F.T + self._q_matrix(dt_s)
+
+        # Update (if the static localizer produced a fix).
+        if z is not None:
+            H = self._H
+            R = np.eye(2) * self.r_std**2
+            y = z - H @ self._x
+            S = H @ self._P @ H.T + R
+            K = self._P @ H.T @ np.linalg.inv(S)
+            self._x = self._x + K @ y
+            self._P = (np.eye(4) - K @ H) @ self._P
+        return self._estimate(measurement)
+
+    def _estimate(self, measurement: LocationEstimate) -> LocationEstimate:
+        pos = Point(float(self._x[0]), float(self._x[1]))
+        return LocationEstimate(
+            position=pos,
+            location_name=measurement.location_name,
+            score=-float(np.trace(self._P[:2, :2])),
+            valid=True,
+            details={
+                "velocity_ft_s": (float(self._x[2]), float(self._x[3])),
+                "position_var_ft2": (float(self._P[0, 0]), float(self._P[1, 1])),
+                "raw_measurement": measurement,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # offline smoothing (RTS)
+    # ------------------------------------------------------------------
+    def smooth(self, observations, dt_s: float = 1.0):
+        """Rauch–Tung–Striebel smoothing over a complete track.
+
+        The forward pass is the ordinary filter; the backward pass
+        conditions every state on the *whole* observation sequence,
+        which is the right estimator for post-hoc track analysis (the
+        filter remains the right one for live tracking).  Returns a
+        list of :class:`LocationEstimate` aligned with ``observations``;
+        leading observations before the first fix come back invalid.
+        """
+        if dt_s <= 0:
+            raise ValueError(f"dt must be positive, got {dt_s}")
+        self.reset()
+        # Forward pass, recording prior/posterior moments per step.
+        posts_x, posts_P = [], []
+        priors_x, priors_P = [], []
+        fixed_from = None
+        F = self._f_matrix(dt_s)
+        Q = self._q_matrix(dt_s)
+        for t, obs in enumerate(observations):
+            pre_x = None if self._x is None else self._x.copy()
+            self.step(obs, dt_s)
+            if self._x is None:
+                posts_x.append(None)
+                posts_P.append(None)
+                priors_x.append(None)
+                priors_P.append(None)
+                continue
+            if fixed_from is None:
+                fixed_from = t
+                priors_x.append(self._x.copy())  # initialization step
+                priors_P.append(self._P.copy())
+            else:
+                priors_x.append(F @ pre_x)
+                priors_P.append(F @ posts_P[-1] @ F.T + Q)
+            posts_x.append(self._x.copy())
+            posts_P.append(self._P.copy())
+
+        n = len(observations)
+        out = [
+            LocationEstimate(position=None, valid=False, details={"reason": "no fix yet"})
+        ] * n
+        if fixed_from is None:
+            return out
+        # Backward pass.
+        sx = [None] * n
+        sP = [None] * n
+        sx[n - 1], sP[n - 1] = posts_x[n - 1], posts_P[n - 1]
+        for t in range(n - 2, fixed_from - 1, -1):
+            pred_x = priors_x[t + 1]
+            pred_P = priors_P[t + 1]
+            gain = posts_P[t] @ F.T @ np.linalg.inv(pred_P)
+            sx[t] = posts_x[t] + gain @ (sx[t + 1] - pred_x)
+            sP[t] = posts_P[t] + gain @ (sP[t + 1] - pred_P) @ gain.T
+        for t in range(fixed_from, n):
+            out[t] = LocationEstimate(
+                position=Point(float(sx[t][0]), float(sx[t][1])),
+                score=-float(np.trace(sP[t][:2, :2])),
+                valid=True,
+                details={
+                    "velocity_ft_s": (float(sx[t][2]), float(sx[t][3])),
+                    "smoothed": True,
+                },
+            )
+        return out

@@ -1,0 +1,178 @@
+"""Particle filter in continuous floor coordinates.
+
+Where the discrete Bayes filter is confined to the training grid, the
+particle filter estimates anywhere on the floor.  It needs an emission
+model defined at *arbitrary* positions, which :class:`RSSIField`
+provides by inverse-distance-weighted interpolation of the training
+means (a standard radio-map interpolator); the emission likelihood is
+then the probabilistic approach's Gaussian, evaluated at the
+interpolated mean.
+
+Motion is a Gaussian random walk with scale ``speed_ft_s · Δt``, with
+systematic (low-variance) resampling when the effective sample size
+collapses below half the particle count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import LocationEstimate, Observation
+from repro.algorithms.tracking.base import Tracker
+from repro.core.geometry import Point
+from repro.core.trainingdb import TrainingDatabase
+from repro.parallel.rng import RngLike, resolve_rng
+
+
+class RSSIField:
+    """Interpolated radio map: expected RSSI at any floor position.
+
+    Inverse-distance-weighted (power 2) interpolation of the per-AP
+    training means over the ``k`` nearest training points, with the
+    per-AP σ taken as the mean training σ.  Vectorized over query
+    positions.
+    """
+
+    def __init__(self, db: TrainingDatabase, k: int = 4, min_std_db: float = 1.0):
+        if len(db) == 0:
+            raise ValueError("training database has no locations")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = min(int(k), len(db))
+        self._positions = db.positions()  # (L, 2)
+        means = db.mean_matrix()
+        # Unheard (L, A) cells: treat as detection floor for interpolation.
+        self._means = np.where(np.isfinite(means), means, -95.0)
+        stds = db.std_matrix()
+        with np.errstate(invalid="ignore"):
+            per_ap = np.nanmean(stds, axis=0)
+        self._sigma = np.where(np.isfinite(per_ap), np.maximum(per_ap, min_std_db), min_std_db)
+
+    @property
+    def sigma_db(self) -> np.ndarray:
+        """Per-AP emission σ (dB)."""
+        return self._sigma.copy()
+
+    def expected_rssi(self, positions: np.ndarray) -> np.ndarray:
+        """(n, n_aps) interpolated mean RSSI at ``positions`` (n, 2)."""
+        pos = np.atleast_2d(np.asarray(positions, dtype=float))
+        d2 = ((pos[:, None, :] - self._positions[None, :, :]) ** 2).sum(axis=2)
+        # k nearest training points per query.
+        idx = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]  # (n, k)
+        rows = np.arange(pos.shape[0])[:, None]
+        nd2 = d2[rows, idx]
+        w = 1.0 / np.maximum(nd2, 1e-6)
+        w /= w.sum(axis=1, keepdims=True)
+        return np.einsum("nk,nka->na", w, self._means[idx])
+
+
+class ParticleFilterTracker(Tracker):
+    """SIR particle filter with an interpolated radio-map emission.
+
+    Parameters
+    ----------
+    field:
+        The interpolated radio map (also defines emission σ).
+    bounds:
+        ``(x_min, y_min, x_max, y_max)`` floor rectangle particles live
+        in (initialization and reflection at the edges).
+    n_particles, speed_ft_s:
+        Filter size and random-walk motion scale.
+    rng:
+        Seed/generator for all stochastic steps (reproducible tracks).
+    """
+
+    def __init__(
+        self,
+        field: RSSIField,
+        bounds: Tuple[float, float, float, float],
+        n_particles: int = 500,
+        speed_ft_s: float = 4.0,
+        rng: RngLike = None,
+    ):
+        x0, y0, x1, y1 = bounds
+        if x0 >= x1 or y0 >= y1:
+            raise ValueError(f"degenerate bounds {bounds}")
+        if n_particles < 10:
+            raise ValueError(f"n_particles must be >= 10, got {n_particles}")
+        if speed_ft_s <= 0:
+            raise ValueError(f"speed must be positive, got {speed_ft_s}")
+        self.field = field
+        self.bounds = (float(x0), float(y0), float(x1), float(y1))
+        self.n_particles = int(n_particles)
+        self.speed_ft_s = float(speed_ft_s)
+        self._rng = resolve_rng(rng)
+        self._particles: Optional[np.ndarray] = None
+        self._weights: Optional[np.ndarray] = None
+        self.reset()
+
+    def reset(self) -> None:
+        x0, y0, x1, y1 = self.bounds
+        n = self.n_particles
+        self._particles = np.column_stack(
+            [self._rng.uniform(x0, x1, n), self._rng.uniform(y0, y1, n)]
+        )
+        self._weights = np.full(n, 1.0 / n)
+
+    def _reflect(self) -> None:
+        x0, y0, x1, y1 = self.bounds
+        p = self._particles
+        for dim, (lo, hi) in enumerate(((x0, x1), (y0, y1))):
+            below = p[:, dim] < lo
+            above = p[:, dim] > hi
+            p[below, dim] = 2 * lo - p[below, dim]
+            p[above, dim] = 2 * hi - p[above, dim]
+            np.clip(p[:, dim], lo, hi, out=p[:, dim])
+
+    def effective_sample_size(self) -> float:
+        return float(1.0 / (self._weights**2).sum())
+
+    def _resample(self) -> None:
+        """Systematic (low-variance) resampling."""
+        n = self.n_particles
+        positions = (self._rng.random() + np.arange(n)) / n
+        cumulative = np.cumsum(self._weights)
+        cumulative[-1] = 1.0
+        idx = np.searchsorted(cumulative, positions)
+        self._particles = self._particles[idx]
+        self._weights = np.full(n, 1.0 / n)
+
+    def step(self, observation: Observation, dt_s: float = 1.0) -> LocationEstimate:
+        if dt_s <= 0:
+            raise ValueError(f"dt must be positive, got {dt_s}")
+        # Motion: isotropic random walk.
+        scale = self.speed_ft_s * dt_s
+        self._particles = self._particles + self._rng.normal(0.0, scale, self._particles.shape)
+        self._reflect()
+
+        # Emission: Gaussian around the interpolated radio map.
+        obs = observation.mean_rssi()
+        heard = np.isfinite(obs)
+        if heard.any():
+            expected = self.field.expected_rssi(self._particles)  # (n, A)
+            z = (obs[None, heard] - expected[:, heard]) / self.field.sigma_db[None, heard]
+            loglik = -0.5 * (z**2).sum(axis=1)
+            loglik -= loglik.max()
+            self._weights = self._weights * np.exp(loglik)
+            total = self._weights.sum()
+            if total <= 0 or not np.isfinite(total):
+                self._weights = np.full(self.n_particles, 1.0 / self.n_particles)
+            else:
+                self._weights /= total
+            if self.effective_sample_size() < self.n_particles / 2:
+                self._resample()
+
+        mean = (self._particles * self._weights[:, None]).sum(axis=0)
+        spread = float(
+            np.sqrt(
+                (self._weights * ((self._particles - mean) ** 2).sum(axis=1)).sum()
+            )
+        )
+        return LocationEstimate(
+            position=Point(float(mean[0]), float(mean[1])),
+            score=-spread,
+            valid=bool(heard.any()),
+            details={"ess": self.effective_sample_size(), "spread_ft": spread},
+        )

@@ -1,0 +1,14 @@
+"""Theoretical analysis tools.
+
+* :mod:`repro.analysis.crlb` — Cramér–Rao lower bounds for RSSI
+  localization, the yardstick the EXT-CRLB bench measures every
+  algorithm against.
+"""
+
+from repro.analysis.crlb import (
+    crlb_position_rmse,
+    fisher_information,
+    ranging_crlb_ft,
+)
+
+__all__ = ["crlb_position_rmse", "fisher_information", "ranging_crlb_ft"]

@@ -1,0 +1,137 @@
+"""Cramér–Rao lower bounds for RSSI localization.
+
+Under the log-distance model, one AP's mean observation at client
+position **x** is ``μ_i(x) = P₀ − 10·n·log₁₀‖x − a_i‖`` with Gaussian
+perturbation of variance σ².  The Fisher information a position
+estimator can extract is
+
+.. math::
+
+    J(x) = \\frac{K}{σ²} \\sum_i g_i g_i^T,\\qquad
+    g_i = \\left(\\frac{10 n}{\\ln 10}\\right) \\frac{x − a_i}{‖x − a_i‖²}
+
+for ``K`` independent samples per AP, and any unbiased estimator's
+position RMSE obeys ``RMSE ≥ √(tr J⁻¹)``.
+
+The physically interesting part is **what counts as σ**:
+
+* For a *ranging* estimator (the §5.2 geometric approach), the frozen
+  shadowing is unmodelled noise: ``σ² = σ_shadow² + σ_temporal²/K_eff``.
+* A *fingerprinting* estimator spends Phase 1 learning the shadowing
+  field, converting it from noise into signal — its effective σ is the
+  temporal term alone, a much smaller number with a much tighter bound.
+
+The EXT-CRLB bench plots both bounds against every measured algorithm:
+ranging methods are held above the shadowing-inclusive bound, while
+fingerprinting methods *cross below it* — quantitative proof that the
+two families are not playing the same estimation game, which is the
+cleanest explanation of the paper's own §5 result pair.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.geometry import Point
+
+_LN10 = math.log(10.0)
+
+
+def ranging_crlb_ft(
+    distance_ft: Union[float, np.ndarray],
+    sigma_db: float,
+    exponent: float,
+    n_samples: int = 1,
+) -> np.ndarray:
+    """CRLB on a *single-AP distance* estimate (the ranging subproblem).
+
+    ``std(d̂) ≥ (ln10/(10n)) · (σ/√K) · d`` — the error is a fixed
+    fraction of the distance, which is why RSSI ranging collapses at
+    warehouse scale (bench GEN-SITES).
+    """
+    if sigma_db <= 0 or exponent <= 0:
+        raise ValueError("sigma and exponent must be positive")
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    d = np.asarray(distance_ft, dtype=float)
+    return (_LN10 / (10.0 * exponent)) * (sigma_db / math.sqrt(n_samples)) * d
+
+
+def fisher_information(
+    position,
+    ap_positions: Sequence[Point],
+    sigma_db: float,
+    exponent: float,
+    n_samples: int = 1,
+) -> np.ndarray:
+    """The 2×2 position Fisher information matrix at ``position``."""
+    if sigma_db <= 0 or exponent <= 0:
+        raise ValueError("sigma and exponent must be positive")
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    if len(ap_positions) < 1:
+        raise ValueError("need at least one AP")
+    x = np.asarray(tuple(position), dtype=float)
+    scale = 10.0 * exponent / _LN10
+    J = np.zeros((2, 2))
+    for ap in ap_positions:
+        diff = x - np.array([ap.x, ap.y])
+        d2 = float(diff @ diff)
+        if d2 < 1e-12:
+            continue  # standing on the AP: that AP's gradient is undefined
+        g = scale * diff / d2
+        J += np.outer(g, g)
+    return (n_samples / sigma_db**2) * J
+
+
+def crlb_position_rmse(
+    position,
+    ap_positions: Sequence[Point],
+    sigma_db: float,
+    exponent: float,
+    n_samples: int = 1,
+) -> float:
+    """Lower bound on position RMSE (ft) for an unbiased estimator.
+
+    ``√(tr J⁻¹)``; returns ``inf`` when the geometry is degenerate
+    (fewer than two non-collinear gradient directions).
+    """
+    J = fisher_information(position, ap_positions, sigma_db, exponent, n_samples)
+    if np.linalg.matrix_rank(J) < 2:
+        return float("inf")
+    return float(np.sqrt(np.trace(np.linalg.inv(J))))
+
+
+def crlb_field(
+    positions: np.ndarray,
+    ap_positions: Sequence[Point],
+    sigma_db: float,
+    exponent: float,
+    n_samples: int = 1,
+) -> np.ndarray:
+    """Vector of per-position CRLB RMSEs (ft) over an (n, 2) array."""
+    pos = np.atleast_2d(np.asarray(positions, dtype=float))
+    return np.array(
+        [
+            crlb_position_rmse(Point(p[0], p[1]), ap_positions, sigma_db, exponent, n_samples)
+            for p in pos
+        ]
+    )
+
+
+def effective_samples(n_sweeps: int, interval_s: float, timescale_s: float) -> float:
+    """Independent-sample equivalent of an AR(1)-correlated average.
+
+    ``K_eff = K·(1−ρ)/(1+ρ)`` with ``ρ = exp(−Δt/τ)`` — the factor by
+    which dwell averaging actually shrinks the temporal variance (far
+    less than 1/K for slow fading).
+    """
+    if n_sweeps < 1:
+        raise ValueError(f"n_sweeps must be >= 1, got {n_sweeps}")
+    if interval_s <= 0 or timescale_s <= 0:
+        raise ValueError("interval and timescale must be positive")
+    rho = math.exp(-interval_s / timescale_s)
+    return max(1.0, n_sweeps * (1.0 - rho) / (1.0 + rho))

@@ -1,0 +1,411 @@
+"""Command-line entry points for the toolkit's utility programs.
+
+The paper's components are "invoked in a single-line Dos command
+window"; these are the equivalents (installed as console scripts):
+
+``floorplan-processor``
+    Run Processor commands — either a script file of commands (one per
+    line; see :mod:`repro.core.processor` for the command set) or
+    inline ``-c`` commands.
+
+``floorplan-compositor``
+    §4.2 verbatim: "creates images from a floor plan and marks the
+    image with locations out of user-given coordinate values.  The
+    coordinate values are given in the Dos command".
+
+``training-db-generator``
+    §4.3 verbatim: wi-scan collection (directory or zip) + location map
+    → compressed training database.
+
+``locate``
+    Phase 2 end-to-end: training database (+ optional annotated plan
+    for the geometric algorithm) + an observation (wi-scan file) →
+    estimated coordinates and nearest named location.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+
+def _fail(message: str) -> "NoReturn":  # noqa: F821 - py3.9 compat
+    print(f"error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+# ----------------------------------------------------------------------
+# floorplan-processor
+# ----------------------------------------------------------------------
+def processor_main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.core.processor import FloorPlanProcessor, ProcessorError
+
+    parser = argparse.ArgumentParser(
+        prog="floorplan-processor",
+        description="Floor Plan Processor (paper §4.1), scriptable headless edition.",
+    )
+    parser.add_argument("script", nargs="?", help="file of processor commands, one per line")
+    parser.add_argument(
+        "-c",
+        "--command",
+        action="append",
+        default=[],
+        metavar="CMD",
+        help="inline command (repeatable), e.g. -c 'load plan.gif' -c 'set-origin 40 360'",
+    )
+    args = parser.parse_args(argv)
+
+    lines: List[str] = []
+    if args.script:
+        path = Path(args.script)
+        if not path.is_file():
+            _fail(f"script file not found: {path}")
+        lines.extend(path.read_text(encoding="utf-8").splitlines())
+    lines.extend(args.command)
+    if not lines:
+        parser.print_help()
+        return 1
+
+    proc = FloorPlanProcessor()
+    try:
+        for out in proc.run_script(lines):
+            print(out)
+    except ProcessorError as exc:
+        _fail(str(exc))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# floorplan-compositor
+# ----------------------------------------------------------------------
+def compositor_main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.core.compositor import FloorPlanCompositor
+    from repro.core.floorplan import FloorPlan, FloorPlanError
+    from repro.imaging.gif import write_gif
+
+    parser = argparse.ArgumentParser(
+        prog="floorplan-compositor",
+        description=(
+            "Floor Plan Compositor (paper §4.2): mark coordinate values "
+            "(floor feet) onto an annotated floor plan."
+        ),
+    )
+    parser.add_argument("plan", help="annotated floor-plan GIF (from the Processor)")
+    parser.add_argument("output", help="output GIF path")
+    parser.add_argument(
+        "coordinates",
+        nargs="*",
+        type=float,
+        metavar="XY",
+        help="flat x y pairs in feet, e.g. 12.5 30 45 10",
+    )
+    parser.add_argument("--style", default="cross", help="mark style (cross/x/circle/dot/diamond)")
+    parser.add_argument(
+        "--pairs",
+        action="store_true",
+        help="treat coordinates as (true_x true_y est_x est_y) quadruples "
+        "and draw true/estimate pairs with error lines",
+    )
+    # intermixed parsing lets flags appear before the coordinate list
+    # without argparse greedily starving the nargs='*' positional.
+    args = parser.parse_intermixed_args(list(argv) if argv is not None else None)
+
+    try:
+        plan = FloorPlan.load(args.plan)
+        compositor = FloorPlanCompositor(plan)
+    except (FloorPlanError, OSError, ValueError) as exc:
+        _fail(str(exc))
+
+    coords = args.coordinates
+    if args.pairs:
+        if len(coords) % 4 != 0:
+            _fail(f"--pairs needs quadruples of numbers, got {len(coords)} values")
+        from repro.core.compositor import EstimatePair
+        from repro.core.geometry import Point
+
+        pairs = [
+            EstimatePair(Point(coords[i], coords[i + 1]), Point(coords[i + 2], coords[i + 3]))
+            for i in range(0, len(coords), 4)
+        ]
+        image = compositor.render(pairs=pairs)
+    else:
+        if len(coords) % 2 != 0:
+            _fail(f"coordinates must come in x y pairs, got {len(coords)} values")
+        xy = [(coords[i], coords[i + 1]) for i in range(0, len(coords), 2)]
+        image = compositor.render_coordinates(xy, style=args.style)
+    write_gif(args.output, image)
+    print(f"wrote {args.output} ({image.width}x{image.height})")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# training-db-generator
+# ----------------------------------------------------------------------
+def generator_main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.core.trainingdb import TrainingDBError, generate_training_db
+
+    parser = argparse.ArgumentParser(
+        prog="training-db-generator",
+        description=(
+            "Training Database Generator (paper §4.3): wi-scan collection "
+            "(directory or zip) + location map -> compressed .tdb database."
+        ),
+    )
+    parser.add_argument("collection", help="directory or zip of *.wi-scan files")
+    parser.add_argument("location_map", help="location map text file (<name> <x> <y>)")
+    parser.add_argument("output", help="output .tdb path")
+    parser.add_argument(
+        "--lenient",
+        action="store_true",
+        help="allow sessions missing from the map to use their wi-scan position header",
+    )
+    args = parser.parse_args(argv)
+    try:
+        db = generate_training_db(
+            args.collection, args.location_map, output=args.output, strict=not args.lenient
+        )
+    except (TrainingDBError, OSError, ValueError) as exc:
+        _fail(str(exc))
+    size = Path(args.output).stat().st_size
+    print(
+        f"wrote {args.output}: {len(db)} locations, {len(db.bssids)} APs, "
+        f"{db.total_samples()} sweeps, {size} bytes"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# locate
+# ----------------------------------------------------------------------
+def locate_main(argv: Optional[Sequence[str]] = None) -> int:
+    import numpy as np
+
+    from repro.algorithms.base import Observation, available_algorithms, make_localizer
+    from repro.core.floorplan import FloorPlan
+    from repro.core.system import ap_positions_by_bssid
+    from repro.core.trainingdb import TrainingDatabase
+    from repro.wiscan.format import parse_wiscan
+
+    parser = argparse.ArgumentParser(
+        prog="locate",
+        description="Phase 2: resolve a wi-scan observation against a training database.",
+    )
+    parser.add_argument("database", help=".tdb training database")
+    parser.add_argument("observation", help="wi-scan file of the observation window")
+    parser.add_argument(
+        "--algorithm",
+        default="probabilistic",
+        help=f"one of: {', '.join(available_algorithms())}",
+    )
+    parser.add_argument(
+        "--plan",
+        help="annotated floor-plan GIF (needed for geometric/multilateration AP positions)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        db = TrainingDatabase.load(args.database)
+        session = parse_wiscan(
+            Path(args.observation).read_text(encoding="utf-8"), source=args.observation
+        )
+    except (ValueError, OSError) as exc:
+        _fail(str(exc))
+
+    kwargs = {}
+    if args.algorithm in ("geometric", "multilateration"):
+        if not args.plan:
+            _fail(f"algorithm {args.algorithm!r} needs --plan for AP positions")
+        plan = FloorPlan.load(args.plan)
+        kwargs["ap_positions"] = ap_positions_by_bssid(plan, db)
+    try:
+        localizer = make_localizer(args.algorithm, **kwargs).fit(db)
+    except (KeyError, ValueError) as exc:
+        _fail(str(exc))
+
+    observation = Observation(session.rssi_matrix(db.bssids), bssids=db.bssids)
+    estimate = localizer.locate(observation)
+    if not estimate.valid or estimate.position is None:
+        reason = estimate.details.get("reason", "insufficient data")
+        print(f"no valid estimate ({reason})")
+        return 1
+    print(f"estimated position: ({estimate.position.x:.2f}, {estimate.position.y:.2f}) ft")
+    if estimate.location_name:
+        print(f"estimated location: {estimate.location_name}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# coverage-map
+# ----------------------------------------------------------------------
+def coverage_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Render a survey-derived signal heatmap over the annotated plan.
+
+    Works from real artifacts only — the annotated floor plan and the
+    training database — interpolating the surveyed RSSI into a
+    continuous field (no simulator involved), so it is usable on data
+    collected with actual hardware.
+    """
+    import numpy as np
+
+    from repro.algorithms.tracking.particle import RSSIField
+    from repro.core.floorplan import FloorPlan, FloorPlanError
+    from repro.core.heatmap import render_heatmap
+    from repro.core.trainingdb import TrainingDatabase
+    from repro.imaging.gif import write_gif
+
+    parser = argparse.ArgumentParser(
+        prog="coverage-map",
+        description="Interpolated RSSI heatmap of one AP (or the strongest-AP index) "
+        "from a training database, rendered over the annotated floor plan.",
+    )
+    parser.add_argument("plan", help="annotated floor-plan GIF (Processor output)")
+    parser.add_argument("database", help=".tdb training database")
+    parser.add_argument("output", help="output GIF path")
+    parser.add_argument(
+        "--ap",
+        default="0",
+        help="AP to map: a BSSID or a 0-based column index (default 0); "
+        "'strongest' maps which AP wins per cell",
+    )
+    parser.add_argument("--resolution", type=float, default=2.0, help="grid pitch in feet")
+    parser.add_argument("--alpha", type=float, default=0.55, help="overlay opacity")
+    args = parser.parse_args(argv)
+
+    try:
+        plan = FloorPlan.load(args.plan)
+        db = TrainingDatabase.load(args.database)
+    except (FloorPlanError, ValueError, OSError) as exc:
+        _fail(str(exc))
+    if args.resolution <= 0:
+        _fail(f"resolution must be positive, got {args.resolution}")
+
+    positions = db.positions()
+    x0, y0 = positions.min(axis=0)
+    x1, y1 = positions.max(axis=0)
+    xs = np.arange(x0, x1 + args.resolution / 2, args.resolution)
+    ys = np.arange(y0, y1 + args.resolution / 2, args.resolution)
+    gx, gy = np.meshgrid(xs, ys)
+    field = RSSIField(db)
+    expected = field.expected_rssi(np.column_stack([gx.ravel(), gy.ravel()]))
+    expected = expected.reshape(ys.size, xs.size, len(db.bssids))
+
+    if args.ap == "strongest":
+        values = expected.argmax(axis=2).astype(float)
+        title = "STRONGEST AP INDEX"
+    else:
+        if args.ap in db.bssids:
+            index = db.bssids.index(args.ap)
+        else:
+            try:
+                index = int(args.ap)
+            except ValueError:
+                _fail(f"--ap must be a BSSID, column index, or 'strongest'; got {args.ap!r}")
+            if not 0 <= index < len(db.bssids):
+                _fail(f"AP index {index} out of range (database has {len(db.bssids)} APs)")
+        values = expected[:, :, index]
+        title = f"AP {db.bssids[index].upper()} MEAN RSSI (DBM)"
+
+    try:
+        image = render_heatmap(plan, xs, ys, values, alpha=args.alpha, title=title)
+    except (FloorPlanError, ValueError) as exc:
+        _fail(str(exc))
+    write_gif(args.output, image)
+    print(f"wrote {args.output} ({image.width}x{image.height}, {values.size} cells)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# simulate-survey
+# ----------------------------------------------------------------------
+def simulate_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Generate a complete synthetic site dataset in one command.
+
+    Produces everything the other tools consume — annotated floor plan,
+    wi-scan survey (directory + zip), location map, compiled ``.tdb``
+    and a set of Phase-2 observation files with ground truth — so the
+    whole toolkit can be exercised without any hardware, and the §5
+    dataset can be regenerated bit-for-bit from a seed.
+    """
+    from pathlib import Path as _Path
+
+    from repro.core.locationmap import LocationMap
+    from repro.core.trainingdb import generate_training_db
+    from repro.experiments.house import ExperimentHouse, HouseConfig
+    from repro.wiscan.capture import CaptureSession, SurveyPoint
+    from repro.wiscan.format import render_wiscan
+
+    parser = argparse.ArgumentParser(
+        prog="simulate-survey",
+        description="Generate a synthetic site dataset (plan, wi-scan survey, "
+        "location map, .tdb, test observations) from the calibrated simulator.",
+    )
+    parser.add_argument("output_dir", help="directory to populate")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument("--width", type=float, default=50.0, help="site width (ft)")
+    parser.add_argument("--height", type=float, default=40.0, help="site height (ft)")
+    parser.add_argument("--grid-step", type=float, default=10.0, help="training grid pitch (ft)")
+    parser.add_argument("--aps", type=int, default=4, help="access-point count (3-13)")
+    parser.add_argument("--dwell", type=float, default=90.0, help="survey dwell per point (s)")
+    parser.add_argument("--tests", type=int, default=13, help="Phase-2 test observations")
+    parser.add_argument("--zip", action="store_true", help="also pack the survey as a zip")
+    args = parser.parse_args(argv)
+
+    try:
+        config = HouseConfig(
+            width_ft=args.width,
+            height_ft=args.height,
+            grid_step_ft=args.grid_step,
+            n_aps=args.aps,
+            dwell_s=args.dwell,
+            n_test_points=args.tests,
+            site_seed=args.seed,
+        )
+    except ValueError as exc:
+        _fail(str(exc))
+    house = ExperimentHouse(config)
+    out = _Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    plan_path = out / "plan.gif"
+    house.floor_plan().save(plan_path)
+
+    survey = house.survey(rng=args.seed)
+    survey_dir = out / "survey"
+    survey.save_directory(survey_dir)
+    if args.zip:
+        survey.save_zip(out / "survey.zip")
+
+    map_path = out / "locations.txt"
+    house.location_map().save(map_path)
+
+    db_path = out / "training.tdb"
+    db = generate_training_db(survey, house.location_map(), output=db_path)
+
+    obs_dir = out / "observations"
+    obs_dir.mkdir(exist_ok=True)
+    capture = CaptureSession(house.scanner, dwell_s=min(args.dwell, 30.0))
+    truth_lines = ["# ground truth: <file>\t<x_ft>\t<y_ft>"]
+    for i, p in enumerate(house.test_points(seed=args.seed + 13)):
+        session = capture.capture_point(
+            SurveyPoint(f"test-{i + 1}", p), rng=args.seed * 1000 + i
+        )
+        fname = f"test-{i + 1}.wi-scan"
+        (obs_dir / fname).write_text(render_wiscan(session), encoding="utf-8")
+        truth_lines.append(f"observations/{fname}\t{p.x:.2f}\t{p.y:.2f}")
+    (out / "ground_truth.txt").write_text("\n".join(truth_lines) + "\n", encoding="utf-8")
+
+    print(f"wrote {out}/:")
+    print(f"  plan.gif            annotated floor plan ({house.config.n_aps} APs)")
+    print(f"  survey/             {len(survey)} wi-scan files ({db.total_samples()} sweeps)")
+    if args.zip:
+        print("  survey.zip          same survey, zipped")
+    print(f"  locations.txt       {len(house.location_map())} named locations")
+    print(f"  training.tdb        {db_path.stat().st_size} bytes")
+    print(f"  observations/       {args.tests} Phase-2 wi-scan files + ground_truth.txt")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual smoke entry
+    raise SystemExit(processor_main())

@@ -1,0 +1,44 @@
+"""The location toolkit: the paper's primary contribution.
+
+Three §4 utility programs — :class:`~repro.core.processor.FloorPlanProcessor`,
+:class:`~repro.core.compositor.FloorPlanCompositor`,
+:func:`~repro.core.trainingdb.generate_training_db` — plus the document
+models they share (:class:`~repro.core.floorplan.FloorPlan`,
+:class:`~repro.core.locationmap.LocationMap`,
+:class:`~repro.core.trainingdb.TrainingDatabase`) and the assembled
+two-phase system (:class:`~repro.core.system.LocalizationSystem`).
+"""
+
+from repro.core.geometry import Circle, Point
+from repro.core.floorplan import FloorPlan, FloorPlanError, PixelPoint
+from repro.core.locationmap import LocationMap, LocationMapError
+from repro.core.processor import FloorPlanProcessor, ProcessorError
+from repro.core.compositor import EstimatePair, FloorPlanCompositor, Mark
+from repro.core.trainingdb import (
+    LocationRecord,
+    TrainingDatabase,
+    TrainingDBError,
+    generate_training_db,
+)
+from repro.core.system import LocalizationSystem, ResolvedLocation
+
+__all__ = [
+    "Circle",
+    "Point",
+    "FloorPlan",
+    "FloorPlanError",
+    "PixelPoint",
+    "LocationMap",
+    "LocationMapError",
+    "FloorPlanProcessor",
+    "ProcessorError",
+    "EstimatePair",
+    "FloorPlanCompositor",
+    "Mark",
+    "LocationRecord",
+    "TrainingDatabase",
+    "TrainingDBError",
+    "generate_training_db",
+    "LocalizationSystem",
+    "ResolvedLocation",
+]

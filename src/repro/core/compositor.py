@@ -1,0 +1,221 @@
+"""The Floor Plan Compositor (§4.2).
+
+"The Floor Plan Compositor creates images from a floor plan and marks
+the image with locations out of user-given coordinate values. … We can
+take a set of testing locations in a room, run the system, and use the
+Floor Plan Compositor to display all the testing locations and their
+corresponding estimated locations derived by the location determination
+algorithm."
+
+:class:`FloorPlanCompositor` renders an annotated
+:class:`~repro.core.floorplan.FloorPlan` with overlay layers:
+
+* the plan's own annotations (APs as labelled triangles, named
+  locations as dots, the origin as a circled cross),
+* free marks (:class:`Mark`) given in **floor feet**,
+* true/estimated pairs (:class:`EstimatePair`) — the paper's test-view:
+  a ``+`` at the truth, an ``×`` at the estimate, a line between them,
+* a legend and a 10-ft scale bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.floorplan import FloorPlan, FloorPlanError
+from repro.core.geometry import Point
+from repro.imaging import font
+from repro.imaging.raster import (
+    BLACK,
+    BLUE,
+    Color,
+    DARK_BLUE,
+    GRAY,
+    GREEN,
+    ORANGE,
+    PURPLE,
+    RED,
+    Raster,
+    WHITE,
+)
+
+MARK_STYLES = ("cross", "x", "circle", "dot", "diamond")
+
+
+@dataclass(frozen=True)
+class Mark:
+    """One free overlay mark at a floor position (feet)."""
+
+    position: Point
+    style: str = "cross"
+    color: Color = RED
+    label: str = ""
+    size_px: int = 6
+
+    def __post_init__(self):
+        if self.style not in MARK_STYLES:
+            raise ValueError(f"unknown mark style {self.style!r}; use one of {MARK_STYLES}")
+        if self.size_px < 1:
+            raise ValueError(f"mark size must be >= 1 px, got {self.size_px}")
+
+
+@dataclass(frozen=True)
+class EstimatePair:
+    """A true location and the algorithm's estimate for it."""
+
+    true_position: Point
+    estimated_position: Point
+    label: str = ""
+
+    @property
+    def error_ft(self) -> float:
+        return self.true_position.distance_to(self.estimated_position)
+
+
+class FloorPlanCompositor:
+    """Renders overlay views of one annotated floor plan."""
+
+    TRUE_COLOR = GREEN
+    ESTIMATE_COLOR = RED
+    AP_COLOR = DARK_BLUE
+    LOCATION_COLOR = PURPLE
+    ORIGIN_COLOR = ORANGE
+
+    def __init__(self, plan: FloorPlan):
+        if not plan.has_scale or not plan.has_origin:
+            raise FloorPlanError(
+                "compositor needs a plan with scale and origin set "
+                "(run the Processor's set-scale / set-origin first)"
+            )
+        self.plan = plan
+
+    # ------------------------------------------------------------------
+    def render(
+        self,
+        marks: Sequence[Mark] = (),
+        pairs: Sequence[EstimatePair] = (),
+        show_access_points: bool = True,
+        show_locations: bool = True,
+        show_origin: bool = True,
+        legend: bool = True,
+        scale_bar: bool = True,
+    ) -> Raster:
+        """Produce the composited image."""
+        canvas = self.plan.image.copy()
+        if show_access_points:
+            self._draw_access_points(canvas)
+        if show_locations:
+            self._draw_named_locations(canvas)
+        if show_origin and self.plan.origin is not None:
+            self._draw_origin(canvas)
+        for pair in pairs:
+            self._draw_pair(canvas, pair)
+        for mark in marks:
+            self._draw_mark(canvas, mark)
+        if scale_bar:
+            self._draw_scale_bar(canvas)
+        if legend and (marks or pairs):
+            self._draw_legend(canvas, bool(pairs), {m.style for m in marks})
+        return canvas
+
+    def render_coordinates(
+        self, coordinates: Sequence[Tuple[float, float]], style: str = "cross", color: Color = RED
+    ) -> Raster:
+        """The §4.2 CLI contract: mark plain (x, y) feet coordinates."""
+        marks = [Mark(Point(x, y), style=style, color=color) for x, y in coordinates]
+        return self.render(marks=marks)
+
+    # ------------------------------------------------------------------
+    def _pixel(self, p: Point) -> Tuple[int, int]:
+        px = self.plan.to_pixel(p)
+        return (int(round(px.px)), int(round(px.py)))
+
+    def _draw_mark(self, canvas: Raster, mark: Mark) -> None:
+        x, y = self._pixel(mark.position)
+        s = mark.size_px
+        if mark.style == "cross":
+            canvas.draw_cross(x, y, s, mark.color, thickness=2)
+        elif mark.style == "x":
+            canvas.draw_x(x, y, s, mark.color, thickness=2)
+        elif mark.style == "circle":
+            canvas.draw_circle(x, y, s, mark.color, thickness=2)
+        elif mark.style == "dot":
+            canvas.fill_circle(x, y, max(2, s // 2), mark.color)
+        elif mark.style == "diamond":
+            canvas.draw_diamond(x, y, s, mark.color, thickness=2)
+        if mark.label:
+            font.draw_text(canvas, x + s + 3, y - 3, mark.label, mark.color, background=WHITE)
+
+    def _draw_pair(self, canvas: Raster, pair: EstimatePair) -> None:
+        tx, ty = self._pixel(pair.true_position)
+        ex, ey = self._pixel(pair.estimated_position)
+        canvas.draw_line(tx, ty, ex, ey, GRAY, 1)
+        canvas.draw_cross(tx, ty, 6, self.TRUE_COLOR, thickness=2)
+        canvas.draw_x(ex, ey, 6, self.ESTIMATE_COLOR, thickness=2)
+        if pair.label:
+            font.draw_text(canvas, tx + 9, ty - 3, pair.label, self.TRUE_COLOR, background=WHITE)
+
+    def _draw_access_points(self, canvas: Raster) -> None:
+        for name, pp in self.plan.access_points.items():
+            x, y = int(round(pp.px)), int(round(pp.py))
+            # Filled triangle marker: three stacked shrinking lines.
+            for dy in range(7):
+                half = dy
+                canvas.draw_line(x - half, y - 6 + dy, x + half, y - 6 + dy, self.AP_COLOR)
+            font.draw_text(canvas, x + 6, y - 10, f"AP {name}", self.AP_COLOR, background=WHITE)
+
+    def _draw_named_locations(self, canvas: Raster) -> None:
+        for name, pp in self.plan.locations.items():
+            x, y = int(round(pp.px)), int(round(pp.py))
+            canvas.fill_circle(x, y, 3, self.LOCATION_COLOR)
+            font.draw_text(canvas, x + 6, y - 3, name, self.LOCATION_COLOR, background=WHITE)
+
+    def _draw_origin(self, canvas: Raster) -> None:
+        o = self.plan.origin
+        x, y = int(round(o.px)), int(round(o.py))
+        canvas.draw_circle(x, y, 6, self.ORIGIN_COLOR, thickness=2)
+        canvas.draw_cross(x, y, 8, self.ORIGIN_COLOR)
+        font.draw_text(canvas, x + 10, y + 4, "(0,0)", self.ORIGIN_COLOR, background=WHITE)
+
+    def _draw_scale_bar(self, canvas: Raster) -> None:
+        bar_ft = 10.0
+        bar_px = int(round(bar_ft / self.plan.feet_per_pixel))
+        if bar_px < 8 or bar_px > canvas.width - 20:
+            return
+        x0, y0 = 10, canvas.height - 12
+        canvas.draw_line(x0, y0, x0 + bar_px, y0, BLACK, 2)
+        canvas.draw_line(x0, y0 - 3, x0, y0 + 3, BLACK)
+        canvas.draw_line(x0 + bar_px, y0 - 3, x0 + bar_px, y0 + 3, BLACK)
+        font.draw_text(canvas, x0 + 4, y0 - 11, f"{bar_ft:g} FT", BLACK, background=WHITE)
+
+    def _draw_legend(self, canvas: Raster, has_pairs: bool, mark_styles: set) -> None:
+        entries: List[Tuple[str, Color, str]] = []
+        if has_pairs:
+            entries.append(("cross", self.TRUE_COLOR, "TRUE"))
+            entries.append(("x", self.ESTIMATE_COLOR, "ESTIMATE"))
+        for style in sorted(mark_styles):
+            entries.append((style, RED, style.upper()))
+        if not entries:
+            return
+        row_h = 14
+        w = 96
+        h = row_h * len(entries) + 8
+        x0 = canvas.width - w - 6
+        y0 = 6
+        canvas.blend_rect(x0, y0, x0 + w, y0 + h, WHITE, 0.85)
+        canvas.draw_rect(x0, y0, x0 + w, y0 + h, GRAY)
+        for i, (style, color, text) in enumerate(entries):
+            cy = y0 + 10 + i * row_h
+            cx = x0 + 10
+            if style == "cross":
+                canvas.draw_cross(cx, cy, 4, color, thickness=2)
+            elif style == "x":
+                canvas.draw_x(cx, cy, 4, color, thickness=2)
+            elif style == "circle":
+                canvas.draw_circle(cx, cy, 4, color)
+            elif style == "dot":
+                canvas.fill_circle(cx, cy, 2, color)
+            elif style == "diamond":
+                canvas.draw_diamond(cx, cy, 4, color)
+            font.draw_text(canvas, cx + 10, cy - 3, text, BLACK)

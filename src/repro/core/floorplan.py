@@ -1,0 +1,275 @@
+"""The annotated floor plan: the Processor's document model.
+
+A :class:`FloorPlan` is what the Floor Plan Processor edits and saves: a
+GIF image of the physical space plus the five annotation layers §4.1
+describes — access points, scale, origin, named locations — and the
+coordinate transform they induce between **image pixels** (x right, y
+down) and **floor feet** (x right, y up, origin wherever the user
+clicked).
+
+Persistence keeps the paper's "the floor plan … can be saved" promise
+with a single self-contained file: annotations are serialized into a
+GIF89a *comment extension* block, so a saved plan is simultaneously a
+perfectly ordinary GIF (any viewer shows the image) and a lossless
+round-trip of the annotation state (this toolkit reads the comment
+back).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.geometry import Point
+from repro.core.locationmap import LocationMap
+from repro.imaging.gif import decode_gif, encode_gif
+from repro.imaging.raster import Raster
+
+PathLike = Union[str, os.PathLike]
+
+ANNOTATION_MAGIC = "repro-floorplan v1"
+
+
+class FloorPlanError(ValueError):
+    """Raised for invalid floor-plan state or files."""
+
+
+@dataclass(frozen=True)
+class PixelPoint:
+    """A point in image coordinates (pixels, y down)."""
+
+    px: float
+    py: float
+
+    def __iter__(self):
+        yield self.px
+        yield self.py
+
+
+class FloorPlan:
+    """A floor-plan image plus its annotation layers.
+
+    Parameters
+    ----------
+    image:
+        The plan raster (decoded from the GIF the user loaded).
+    source:
+        Provenance string (path of the loaded GIF), informational.
+    """
+
+    def __init__(self, image: Raster, source: str = ""):
+        self.image = image
+        self.source = source
+        self.access_points: Dict[str, PixelPoint] = {}
+        self.locations: Dict[str, PixelPoint] = {}
+        self.origin: Optional[PixelPoint] = None
+        self._feet_per_pixel: Optional[float] = None
+        self._scale_reference: Optional[Tuple[PixelPoint, PixelPoint, float]] = None
+
+    # ------------------------------------------------------------------
+    # scale / origin
+    # ------------------------------------------------------------------
+    def set_scale(self, p1: PixelPoint, p2: PixelPoint, real_distance_ft: float) -> float:
+        """§4.1 op 3: two clicked points plus their real distance.
+
+        Returns the derived feet-per-pixel factor.
+        """
+        if real_distance_ft <= 0:
+            raise FloorPlanError(f"real distance must be positive, got {real_distance_ft}")
+        pixel_d = ((p1.px - p2.px) ** 2 + (p1.py - p2.py) ** 2) ** 0.5
+        if pixel_d < 1e-9:
+            raise FloorPlanError("scale reference points must be distinct")
+        self._feet_per_pixel = real_distance_ft / pixel_d
+        self._scale_reference = (p1, p2, float(real_distance_ft))
+        return self._feet_per_pixel
+
+    def set_scale_direct(self, feet_per_pixel: float) -> None:
+        """Set the scale factor directly (loading, synthetic plans)."""
+        if feet_per_pixel <= 0:
+            raise FloorPlanError(f"feet_per_pixel must be positive, got {feet_per_pixel}")
+        self._feet_per_pixel = float(feet_per_pixel)
+        self._scale_reference = None
+
+    @property
+    def feet_per_pixel(self) -> float:
+        if self._feet_per_pixel is None:
+            raise FloorPlanError("scale not set — use set_scale() first (§4.1 op 3)")
+        return self._feet_per_pixel
+
+    @property
+    def has_scale(self) -> bool:
+        return self._feet_per_pixel is not None
+
+    def set_origin(self, p: PixelPoint) -> None:
+        """§4.1 op 4: the clicked pixel becomes floor coordinate (0, 0)."""
+        if not (0 <= p.px < self.image.width and 0 <= p.py < self.image.height):
+            raise FloorPlanError(
+                f"origin ({p.px}, {p.py}) outside the "
+                f"{self.image.width}x{self.image.height} image"
+            )
+        self.origin = p
+
+    @property
+    def has_origin(self) -> bool:
+        return self.origin is not None
+
+    # ------------------------------------------------------------------
+    # annotations
+    # ------------------------------------------------------------------
+    def add_access_point(self, name: str, p: PixelPoint) -> None:
+        """§4.1 op 2: record an AP's position on the plan."""
+        if not name or not name.strip():
+            raise FloorPlanError("access point name must be non-empty")
+        self.access_points[name.strip()] = p
+
+    def add_location(self, name: str, p: PixelPoint) -> None:
+        """§4.1 op 5: attach an application-meaningful name to a spot."""
+        if not name or not name.strip():
+            raise FloorPlanError("location name must be non-empty")
+        self.locations[name.strip()] = p
+
+    # ------------------------------------------------------------------
+    # coordinate transform
+    # ------------------------------------------------------------------
+    def _require_frame(self) -> Tuple[PixelPoint, float]:
+        if self.origin is None:
+            raise FloorPlanError("origin not set — use set_origin() first (§4.1 op 4)")
+        return self.origin, self.feet_per_pixel
+
+    def to_floor(self, p: PixelPoint) -> Point:
+        """Image pixels → floor feet (y flips: image y grows downward)."""
+        origin, fpp = self._require_frame()
+        return Point((p.px - origin.px) * fpp, (origin.py - p.py) * fpp)
+
+    def to_pixel(self, p: Point) -> PixelPoint:
+        """Floor feet → image pixels."""
+        origin, fpp = self._require_frame()
+        return PixelPoint(origin.px + p.x / fpp, origin.py - p.y / fpp)
+
+    def ap_floor_positions(self) -> Dict[str, Point]:
+        """Access points in floor coordinates."""
+        return {name: self.to_floor(p) for name, p in self.access_points.items()}
+
+    def location_map(self) -> LocationMap:
+        """Export named locations as a :class:`LocationMap` (floor feet).
+
+        This is the bridge from the Processor (§4.1) to the Training
+        Database Generator (§4.3): click locations once, export the map.
+        """
+        lm = LocationMap()
+        for name, pixel in self.locations.items():
+            lm.add(name, self.to_floor(pixel))
+        return lm
+
+    # ------------------------------------------------------------------
+    # persistence (GIF with an annotation comment block)
+    # ------------------------------------------------------------------
+    def _annotations_payload(self) -> str:
+        payload = {
+            "magic": ANNOTATION_MAGIC,
+            "source": self.source,
+            "feet_per_pixel": self._feet_per_pixel,
+            "scale_reference": (
+                None
+                if self._scale_reference is None
+                else {
+                    "p1": list(self._scale_reference[0]),
+                    "p2": list(self._scale_reference[1]),
+                    "distance_ft": self._scale_reference[2],
+                }
+            ),
+            "origin": None if self.origin is None else list(self.origin),
+            "access_points": {k: list(v) for k, v in self.access_points.items()},
+            "locations": {k: list(v) for k, v in self.locations.items()},
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    def save(self, path: PathLike) -> None:
+        """Write the plan as a GIF with annotations in a comment block."""
+        blob = encode_gif(self.image, comments=[self._annotations_payload()])
+        Path(path).write_bytes(blob)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "FloorPlan":
+        """Load a GIF floor plan, with annotations if present.
+
+        A plain GIF (no annotation comment) loads as a fresh, unannotated
+        plan — exactly the Processor's "load the floor plan GIF image"
+        entry state.
+        """
+        data = Path(path).read_bytes()
+        gif = decode_gif(data)
+        plan = cls(gif.composite(), source=str(path))
+        for comment in gif.comments:
+            try:
+                payload = json.loads(comment)
+            except (ValueError, TypeError):
+                continue
+            if not isinstance(payload, dict) or payload.get("magic") != ANNOTATION_MAGIC:
+                continue
+            plan._apply_payload(payload)
+            break
+        return plan
+
+    def _apply_payload(self, payload: dict) -> None:
+        """Best-effort restore: malformed fields are skipped, not fatal.
+
+        A plan whose annotation comment was hand-edited or mangled in
+        transit still loads as an image with whatever annotations
+        survive — the Processor's "load" must never refuse a viewable
+        GIF over sidecar damage.
+        """
+
+        def as_pixel(value) -> Optional[PixelPoint]:
+            try:
+                x, y = value
+                return PixelPoint(float(x), float(y))
+            except (TypeError, ValueError):
+                return None
+
+        try:
+            if payload.get("feet_per_pixel") is not None:
+                self._feet_per_pixel = float(payload["feet_per_pixel"])
+        except (TypeError, ValueError):
+            pass
+        ref = payload.get("scale_reference")
+        if isinstance(ref, dict):
+            p1, p2 = as_pixel(ref.get("p1")), as_pixel(ref.get("p2"))
+            try:
+                dist = float(ref.get("distance_ft"))
+            except (TypeError, ValueError):
+                dist = None
+            if p1 and p2 and dist is not None:
+                self._scale_reference = (p1, p2, dist)
+        origin = as_pixel(payload.get("origin")) if payload.get("origin") is not None else None
+        if origin is not None:
+            self.origin = origin
+        aps = payload.get("access_points")
+        if isinstance(aps, dict):
+            for name, xy in aps.items():
+                p = as_pixel(xy)
+                if p is not None and isinstance(name, str) and name:
+                    self.access_points[name] = p
+        locs = payload.get("locations")
+        if isinstance(locs, dict):
+            for name, xy in locs.items():
+                p = as_pixel(xy)
+                if p is not None and isinstance(name, str) and name:
+                    self.locations[name] = p
+        if isinstance(payload.get("source"), str) and payload["source"]:
+            self.source = payload["source"]
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-paragraph state description (the CLI's `info` output)."""
+        parts = [
+            f"floor plan {self.image.width}x{self.image.height}px",
+            f"scale: {self._feet_per_pixel:.4f} ft/px" if self.has_scale else "scale: UNSET",
+            f"origin: ({self.origin.px:g}, {self.origin.py:g})px" if self.origin else "origin: UNSET",
+            f"{len(self.access_points)} access point(s)",
+            f"{len(self.locations)} named location(s)",
+        ]
+        return "; ".join(parts)

@@ -1,0 +1,318 @@
+"""Planar geometry used throughout the toolkit.
+
+The paper works entirely in a two-dimensional floor coordinate system
+(feet, relative to a user-chosen origin).  This module provides the
+geometric machinery its algorithms need:
+
+* :class:`Point` — an immutable 2-D point with vector arithmetic.
+* :func:`circle_intersections` — the core of the geometric approach
+  (§5.2): the 0, 1 or 2 intersection points of two circles.
+* :func:`best_circle_intersection` — the robust variant the geometric
+  localizer actually uses: when two "distance circles" fail to meet
+  (common with noisy RSSI→distance inversion), fall back to the point on
+  the line of centers that minimizes the sum of squared radial errors.
+* :func:`median_point` / :func:`geometric_median` — the paper aggregates
+  the four pairwise intersections with a median point; we provide both a
+  componentwise median (the straightforward reading) and the true
+  geometric (Weiszfeld) median as an ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Point",
+    "Circle",
+    "distance",
+    "circle_intersections",
+    "best_circle_intersection",
+    "median_point",
+    "geometric_median",
+    "centroid",
+    "polygon_contains",
+    "segment_intersects",
+    "point_segment_distance",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable point (or vector) in floor coordinates, in feet."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def dot(self, other: "Point") -> float:
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z-component of the 3-D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def rotated(self, angle_rad: float) -> "Point":
+        c, s = math.cos(angle_rad), math.sin(angle_rad)
+        return Point(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.x, self.y], dtype=float)
+
+    @staticmethod
+    def from_array(arr: Sequence[float]) -> "Point":
+        if len(arr) != 2:
+            raise ValueError(f"expected length-2 coordinate, got {len(arr)}")
+        return Point(float(arr[0]), float(arr[1]))
+
+    def round(self, ndigits: int = 6) -> "Point":
+        return Point(round(self.x, ndigits), round(self.y, ndigits))
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A circle: center + radius.  The geometric approach builds one per AP."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self):
+        if self.radius < 0:
+            raise ValueError(f"radius must be non-negative, got {self.radius}")
+
+    def contains(self, p: Point, tol: float = 1e-9) -> bool:
+        return self.center.distance_to(p) <= self.radius + tol
+
+    def on_boundary(self, p: Point, tol: float = 1e-6) -> bool:
+        return abs(self.center.distance_to(p) - self.radius) <= tol
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points, in feet."""
+    return a.distance_to(b)
+
+
+def circle_intersections(c1: Circle, c2: Circle, tol: float = 1e-9) -> List[Point]:
+    """Intersection points of two circles.
+
+    Returns ``[]`` when the circles are separate or one strictly contains
+    the other, one point at tangency (within ``tol``), two points in the
+    generic case.  Concentric circles (even with equal radii) return
+    ``[]`` — an infinite intersection has no usable single point.
+    """
+    d = c1.center.distance_to(c2.center)
+    if d <= tol:  # concentric
+        return []
+    r1, r2 = c1.radius, c2.radius
+    if d > r1 + r2 + tol or d < abs(r1 - r2) - tol:
+        return []
+    # a = distance from c1.center to the foot of the chord on the center line
+    a = (d * d + r1 * r1 - r2 * r2) / (2.0 * d)
+    h_sq = r1 * r1 - a * a
+    ex = (c2.center - c1.center) / d  # unit vector along centers
+    foot = c1.center + ex * a
+    # Collapse to tangency only when the half-chord h is itself below the
+    # length tolerance — comparing h² against (tol·scale)² keeps the test
+    # meaningful when one radius is tiny next to the other.
+    scale = max(1.0, r1, r2, d)
+    if h_sq <= (tol * scale) ** 2:
+        return [foot]
+    h = math.sqrt(max(0.0, h_sq))
+    perp = Point(-ex.y, ex.x)
+    return [foot + perp * h, foot - perp * h]
+
+
+def best_circle_intersection(c1: Circle, c2: Circle) -> List[Point]:
+    """Intersections of two circles, with a least-error fallback.
+
+    Noisy RSSI→distance inversion routinely produces circle pairs that do
+    not intersect (too far apart, or one swallowing the other).  The paper
+    does not say how its implementation handled that; the standard remedy
+    — and the one that keeps the §5.2 pipeline total — is the point on the
+    line of centers minimizing the sum of squared radial residuals
+    ``(|t| − r1)² + (|d − t| − r2)²`` over the signed offset ``t`` from
+    ``c1`` toward ``c2``:
+
+    * separate circles (``d ≥ |r1 − r2|``): ``t* = (d + r1 − r2)/2`` —
+      the middle of the gap;
+    * ``c2`` nested in ``c1`` (``r1 > r2 + d``): ``t* = (d + r1 + r2)/2``
+      — between ``c2``'s far boundary and ``c1``'s;
+    * ``c1`` nested in ``c2`` (``r2 > r1 + d``): ``t* = (d − r1 − r2)/2``
+      — behind ``c1``, between the two near boundaries.
+
+    Returns one or two points; only returns ``[]`` for concentric centers.
+    """
+    pts = circle_intersections(c1, c2)
+    if pts:
+        return pts
+    d = c1.center.distance_to(c2.center)
+    if d <= 1e-12:
+        return []
+    ex = (c2.center - c1.center) / d
+    r1, r2 = c1.radius, c2.radius
+    if d >= abs(r1 - r2):
+        t = (d + r1 - r2) / 2.0
+    elif r1 > r2:
+        t = (d + r1 + r2) / 2.0
+    else:
+        t = (d - r1 - r2) / 2.0
+    return [c1.center + ex * t]
+
+
+def median_point(points: Sequence[Point]) -> Point:
+    """Componentwise median of a set of points (the paper's aggregator).
+
+    The §5.2 text takes "the median point P of P1..P4"; for an even count
+    the componentwise median is the midpoint of the two middle values,
+    which is the conventional reading.
+    """
+    if not points:
+        raise ValueError("median_point requires at least one point")
+    xs = np.median([p.x for p in points])
+    ys = np.median([p.y for p in points])
+    return Point(float(xs), float(ys))
+
+
+def centroid(points: Sequence[Point]) -> Point:
+    """Arithmetic mean of a set of points."""
+    if not points:
+        raise ValueError("centroid requires at least one point")
+    return Point(
+        sum(p.x for p in points) / len(points),
+        sum(p.y for p in points) / len(points),
+    )
+
+
+def geometric_median(
+    points: Sequence[Point],
+    tol: float = 1e-7,
+    max_iter: int = 200,
+) -> Point:
+    """True geometric (L1/Fermat) median via Weiszfeld iteration.
+
+    Provided as an ablation alternative to :func:`median_point`: it
+    minimizes the sum of Euclidean distances to the inputs and is more
+    robust to a single wild intersection point.
+    """
+    if not points:
+        raise ValueError("geometric_median requires at least one point")
+    pts = np.array([[p.x, p.y] for p in points], dtype=float)
+
+    def total_cost(q: np.ndarray) -> float:
+        return float(np.hypot(pts[:, 0] - q[0], pts[:, 1] - q[1]).sum())
+
+    est = pts.mean(axis=0)
+    for _ in range(max_iter):
+        diffs = pts - est
+        dists = np.hypot(diffs[:, 0], diffs[:, 1])
+        coincident = dists < 1e-12
+        if coincident.any():
+            # Weiszfeld is undefined at a data point; nudge off it (the
+            # data-point candidates below recover the exact case).
+            est = est + 1e-9
+            diffs = pts - est
+            dists = np.hypot(diffs[:, 0], diffs[:, 1])
+        w = 1.0 / dists
+        new_est = (pts * w[:, None]).sum(axis=0) / w.sum()
+        if np.hypot(*(new_est - est)) < tol:
+            est = new_est
+            break
+        est = new_est
+    # The optimum may sit exactly on an input point (where Weiszfeld
+    # cannot converge); pick the best of the iterate and every input.
+    best, best_cost = est, total_cost(est)
+    for candidate in pts:
+        c = total_cost(candidate)
+        if c < best_cost:
+            best, best_cost = candidate, c
+    return Point(float(best[0]), float(best[1]))
+
+
+def polygon_contains(vertices: Sequence[Point], p: Point) -> bool:
+    """Even-odd-rule point-in-polygon test (used for room membership)."""
+    inside = False
+    n = len(vertices)
+    if n < 3:
+        return False
+    j = n - 1
+    for i in range(n):
+        vi, vj = vertices[i], vertices[j]
+        intersects = (vi.y > p.y) != (vj.y > p.y)
+        if intersects:
+            x_cross = (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x
+            if p.x < x_cross:
+                inside = not inside
+        j = i
+    return inside
+
+
+def segment_intersects(a1: Point, a2: Point, b1: Point, b2: Point) -> bool:
+    """Do closed segments ``a1a2`` and ``b1b2`` intersect?
+
+    Used by the radio simulator to count how many walls a direct AP→client
+    ray crosses.  Handles collinear overlap as intersecting.
+    """
+
+    def orient(p: Point, q: Point, r: Point) -> float:
+        return (q - p).cross(r - p)
+
+    def on_segment(p: Point, q: Point, r: Point) -> bool:
+        return (
+            min(p.x, r.x) - 1e-12 <= q.x <= max(p.x, r.x) + 1e-12
+            and min(p.y, r.y) - 1e-12 <= q.y <= max(p.y, r.y) + 1e-12
+        )
+
+    d1 = orient(b1, b2, a1)
+    d2 = orient(b1, b2, a2)
+    d3 = orient(a1, a2, b1)
+    d4 = orient(a1, a2, b2)
+    if ((d1 > 0) != (d2 > 0)) and ((d3 > 0) != (d4 > 0)) and d1 != 0 and d2 != 0 and d3 != 0 and d4 != 0:
+        return True
+    if abs(d1) < 1e-12 and on_segment(b1, a1, b2):
+        return True
+    if abs(d2) < 1e-12 and on_segment(b1, a2, b2):
+        return True
+    if abs(d3) < 1e-12 and on_segment(a1, b1, a2):
+        return True
+    if abs(d4) < 1e-12 and on_segment(a1, b2, a2):
+        return True
+    return False
+
+
+def point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Distance from point ``p`` to the closed segment ``ab``."""
+    ab = b - a
+    denom = ab.dot(ab)
+    if denom < 1e-24:
+        return p.distance_to(a)
+    t = max(0.0, min(1.0, (p - a).dot(ab) / denom))
+    return p.distance_to(a + ab * t)

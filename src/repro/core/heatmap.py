@@ -1,0 +1,133 @@
+"""Signal-strength heatmaps over floor plans.
+
+Another §6.4 toolkit expansion: render a coverage quantity — one AP's
+RSSI field, the audible-AP count, a d′ separability field — as a
+translucent color wash over an annotated floor plan.  Pairs the
+planning package's grids with the Compositor's plan rendering so an
+installer can *see* dead zones before surveying.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.compositor import FloorPlanCompositor
+from repro.core.floorplan import FloorPlan
+from repro.imaging import font
+from repro.imaging.raster import BLACK, GRAY, Raster, WHITE
+
+#: Blue → cyan → yellow → red ramp control points (value in [0, 1]).
+_RAMP: Tuple[Tuple[float, Tuple[int, int, int]], ...] = (
+    (0.00, (38, 70, 160)),
+    (0.33, (60, 170, 190)),
+    (0.66, (235, 200, 70)),
+    (1.00, (200, 45, 40)),
+)
+
+
+def colorize(values: np.ndarray, vmin: float = None, vmax: float = None) -> np.ndarray:
+    """Map a 2-D value grid to ``(h, w, 3) uint8`` via the ramp.
+
+    NaN cells map to mid-gray.  ``vmin``/``vmax`` default to the finite
+    data range; a degenerate range renders as the ramp's low end.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"heatmap values must be 2-D, got shape {arr.shape}")
+    finite = np.isfinite(arr)
+    lo = float(np.nanmin(arr)) if vmin is None else float(vmin)
+    hi = float(np.nanmax(arr)) if vmax is None else float(vmax)
+    if not np.isfinite(lo) or not np.isfinite(hi) or hi <= lo:
+        t = np.zeros_like(arr)
+    else:
+        t = np.clip((arr - lo) / (hi - lo), 0.0, 1.0)
+    out = np.full(arr.shape + (3,), 128, dtype=np.uint8)
+    stops = np.array([s for s, _ in _RAMP])
+    colors = np.array([c for _, c in _RAMP], dtype=float)
+    tt = np.where(finite, t, 0.0)
+    idx = np.clip(np.searchsorted(stops, tt, side="right") - 1, 0, len(stops) - 2)
+    span = stops[idx + 1] - stops[idx]
+    frac = np.where(span > 0, (tt - stops[idx]) / np.where(span > 0, span, 1.0), 0.0)
+    blended = colors[idx] * (1.0 - frac[..., None]) + colors[idx + 1] * frac[..., None]
+    out[finite] = np.clip(np.rint(blended[finite]), 0, 255).astype(np.uint8)
+    return out
+
+
+def render_heatmap(
+    plan: FloorPlan,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    values: np.ndarray,
+    alpha: float = 0.55,
+    vmin: float = None,
+    vmax: float = None,
+    title: str = "",
+    show_access_points: bool = True,
+) -> Raster:
+    """Blend a gridded value field over the annotated plan.
+
+    ``xs``/``ys`` are floor-feet grid axes (as produced by
+    :func:`repro.planning.coverage.coverage_map`); ``values`` has shape
+    ``(len(ys), len(xs))``.  Grid cells are painted as filled rectangles
+    between midpoints, so any grid resolution renders without gaps.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if values.shape != (len(ys), len(xs)):
+        raise ValueError(
+            f"values shape {values.shape} does not match grid "
+            f"({len(ys)}, {len(xs)})"
+        )
+    base = FloorPlanCompositor(plan).render(
+        show_access_points=show_access_points,
+        show_locations=False,
+        show_origin=False,
+        legend=False,
+        scale_bar=False,
+    )
+    colors = colorize(values, vmin=vmin, vmax=vmax)
+
+    def midpoints(axis: np.ndarray) -> np.ndarray:
+        if axis.size == 1:
+            return np.array([axis[0] - 0.5, axis[0] + 0.5])
+        mids = (axis[:-1] + axis[1:]) / 2.0
+        first = axis[0] - (axis[1] - axis[0]) / 2.0
+        last = axis[-1] + (axis[-1] - axis[-2]) / 2.0
+        return np.concatenate([[first], mids, [last]])
+
+    x_edges, y_edges = midpoints(np.asarray(xs, float)), midpoints(np.asarray(ys, float))
+    from repro.core.geometry import Point
+
+    for i in range(len(ys)):
+        for j in range(len(xs)):
+            p0 = plan.to_pixel(Point(x_edges[j], y_edges[i + 1]))
+            p1 = plan.to_pixel(Point(x_edges[j + 1], y_edges[i]))
+            base.blend_rect(
+                int(round(p0.px)), int(round(p0.py)),
+                int(round(p1.px)), int(round(p1.py)),
+                tuple(int(v) for v in colors[i, j]),
+                alpha,
+            )
+    if title:
+        font.draw_text(base, 6, 6, title, BLACK, background=WHITE)
+    _draw_colorbar(base, values, vmin, vmax)
+    return base
+
+
+def _draw_colorbar(canvas: Raster, values: np.ndarray, vmin, vmax) -> None:
+    finite = np.isfinite(values)
+    if not finite.any():
+        return
+    lo = float(np.nanmin(values)) if vmin is None else float(vmin)
+    hi = float(np.nanmax(values)) if vmax is None else float(vmax)
+    bar_w, bar_h = 10, 80
+    x0 = canvas.width - bar_w - 8
+    y0 = canvas.height - bar_h - 24
+    ramp = colorize(np.linspace(hi, lo, bar_h)[:, None], vmin=lo, vmax=hi)
+    for i in range(bar_h):
+        canvas.fill_rect(x0, y0 + i, x0 + bar_w - 1, y0 + i, tuple(int(v) for v in ramp[i, 0]))
+    canvas.draw_rect(x0 - 1, y0 - 1, x0 + bar_w, y0 + bar_h, GRAY)
+    font.draw_text(canvas, x0 - 30, y0 - 2, f"{hi:.0f}", BLACK, background=WHITE)
+    font.draw_text(canvas, x0 - 30, y0 + bar_h - 6, f"{lo:.0f}", BLACK, background=WHITE)

@@ -1,0 +1,135 @@
+"""Location maps: the "text file of location names and coordinates".
+
+§4.3 gives the Training Database Generator two inputs: the wi-scan
+collection and "a location map (a text file of location names and
+coordinates)".  The format here is line-oriented:
+
+.. code-block:: text
+
+    # any comment
+    kitchen     35.0    12.5
+    room D22    10.0    30.0
+
+Fields are separated by **tabs or runs of 2+ spaces** so names may
+contain single spaces ("room D22", "Center of Hallway" — the paper's own
+examples).  Coordinates are feet in the floor frame.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.geometry import Point
+
+PathLike = Union[str, os.PathLike]
+
+_SPLIT_RE = re.compile(r"\t+|[ ]{2,}")
+
+
+class LocationMapError(ValueError):
+    """Raised on malformed location-map content."""
+
+
+class LocationMap:
+    """Ordered mapping of location name → floor position (feet)."""
+
+    def __init__(self, entries: Optional[Dict[str, Point]] = None):
+        self._entries: Dict[str, Point] = dict(entries or {})
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, position: Point) -> None:
+        if not name or not name.strip():
+            raise LocationMapError("location name must be non-empty")
+        self._entries[name.strip()] = position
+
+    def remove(self, name: str) -> None:
+        try:
+            del self._entries[name]
+        except KeyError:
+            raise KeyError(f"no location named {name!r}") from None
+
+    def position(self, name: str) -> Point:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"no location named {name!r}; have {sorted(self._entries)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return list(self._entries)
+
+    def items(self) -> Iterator[Tuple[str, Point]]:
+        return iter(self._entries.items())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LocationMap):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def nearest(self, position: Point) -> Tuple[str, float]:
+        """Closest named location to ``position`` and its distance (ft).
+
+        This is the abstraction step the paper's introduction demands:
+        raw coordinates → "application-specific building name and room
+        number".
+        """
+        if not self._entries:
+            raise LocationMapError("location map is empty")
+        best_name, best_d = None, float("inf")
+        for name, pos in self._entries.items():
+            d = pos.distance_to(position)
+            if d < best_d:
+                best_name, best_d = name, d
+        return best_name, best_d  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        lines = ["# location map: <name>\\t<x_ft>\\t<y_ft>"]
+        for name, pos in self._entries.items():
+            lines.append(f"{name}\t{pos.x:g}\t{pos.y:g}")
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: PathLike) -> None:
+        Path(path).write_text(self.render(), encoding="utf-8")
+
+    @classmethod
+    def parse(cls, text: str, source: str = "<string>") -> "LocationMap":
+        lm = cls()
+        for line_no, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = [f.strip() for f in _SPLIT_RE.split(line) if f.strip()]
+            if len(fields) != 3:
+                raise LocationMapError(
+                    f"{source}:{line_no}: expected '<name> <x> <y>' "
+                    f"(tab or 2+ space separated), got {line!r}"
+                )
+            name, xs, ys = fields
+            try:
+                point = Point(float(xs), float(ys))
+            except ValueError:
+                raise LocationMapError(
+                    f"{source}:{line_no}: non-numeric coordinates in {line!r}"
+                ) from None
+            if name in lm:
+                raise LocationMapError(
+                    f"{source}:{line_no}: duplicate location name {name!r}"
+                )
+            lm.add(name, point)
+        return lm
+
+    @classmethod
+    def load(cls, path: PathLike) -> "LocationMap":
+        p = Path(path)
+        return cls.parse(p.read_text(encoding="utf-8"), source=str(p))

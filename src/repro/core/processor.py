@@ -1,0 +1,253 @@
+"""The Floor Plan Processor (§4.1), headless.
+
+The paper's Processor is "a GUI-based Python program for constructing
+position maps and visualizing oneself in the physical space" with six
+mouse-driven functions.  A GUI is incidental to what those functions
+*do* — they edit a :class:`~repro.core.floorplan.FloorPlan` document —
+so this reproduction exposes them as a scriptable session:
+
+===============================  =======================================
+paper §4.1 function              processor command
+===============================  =======================================
+1. load the floor plan GIF       ``load <path.gif>``
+2. add access points             ``add-ap <name> <px> <py>``
+3. set the scale                 ``set-scale <px1> <py1> <px2> <py2> <ft>``
+4. set the point of origin       ``set-origin <px> <py>``
+5. add location names            ``add-location "<name>" <px> <py>``
+6. save the floor plan           ``save <path.gif>``
+===============================  =======================================
+
+plus ``info``, ``undo``, ``export-locations <path>`` conveniences.  The
+pixel arguments are exactly what the GUI's mouse clicks would deliver,
+so every paper workflow is reproducible as a script (and the CLI in
+:mod:`repro.cli` runs such scripts from "a single-line Dos command").
+"""
+
+from __future__ import annotations
+
+import copy
+import shlex
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.floorplan import FloorPlan, FloorPlanError, PixelPoint
+from repro.imaging.raster import Raster
+
+
+class ProcessorError(ValueError):
+    """Raised for invalid processor commands or command arguments."""
+
+
+class FloorPlanProcessor:
+    """A stateful editing session over one floor plan."""
+
+    def __init__(self, plan: Optional[FloorPlan] = None):
+        self.plan = plan
+        self._undo_stack: List[FloorPlan] = []
+        self.log: List[str] = []
+
+    # ------------------------------------------------------------------
+    # the six operations, as a Python API
+    # ------------------------------------------------------------------
+    def load(self, path) -> FloorPlan:
+        """Op 1: open a GIF floor plan (only GIF is accepted, per paper)."""
+        p = Path(path)
+        if p.suffix.lower() != ".gif":
+            raise ProcessorError(
+                f"only GIF format is accepted (paper §4.1), got {p.suffix!r}"
+            )
+        self.plan = FloorPlan.load(p)
+        self._undo_stack.clear()
+        self._record(f"load {p}")
+        return self.plan
+
+    def new_plan(self, image: Raster, source: str = "<generated>") -> FloorPlan:
+        """Start a session from an in-memory raster (synthetic blueprints)."""
+        self.plan = FloorPlan(image, source=source)
+        self._undo_stack.clear()
+        self._record(f"new-plan {source}")
+        return self.plan
+
+    def add_access_point(self, name: str, px: float, py: float) -> None:
+        """Op 2: click an AP onto the plan."""
+        plan = self._require_plan()
+        self._checkpoint()
+        self._validate_pixel(px, py)
+        plan.add_access_point(name, PixelPoint(px, py))
+        self._record(f"add-ap {name} {px:g} {py:g}")
+
+    def set_scale(self, px1: float, py1: float, px2: float, py2: float, distance_ft: float) -> float:
+        """Op 3: two clicks plus the real distance between them.
+
+        The reference points are measurement aids, not annotations, so
+        they may sit on (or just past) the image edge — measuring a
+        full wall span clicks at ``x = width``.
+        """
+        plan = self._require_plan()
+        self._checkpoint()
+        fpp = plan.set_scale(PixelPoint(px1, py1), PixelPoint(px2, py2), distance_ft)
+        self._record(f"set-scale {px1:g} {py1:g} {px2:g} {py2:g} {distance_ft:g}")
+        return fpp
+
+    def set_origin(self, px: float, py: float) -> None:
+        """Op 4: click the floor-frame origin."""
+        plan = self._require_plan()
+        self._checkpoint()
+        plan.set_origin(PixelPoint(px, py))
+        self._record(f"set-origin {px:g} {py:g}")
+
+    def add_location(self, name: str, px: float, py: float) -> None:
+        """Op 5: click a spot and give it an application-meaningful name."""
+        plan = self._require_plan()
+        self._checkpoint()
+        self._validate_pixel(px, py)
+        plan.add_location(name, PixelPoint(px, py))
+        self._record(f"add-location {name!r} {px:g} {py:g}")
+
+    def save(self, path) -> None:
+        """Op 6: persist the annotated plan (GIF + comment annotations)."""
+        plan = self._require_plan()
+        p = Path(path)
+        if p.suffix.lower() != ".gif":
+            raise ProcessorError(f"floor plans are saved as GIF, got {p.suffix!r}")
+        plan.save(p)
+        self._record(f"save {p}")
+
+    # ------------------------------------------------------------------
+    # conveniences beyond the paper's six
+    # ------------------------------------------------------------------
+    def undo(self) -> None:
+        """Revert the most recent mutating operation."""
+        if not self._undo_stack:
+            raise ProcessorError("nothing to undo")
+        self.plan = self._undo_stack.pop()
+        self._record("undo")
+
+    def info(self) -> str:
+        return self._require_plan().summary()
+
+    def export_locations(self, path) -> None:
+        """Write the named locations as a location-map text file (§4.3 input)."""
+        plan = self._require_plan()
+        plan.location_map().save(path)
+        self._record(f"export-locations {path}")
+
+    # ------------------------------------------------------------------
+    # scripted command interface
+    # ------------------------------------------------------------------
+    def execute(self, command: str) -> Optional[str]:
+        """Execute one command line; returns printable output, if any."""
+        tokens = shlex.split(command, comments=True)
+        if not tokens:
+            return None
+        op, args = tokens[0].lower(), tokens[1:]
+        try:
+            handler = self._HANDLERS[op]
+        except KeyError:
+            known = ", ".join(sorted(self._HANDLERS))
+            raise ProcessorError(f"unknown command {op!r}; known commands: {known}") from None
+        return handler(self, args)
+
+    def run_script(self, lines) -> List[str]:
+        """Execute a sequence of command lines; returns their outputs."""
+        outputs = []
+        for i, line in enumerate(lines, start=1):
+            try:
+                out = self.execute(line)
+            except (ProcessorError, FloorPlanError) as exc:
+                raise ProcessorError(f"script line {i} ({line.strip()!r}): {exc}") from exc
+            if out:
+                outputs.append(out)
+        return outputs
+
+    # -- command handlers ------------------------------------------------
+    def _cmd_load(self, args) -> str:
+        self._expect(args, 1, "load <path.gif>")
+        self.load(args[0])
+        return self.info()
+
+    def _cmd_add_ap(self, args) -> None:
+        self._expect(args, 3, "add-ap <name> <px> <py>")
+        self.add_access_point(args[0], self._num(args[1]), self._num(args[2]))
+
+    def _cmd_set_scale(self, args) -> str:
+        self._expect(args, 5, "set-scale <px1> <py1> <px2> <py2> <feet>")
+        fpp = self.set_scale(*(self._num(a) for a in args))
+        return f"scale set: {fpp:.5f} ft/px"
+
+    def _cmd_set_origin(self, args) -> None:
+        self._expect(args, 2, "set-origin <px> <py>")
+        self.set_origin(self._num(args[0]), self._num(args[1]))
+
+    def _cmd_add_location(self, args) -> None:
+        self._expect(args, 3, 'add-location "<name>" <px> <py>')
+        self.add_location(args[0], self._num(args[1]), self._num(args[2]))
+
+    def _cmd_save(self, args) -> None:
+        self._expect(args, 1, "save <path.gif>")
+        self.save(args[0])
+
+    def _cmd_info(self, args) -> str:
+        self._expect(args, 0, "info")
+        return self.info()
+
+    def _cmd_undo(self, args) -> None:
+        self._expect(args, 0, "undo")
+        self.undo()
+
+    def _cmd_export_locations(self, args) -> None:
+        self._expect(args, 1, "export-locations <path>")
+        self.export_locations(args[0])
+
+    _HANDLERS: Dict[str, Callable] = {
+        "load": _cmd_load,
+        "add-ap": _cmd_add_ap,
+        "set-scale": _cmd_set_scale,
+        "set-origin": _cmd_set_origin,
+        "add-location": _cmd_add_location,
+        "save": _cmd_save,
+        "info": _cmd_info,
+        "undo": _cmd_undo,
+        "export-locations": _cmd_export_locations,
+    }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _require_plan(self) -> FloorPlan:
+        if self.plan is None:
+            raise ProcessorError("no floor plan loaded — use 'load <path.gif>' first")
+        return self.plan
+
+    def _checkpoint(self) -> None:
+        plan = self._require_plan()
+        snapshot = FloorPlan(plan.image, source=plan.source)
+        snapshot.access_points = dict(plan.access_points)
+        snapshot.locations = dict(plan.locations)
+        snapshot.origin = plan.origin
+        snapshot._feet_per_pixel = plan._feet_per_pixel
+        snapshot._scale_reference = plan._scale_reference
+        self._undo_stack.append(snapshot)
+
+    def _validate_pixel(self, px: float, py: float) -> None:
+        plan = self._require_plan()
+        if not (0 <= px < plan.image.width and 0 <= py < plan.image.height):
+            raise ProcessorError(
+                f"pixel ({px:g}, {py:g}) outside the "
+                f"{plan.image.width}x{plan.image.height} image"
+            )
+
+    def _record(self, entry: str) -> None:
+        self.log.append(entry)
+
+    @staticmethod
+    def _expect(args, n: int, usage: str) -> None:
+        if len(args) != n:
+            raise ProcessorError(f"usage: {usage}")
+
+    @staticmethod
+    def _num(token: str) -> float:
+        try:
+            return float(token)
+        except ValueError:
+            raise ProcessorError(f"expected a number, got {token!r}") from None

@@ -1,0 +1,153 @@
+"""The end-to-end location determination system (paper §3, Figure 1).
+
+:class:`LocalizationSystem` wires the toolkit together along the
+paper's two-phase pipeline:
+
+* **Phase 1 (training)** — steps 1–4 of Figure 1: an annotated floor
+  plan supplies AP positions and named locations; a wi-scan collection
+  (from a survey) plus the location map become a training database; the
+  chosen algorithm is fitted.
+* **Phase 2 (working)** — steps 5–6: observed signal strength resolves
+  to a coordinate estimate *and* the application-specific location name
+  (the abstraction the paper's introduction insists applications need).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # import cycle guard: algorithms.base imports core.geometry
+    from repro.algorithms.base import LocationEstimate, Localizer, Observation
+
+from repro.core.floorplan import FloorPlan
+from repro.core.geometry import Point
+from repro.core.locationmap import LocationMap
+from repro.core.trainingdb import TrainingDatabase, generate_training_db
+from repro.wiscan.collection import WiScanCollection
+
+
+@dataclass(frozen=True)
+class ResolvedLocation:
+    """A Phase-2 answer with the application-level name attached."""
+
+    estimate: LocationEstimate
+    name: Optional[str]
+    name_distance_ft: float
+
+    @property
+    def position(self) -> Optional[Point]:
+        return self.estimate.position
+
+    @property
+    def valid(self) -> bool:
+        return self.estimate.valid
+
+
+class LocalizationSystem:
+    """A trained location determination system for one site.
+
+    Construct via :meth:`train` (the Phase-1 factory) or directly from a
+    fitted localizer plus the site's location map.
+    """
+
+    def __init__(
+        self,
+        localizer: Localizer,
+        training_db: TrainingDatabase,
+        location_map: Optional[LocationMap] = None,
+        plan: Optional[FloorPlan] = None,
+    ):
+        self.localizer = localizer
+        self.training_db = training_db
+        self.location_map = location_map
+        self.plan = plan
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def train(
+        cls,
+        collection: Union[str, WiScanCollection],
+        location_map: Union[str, LocationMap],
+        algorithm: Union[str, Localizer] = "probabilistic",
+        plan: Optional[FloorPlan] = None,
+        **algorithm_kwargs,
+    ) -> "LocalizationSystem":
+        """Phase 1: survey data + location map (+ plan) → working system.
+
+        ``algorithm`` may be a registry name (``"probabilistic"``,
+        ``"geometric"``, …) or a pre-built localizer.  Algorithms that
+        need AP positions (geometric, multilateration) take them from
+        the annotated floor plan automatically when ``plan`` is given
+        and ``ap_positions`` isn't passed explicitly.
+        """
+        from repro.algorithms.base import Localizer, make_localizer
+
+        lmap = location_map if isinstance(location_map, LocationMap) else LocationMap.load(location_map)
+        db = generate_training_db(collection, lmap)
+        if isinstance(algorithm, Localizer):
+            localizer = algorithm
+        else:
+            if (
+                algorithm in ("geometric", "multilateration")
+                and "ap_positions" not in algorithm_kwargs
+            ):
+                if plan is None:
+                    raise ValueError(
+                        f"algorithm {algorithm!r} needs ap_positions or an "
+                        "annotated floor plan"
+                    )
+                algorithm_kwargs["ap_positions"] = ap_positions_by_bssid(plan, db)
+            localizer = make_localizer(algorithm, **algorithm_kwargs)
+        localizer.fit(db)
+        return cls(localizer, db, location_map=lmap, plan=plan)
+
+    # ------------------------------------------------------------------
+    def locate(self, observation: Observation) -> ResolvedLocation:
+        """Phase 2: one observation → coordinates + nearest named location."""
+        estimate = self.localizer.locate(observation)
+        name, dist = None, float("inf")
+        if estimate.location_name is not None:
+            name, dist = estimate.location_name, 0.0
+        elif (
+            estimate.valid
+            and estimate.position is not None
+            and self.location_map is not None
+            and len(self.location_map) > 0
+        ):
+            name, dist = self.location_map.nearest(estimate.position)
+        return ResolvedLocation(estimate=estimate, name=name, name_distance_ft=dist)
+
+    def locate_rssi(self, rssi_dbm: Sequence[float]) -> ResolvedLocation:
+        """Convenience: a single mean RSSI vector (NaN = AP unheard)."""
+        from repro.algorithms.base import Observation
+
+        return self.locate(Observation(np.asarray(rssi_dbm, dtype=float)[None, :]))
+
+
+def ap_positions_by_bssid(plan: FloorPlan, db: TrainingDatabase) -> Dict[str, Point]:
+    """Match the plan's AP annotations to the database's BSSIDs.
+
+    The Processor stores APs by *name*; wi-scan data keys by *BSSID*.
+    Plan AP names that are themselves BSSIDs match exactly
+    (case-insensitive); otherwise, when the plan has exactly one AP
+    annotation per survey BSSID, they pair up in order — the common
+    deploy-N-APs-and-click-them-in-order case.  Anything else is
+    ambiguous and raises.
+    """
+    floor_positions = plan.ap_floor_positions()
+    lower = {name.lower(): pos for name, pos in floor_positions.items()}
+    out: Dict[str, Point] = {
+        bssid: lower[bssid.lower()] for bssid in db.bssids if bssid.lower() in lower
+    }
+    if len(out) == len(db.bssids):
+        return out
+    if not out and len(floor_positions) == len(db.bssids):
+        return {bssid: pos for bssid, pos in zip(db.bssids, floor_positions.values())}
+    raise ValueError(
+        f"cannot match plan APs {sorted(floor_positions)} to survey BSSIDs "
+        f"{db.bssids}; annotate the plan with BSSIDs, or with exactly one "
+        "AP per BSSID in survey order"
+    )

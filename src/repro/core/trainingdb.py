@@ -1,0 +1,287 @@
+"""The Training Database Generator (§4.3) and the ``.tdb`` format.
+
+"Training databases are really collections of observation records, and
+are easier to work with than wi-scan file collections and location maps
+because they are compressed, which makes them easier to move and
+transmit over a network, and they can be loaded into memory more
+quickly than reading multiple wi-scan files line by line."
+
+The paper never specifies the container, so we define ``.tdb``: a magic
+header plus a zlib-compressed binary body holding, per training
+location, the name, the floor position and the full samples × APs RSSI
+matrix (float32, NaN = AP missed in that sweep).  Keeping the *full*
+matrix — not just means — is deliberate: the paper's future work (§6.2)
+wants algorithms that "consider the distribution of these values", and
+the histogram/kNN baselines need the raw samples.
+
+:func:`generate_training_db` is the §4.3 program: wi-scan collection
+(directory or zip) + location map → database.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.geometry import Point
+from repro.core.locationmap import LocationMap
+from repro.wiscan.collection import WiScanCollection
+
+PathLike = Union[str, os.PathLike]
+
+MAGIC = b"RTDB1\n"
+
+
+class TrainingDBError(ValueError):
+    """Raised on malformed ``.tdb`` content or inconsistent inputs."""
+
+
+@dataclass(frozen=True)
+class LocationRecord:
+    """All observations recorded at one training location."""
+
+    name: str
+    position: Point
+    samples: np.ndarray  # (n_sweeps, n_bssids) float32, NaN = missed
+
+    def __post_init__(self):
+        if self.samples.ndim != 2:
+            raise TrainingDBError(
+                f"samples for {self.name!r} must be 2-D, got shape {self.samples.shape}"
+            )
+
+    def mean_rssi(self) -> np.ndarray:
+        """Per-AP mean over detected sweeps (NaN if never heard)."""
+        finite = np.isfinite(self.samples)
+        counts = finite.sum(axis=0)
+        sums = np.where(finite, self.samples, 0.0).sum(axis=0)
+        return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+
+    def std_rssi(self, min_std: float = 0.5) -> np.ndarray:
+        """Per-AP sample std, floored at ``min_std``.
+
+        The floor prevents a degenerate zero-variance Gaussian when a
+        quantized RSSI held constant for a whole session (common at
+        strong signal), which would otherwise give the probabilistic
+        method infinite likelihoods.  Never-heard APs are NaN; the
+        computation avoids ``np.nanstd``'s empty-slice RuntimeWarning
+        because an unheard AP is an expected state, not an anomaly.
+        """
+        finite = np.isfinite(self.samples)
+        counts = finite.sum(axis=0)
+        mean = self.mean_rssi()
+        sq = np.where(finite, (self.samples - np.where(np.isfinite(mean), mean, 0.0)) ** 2, 0.0)
+        var = sq.sum(axis=0) / np.maximum(counts, 1)
+        std = np.sqrt(var)
+        return np.where(counts > 0, np.maximum(std, min_std), np.nan)
+
+    def detection_rate(self) -> np.ndarray:
+        """Fraction of sweeps in which each AP was heard."""
+        if self.samples.shape[0] == 0:
+            return np.zeros(self.samples.shape[1])
+        return np.isfinite(self.samples).mean(axis=0)
+
+
+class TrainingDatabase:
+    """The §4.3 product: locations × APs observation records."""
+
+    def __init__(self, bssids: Sequence[str], records: Sequence[LocationRecord]):
+        self.bssids = list(bssids)
+        if len(set(self.bssids)) != len(self.bssids):
+            raise TrainingDBError(f"duplicate BSSIDs: {self.bssids}")
+        names = [r.name for r in records]
+        if len(set(names)) != len(names):
+            raise TrainingDBError(f"duplicate location names: {names}")
+        for r in records:
+            if r.samples.shape[1] != len(self.bssids):
+                raise TrainingDBError(
+                    f"record {r.name!r} has {r.samples.shape[1]} AP columns, "
+                    f"database has {len(self.bssids)} BSSIDs"
+                )
+        self.records = list(records)
+        self._by_name = {r.name: r for r in self.records}
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def locations(self) -> List[str]:
+        return [r.name for r in self.records]
+
+    def record(self, name: str) -> LocationRecord:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no training location {name!r}; have {self.locations()}"
+            ) from None
+
+    def positions(self) -> np.ndarray:
+        """(n_locations, 2) array of training positions (feet)."""
+        return np.array([[r.position.x, r.position.y] for r in self.records])
+
+    def mean_matrix(self) -> np.ndarray:
+        """(n_locations, n_aps) of per-location mean RSSI (NaN = unheard)."""
+        return np.vstack([r.mean_rssi() for r in self.records])
+
+    def std_matrix(self, min_std: float = 0.5) -> np.ndarray:
+        """(n_locations, n_aps) of per-location RSSI std (floored)."""
+        return np.vstack([r.std_rssi(min_std=min_std) for r in self.records])
+
+    def total_samples(self) -> int:
+        return sum(r.samples.shape[0] for r in self.records)
+
+    def subset_aps(self, bssids: Sequence[str]) -> "TrainingDatabase":
+        """A new database restricted (and re-ordered) to ``bssids``."""
+        cols = [self.bssids.index(b) for b in bssids]
+        records = [
+            LocationRecord(r.name, r.position, np.ascontiguousarray(r.samples[:, cols]))
+            for r in self.records
+        ]
+        return TrainingDatabase(list(bssids), records)
+
+    # ------------------------------------------------------------------
+    # binary serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self, compression_level: int = 6) -> bytes:
+        body = bytearray()
+        body += struct.pack("<I", len(self.bssids))
+        for b in self.bssids:
+            body += _pack_str(b)
+        body += struct.pack("<I", len(self.records))
+        for r in self.records:
+            body += _pack_str(r.name)
+            body += struct.pack("<dd", r.position.x, r.position.y)
+            n, m = r.samples.shape
+            body += struct.pack("<II", n, m)
+            body += np.ascontiguousarray(r.samples, dtype="<f4").tobytes()
+        return MAGIC + zlib.compress(bytes(body), level=compression_level)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "TrainingDatabase":
+        if not blob.startswith(MAGIC):
+            raise TrainingDBError(
+                f"not a training database (magic {blob[:6]!r}, expected {MAGIC!r})"
+            )
+        try:
+            body = zlib.decompress(blob[len(MAGIC):])
+        except zlib.error as exc:
+            raise TrainingDBError(f"corrupt training database body: {exc}") from None
+        off = 0
+
+        def take(n: int) -> bytes:
+            nonlocal off
+            if off + n > len(body):
+                raise TrainingDBError("truncated training database body")
+            chunk = body[off : off + n]
+            off += n
+            return chunk
+
+        def take_str() -> str:
+            (ln,) = struct.unpack("<H", take(2))
+            return take(ln).decode("utf-8")
+
+        (n_bssids,) = struct.unpack("<I", take(4))
+        bssids = [take_str() for _ in range(n_bssids)]
+        (n_records,) = struct.unpack("<I", take(4))
+        records = []
+        for _ in range(n_records):
+            name = take_str()
+            x, y = struct.unpack("<dd", take(16))
+            n, m = struct.unpack("<II", take(8))
+            if m != n_bssids:
+                raise TrainingDBError(
+                    f"record {name!r} claims {m} AP columns, header says {n_bssids}"
+                )
+            raw = take(4 * n * m)
+            samples = np.frombuffer(raw, dtype="<f4").reshape(n, m).copy()
+            records.append(LocationRecord(name, Point(x, y), samples))
+        if off != len(body):
+            raise TrainingDBError(f"{len(body) - off} trailing bytes in database body")
+        return cls(bssids, records)
+
+    def save(self, path: PathLike, compression_level: int = 6) -> int:
+        """Write the ``.tdb`` file; returns its size in bytes."""
+        blob = self.to_bytes(compression_level=compression_level)
+        Path(path).write_bytes(blob)
+        return len(blob)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "TrainingDatabase":
+        return cls.from_bytes(Path(path).read_bytes())
+
+
+def _pack_str(s: str) -> bytes:
+    raw = s.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise TrainingDBError(f"string too long for .tdb: {len(raw)} bytes")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def generate_training_db(
+    collection: Union[PathLike, WiScanCollection],
+    location_map: Union[PathLike, LocationMap],
+    output: Optional[PathLike] = None,
+    strict: bool = True,
+) -> TrainingDatabase:
+    """The Training Database Generator program (§4.3).
+
+    Parameters
+    ----------
+    collection:
+        Directory, zip path, or pre-loaded :class:`WiScanCollection`.
+    location_map:
+        Path to a location-map text file, or a :class:`LocationMap`.
+    output:
+        If given, the resulting database is also written there as
+        ``.tdb``.
+    strict:
+        When True (default), every wi-scan location must appear in the
+        location map (the paper's generator "requires two pieces of
+        information"); when False, unmapped sessions fall back to the
+        position recorded in their wi-scan header, and sessions with
+        neither are rejected.
+    """
+    coll = (
+        collection
+        if isinstance(collection, WiScanCollection)
+        else WiScanCollection.load(collection)
+    )
+    lmap = (
+        location_map
+        if isinstance(location_map, LocationMap)
+        else LocationMap.load(location_map)
+    )
+
+    bssids = coll.all_bssids()
+    if not bssids:
+        raise TrainingDBError("wi-scan collection contains no AP sightings at all")
+    records: List[LocationRecord] = []
+    for session in coll:
+        if session.location in lmap:
+            position = lmap.position(session.location)
+        elif not strict and session.position is not None:
+            position = Point(*session.position)
+        else:
+            raise TrainingDBError(
+                f"wi-scan location {session.location!r} is not in the location map "
+                f"(map has {sorted(lmap.names())})"
+            )
+        matrix = session.rssi_matrix(bssids).astype(np.float32)
+        records.append(LocationRecord(session.location, position, matrix))
+
+    db = TrainingDatabase(bssids, records)
+    if output is not None:
+        db.save(output)
+    return db

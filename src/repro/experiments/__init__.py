@@ -1,0 +1,34 @@
+"""Evaluation harness: the paper's §5 protocol, metrics, and sweeps.
+
+* :mod:`repro.experiments.house` — the 50 ft × 40 ft experiment house,
+  its four corner APs, 10-ft training grid and 13 test locations.
+* :mod:`repro.experiments.metrics` — valid-estimation rate (the §5.1
+  number), average deviation (the §5.2 number), error percentiles/CDFs.
+* :mod:`repro.experiments.runner` — run a full Phase-1/Phase-2 protocol
+  for one algorithm and collect per-observation results.
+* :mod:`repro.experiments.sweeps` — parameter sweeps over (algorithm,
+  simulator, protocol) cells, parallelized via :mod:`repro.parallel`.
+* :mod:`repro.experiments.calibration` — the simulator defaults pinned
+  so the §5 protocol lands near the paper's reported numbers.
+"""
+
+from repro.experiments.house import ExperimentHouse, HouseConfig
+from repro.experiments.metrics import (
+    ExperimentMetrics,
+    error_cdf,
+    mean_deviation,
+    valid_estimation_rate,
+)
+from repro.experiments.runner import ExperimentResult, ObservationOutcome, run_protocol
+
+__all__ = [
+    "ExperimentHouse",
+    "HouseConfig",
+    "ExperimentMetrics",
+    "error_cdf",
+    "mean_deviation",
+    "valid_estimation_rate",
+    "ExperimentResult",
+    "ObservationOutcome",
+    "run_protocol",
+]

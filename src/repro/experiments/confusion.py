@@ -1,0 +1,144 @@
+"""Confusion analysis for symbolic localizers.
+
+The §5.1 approach answers with a training-point name, so its errors are
+*confusions* — point A attributed to point B.  This module measures the
+empirical confusion structure and compares it against the planning
+package's Gaussian predictions, closing the loop between design-time
+metrics (:mod:`repro.planning.quality`) and run-time behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.algorithms.base import Localizer
+from repro.core.trainingdb import TrainingDatabase
+from repro.experiments.house import ExperimentHouse
+from repro.parallel.rng import RngLike, resolve_rng, split_rng
+
+
+@dataclass(frozen=True)
+class ConfusionResult:
+    """Empirical confusion of a symbolic localizer over the grid."""
+
+    locations: List[str]
+    matrix: np.ndarray  # (L, L): row = truth, column = answer; rows sum to 1
+    n_trials: int
+
+    def accuracy(self) -> float:
+        """Fraction of trials answered with the exactly-correct point."""
+        return float(np.diag(self.matrix).mean())
+
+    def confusion_of(self, name: str) -> Dict[str, float]:
+        """Where observations from ``name`` actually went (prob > 0)."""
+        i = self.locations.index(name)
+        return {
+            self.locations[j]: float(p)
+            for j, p in enumerate(self.matrix[i])
+            if p > 0
+        }
+
+    def most_confused_pairs(self, top: int = 5) -> List[Tuple[str, str, float]]:
+        """Off-diagonal cells with the highest mass, descending."""
+        off = self.matrix.copy()
+        np.fill_diagonal(off, 0.0)
+        flat = np.argsort(off.ravel())[::-1][:top]
+        out = []
+        for k in flat:
+            i, j = np.unravel_index(int(k), off.shape)
+            if off[i, j] <= 0:
+                break
+            out.append((self.locations[int(i)], self.locations[int(j)], float(off[i, j])))
+        return out
+
+    def entropy_bits(self) -> float:
+        """Mean per-row answer entropy: 0 = deterministic answers."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            logs = np.where(self.matrix > 0, np.log2(self.matrix), 0.0)
+        return float(-(self.matrix * logs).sum(axis=1).mean())
+
+
+def measure_confusion(
+    localizer: Localizer,
+    house: ExperimentHouse,
+    db: TrainingDatabase,
+    n_trials: int = 10,
+    dwell_s: float = 10.0,
+    rng: RngLike = 0,
+) -> ConfusionResult:
+    """Observe ``n_trials`` windows at every training point; tally answers.
+
+    The localizer must be fitted on ``db`` and answer with
+    ``location_name`` (probabilistic/histogram/knn(k=1)/sector/scene);
+    answers without a name are tallied to the nearest training point.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    names = db.locations()
+    index = {n: i for i, n in enumerate(names)}
+    positions = db.positions()
+    matrix = np.zeros((len(names), len(names)))
+    gen = resolve_rng(rng)
+    streams = split_rng(gen, len(names))
+    for i, (name, stream) in enumerate(zip(names, streams)):
+        true_pos = db.record(name).position
+        for _ in range(n_trials):
+            obs = house.observe(true_pos, rng=stream, dwell_s=dwell_s)
+            est = localizer.locate(obs)
+            if est.location_name is not None and est.location_name in index:
+                j = index[est.location_name]
+            elif est.position is not None:
+                d = np.hypot(
+                    positions[:, 0] - est.position.x, positions[:, 1] - est.position.y
+                )
+                j = int(np.argmin(d))
+            else:
+                continue  # refused: no answer tallied
+            matrix[i, j] += 1.0
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    matrix = np.divide(matrix, np.maximum(row_sums, 1.0))
+    return ConfusionResult(locations=names, matrix=matrix, n_trials=n_trials)
+
+
+def discrimination_auc(
+    confusion: ConfusionResult,
+    predicted: np.ndarray,
+) -> Tuple[float, int]:
+    """How well does a predicted-confusion matrix pick out the pairs the
+    live system actually mixes up?
+
+    The empirical matrix is *sparse* (most pairs are never confused in a
+    finite trial budget), so a rank correlation is tie-dominated; the
+    right summary is the **AUC**: the probability that a randomly-drawn
+    empirically-confused pair carries a higher predicted confusion than
+    a randomly-drawn clean pair.  0.5 = the prediction is useless,
+    1.0 = it perfectly separates risky pairs.
+
+    Returns ``(auc, n_confused_pairs)``.
+    """
+    if predicted.shape != confusion.matrix.shape:
+        raise ValueError(
+            f"prediction shape {predicted.shape} vs confusion "
+            f"{confusion.matrix.shape}"
+        )
+    emp = confusion.matrix + confusion.matrix.T
+    mask = ~np.eye(len(confusion.locations), dtype=bool)
+    confused = emp[mask] > 0
+    pred = predicted[mask]
+    pos, neg = pred[confused], pred[~confused]
+    if pos.size == 0 or neg.size == 0:
+        return (0.5, int(pos.size))
+    # Mann-Whitney AUC via midranks (ties shared evenly).
+    allv = np.concatenate([pos, neg])
+    order = np.argsort(allv, kind="stable")
+    ranks = np.empty(allv.size, dtype=float)
+    ranks[order] = np.arange(1, allv.size + 1, dtype=float)
+    for v in np.unique(allv):
+        tie = allv == v
+        if tie.sum() > 1:
+            ranks[tie] = ranks[tie].mean()
+    auc = (ranks[: pos.size].sum() - pos.size * (pos.size + 1) / 2) / (pos.size * neg.size)
+    return (float(auc), int(pos.size))

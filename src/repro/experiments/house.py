@@ -1,0 +1,329 @@
+"""The §5 experiment house.
+
+"We set up four 802.11b APs (A, B, C, D) at the four corners of the
+experiment house that is 50 feet by 40 feet … We set one corner as the
+original point (0, 0).  Then we collect the sample signal strength
+vector <A, B, C, D> at each training point (x, y) where x and y are
+product of 10 feet. … In Phase 2, we collect signal strength at 13
+locations scattered in the house."
+
+:class:`ExperimentHouse` builds the whole site: the radio environment
+(APs at the corners, interior walls matching the synthetic blueprint),
+the 6 × 5 = 30-point training grid, the 13 scattered test locations
+(fixed, pseudo-random but seeded, since the paper doesn't list them),
+the annotated floor plan, and the survey/test capture machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.floorplan import FloorPlan, PixelPoint
+from repro.core.geometry import Point
+from repro.core.locationmap import LocationMap
+from repro.core.trainingdb import TrainingDatabase, generate_training_db
+from repro.imaging.blueprint import BlueprintSpec, render_blueprint
+from repro.parallel.rng import RngLike, resolve_rng, split_rng
+from repro.radio.environment import AccessPoint, EnvironmentalFactors, RadioEnvironment, Wall
+from repro.radio.fading import TemporalFading
+from repro.radio.pathloss import LogDistanceModel
+from repro.radio.scanner import SimulatedScanner
+from repro.wiscan.capture import PAPER_DWELL_S, CaptureSession, SurveyPoint
+from repro.wiscan.collection import WiScanCollection
+
+
+@dataclass(frozen=True)
+class HouseConfig:
+    """Everything tunable about the §5 site and protocol.
+
+    Defaults are the calibrated values (see
+    :mod:`repro.experiments.calibration`): with them, the §5 protocol
+    lands near the paper's reported numbers.
+    """
+
+    width_ft: float = 50.0
+    height_ft: float = 40.0
+    grid_step_ft: float = 10.0
+    n_test_points: int = 13
+    n_aps: int = 4
+    dwell_s: float = PAPER_DWELL_S
+    scan_interval_s: float = 1.0
+
+    # Channel parameters (calibration-pinned defaults).
+    pathloss_exponent: float = 3.0
+    shadowing_sigma_db: float = 7.0
+    shadowing_correlation_ft: float = 5.0
+    temporal_sigma_db: float = 4.0
+    temporal_timescale_s: float = 6.0
+    noise_db: float = 1.0
+    miss_probability: float = 0.02
+    with_walls: bool = True
+    temperature_c: float = 21.0
+    humidity_pct: float = 45.0
+    people: int = 0
+
+    site_seed: int = 2006  # the shadowing-field (site identity) seed
+
+    def __post_init__(self):
+        if self.width_ft <= 0 or self.height_ft <= 0:
+            raise ValueError("house dimensions must be positive")
+        if self.grid_step_ft <= 0:
+            raise ValueError("grid step must be positive")
+        if self.n_test_points < 1:
+            raise ValueError("need at least one test point")
+        if not 3 <= self.n_aps <= 26:
+            raise ValueError(f"n_aps must be in [3, 26], got {self.n_aps}")
+
+
+#: Interior wall segments of the synthetic house (feet) — matches
+#: :func:`repro.imaging.blueprint.experiment_house_blueprint`.
+INTERIOR_WALLS: Tuple[Tuple[float, float, float, float], ...] = (
+    (20, 0, 20, 25),
+    (20, 25, 0, 25),
+    (35, 40, 35, 25),
+    (35, 25, 50, 25),
+    (20, 12, 35, 12),
+)
+
+
+def _ap_positions(config: HouseConfig) -> List[Point]:
+    """AP placements: the four corners first, then perimeter midpoints.
+
+    The paper uses exactly the 4 corners; AP-count ablations extend the
+    ring with wall midpoints so geometry stays favorable.
+    """
+    w, h = config.width_ft, config.height_ft
+    ring = [
+        Point(0, 0),
+        Point(w, 0),
+        Point(w, h),
+        Point(0, h),
+        Point(w / 2, 0),
+        Point(w, h / 2),
+        Point(w / 2, h),
+        Point(0, h / 2),
+        Point(w / 2, h / 2),
+        Point(w / 4, h / 4),
+        Point(3 * w / 4, h / 4),
+        Point(3 * w / 4, 3 * h / 4),
+        Point(w / 4, 3 * h / 4),
+    ]
+    if config.n_aps > len(ring):
+        raise ValueError(f"at most {len(ring)} APs supported, asked for {config.n_aps}")
+    return ring[: config.n_aps]
+
+
+class ExperimentHouse:
+    """The fully assembled §5 site: radio, plan, grid, protocol.
+
+    Parameters
+    ----------
+    config:
+        Geometry, protocol and channel knobs.
+    walls:
+        Optional explicit wall list (overrides the built-in §5 house
+        interior; ignored when ``config.with_walls`` is False).  Used by
+        the site presets in :mod:`repro.experiments.sites`.
+    ap_positions:
+        Optional explicit AP placements (overrides the corner ring).
+        Length must equal ``config.n_aps``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[HouseConfig] = None,
+        walls: Optional[Sequence[Wall]] = None,
+        ap_positions: Optional[Sequence[Point]] = None,
+    ):
+        self.config = config or HouseConfig()
+        cfg = self.config
+
+        placements = list(ap_positions) if ap_positions is not None else _ap_positions(cfg)
+        if len(placements) != cfg.n_aps:
+            raise ValueError(
+                f"{len(placements)} AP positions for n_aps={cfg.n_aps}"
+            )
+        names = [chr(ord("A") + i) for i in range(cfg.n_aps)]
+        self.aps = [
+            AccessPoint(name=n, position=p, channel=(1, 6, 11)[i % 3])
+            for i, (n, p) in enumerate(zip(names, placements))
+        ]
+        self._custom_walls = walls is not None
+        if not cfg.with_walls:
+            walls = []
+        elif walls is None:
+            walls = [Wall.of(*seg, material="drywall") for seg in INTERIOR_WALLS]
+        else:
+            walls = list(walls)
+        self._walls = walls
+        self.environment = RadioEnvironment(
+            self.aps,
+            walls=walls,
+            pathloss=LogDistanceModel(exponent=cfg.pathloss_exponent),
+            shadowing_sigma_db=cfg.shadowing_sigma_db,
+            shadowing_correlation_ft=cfg.shadowing_correlation_ft,
+            fading=TemporalFading(
+                sigma_db=cfg.temporal_sigma_db,
+                timescale_s=cfg.temporal_timescale_s,
+                noise_db=cfg.noise_db,
+            ),
+            factors=EnvironmentalFactors(
+                temperature_c=cfg.temperature_c,
+                humidity_pct=cfg.humidity_pct,
+                people=cfg.people,
+            ),
+            miss_probability=cfg.miss_probability,
+            seed=cfg.site_seed,
+        )
+        self.scanner = SimulatedScanner(self.environment, interval_s=cfg.scan_interval_s)
+
+    # ------------------------------------------------------------------
+    # protocol geometry
+    # ------------------------------------------------------------------
+    def training_points(self) -> List[SurveyPoint]:
+        """The grid: (x, y) with x and y products of 10 ft (6 × 5 = 30)."""
+        cfg = self.config
+        points = []
+        y = 0.0
+        while y <= cfg.height_ft + 1e-9:
+            x = 0.0
+            while x <= cfg.width_ft + 1e-9:
+                points.append(SurveyPoint(name=f"grid-{x:g}-{y:g}", position=Point(x, y)))
+                x += cfg.grid_step_ft
+            y += cfg.grid_step_ft
+        return points
+
+    def test_points(self, seed: int = 13) -> List[Point]:
+        """The 13 scattered observation locations.
+
+        The paper never lists them, only that they are "scattered in the
+        house"; we draw them once from a seeded RNG with a 3-ft margin
+        off the walls so they are reproducible across the whole suite.
+        """
+        cfg = self.config
+        gen = resolve_rng(seed)
+        margin = 3.0
+        xs = gen.uniform(margin, cfg.width_ft - margin, cfg.n_test_points)
+        ys = gen.uniform(margin, cfg.height_ft - margin, cfg.n_test_points)
+        return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+    def location_map(self) -> LocationMap:
+        lm = LocationMap()
+        for sp in self.training_points():
+            lm.add(sp.name, sp.position)
+        return lm
+
+    # ------------------------------------------------------------------
+    # surveys
+    # ------------------------------------------------------------------
+    def survey(self, rng: RngLike = None) -> WiScanCollection:
+        """Phase-1 survey: dwell at every grid point."""
+        session = CaptureSession(self.scanner, dwell_s=self.config.dwell_s)
+        return session.capture_survey(self.training_points(), rng=rng)
+
+    def training_database(self, rng: RngLike = None) -> TrainingDatabase:
+        """Phase-1 product: survey → training database.
+
+        The generator orders BSSID columns by first appearance in the
+        scan logs, which can differ from the AP deployment order when an
+        early sweep misses a beacon; observations from :meth:`observe`
+        use deployment order, so the columns are canonicalized here.
+        """
+        db = generate_training_db(self.survey(rng=rng), self.location_map())
+        deployment_order = [ap.bssid for ap in self.aps if ap.bssid in set(db.bssids)]
+        missing = [b for b in db.bssids if b not in set(deployment_order)]
+        return db.subset_aps(deployment_order + missing)
+
+    def observe(
+        self,
+        position: Point,
+        rng: RngLike = None,
+        dwell_s: Optional[float] = None,
+        device=None,
+    ):
+        """Phase-2 measurement window at one position.
+
+        Returns an :class:`~repro.algorithms.base.Observation` in the
+        environment's AP column order (which
+        :meth:`training_database` also canonicalizes to).  Pass a
+        :class:`~repro.radio.device.DeviceProfile` as ``device`` to
+        observe through a different NIC than the survey used — the
+        heterogeneity experiments' knob.
+        """
+        from repro.algorithms.base import Observation
+
+        gen = resolve_rng(rng)
+        dwell = self.config.dwell_s if dwell_s is None else dwell_s
+        n = int(dwell // self.config.scan_interval_s)
+        samples = self.environment.sample_rssi(
+            position, n, self.config.scan_interval_s, rng=gen
+        )
+        if device is not None:
+            samples = device.apply(samples, rng=gen)
+        return Observation(samples, bssids=[ap.bssid for ap in self.aps])
+
+    def observe_all(
+        self,
+        positions: Sequence[Point],
+        rng: RngLike = None,
+        dwell_s: Optional[float] = None,
+        device=None,
+    ):
+        """Independent observations at each position (split RNG streams)."""
+        gen = resolve_rng(rng)
+        streams = split_rng(gen, len(positions))
+        return [
+            self.observe(p, rng=s, dwell_s=dwell_s, device=device)
+            for p, s in zip(positions, streams)
+        ]
+
+    # ------------------------------------------------------------------
+    # plan / rendering
+    # ------------------------------------------------------------------
+    def blueprint_spec(self, pixels_per_foot: float = 8.0) -> BlueprintSpec:
+        cfg = self.config
+        wall_segments = [(w.a.x, w.a.y, w.b.x, w.b.y) for w in self._walls]
+        default_geometry = (cfg.width_ft, cfg.height_ft) == (50.0, 40.0) and not self._custom_walls
+        labels = (
+            [
+                (10, 12, "BED 1"),
+                (10, 33, "BED 2"),
+                (35, 6, "LIVING"),
+                (42, 33, "KITCHEN"),
+                (27, 18, "HALL"),
+            ]
+            if default_geometry and cfg.with_walls
+            else []
+        )
+        return BlueprintSpec(
+            width_ft=cfg.width_ft,
+            height_ft=cfg.height_ft,
+            interior_walls=wall_segments,
+            labels=labels,
+            title="EXPERIMENT HOUSE" if default_geometry else "EXPERIMENT SITE",
+            pixels_per_foot=pixels_per_foot,
+        )
+
+    def floor_plan(self, pixels_per_foot: float = 8.0, rng: RngLike = 7) -> FloorPlan:
+        """The annotated plan: blueprint + APs + scale + origin + rooms."""
+        spec = self.blueprint_spec(pixels_per_foot)
+        image = render_blueprint(spec, scan_noise=0.1, rng=rng)
+        plan = FloorPlan(image, source="<experiment-house>")
+        plan.set_scale_direct(1.0 / pixels_per_foot)
+        ox, oy = spec.to_pixel(0.0, 0.0)
+        plan.set_origin(PixelPoint(ox, oy))
+        for ap in self.aps:
+            px = plan.to_pixel(ap.position)
+            plan.add_access_point(ap.name, px)
+        for x, y, label in spec.labels:
+            plan.add_location(label.title(), plan.to_pixel(Point(x, y)))
+        return plan
+
+    def ap_positions_by_bssid(self) -> Dict[str, Point]:
+        return {ap.bssid: ap.position for ap in self.aps}
+
+    def bounds(self) -> Tuple[float, float, float, float]:
+        return (0.0, 0.0, self.config.width_ft, self.config.height_ft)

@@ -1,0 +1,119 @@
+"""Evaluation metrics.
+
+Two headline numbers come straight from the paper:
+
+* **valid-estimation rate** (§5.1: "60% observations end up with a
+  valid estimation") — the fraction of observations whose estimate is
+  both reported (the algorithm didn't refuse) and *correct at grid
+  granularity*: the estimated training point is within one grid step of
+  the truth, i.e. the system named the right neighbourhood.  For
+  coordinate-valued algorithms the same tolerance applies to the
+  coordinates.
+* **average deviation** (§5.2: "the average deviation (distance between
+  the estimate location and the actual location) of the 13 observation")
+  — the mean Euclidean error over observations that produced a fix.
+
+Plus the standard fingerprinting extras: median/quantile error, error
+CDF, and the exact-training-point hit rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.geometry import Point
+
+
+def _errors(true_positions: Sequence[Point], estimates) -> np.ndarray:
+    if len(true_positions) != len(estimates):
+        raise ValueError(
+            f"{len(true_positions)} truths vs {len(estimates)} estimates"
+        )
+    return np.array([est.error_to(t) for t, est in zip(true_positions, estimates)])
+
+
+def valid_estimation_rate(
+    true_positions: Sequence[Point],
+    estimates,
+    tolerance_ft: float = 10.0,
+) -> float:
+    """Fraction of observations with a reported, grid-correct estimate."""
+    if not estimates:
+        raise ValueError("no estimates to score")
+    err = _errors(true_positions, estimates)
+    return float((err <= tolerance_ft).mean())
+
+
+def mean_deviation(true_positions: Sequence[Point], estimates) -> float:
+    """Mean Euclidean error over the observations that produced a fix."""
+    err = _errors(true_positions, estimates)
+    finite = err[np.isfinite(err)]
+    if finite.size == 0:
+        return float("inf")
+    return float(finite.mean())
+
+
+def error_cdf(
+    true_positions: Sequence[Point], estimates, grid: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(error_ft, fraction ≤ error) curve; invalid estimates count as ∞."""
+    err = np.sort(_errors(true_positions, estimates))
+    if grid is None:
+        finite = err[np.isfinite(err)]
+        top = finite.max() if finite.size else 1.0
+        grid = np.linspace(0.0, max(top, 1.0), 101)
+    frac = np.array([(err <= g).mean() for g in grid])
+    return grid, frac
+
+
+@dataclass(frozen=True)
+class ExperimentMetrics:
+    """The summary table row for one (algorithm, protocol) run."""
+
+    n_observations: int
+    n_reported: int
+    valid_rate: float
+    mean_deviation_ft: float
+    median_deviation_ft: float
+    p90_deviation_ft: float
+    exact_hit_rate: float
+
+    @classmethod
+    def compute(
+        cls,
+        true_positions: Sequence[Point],
+        estimates,
+        tolerance_ft: float = 10.0,
+        exact_tolerance_ft: float = 1e-6,
+    ) -> "ExperimentMetrics":
+        err = _errors(true_positions, estimates)
+        finite = err[np.isfinite(err)]
+        reported = int(np.isfinite(err).sum())
+        if finite.size:
+            mean_d = float(finite.mean())
+            med_d = float(np.median(finite))
+            p90_d = float(np.percentile(finite, 90))
+        else:
+            mean_d = med_d = p90_d = float("inf")
+        return cls(
+            n_observations=len(estimates),
+            n_reported=reported,
+            valid_rate=float((err <= tolerance_ft).mean()),
+            mean_deviation_ft=mean_d,
+            median_deviation_ft=med_d,
+            p90_deviation_ft=p90_d,
+            exact_hit_rate=float((err <= exact_tolerance_ft).mean()),
+        )
+
+    def row(self, label: str) -> str:
+        """A fixed-width report row (the bench harness prints these)."""
+        return (
+            f"{label:<22s} n={self.n_observations:<3d} "
+            f"valid={100 * self.valid_rate:5.1f}%  "
+            f"mean={self.mean_deviation_ft:6.2f} ft  "
+            f"median={self.median_deviation_ft:6.2f} ft  "
+            f"p90={self.p90_deviation_ft:6.2f} ft"
+        )

@@ -1,0 +1,130 @@
+"""Walking-path generation and track-level metrics.
+
+The tracking experiments (§6.2 extensions) need client trajectories.
+This module provides the two standard generators plus the track metrics
+the literature reports:
+
+* :func:`random_waypoint_path` — the classic mobility model: pick a
+  uniform waypoint, walk straight to it, repeat.
+* :func:`patrol_path` — a deterministic perimeter-ish loop, for
+  regression-stable benches.
+* :func:`track_errors` / :class:`TrackMetrics` — absolute trajectory
+  error statistics (mean/median/p90/RMSE) plus estimate *jumpiness*
+  (mean step of the estimate sequence vs the truth's step — a smoothness
+  measure the raw error hides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.geometry import Point
+from repro.parallel.rng import RngLike, resolve_rng
+
+
+def random_waypoint_path(
+    bounds: Tuple[float, float, float, float],
+    n_waypoints: int = 6,
+    margin_ft: float = 3.0,
+    rng: RngLike = None,
+) -> List[Point]:
+    """Random-waypoint trajectory inside ``bounds`` (uniform waypoints)."""
+    if n_waypoints < 2:
+        raise ValueError(f"a path needs >= 2 waypoints, got {n_waypoints}")
+    x0, y0, x1, y1 = bounds
+    if x0 + margin_ft >= x1 - margin_ft or y0 + margin_ft >= y1 - margin_ft:
+        raise ValueError(f"margin {margin_ft} ft leaves no interior in {bounds}")
+    gen = resolve_rng(rng)
+    xs = gen.uniform(x0 + margin_ft, x1 - margin_ft, n_waypoints)
+    ys = gen.uniform(y0 + margin_ft, y1 - margin_ft, n_waypoints)
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def patrol_path(
+    bounds: Tuple[float, float, float, float], inset_ft: float = 5.0
+) -> List[Point]:
+    """A deterministic rectangular patrol loop, ``inset_ft`` off the walls."""
+    x0, y0, x1, y1 = bounds
+    if x0 + inset_ft >= x1 - inset_ft or y0 + inset_ft >= y1 - inset_ft:
+        raise ValueError(f"inset {inset_ft} ft leaves no loop in {bounds}")
+    a, b = x0 + inset_ft, y0 + inset_ft
+    c, d = x1 - inset_ft, y1 - inset_ft
+    return [Point(a, b), Point(c, b), Point(c, d), Point(a, d), Point(a, b)]
+
+
+def path_length(waypoints: Sequence[Point]) -> float:
+    """Total length of a piecewise-linear path (ft)."""
+    return float(sum(p.distance_to(q) for p, q in zip(waypoints[:-1], waypoints[1:])))
+
+
+@dataclass(frozen=True)
+class TrackMetrics:
+    """Error statistics of one estimated track against the truth."""
+
+    n_steps: int
+    n_fixes: int
+    mean_error_ft: float
+    median_error_ft: float
+    p90_error_ft: float
+    rmse_ft: float
+    jumpiness_ratio: float
+
+    def row(self, label: str) -> str:
+        return (
+            f"{label:<24s} fixes={self.n_fixes}/{self.n_steps}  "
+            f"mean={self.mean_error_ft:6.2f}  median={self.median_error_ft:6.2f}  "
+            f"p90={self.p90_error_ft:6.2f}  rmse={self.rmse_ft:6.2f}  "
+            f"jump={self.jumpiness_ratio:5.2f}x"
+        )
+
+
+def track_errors(
+    true_path: Sequence[Point],
+    estimates,
+    warmup: int = 3,
+) -> TrackMetrics:
+    """Score an estimate sequence against the true positions.
+
+    ``estimates`` are :class:`~repro.algorithms.base.LocationEstimate`;
+    invalid/position-less steps are skipped (counted as missing fixes).
+    The first ``warmup`` steps are excluded from the error statistics
+    (filters need a few steps to localize from a uniform prior), but the
+    fix count covers everything.  ``jumpiness_ratio`` compares the
+    estimate sequence's mean step length against the truth's — 1.0 means
+    the track moves like the client; ≫1 means it teleports between
+    scans.
+    """
+    if len(true_path) != len(estimates):
+        raise ValueError(f"{len(true_path)} truths vs {len(estimates)} estimates")
+    pairs = [
+        (t, e.position)
+        for t, e in zip(true_path, estimates)
+        if e.valid and e.position is not None
+    ]
+    n_fixes = len(pairs)
+    scored = pairs[warmup:] if len(pairs) > warmup else pairs
+    if not scored:
+        return TrackMetrics(len(true_path), n_fixes, float("inf"), float("inf"),
+                            float("inf"), float("inf"), float("inf"))
+    errors = np.array([t.distance_to(p) for t, p in scored])
+
+    def step_mean(points: Sequence[Point]) -> float:
+        if len(points) < 2:
+            return 0.0
+        return float(np.mean([a.distance_to(b) for a, b in zip(points[:-1], points[1:])]))
+
+    truth_step = step_mean([t for t, _ in pairs])
+    est_step = step_mean([p for _, p in pairs])
+    jump = est_step / truth_step if truth_step > 0 else float("inf")
+    return TrackMetrics(
+        n_steps=len(true_path),
+        n_fixes=n_fixes,
+        mean_error_ft=float(errors.mean()),
+        median_error_ft=float(np.median(errors)),
+        p90_error_ft=float(np.percentile(errors, 90)),
+        rmse_ft=float(np.sqrt((errors**2).mean())),
+        jumpiness_ratio=jump,
+    )

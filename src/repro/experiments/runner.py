@@ -1,0 +1,163 @@
+"""Protocol runner: Phase 1 + Phase 2 for one algorithm, one site draw.
+
+One call to :func:`run_protocol` is one complete §5 experiment:
+
+1. survey the training grid (Phase 1 capture),
+2. generate the training database (§4.3),
+3. fit the algorithm,
+4. observe at each test point (Phase 2 capture),
+5. locate each observation and score it.
+
+Everything stochastic flows from the two seeds — ``site`` geometry
+noise lives in the house's own config, and ``rng`` here covers the
+survey and the observations — so a result is a pure function of
+``(house config, algorithm, rng)`` and sweeps can run cells in
+parallel worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.algorithms.base import LocationEstimate, Localizer, Observation, make_localizer
+from repro.core.geometry import Point
+from repro.core.trainingdb import TrainingDatabase
+from repro.experiments.house import ExperimentHouse, HouseConfig
+from repro.experiments.metrics import ExperimentMetrics
+from repro.parallel.rng import RngLike, resolve_rng, split_rng
+
+
+@dataclass(frozen=True)
+class ObservationOutcome:
+    """One test point's result."""
+
+    true_position: Point
+    estimate: LocationEstimate
+
+    @property
+    def error_ft(self) -> float:
+        return self.estimate.error_to(self.true_position)
+
+
+@dataclass
+class ExperimentResult:
+    """A full protocol run: per-observation outcomes plus the summary."""
+
+    algorithm: str
+    outcomes: List[ObservationOutcome]
+    metrics: ExperimentMetrics
+    training_db: Optional[TrainingDatabase] = None
+
+    def errors_ft(self) -> np.ndarray:
+        return np.array([o.error_ft for o in self.outcomes])
+
+
+def _build_localizer(
+    algorithm: Union[str, Localizer], house: ExperimentHouse, **kwargs
+) -> Localizer:
+    if isinstance(algorithm, Localizer):
+        return algorithm
+    if algorithm in ("geometric", "multilateration") and "ap_positions" not in kwargs:
+        kwargs["ap_positions"] = house.ap_positions_by_bssid()
+    return make_localizer(algorithm, **kwargs)
+
+
+def run_protocol(
+    algorithm: Union[str, Localizer],
+    house: Optional[ExperimentHouse] = None,
+    rng: RngLike = 0,
+    tolerance_ft: Optional[float] = None,
+    test_seed: int = 13,
+    observation_dwell_s: Optional[float] = None,
+    training_db: Optional[TrainingDatabase] = None,
+    keep_db: bool = False,
+    **algorithm_kwargs,
+) -> ExperimentResult:
+    """Run the §5 protocol once.
+
+    Parameters
+    ----------
+    algorithm:
+        Registry name or pre-built localizer.
+    house:
+        The site; defaults to the calibrated §5 house.
+    rng:
+        Master seed for this run's survey + observations.
+    tolerance_ft:
+        Valid-estimation tolerance; defaults to the house grid step.
+    test_seed:
+        Seed choosing the 13 scattered test points (fixed by default so
+        every algorithm sees the same points, like the paper).
+    observation_dwell_s:
+        Phase-2 window length (defaults to the Phase-1 dwell).
+    training_db:
+        Reuse an existing Phase-1 database (skips the survey) — lets
+        sweeps hold Phase 1 fixed while varying Phase 2 and keeps
+        algorithm comparisons on identical training data.
+    keep_db:
+        Attach the training database to the result.
+    """
+    house = house or ExperimentHouse()
+    gen = resolve_rng(rng)
+    survey_rng, observe_rng = split_rng(gen, 2)
+
+    if training_db is None:
+        training_db = house.training_database(rng=survey_rng)
+    localizer = _build_localizer(algorithm, house, **algorithm_kwargs)
+    localizer.fit(training_db)
+
+    test_points = house.test_points(seed=test_seed)
+    observations = house.observe_all(test_points, rng=observe_rng, dwell_s=observation_dwell_s)
+
+    outcomes = [
+        ObservationOutcome(true_position=p, estimate=localizer.locate(obs))
+        for p, obs in zip(test_points, observations)
+    ]
+    tol = house.config.grid_step_ft if tolerance_ft is None else tolerance_ft
+    metrics = ExperimentMetrics.compute(
+        test_points, [o.estimate for o in outcomes], tolerance_ft=tol
+    )
+    name = localizer.name or type(localizer).__name__
+    return ExperimentResult(
+        algorithm=name,
+        outcomes=outcomes,
+        metrics=metrics,
+        training_db=training_db if keep_db else None,
+    )
+
+
+def run_repeated(
+    algorithm: Union[str, Localizer],
+    house: Optional[ExperimentHouse] = None,
+    n_runs: int = 5,
+    rng: RngLike = 0,
+    **kwargs,
+) -> List[ExperimentResult]:
+    """Independent repetitions (fresh survey + observation noise each)."""
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    gen = resolve_rng(rng)
+    seeds = split_rng(gen, n_runs)
+    return [run_protocol(algorithm, house=house, rng=s, **kwargs) for s in seeds]
+
+
+def aggregate_metrics(results: Sequence[ExperimentResult]) -> Dict[str, float]:
+    """Mean-of-runs summary for repeated protocols."""
+    if not results:
+        raise ValueError("no results to aggregate")
+    finite_means = [
+        r.metrics.mean_deviation_ft
+        for r in results
+        if np.isfinite(r.metrics.mean_deviation_ft)
+    ]
+    return {
+        "n_runs": float(len(results)),
+        "valid_rate": float(np.mean([r.metrics.valid_rate for r in results])),
+        "mean_deviation_ft": float(np.mean(finite_means)) if finite_means else float("inf"),
+        "median_deviation_ft": float(
+            np.mean([r.metrics.median_deviation_ft for r in results])
+        ),
+    }

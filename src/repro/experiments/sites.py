@@ -1,0 +1,116 @@
+"""Site presets beyond the paper's house.
+
+The §5 house is small enough that every AP is audible everywhere — some
+approaches (identifying codes!) never get to show their behaviour.
+These presets give the toolkit bigger stages:
+
+* :func:`paper_house` — the §5 site, verbatim (delegates to the
+  defaults; here so experiments can name their site explicitly).
+* :func:`office_floor` — a 120 ft × 80 ft office: central corridor,
+  perimeter offices off it, concrete core, 8 APs down the corridor.
+  Large enough that corner-to-corner APs drop below sensitivity, which
+  turns presence/absence into real information.
+* :func:`warehouse` — a 200 ft × 120 ft open span with a few metal
+  racks: long distances, few walls — the geometric approach's best
+  case and fingerprinting's worst (little structure to memorize).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.geometry import Point
+from repro.experiments.house import ExperimentHouse, HouseConfig
+from repro.radio.environment import Wall
+
+
+def paper_house(dwell_s: float = 90.0, **overrides) -> ExperimentHouse:
+    """The §5 experiment house with calibrated defaults."""
+    return ExperimentHouse(HouseConfig(dwell_s=dwell_s, **overrides))
+
+
+def _office_walls(width: float, height: float) -> List[Wall]:
+    """Corridor spine + perimeter office partitions + concrete core."""
+    walls: List[Wall] = []
+    corridor_lo = height / 2 - 5.0
+    corridor_hi = height / 2 + 5.0
+    # Corridor walls, with door gaps every 20 ft (gap = 4 ft).
+    x = 0.0
+    while x < width:
+        seg_end = min(x + 16.0, width)
+        walls.append(Wall.of(x, corridor_lo, seg_end, corridor_lo, "drywall"))
+        walls.append(Wall.of(x, corridor_hi, seg_end, corridor_hi, "drywall"))
+        x += 20.0
+    # Office partitions perpendicular to the corridor, both sides.
+    x = 20.0
+    while x < width:
+        walls.append(Wall.of(x, 0.0, x, corridor_lo, "drywall"))
+        walls.append(Wall.of(x, corridor_hi, x, height, "drywall"))
+        x += 20.0
+    # Concrete service core in the middle of the north side.
+    cx0, cx1 = width / 2 - 12.0, width / 2 + 12.0
+    walls.append(Wall.of(cx0, corridor_hi, cx1, corridor_hi, "concrete"))
+    walls.append(Wall.of(cx0, height, cx1, height, "concrete"))
+    walls.append(Wall.of(cx0, corridor_hi, cx0, height, "concrete"))
+    walls.append(Wall.of(cx1, corridor_hi, cx1, height, "concrete"))
+    return walls
+
+
+def office_floor(
+    width_ft: float = 120.0,
+    height_ft: float = 80.0,
+    n_aps: int = 8,
+    dwell_s: float = 60.0,
+    **overrides,
+) -> ExperimentHouse:
+    """A corridor-and-offices floor with APs spaced down the corridor."""
+    config = HouseConfig(
+        width_ft=width_ft,
+        height_ft=height_ft,
+        n_aps=n_aps,
+        dwell_s=dwell_s,
+        n_test_points=overrides.pop("n_test_points", 20),
+        **overrides,
+    )
+    # APs along the corridor center line, evenly spaced, alternating a
+    # small north/south offset so adjacent cells differ.
+    y_mid = height_ft / 2.0
+    positions = [
+        Point(width_ft * (i + 0.5) / n_aps, y_mid + (6.0 if i % 2 else -6.0))
+        for i in range(n_aps)
+    ]
+    return ExperimentHouse(
+        config, walls=_office_walls(width_ft, height_ft), ap_positions=positions
+    )
+
+
+def warehouse(
+    width_ft: float = 200.0,
+    height_ft: float = 120.0,
+    n_aps: int = 6,
+    dwell_s: float = 60.0,
+    **overrides,
+) -> ExperimentHouse:
+    """An open span with sparse metal racks and high-mounted corner/edge APs."""
+    config = HouseConfig(
+        width_ft=width_ft,
+        height_ft=height_ft,
+        n_aps=n_aps,
+        dwell_s=dwell_s,
+        n_test_points=overrides.pop("n_test_points", 20),
+        grid_step_ft=overrides.pop("grid_step_ft", 20.0),
+        **overrides,
+    )
+    racks: List[Wall] = []
+    for i in range(3):
+        x = width_ft * (i + 1) / 4.0
+        racks.append(Wall.of(x, height_ft * 0.2, x, height_ft * 0.8, "metal"))
+    ring = [
+        Point(0, 0),
+        Point(width_ft, 0),
+        Point(width_ft, height_ft),
+        Point(0, height_ft),
+        Point(width_ft / 2, 0),
+        Point(width_ft / 2, height_ft),
+    ]
+    return ExperimentHouse(config, walls=racks, ap_positions=ring[:n_aps])

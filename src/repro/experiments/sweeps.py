@@ -1,0 +1,147 @@
+"""Parameter sweeps over the §5 protocol, parallelized.
+
+Each sweep cell — one (parameter value, algorithm, repetition seed)
+triple — is an independent full protocol run, so cells ship to worker
+processes via :func:`repro.parallel.parallel_map`.  Worker payloads are
+plain dicts (picklable, tiny); results come back as flat row dicts the
+bench harnesses format into the paper-style tables.
+
+Seeds: every cell derives its seed via
+:func:`repro.parallel.rng.stable_seed` from its labels, so adding a
+value to a sweep never changes any other cell's draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, replace
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.experiments.house import ExperimentHouse, HouseConfig
+from repro.experiments.runner import run_protocol
+from repro.parallel.pool import ParallelConfig, parallel_map
+from repro.parallel.rng import stable_seed
+
+
+def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker: one (config override, algorithm, seed) protocol run."""
+    config = HouseConfig(**payload["config_kwargs"])
+    house = ExperimentHouse(config)
+    result = run_protocol(
+        payload["algorithm"],
+        house=house,
+        rng=payload["seed"],
+        observation_dwell_s=payload.get("observation_dwell_s"),
+        **payload.get("algorithm_kwargs", {}),
+    )
+    m = result.metrics
+    return {
+        "algorithm": payload["algorithm"],
+        "param": payload["param_name"],
+        "value": payload["param_value"],
+        "rep": payload["rep"],
+        "valid_rate": m.valid_rate,
+        "mean_deviation_ft": m.mean_deviation_ft,
+        "median_deviation_ft": m.median_deviation_ft,
+        "p90_deviation_ft": m.p90_deviation_ft,
+        "n_reported": m.n_reported,
+        "n_observations": m.n_observations,
+    }
+
+
+def sweep(
+    param_name: str,
+    values: Sequence[Any],
+    algorithms: Sequence[str] = ("probabilistic", "geometric"),
+    n_runs: int = 4,
+    base_config: Optional[HouseConfig] = None,
+    algorithm_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
+    parallel: Optional[ParallelConfig] = None,
+    seed_label: str = "sweep",
+) -> List[Dict[str, Any]]:
+    """Run a full sweep of one :class:`HouseConfig` field.
+
+    ``param_name`` must be a ``HouseConfig`` field (``grid_step_ft``,
+    ``shadowing_sigma_db``, ``n_aps``, …) — or the pseudo-parameter
+    ``"observation_dwell_s"``, which varies only the Phase-2 window.
+    Returns one row dict per (value, algorithm, repetition).
+    """
+    base = base_config or HouseConfig()
+    base_kwargs = asdict(base)
+    is_pseudo = param_name == "observation_dwell_s"
+    if not is_pseudo and param_name not in base_kwargs:
+        raise KeyError(
+            f"{param_name!r} is not a HouseConfig field; have {sorted(base_kwargs)}"
+        )
+    payloads: List[Dict[str, Any]] = []
+    for value in values:
+        config_kwargs = dict(base_kwargs)
+        if not is_pseudo:
+            config_kwargs[param_name] = value
+        for algorithm in algorithms:
+            for rep in range(n_runs):
+                payloads.append(
+                    {
+                        "config_kwargs": config_kwargs,
+                        "algorithm": algorithm,
+                        "algorithm_kwargs": (algorithm_kwargs or {}).get(algorithm, {}),
+                        "param_name": param_name,
+                        "param_value": value,
+                        "rep": rep,
+                        "seed": stable_seed(seed_label, param_name, value, algorithm, rep),
+                        "observation_dwell_s": value if is_pseudo else None,
+                    }
+                )
+    return parallel_map(_run_cell, payloads, config=parallel)
+
+
+def summarize(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Collapse repetitions: mean metrics per (param value, algorithm)."""
+    groups: Dict[tuple, List[Dict[str, Any]]] = {}
+    for row in rows:
+        groups.setdefault((row["value"], row["algorithm"]), []).append(row)
+    out = []
+    for (value, algorithm), members in sorted(
+        groups.items(), key=lambda kv: (repr(kv[0][0]), kv[0][1])
+    ):
+        finite = [
+            m["mean_deviation_ft"]
+            for m in members
+            if np.isfinite(m["mean_deviation_ft"])
+        ]
+        out.append(
+            {
+                "param": members[0]["param"],
+                "value": value,
+                "algorithm": algorithm,
+                "n_runs": len(members),
+                "valid_rate": float(np.mean([m["valid_rate"] for m in members])),
+                "mean_deviation_ft": float(np.mean(finite)) if finite else float("inf"),
+                "median_deviation_ft": float(
+                    np.mean([m["median_deviation_ft"] for m in members])
+                ),
+            }
+        )
+    return out
+
+
+def format_table(summary_rows: Sequence[Dict[str, Any]], title: str = "") -> str:
+    """Fixed-width table of a summarized sweep (bench harness output)."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = (
+        f"{'param':<22s} {'value':>10s} {'algorithm':<16s} "
+        f"{'valid%':>7s} {'mean_ft':>8s} {'median_ft':>10s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in summary_rows:
+        lines.append(
+            f"{row['param']:<22s} {row['value']!s:>10s} {row['algorithm']:<16s} "
+            f"{100 * row['valid_rate']:>6.1f}% {row['mean_deviation_ft']:>8.2f} "
+            f"{row['median_deviation_ft']:>10.2f}"
+        )
+    return "\n".join(lines)

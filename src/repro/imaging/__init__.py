@@ -1,0 +1,42 @@
+"""Pure-Python/NumPy imaging substrate.
+
+The toolkit's Floor Plan Processor and Compositor (paper §4.1–4.2) read
+and write **GIF** floor-plan images ("Currently only GIF format is
+accepted").  No third-party imaging library is available offline, so this
+package implements everything the toolkit needs from scratch:
+
+* :mod:`repro.imaging.raster` — an RGB raster backed by a NumPy array
+  with vectorized drawing primitives (lines, circles, rectangles,
+  markers, flood fill).
+* :mod:`repro.imaging.lzw` — GIF-variant LZW compression with dynamic
+  code width, clear/EOI codes.
+* :mod:`repro.imaging.gif` — GIF87a/89a decoder and encoder (interlace,
+  local/global palettes, multiple image blocks, comment/graphic-control
+  extensions).
+* :mod:`repro.imaging.palette` — median-cut color quantization so any
+  raster can be exported to a ≤256-color GIF.
+* :mod:`repro.imaging.font` — a 5×7 bitmap font for labelling floor
+  plans (AP names, location names, legends).
+* :mod:`repro.imaging.pnm` — PPM/PGM codecs (handy for debugging and as
+  a non-GIF interchange path).
+* :mod:`repro.imaging.blueprint` — synthetic architectural floor-plan
+  drawings standing in for the paper's scanned blueprints.
+"""
+
+from repro.imaging.raster import Raster, Color
+from repro.imaging.gif import decode_gif, encode_gif, read_gif, write_gif
+from repro.imaging.pnm import read_pnm, write_ppm
+from repro.imaging.palette import quantize, build_palette
+
+__all__ = [
+    "Raster",
+    "Color",
+    "decode_gif",
+    "encode_gif",
+    "read_gif",
+    "write_gif",
+    "read_pnm",
+    "write_ppm",
+    "quantize",
+    "build_palette",
+]

@@ -1,0 +1,193 @@
+"""Synthetic architectural floor plans.
+
+The paper's floor plans are GIFs "scanned from the architectural
+blueprints of the room or building of interest".  We have no scanner, so
+this module *draws* blueprints: exterior shell, interior walls, door
+gaps, room labels, a title block and an optional scan-speckle pass that
+mimics a photocopied original.  The output is an ordinary
+:class:`~repro.imaging.raster.Raster`, which the toolkit then saves as a
+GIF — giving the Floor Plan Processor a realistic file to load.
+
+Coordinates given to this module are in **feet** with a y-up floor
+convention; rendering flips to the y-down image convention internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.imaging import font
+from repro.imaging.raster import BLACK, GRAY, LIGHT_GRAY, Raster, WHITE
+from repro.parallel.rng import RngLike, resolve_rng
+
+Segment = Tuple[float, float, float, float]  # x0, y0, x1, y1 in feet
+
+PAPER_TINT = (247, 245, 238)  # aged-paper background
+INK = (40, 40, 48)
+
+
+@dataclass
+class BlueprintSpec:
+    """Declarative description of a floor plan drawing.
+
+    ``width_ft``/``height_ft`` bound the building; ``interior_walls`` are
+    wall center-lines in feet; ``doors`` are (x, y, width_ft, horizontal)
+    gaps punched through walls; ``labels`` are (x, y, text) room names.
+    """
+
+    width_ft: float
+    height_ft: float
+    interior_walls: List[Segment] = field(default_factory=list)
+    doors: List[Tuple[float, float, float, bool]] = field(default_factory=list)
+    labels: List[Tuple[float, float, str]] = field(default_factory=list)
+    title: str = "FLOOR PLAN"
+    pixels_per_foot: float = 8.0
+    margin_px: int = 40
+
+    def __post_init__(self):
+        if self.width_ft <= 0 or self.height_ft <= 0:
+            raise ValueError(
+                f"building dimensions must be positive, got "
+                f"{self.width_ft} x {self.height_ft} ft"
+            )
+        if self.pixels_per_foot <= 0:
+            raise ValueError(f"pixels_per_foot must be positive, got {self.pixels_per_foot}")
+
+    @property
+    def image_size(self) -> Tuple[int, int]:
+        w = int(round(self.width_ft * self.pixels_per_foot)) + 2 * self.margin_px
+        h = int(round(self.height_ft * self.pixels_per_foot)) + 2 * self.margin_px + 24
+        return (w, h)
+
+    def to_pixel(self, x_ft: float, y_ft: float) -> Tuple[int, int]:
+        """Floor feet (y-up) → image pixels (y-down)."""
+        px = self.margin_px + x_ft * self.pixels_per_foot
+        py = self.margin_px + (self.height_ft - y_ft) * self.pixels_per_foot
+        return (int(round(px)), int(round(py)))
+
+
+def _draw_wall(raster: Raster, spec: BlueprintSpec, seg: Segment, thickness: int) -> None:
+    x0, y0 = spec.to_pixel(seg[0], seg[1])
+    x1, y1 = spec.to_pixel(seg[2], seg[3])
+    raster.draw_line(x0, y0, x1, y1, INK, thickness)
+
+
+def _punch_door(raster: Raster, spec: BlueprintSpec, door: Tuple[float, float, float, bool]) -> None:
+    x, y, width_ft, horizontal = door
+    half = width_ft / 2.0
+    if horizontal:
+        x0, y0 = spec.to_pixel(x - half, y)
+        x1, y1 = spec.to_pixel(x + half, y)
+    else:
+        x0, y0 = spec.to_pixel(x, y - half)
+        x1, y1 = spec.to_pixel(x, y + half)
+    raster.draw_line(x0, y0, x1, y1, PAPER_TINT, 7)
+
+
+def render_blueprint(spec: BlueprintSpec, scan_noise: float = 0.0, rng: RngLike = None) -> Raster:
+    """Render a :class:`BlueprintSpec` to a raster.
+
+    ``scan_noise`` in [0, 1] adds photocopier speckle (salt-and-pepper
+    plus slight ink bleed) at the given density, seeded by ``rng`` so
+    test fixtures are reproducible.
+    """
+    if not 0.0 <= scan_noise <= 1.0:
+        raise ValueError(f"scan_noise must be in [0, 1], got {scan_noise}")
+    w, h = spec.image_size
+    raster = Raster(w, h, background=PAPER_TINT)
+
+    # Faint 10-ft grid, like graph-paper blueprint stock.
+    step = 10.0
+    x = 0.0
+    while x <= spec.width_ft + 1e-9:
+        x0, y0 = spec.to_pixel(x, 0.0)
+        x1, y1 = spec.to_pixel(x, spec.height_ft)
+        raster.draw_line(x0, y0, x1, y1, LIGHT_GRAY, 1)
+        x += step
+    y = 0.0
+    while y <= spec.height_ft + 1e-9:
+        x0, y0 = spec.to_pixel(0.0, y)
+        x1, y1 = spec.to_pixel(spec.width_ft, y)
+        raster.draw_line(x0, y0, x1, y1, LIGHT_GRAY, 1)
+        y += step
+
+    # Exterior shell (double-thick), interior walls, then door gaps.
+    shell: List[Segment] = [
+        (0, 0, spec.width_ft, 0),
+        (spec.width_ft, 0, spec.width_ft, spec.height_ft),
+        (spec.width_ft, spec.height_ft, 0, spec.height_ft),
+        (0, spec.height_ft, 0, 0),
+    ]
+    for seg in shell:
+        _draw_wall(raster, spec, seg, thickness=4)
+    for seg in spec.interior_walls:
+        _draw_wall(raster, spec, seg, thickness=2)
+    for door in spec.doors:
+        _punch_door(raster, spec, door)
+
+    for x_ft, y_ft, text in spec.labels:
+        px, py = spec.to_pixel(x_ft, y_ft)
+        tw, th = font.measure_text(text)
+        font.draw_text(raster, px - tw // 2, py - th // 2, text, INK)
+
+    # Title block along the bottom edge.
+    font.draw_text(raster, spec.margin_px, h - 18, spec.title, INK, scale=2)
+    dims = f"{spec.width_ft:g} FT X {spec.height_ft:g} FT"
+    tw, _ = font.measure_text(dims, scale=1)
+    font.draw_text(raster, w - spec.margin_px - tw, h - 14, dims, GRAY)
+
+    if scan_noise > 0.0:
+        _apply_scan_noise(raster, scan_noise, resolve_rng(rng))
+    return raster
+
+
+def _apply_scan_noise(raster: Raster, density: float, rng: np.random.Generator) -> None:
+    """Photocopier speckle: sparse dark/pale dots over the whole sheet."""
+    h, w = raster.height, raster.width
+    n = int(density * 0.01 * h * w)
+    if n == 0:
+        return
+    ys = rng.integers(0, h, size=n)
+    xs = rng.integers(0, w, size=n)
+    dark = rng.random(n) < 0.5
+    raster.pixels[ys[dark], xs[dark]] = (90, 90, 95)
+    raster.pixels[ys[~dark], xs[~dark]] = (252, 252, 248)
+
+
+def experiment_house_blueprint(pixels_per_foot: float = 8.0, scan_noise: float = 0.15, rng: RngLike = 7) -> Raster:
+    """The paper's 50 ft × 40 ft experiment house, as a scanned blueprint.
+
+    Room layout is synthetic (the paper never shows it) but consistent
+    with the §5 protocol: an open living area, two bedrooms, a kitchen
+    and a hallway, with the four AP corners kept clear.
+    """
+    spec = BlueprintSpec(
+        width_ft=50.0,
+        height_ft=40.0,
+        interior_walls=[
+            (20, 0, 20, 25),    # living / bedroom divider
+            (20, 25, 0, 25),    # bedroom 1 north wall
+            (35, 40, 35, 25),   # kitchen west wall
+            (35, 25, 50, 25),   # kitchen south wall
+            (20, 12, 35, 12),   # hallway south wall
+        ],
+        doors=[
+            (20.0, 18.0, 3.0, False),
+            (10.0, 25.0, 3.0, True),
+            (35.0, 32.0, 3.0, False),
+            (27.0, 12.0, 3.0, True),
+        ],
+        labels=[
+            (10, 12, "BED 1"),
+            (10, 33, "BED 2"),
+            (35, 6, "LIVING"),
+            (42, 33, "KITCHEN"),
+            (27, 18, "HALL"),
+        ],
+        title="EXPERIMENT HOUSE",
+        pixels_per_foot=pixels_per_foot,
+    )
+    return render_blueprint(spec, scan_noise=scan_noise, rng=rng)

@@ -1,0 +1,404 @@
+"""GIF87a / GIF89a decoder and encoder, from scratch.
+
+The paper's Floor Plan Processor accepts *only* GIF floor plans, so the
+toolkit needs a real GIF codec.  This module implements the subset of
+the GIF specification the toolkit exercises, plus enough generality to
+read typical scanned-blueprint files:
+
+* logical screen descriptor, global and local color tables,
+* image descriptors, including **interlaced** images,
+* LZW-compressed image data (via :mod:`repro.imaging.lzw`),
+* 89a extensions: comments are preserved; graphic-control, plain-text
+  and application extensions are parsed and skipped.
+
+Encoding always writes GIF89a with a global color table and a single
+image block, optionally preceded by comment extensions — exactly the
+kind of file the Processor saves.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.imaging import lzw
+from repro.imaging.palette import build_palette, quantize
+from repro.imaging.raster import Raster
+
+GIF87A = b"GIF87a"
+GIF89A = b"GIF89a"
+
+BLOCK_EXTENSION = 0x21
+BLOCK_IMAGE = 0x2C
+BLOCK_TRAILER = 0x3B
+
+EXT_GRAPHIC_CONTROL = 0xF9
+EXT_COMMENT = 0xFE
+EXT_PLAIN_TEXT = 0x01
+EXT_APPLICATION = 0xFF
+
+# Interlace pass layout: (row offset, row step) per GIF spec appendix E.
+_INTERLACE_PASSES = ((0, 8), (4, 8), (2, 4), (1, 2))
+
+
+class GifError(ValueError):
+    """Raised when a GIF stream is structurally invalid."""
+
+
+@dataclass
+class GifFrame:
+    """One decoded image block.
+
+    ``indices`` is an ``(h, w) uint8`` array of palette indices;
+    ``palette`` is the effective ``(n, 3) uint8`` color table (local if
+    present, else global); ``left``/``top`` position the block on the
+    logical screen; ``transparent_index`` comes from a preceding
+    graphic-control extension (or ``None``).
+    """
+
+    indices: np.ndarray
+    palette: np.ndarray
+    left: int = 0
+    top: int = 0
+    interlaced: bool = False
+    transparent_index: Optional[int] = None
+
+    @property
+    def width(self) -> int:
+        return self.indices.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.indices.shape[0]
+
+    def to_rgb(self) -> np.ndarray:
+        """Expand palette indices to an ``(h, w, 3) uint8`` RGB array."""
+        if self.indices.max(initial=0) >= len(self.palette):
+            raise GifError(
+                f"frame references palette index {int(self.indices.max())} "
+                f"but palette has {len(self.palette)} entries"
+            )
+        return self.palette[self.indices]
+
+
+@dataclass
+class GifImage:
+    """A decoded GIF: logical screen plus one or more frames."""
+
+    width: int
+    height: int
+    frames: List[GifFrame] = field(default_factory=list)
+    global_palette: Optional[np.ndarray] = None
+    background_index: int = 0
+    comments: List[str] = field(default_factory=list)
+    version: bytes = GIF89A
+
+    def composite(self) -> Raster:
+        """Flatten frames onto the logical screen as an RGB raster.
+
+        The background is the background color when a global palette is
+        present, else white.  Frames are pasted in order at their
+        (left, top) offsets, honoring transparency.
+        """
+        if self.global_palette is not None and self.background_index < len(self.global_palette):
+            bg = tuple(int(v) for v in self.global_palette[self.background_index])
+        else:
+            bg = (255, 255, 255)
+        canvas = np.empty((self.height, self.width, 3), dtype=np.uint8)
+        canvas[:] = bg
+        for frame in self.frames:
+            rgb = frame.to_rgb()
+            y0, x0 = frame.top, frame.left
+            h = min(frame.height, self.height - y0)
+            w = min(frame.width, self.width - x0)
+            if h <= 0 or w <= 0:
+                continue
+            region = rgb[:h, :w]
+            if frame.transparent_index is not None:
+                opaque = frame.indices[:h, :w] != frame.transparent_index
+                target = canvas[y0 : y0 + h, x0 : x0 + w]
+                target[opaque] = region[opaque]
+            else:
+                canvas[y0 : y0 + h, x0 : x0 + w] = region
+        return Raster.from_array(canvas)
+
+
+class _Cursor:
+    """Byte cursor with bounds-checked reads over the GIF stream."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise GifError(f"unexpected end of GIF data at offset {self.pos}")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self.take(2))[0]
+
+    def sub_blocks(self) -> bytes:
+        """Read a sequence of data sub-blocks up to the 0x00 terminator."""
+        out = bytearray()
+        while True:
+            size = self.u8()
+            if size == 0:
+                return bytes(out)
+            out += self.take(size)
+
+
+def _deinterlace(rows: np.ndarray) -> np.ndarray:
+    """Reorder interlaced row storage into display order."""
+    height = rows.shape[0]
+    out = np.empty_like(rows)
+    src = 0
+    for offset, step in _INTERLACE_PASSES:
+        n = len(range(offset, height, step))
+        out[offset:height:step] = rows[src : src + n]
+        src += n
+    return out
+
+
+def _interlace(rows: np.ndarray) -> np.ndarray:
+    """Reorder display-order rows into interlaced storage order."""
+    parts = [rows[offset::step] for offset, step in _INTERLACE_PASSES]
+    return np.concatenate(parts, axis=0)
+
+
+def decode_gif(data: bytes) -> GifImage:
+    """Parse a complete GIF byte stream into a :class:`GifImage`."""
+    cur = _Cursor(data)
+    version = cur.take(6)
+    if version not in (GIF87A, GIF89A):
+        raise GifError(f"not a GIF file (signature {version!r})")
+    width = cur.u16()
+    height = cur.u16()
+    packed = cur.u8()
+    background_index = cur.u8()
+    cur.u8()  # pixel aspect ratio: ignored
+
+    global_palette = None
+    if packed & 0x80:
+        size = 2 << (packed & 0x07)
+        raw = cur.take(3 * size)
+        global_palette = np.frombuffer(raw, dtype=np.uint8).reshape(size, 3).copy()
+
+    image = GifImage(
+        width=width,
+        height=height,
+        global_palette=global_palette,
+        background_index=background_index,
+        version=version,
+    )
+
+    transparent_index: Optional[int] = None
+    while True:
+        block = cur.u8()
+        if block == BLOCK_TRAILER:
+            break
+        if block == BLOCK_EXTENSION:
+            label = cur.u8()
+            payload = cur.sub_blocks()
+            if label == EXT_COMMENT:
+                image.comments.append(payload.decode("utf-8", errors="replace"))
+            elif label == EXT_GRAPHIC_CONTROL:
+                if len(payload) >= 4 and payload[0] & 0x01:
+                    transparent_index = payload[3]
+                else:
+                    transparent_index = None
+            # plain-text / application / unknown extensions: skipped
+        elif block == BLOCK_IMAGE:
+            left = cur.u16()
+            top = cur.u16()
+            w = cur.u16()
+            h = cur.u16()
+            img_packed = cur.u8()
+            interlaced = bool(img_packed & 0x40)
+            palette = global_palette
+            if img_packed & 0x80:
+                size = 2 << (img_packed & 0x07)
+                raw = cur.take(3 * size)
+                palette = np.frombuffer(raw, dtype=np.uint8).reshape(size, 3).copy()
+            if palette is None:
+                raise GifError("image block has neither local nor global color table")
+            min_code_size = cur.u8()
+            compressed = cur.sub_blocks()
+            flat = lzw.decompress(compressed, min_code_size, expected_length=w * h)
+            if flat.size != w * h:
+                raise GifError(
+                    f"image data decoded to {flat.size} pixels, expected {w * h}"
+                )
+            rows = flat.reshape(h, w)
+            if interlaced:
+                rows = _deinterlace(rows)
+            image.frames.append(
+                GifFrame(
+                    indices=rows.copy(),
+                    palette=palette,
+                    left=left,
+                    top=top,
+                    interlaced=interlaced,
+                    transparent_index=transparent_index,
+                )
+            )
+            transparent_index = None
+        else:
+            raise GifError(f"unknown block type 0x{block:02x} at offset {cur.pos - 1}")
+
+    if not image.frames:
+        raise GifError("GIF contains no image blocks")
+    return image
+
+
+def _palette_block_size(n_colors: int) -> Tuple[int, int]:
+    """GIF color tables must have a power-of-two size in [2, 256].
+
+    Returns ``(table_size, size_field)`` where ``table_size = 2 **
+    (size_field + 1)``.
+    """
+    size_field = 0
+    while (2 << size_field) < n_colors:
+        size_field += 1
+    if size_field > 7:
+        raise GifError(f"palette too large for GIF: {n_colors} colors")
+    return 2 << size_field, size_field
+
+
+def encode_gif(
+    raster: Raster,
+    comments: Sequence[str] = (),
+    max_colors: int = 256,
+    interlaced: bool = False,
+) -> bytes:
+    """Encode an RGB raster as a single-frame GIF89a byte stream.
+
+    Rasters with more than ``max_colors`` distinct colors are quantized
+    with median-cut first; comments are written as 89a comment extension
+    blocks (the Processor stores its provenance line there).
+    """
+    indices, palette = quantize(raster.pixels, max_colors=max_colors)
+    table_size, size_field = _palette_block_size(len(palette))
+    padded = np.zeros((table_size, 3), dtype=np.uint8)
+    padded[: len(palette)] = palette
+
+    out = bytearray()
+    out += GIF89A
+    out += struct.pack("<HH", raster.width, raster.height)
+    out += bytes([0x80 | 0x70 | size_field])  # GCT present, 8-bit resolution
+    out += bytes([0, 0])  # background index, aspect ratio
+
+    out += padded.tobytes()
+
+    for comment in comments:
+        out += bytes([BLOCK_EXTENSION, EXT_COMMENT])
+        encoded = comment.encode("utf-8")
+        for i in range(0, len(encoded), 255):
+            chunk = encoded[i : i + 255]
+            out += bytes([len(chunk)]) + chunk
+        out += b"\x00"
+
+    out += bytes([BLOCK_IMAGE])
+    out += struct.pack("<HHHH", 0, 0, raster.width, raster.height)
+    out += bytes([0x40 if interlaced else 0x00])  # no local table
+
+    min_code_size = max(2, size_field + 1)
+    rows = _interlace(indices) if interlaced else indices
+    compressed = lzw.compress(rows.ravel(), min_code_size)
+    out += bytes([min_code_size])
+    for i in range(0, len(compressed), 255):
+        chunk = compressed[i : i + 255]
+        out += bytes([len(chunk)]) + chunk
+    out += b"\x00"
+
+    out += bytes([BLOCK_TRAILER])
+    return bytes(out)
+
+
+def encode_animation(
+    frames: Sequence[Raster],
+    delay_cs: int = 10,
+    loop: bool = True,
+    max_colors: int = 256,
+) -> bytes:
+    """Encode an animated GIF89a from a sequence of equal-size rasters.
+
+    ``delay_cs`` is the inter-frame delay in centiseconds.  Each frame
+    carries its own local color table (quantized independently), and a
+    NETSCAPE2.0 application extension makes viewers loop when ``loop``
+    is set.  Used by the toolkit to animate tracking runs on a floor
+    plan.
+    """
+    if not frames:
+        raise GifError("animation needs at least one frame")
+    if delay_cs < 0:
+        raise GifError(f"delay must be non-negative, got {delay_cs}")
+    w, h = frames[0].width, frames[0].height
+    for i, f in enumerate(frames):
+        if (f.width, f.height) != (w, h):
+            raise GifError(
+                f"frame {i} is {f.width}x{f.height}, expected {w}x{h}"
+            )
+
+    out = bytearray()
+    out += GIF89A
+    out += struct.pack("<HH", w, h)
+    out += bytes([0x70, 0, 0])  # no global color table
+
+    if loop:
+        out += bytes([BLOCK_EXTENSION, EXT_APPLICATION, 11])
+        out += b"NETSCAPE2.0"
+        out += bytes([3, 1, 0, 0, 0])  # sub-block: loop forever
+
+    for frame in frames:
+        indices, palette = quantize(frame.pixels, max_colors=max_colors)
+        table_size, size_field = _palette_block_size(len(palette))
+        padded = np.zeros((table_size, 3), dtype=np.uint8)
+        padded[: len(palette)] = palette
+
+        # Graphic control: delay, no transparency, no disposal.
+        out += bytes([BLOCK_EXTENSION, EXT_GRAPHIC_CONTROL, 4, 0x00])
+        out += struct.pack("<H", delay_cs)
+        out += bytes([0, 0])
+
+        out += bytes([BLOCK_IMAGE])
+        out += struct.pack("<HHHH", 0, 0, w, h)
+        out += bytes([0x80 | size_field])  # local color table present
+        out += padded.tobytes()
+
+        min_code_size = max(2, size_field + 1)
+        compressed = lzw.compress(indices.ravel(), min_code_size)
+        out += bytes([min_code_size])
+        for i in range(0, len(compressed), 255):
+            chunk = compressed[i : i + 255]
+            out += bytes([len(chunk)]) + chunk
+        out += b"\x00"
+
+    out += bytes([BLOCK_TRAILER])
+    return bytes(out)
+
+
+def write_animation(path, frames: Sequence[Raster], delay_cs: int = 10, loop: bool = True) -> None:
+    """Write an animated GIF to ``path``."""
+    with open(path, "wb") as fh:
+        fh.write(encode_animation(frames, delay_cs=delay_cs, loop=loop))
+
+
+def read_gif(path) -> Raster:
+    """Read a GIF file and composite it to an RGB :class:`Raster`."""
+    with open(path, "rb") as fh:
+        return decode_gif(fh.read()).composite()
+
+
+def write_gif(path, raster: Raster, comments: Sequence[str] = (), interlaced: bool = False) -> None:
+    """Write an RGB raster to ``path`` as a GIF89a file."""
+    with open(path, "wb") as fh:
+        fh.write(encode_gif(raster, comments=comments, interlaced=interlaced))

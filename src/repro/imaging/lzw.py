@@ -1,0 +1,199 @@
+"""GIF-variant LZW compression.
+
+GIF image data is LZW-compressed with a *variable code width*: codes
+start at ``min_code_size + 1`` bits and grow as the string table fills,
+up to 12 bits, with two reserved codes — CLEAR (``2**min_code_size``)
+resets the table, and END-OF-INFORMATION (``CLEAR + 1``) terminates the
+stream.  Codes are packed into bytes **least-significant-bit first**.
+
+The encoder represents the current string by its table code and extends
+it via a ``(prefix_code, symbol) -> code`` dict, so compression is O(1)
+amortized per input symbol; the decoder's table is a list of ``bytes``.
+LZW is inherently sequential (each step depends on the table state from
+the previous step), so per the optimization guides we keep the inner
+loop small and branch-light rather than pretending to vectorize it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+MAX_CODE_WIDTH = 12
+MAX_TABLE_SIZE = 1 << MAX_CODE_WIDTH  # 4096
+
+
+class LZWError(ValueError):
+    """Raised when an LZW stream is malformed."""
+
+
+class _BitWriter:
+    """Packs variable-width codes into bytes, LSB first (GIF order)."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, code: int, width: int) -> None:
+        self._acc |= code << self._nbits
+        self._nbits += width
+        while self._nbits >= 8:
+            self._out.append(self._acc & 0xFF)
+            self._acc >>= 8
+            self._nbits -= 8
+
+    def finish(self) -> bytes:
+        if self._nbits > 0:
+            self._out.append(self._acc & 0xFF)
+            self._acc = 0
+            self._nbits = 0
+        return bytes(self._out)
+
+
+class _BitReader:
+    """Reads variable-width codes from bytes, LSB first (GIF order)."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self._acc = 0
+        self._nbits = 0
+
+    def read(self, width: int) -> int:
+        """Read one ``width``-bit code; raises :class:`LZWError` at EOF."""
+        while self._nbits < width:
+            if self._pos >= len(self._data):
+                raise LZWError("LZW stream truncated (ran out of bits)")
+            self._acc |= self._data[self._pos] << self._nbits
+            self._pos += 1
+            self._nbits += 8
+        code = self._acc & ((1 << width) - 1)
+        self._acc >>= width
+        self._nbits -= width
+        return code
+
+    def exhausted(self, width: int) -> bool:
+        """True when fewer than ``width`` bits remain."""
+        return self._nbits + 8 * (len(self._data) - self._pos) < width
+
+
+def compress(indices: Sequence[int], min_code_size: int) -> bytes:
+    """LZW-compress a sequence of palette indices.
+
+    ``min_code_size`` must be in [2, 8] (the GIF range) and every index
+    must be < ``2**min_code_size``.  The output begins with a CLEAR code
+    and ends with END-OF-INFORMATION, as the GIF spec requires.
+    """
+    if not 2 <= min_code_size <= 8:
+        raise LZWError(f"min_code_size must be in [2, 8], got {min_code_size}")
+    data = np.asarray(indices, dtype=np.int64).ravel()
+    n_symbols = 1 << min_code_size
+    if data.size and (data.min() < 0 or data.max() >= n_symbols):
+        raise LZWError(
+            f"index out of range for min_code_size={min_code_size}: "
+            f"values must be in [0, {n_symbols - 1}]"
+        )
+    clear = n_symbols
+    eoi = clear + 1
+
+    writer = _BitWriter()
+    code_width = min_code_size + 1
+    table = {}
+    next_code = eoi + 1
+    writer.write(clear, code_width)
+
+    if data.size == 0:
+        writer.write(eoi, code_width)
+        return writer.finish()
+
+    prefix = int(data[0])  # current string, represented by its code
+    for symbol in data[1:].tolist():
+        key = (prefix, symbol)
+        extended = table.get(key)
+        if extended is not None:
+            prefix = extended
+            continue
+        writer.write(prefix, code_width)
+        if next_code < MAX_TABLE_SIZE:
+            table[key] = next_code
+            next_code += 1
+            # Encoder widens one step ahead of the decoder (the decoder
+            # adds its matching entry only after *reading* this code).
+            if next_code == (1 << code_width) + 1 and code_width < MAX_CODE_WIDTH:
+                code_width += 1
+            if next_code == MAX_TABLE_SIZE:
+                writer.write(clear, code_width)
+                table.clear()
+                next_code = eoi + 1
+                code_width = min_code_size + 1
+        prefix = symbol
+    writer.write(prefix, code_width)
+    writer.write(eoi, code_width)
+    return writer.finish()
+
+
+def decompress(payload: bytes, min_code_size: int, expected_length: int = None) -> np.ndarray:
+    """Decode a GIF LZW stream back into palette indices.
+
+    Stops at END-OF-INFORMATION, or — tolerating encoders that omit it —
+    when ``expected_length`` indices have been produced or the bit stream
+    runs dry.  Returns a ``uint8`` array.
+    """
+    if not 2 <= min_code_size <= 8:
+        raise LZWError(f"min_code_size must be in [2, 8], got {min_code_size}")
+    n_symbols = 1 << min_code_size
+    clear = n_symbols
+    eoi = clear + 1
+
+    base_table: List[bytes] = [bytes([i]) for i in range(n_symbols)]
+    base_table += [b"", b""]  # placeholders for CLEAR / EOI slots
+
+    reader = _BitReader(payload)
+    out = bytearray()
+
+    table = list(base_table)
+    code_width = min_code_size + 1
+    next_code = eoi + 1
+    prev: int = -1  # -1 = expecting first code after a clear
+
+    while True:
+        if expected_length is not None and len(out) >= expected_length:
+            break
+        if reader.exhausted(code_width):
+            break
+        code = reader.read(code_width)
+        if code == clear:
+            table = list(base_table)
+            code_width = min_code_size + 1
+            next_code = eoi + 1
+            prev = -1
+            continue
+        if code == eoi:
+            break
+        if prev == -1:
+            if code >= len(table) or code >= clear:
+                raise LZWError(f"first code after clear must be a literal, got {code}")
+            out += table[code]
+            prev = code
+            continue
+        if code < next_code:
+            if code >= len(table):
+                raise LZWError(f"code {code} references empty table slot")
+            entry = table[code]
+        elif code == next_code:
+            entry = table[prev] + table[prev][:1]
+        else:
+            raise LZWError(f"code {code} is beyond the table (next={next_code})")
+        out += entry
+        if next_code < MAX_TABLE_SIZE:
+            table.append(table[prev] + entry[:1])
+            next_code += 1
+            if next_code == (1 << code_width) and code_width < MAX_CODE_WIDTH:
+                code_width += 1
+        prev = code
+
+    if expected_length is not None and len(out) > expected_length:
+        del out[expected_length:]
+    return np.frombuffer(bytes(out), dtype=np.uint8)

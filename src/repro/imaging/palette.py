@@ -1,0 +1,128 @@
+"""Color palettes and median-cut quantization.
+
+GIF limits images to 256 colors.  Toolkit-rendered floor plans use a few
+dozen flat colors, so :func:`quantize` first tries *exact* palettization
+(unique colors → indices, lossless); only when an image exceeds the
+color budget does it fall back to median-cut quantization with
+nearest-palette-entry mapping.  Both paths are fully vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def _as_pixel_array(pixels: np.ndarray) -> np.ndarray:
+    arr = np.asarray(pixels)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValueError(f"expected (h, w, 3) pixel array, got shape {arr.shape}")
+    return np.ascontiguousarray(arr, dtype=np.uint8)
+
+
+def _pack(flat: np.ndarray) -> np.ndarray:
+    """Pack (n, 3) uint8 colors into single int32 keys for fast uniquing."""
+    f = flat.astype(np.int32)
+    return (f[:, 0] << 16) | (f[:, 1] << 8) | f[:, 2]
+
+
+def exact_palette(pixels: np.ndarray, max_colors: int = 256):
+    """Exact palettization if the image has ≤ ``max_colors`` distinct colors.
+
+    Returns ``(indices, palette)`` or ``None`` when over budget.
+    """
+    arr = _as_pixel_array(pixels)
+    h, w, _ = arr.shape
+    flat = arr.reshape(-1, 3)
+    keys = _pack(flat)
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    if uniq.size > max_colors:
+        return None
+    palette = np.stack(
+        [(uniq >> 16) & 0xFF, (uniq >> 8) & 0xFF, uniq & 0xFF], axis=1
+    ).astype(np.uint8)
+    return inverse.reshape(h, w).astype(np.uint8), palette
+
+
+def build_palette(pixels: np.ndarray, max_colors: int = 256) -> np.ndarray:
+    """Median-cut palette of at most ``max_colors`` colors.
+
+    Classic box-splitting: repeatedly split the box with the widest
+    channel range at the median of that channel, then average each box.
+    Works on the image's *unique* colors weighted by frequency, which
+    keeps the boxes small regardless of image size.
+    """
+    if max_colors < 2:
+        raise ValueError(f"max_colors must be >= 2, got {max_colors}")
+    arr = _as_pixel_array(pixels)
+    flat = arr.reshape(-1, 3)
+    keys = _pack(flat)
+    uniq_keys, counts = np.unique(keys, return_counts=True)
+    colors = np.stack(
+        [(uniq_keys >> 16) & 0xFF, (uniq_keys >> 8) & 0xFF, uniq_keys & 0xFF], axis=1
+    ).astype(np.float64)
+
+    if len(colors) <= max_colors:
+        return colors.astype(np.uint8)
+
+    boxes: List[Tuple[np.ndarray, np.ndarray]] = [(colors, counts.astype(np.float64))]
+    while len(boxes) < max_colors:
+        # Split the box with the largest channel spread that is splittable.
+        spreads = [np.ptp(b[0], axis=0).max() if len(b[0]) > 1 else -1.0 for b in boxes]
+        idx = int(np.argmax(spreads))
+        if spreads[idx] <= 0:
+            break
+        box_colors, box_counts = boxes.pop(idx)
+        channel = int(np.argmax(np.ptp(box_colors, axis=0)))
+        order = np.argsort(box_colors[:, channel], kind="stable")
+        box_colors, box_counts = box_colors[order], box_counts[order]
+        # Split at the weighted median so both halves carry similar mass.
+        cum = np.cumsum(box_counts)
+        split = int(np.searchsorted(cum, cum[-1] / 2.0)) + 1
+        split = min(max(split, 1), len(box_colors) - 1)
+        boxes.append((box_colors[:split], box_counts[:split]))
+        boxes.append((box_colors[split:], box_counts[split:]))
+
+    palette = np.array(
+        [
+            np.average(box_colors, axis=0, weights=box_counts)
+            for box_colors, box_counts in boxes
+        ]
+    )
+    return np.clip(np.rint(palette), 0, 255).astype(np.uint8)
+
+
+def map_to_palette(pixels: np.ndarray, palette: np.ndarray) -> np.ndarray:
+    """Map each pixel to its nearest palette entry (squared-RGB metric).
+
+    Vectorized in chunks to bound the (pixels × palette) distance matrix
+    memory, per the cache-friendliness advice in the optimization guides.
+    """
+    arr = _as_pixel_array(pixels)
+    h, w, _ = arr.shape
+    flat = arr.reshape(-1, 3).astype(np.int32)
+    pal = np.asarray(palette, dtype=np.int32)
+    out = np.empty(flat.shape[0], dtype=np.uint8)
+    chunk = max(1, (1 << 22) // max(1, pal.shape[0]))  # ~4M cells per chunk
+    for start in range(0, flat.shape[0], chunk):
+        block = flat[start : start + chunk]
+        d2 = ((block[:, None, :] - pal[None, :, :]) ** 2).sum(axis=2)
+        out[start : start + chunk] = d2.argmin(axis=1).astype(np.uint8)
+    return out.reshape(h, w)
+
+
+def quantize(pixels: np.ndarray, max_colors: int = 256) -> Tuple[np.ndarray, np.ndarray]:
+    """Palettize an RGB image: exact when possible, median-cut otherwise.
+
+    Returns ``(indices, palette)`` with ``indices`` of shape ``(h, w)``
+    uint8 and ``palette`` of shape ``(n, 3)`` uint8, ``n <= max_colors``.
+    """
+    if not 2 <= max_colors <= 256:
+        raise ValueError(f"max_colors must be in [2, 256], got {max_colors}")
+    exact = exact_palette(pixels, max_colors)
+    if exact is not None:
+        return exact
+    palette = build_palette(pixels, max_colors)
+    indices = map_to_palette(pixels, palette)
+    return indices, palette

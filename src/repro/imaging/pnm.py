@@ -1,0 +1,110 @@
+"""PPM / PGM (netpbm) codecs.
+
+The toolkit's interchange format is GIF (per the paper), but the netpbm
+formats are invaluable for debugging rendered plans — they are trivially
+inspectable — and give tests a second, independent round-trip path.
+Supports binary (``P5``/``P6``) and ASCII (``P2``/``P3``) variants with
+maxval ≤ 255, including comment lines in headers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+import numpy as np
+
+from repro.imaging.raster import Raster
+
+
+class PnmError(ValueError):
+    """Raised when a netpbm stream is malformed."""
+
+
+_TOKEN = re.compile(rb"(?:^|\s)(?:#[^\n]*\n\s*)*([0-9]+|P[2356])")
+
+
+def _read_tokens(data: bytes, count: int):
+    """Read ``count`` whitespace-separated header tokens, skipping comments."""
+    tokens = []
+    pos = 0
+    while len(tokens) < count:
+        m = _TOKEN.match(data, pos) or _TOKEN.search(data, pos)
+        if m is None:
+            raise PnmError("truncated netpbm header")
+        tokens.append(m.group(1))
+        pos = m.end()
+    return tokens, pos
+
+
+def write_ppm(path, raster: Raster, binary: bool = True) -> None:
+    """Write an RGB raster as PPM (``P6`` binary or ``P3`` ASCII)."""
+    with open(path, "wb") as fh:
+        fh.write(encode_ppm(raster, binary=binary))
+
+
+def encode_ppm(raster: Raster, binary: bool = True) -> bytes:
+    header = f"{'P6' if binary else 'P3'}\n{raster.width} {raster.height}\n255\n"
+    if binary:
+        return header.encode("ascii") + raster.pixels.tobytes()
+    body = "\n".join(
+        " ".join(str(int(v)) for v in row.ravel()) for row in raster.pixels
+    )
+    return (header + body + "\n").encode("ascii")
+
+
+def encode_pgm(gray: np.ndarray, binary: bool = True) -> bytes:
+    """Encode a ``(h, w)`` grayscale array as PGM."""
+    arr = np.ascontiguousarray(gray, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise PnmError(f"PGM requires a 2-D array, got shape {arr.shape}")
+    header = f"{'P5' if binary else 'P2'}\n{arr.shape[1]} {arr.shape[0]}\n255\n"
+    if binary:
+        return header.encode("ascii") + arr.tobytes()
+    body = "\n".join(" ".join(str(int(v)) for v in row) for row in arr)
+    return (header + body + "\n").encode("ascii")
+
+
+def decode_pnm(data: bytes) -> Raster:
+    """Decode P2/P3/P5/P6 bytes to an RGB raster (grayscale broadcast)."""
+    if not data[:2] in (b"P2", b"P3", b"P5", b"P6"):
+        raise PnmError(f"not a supported netpbm stream (magic {data[:2]!r})")
+    magic = data[:2].decode("ascii")
+    tokens, pos = _read_tokens(data, 4)
+    width, height, maxval = (int(t) for t in tokens[1:4])
+    if width <= 0 or height <= 0:
+        raise PnmError(f"invalid dimensions {width}x{height}")
+    if not 0 < maxval <= 255:
+        raise PnmError(f"unsupported maxval {maxval} (only <= 255)")
+    channels = 3 if magic in ("P3", "P6") else 1
+    n_values = width * height * channels
+
+    if magic in ("P5", "P6"):
+        body = data[pos + 1 : pos + 1 + n_values]  # single whitespace after maxval
+        if len(body) < n_values:
+            raise PnmError("truncated binary netpbm body")
+        values = np.frombuffer(body, dtype=np.uint8).astype(np.int64)
+    else:
+        text = data[pos:].decode("ascii", errors="replace")
+        text = re.sub(r"#[^\n]*", "", text)
+        parsed = [int(t) for t in text.split()]
+        if len(parsed) < n_values:
+            raise PnmError(
+                f"ASCII netpbm body has {len(parsed)} values, expected {n_values}"
+            )
+        values = np.array(parsed[:n_values], dtype=np.int64)
+
+    if values.max(initial=0) > maxval:
+        raise PnmError("sample value exceeds declared maxval")
+    if maxval != 255:
+        values = values * 255 // maxval
+    if channels == 1:
+        gray = values.reshape(height, width).astype(np.uint8)
+        return Raster.from_array(gray)
+    return Raster.from_array(values.reshape(height, width, 3).astype(np.uint8))
+
+
+def read_pnm(path) -> Raster:
+    """Read any supported netpbm file into an RGB raster."""
+    with open(path, "rb") as fh:
+        return decode_pnm(fh.read())

@@ -1,0 +1,287 @@
+"""RGB raster with vectorized drawing primitives.
+
+A :class:`Raster` wraps an ``(height, width, 3) uint8`` NumPy array and
+offers the drawing operations the Floor Plan Processor/Compositor need:
+straight lines (Bresenham, vectorized over the long axis), axis-aligned
+rectangles, filled and outlined circles, cross/X/diamond markers, flood
+fill, alpha blending, and blitting.  Coordinates are ``(x, y)`` pixels
+with the origin at the **top-left** (image convention); the floor-plan
+layer converts from floor feet to pixels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Color = Tuple[int, int, int]
+
+# A small named palette used across the toolkit's rendering code.
+BLACK: Color = (0, 0, 0)
+WHITE: Color = (255, 255, 255)
+RED: Color = (220, 38, 38)
+GREEN: Color = (22, 163, 74)
+BLUE: Color = (37, 99, 235)
+ORANGE: Color = (234, 118, 0)
+PURPLE: Color = (147, 51, 234)
+GRAY: Color = (120, 120, 120)
+LIGHT_GRAY: Color = (210, 210, 210)
+DARK_BLUE: Color = (30, 58, 138)
+
+
+def _validate_color(color: Sequence[int]) -> np.ndarray:
+    arr = np.asarray(color, dtype=np.int64)
+    if arr.shape != (3,):
+        raise ValueError(f"color must be an RGB triple, got {color!r}")
+    if (arr < 0).any() or (arr > 255).any():
+        raise ValueError(f"color channels must be in [0, 255], got {color!r}")
+    return arr.astype(np.uint8)
+
+
+class Raster:
+    """A mutable RGB image backed by a ``(h, w, 3) uint8`` array."""
+
+    def __init__(self, width: int, height: int, background: Color = WHITE):
+        if width <= 0 or height <= 0:
+            raise ValueError(f"raster dimensions must be positive, got {width}x{height}")
+        self.pixels = np.empty((height, width, 3), dtype=np.uint8)
+        self.pixels[:] = _validate_color(background)
+
+    # ------------------------------------------------------------------
+    # construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "Raster":
+        """Wrap an existing array.  Grayscale ``(h, w)`` is broadcast to RGB."""
+        arr = np.asarray(array)
+        if arr.ndim == 2:
+            arr = np.repeat(arr[:, :, None], 3, axis=2)
+        if arr.ndim != 3 or arr.shape[2] != 3:
+            raise ValueError(f"expected (h, w, 3) or (h, w) array, got shape {arr.shape}")
+        r = cls.__new__(cls)
+        r.pixels = np.ascontiguousarray(arr, dtype=np.uint8)
+        return r
+
+    def copy(self) -> "Raster":
+        return Raster.from_array(self.pixels.copy())
+
+    @property
+    def width(self) -> int:
+        return self.pixels.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.pixels.shape[0]
+
+    @property
+    def size(self) -> Tuple[int, int]:
+        return (self.width, self.height)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Raster):
+            return NotImplemented
+        return self.pixels.shape == other.pixels.shape and bool(
+            np.array_equal(self.pixels, other.pixels)
+        )
+
+    def __repr__(self) -> str:
+        return f"Raster({self.width}x{self.height})"
+
+    # ------------------------------------------------------------------
+    # pixel access
+    # ------------------------------------------------------------------
+    def get(self, x: int, y: int) -> Color:
+        if not self.in_bounds(x, y):
+            raise IndexError(f"pixel ({x}, {y}) outside {self.width}x{self.height} raster")
+        return tuple(int(v) for v in self.pixels[y, x])  # type: ignore[return-value]
+
+    def set(self, x: int, y: int, color: Color) -> None:
+        if self.in_bounds(x, y):
+            self.pixels[y, x] = _validate_color(color)
+
+    def in_bounds(self, x: int, y: int) -> bool:
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def fill(self, color: Color) -> None:
+        self.pixels[:] = _validate_color(color)
+
+    def _put(self, xs: np.ndarray, ys: np.ndarray, color: Color) -> None:
+        """Write ``color`` at all in-bounds (xs, ys) pixel coordinates."""
+        xs = np.asarray(xs, dtype=np.int64).ravel()
+        ys = np.asarray(ys, dtype=np.int64).ravel()
+        keep = (xs >= 0) & (xs < self.width) & (ys >= 0) & (ys < self.height)
+        self.pixels[ys[keep], xs[keep]] = _validate_color(color)
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+    def draw_line(self, x0: int, y0: int, x1: int, y1: int, color: Color, thickness: int = 1) -> None:
+        """Draw a straight segment.
+
+        Implemented by sampling the major axis densely (vectorized),
+        which matches Bresenham output for thickness 1 and generalizes to
+        thick lines via perpendicular offsets.
+        """
+        x0, y0, x1, y1 = int(x0), int(y0), int(x1), int(y1)
+        n = max(abs(x1 - x0), abs(y1 - y0)) + 1
+        xs = np.rint(np.linspace(x0, x1, n)).astype(np.int64)
+        ys = np.rint(np.linspace(y0, y1, n)).astype(np.int64)
+        if thickness <= 1:
+            self._put(xs, ys, color)
+            return
+        # Offset copies of the center line across the perpendicular.
+        r = (thickness - 1) / 2.0
+        offsets = np.arange(-int(np.ceil(r)), int(np.ceil(r)) + 1)
+        dx, dy = x1 - x0, y1 - y0
+        if abs(dx) >= abs(dy):  # mostly horizontal: offset in y
+            all_x = np.repeat(xs, offsets.size)
+            all_y = (ys[:, None] + offsets[None, :]).ravel()
+        else:
+            all_x = (xs[:, None] + offsets[None, :]).ravel()
+            all_y = np.repeat(ys, offsets.size)
+        self._put(all_x, all_y, color)
+
+    def draw_polyline(self, points: Sequence[Tuple[int, int]], color: Color, thickness: int = 1) -> None:
+        for (x0, y0), (x1, y1) in zip(points[:-1], points[1:]):
+            self.draw_line(x0, y0, x1, y1, color, thickness)
+
+    def draw_rect(self, x0: int, y0: int, x1: int, y1: int, color: Color, thickness: int = 1) -> None:
+        """Axis-aligned rectangle outline with corners (x0,y0)-(x1,y1)."""
+        self.draw_line(x0, y0, x1, y0, color, thickness)
+        self.draw_line(x1, y0, x1, y1, color, thickness)
+        self.draw_line(x1, y1, x0, y1, color, thickness)
+        self.draw_line(x0, y1, x0, y0, color, thickness)
+
+    def fill_rect(self, x0: int, y0: int, x1: int, y1: int, color: Color) -> None:
+        xa, xb = sorted((int(x0), int(x1)))
+        ya, yb = sorted((int(y0), int(y1)))
+        xa, ya = max(xa, 0), max(ya, 0)
+        xb, yb = min(xb, self.width - 1), min(yb, self.height - 1)
+        if xa > xb or ya > yb:
+            return
+        self.pixels[ya : yb + 1, xa : xb + 1] = _validate_color(color)
+
+    def _disk_mask(self, cx: int, cy: int, radius: float) -> Tuple[np.ndarray, np.ndarray]:
+        r = int(np.ceil(radius))
+        ys, xs = np.mgrid[cy - r : cy + r + 1, cx - r : cx + r + 1]
+        inside = (xs - cx) ** 2 + (ys - cy) ** 2 <= radius * radius
+        return xs[inside], ys[inside]
+
+    def fill_circle(self, cx: int, cy: int, radius: float, color: Color) -> None:
+        xs, ys = self._disk_mask(int(cx), int(cy), radius)
+        self._put(xs, ys, color)
+
+    def draw_circle(self, cx: int, cy: int, radius: float, color: Color, thickness: int = 1) -> None:
+        """Circle outline: an annulus mask of width ``thickness``."""
+        cx, cy = int(cx), int(cy)
+        r_out = radius + thickness / 2.0
+        r_in = max(0.0, radius - thickness / 2.0)
+        r = int(np.ceil(r_out))
+        ys, xs = np.mgrid[cy - r : cy + r + 1, cx - r : cx + r + 1]
+        d2 = (xs - cx) ** 2 + (ys - cy) ** 2
+        ring = (d2 <= r_out * r_out) & (d2 >= r_in * r_in)
+        self._put(xs[ring], ys[ring], color)
+
+    def draw_cross(self, cx: int, cy: int, arm: int, color: Color, thickness: int = 1) -> None:
+        """A ``+`` marker (the Compositor's mark for true locations)."""
+        self.draw_line(cx - arm, cy, cx + arm, cy, color, thickness)
+        self.draw_line(cx, cy - arm, cx, cy + arm, color, thickness)
+
+    def draw_x(self, cx: int, cy: int, arm: int, color: Color, thickness: int = 1) -> None:
+        """An ``x`` marker (the Compositor's mark for estimated locations)."""
+        self.draw_line(cx - arm, cy - arm, cx + arm, cy + arm, color, thickness)
+        self.draw_line(cx - arm, cy + arm, cx + arm, cy - arm, color, thickness)
+
+    def draw_diamond(self, cx: int, cy: int, arm: int, color: Color, thickness: int = 1) -> None:
+        self.draw_polyline(
+            [(cx, cy - arm), (cx + arm, cy), (cx, cy + arm), (cx - arm, cy), (cx, cy - arm)],
+            color,
+            thickness,
+        )
+
+    def flood_fill(self, x: int, y: int, color: Color) -> int:
+        """Fill the 4-connected region of identical color containing (x, y).
+
+        Returns the number of pixels recolored.  Implemented with a
+        scanline stack (no recursion) so large rooms fill quickly.
+        """
+        if not self.in_bounds(x, y):
+            return 0
+        target = self.pixels[y, x].copy()
+        new = _validate_color(color)
+        if np.array_equal(target, new):
+            return 0
+        h, w = self.height, self.width
+        px = self.pixels
+        filled = 0
+        stack = [(x, y)]
+        while stack:
+            sx, sy = stack.pop()
+            if not (0 <= sy < h) or not np.array_equal(px[sy, sx], target):
+                continue
+            # Expand to the full horizontal run through (sx, sy).
+            left = sx
+            while left > 0 and np.array_equal(px[sy, left - 1], target):
+                left -= 1
+            right = sx
+            while right < w - 1 and np.array_equal(px[sy, right + 1], target):
+                right += 1
+            px[sy, left : right + 1] = new
+            filled += right - left + 1
+            for ny in (sy - 1, sy + 1):
+                if 0 <= ny < h:
+                    run = left
+                    while run <= right:
+                        if np.array_equal(px[ny, run], target):
+                            stack.append((run, ny))
+                            while run <= right and np.array_equal(px[ny, run], target):
+                                run += 1
+                        else:
+                            run += 1
+        return filled
+
+    def blend_rect(self, x0: int, y0: int, x1: int, y1: int, color: Color, alpha: float) -> None:
+        """Alpha-blend a translucent rectangle (used for legends)."""
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        xa, xb = sorted((int(x0), int(x1)))
+        ya, yb = sorted((int(y0), int(y1)))
+        xa, ya = max(xa, 0), max(ya, 0)
+        xb, yb = min(xb, self.width - 1), min(yb, self.height - 1)
+        if xa > xb or ya > yb:
+            return
+        region = self.pixels[ya : yb + 1, xa : xb + 1].astype(np.float64)
+        tint = _validate_color(color).astype(np.float64)
+        blended = region * (1.0 - alpha) + tint * alpha
+        self.pixels[ya : yb + 1, xa : xb + 1] = np.clip(np.rint(blended), 0, 255).astype(np.uint8)
+
+    def blit(self, other: "Raster", x: int, y: int) -> None:
+        """Paste ``other`` with its top-left corner at (x, y), clipped."""
+        x, y = int(x), int(y)
+        sx0, sy0 = max(0, -x), max(0, -y)
+        dx0, dy0 = max(0, x), max(0, y)
+        w = min(other.width - sx0, self.width - dx0)
+        h = min(other.height - sy0, self.height - dy0)
+        if w <= 0 or h <= 0:
+            return
+        self.pixels[dy0 : dy0 + h, dx0 : dx0 + w] = other.pixels[sy0 : sy0 + h, sx0 : sx0 + w]
+
+    # ------------------------------------------------------------------
+    # analysis helpers (used by tests and the palette builder)
+    # ------------------------------------------------------------------
+    def unique_colors(self) -> np.ndarray:
+        """Distinct colors present, as an ``(n, 3) uint8`` array."""
+        flat = self.pixels.reshape(-1, 3)
+        return np.unique(flat, axis=0)
+
+    def count_color(self, color: Color) -> int:
+        target = _validate_color(color)
+        return int((self.pixels == target).all(axis=2).sum())
+
+    def scaled(self, factor: int) -> "Raster":
+        """Integer nearest-neighbour upscale (for readable small plans)."""
+        if factor < 1:
+            raise ValueError(f"scale factor must be >= 1, got {factor}")
+        up = np.repeat(np.repeat(self.pixels, factor, axis=0), factor, axis=1)
+        return Raster.from_array(up)

@@ -1,0 +1,32 @@
+"""Deployment-planning tools (the paper's §6.4 toolkit expansion).
+
+The paper closes with "we will expand our location toolkit" — this
+package is that expansion, covering the questions an installer faces
+*before* the training survey:
+
+* :mod:`repro.planning.coverage` — audibility and signal-quality maps
+  over the floor: where does each AP reach, where do fewer than three
+  APs reach (the geometric approach's dead zones)?
+* :mod:`repro.planning.quality` — radio-map quality metrics for a
+  candidate deployment: pairwise fingerprint separability, expected
+  nearest-fingerprint confusion, and a scalar site score.
+* :mod:`repro.planning.placement` — AP placement optimization: greedy
+  forward selection from a candidate grid, maximizing fingerprint
+  separability (with a local-refinement pass), so "put them at the four
+  corners" can be tested against optimized layouts.
+"""
+
+from repro.planning.coverage import CoverageMap, audible_count_grid, coverage_map
+from repro.planning.placement import PlacementResult, optimize_placement
+from repro.planning.quality import SiteQuality, fingerprint_separability, site_quality
+
+__all__ = [
+    "CoverageMap",
+    "audible_count_grid",
+    "coverage_map",
+    "PlacementResult",
+    "optimize_placement",
+    "SiteQuality",
+    "fingerprint_separability",
+    "site_quality",
+]

@@ -1,0 +1,104 @@
+"""Coverage analysis: who hears what, where.
+
+Evaluates a :class:`~repro.radio.environment.RadioEnvironment` on a
+dense floor grid and answers the installer's first questions: each AP's
+audible footprint, the count of audible APs everywhere (the geometric
+approach needs ≥ 3), and the weakest-strongest margins.  All grid
+evaluations go through the environment's vectorized ``mean_rssi``, so a
+1-ft-resolution map of the §5 house is a single broadcasted call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.radio.environment import RadioEnvironment
+
+
+@dataclass(frozen=True)
+class CoverageMap:
+    """Gridded coverage products for one environment.
+
+    Attributes
+    ----------
+    xs, ys:
+        Grid axes in feet (``xs`` has shape ``(nx,)``, ``ys`` ``(ny,)``).
+    mean_rssi:
+        ``(ny, nx, n_aps)`` frozen mean RSSI (dBm).
+    audible:
+        ``(ny, nx, n_aps)`` boolean: above the detection threshold.
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    mean_rssi: np.ndarray
+    audible: np.ndarray
+    threshold_dbm: float
+
+    @property
+    def audible_count(self) -> np.ndarray:
+        """``(ny, nx)`` count of audible APs per cell."""
+        return self.audible.sum(axis=2)
+
+    def fraction_covered(self, min_aps: int = 1) -> float:
+        """Fraction of the floor hearing at least ``min_aps`` APs."""
+        if min_aps < 1:
+            raise ValueError(f"min_aps must be >= 1, got {min_aps}")
+        return float((self.audible_count >= min_aps).mean())
+
+    def dead_zones(self, min_aps: int = 3) -> List[Tuple[float, float]]:
+        """Cell centers (ft) hearing fewer than ``min_aps`` APs."""
+        bad_y, bad_x = np.nonzero(self.audible_count < min_aps)
+        return [(float(self.xs[j]), float(self.ys[i])) for i, j in zip(bad_y, bad_x)]
+
+    def strongest_ap(self) -> np.ndarray:
+        """``(ny, nx)`` index of the loudest AP per cell (Voronoi-ish)."""
+        return self.mean_rssi.argmax(axis=2)
+
+    def rssi_of_ap(self, index: int) -> np.ndarray:
+        """``(ny, nx)`` mean RSSI of one AP (for heatmap rendering)."""
+        return self.mean_rssi[:, :, index]
+
+
+def _grid(
+    bounds: Tuple[float, float, float, float], resolution_ft: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    x0, y0, x1, y1 = bounds
+    if x0 >= x1 or y0 >= y1:
+        raise ValueError(f"degenerate bounds {bounds}")
+    if resolution_ft <= 0:
+        raise ValueError(f"resolution must be positive, got {resolution_ft}")
+    xs = np.arange(x0, x1 + resolution_ft / 2, resolution_ft)
+    ys = np.arange(y0, y1 + resolution_ft / 2, resolution_ft)
+    return xs, ys
+
+
+def coverage_map(
+    environment: RadioEnvironment,
+    bounds: Tuple[float, float, float, float],
+    resolution_ft: float = 1.0,
+) -> CoverageMap:
+    """Evaluate coverage over ``bounds`` at ``resolution_ft`` spacing."""
+    xs, ys = _grid(bounds, resolution_ft)
+    gx, gy = np.meshgrid(xs, ys)
+    positions = np.column_stack([gx.ravel(), gy.ravel()])
+    rssi = environment.mean_rssi(positions).reshape(ys.size, xs.size, len(environment.aps))
+    return CoverageMap(
+        xs=xs,
+        ys=ys,
+        mean_rssi=rssi,
+        audible=rssi >= environment.detection_threshold_dbm,
+        threshold_dbm=environment.detection_threshold_dbm,
+    )
+
+
+def audible_count_grid(
+    environment: RadioEnvironment,
+    bounds: Tuple[float, float, float, float],
+    resolution_ft: float = 1.0,
+) -> np.ndarray:
+    """Shortcut: just the ``(ny, nx)`` audible-AP-count grid."""
+    return coverage_map(environment, bounds, resolution_ft).audible_count

@@ -1,0 +1,226 @@
+"""AP placement optimization.
+
+Given a floor, a wall layout and an AP budget, choose positions that
+maximize fingerprinting quality.  Two objectives are offered:
+
+* ``"damage"`` (default) — minimize the worst pairwise **expected
+  damage** ``physical_distance(i, j) × P(confuse i with j)`` over *all*
+  grid pairs.  This captures both local blur (neighbours hard to tell
+  apart) and **distant aliasing** — two far-apart points with similar
+  distance vectors, the failure mode symmetric interior placements
+  create.  Empirically (bench EXT-PLAN) this is the objective that
+  transfers to end-to-end accuracy.
+* ``"separability"`` — maximize the minimum *neighbour* d′ (pairs
+  within ``neighbor_radius_ft``).  Sharper local contrast, but blind to
+  aliasing; kept as an ablation of the objective choice.
+
+Optimization is the standard two-stage heuristic:
+
+1. **Greedy forward selection** over a candidate lattice: place APs one
+   at a time, each at the candidate that maximizes the objective given
+   the APs placed so far (seeded with the best pair).
+2. **Coordinate refinement**: cycle through the placed APs, re-seating
+   each at its best candidate while the others stay fixed, until no
+   move improves the objective.
+
+Each candidate evaluation builds a throwaway environment that shares
+the site's walls and channel parameters but *not* its shadowing draw —
+placement must be judged on the deterministic geometry (path loss +
+walls), since the installer cannot know the shadowing field in advance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.geometry import Point
+from repro.planning.quality import fingerprint_separability
+from repro.radio.environment import AccessPoint, RadioEnvironment, Wall
+from repro.radio.fading import TemporalFading
+from repro.radio.pathloss import LogDistanceModel
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """The optimizer's answer."""
+
+    positions: List[Point]
+    objective: float
+    history: List[Tuple[int, float]] = field(default_factory=list)
+
+    def as_access_points(self, name_prefix: str = "AP") -> List[AccessPoint]:
+        return [
+            AccessPoint(name=f"{name_prefix}{i + 1}", position=p)
+            for i, p in enumerate(self.positions)
+        ]
+
+
+def _objective_factory(
+    walls: Sequence[Wall],
+    eval_points: np.ndarray,
+    pathloss: LogDistanceModel,
+    noise_std_db: float,
+    neighbor_radius_ft: float,
+    kind: str = "damage",
+) -> Callable[[Sequence[Point]], float]:
+    """Build a score-to-MAXIMIZE over candidate AP position lists."""
+    from repro.planning.quality import expected_confusion
+
+    diff = eval_points[:, None, :] - eval_points[None, :, :]
+    physical = np.sqrt((diff**2).sum(axis=2))
+    neighbor = (physical > 0) & (physical <= neighbor_radius_ft)
+    if kind == "separability" and not neighbor.any():
+        raise ValueError("no neighbour pairs among evaluation points")
+    if kind not in ("damage", "separability"):
+        raise ValueError(f"unknown objective {kind!r}; use 'damage' or 'separability'")
+
+    def environment(ap_positions: Sequence[Point]) -> RadioEnvironment:
+        return RadioEnvironment(
+            [AccessPoint(name=f"c{i}", position=p) for i, p in enumerate(ap_positions)],
+            walls=walls,
+            pathloss=pathloss,
+            shadowing_sigma_db=0.0,  # judge geometry, not one shadow draw
+            fading=TemporalFading(sigma_db=noise_std_db, noise_db=0.0),
+        )
+
+    def objective(ap_positions: Sequence[Point]) -> float:
+        dprime = fingerprint_separability(
+            environment(ap_positions), eval_points, noise_std_db=noise_std_db
+        )
+        if kind == "separability":
+            return float(dprime[neighbor].min())
+        damage = physical * expected_confusion(dprime)
+        return -float(damage.max())
+
+    return objective
+
+
+def _candidate_lattice(
+    bounds: Tuple[float, float, float, float], spacing_ft: float, margin_ft: float
+) -> List[Point]:
+    x0, y0, x1, y1 = bounds
+    xs = np.arange(x0 + margin_ft, x1 - margin_ft + 1e-9, spacing_ft)
+    ys = np.arange(y0 + margin_ft, y1 - margin_ft + 1e-9, spacing_ft)
+    if xs.size == 0 or ys.size == 0:
+        raise ValueError(
+            f"margin {margin_ft} ft leaves no candidates inside bounds {bounds}"
+        )
+    return [Point(float(x), float(y)) for y in ys for x in xs]
+
+
+def optimize_placement(
+    n_aps: int,
+    bounds: Tuple[float, float, float, float],
+    walls: Sequence[Wall] = (),
+    eval_points: Optional[np.ndarray] = None,
+    candidate_spacing_ft: float = 10.0,
+    candidate_margin_ft: float = 0.0,
+    noise_std_db: float = 4.0,
+    neighbor_radius_ft: float = 15.0,
+    pathloss: Optional[LogDistanceModel] = None,
+    max_refine_passes: int = 3,
+    objective: str = "damage",
+) -> PlacementResult:
+    """Choose ``n_aps`` positions optimizing fingerprint quality.
+
+    Parameters
+    ----------
+    eval_points:
+        ``(n, 2)`` grid the fingerprints are judged on; defaults to a
+        10-ft lattice over the bounds (the §5 training grid).
+    candidate_spacing_ft / candidate_margin_ft:
+        AP candidate lattice granularity and keep-out from the walls.
+    objective:
+        ``"damage"`` (default: minimize worst pair distance×confusion,
+        alias-aware) or ``"separability"`` (maximize min-neighbour d′) —
+        see the module docstring for the trade-off.
+    """
+    if n_aps < 2:
+        raise ValueError(f"need at least 2 APs for separability, got {n_aps}")
+    x0, y0, x1, y1 = bounds
+    if eval_points is None:
+        gx, gy = np.meshgrid(
+            np.arange(x0, x1 + 1e-9, 10.0), np.arange(y0, y1 + 1e-9, 10.0)
+        )
+        eval_points = np.column_stack([gx.ravel(), gy.ravel()])
+    eval_points = np.atleast_2d(np.asarray(eval_points, dtype=float))
+
+    candidates = _candidate_lattice(bounds, candidate_spacing_ft, candidate_margin_ft)
+    score = _objective_factory(
+        walls,
+        eval_points,
+        pathloss or LogDistanceModel(),
+        noise_std_db,
+        neighbor_radius_ft,
+        kind=objective,
+    )
+
+    history: List[Tuple[int, float]] = []
+
+    # Stage 1 — greedy forward selection.  The first AP alone has an
+    # ill-defined objective (one AP rarely separates anything), so seed
+    # with the best *pair* and grow from there.
+    best_pair, best_val = None, -np.inf
+    for i, a in enumerate(candidates):
+        for b in candidates[i + 1 :]:
+            val = score([a, b])
+            if val > best_val:
+                best_pair, best_val = (a, b), val
+    greedy = list(best_pair)
+    history.append((2, best_val))
+    while len(greedy) < n_aps:
+        best_c, best_val = None, -np.inf
+        for c in candidates:
+            if c in greedy:
+                continue
+            val = score(greedy + [c])
+            if val > best_val:
+                best_c, best_val = c, val
+        greedy.append(best_c)
+        history.append((len(greedy), best_val))
+
+    def refine(start: List[Point]) -> Tuple[List[Point], float]:
+        placed = list(start)
+        current = score(placed)
+        for _ in range(max_refine_passes):
+            improved = False
+            for k in range(len(placed)):
+                best_c, best_val = placed[k], current
+                others = placed[:k] + placed[k + 1 :]
+                for c in candidates:
+                    if c in others:
+                        continue
+                    val = score(others[:k] + [c] + others[k:])
+                    if val > best_val + 1e-9:
+                        best_c, best_val = c, val
+                if best_c != placed[k]:
+                    placed[k] = best_c
+                    current = best_val
+                    improved = True
+            if not improved:
+                break
+        return placed, current
+
+    # Stage 2 — coordinate refinement from multiple starts (the greedy
+    # build plus the perimeter-corner heuristic): greedy construction is
+    # myopic and can land in a basin the corners escape, and vice versa.
+    starts: List[List[Point]] = [greedy]
+    ring = corner_placement(bounds)
+    if n_aps <= len(ring):
+        starts.append(ring[:n_aps])
+    best_placed, best_score = None, -np.inf
+    for start in starts:
+        placed, value = refine(start)
+        if value > best_score:
+            best_placed, best_score = placed, value
+    history.append((len(best_placed), best_score))
+    return PlacementResult(positions=best_placed, objective=best_score, history=history)
+
+
+def corner_placement(bounds: Tuple[float, float, float, float]) -> List[Point]:
+    """The paper's baseline: one AP at each corner."""
+    x0, y0, x1, y1 = bounds
+    return [Point(x0, y0), Point(x1, y0), Point(x1, y1), Point(x0, y1)]

@@ -1,0 +1,124 @@
+"""Radio-map quality: will fingerprinting work *here*?
+
+Fingerprinting accuracy is set by how *separable* nearby locations'
+signal signatures are relative to the channel's temporal noise.  These
+metrics quantify that for a candidate deployment before anyone walks a
+survey:
+
+* :func:`fingerprint_separability` — for each pair of grid points, the
+  signal-space distance between their mean fingerprints in units of the
+  temporal noise σ (a d′-style detectability).  The binding constraint
+  is the *nearest* pair, so the summary statistic is the minimum over
+  neighbour pairs.
+* :func:`expected_confusion` — a Gaussian approximation of the
+  probability that one grid point's observation is attributed to
+  another specific point (pairwise two-class error,
+  ``Q(d′/2) = ½·erfc(d′/(2√2))``).
+* :func:`site_quality` — the installer's one-line report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.radio.environment import RadioEnvironment
+
+
+def _mean_fingerprints(environment: RadioEnvironment, positions: np.ndarray) -> np.ndarray:
+    """(n, n_aps) frozen mean fingerprints, with inaudible APs clamped.
+
+    Below-threshold cells are clamped *to* the threshold: in a real scan
+    both points just report "not heard", so dB differences below the
+    floor carry no separating information and must not be credited.
+    """
+    rssi = environment.mean_rssi(positions)
+    return np.maximum(rssi, environment.detection_threshold_dbm)
+
+
+def fingerprint_separability(
+    environment: RadioEnvironment,
+    positions: np.ndarray,
+    noise_std_db: Optional[float] = None,
+) -> np.ndarray:
+    """Pairwise d′ matrix between candidate grid points.
+
+    ``d′[i, j] = ||f_i − f_j||₂ / (σ·√2)`` where σ is the per-sample
+    temporal noise (defaults to the environment's stationary fading σ).
+    Shape ``(n, n)``, zero diagonal.
+    """
+    pos = np.atleast_2d(np.asarray(positions, dtype=float))
+    sigma = float(noise_std_db if noise_std_db is not None else environment.fading.stationary_std())
+    if sigma <= 0:
+        raise ValueError(f"noise std must be positive, got {sigma}")
+    fps = _mean_fingerprints(environment, pos)
+    diff = fps[:, None, :] - fps[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=2))
+    return dist / (sigma * np.sqrt(2.0))
+
+
+def expected_confusion(dprime: np.ndarray) -> np.ndarray:
+    """Pairwise two-class misattribution probability ``Q(d′/2)``."""
+    d = np.asarray(dprime, dtype=float)
+    out = 0.5 * erfc(d / (2.0 * np.sqrt(2.0)))
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
+@dataclass(frozen=True)
+class SiteQuality:
+    """One deployment's fingerprinting-quality report."""
+
+    min_neighbor_dprime: float
+    median_neighbor_dprime: float
+    worst_pair: Tuple[int, int]
+    max_pair_confusion: float
+    mean_pair_confusion: float
+
+    def summary(self) -> str:
+        return (
+            f"min neighbour d'={self.min_neighbor_dprime:.2f} "
+            f"(median {self.median_neighbor_dprime:.2f}); "
+            f"worst pair {self.worst_pair} confused with "
+            f"p={self.max_pair_confusion:.3f}"
+        )
+
+
+def site_quality(
+    environment: RadioEnvironment,
+    positions: np.ndarray,
+    neighbor_radius_ft: float = 15.0,
+    noise_std_db: Optional[float] = None,
+) -> SiteQuality:
+    """Score a deployment over the given training grid.
+
+    Only pairs within ``neighbor_radius_ft`` count as "neighbours" —
+    confusing two points across the building is still an error, but the
+    binding design constraint is always adjacent-cell confusion.
+    """
+    pos = np.atleast_2d(np.asarray(positions, dtype=float))
+    if pos.shape[0] < 2:
+        raise ValueError("site quality needs at least two grid points")
+    dprime = fingerprint_separability(environment, pos, noise_std_db)
+    confusion = expected_confusion(dprime)
+
+    diff = pos[:, None, :] - pos[None, :, :]
+    physical = np.sqrt((diff**2).sum(axis=2))
+    neighbor = (physical > 0) & (physical <= neighbor_radius_ft)
+    if not neighbor.any():
+        raise ValueError(
+            f"no point pairs within {neighbor_radius_ft} ft; widen the radius"
+        )
+    neighbor_d = dprime[neighbor]
+    flat_idx = int(np.argmin(np.where(neighbor, dprime, np.inf)))
+    worst = np.unravel_index(flat_idx, dprime.shape)
+    return SiteQuality(
+        min_neighbor_dprime=float(neighbor_d.min()),
+        median_neighbor_dprime=float(np.median(neighbor_d)),
+        worst_pair=(int(worst[0]), int(worst[1])),
+        max_pair_confusion=float(confusion[neighbor].max()),
+        mean_pair_confusion=float(confusion[neighbor].mean()),
+    )

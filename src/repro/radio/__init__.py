@@ -1,0 +1,43 @@
+"""Simulated 802.11b RF substrate.
+
+The paper's measurements come from four physical access points in a
+50 ft × 40 ft house plus a "third-party signal strength detecting
+system".  This package is the drop-in substitute: an empirical indoor
+radio channel with the same statistical structure the paper's algorithms
+exploit (monotone distance decay) and fight (site-specific shadowing,
+temporal instability, wall attenuation) — see DESIGN.md §2.
+
+* :mod:`repro.radio.pathloss` — free-space, log-distance and the paper's
+  inverse-square signal-strength↔distance models.
+* :mod:`repro.radio.materials` — per-material wall attenuation.
+* :mod:`repro.radio.fading` — spatially correlated log-normal shadowing
+  (repeatable per site: what makes fingerprinting possible) and AR(1)
+  temporal fading (what limits it).
+* :mod:`repro.radio.environment` — :class:`RadioEnvironment` composing
+  the above into vectorized RSSI sampling.
+* :mod:`repro.radio.scanner` — a simulated NIC producing timed scans.
+* :mod:`repro.radio.uwb` — UWB time-of-arrival ranging (paper §6.3).
+"""
+
+from repro.radio.environment import AccessPoint, RadioEnvironment, Wall
+from repro.radio.pathloss import (
+    FreeSpaceModel,
+    InverseSquareModel,
+    LogDistanceModel,
+    dbm_to_ss_units,
+    ss_units_to_dbm,
+)
+from repro.radio.scanner import ScanReading, SimulatedScanner
+
+__all__ = [
+    "AccessPoint",
+    "RadioEnvironment",
+    "Wall",
+    "FreeSpaceModel",
+    "InverseSquareModel",
+    "LogDistanceModel",
+    "dbm_to_ss_units",
+    "ss_units_to_dbm",
+    "ScanReading",
+    "SimulatedScanner",
+]

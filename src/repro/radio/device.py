@@ -1,0 +1,113 @@
+"""Device heterogeneity: different NICs report different numbers.
+
+A well-documented field problem the paper's single-laptop evaluation
+never hits: the RSSI *scale* is vendor-defined.  Two cards at the same
+spot report values offset by several dB, with different gains and noise
+floors — so a system trained with one device and queried with another
+silently degrades.  :class:`DeviceProfile` models the standard
+first-order transformation
+
+.. math::  reported = gain · (rssi − ref) + ref + offset (+ noise)
+
+followed by the device's own quantization and sensitivity cut-off.
+Profiles transform the RSSI matrices the rest of the toolkit already
+uses, so heterogeneity can be injected at any observation site (see
+``ExperimentHouse.observe(..., device=...)``) and studied in the
+ABL-DEVICE bench — which is also the motivation for the rank-based
+localizer in :mod:`repro.algorithms.rank`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.parallel.rng import RngLike, resolve_rng
+
+#: Gain/offset pivot: the transformation leaves this level fixed when
+#: offset is zero, which matches how vendors anchor their scales.
+REFERENCE_DBM = -50.0
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One NIC model's reporting characteristics.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    offset_db:
+        Constant reporting bias (positive = optimistic card).
+    gain:
+        Scale slope around :data:`REFERENCE_DBM`; 1.0 = faithful.
+    extra_noise_db:
+        Additional per-sample measurement noise σ of this card.
+    sensitivity_dbm:
+        The card's own detection floor; reported values below it become
+        missing (NaN).
+    quantize_db:
+        Reporting granularity (many drivers report whole dBm or 2-dB
+        steps).
+    """
+
+    name: str = "reference"
+    offset_db: float = 0.0
+    gain: float = 1.0
+    extra_noise_db: float = 0.0
+    sensitivity_dbm: float = -95.0
+    quantize_db: float = 1.0
+
+    def __post_init__(self):
+        if self.gain <= 0:
+            raise ValueError(f"gain must be positive, got {self.gain}")
+        if self.extra_noise_db < 0:
+            raise ValueError(f"extra noise must be non-negative, got {self.extra_noise_db}")
+        if self.quantize_db < 0:
+            raise ValueError(f"quantize_db must be non-negative, got {self.quantize_db}")
+
+    def apply(self, rssi_dbm: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Transform true RSSI samples into this device's reports.
+
+        NaN inputs (AP missed at the air interface) stay NaN; values the
+        device itself cannot hear become NaN too.
+        """
+        gen = resolve_rng(rng)
+        x = np.asarray(rssi_dbm, dtype=float).copy()
+        finite = np.isfinite(x)
+        out = np.full_like(x, np.nan)
+        vals = (
+            self.gain * (x[finite] - REFERENCE_DBM)
+            + REFERENCE_DBM
+            + self.offset_db
+        )
+        if self.extra_noise_db > 0:
+            vals = vals + gen.normal(0.0, self.extra_noise_db, size=vals.shape)
+        if self.quantize_db > 0:
+            vals = np.round(vals / self.quantize_db) * self.quantize_db
+        vals = np.where(vals < self.sensitivity_dbm, np.nan, vals)
+        out[finite] = vals
+        return out
+
+
+#: A small catalogue of plausible 2000s-era cards, for experiments.
+REFERENCE_DEVICE = DeviceProfile()
+OPTIMISTIC_CARD = DeviceProfile("optimistic", offset_db=8.0, extra_noise_db=0.5)
+PESSIMISTIC_CARD = DeviceProfile("pessimistic", offset_db=-9.0, extra_noise_db=0.5)
+COMPRESSED_CARD = DeviceProfile("compressed", gain=0.7, offset_db=-3.0, extra_noise_db=1.0)
+NOISY_CARD = DeviceProfile("noisy", offset_db=2.0, extra_noise_db=3.0, quantize_db=2.0)
+DEAF_CARD = DeviceProfile("deaf", offset_db=-4.0, sensitivity_dbm=-82.0)
+
+DEVICE_CATALOGUE = {
+    d.name: d
+    for d in (
+        REFERENCE_DEVICE,
+        OPTIMISTIC_CARD,
+        PESSIMISTIC_CARD,
+        COMPRESSED_CARD,
+        NOISY_CARD,
+        DEAF_CARD,
+    )
+}

@@ -1,0 +1,296 @@
+"""The composed radio environment: APs + walls + fading → RSSI samples.
+
+:class:`RadioEnvironment` is the simulator's façade.  Given access-point
+placements and a wall layout it produces, for any client position, the
+same observable a real scanning NIC gives the toolkit: per-AP RSSI time
+series with site-specific bias, temporal jitter, quantization, detection
+thresholding and occasional missed scans.
+
+All heavy paths are vectorized over client positions and APs (the
+fingerprint sweeps evaluate tens of thousands of positions), including
+the wall-crossing count, which uses a broadcasted orientation test
+rather than a per-position Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.geometry import Point
+from repro.parallel.rng import RngLike, resolve_rng
+from repro.radio.fading import ShadowingField, TemporalFading
+from repro.radio.materials import EXTERIOR, Material, get_material
+from repro.radio.pathloss import DEFAULT_TX_POWER_DBM, LogDistanceModel
+
+def _auto_bssid(name: str) -> str:
+    """Deterministic locally-administered MAC derived from the AP name.
+
+    Name-derived (not a process-global counter) so the same deployment
+    produces byte-identical artifacts in every run — the
+    ``simulate-survey --seed`` reproducibility contract.
+    """
+    import hashlib
+
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return "02:00:5e:%02x:%02x:%02x" % (digest[0], digest[1], digest[2])
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """One 802.11b access point: identity plus placement."""
+
+    name: str
+    position: Point
+    tx_power_dbm: float = DEFAULT_TX_POWER_DBM
+    channel: int = 6
+    bssid: str = ""
+    ssid: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("access point needs a non-empty name")
+        if not 1 <= self.channel <= 14:
+            raise ValueError(f"802.11b channel must be in [1, 14], got {self.channel}")
+        if not self.bssid:
+            object.__setattr__(self, "bssid", _auto_bssid(self.name))
+        if not self.ssid:
+            object.__setattr__(self, "ssid", f"AP-{self.name}")
+
+
+@dataclass(frozen=True)
+class Wall:
+    """A wall segment with a material (attenuates rays that cross it)."""
+
+    a: Point
+    b: Point
+    material: Material = EXTERIOR
+
+    @staticmethod
+    def of(x0: float, y0: float, x1: float, y1: float, material: Union[str, Material] = EXTERIOR) -> "Wall":
+        mat = get_material(material) if isinstance(material, str) else material
+        return Wall(Point(x0, y0), Point(x1, y1), mat)
+
+
+@dataclass(frozen=True)
+class EnvironmentalFactors:
+    """Secondary channel factors (paper §6.1's future-work list).
+
+    Effects are small, deliberately: a few tenths of a dB per degree /
+    percent away from reference conditions, plus per-person body loss
+    applied as an expected fraction of scans blocked.
+    """
+
+    temperature_c: float = 21.0
+    humidity_pct: float = 45.0
+    people: int = 0
+
+    REF_TEMPERATURE_C = 21.0
+    REF_HUMIDITY_PCT = 45.0
+    TEMP_DB_PER_C = 0.02
+    HUMIDITY_DB_PER_PCT = 0.03
+    BODY_LOSS_DB = 3.5
+    BODY_BLOCK_PROBABILITY = 0.04  # per person, per scan
+
+    def __post_init__(self):
+        if self.people < 0:
+            raise ValueError(f"people must be non-negative, got {self.people}")
+        if not 0 <= self.humidity_pct <= 100:
+            raise ValueError(f"humidity must be in [0, 100], got {self.humidity_pct}")
+
+    def static_loss_db(self) -> float:
+        return abs(self.temperature_c - self.REF_TEMPERATURE_C) * self.TEMP_DB_PER_C + abs(
+            self.humidity_pct - self.REF_HUMIDITY_PCT
+        ) * self.HUMIDITY_DB_PER_PCT
+
+    def body_block_probability(self) -> float:
+        return min(0.9, self.people * self.BODY_BLOCK_PROBABILITY)
+
+
+def _wall_crossing_matrix(
+    ap_xy: np.ndarray, positions: np.ndarray, walls_a: np.ndarray, walls_b: np.ndarray
+) -> np.ndarray:
+    """Boolean (n_positions, n_walls) matrix: does ray AP→position cross wall?
+
+    Standard two-sided orientation test, broadcast over positions and
+    walls.  Strict crossings only — grazing a wall endpoint does not
+    count, which avoids double-charging rays that run along a wall line.
+    """
+    if walls_a.shape[0] == 0:
+        return np.zeros((positions.shape[0], 0), dtype=bool)
+
+    def orient(o, s, t):
+        # (s-o) × (t-o); shapes broadcast to (n, m)
+        return (s[..., 0] - o[..., 0]) * (t[..., 1] - o[..., 1]) - (
+            s[..., 1] - o[..., 1]
+        ) * (t[..., 0] - o[..., 0])
+
+    # Broadcast: wall endpoints (1, m, 2); ray endpoints p (1, 1, 2), q (n, 1, 2)
+    a3, b3 = walls_a[None, :, :], walls_b[None, :, :]
+    p3 = ap_xy[None, None, :]
+    q3 = positions[:, None, :]
+    d1 = orient(a3, b3, p3)  # (1, m)
+    d2 = orient(a3, b3, q3)  # (n, m)
+    d3 = orient(p3, q3, a3)  # (n, m)
+    d4 = orient(p3, q3, b3)  # (n, m)
+    return ((d1 * d2) < 0) & ((d3 * d4) < 0)
+
+
+class RadioEnvironment:
+    """Simulated RF channel for a set of APs inside a walled floor.
+
+    Parameters
+    ----------
+    aps:
+        The access points.  Order defines the column order of every
+        returned RSSI matrix.
+    walls:
+        Wall segments; each crossing of the direct ray costs the wall's
+        material attenuation.
+    pathloss:
+        Generative distance model (default: log-distance, n = 3).
+    shadowing_sigma_db / shadowing_correlation_ft:
+        Marginal std and correlation length of each AP's frozen
+        shadowing field.
+    fading:
+        Temporal model applied around the frozen mean on every scan.
+    factors:
+        Temperature / humidity / occupancy adjustments.
+    detection_threshold_dbm:
+        NIC sensitivity; samples below it are reported as missing (NaN).
+    miss_probability:
+        Chance a scan simply misses an audible AP (beacon collision).
+    seed:
+        Seeds the shadowing fields (site identity).  Per-scan randomness
+        comes from the ``rng`` passed to the sampling methods instead, so
+        one site can be sampled under many independent noise draws.
+    """
+
+    def __init__(
+        self,
+        aps: Sequence[AccessPoint],
+        walls: Sequence[Wall] = (),
+        pathloss: Optional[LogDistanceModel] = None,
+        shadowing_sigma_db: float = 4.0,
+        shadowing_correlation_ft: float = 8.0,
+        fading: Optional[TemporalFading] = None,
+        factors: Optional[EnvironmentalFactors] = None,
+        detection_threshold_dbm: float = -92.0,
+        miss_probability: float = 0.02,
+        seed: RngLike = 0,
+    ):
+        if not aps:
+            raise ValueError("RadioEnvironment needs at least one access point")
+        names = [ap.name for ap in aps]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate AP names: {names}")
+        if not 0.0 <= miss_probability < 1.0:
+            raise ValueError(f"miss_probability must be in [0, 1), got {miss_probability}")
+        self.aps = list(aps)
+        self.walls = list(walls)
+        self.pathloss = pathloss or LogDistanceModel()
+        self.fading = fading or TemporalFading()
+        self.factors = factors or EnvironmentalFactors()
+        self.detection_threshold_dbm = float(detection_threshold_dbm)
+        self.miss_probability = float(miss_probability)
+
+        site_rng = resolve_rng(seed)
+        self._shadowing = [
+            ShadowingField(
+                sigma_db=shadowing_sigma_db,
+                correlation_ft=shadowing_correlation_ft,
+                rng=site_rng,
+            )
+            for _ in self.aps
+        ]
+        self._ap_xy = np.array([[ap.position.x, ap.position.y] for ap in self.aps])
+        self._walls_a = np.array([[w.a.x, w.a.y] for w in self.walls]).reshape(-1, 2)
+        self._walls_b = np.array([[w.b.x, w.b.y] for w in self.walls]).reshape(-1, 2)
+        self._wall_atten = np.array([w.material.attenuation_db for w in self.walls])
+
+    # ------------------------------------------------------------------
+    @property
+    def ap_names(self) -> List[str]:
+        return [ap.name for ap in self.aps]
+
+    def ap_index(self, name: str) -> int:
+        for i, ap in enumerate(self.aps):
+            if ap.name == name:
+                return i
+        raise KeyError(f"no AP named {name!r}; have {self.ap_names}")
+
+    # ------------------------------------------------------------------
+    def distances(self, positions: np.ndarray) -> np.ndarray:
+        """Distances (ft) from each position to each AP: (n, n_aps)."""
+        pos = np.atleast_2d(np.asarray(positions, dtype=float))
+        diff = pos[:, None, :] - self._ap_xy[None, :, :]
+        return np.hypot(diff[..., 0], diff[..., 1])
+
+    def wall_loss_db(self, positions: np.ndarray) -> np.ndarray:
+        """Total wall attenuation (dB) per (position, AP): (n, n_aps)."""
+        pos = np.atleast_2d(np.asarray(positions, dtype=float))
+        out = np.zeros((pos.shape[0], len(self.aps)))
+        if not self.walls:
+            return out
+        for j, ap_xy in enumerate(self._ap_xy):
+            crosses = _wall_crossing_matrix(ap_xy, pos, self._walls_a, self._walls_b)
+            out[:, j] = crosses @ self._wall_atten
+        return out
+
+    def mean_rssi(self, positions: np.ndarray) -> np.ndarray:
+        """Frozen mean RSSI (dBm) per (position, AP): (n, n_aps).
+
+        Includes path loss, wall losses, per-AP TX power, the static
+        environmental factor and the frozen shadowing field — everything
+        *except* per-scan randomness.  This is the quantity a training
+        survey converges to with long averaging.
+        """
+        pos = np.atleast_2d(np.asarray(positions, dtype=float))
+        d = self.distances(pos)
+        tx = np.array([ap.tx_power_dbm for ap in self.aps])
+        rssi = tx[None, :] - self.pathloss.path_loss_db(d)
+        rssi -= self.wall_loss_db(pos)
+        rssi -= self.factors.static_loss_db()
+        for j, shadow in enumerate(self._shadowing):
+            rssi[:, j] += shadow(pos)
+        return rssi
+
+    def sample_rssi(
+        self,
+        position,
+        n_samples: int,
+        interval_s: float = 1.0,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Simulate a scan session at one position.
+
+        Returns an ``(n_samples, n_aps)`` array of reported RSSI in dBm
+        with ``NaN`` for misses (below sensitivity, beacon loss, or a
+        body blocking the path).  ``position`` is a :class:`Point` or an
+        (x, y) pair.
+        """
+        gen = resolve_rng(rng)
+        xy = np.asarray(tuple(position), dtype=float).reshape(1, 2)
+        mean = self.mean_rssi(xy)[0]  # (n_aps,)
+        series = self.fading.sample_series(mean, n_samples, interval_s, rng=gen)
+        if n_samples == 0:
+            return series
+
+        block_p = self.factors.body_block_probability()
+        if block_p > 0.0:
+            blocked = gen.random(series.shape) < block_p
+            series = series - blocked * EnvironmentalFactors.BODY_LOSS_DB
+
+        missed = gen.random(series.shape) < self.miss_probability
+        below = series < self.detection_threshold_dbm
+        series = series.astype(float)
+        series[missed | below] = np.nan
+        return series
+
+    def audible_aps(self, position) -> List[str]:
+        """AP names whose mean RSSI at ``position`` clears the threshold."""
+        xy = np.asarray(tuple(position), dtype=float).reshape(1, 2)
+        mean = self.mean_rssi(xy)[0]
+        return [ap.name for ap, m in zip(self.aps, mean) if m >= self.detection_threshold_dbm]

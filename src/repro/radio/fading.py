@@ -1,0 +1,138 @@
+"""Shadowing and temporal fading.
+
+Two distinct randomness scales matter for RSSI fingerprinting, and the
+simulator keeps them rigorously separate because the paper's two results
+depend on the split:
+
+* **Spatial shadowing** (:class:`ShadowingField`) — a *frozen*,
+  spatially correlated log-normal field per AP.  Re-measuring the same
+  spot reproduces the same bias; nearby spots see similar bias.  This is
+  the site signature that makes fingerprinting (§5.1) work, and the
+  model-vs-reality gap that hurts the geometric approach (§5.2).
+* **Temporal fading** (:class:`TemporalFading`) — an AR(1) (Gauss–
+  Markov) dBm process around the frozen mean, modelling the "unstableness
+  of the RF signal strength" the paper calls its largest barrier, plus
+  white measurement noise from the NIC's quantizer.
+
+The shadowing field uses random Fourier features: ``K`` cosines with
+Gaussian-distributed wave vectors give a stationary Gaussian process
+with (approximately) squared-exponential covariance and correlation
+length ``correlation_ft`` — fully vectorized over query positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.parallel.rng import RngLike, resolve_rng
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class ShadowingField:
+    """Frozen spatially-correlated shadowing, in dB.
+
+    ``sigma_db`` is the marginal standard deviation; ``correlation_ft``
+    the distance at which correlation has substantially decayed.  The
+    field is deterministic given its seed: every query of the same
+    position returns the same value, which is the physical property
+    (stable site-specific multipath bias) fingerprinting relies on.
+    """
+
+    def __init__(
+        self,
+        sigma_db: float = 4.0,
+        correlation_ft: float = 8.0,
+        n_features: int = 128,
+        rng: RngLike = None,
+    ):
+        if sigma_db < 0:
+            raise ValueError(f"sigma_db must be non-negative, got {sigma_db}")
+        if correlation_ft <= 0:
+            raise ValueError(f"correlation_ft must be positive, got {correlation_ft}")
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        self.sigma_db = float(sigma_db)
+        self.correlation_ft = float(correlation_ft)
+        gen = resolve_rng(rng)
+        # RBF kernel k(r)=exp(-r²/2ℓ²) has spectral density N(0, 1/ℓ² I).
+        self._omega = gen.normal(0.0, 1.0 / correlation_ft, size=(n_features, 2))
+        self._phase = gen.uniform(0.0, 2.0 * np.pi, size=n_features)
+        self._amp = sigma_db * np.sqrt(2.0 / n_features)
+
+    def __call__(self, positions: np.ndarray) -> np.ndarray:
+        """Shadowing in dB at ``positions`` of shape ``(..., 2)`` feet."""
+        pos = np.asarray(positions, dtype=float)
+        if pos.shape[-1] != 2:
+            raise ValueError(f"positions must have trailing dimension 2, got shape {pos.shape}")
+        if self.sigma_db == 0.0:
+            return np.zeros(pos.shape[:-1])
+        proj = pos @ self._omega.T + self._phase  # (..., K)
+        return self._amp * np.cos(proj).sum(axis=-1)
+
+
+@dataclass
+class TemporalFading:
+    """AR(1) fluctuation of RSSI around its frozen mean, plus white noise.
+
+    ``x_{t+1} = ρ·x_t + √(1−ρ²)·σ·ε`` with ``ρ = exp(−Δt/τ)``; each
+    reported sample adds independent ``noise_db`` measurement noise and
+    is quantized to ``quantize_db`` steps (NICs report integer dBm).
+    """
+
+    sigma_db: float = 2.5
+    timescale_s: float = 6.0
+    noise_db: float = 1.0
+    quantize_db: float = 1.0
+
+    def __post_init__(self):
+        if self.sigma_db < 0 or self.noise_db < 0:
+            raise ValueError("fading and noise sigmas must be non-negative")
+        if self.timescale_s <= 0:
+            raise ValueError(f"timescale must be positive, got {self.timescale_s}")
+        if self.quantize_db < 0:
+            raise ValueError(f"quantize_db must be non-negative, got {self.quantize_db}")
+
+    def sample_series(
+        self,
+        mean_dbm: ArrayLike,
+        n_samples: int,
+        interval_s: float,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Sample a fading time series.
+
+        ``mean_dbm`` may be scalar (one AP, one spot) or shape ``(m,)``
+        (m APs observed simultaneously — their fading processes are
+        independent).  Returns shape ``(n_samples,)`` or
+        ``(n_samples, m)``.
+        """
+        if n_samples < 0:
+            raise ValueError(f"n_samples must be non-negative, got {n_samples}")
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        gen = resolve_rng(rng)
+        mean = np.asarray(mean_dbm, dtype=float)
+        shape = (n_samples,) + mean.shape
+        if n_samples == 0:
+            return np.empty(shape)
+        rho = float(np.exp(-interval_s / self.timescale_s))
+        innovations = gen.normal(0.0, 1.0, size=shape)
+        x = np.empty(shape)
+        x[0] = self.sigma_db * innovations[0]
+        scale = self.sigma_db * np.sqrt(1.0 - rho * rho)
+        for t in range(1, n_samples):
+            x[t] = rho * x[t - 1] + scale * innovations[t]
+        out = mean + x
+        if self.noise_db > 0:
+            out = out + gen.normal(0.0, self.noise_db, size=shape)
+        if self.quantize_db > 0:
+            out = np.round(out / self.quantize_db) * self.quantize_db
+        return out
+
+    def stationary_std(self) -> float:
+        """Marginal std of a reported sample (fading ⊕ measurement noise)."""
+        return float(np.hypot(self.sigma_db, self.noise_db))

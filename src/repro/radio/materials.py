@@ -1,0 +1,77 @@
+"""Wall and obstacle materials with 2.4 GHz attenuation figures.
+
+The paper's future work (§6.1) lists "the shape, size, layout of a room,
+the construction material, the furniture and people inside the room" as
+unmodelled factors.  The simulator models the dominant one — wall
+attenuation — with per-material dB penalties taken from the indoor
+propagation literature (values are typical 2.4 GHz one-pass losses).
+Temperature/humidity enter as a small global scale factor in
+:class:`~repro.radio.environment.EnvironmentalFactors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Material:
+    """A construction material and its one-pass RF attenuation."""
+
+    name: str
+    attenuation_db: float
+    description: str = ""
+
+    def __post_init__(self):
+        if self.attenuation_db < 0:
+            raise ValueError(
+                f"attenuation must be non-negative, got {self.attenuation_db} for {self.name}"
+            )
+
+
+DRYWALL = Material("drywall", 3.0, "interior stud wall, two gypsum sheets")
+WOOD = Material("wood", 4.0, "solid wood door or panel")
+GLASS = Material("glass", 2.0, "interior window / glass partition")
+BRICK = Material("brick", 8.0, "single-wythe brick wall")
+CONCRETE = Material("concrete", 12.0, "poured concrete, ~20 cm")
+CONCRETE_BLOCK = Material("concrete_block", 10.0, "hollow CMU wall")
+METAL = Material("metal", 26.0, "metal partition / elevator shaft")
+EXTERIOR = Material("exterior", 9.0, "typical wood-frame exterior wall with sheathing")
+HUMAN = Material("human", 3.5, "a person standing in the path")
+FURNITURE = Material("furniture", 1.5, "bookshelf / cabinet clutter")
+
+_REGISTRY: Dict[str, Material] = {
+    m.name: m
+    for m in (
+        DRYWALL,
+        WOOD,
+        GLASS,
+        BRICK,
+        CONCRETE,
+        CONCRETE_BLOCK,
+        METAL,
+        EXTERIOR,
+        HUMAN,
+        FURNITURE,
+    )
+}
+
+
+def get_material(name: str) -> Material:
+    """Look up a material by name; raises ``KeyError`` with suggestions."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown material {name!r}; known materials: {known}") from None
+
+
+def register_material(material: Material) -> None:
+    """Register a custom material (site surveys often need one-offs)."""
+    _REGISTRY[material.name] = material
+
+
+def known_materials() -> Dict[str, Material]:
+    """A copy of the material registry."""
+    return dict(_REGISTRY)

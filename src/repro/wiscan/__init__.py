@@ -1,0 +1,33 @@
+"""The *wi-scan* file substrate.
+
+The paper's Training Database Generator consumes "a collection of
+wi-scan files … passed … as a string representing either the name of a
+directory containing the wi-scan files or a zip file containing the
+wi-scan files", where "each wi-scan file in the collection represents
+the data collected at a named location".  The format itself is never
+specified, so this package defines it precisely (see
+:mod:`repro.wiscan.format` for the grammar), provides robust parsing
+with line-level diagnostics, directory/zip collection handling
+(:mod:`repro.wiscan.collection`), and capture sessions that produce the
+files from the simulated scanner (:mod:`repro.wiscan.capture`).
+"""
+
+from repro.wiscan.format import (
+    WiScanFile,
+    WiScanFormatError,
+    WiScanRecord,
+    parse_wiscan,
+    render_wiscan,
+)
+from repro.wiscan.collection import WiScanCollection
+from repro.wiscan.capture import CaptureSession
+
+__all__ = [
+    "WiScanFile",
+    "WiScanFormatError",
+    "WiScanRecord",
+    "parse_wiscan",
+    "render_wiscan",
+    "WiScanCollection",
+    "CaptureSession",
+]

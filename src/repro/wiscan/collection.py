@@ -1,0 +1,188 @@
+"""Wi-scan collections: directories and zip archives.
+
+§4.3: "This collection is passed to the Training Database Generator as
+a string representing either the name of a directory containing the
+wi-scan files or a zip file containing the wi-scan files.  There are
+two things the Training Database Generator must correctly deal with
+when handling wi-scan file collections: directory structure and file
+format."
+
+:class:`WiScanCollection` is that handling, factored out so every tool
+shares it:
+
+* a **directory** is walked recursively; every ``*.wi-scan`` file is a
+  session (other files are ignored, so collections can live next to
+  notes and floor plans);
+* a **zip file** is treated identically, including nested paths inside
+  the archive;
+* sessions are keyed by their ``# location:`` header — *not* the file
+  name — and multiple files for the same location merge into one
+  session (surveyors revisit points), with timestamps offset so merged
+  records never collide.
+"""
+
+from __future__ import annotations
+
+import os
+import zipfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple, Union
+
+from repro.wiscan.format import WiScanFile, WiScanFormatError, parse_wiscan
+
+PathLike = Union[str, os.PathLike]
+
+WISCAN_SUFFIX = ".wi-scan"
+
+
+class WiScanCollection:
+    """An ordered set of wi-scan sessions keyed by location name."""
+
+    def __init__(self, sessions: Dict[str, WiScanFile]):
+        self._sessions = dict(sessions)
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, source: PathLike) -> "WiScanCollection":
+        """Load from a directory or a ``.zip`` archive (auto-detected)."""
+        path = Path(source)
+        if path.is_dir():
+            return cls.from_directory(path)
+        if path.is_file() and zipfile.is_zipfile(path):
+            return cls.from_zip(path)
+        if path.is_file():
+            raise WiScanFormatError(f"{path} is neither a directory nor a zip archive")
+        raise FileNotFoundError(f"wi-scan collection source does not exist: {path}")
+
+    @classmethod
+    def from_directory(cls, directory: PathLike) -> "WiScanCollection":
+        """Recursively collect ``*.wi-scan`` files under ``directory``."""
+        root = Path(directory)
+        if not root.is_dir():
+            raise NotADirectoryError(f"not a directory: {root}")
+        texts: List[Tuple[str, str]] = []
+        for path in sorted(root.rglob(f"*{WISCAN_SUFFIX}")):
+            texts.append((str(path), path.read_text(encoding="utf-8")))
+        return cls._from_texts(texts)
+
+    @classmethod
+    def from_zip(cls, archive: PathLike) -> "WiScanCollection":
+        """Collect ``*.wi-scan`` members of a zip archive (any depth)."""
+        texts: List[Tuple[str, str]] = []
+        with zipfile.ZipFile(archive) as zf:
+            for name in sorted(zf.namelist()):
+                if name.endswith("/") or not name.endswith(WISCAN_SUFFIX):
+                    continue
+                texts.append((f"{archive}!{name}", zf.read(name).decode("utf-8")))
+        return cls._from_texts(texts)
+
+    @classmethod
+    def _from_texts(cls, texts: List[Tuple[str, str]]) -> "WiScanCollection":
+        if not texts:
+            raise WiScanFormatError("collection contains no *.wi-scan files")
+        sessions: Dict[str, WiScanFile] = {}
+        for source, text in texts:
+            parsed = parse_wiscan(text, source=source)
+            existing = sessions.get(parsed.location)
+            if existing is None:
+                sessions[parsed.location] = parsed
+            else:
+                sessions[parsed.location] = _merge(existing, parsed)
+        return cls(sessions)
+
+    # ------------------------------------------------------------------
+    # saving
+    # ------------------------------------------------------------------
+    def save_directory(self, directory: PathLike) -> List[Path]:
+        """Write each session as ``<location>.wi-scan`` under ``directory``."""
+        from repro.wiscan.format import render_wiscan
+
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        written = []
+        for location, session in self._sessions.items():
+            path = root / f"{_safe_filename(location)}{WISCAN_SUFFIX}"
+            path.write_text(render_wiscan(session), encoding="utf-8")
+            written.append(path)
+        return written
+
+    def save_zip(self, archive: PathLike) -> Path:
+        """Write the collection as a zip archive of wi-scan members."""
+        from repro.wiscan.format import render_wiscan
+
+        path = Path(archive)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as zf:
+            for location, session in self._sessions.items():
+                zf.writestr(
+                    f"{_safe_filename(location)}{WISCAN_SUFFIX}",
+                    render_wiscan(session),
+                )
+        return path
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, location: str) -> bool:
+        return location in self._sessions
+
+    def __iter__(self) -> Iterator[WiScanFile]:
+        return iter(self._sessions.values())
+
+    def locations(self) -> List[str]:
+        return list(self._sessions)
+
+    def session(self, location: str) -> WiScanFile:
+        try:
+            return self._sessions[location]
+        except KeyError:
+            raise KeyError(
+                f"no wi-scan session for location {location!r}; "
+                f"have {sorted(self._sessions)}"
+            ) from None
+
+    def all_bssids(self) -> List[str]:
+        """Union of BSSIDs across sessions, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for session in self._sessions.values():
+            for b in session.bssids():
+                seen.setdefault(b, None)
+        return list(seen)
+
+    def total_records(self) -> int:
+        return sum(len(s.records) for s in self._sessions.values())
+
+
+def _merge(a: WiScanFile, b: WiScanFile) -> WiScanFile:
+    """Merge two sessions at the same location, shifting b's timestamps."""
+    if a.position is not None and b.position is not None and a.position != b.position:
+        raise WiScanFormatError(
+            f"conflicting positions for location {a.location!r}: "
+            f"{a.position} vs {b.position}"
+        )
+    offset = (max(r.time_s for r in a.records) + 1.0) if a.records else 0.0
+    from dataclasses import replace
+
+    shifted = [replace(r, time_s=r.time_s + offset) for r in b.records]
+    merged_extra = dict(a.extra_headers)
+    merged_extra.update(b.extra_headers)
+    return WiScanFile(
+        location=a.location,
+        records=list(a.records) + shifted,
+        position=a.position or b.position,
+        interval_s=a.interval_s or b.interval_s,
+        extra_headers=merged_extra,
+    )
+
+
+def _safe_filename(location: str) -> str:
+    """Location names may contain spaces/slashes; file names must not."""
+    out = []
+    for ch in location:
+        out.append(ch if ch.isalnum() or ch in "-_." else "_")
+    return "".join(out) or "unnamed"

@@ -1,0 +1,220 @@
+"""The wi-scan file format: grammar, parser, serializer.
+
+A wi-scan file is a UTF-8 text log of one scan session at one named
+location.  The grammar (line-oriented):
+
+.. code-block:: text
+
+    # wi-scan v1                      <- magic, required first line
+    # location: kitchen               <- session headers (key: value)
+    # position: 35.0 12.5             <- optional, feet
+    # interval: 1.0                   <- optional, seconds
+    # <any-key>: <value>              <- tools may add their own
+    <time>\t<bssid>\t<ssid>\t<channel>\t<rssi>
+    ...
+
+* ``time`` — seconds since session start, decimal.
+* ``bssid`` — ``aa:bb:cc:dd:ee:ff`` MAC (case-insensitive).
+* ``ssid`` — network name; tabs are escaped as ``\\t``.
+* ``channel`` — integer 802.11 channel.
+* ``rssi`` — dBm, negative decimal.
+
+Blank lines are ignored.  A sweep in which an AP was not heard simply
+has no record for it, exactly like real scan logs.  The parser is
+strict about structure (bad lines raise :class:`WiScanFormatError` with
+the line number) but lenient about unknown headers, which real tools
+always grow.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+MAGIC = "# wi-scan v1"
+
+_BSSID_RE = re.compile(r"^[0-9a-f]{2}(:[0-9a-f]{2}){5}$")
+_HEADER_RE = re.compile(r"^#\s*([A-Za-z][\w-]*)\s*:\s*(.*)$")
+
+
+class WiScanFormatError(ValueError):
+    """Raised on malformed wi-scan content; carries the offending line."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+        self.line_no = line_no
+
+
+@dataclass(frozen=True)
+class WiScanRecord:
+    """One AP sighting: a single data line of a wi-scan file."""
+
+    time_s: float
+    bssid: str
+    ssid: str
+    channel: int
+    rssi_dbm: float
+
+    def __post_init__(self):
+        if self.time_s < 0:
+            raise ValueError(f"time must be non-negative, got {self.time_s}")
+        bssid = self.bssid.lower()
+        if not _BSSID_RE.match(bssid):
+            raise ValueError(f"invalid BSSID {self.bssid!r}")
+        object.__setattr__(self, "bssid", bssid)
+        if not 1 <= self.channel <= 196:
+            raise ValueError(f"invalid channel {self.channel}")
+        if not -120.0 <= self.rssi_dbm <= 0.0:
+            raise ValueError(f"implausible RSSI {self.rssi_dbm} dBm")
+
+    def render(self) -> str:
+        ssid = self.ssid.replace("\\", "\\\\").replace("\t", "\\t")
+        return f"{self.time_s:.3f}\t{self.bssid}\t{ssid}\t{self.channel}\t{self.rssi_dbm:.1f}"
+
+
+@dataclass
+class WiScanFile:
+    """A parsed wi-scan session: headers plus the record stream."""
+
+    location: str
+    records: List[WiScanRecord] = field(default_factory=list)
+    position: Optional[Tuple[float, float]] = None
+    interval_s: Optional[float] = None
+    extra_headers: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.location:
+            raise ValueError("wi-scan session needs a non-empty location name")
+
+    # ------------------------------------------------------------------
+    def bssids(self) -> List[str]:
+        """Distinct BSSIDs, in order of first appearance."""
+        seen: Dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.bssid, None)
+        return list(seen)
+
+    def rssi_matrix(self, bssid_order: Sequence[str]) -> np.ndarray:
+        """Samples × APs matrix of RSSI (NaN = AP missing from sweep).
+
+        Sweeps are grouped by timestamp; ``bssid_order`` fixes column
+        order so matrices from different files align.
+        """
+        times = sorted({r.time_s for r in self.records})
+        t_index = {t: i for i, t in enumerate(times)}
+        col = {b: j for j, b in enumerate(bssid_order)}
+        out = np.full((len(times), len(bssid_order)), np.nan)
+        for r in self.records:
+            j = col.get(r.bssid)
+            if j is not None:
+                out[t_index[r.time_s], j] = r.rssi_dbm
+        return out
+
+    def duration_s(self) -> float:
+        if not self.records:
+            return 0.0
+        return max(r.time_s for r in self.records) - min(r.time_s for r in self.records)
+
+
+def render_wiscan(session: WiScanFile) -> str:
+    """Serialize a session to wi-scan text."""
+    lines = [MAGIC, f"# location: {session.location}"]
+    if session.position is not None:
+        lines.append(f"# position: {session.position[0]:g} {session.position[1]:g}")
+    if session.interval_s is not None:
+        lines.append(f"# interval: {session.interval_s:g}")
+    for key, value in sorted(session.extra_headers.items()):
+        lines.append(f"# {key}: {value}")
+    lines.extend(r.render() for r in session.records)
+    return "\n".join(lines) + "\n"
+
+
+def _unescape_ssid(raw: str) -> str:
+    return raw.replace("\\t", "\t").replace("\\\\", "\\")
+
+
+def parse_wiscan(text: str, source: str = "<string>") -> WiScanFile:
+    """Parse wi-scan text into a :class:`WiScanFile`.
+
+    ``source`` names the input in error messages (a path, usually).
+    """
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != MAGIC:
+        raise WiScanFormatError(
+            f"{source}: missing magic line {MAGIC!r} "
+            f"(got {lines[0].strip()!r})" if lines else f"{source}: empty file",
+            line_no=1,
+        )
+
+    location: Optional[str] = None
+    position: Optional[Tuple[float, float]] = None
+    interval_s: Optional[float] = None
+    extra: Dict[str, str] = {}
+    records: List[WiScanRecord] = []
+
+    for line_no, raw in enumerate(lines[1:], start=2):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.lstrip().startswith("#"):
+            m = _HEADER_RE.match(line.strip())
+            if not m:
+                continue  # free-form comment
+            key, value = m.group(1).lower(), m.group(2).strip()
+            if key == "location":
+                location = value
+            elif key == "position":
+                parts = value.split()
+                if len(parts) != 2:
+                    raise WiScanFormatError(
+                        f"{source}: position header needs two numbers, got {value!r}",
+                        line_no,
+                    )
+                try:
+                    position = (float(parts[0]), float(parts[1]))
+                except ValueError:
+                    raise WiScanFormatError(
+                        f"{source}: non-numeric position {value!r}", line_no
+                    ) from None
+            elif key == "interval":
+                try:
+                    interval_s = float(value)
+                except ValueError:
+                    raise WiScanFormatError(
+                        f"{source}: non-numeric interval {value!r}", line_no
+                    ) from None
+            else:
+                extra[key] = value
+            continue
+
+        fields = line.split("\t")
+        if len(fields) != 5:
+            raise WiScanFormatError(
+                f"{source}: expected 5 tab-separated fields, got {len(fields)}: {line!r}",
+                line_no,
+            )
+        try:
+            record = WiScanRecord(
+                time_s=float(fields[0]),
+                bssid=fields[1].strip().lower(),
+                ssid=_unescape_ssid(fields[2]),
+                channel=int(fields[3]),
+                rssi_dbm=float(fields[4]),
+            )
+        except ValueError as exc:
+            raise WiScanFormatError(f"{source}: {exc}", line_no) from None
+        records.append(record)
+
+    if location is None:
+        raise WiScanFormatError(f"{source}: missing required '# location:' header")
+    return WiScanFile(
+        location=location,
+        records=records,
+        position=position,
+        interval_s=interval_s,
+        extra_headers=extra,
+    )

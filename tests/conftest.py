@@ -1,0 +1,52 @@
+"""Shared fixtures: a fast (short-dwell) experiment house and its data.
+
+The full §5 protocol uses 90 s dwells (90 sweeps/point × 30 points);
+tests run a 10 s-dwell variant, which keeps every statistical property
+intact while making the whole suite fast.  Session-scoped fixtures are
+safe because nothing mutates them — all toolkit objects treat fitted
+state as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Observation
+from repro.core.geometry import Point
+from repro.experiments.house import ExperimentHouse, HouseConfig
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> HouseConfig:
+    return HouseConfig(dwell_s=10.0)
+
+
+@pytest.fixture(scope="session")
+def house(fast_config) -> ExperimentHouse:
+    return ExperimentHouse(fast_config)
+
+
+@pytest.fixture(scope="session")
+def training_db(house):
+    return house.training_database(rng=0)
+
+
+@pytest.fixture(scope="session")
+def test_points(house):
+    return house.test_points()
+
+
+@pytest.fixture(scope="session")
+def observations(house, test_points):
+    return house.observe_all(test_points, rng=1)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+def make_observation(rssi_rows, bssids=()):
+    """Helper for hand-built observations in algorithm tests."""
+    return Observation(np.asarray(rssi_rows, dtype=float), bssids=bssids)

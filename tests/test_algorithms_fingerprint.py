@@ -1,0 +1,394 @@
+"""Tests for the fingerprinting algorithms: probabilistic, kNN,
+histogram, scene analysis, sector — plus the shared Observation and
+registry machinery."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import (
+    LocationEstimate,
+    Observation,
+    available_algorithms,
+    make_localizer,
+)
+from repro.algorithms.histogram import HistogramLocalizer
+from repro.algorithms.knn import KNNLocalizer
+from repro.algorithms.probabilistic import ProbabilisticLocalizer
+from repro.algorithms.scene import SceneAnalysisLocalizer
+from repro.algorithms.sector import (
+    SectorLocalizer,
+    is_identifying,
+    minimal_identifying_subset,
+)
+from repro.core.geometry import Point
+from repro.core.trainingdb import LocationRecord, TrainingDatabase
+
+B = [f"02:00:00:00:00:{i:02x}" for i in range(3)]
+
+
+def synthetic_db(rng_seed=0, n_samples=40):
+    """Three training points with cleanly separated fingerprints."""
+    rng = np.random.default_rng(rng_seed)
+    profiles = {
+        "west": ((-40.0, -70.0, -80.0), (0.0, 0.0)),
+        "mid": ((-60.0, -50.0, -60.0), (25.0, 20.0)),
+        "east": ((-80.0, -70.0, -40.0), (50.0, 40.0)),
+    }
+    records = []
+    for name, (means, pos) in profiles.items():
+        samples = rng.normal(means, 2.0, size=(n_samples, 3)).astype(np.float32)
+        records.append(LocationRecord(name, Point(*pos), samples))
+    return TrainingDatabase(B, records)
+
+
+def obs(means, n=10, noise=1.0, seed=1):
+    rng = np.random.default_rng(seed)
+    return Observation(rng.normal(means, noise, size=(n, 3)))
+
+
+class TestObservation:
+    def test_shapes_and_means(self):
+        o = Observation(np.array([[-50.0, np.nan], [-52.0, -70.0]]))
+        assert o.n_sweeps == 2 and o.n_aps == 2
+        assert o.mean_rssi()[0] == pytest.approx(-51.0)
+        assert o.mean_rssi()[1] == pytest.approx(-70.0)
+
+    def test_1d_promoted(self):
+        o = Observation(np.array([-50.0, -60.0]))
+        assert o.samples.shape == (1, 2)
+
+    def test_detection_and_heard(self):
+        o = Observation(np.array([[-50.0, np.nan], [np.nan, np.nan]]))
+        assert o.detection_rate().tolist() == [0.5, 0.0]
+        assert o.heard_mask().tolist() == [True, False]
+
+    def test_truncated(self):
+        o = Observation(np.zeros((10, 2)) - 50.0)
+        assert o.truncated(3).n_sweeps == 3
+        with pytest.raises(ValueError):
+            o.truncated(0)
+
+    def test_bssid_count_checked(self):
+        with pytest.raises(ValueError):
+            Observation(np.zeros((1, 2)) - 50, bssids=["a"])
+
+
+class TestEstimate:
+    def test_error_to(self):
+        est = LocationEstimate(position=Point(3, 4))
+        assert est.error_to(Point(0, 0)) == 5.0
+
+    def test_invalid_is_inf(self):
+        est = LocationEstimate(position=Point(0, 0), valid=False)
+        assert est.error_to(Point(0, 0)) == float("inf")
+        assert LocationEstimate(position=None).error_to(Point(0, 0)) == float("inf")
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        names = available_algorithms()
+        for expected in ("probabilistic", "geometric", "knn", "histogram",
+                         "multilateration", "sector", "scene"):
+            assert expected in names
+
+    def test_make_by_name(self):
+        loc = make_localizer("knn", k=5)
+        assert isinstance(loc, KNNLocalizer)
+        assert loc.k == 5
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            make_localizer("magic")
+
+
+class TestProbabilistic:
+    def test_finds_right_training_point(self):
+        db = synthetic_db()
+        loc = ProbabilisticLocalizer().fit(db)
+        est = loc.locate(obs((-40, -70, -80)))
+        assert est.location_name == "west"
+        assert est.position == Point(0, 0)
+        assert est.valid
+
+    def test_returns_training_point_only(self):
+        # §5.1: answers are training locations, never interpolations.
+        db = synthetic_db()
+        loc = ProbabilisticLocalizer().fit(db)
+        est = loc.locate(obs((-50, -60, -70)))
+        assert est.location_name in db.locations()
+
+    def test_log_likelihood_ordering(self):
+        db = synthetic_db()
+        loc = ProbabilisticLocalizer().fit(db)
+        ll = loc.log_likelihoods(obs((-80, -70, -40)))
+        order = np.argsort(ll)
+        assert db.locations()[order[-1]] == "east"
+
+    def test_posterior_normalized(self):
+        loc = ProbabilisticLocalizer().fit(synthetic_db())
+        p = loc.posterior(obs((-60, -50, -60)))
+        assert p.sum() == pytest.approx(1.0)
+        assert (p >= 0).all()
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            ProbabilisticLocalizer().locate(obs((-50, -50, -50)))
+
+    def test_min_common_aps_invalidates(self):
+        db = synthetic_db()
+        loc = ProbabilisticLocalizer(min_common_aps=2).fit(db)
+        one_ap = Observation(np.array([[-50.0, np.nan, np.nan]]))
+        assert not loc.locate(one_ap).valid
+
+    def test_missing_ap_penalized(self):
+        # Training point that never hears AP 2 vs one that always does.
+        records = [
+            LocationRecord("deaf", Point(0, 0),
+                           np.column_stack([np.full(20, -50.0), np.full(20, -60.0), np.full(20, np.nan)]).astype(np.float32)),
+            LocationRecord("hears", Point(10, 0),
+                           np.random.default_rng(0).normal((-50, -60, -70), 1, (20, 3)).astype(np.float32)),
+        ]
+        db = TrainingDatabase(B, records)
+        loc = ProbabilisticLocalizer().fit(db)
+        est = loc.locate(obs((-50, -60, -70)))
+        assert est.location_name == "hears"
+
+    def test_column_count_checked(self):
+        loc = ProbabilisticLocalizer().fit(synthetic_db())
+        with pytest.raises(ValueError):
+            loc.locate(Observation(np.zeros((1, 2)) - 50))
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            ProbabilisticLocalizer(min_std_db=0)
+        with pytest.raises(ValueError):
+            ProbabilisticLocalizer(missing_penalty_sigma=-1)
+        with pytest.raises(ValueError):
+            ProbabilisticLocalizer(min_common_aps=0)
+
+    def test_empty_db_rejected(self):
+        with pytest.raises(ValueError):
+            ProbabilisticLocalizer().fit(TrainingDatabase(B, []))
+
+    def test_paper_formula_matches_manual(self):
+        """The §5.1 Gaussian: value = exp(-(o-t)²/2σ²)/√(2πσ²)."""
+        samples = np.array([[-50.0], [-54.0], [-52.0], [-48.0], [-46.0]], dtype=np.float32)
+        db = TrainingDatabase([B[0]], [LocationRecord("p", Point(0, 0), samples)])
+        loc = ProbabilisticLocalizer(min_common_aps=1).fit(db)
+        o = Observation(np.array([[-51.0]]))
+        mu, sigma = samples.mean(), max(samples.std(), 0.5)
+        manual = np.exp(-((-51.0 - mu) ** 2) / (2 * sigma**2)) / np.sqrt(2 * np.pi * sigma**2)
+        assert loc.log_likelihoods(o)[0] == pytest.approx(np.log(manual), rel=1e-6)
+
+
+class TestKNN:
+    def test_k1_matches_nearest_fingerprint(self):
+        loc = KNNLocalizer(k=1).fit(synthetic_db())
+        est = loc.locate(obs((-40, -70, -80)))
+        assert est.location_name == "west"
+        assert est.position == Point(0, 0)
+
+    def test_k3_interpolates(self):
+        loc = KNNLocalizer(k=3).fit(synthetic_db())
+        est = loc.locate(obs((-60, -50, -60)))
+        # Average of all three training points pulls off-grid.
+        assert est.location_name is None
+        assert 0 < est.position.x < 50
+
+    def test_weighted_closer_to_best(self):
+        db = synthetic_db()
+        plain = KNNLocalizer(k=3, weighted=False).fit(db)
+        weighted = KNNLocalizer(k=3, weighted=True).fit(db)
+        o = obs((-40, -70, -80))
+        d_plain = plain.locate(o).position.distance_to(Point(0, 0))
+        d_weighted = weighted.locate(o).position.distance_to(Point(0, 0))
+        assert d_weighted < d_plain
+
+    def test_k_larger_than_db_clamped(self):
+        loc = KNNLocalizer(k=99).fit(synthetic_db())
+        assert loc.locate(obs((-50, -60, -70))).valid
+
+    def test_signal_distances_shape(self):
+        loc = KNNLocalizer().fit(synthetic_db())
+        d = loc.signal_distances(obs((-50, -60, -70)))
+        assert d.shape == (3,)
+        assert (d >= 0).all()
+
+    def test_neighbors_in_details(self):
+        loc = KNNLocalizer(k=2).fit(synthetic_db())
+        est = loc.locate(obs((-40, -70, -80)))
+        assert est.details["neighbors"][0] == "west"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNNLocalizer(k=0)
+        with pytest.raises(ValueError):
+            KNNLocalizer(mismatch_penalty_db=-1)
+
+
+class TestHistogram:
+    def test_finds_right_training_point(self):
+        loc = HistogramLocalizer().fit(synthetic_db())
+        est = loc.locate(obs((-80, -70, -40)))
+        assert est.location_name == "east"
+
+    def test_uses_distribution_not_only_mean(self):
+        """Two training points with the same mean but different spread:
+        the histogram method must distinguish them (the §6.2 motivation)."""
+        rng = np.random.default_rng(0)
+        tight = rng.normal(-60, 0.8, size=(300, 1)).astype(np.float32)
+        wide = np.concatenate([
+            rng.normal(-45, 0.8, size=(150, 1)),
+            rng.normal(-75, 0.8, size=(150, 1)),
+        ]).astype(np.float32)  # same mean (-60), bimodal
+        db = TrainingDatabase([B[0]], [
+            LocationRecord("tight", Point(0, 0), tight),
+            LocationRecord("wide", Point(10, 0), wide),
+        ])
+        loc = HistogramLocalizer(bin_width_db=2.0).fit(db)
+        # A bimodal observation matches "wide" even though means agree.
+        o = Observation(rng.normal(-45, 0.8, size=(10, 1)))
+        assert loc.locate(o).location_name == "wide"
+        # ...while a mid-value observation matches "tight".
+        o2 = Observation(rng.normal(-60, 0.8, size=(10, 1)))
+        assert loc.locate(o2).location_name == "tight"
+
+    def test_posterior_normalized(self):
+        loc = HistogramLocalizer().fit(synthetic_db())
+        p = loc.posterior(obs((-60, -50, -60)))
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_absence_informative(self):
+        rng = np.random.default_rng(1)
+        always = rng.normal((-50, -60, -70), 1, (50, 3)).astype(np.float32)
+        never = always.copy()
+        never[:, 2] = np.nan
+        db = TrainingDatabase(B, [
+            LocationRecord("hears", Point(0, 0), always),
+            LocationRecord("deaf", Point(10, 0), never),
+        ])
+        loc = HistogramLocalizer().fit(db)
+        silent_obs = Observation(
+            np.column_stack([np.full(10, -50.0), np.full(10, -60.0), np.full(10, np.nan)])
+        )
+        assert loc.locate(silent_obs).location_name == "deaf"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistogramLocalizer(bin_width_db=0)
+        with pytest.raises(ValueError):
+            HistogramLocalizer(rssi_range=(-20, -100))
+        with pytest.raises(ValueError):
+            HistogramLocalizer(laplace=0)
+
+    def test_column_count_checked(self):
+        loc = HistogramLocalizer().fit(synthetic_db())
+        with pytest.raises(ValueError):
+            loc.log_likelihoods(Observation(np.zeros((1, 5)) - 50))
+
+
+class TestScene:
+    def test_gain_invariance(self):
+        """A constant dB offset on the observing device must not change
+        the answer — the property Euclidean matchers lack."""
+        db = synthetic_db()
+        loc = SceneAnalysisLocalizer().fit(db)
+        o_plain = obs((-40, -70, -80), noise=0.5)
+        o_shifted = Observation(o_plain.samples - 12.0)  # cheap NIC
+        assert loc.locate(o_plain).location_name == "west"
+        assert loc.locate(o_shifted).location_name == "west"
+
+    def test_symbolic_answer(self):
+        loc = SceneAnalysisLocalizer().fit(synthetic_db())
+        est = loc.locate(obs((-60, -50, -60)))
+        assert est.location_name in synthetic_db().locations()
+
+    def test_insufficient_common_aps_invalid(self):
+        loc = SceneAnalysisLocalizer(min_common_aps=3).fit(synthetic_db())
+        o = Observation(np.array([[-50.0, -60.0, np.nan]]))
+        assert not loc.locate(o).valid
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SceneAnalysisLocalizer(min_common_aps=1)
+
+
+class TestSectorHelpers:
+    def test_is_identifying(self):
+        codes = {"a": frozenset({"x"}), "b": frozenset({"y"})}
+        assert is_identifying(codes)
+        assert not is_identifying({"a": frozenset({"x"}), "b": frozenset({"x"})})
+        assert not is_identifying({"a": frozenset()})
+
+    def test_minimal_subset_preserves_identification(self):
+        codes = {
+            "r1": frozenset({"t1"}),
+            "r2": frozenset({"t1", "t2"}),
+            "r3": frozenset({"t2", "t3"}),
+            "r4": frozenset({"t3"}),
+        }
+        chosen = minimal_identifying_subset(codes)
+        reduced = {k: frozenset(v & set(chosen)) for k, v in codes.items()}
+        assert is_identifying(reduced)
+        assert len(chosen) <= 3
+
+    def test_minimal_subset_rejects_non_identifying(self):
+        with pytest.raises(ValueError):
+            minimal_identifying_subset({"a": frozenset({"x"}), "b": frozenset({"x"})})
+
+
+class TestSectorLocalizer:
+    def coded_db(self):
+        """Presence patterns that form a genuine identifying code."""
+        def samples(pattern, n=30):
+            cols = []
+            for bit in pattern:
+                cols.append(np.full(n, -60.0) if bit else np.full(n, np.nan))
+            return np.column_stack(cols).astype(np.float32)
+
+        return TrainingDatabase(B, [
+            LocationRecord("r1", Point(0, 0), samples((1, 0, 0))),
+            LocationRecord("r2", Point(10, 0), samples((1, 1, 0))),
+            LocationRecord("r3", Point(20, 0), samples((0, 1, 1))),
+        ])
+
+    def test_exact_code_lookup(self):
+        loc = SectorLocalizer().fit(self.coded_db())
+        assert loc.identifying()
+        o = Observation(np.column_stack([np.full(5, -60.0), np.full(5, -60.0), np.full(5, np.nan)]))
+        est = loc.locate(o)
+        assert est.location_name == "r2"
+        assert est.details["hamming_distance"] == 0
+
+    def test_nearest_code_fallback(self):
+        loc = SectorLocalizer().fit(self.coded_db())
+        # Code {B2} alone doesn't exist; nearest is r2 {B0,B1} or r3 {B1,B2}.
+        o = Observation(np.column_stack([np.full(5, np.nan), np.full(5, -60.0), np.full(5, np.nan)]))
+        est = loc.locate(o)
+        assert est.details["hamming_distance"] == 1
+
+    def test_ambiguous_code_averages(self):
+        def s(n=10):
+            return np.column_stack([np.full(n, -60.0), np.full(n, np.nan), np.full(n, np.nan)]).astype(np.float32)
+
+        db = TrainingDatabase(B, [
+            LocationRecord("a", Point(0, 0), s()),
+            LocationRecord("b", Point(10, 0), s()),
+        ])
+        loc = SectorLocalizer().fit(db)
+        assert not loc.identifying()
+        o = Observation(np.column_stack([np.full(5, -60.0), np.full(5, np.nan), np.full(5, np.nan)]))
+        est = loc.locate(o)
+        assert est.position == Point(5, 0)  # centroid of the tied rooms
+        assert est.location_name is None
+
+    def test_empty_code_invalid(self):
+        loc = SectorLocalizer().fit(self.coded_db())
+        o = Observation(np.full((5, 3), np.nan))
+        assert not loc.locate(o).valid
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SectorLocalizer(presence_threshold=0.0)
+        with pytest.raises(ValueError):
+            SectorLocalizer(presence_threshold=1.5)

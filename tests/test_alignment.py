@@ -1,0 +1,101 @@
+"""Regression tests for BSSID column alignment.
+
+A real scan tool lists APs in *discovery* order, which depends on which
+beacon happened to be heard first — so a training database's column
+order can differ from an observation's.  Localizers must align by
+BSSID whenever the observation carries identities (this was a live bug:
+a permuted training database silently doubled every tracker's error).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Observation, make_localizer
+from repro.core.geometry import Point
+from repro.core.trainingdb import LocationRecord, TrainingDatabase
+
+B = [f"02:00:00:00:00:{i:02x}" for i in range(3)]
+
+
+_PROFILES = {
+    "west": ((-40.0, -70.0, -80.0), (0.0, 0.0)),
+    "mid": ((-60.0, -50.0, -60.0), (25.0, 20.0)),
+    "east": ((-80.0, -70.0, -40.0), (50.0, 40.0)),
+}
+
+_rng = np.random.default_rng(0)
+_CANONICAL_SAMPLES = {
+    name: _rng.normal(means, 2.0, size=(40, 3)).astype(np.float32)
+    for name, (means, _) in _PROFILES.items()
+}
+
+
+def db_with_order(bssids):
+    """The same physical survey, with columns stored in ``bssids`` order."""
+    canonical = {b: i for i, b in enumerate(B)}
+    cols = [canonical[b] for b in bssids]
+    records = [
+        LocationRecord(name, Point(*pos), _CANONICAL_SAMPLES[name][:, cols])
+        for name, (_, pos) in _PROFILES.items()
+    ]
+    return TrainingDatabase(list(bssids), records)
+
+
+class TestObservationReordered:
+    def test_permutation(self):
+        o = Observation(np.array([[-40.0, -50.0, -60.0]]), bssids=B)
+        r = o.reordered([B[2], B[0], B[1]])
+        assert r.samples[0].tolist() == [-60.0, -40.0, -50.0]
+        assert list(r.bssids) == [B[2], B[0], B[1]]
+
+    def test_missing_target_becomes_nan(self):
+        o = Observation(np.array([[-40.0, -50.0, -60.0]]), bssids=B)
+        r = o.reordered([B[0], "ff:ff:ff:ff:ff:ff"])
+        assert r.samples[0, 0] == -40.0
+        assert np.isnan(r.samples[0, 1])
+
+    def test_extra_columns_dropped(self):
+        o = Observation(np.array([[-40.0, -50.0, -60.0]]), bssids=B)
+        r = o.reordered([B[1]])
+        assert r.samples.shape == (1, 1)
+        assert r.samples[0, 0] == -50.0
+
+    def test_requires_bssids(self):
+        with pytest.raises(ValueError, match="no BSSIDs"):
+            Observation(np.zeros((1, 2)) - 50).reordered(B[:2])
+
+
+@pytest.mark.parametrize(
+    "algorithm,kwargs",
+    [
+        ("probabilistic", {}),
+        ("knn", {}),
+        ("histogram", {}),
+        ("scene", {}),
+        ("sector", {}),
+        (
+            "geometric",
+            {"ap_positions": {B[0]: Point(-5, -5), B[1]: Point(55, -5), B[2]: Point(25, 45)}},
+        ),
+        (
+            "multilateration",
+            {"ap_positions": {B[0]: Point(-5, -5), B[1]: Point(55, -5), B[2]: Point(25, 45)}},
+        ),
+    ],
+)
+def test_permuted_training_columns_give_same_answer(algorithm, kwargs):
+    """Fitting on a column-permuted database must not change locate()."""
+    rng = np.random.default_rng(1)
+    observation = Observation(
+        rng.normal((-40.0, -70.0, -80.0), 1.0, size=(8, 3)), bssids=B
+    )
+    straight = make_localizer(algorithm, **kwargs).fit(db_with_order(B))
+    permuted_order = [B[2], B[0], B[1]]
+    permuted = make_localizer(algorithm, **kwargs).fit(db_with_order(permuted_order))
+
+    est_a = straight.locate(observation)
+    est_b = permuted.locate(observation)
+    assert est_a.valid == est_b.valid
+    if est_a.position is not None and est_b.position is not None:
+        assert est_a.position.distance_to(est_b.position) < 1e-6
+    assert est_a.location_name == est_b.location_name

@@ -1,0 +1,105 @@
+"""Direct tests for public API surface not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Localizer, Observation, make_localizer, register_algorithm
+from repro.algorithms.probabilistic import ProbabilisticLocalizer
+from repro.algorithms.rank import RankLocalizer
+from repro.algorithms.scene import SceneAnalysisLocalizer
+from repro.algorithms.sector import SectorLocalizer
+from repro.core.geometry import Point
+from repro.core.trainingdb import LocationRecord, TrainingDatabase
+from repro.radio.environment import AccessPoint, RadioEnvironment, Wall
+
+B = [f"02:00:00:00:00:{i:02x}" for i in range(3)]
+
+
+def tiny_db():
+    rng = np.random.default_rng(0)
+    return TrainingDatabase(
+        B,
+        [
+            LocationRecord("a", Point(0, 0), rng.normal((-40, -60, -80), 1, (20, 3)).astype(np.float32)),
+            LocationRecord("b", Point(20, 0), rng.normal((-80, -60, -40), 1, (20, 3)).astype(np.float32)),
+        ],
+    )
+
+
+class TestRegisterAlgorithm:
+    def test_custom_registration_and_construction(self):
+        @register_algorithm("always-here")
+        class AlwaysHere(Localizer):
+            def fit(self, db):
+                self._fitted = True
+                return self
+
+            def locate(self, observation):
+                from repro.algorithms.base import LocationEstimate
+
+                return LocationEstimate(position=Point(1.0, 2.0))
+
+        loc = make_localizer("always-here").fit(tiny_db())
+        assert loc.name == "always-here"
+        est = loc.locate(Observation(np.zeros((1, 3)) - 50))
+        assert est.position == Point(1, 2)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm("probabilistic")(ProbabilisticLocalizer)
+
+    def test_default_locate_many(self):
+        loc = SceneAnalysisLocalizer(min_common_aps=2).fit(tiny_db())
+        obs = [Observation(np.zeros((1, 3)) - 50)] * 3
+        assert len(loc.locate_many(obs)) == 3
+
+
+class TestDiagnosticAccessors:
+    def test_scene_correlations(self):
+        loc = SceneAnalysisLocalizer(min_common_aps=2).fit(tiny_db())
+        corr = loc.correlations(Observation(np.array([[-40.0, -60.0, -80.0]])))
+        assert corr.shape == (2,)
+        assert corr[0] > corr[1]
+
+    def test_rank_distances(self):
+        loc = RankLocalizer(min_common_aps=2).fit(tiny_db())
+        d = loc.rank_distances(Observation(np.array([[-40.0, -60.0, -80.0]])))
+        assert d.shape == (2,)
+        assert d[0] < d[1]
+
+    def test_sector_observation_code(self):
+        loc = SectorLocalizer().fit(tiny_db())
+        code = loc.observation_code(
+            Observation(np.array([[-50.0, np.nan, -60.0]] * 4))
+        )
+        assert code == frozenset({B[0], B[2]})
+
+    def test_environment_ap_names_and_wall_loss(self):
+        env = RadioEnvironment(
+            [AccessPoint("A", Point(0, 0)), AccessPoint("B", Point(20, 0)), AccessPoint("C", Point(10, 20))],
+            walls=[Wall.of(10, -5, 10, 25, "concrete")],
+        )
+        assert env.ap_names == ["A", "B", "C"]
+        loss = env.wall_loss_db(np.array([[19.0, 0.0]]))
+        assert loss.shape == (1, 3)
+        assert loss[0, 0] == pytest.approx(12.0)  # A behind the wall
+        assert loss[0, 1] == 0.0  # B same side
+
+    def test_histogram_n_bins(self):
+        from repro.algorithms.histogram import HistogramLocalizer
+
+        h = HistogramLocalizer(bin_width_db=4.0, rssi_range=(-100.0, -20.0))
+        assert h.n_bins == 20
+
+    def test_blueprint_image_size(self):
+        from repro.imaging.blueprint import BlueprintSpec
+
+        spec = BlueprintSpec(width_ft=10, height_ft=10, pixels_per_foot=10, margin_px=5)
+        w, h = spec.image_size
+        assert w == 100 + 10
+        assert h == 100 + 10 + 24
+
+    def test_house_blueprint_spec(self, house):
+        spec = house.blueprint_spec()
+        assert spec.width_ft == house.config.width_ft
+        assert len(spec.interior_walls) == 5

@@ -1,0 +1,82 @@
+"""Tests for the Floor Plan Compositor."""
+
+import pytest
+
+from repro.core.compositor import EstimatePair, FloorPlanCompositor, Mark
+from repro.core.floorplan import FloorPlan, FloorPlanError, PixelPoint
+from repro.core.geometry import Point
+from repro.imaging.raster import BLUE, Raster
+
+
+def make_plan():
+    plan = FloorPlan(Raster(200, 160))
+    plan.set_scale_direct(0.25)
+    plan.set_origin(PixelPoint(0, 159))
+    plan.add_access_point("A", PixelPoint(0, 159))
+    plan.add_location("hall", PixelPoint(100, 80))
+    return plan
+
+
+class TestCompositor:
+    def test_requires_scale_and_origin(self):
+        bare = FloorPlan(Raster(10, 10))
+        with pytest.raises(FloorPlanError):
+            FloorPlanCompositor(bare)
+
+    def test_render_plain_is_copy_plus_annotations(self):
+        plan = make_plan()
+        comp = FloorPlanCompositor(plan)
+        out = comp.render(show_access_points=False, show_locations=False, show_origin=False, scale_bar=False)
+        assert out == plan.image
+        assert out is not plan.image  # never mutates the plan
+
+    def test_annotation_layers_draw(self):
+        comp = FloorPlanCompositor(make_plan())
+        base = comp.render(show_access_points=False, show_locations=False, show_origin=False, scale_bar=False)
+        with_aps = comp.render(show_locations=False, show_origin=False, scale_bar=False)
+        assert with_aps != base
+
+    def test_marks_drawn_at_floor_coordinates(self):
+        comp = FloorPlanCompositor(make_plan())
+        mark = Mark(Point(10, 10), style="dot", color=BLUE, size_px=4)
+        out = comp.render(marks=[mark], show_access_points=False, show_locations=False,
+                          show_origin=False, legend=False, scale_bar=False)
+        # Floor (10,10) ft → pixel (40, 119).
+        assert out.get(40, 119) == BLUE
+
+    def test_all_mark_styles_render(self):
+        comp = FloorPlanCompositor(make_plan())
+        marks = [Mark(Point(5 + 8 * i, 20), style=s) for i, s in enumerate(("cross", "x", "circle", "dot", "diamond"))]
+        out = comp.render(marks=marks)
+        assert out != comp.render()
+
+    def test_invalid_mark_style(self):
+        with pytest.raises(ValueError):
+            Mark(Point(0, 0), style="star")
+        with pytest.raises(ValueError):
+            Mark(Point(0, 0), size_px=0)
+
+    def test_pairs_draw_error_lines(self):
+        comp = FloorPlanCompositor(make_plan())
+        pair = EstimatePair(Point(10, 10), Point(30, 25), label="T1")
+        out = comp.render(pairs=[pair])
+        assert out != comp.render()
+        assert pair.error_ft == pytest.approx(25.0)
+
+    def test_render_coordinates_cli_contract(self):
+        comp = FloorPlanCompositor(make_plan())
+        out = comp.render_coordinates([(5, 5), (20, 30)], style="x")
+        assert out != comp.render()
+
+    def test_mark_labels(self):
+        comp = FloorPlanCompositor(make_plan())
+        out_labeled = comp.render(marks=[Mark(Point(10, 20), label="HERE")])
+        out_plain = comp.render(marks=[Mark(Point(10, 20))])
+        assert out_labeled != out_plain
+
+    def test_legend_toggle(self):
+        comp = FloorPlanCompositor(make_plan())
+        mark = [Mark(Point(10, 10))]
+        with_legend = comp.render(marks=mark, legend=True)
+        without = comp.render(marks=mark, legend=False)
+        assert with_legend != without

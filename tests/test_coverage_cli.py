@@ -1,0 +1,87 @@
+"""Tests for the coverage-map CLI tool."""
+
+import pytest
+
+from repro.cli import coverage_main
+from repro.core.trainingdb import generate_training_db
+from repro.imaging.gif import read_gif
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory, house):
+    root = tmp_path_factory.mktemp("coverage")
+    plan_path = root / "plan.gif"
+    house.floor_plan().save(plan_path)
+    db_path = root / "training.tdb"
+    generate_training_db(house.survey(rng=0), house.location_map(), output=db_path)
+    return {"root": root, "plan": plan_path, "db": db_path}
+
+
+class TestCoverageCLI:
+    def test_by_index(self, artifacts, capsys):
+        out = artifacts["root"] / "ap0.gif"
+        rc = coverage_main([str(artifacts["plan"]), str(artifacts["db"]), str(out)])
+        assert rc == 0
+        assert read_gif(out).width > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_by_bssid(self, artifacts):
+        from repro.core.trainingdb import TrainingDatabase
+
+        db = TrainingDatabase.load(artifacts["db"])
+        out = artifacts["root"] / "bybssid.gif"
+        rc = coverage_main(
+            [str(artifacts["plan"]), str(artifacts["db"]), str(out), "--ap", db.bssids[2]]
+        )
+        assert rc == 0 and out.exists()
+
+    def test_strongest_mode(self, artifacts):
+        out = artifacts["root"] / "strongest.gif"
+        rc = coverage_main(
+            [str(artifacts["plan"]), str(artifacts["db"]), str(out), "--ap", "strongest"]
+        )
+        assert rc == 0 and out.exists()
+
+    def test_resolution_flag(self, artifacts):
+        out = artifacts["root"] / "fine.gif"
+        rc = coverage_main(
+            [str(artifacts["plan"]), str(artifacts["db"]), str(out), "--resolution", "5"]
+        )
+        assert rc == 0
+
+    def test_bad_ap_index(self, artifacts):
+        with pytest.raises(SystemExit):
+            coverage_main(
+                [str(artifacts["plan"]), str(artifacts["db"]),
+                 str(artifacts["root"] / "x.gif"), "--ap", "99"]
+            )
+
+    def test_bad_ap_string(self, artifacts):
+        with pytest.raises(SystemExit):
+            coverage_main(
+                [str(artifacts["plan"]), str(artifacts["db"]),
+                 str(artifacts["root"] / "x.gif"), "--ap", "banana"]
+            )
+
+    def test_bad_resolution(self, artifacts):
+        with pytest.raises(SystemExit):
+            coverage_main(
+                [str(artifacts["plan"]), str(artifacts["db"]),
+                 str(artifacts["root"] / "x.gif"), "--resolution", "0"]
+            )
+
+    def test_missing_database(self, artifacts):
+        with pytest.raises(SystemExit):
+            coverage_main(
+                [str(artifacts["plan"]), str(artifacts["root"] / "nope.tdb"),
+                 str(artifacts["root"] / "x.gif")]
+            )
+
+    def test_unannotated_plan(self, artifacts, tmp_path):
+        from repro.imaging.gif import write_gif
+        from repro.imaging.raster import Raster
+
+        bare = tmp_path / "bare.gif"
+        write_gif(bare, Raster(20, 20))
+        with pytest.raises(SystemExit):
+            coverage_main([str(bare), str(artifacts["db"]), str(tmp_path / "x.gif")])

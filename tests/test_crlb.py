@@ -1,0 +1,127 @@
+"""Tests for the Cramér–Rao bound module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.crlb import (
+    crlb_field,
+    crlb_position_rmse,
+    effective_samples,
+    fisher_information,
+    ranging_crlb_ft,
+)
+from repro.core.geometry import Point
+
+CORNERS = [Point(0, 0), Point(50, 0), Point(50, 40), Point(0, 40)]
+
+
+class TestRangingCRLB:
+    def test_proportional_to_distance(self):
+        b10 = float(ranging_crlb_ft(10.0, sigma_db=4.0, exponent=3.0))
+        b100 = float(ranging_crlb_ft(100.0, sigma_db=4.0, exponent=3.0))
+        assert b100 == pytest.approx(10 * b10)
+
+    def test_known_value(self):
+        # (ln10 / (10·n)) · σ · d with n=2, σ=6, d=50: 0.1151·6·50 ≈ 34.5
+        b = float(ranging_crlb_ft(50.0, sigma_db=6.0, exponent=2.0))
+        assert b == pytest.approx(np.log(10) / 20 * 6 * 50, rel=1e-9)
+
+    def test_samples_shrink_bound(self):
+        one = float(ranging_crlb_ft(30.0, 4.0, 3.0, n_samples=1))
+        hundred = float(ranging_crlb_ft(30.0, 4.0, 3.0, n_samples=100))
+        assert hundred == pytest.approx(one / 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ranging_crlb_ft(10.0, sigma_db=0, exponent=3.0)
+        with pytest.raises(ValueError):
+            ranging_crlb_ft(10.0, 4.0, 3.0, n_samples=0)
+
+
+class TestFisherInformation:
+    def test_symmetric_psd(self):
+        J = fisher_information(Point(20, 15), CORNERS, 4.0, 3.0)
+        assert np.allclose(J, J.T)
+        eigs = np.linalg.eigvalsh(J)
+        assert (eigs >= -1e-12).all()
+
+    def test_more_aps_more_information(self):
+        J3 = fisher_information(Point(25, 20), CORNERS[:3], 4.0, 3.0)
+        J4 = fisher_information(Point(25, 20), CORNERS, 4.0, 3.0)
+        assert np.trace(J4) > np.trace(J3)
+
+    def test_single_ap_rank_deficient(self):
+        bound = crlb_position_rmse(Point(10, 10), CORNERS[:1], 4.0, 3.0)
+        assert bound == float("inf")
+
+    def test_collinear_aps_degenerate_on_axis(self):
+        # Two APs on the x-axis, client on the same axis: gradients are
+        # collinear → no information across the axis.
+        aps = [Point(0, 0), Point(50, 0)]
+        assert crlb_position_rmse(Point(25, 0), aps, 4.0, 3.0) == float("inf")
+        # Off-axis the geometry is fine.
+        assert np.isfinite(crlb_position_rmse(Point(25, 10), aps, 4.0, 3.0))
+
+    def test_standing_on_ap_skips_it(self):
+        J = fisher_information(Point(0, 0), CORNERS, 4.0, 3.0)
+        assert np.isfinite(J).all()
+
+
+class TestPositionCRLB:
+    def test_lower_with_more_samples(self):
+        b1 = crlb_position_rmse(Point(25, 20), CORNERS, 4.0, 3.0, n_samples=1)
+        b9 = crlb_position_rmse(Point(25, 20), CORNERS, 4.0, 3.0, n_samples=9)
+        assert b9 == pytest.approx(b1 / 3)
+
+    def test_lower_with_less_noise(self):
+        loud = crlb_position_rmse(Point(25, 20), CORNERS, 8.0, 3.0)
+        quiet = crlb_position_rmse(Point(25, 20), CORNERS, 2.0, 3.0)
+        assert quiet == pytest.approx(loud / 4)
+
+    def test_center_better_than_corner_vicinity(self):
+        center = crlb_position_rmse(Point(25, 20), CORNERS, 4.0, 3.0)
+        edge = crlb_position_rmse(Point(48, 38), CORNERS, 4.0, 3.0)
+        assert np.isfinite(center) and np.isfinite(edge)
+
+    def test_field_shape(self):
+        pts = np.array([[10.0, 10.0], [25.0, 20.0], [40.0, 30.0]])
+        field = crlb_field(pts, CORNERS, 4.0, 3.0)
+        assert field.shape == (3,)
+        assert (field > 0).all()
+
+    def test_monte_carlo_ml_estimator_respects_bound(self):
+        """An ML grid estimator on exactly-modelled data must sit at or
+        above the CRLB (sanity of the bound itself)."""
+        rng = np.random.default_rng(0)
+        true = Point(22.0, 17.0)
+        sigma, n_exp = 3.0, 3.0
+        ap_xy = np.array([[p.x, p.y] for p in CORNERS])
+
+        def mu(x):
+            d = np.maximum(np.hypot(*(x[:, None, :] - ap_xy[None, :, :]).transpose(2, 0, 1)), 1.0)
+            return -35.0 - 10 * n_exp * np.log10(d)
+
+        gx, gy = np.meshgrid(np.linspace(0, 50, 101), np.linspace(0, 40, 81))
+        lattice = np.column_stack([gx.ravel(), gy.ravel()])
+        expected = mu(lattice)
+        truth_mu = mu(np.array([[true.x, true.y]]))[0]
+
+        errs = []
+        for _ in range(150):
+            obs = truth_mu + rng.normal(0, sigma, 4)
+            ll = -((obs[None, :] - expected) ** 2).sum(axis=1)
+            best = lattice[int(np.argmax(ll))]
+            errs.append(np.hypot(best[0] - true.x, best[1] - true.y))
+        rmse = float(np.sqrt(np.mean(np.square(errs))))
+        bound = crlb_position_rmse(true, CORNERS, sigma, n_exp)
+        assert rmse >= bound * 0.85  # ML ~efficient here; never far below
+
+    def test_effective_samples(self):
+        # Uncorrelated limit: K_eff → K.
+        assert effective_samples(100, 10.0, 0.1) == pytest.approx(100, rel=0.01)
+        # Strong correlation shrinks it hard.
+        assert effective_samples(90, 1.0, 6.0) < 20
+        with pytest.raises(ValueError):
+            effective_samples(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            effective_samples(10, 0.0, 1.0)

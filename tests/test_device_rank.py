@@ -1,0 +1,180 @@
+"""Tests for device profiles and the rank localizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import Observation
+from repro.algorithms.knn import KNNLocalizer
+from repro.algorithms.probabilistic import ProbabilisticLocalizer
+from repro.algorithms.rank import RankLocalizer, _rank_vector
+from repro.core.geometry import Point
+from repro.core.trainingdb import LocationRecord, TrainingDatabase
+from repro.radio.device import (
+    DEVICE_CATALOGUE,
+    OPTIMISTIC_CARD,
+    PESSIMISTIC_CARD,
+    REFERENCE_DBM,
+    DeviceProfile,
+)
+
+B = [f"02:00:00:00:00:{i:02x}" for i in range(4)]
+
+
+class TestDeviceProfile:
+    def test_identity_device(self):
+        dev = DeviceProfile(quantize_db=0.0)
+        x = np.array([[-40.0, -60.0], [np.nan, -70.0]])
+        out = dev.apply(x, rng=0)
+        assert np.allclose(out[np.isfinite(x)], x[np.isfinite(x)])
+        assert np.isnan(out[1, 0])
+
+    def test_offset(self):
+        dev = DeviceProfile(offset_db=8.0, quantize_db=0.0)
+        out = dev.apply(np.array([-50.0]), rng=0)
+        assert out[0] == pytest.approx(-42.0)
+
+    def test_gain_pivots_at_reference(self):
+        dev = DeviceProfile(gain=0.5, quantize_db=0.0)
+        assert dev.apply(np.array([REFERENCE_DBM]), rng=0)[0] == pytest.approx(REFERENCE_DBM)
+        # 20 dB below pivot compresses to 10 dB below.
+        assert dev.apply(np.array([REFERENCE_DBM - 20.0]), rng=0)[0] == pytest.approx(
+            REFERENCE_DBM - 10.0
+        )
+
+    def test_sensitivity_cutoff(self):
+        dev = DeviceProfile(sensitivity_dbm=-60.0, quantize_db=0.0)
+        out = dev.apply(np.array([-55.0, -65.0]), rng=0)
+        assert out[0] == -55.0
+        assert np.isnan(out[1])
+
+    def test_quantization(self):
+        dev = DeviceProfile(quantize_db=2.0)
+        out = dev.apply(np.array([-55.3]), rng=0)
+        assert out[0] % 2.0 == 0.0
+
+    def test_noise_reproducible(self):
+        dev = DeviceProfile(extra_noise_db=2.0, quantize_db=0.0)
+        x = np.full(100, -50.0)
+        assert np.allclose(dev.apply(x, rng=3), dev.apply(x, rng=3))
+        assert not np.allclose(dev.apply(x, rng=3), dev.apply(x, rng=4))
+
+    def test_nan_preserved(self):
+        dev = DeviceProfile(offset_db=5.0)
+        out = dev.apply(np.array([np.nan, -50.0]), rng=0)
+        assert np.isnan(out[0]) and np.isfinite(out[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(gain=0)
+        with pytest.raises(ValueError):
+            DeviceProfile(extra_noise_db=-1)
+
+    def test_catalogue(self):
+        assert "reference" in DEVICE_CATALOGUE
+        assert OPTIMISTIC_CARD.offset_db > 0 > PESSIMISTIC_CARD.offset_db
+
+
+class TestRankVector:
+    def test_simple_ranks(self):
+        r = _rank_vector(np.array([-70.0, -40.0, -60.0]))
+        assert r.tolist() == [1.0, 3.0, 2.0]
+
+    def test_ties_averaged(self):
+        r = _rank_vector(np.array([-50.0, -50.0, -60.0]))
+        assert r.tolist() == [2.5, 2.5, 1.0]
+
+    def test_nan_passthrough(self):
+        r = _rank_vector(np.array([-50.0, np.nan, -60.0]))
+        assert np.isnan(r[1])
+        assert r[0] == 2.0 and r[2] == 1.0
+
+    def test_all_nan(self):
+        assert np.isnan(_rank_vector(np.array([np.nan, np.nan]))).all()
+
+    @given(st.lists(st.floats(min_value=-100, max_value=-1, allow_nan=False), min_size=1, max_size=10))
+    @settings(max_examples=50)
+    def test_monotone_transform_invariance(self, values):
+        arr = np.array(values)
+        a = _rank_vector(arr)
+        b = _rank_vector(0.5 * arr + 7.0)  # positive-gain affine map
+        assert np.allclose(a, b, equal_nan=True)
+
+
+def synthetic_db(seed=0):
+    rng = np.random.default_rng(seed)
+    profiles = {
+        "sw": ((-40.0, -62.0, -80.0, -62.0), (0.0, 0.0)),
+        "se": ((-62.0, -40.0, -62.0, -80.0), (50.0, 0.0)),
+        "ne": ((-80.0, -62.0, -40.0, -62.0), (50.0, 40.0)),
+        "nw": ((-62.0, -80.0, -62.0, -40.0), (0.0, 40.0)),
+    }
+    records = [
+        LocationRecord(name, Point(*pos), rng.normal(m, 1.5, (40, 4)).astype(np.float32))
+        for name, (m, pos) in profiles.items()
+    ]
+    return TrainingDatabase(B, records)
+
+
+class TestRankLocalizer:
+    def test_locates_clean_observation(self):
+        loc = RankLocalizer().fit(synthetic_db())
+        o = Observation(np.random.default_rng(1).normal((-40, -62, -80, -62), 1, (10, 4)))
+        assert loc.locate(o).location_name == "sw"
+
+    def test_invariant_to_device_offset_and_gain(self):
+        loc = RankLocalizer().fit(synthetic_db())
+        rng = np.random.default_rng(2)
+        base = rng.normal((-80, -62, -40, -62), 0.5, (10, 4))
+        o_ref = Observation(base)
+        o_warp = Observation(0.6 * (base + 50.0) - 50.0 - 12.0)  # gain+offset
+        assert loc.locate(o_ref).location_name == "ne"
+        assert loc.locate(o_warp).location_name == "ne"
+
+    def test_db_matchers_break_under_offset_rank_does_not(self):
+        db = synthetic_db()
+        rank = RankLocalizer().fit(db)
+        prob = ProbabilisticLocalizer().fit(db)
+        rng = np.random.default_rng(3)
+        base = rng.normal((-40, -62, -80, -62), 0.5, (10, 4))
+        shifted = Observation(base - 15.0)
+        true = Point(0, 0)
+        assert rank.locate(shifted).error_to(true) <= prob.locate(shifted).error_to(true)
+
+    def test_tie_averaging(self):
+        # An observation equidistant in rank space from two candidates.
+        db = synthetic_db()
+        loc = RankLocalizer().fit(db)
+        est = loc.locate(Observation(np.array([[-50.0, -50.0, -50.0, -50.0]])))
+        assert est.position is not None  # average of tied points, no crash
+
+    def test_min_common_aps(self):
+        loc = RankLocalizer(min_common_aps=3).fit(synthetic_db())
+        o = Observation(np.array([[-40.0, -60.0, np.nan, np.nan]]))
+        assert not loc.locate(o).valid
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RankLocalizer(mismatch_penalty=-1)
+        with pytest.raises(ValueError):
+            RankLocalizer(min_common_aps=1)
+        with pytest.raises(ValueError):
+            RankLocalizer().fit(TrainingDatabase(B, []))
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            RankLocalizer().locate(Observation(np.zeros((1, 4)) - 50))
+
+
+class TestHouseDeviceIntegration:
+    def test_observe_with_device(self, house):
+        from repro.radio.device import PESSIMISTIC_CARD
+
+        p = Point(25, 20)
+        plain = house.observe(p, rng=5)
+        warped = house.observe(p, rng=5, device=PESSIMISTIC_CARD)
+        both = np.isfinite(plain.samples) & np.isfinite(warped.samples)
+        # Same channel draw, shifted reporting.
+        delta = (warped.samples - plain.samples)[both]
+        assert np.abs(delta.mean() + 9.0) < 1.5

@@ -1,0 +1,66 @@
+"""Smoke tests: every shipped example must run clean, end to end.
+
+Examples are a deliverable, not decoration — each is executed as a real
+subprocess (fresh interpreter, no test-session state) and must exit 0
+with its expected landmarks in stdout.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "training database: 30 locations" in out
+        assert "probabilistic ->" in out
+        assert "geometric" in out
+
+    def test_conference_guide(self):
+        out = run_example("conference_guide.py")
+        assert "trained on 5 rooms" in out
+        assert "serving:" in out
+        # At least 3 of the 4 stops should resolve correctly.
+        assert out.count("OK") >= 3
+
+    def test_site_survey_workflow(self):
+        out = run_example("site_survey_workflow.py")
+        for step in ("[1]", "[2]", "[3]", "[4]", "[5]", "[6]"):
+            assert step in out
+        output = EXAMPLES / "output"
+        for artifact in ("blueprint.gif", "annotated_plan.gif", "training.tdb", "results.gif"):
+            assert (output / artifact).is_file()
+
+    def test_tracking_demo(self):
+        out = run_example("tracking_demo.py")
+        assert "particle filter" in out
+        assert (EXAMPLES / "output" / "tracking.gif").is_file()
+
+    def test_site_planner(self):
+        out = run_example("site_planner.py")
+        assert "corner layout" in out
+        assert "optimized layout" in out
+        assert (EXAMPLES / "output" / "heatmap_sweep.gif").is_file()
+
+    def test_error_bounds_map(self):
+        out = run_example("error_bounds_map.py")
+        assert "ranging CRLB" in out
+        assert "different estimation game" in out
+        assert (EXAMPLES / "output" / "crlb_map.gif").is_file()

@@ -1,0 +1,240 @@
+"""Tests for the experiment harness: house, metrics, runner, sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import LocationEstimate
+from repro.core.geometry import Point
+from repro.experiments.house import ExperimentHouse, HouseConfig
+from repro.experiments.metrics import (
+    ExperimentMetrics,
+    error_cdf,
+    mean_deviation,
+    valid_estimation_rate,
+)
+from repro.experiments.runner import aggregate_metrics, run_protocol, run_repeated
+from repro.experiments.sweeps import format_table, summarize, sweep
+from repro.parallel.pool import ParallelConfig
+
+
+class TestHouseConfig:
+    def test_defaults_are_paper_protocol(self):
+        cfg = HouseConfig()
+        assert cfg.width_ft == 50.0 and cfg.height_ft == 40.0
+        assert cfg.grid_step_ft == 10.0
+        assert cfg.n_test_points == 13
+        assert cfg.n_aps == 4
+        assert cfg.dwell_s == 90.0  # the paper's 1.5 minutes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HouseConfig(width_ft=0)
+        with pytest.raises(ValueError):
+            HouseConfig(grid_step_ft=-1)
+        with pytest.raises(ValueError):
+            HouseConfig(n_aps=2)
+        with pytest.raises(ValueError):
+            HouseConfig(n_test_points=0)
+
+
+class TestExperimentHouse:
+    def test_training_grid_is_30_points(self, house):
+        pts = house.training_points()
+        assert len(pts) == 6 * 5  # x in {0..50}, y in {0..40}, step 10
+        coords = {(p.position.x, p.position.y) for p in pts}
+        assert (0.0, 0.0) in coords and (50.0, 40.0) in coords
+        for x, y in coords:
+            assert x % 10 == 0 and y % 10 == 0  # "products of 10 feet"
+
+    def test_aps_at_corners(self, house):
+        positions = [tuple(ap.position) for ap in house.aps]
+        assert positions == [(0, 0), (50, 0), (50, 40), (0, 40)]
+        assert [ap.name for ap in house.aps] == ["A", "B", "C", "D"]
+
+    def test_test_points_scattered_and_fixed(self, house):
+        pts = house.test_points()
+        assert len(pts) == 13
+        assert pts == house.test_points()  # deterministic
+        for p in pts:
+            assert 3 <= p.x <= 47 and 3 <= p.y <= 37
+        assert house.test_points(seed=99) != pts
+
+    def test_more_aps_supported(self):
+        h = ExperimentHouse(HouseConfig(n_aps=8, dwell_s=5.0))
+        assert len(h.aps) == 8
+        assert len({ap.bssid for ap in h.aps}) == 8
+
+    def test_survey_and_database(self, training_db, house):
+        assert len(training_db) == 30
+        assert len(training_db.bssids) == 4
+        # 10 s dwell at 1 Hz → 10 sweeps per point.
+        assert training_db.record("grid-0-0").samples.shape[0] == 10
+
+    def test_observation_column_order_matches_db(self, house, training_db):
+        obs = house.observe(Point(25, 20), rng=0)
+        assert list(obs.bssids) == training_db.bssids
+
+    def test_floor_plan_annotated(self, house):
+        plan = house.floor_plan()
+        assert plan.has_scale and plan.has_origin
+        assert set(plan.access_points) == {"A", "B", "C", "D"}
+        ap_pos = plan.ap_floor_positions()
+        assert ap_pos["C"].distance_to(Point(50, 40)) < 0.5
+
+    def test_location_map(self, house):
+        lm = house.location_map()
+        assert len(lm) == 30
+        assert lm.position("grid-20-10") == Point(20, 10)
+
+    def test_walls_toggle_changes_channel(self):
+        p = np.array([[25.0, 20.0]])
+        a = ExperimentHouse(HouseConfig(with_walls=True)).environment.mean_rssi(p)
+        b = ExperimentHouse(HouseConfig(with_walls=False)).environment.mean_rssi(p)
+        assert not np.allclose(a, b)
+
+
+class TestMetrics:
+    def est(self, x, y, valid=True):
+        return LocationEstimate(position=Point(x, y), valid=valid)
+
+    def test_valid_rate(self):
+        truths = [Point(0, 0), Point(0, 0), Point(0, 0)]
+        ests = [self.est(1, 0), self.est(50, 0), self.est(0, 0, valid=False)]
+        assert valid_estimation_rate(truths, ests, tolerance_ft=10.0) == pytest.approx(1 / 3)
+
+    def test_mean_deviation_skips_invalid(self):
+        truths = [Point(0, 0), Point(0, 0)]
+        ests = [self.est(3, 4), self.est(0, 0, valid=False)]
+        assert mean_deviation(truths, ests) == pytest.approx(5.0)
+
+    def test_mean_deviation_all_invalid(self):
+        assert mean_deviation([Point(0, 0)], [self.est(0, 0, valid=False)]) == float("inf")
+
+    def test_error_cdf_monotone(self):
+        truths = [Point(0, 0)] * 5
+        ests = [self.est(i, 0) for i in range(5)]
+        grid, frac = error_cdf(truths, ests)
+        assert (np.diff(frac) >= 0).all()
+        assert frac[-1] == 1.0
+
+    def test_compute_summary(self):
+        truths = [Point(0, 0)] * 4
+        ests = [self.est(0, 0), self.est(6, 8), self.est(30, 40), self.est(0, 0, valid=False)]
+        m = ExperimentMetrics.compute(truths, ests, tolerance_ft=10.0)
+        assert m.n_observations == 4
+        assert m.n_reported == 3
+        assert m.valid_rate == pytest.approx(0.5)
+        assert m.mean_deviation_ft == pytest.approx((0 + 10 + 50) / 3)
+        assert m.exact_hit_rate == pytest.approx(0.25)
+
+    def test_row_format(self):
+        m = ExperimentMetrics(13, 13, 0.6, 13.6, 12.0, 20.0, 0.1)
+        row = m.row("probabilistic")
+        assert "probabilistic" in row and "60.0%" in row and "13.60" in row
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            valid_estimation_rate([Point(0, 0)], [])
+
+
+class TestRunner:
+    def test_run_protocol_complete(self, house, training_db):
+        r = run_protocol("probabilistic", house=house, rng=1, training_db=training_db)
+        assert r.algorithm == "probabilistic"
+        assert len(r.outcomes) == 13
+        assert r.metrics.n_observations == 13
+        assert r.training_db is None  # not kept by default
+
+    def test_keep_db(self, house):
+        r = run_protocol("knn", house=house, rng=1, keep_db=True)
+        assert r.training_db is not None
+
+    def test_same_seed_reproducible(self, house, training_db):
+        a = run_protocol("probabilistic", house=house, rng=3, training_db=training_db)
+        b = run_protocol("probabilistic", house=house, rng=3, training_db=training_db)
+        assert np.array_equal(a.errors_ft(), b.errors_ft())
+
+    def test_different_seeds_differ(self, house, training_db):
+        a = run_protocol("probabilistic", house=house, rng=3, training_db=training_db)
+        b = run_protocol("probabilistic", house=house, rng=4, training_db=training_db)
+        assert not np.array_equal(a.errors_ft(), b.errors_ft())
+
+    def test_geometric_gets_ap_positions_automatically(self, house, training_db):
+        r = run_protocol("geometric", house=house, rng=1, training_db=training_db)
+        assert r.metrics.n_reported > 0
+
+    def test_observation_dwell_override(self, house, training_db):
+        r = run_protocol(
+            "probabilistic", house=house, rng=1, training_db=training_db, observation_dwell_s=3.0
+        )
+        assert len(r.outcomes) == 13
+
+    def test_run_repeated_and_aggregate(self, house):
+        results = run_repeated("knn", house=house, n_runs=2, rng=0)
+        assert len(results) == 2
+        agg = aggregate_metrics(results)
+        assert agg["n_runs"] == 2
+        assert 0 <= agg["valid_rate"] <= 1
+
+    def test_run_repeated_validation(self, house):
+        with pytest.raises(ValueError):
+            run_repeated("knn", house=house, n_runs=0)
+        with pytest.raises(ValueError):
+            aggregate_metrics([])
+
+
+class TestSweeps:
+    def test_sweep_rows_complete(self, fast_config):
+        rows = sweep(
+            "shadowing_sigma_db",
+            [2.0, 6.0],
+            algorithms=("knn",),
+            n_runs=2,
+            base_config=fast_config,
+            parallel=ParallelConfig(max_workers=1),
+        )
+        assert len(rows) == 2 * 1 * 2
+        for row in rows:
+            assert row["param"] == "shadowing_sigma_db"
+            assert row["value"] in (2.0, 6.0)
+            assert 0 <= row["valid_rate"] <= 1
+
+    def test_sweep_deterministic_cells(self, fast_config):
+        kw = dict(algorithms=("knn",), n_runs=1, base_config=fast_config,
+                  parallel=ParallelConfig(max_workers=1))
+        a = sweep("shadowing_sigma_db", [4.0], **kw)
+        b = sweep("shadowing_sigma_db", [2.0, 4.0], **kw)
+        a_cell = [r for r in a if r["value"] == 4.0][0]
+        b_cell = [r for r in b if r["value"] == 4.0][0]
+        # Adding a value must not change the other cell's result.
+        assert a_cell["mean_deviation_ft"] == b_cell["mean_deviation_ft"]
+
+    def test_pseudo_param_observation_dwell(self, fast_config):
+        rows = sweep(
+            "observation_dwell_s",
+            [2.0, 8.0],
+            algorithms=("knn",),
+            n_runs=1,
+            base_config=fast_config,
+            parallel=ParallelConfig(max_workers=1),
+        )
+        assert {r["value"] for r in rows} == {2.0, 8.0}
+
+    def test_unknown_param_rejected(self, fast_config):
+        with pytest.raises(KeyError):
+            sweep("not_a_field", [1], base_config=fast_config)
+
+    def test_summarize_and_format(self, fast_config):
+        rows = sweep(
+            "shadowing_sigma_db",
+            [3.0],
+            algorithms=("knn", "probabilistic"),
+            n_runs=2,
+            base_config=fast_config,
+            parallel=ParallelConfig(max_workers=1),
+        )
+        summary = summarize(rows)
+        assert len(summary) == 2
+        assert all(s["n_runs"] == 2 for s in summary)
+        table = format_table(summary, title="test")
+        assert "knn" in table and "probabilistic" in table and "test" in table

@@ -1,0 +1,257 @@
+"""Tests for shadowing fields, temporal fading, and the radio environment."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Point
+from repro.radio.environment import (
+    AccessPoint,
+    EnvironmentalFactors,
+    RadioEnvironment,
+    Wall,
+    _wall_crossing_matrix,
+)
+from repro.radio.fading import ShadowingField, TemporalFading
+from repro.radio.materials import CONCRETE, get_material, known_materials, register_material, Material
+
+
+def four_corner_env(**kwargs):
+    aps = [
+        AccessPoint("A", Point(0, 0)),
+        AccessPoint("B", Point(50, 0)),
+        AccessPoint("C", Point(50, 40)),
+        AccessPoint("D", Point(0, 40)),
+    ]
+    return RadioEnvironment(aps, **kwargs)
+
+
+class TestShadowingField:
+    def test_deterministic_per_seed(self):
+        pos = np.array([[1.0, 2.0], [10.0, 20.0]])
+        f1 = ShadowingField(rng=42)
+        f2 = ShadowingField(rng=42)
+        assert np.allclose(f1(pos), f2(pos))
+        assert not np.allclose(f1(pos), ShadowingField(rng=43)(pos))
+
+    def test_repeatable_at_same_spot(self):
+        f = ShadowingField(rng=0)
+        p = np.array([3.0, 4.0])
+        assert f(p) == f(p)
+
+    def test_marginal_std_close_to_sigma(self):
+        f = ShadowingField(sigma_db=5.0, correlation_ft=3.0, n_features=256, rng=0)
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, 500, size=(20000, 2))
+        vals = f(pos)
+        assert abs(vals.std() - 5.0) < 0.6
+
+    def test_spatial_correlation_decays(self):
+        f = ShadowingField(sigma_db=4.0, correlation_ft=10.0, n_features=256, rng=2)
+        rng = np.random.default_rng(3)
+        base = rng.uniform(0, 1000, size=(4000, 2))
+        near = base + np.array([1.0, 0.0])
+        far = base + np.array([300.0, 0.0])
+        v0, vn, vf = f(base), f(near), f(far)
+        corr_near = np.corrcoef(v0, vn)[0, 1]
+        corr_far = np.corrcoef(v0, vf)[0, 1]
+        assert corr_near > 0.9
+        assert abs(corr_far) < 0.2
+
+    def test_zero_sigma_is_zero(self):
+        f = ShadowingField(sigma_db=0.0, rng=0)
+        assert np.allclose(f(np.array([[1.0, 1.0]])), 0.0)
+
+    def test_shape_validation(self):
+        f = ShadowingField(rng=0)
+        with pytest.raises(ValueError):
+            f(np.zeros((3, 3)))
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            ShadowingField(sigma_db=-1)
+        with pytest.raises(ValueError):
+            ShadowingField(correlation_ft=0)
+        with pytest.raises(ValueError):
+            ShadowingField(n_features=0)
+
+
+class TestTemporalFading:
+    def test_shapes(self):
+        f = TemporalFading()
+        assert f.sample_series(-50.0, 5, 1.0, rng=0).shape == (5,)
+        assert f.sample_series(np.array([-50.0, -60.0]), 7, 1.0, rng=0).shape == (7, 2)
+        assert f.sample_series(-50.0, 0, 1.0, rng=0).shape == (0,)
+
+    def test_mean_reversion(self):
+        f = TemporalFading(sigma_db=3.0, timescale_s=5.0, noise_db=0.0, quantize_db=0.0)
+        series = f.sample_series(-60.0, 20000, 1.0, rng=0)
+        assert abs(series.mean() + 60.0) < 0.3
+
+    def test_autocorrelation_positive_at_short_lag(self):
+        f = TemporalFading(sigma_db=3.0, timescale_s=10.0, noise_db=0.0, quantize_db=0.0)
+        x = f.sample_series(0.0, 20000, 1.0, rng=1)
+        r1 = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert r1 > 0.8  # rho = exp(-1/10) ≈ 0.90
+
+    def test_quantization(self):
+        f = TemporalFading(quantize_db=1.0)
+        x = f.sample_series(-55.3, 50, 1.0, rng=2)
+        assert np.allclose(x, np.round(x))
+
+    def test_stationary_std(self):
+        f = TemporalFading(sigma_db=3.0, noise_db=4.0)
+        assert f.stationary_std() == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemporalFading(sigma_db=-1)
+        with pytest.raises(ValueError):
+            TemporalFading(timescale_s=0)
+        f = TemporalFading()
+        with pytest.raises(ValueError):
+            f.sample_series(0.0, -1, 1.0)
+        with pytest.raises(ValueError):
+            f.sample_series(0.0, 1, 0.0)
+
+
+class TestMaterials:
+    def test_lookup(self):
+        assert get_material("concrete") is CONCRETE
+        with pytest.raises(KeyError):
+            get_material("vibranium")
+
+    def test_register(self):
+        register_material(Material("testium", 7.5))
+        assert get_material("testium").attenuation_db == 7.5
+
+    def test_negative_attenuation_rejected(self):
+        with pytest.raises(ValueError):
+            Material("bad", -1.0)
+
+    def test_registry_copy(self):
+        mats = known_materials()
+        mats.clear()
+        assert len(known_materials()) > 0
+
+
+class TestWallCrossing:
+    def test_crossing_matrix(self):
+        ap = np.array([0.0, 0.0])
+        pos = np.array([[10.0, 0.0], [0.0, 10.0]])
+        wa = np.array([[5.0, -5.0]])
+        wb = np.array([[5.0, 5.0]])
+        m = _wall_crossing_matrix(ap, pos, wa, wb)
+        assert m.shape == (2, 1)
+        assert m[0, 0] and not m[1, 0]
+
+    def test_no_walls(self):
+        m = _wall_crossing_matrix(np.zeros(2), np.ones((3, 2)), np.zeros((0, 2)), np.zeros((0, 2)))
+        assert m.shape == (3, 0)
+
+
+class TestEnvironmentalFactors:
+    def test_reference_conditions_cost_nothing(self):
+        assert EnvironmentalFactors().static_loss_db() == 0.0
+
+    def test_deviation_costs(self):
+        f = EnvironmentalFactors(temperature_c=31.0, humidity_pct=85.0)
+        assert f.static_loss_db() == pytest.approx(10 * 0.02 + 40 * 0.03)
+
+    def test_people_block_probability(self):
+        assert EnvironmentalFactors(people=0).body_block_probability() == 0.0
+        assert EnvironmentalFactors(people=2).body_block_probability() == pytest.approx(0.08)
+        assert EnvironmentalFactors(people=100).body_block_probability() == 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnvironmentalFactors(people=-1)
+        with pytest.raises(ValueError):
+            EnvironmentalFactors(humidity_pct=120)
+
+
+class TestRadioEnvironment:
+    def test_requires_aps(self):
+        with pytest.raises(ValueError):
+            RadioEnvironment([])
+
+    def test_duplicate_names_rejected(self):
+        aps = [AccessPoint("A", Point(0, 0)), AccessPoint("A", Point(1, 1))]
+        with pytest.raises(ValueError):
+            RadioEnvironment(aps)
+
+    def test_mean_rssi_monotone_without_shadowing(self):
+        env = four_corner_env(shadowing_sigma_db=0.0)
+        near = env.mean_rssi(np.array([[5.0, 5.0]]))[0][0]
+        far = env.mean_rssi(np.array([[45.0, 35.0]]))[0][0]
+        assert near > far  # AP A is at (0, 0)
+
+    def test_mean_rssi_deterministic(self):
+        env = four_corner_env(seed=5)
+        p = np.array([[20.0, 20.0]])
+        assert np.allclose(env.mean_rssi(p), env.mean_rssi(p))
+
+    def test_site_seed_changes_field(self):
+        p = np.array([[20.0, 20.0]])
+        a = four_corner_env(seed=1).mean_rssi(p)
+        b = four_corner_env(seed=2).mean_rssi(p)
+        assert not np.allclose(a, b)
+
+    def test_walls_attenuate(self):
+        wall = [Wall.of(25, -5, 25, 45, "concrete")]
+        env_open = four_corner_env(shadowing_sigma_db=0.0)
+        env_wall = four_corner_env(walls=wall, shadowing_sigma_db=0.0)
+        p = np.array([[40.0, 20.0]])  # AP A at (0,0) is behind the wall
+        delta = env_open.mean_rssi(p)[0][0] - env_wall.mean_rssi(p)[0][0]
+        assert delta == pytest.approx(CONCRETE.attenuation_db)
+        # AP B at (50, 0): same side, no attenuation.
+        assert env_open.mean_rssi(p)[0][1] == pytest.approx(env_wall.mean_rssi(p)[0][1])
+
+    def test_sample_rssi_shape_and_nan(self):
+        env = four_corner_env(miss_probability=0.5, seed=0)
+        s = env.sample_rssi(Point(25, 20), 200, rng=0)
+        assert s.shape == (200, 4)
+        miss_rate = np.isnan(s).mean()
+        assert 0.3 < miss_rate < 0.7
+
+    def test_sample_rssi_reproducible(self):
+        env = four_corner_env(seed=0)
+        a = env.sample_rssi(Point(10, 10), 20, rng=7)
+        b = env.sample_rssi(Point(10, 10), 20, rng=7)
+        assert np.array_equal(a, b, equal_nan=True)
+
+    def test_detection_threshold(self):
+        env = four_corner_env(detection_threshold_dbm=-10.0, shadowing_sigma_db=0.0)
+        s = env.sample_rssi(Point(25, 20), 50, rng=1)
+        assert np.isnan(s).all()  # nothing is that loud mid-room
+
+    def test_audible_aps(self):
+        env = four_corner_env(shadowing_sigma_db=0.0)
+        assert env.audible_aps(Point(25, 20)) == ["A", "B", "C", "D"]
+
+    def test_ap_index(self):
+        env = four_corner_env()
+        assert env.ap_index("C") == 2
+        with pytest.raises(KeyError):
+            env.ap_index("Z")
+
+    def test_distances(self):
+        env = four_corner_env()
+        d = env.distances(np.array([[0.0, 0.0]]))
+        assert d[0][0] == 0.0
+        assert d[0][2] == pytest.approx(np.hypot(50, 40))
+
+    def test_invalid_miss_probability(self):
+        with pytest.raises(ValueError):
+            four_corner_env(miss_probability=1.0)
+
+    def test_ap_validation(self):
+        with pytest.raises(ValueError):
+            AccessPoint("", Point(0, 0))
+        with pytest.raises(ValueError):
+            AccessPoint("X", Point(0, 0), channel=15)
+
+    def test_auto_bssid_unique(self):
+        a = AccessPoint("P", Point(0, 0))
+        b = AccessPoint("Q", Point(1, 1))
+        assert a.bssid != b.bssid
+        assert len(a.bssid.split(":")) == 6

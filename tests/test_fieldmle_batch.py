@@ -1,0 +1,151 @@
+"""Tests for the field-MLE localizer and the vectorized batch paths."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Observation, make_localizer
+from repro.algorithms.fieldmle import FieldMLELocalizer
+from repro.algorithms.knn import KNNLocalizer
+from repro.algorithms.probabilistic import ProbabilisticLocalizer
+from repro.core.geometry import Point
+from repro.core.trainingdb import LocationRecord, TrainingDatabase
+
+B = [f"02:00:00:00:00:{i:02x}" for i in range(4)]
+APS = [Point(0, 0), Point(50, 0), Point(50, 40), Point(0, 40)]
+
+
+def rssi_at(p: Point) -> np.ndarray:
+    d = np.array([max(p.distance_to(a), 1.0) for a in APS])
+    return -35.0 - 25.0 * np.log10(d)
+
+
+def grid_db(step=10.0, seed=0, noise=1.0):
+    rng = np.random.default_rng(seed)
+    records = []
+    for y in np.arange(0, 41, step):
+        for x in np.arange(0, 51, step):
+            p = Point(float(x), float(y))
+            records.append(
+                LocationRecord(
+                    f"g{x:g}-{y:g}", p, rng.normal(rssi_at(p), noise, (10, 4)).astype(np.float32)
+                )
+            )
+    return TrainingDatabase(B, records)
+
+
+def obs_at(p: Point, seed=1, noise=1.0, n=5):
+    rng = np.random.default_rng(seed)
+    return Observation(rng.normal(rssi_at(p), noise, (n, 4)), bssids=B)
+
+
+class TestFieldMLE:
+    def test_registered(self):
+        assert isinstance(make_localizer("fieldmle"), FieldMLELocalizer)
+
+    def test_answers_off_grid(self):
+        """Unlike §5.1, the estimate can land between training points."""
+        loc = FieldMLELocalizer(resolution_ft=1.0).fit(grid_db())
+        true = Point(23.0, 17.0)  # off the 10-ft grid
+        est = loc.locate(obs_at(true, noise=0.5))
+        assert est.valid
+        assert est.position.distance_to(true) < 6.0
+        # ...and genuinely off-grid (not snapped to a multiple of 10).
+        assert est.position.x % 10.0 > 0.01 or est.position.y % 10.0 > 0.01
+
+    def test_beats_grid_argmax_on_clean_channel(self):
+        db = grid_db(noise=0.5)
+        field = FieldMLELocalizer(resolution_ft=1.0).fit(db)
+        prob = ProbabilisticLocalizer().fit(db)
+        rng = np.random.default_rng(5)
+        errs_f, errs_p = [], []
+        for i in range(20):
+            true = Point(rng.uniform(5, 45), rng.uniform(5, 35))
+            o = obs_at(true, seed=100 + i, noise=0.5)
+            errs_f.append(field.locate(o).error_to(true))
+            errs_p.append(prob.locate(o).error_to(true))
+        assert np.mean(errs_f) < np.mean(errs_p)
+
+    def test_log_likelihood_grid_shape(self):
+        loc = FieldMLELocalizer(resolution_ft=5.0, margin_ft=0.0).fit(grid_db())
+        ll = loc.log_likelihood_grid(obs_at(Point(25, 20)))
+        assert ll.shape == (len(loc._ys), len(loc._xs))
+        assert np.isfinite(ll).all()
+
+    def test_silent_observation_invalid(self):
+        loc = FieldMLELocalizer().fit(grid_db())
+        est = loc.locate(Observation(np.full((2, 4), np.nan), bssids=B))
+        assert not est.valid and est.position is None
+
+    def test_refinement_subcell(self):
+        coarse = FieldMLELocalizer(resolution_ft=4.0, refine=False).fit(grid_db(noise=0.5))
+        refined = FieldMLELocalizer(resolution_ft=4.0, refine=True).fit(grid_db(noise=0.5))
+        true = Point(26.0, 21.0)
+        o = obs_at(true, noise=0.3)
+        e_coarse = coarse.locate(o).error_to(true)
+        e_refined = refined.locate(o).error_to(true)
+        assert e_refined <= e_coarse + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FieldMLELocalizer(resolution_ft=0)
+        with pytest.raises(ValueError):
+            FieldMLELocalizer(margin_ft=-1)
+        with pytest.raises(RuntimeError):
+            FieldMLELocalizer().locate(obs_at(Point(0, 0)))
+
+    def test_column_mismatch(self):
+        loc = FieldMLELocalizer().fit(grid_db())
+        with pytest.raises(ValueError):
+            loc.log_likelihood_grid(Observation(np.zeros((1, 2)) - 50))
+
+
+class TestBatchEquality:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return grid_db()
+
+    @pytest.fixture(scope="class")
+    def batch_obs(self):
+        rng = np.random.default_rng(9)
+        out = []
+        for i in range(25):
+            p = Point(rng.uniform(0, 50), rng.uniform(0, 40))
+            samples = rng.normal(rssi_at(p), 3.0, (4, 4))
+            # Inject some misses, including a fully silent sweep.
+            samples[rng.random(samples.shape) < 0.1] = np.nan
+            out.append(Observation(samples, bssids=B))
+        return out
+
+    @pytest.mark.parametrize("cls", [ProbabilisticLocalizer, KNNLocalizer])
+    def test_locate_many_matches_loop(self, cls, db, batch_obs):
+        loc = cls().fit(db)
+        loop = [loc.locate(o) for o in batch_obs]
+        batch = loc.locate_many(batch_obs)
+        assert len(batch) == len(loop)
+        for a, b in zip(loop, batch):
+            assert a.position == b.position
+            assert a.location_name == b.location_name
+            assert a.valid == b.valid
+            assert a.score == pytest.approx(b.score)
+
+    @pytest.mark.parametrize("cls", [ProbabilisticLocalizer, KNNLocalizer])
+    def test_empty_batch(self, cls, db):
+        assert cls().fit(db).locate_many([]) == []
+
+    def test_permuted_columns_in_batch(self, db):
+        """Batch path honors per-observation BSSID alignment too."""
+        loc = ProbabilisticLocalizer().fit(db)
+        rng = np.random.default_rng(3)
+        base = rng.normal(rssi_at(Point(10, 10)), 1.0, (5, 4))
+        straight = Observation(base, bssids=B)
+        perm = [2, 0, 3, 1]
+        shuffled = Observation(base[:, perm], bssids=[B[i] for i in perm])
+        a, b = loc.locate_many([straight, shuffled])
+        assert a.location_name == b.location_name
+
+    def test_knn_weighted_batch(self, db, batch_obs):
+        loc = KNNLocalizer(k=3, weighted=True).fit(db)
+        loop = [loc.locate(o) for o in batch_obs]
+        batch = loc.locate_many(batch_obs)
+        for a, b in zip(loop, batch):
+            assert a.position.distance_to(b.position) < 1e-9

@@ -1,0 +1,175 @@
+"""Tests for the bitmap font, netpbm codecs, and blueprint renderer."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import font
+from repro.imaging.blueprint import (
+    BlueprintSpec,
+    experiment_house_blueprint,
+    render_blueprint,
+)
+from repro.imaging.pnm import (
+    PnmError,
+    decode_pnm,
+    encode_pgm,
+    encode_ppm,
+    read_pnm,
+    write_ppm,
+)
+from repro.imaging.raster import BLACK, RED, WHITE, Raster
+
+
+class TestFont:
+    def test_glyph_shape(self):
+        bmp = font.glyph_bitmap("A")
+        assert bmp.shape == (7, 5)
+        assert bmp.dtype == bool
+        assert bmp.any()
+
+    def test_lowercase_maps_to_uppercase(self):
+        assert np.array_equal(font.glyph_bitmap("a"), font.glyph_bitmap("A"))
+
+    def test_unknown_char_fallback_box(self):
+        bmp = font.glyph_bitmap("€")
+        assert bmp[0].all() and bmp[-1].all()  # hollow box top/bottom
+
+    def test_glyph_single_char_only(self):
+        with pytest.raises(ValueError):
+            font.glyph_bitmap("ab")
+
+    def test_measure_text(self):
+        assert font.measure_text("") == (0, 7)
+        assert font.measure_text("A") == (5, 7)
+        assert font.measure_text("AB") == (11, 7)
+        assert font.measure_text("AB", scale=2) == (22, 14)
+
+    def test_draw_text_marks_pixels(self):
+        r = Raster(60, 12)
+        w, h = font.draw_text(r, 2, 2, "HELLO", BLACK)
+        assert (w, h) == font.measure_text("HELLO")
+        assert r.count_color(BLACK) > 20
+
+    def test_draw_text_scale(self):
+        r1, r2 = Raster(30, 12), Raster(60, 24)
+        font.draw_text(r1, 0, 0, "AB", BLACK)
+        font.draw_text(r2, 0, 0, "AB", BLACK, scale=2)
+        assert r2.count_color(BLACK) == 4 * r1.count_color(BLACK)
+
+    def test_draw_text_background(self):
+        r = Raster(40, 12, background=RED)
+        font.draw_text(r, 4, 2, "HI", BLACK, background=WHITE)
+        assert r.count_color(WHITE) > 0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            font.draw_text(Raster(10, 10), 0, 0, "A", BLACK, scale=0)
+
+    def test_distinct_glyphs(self):
+        # Each printable glyph must be distinguishable from the others.
+        import string
+
+        glyphs = {}
+        for ch in string.ascii_uppercase + string.digits:
+            glyphs[ch] = font.glyph_bitmap(ch).tobytes()
+        assert len(set(glyphs.values())) == len(glyphs)
+
+
+class TestPnm:
+    def test_ppm_binary_roundtrip(self, tmp_path):
+        r = Raster(7, 5, background=(1, 2, 3))
+        r.set(0, 0, RED)
+        path = tmp_path / "x.ppm"
+        write_ppm(path, r)
+        assert read_pnm(path) == r
+
+    def test_ppm_ascii_roundtrip(self):
+        r = Raster(4, 3, background=(9, 8, 7))
+        assert decode_pnm(encode_ppm(r, binary=False)) == r
+
+    def test_pgm_binary_and_ascii(self):
+        gray = np.arange(12, dtype=np.uint8).reshape(3, 4) * 20
+        for binary in (True, False):
+            out = decode_pnm(encode_pgm(gray, binary=binary))
+            assert np.array_equal(out.pixels[..., 0], gray)
+            assert np.array_equal(out.pixels[..., 1], gray)
+
+    def test_comment_in_header(self):
+        r = Raster(2, 2, background=(5, 5, 5))
+        blob = encode_ppm(r, binary=False)
+        patched = blob.replace(b"P3\n", b"P3\n# a comment line\n")
+        assert decode_pnm(patched) == r
+
+    def test_maxval_scaling(self):
+        blob = b"P2\n2 1\n15\n0 15\n"
+        out = decode_pnm(blob)
+        assert out.get(0, 0) == (0, 0, 0)
+        assert out.get(1, 0) == (255, 255, 255)
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(PnmError):
+            decode_pnm(b"P9\n1 1\n255\n\x00")
+
+    def test_rejects_truncated_binary(self):
+        with pytest.raises(PnmError):
+            decode_pnm(b"P5\n4 4\n255\n\x00\x00")
+
+    def test_rejects_value_over_maxval(self):
+        with pytest.raises(PnmError):
+            decode_pnm(b"P2\n1 1\n10\n99\n")
+
+    def test_rejects_big_maxval(self):
+        with pytest.raises(PnmError):
+            decode_pnm(b"P5\n1 1\n65535\n\x00\x00")
+
+    def test_pgm_requires_2d(self):
+        with pytest.raises(PnmError):
+            encode_pgm(np.zeros((2, 2, 3), dtype=np.uint8))
+
+
+class TestBlueprint:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            BlueprintSpec(width_ft=0, height_ft=10)
+        with pytest.raises(ValueError):
+            BlueprintSpec(width_ft=10, height_ft=10, pixels_per_foot=0)
+
+    def test_to_pixel_y_flip(self):
+        spec = BlueprintSpec(width_ft=10, height_ft=10, pixels_per_foot=10, margin_px=0)
+        # Floor origin (0,0) is the bottom-left: pixel y = height.
+        assert spec.to_pixel(0, 0) == (0, 100)
+        assert spec.to_pixel(0, 10) == (0, 0)
+        assert spec.to_pixel(10, 0) == (100, 100)
+
+    def test_render_deterministic_given_seed(self):
+        a = render_blueprint(BlueprintSpec(20, 20), scan_noise=0.3, rng=5)
+        b = render_blueprint(BlueprintSpec(20, 20), scan_noise=0.3, rng=5)
+        assert a == b
+
+    def test_scan_noise_changes_image(self):
+        clean = render_blueprint(BlueprintSpec(20, 20), scan_noise=0.0)
+        noisy = render_blueprint(BlueprintSpec(20, 20), scan_noise=0.5, rng=1)
+        assert clean != noisy
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            render_blueprint(BlueprintSpec(10, 10), scan_noise=1.5)
+
+    def test_walls_and_labels_drawn(self):
+        spec = BlueprintSpec(
+            width_ft=20,
+            height_ft=20,
+            interior_walls=[(10, 0, 10, 20)],
+            labels=[(5, 5, "ROOM")],
+        )
+        img = render_blueprint(spec)
+        blank = render_blueprint(BlueprintSpec(width_ft=20, height_ft=20))
+        assert img != blank
+
+    def test_experiment_house_blueprint(self):
+        bp = experiment_house_blueprint(pixels_per_foot=4.0, scan_noise=0.0)
+        # 50x40 ft at 4 px/ft plus margins.
+        assert bp.width == 50 * 4 + 80
+        assert bp.height == 40 * 4 + 80 + 24
+        # Ink must be present (walls drawn).
+        assert bp.count_color((40, 40, 48)) > 100

@@ -1,0 +1,256 @@
+"""Unit and property tests for repro.core.geometry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import (
+    Circle,
+    Point,
+    best_circle_intersection,
+    centroid,
+    circle_intersections,
+    distance,
+    geometric_median,
+    median_point,
+    point_segment_distance,
+    polygon_contains,
+    segment_intersects,
+)
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, finite, finite)
+radii = st.floats(min_value=0.01, max_value=1e3, allow_nan=False)
+
+
+class TestPoint:
+    def test_arithmetic(self):
+        a, b = Point(1, 2), Point(3, -1)
+        assert a + b == Point(4, 1)
+        assert a - b == Point(-2, 3)
+        assert a * 2 == Point(2, 4)
+        assert 2 * a == Point(2, 4)
+        assert a / 2 == Point(0.5, 1)
+        assert -a == Point(-1, -2)
+
+    def test_dot_cross(self):
+        assert Point(1, 0).dot(Point(0, 1)) == 0
+        assert Point(2, 3).dot(Point(4, 5)) == 23
+        assert Point(1, 0).cross(Point(0, 1)) == 1
+        assert Point(0, 1).cross(Point(1, 0)) == -1
+
+    def test_norm_distance(self):
+        assert Point(3, 4).norm() == 5
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5
+        assert distance(Point(1, 1), Point(4, 5)) == 5
+
+    def test_iter_and_array(self):
+        p = Point(1.5, -2.5)
+        assert tuple(p) == (1.5, -2.5)
+        assert np.allclose(p.as_array(), [1.5, -2.5])
+        assert Point.from_array([1.5, -2.5]) == p
+
+    def test_from_array_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            Point.from_array([1, 2, 3])
+
+    def test_rotation(self):
+        p = Point(1, 0).rotated(math.pi / 2)
+        assert abs(p.x) < 1e-12 and abs(p.y - 1) < 1e-12
+
+    @given(points, points)
+    def test_distance_symmetry(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    def test_round(self):
+        assert Point(1.23456789, -2.3456789).round(3) == Point(1.235, -2.346)
+
+
+class TestCircle:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle(Point(0, 0), -1.0)
+
+    def test_contains_and_boundary(self):
+        c = Circle(Point(0, 0), 5.0)
+        assert c.contains(Point(3, 4))
+        assert c.on_boundary(Point(3, 4))
+        assert not c.contains(Point(4, 4))
+
+
+class TestCircleIntersections:
+    def test_two_point_case(self):
+        c1 = Circle(Point(0, 0), 5)
+        c2 = Circle(Point(8, 0), 5)
+        pts = circle_intersections(c1, c2)
+        assert len(pts) == 2
+        for p in pts:
+            assert c1.on_boundary(p, tol=1e-6)
+            assert c2.on_boundary(p, tol=1e-6)
+        # Symmetric about the x-axis at x=4.
+        assert {round(p.x, 6) for p in pts} == {4.0}
+        assert sorted(round(p.y, 6) for p in pts) == [-3.0, 3.0]
+
+    def test_tangent_external(self):
+        pts = circle_intersections(Circle(Point(0, 0), 2), Circle(Point(5, 0), 3))
+        assert len(pts) == 1
+        assert pts[0].round(6) == Point(2, 0)
+
+    def test_tangent_internal(self):
+        pts = circle_intersections(Circle(Point(0, 0), 5), Circle(Point(2, 0), 3))
+        assert len(pts) == 1
+        assert pts[0].round(6) == Point(5, 0)
+
+    def test_separate_and_nested_empty(self):
+        assert circle_intersections(Circle(Point(0, 0), 1), Circle(Point(10, 0), 1)) == []
+        assert circle_intersections(Circle(Point(0, 0), 10), Circle(Point(1, 0), 1)) == []
+
+    def test_concentric_empty(self):
+        assert circle_intersections(Circle(Point(0, 0), 2), Circle(Point(0, 0), 2)) == []
+
+    @given(points, radii, points, radii)
+    @settings(max_examples=200)
+    def test_intersections_lie_on_both_circles(self, c1, r1, c2, r2):
+        pts = circle_intersections(Circle(c1, r1), Circle(c2, r2))
+        for p in pts:
+            scale = max(1.0, r1, r2, c1.distance_to(c2))
+            assert abs(c1.distance_to(p) - r1) <= 1e-6 * scale + 1e-6
+            assert abs(c2.distance_to(p) - r2) <= 1e-6 * scale + 1e-6
+
+
+class TestBestCircleIntersection:
+    def test_real_intersection_passthrough(self):
+        pts = best_circle_intersection(Circle(Point(0, 0), 5), Circle(Point(8, 0), 5))
+        assert len(pts) == 2
+
+    def test_separate_fallback_between(self):
+        pts = best_circle_intersection(Circle(Point(0, 0), 2), Circle(Point(10, 0), 3))
+        assert len(pts) == 1
+        # t* = (10 + 2 - 3)/2 = 4.5, between the boundaries (2 and 7).
+        assert pts[0].round(6) == Point(4.5, 0)
+
+    def test_nested_fallback_between_boundaries(self):
+        pts = best_circle_intersection(Circle(Point(0, 0), 10), Circle(Point(2, 0), 1))
+        assert len(pts) == 1
+        # t* = (2 + 10 + 1)/2 = 6.5: midpoint of inner far side (3) and outer (10).
+        assert pts[0].round(6) == Point(6.5, 0)
+        assert 3 <= pts[0].x <= 10
+
+    def test_concentric_empty(self):
+        assert best_circle_intersection(Circle(Point(0, 0), 1), Circle(Point(0, 0), 5)) == []
+
+    @given(points, radii, points, radii)
+    @settings(max_examples=200)
+    def test_always_returns_point_for_distinct_centers(self, c1, r1, c2, r2):
+        if c1.distance_to(c2) <= 1e-9:
+            return
+        pts = best_circle_intersection(Circle(c1, r1), Circle(c2, r2))
+        assert 1 <= len(pts) <= 2
+
+    @given(points, radii, points, radii)
+    @settings(max_examples=100)
+    def test_fallback_minimizes_radial_error_on_line(self, c1, r1, c2, r2):
+        d = c1.distance_to(c2)
+        if d <= 1e-6:
+            return
+        circle1, circle2 = Circle(c1, r1), Circle(c2, r2)
+        if circle_intersections(circle1, circle2):
+            return
+        (p,) = best_circle_intersection(circle1, circle2)
+
+        def cost(q):
+            return (q.distance_to(c1) - r1) ** 2 + (q.distance_to(c2) - r2) ** 2
+
+        ex = (c2 - c1) / d
+        base = cost(p)
+        for eps in (-0.01, 0.01):
+            assert base <= cost(p + ex * (eps * max(d, 1.0))) + 1e-6 * max(base, 1.0)
+
+
+class TestAggregators:
+    def test_median_point_odd(self):
+        pts = [Point(0, 0), Point(10, 2), Point(4, 100)]
+        assert median_point(pts) == Point(4, 2)
+
+    def test_median_point_even_is_midrange_of_middles(self):
+        pts = [Point(0, 0), Point(2, 2), Point(4, 4), Point(100, 100)]
+        assert median_point(pts) == Point(3, 3)
+
+    def test_median_point_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_point([])
+
+    def test_centroid(self):
+        assert centroid([Point(0, 0), Point(2, 4)]) == Point(1, 2)
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_geometric_median_of_single_point(self):
+        assert geometric_median([Point(3, 4)]).round(5) == Point(3, 4)
+
+    def test_geometric_median_robust_to_outlier(self):
+        cluster = [Point(0, 0), Point(0.1, 0), Point(0, 0.1), Point(1000, 1000)]
+        gm = geometric_median(cluster)
+        cen = centroid(cluster)
+        assert gm.norm() < 1.0  # stays with the cluster
+        assert cen.norm() > 100.0  # centroid dragged away
+
+    @given(st.lists(points, min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_geometric_median_inside_bbox(self, pts):
+        gm = geometric_median(pts)
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        assert min(xs) - 1e-3 <= gm.x <= max(xs) + 1e-3
+        assert min(ys) - 1e-3 <= gm.y <= max(ys) + 1e-3
+
+    @given(st.lists(points, min_size=3, max_size=6))
+    @settings(max_examples=100)
+    def test_geometric_median_is_local_min(self, pts):
+        gm = geometric_median(pts)
+
+        def cost(q):
+            return sum(q.distance_to(p) for p in pts)
+
+        base = cost(gm)
+        # Weiszfeld converges sublinearly on near-collinear inputs, so
+        # allow a small relative slack.
+        for dx, dy in ((0.5, 0), (-0.5, 0), (0, 0.5), (0, -0.5)):
+            assert base <= cost(gm + Point(dx, dy)) + 1e-3 * max(base, 1.0)
+
+
+class TestPolygonAndSegments:
+    SQUARE = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+
+    def test_polygon_contains(self):
+        assert polygon_contains(self.SQUARE, Point(5, 5))
+        assert not polygon_contains(self.SQUARE, Point(15, 5))
+        assert not polygon_contains(self.SQUARE, Point(-1, -1))
+
+    def test_degenerate_polygon(self):
+        assert not polygon_contains([Point(0, 0), Point(1, 1)], Point(0.5, 0.5))
+
+    def test_segment_intersects_crossing(self):
+        assert segment_intersects(Point(0, 0), Point(10, 10), Point(0, 10), Point(10, 0))
+
+    def test_segment_intersects_disjoint(self):
+        assert not segment_intersects(Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1))
+
+    def test_segment_touching_endpoint(self):
+        assert segment_intersects(Point(0, 0), Point(5, 0), Point(5, 0), Point(5, 5))
+
+    def test_collinear_overlap(self):
+        assert segment_intersects(Point(0, 0), Point(10, 0), Point(5, 0), Point(15, 0))
+
+    def test_point_segment_distance(self):
+        assert point_segment_distance(Point(5, 5), Point(0, 0), Point(10, 0)) == 5
+        assert point_segment_distance(Point(-3, 4), Point(0, 0), Point(10, 0)) == 5
+        # Degenerate segment.
+        assert point_segment_distance(Point(3, 4), Point(0, 0), Point(0, 0)) == 5

@@ -1,0 +1,199 @@
+"""Tests for the GIF codec."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.gif import (
+    GifError,
+    GifFrame,
+    GifImage,
+    _deinterlace,
+    _interlace,
+    _palette_block_size,
+    decode_gif,
+    encode_gif,
+    read_gif,
+    write_gif,
+)
+from repro.imaging.raster import BLACK, BLUE, RED, WHITE, Raster
+
+
+def drawing(w=60, h=40):
+    r = Raster(w, h)
+    r.draw_line(0, 0, w - 1, h - 1, RED, 2)
+    r.fill_circle(w // 2, h // 2, min(w, h) // 4, BLUE)
+    r.draw_rect(1, 1, w - 2, h - 2, BLACK)
+    return r
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        r = drawing()
+        assert decode_gif(encode_gif(r)).composite() == r
+
+    def test_interlaced(self):
+        r = drawing()
+        blob = encode_gif(r, interlaced=True)
+        img = decode_gif(blob)
+        assert img.frames[0].interlaced
+        assert img.composite() == r
+
+    def test_comments_roundtrip(self):
+        r = drawing(10, 10)
+        blob = encode_gif(r, comments=["first", "second with é unicode"])
+        img = decode_gif(blob)
+        assert img.comments == ["first", "second with é unicode"]
+
+    def test_long_comment_multiblock(self):
+        text = "x" * 1000  # forces multiple 255-byte sub-blocks
+        img = decode_gif(encode_gif(drawing(8, 8), comments=[text]))
+        assert img.comments == [text]
+
+    def test_single_color_image(self):
+        r = Raster(5, 7, background=(12, 34, 56))
+        assert decode_gif(encode_gif(r)).composite() == r
+
+    def test_file_roundtrip(self, tmp_path):
+        r = drawing()
+        path = tmp_path / "plan.gif"
+        write_gif(path, r, comments=["prov"])
+        assert read_gif(path) == r
+
+    def test_256_color_image_lossless(self):
+        # Exactly 256 distinct colors: exact palettization must hold.
+        arr = np.zeros((16, 16, 3), dtype=np.uint8)
+        vals = np.arange(256, dtype=np.uint8).reshape(16, 16)
+        arr[..., 0] = vals
+        arr[..., 1] = vals[::-1]
+        r = Raster.from_array(arr)
+        assert decode_gif(encode_gif(r)).composite() == r
+
+    def test_many_colors_quantized_close(self):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(0, 256, size=(32, 32, 3)).astype(np.uint8)
+        r = Raster.from_array(arr)
+        out = decode_gif(encode_gif(r)).composite()
+        err = np.abs(out.pixels.astype(int) - arr.astype(int)).mean()
+        assert err < 24  # quantization, not corruption
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_any_small_size(self, w, h):
+        rng = np.random.default_rng(w * 100 + h)
+        arr = rng.integers(0, 4, size=(h, w, 3)).astype(np.uint8) * 80
+        r = Raster.from_array(arr)
+        assert decode_gif(encode_gif(r)).composite() == r
+
+
+class TestHeaders:
+    def test_signature(self):
+        blob = encode_gif(drawing(8, 8))
+        assert blob[:6] == b"GIF89a"
+        assert blob[-1:] == b"\x3b"
+
+    def test_dimensions_in_screen_descriptor(self):
+        blob = encode_gif(drawing(33, 21))
+        w, h = struct.unpack("<HH", blob[6:10])
+        assert (w, h) == (33, 21)
+
+    def test_rejects_non_gif(self):
+        with pytest.raises(GifError):
+            decode_gif(b"PNG....not a gif at all.....")
+
+    def test_rejects_truncated(self):
+        blob = encode_gif(drawing(8, 8))
+        with pytest.raises(GifError):
+            decode_gif(blob[: len(blob) // 2])
+
+    def test_rejects_no_frames(self):
+        # Header + trailer only.
+        blob = b"GIF89a" + struct.pack("<HH", 4, 4) + bytes([0x00, 0, 0]) + b"\x3b"
+        with pytest.raises(GifError):
+            decode_gif(blob)
+
+    def test_unknown_block_type(self):
+        blob = bytearray(encode_gif(drawing(8, 8)))
+        blob[-1] = 0x99  # replace trailer with junk block type
+        with pytest.raises(GifError):
+            decode_gif(bytes(blob))
+
+    def test_gif87a_accepted(self):
+        blob = bytearray(encode_gif(drawing(8, 8)))
+        blob[:6] = b"GIF87a"
+        img = decode_gif(bytes(blob))
+        assert img.version == b"GIF87a"
+
+
+class TestInterlace:
+    @pytest.mark.parametrize("height", [1, 2, 3, 4, 7, 8, 9, 16, 37])
+    def test_interlace_roundtrip(self, height):
+        rows = np.arange(height * 3, dtype=np.uint8).reshape(height, 3)
+        assert np.array_equal(_deinterlace(_interlace(rows)), rows)
+
+    def test_interlace_pass_order(self):
+        rows = np.arange(8, dtype=np.uint8).reshape(8, 1)
+        stored = _interlace(rows).ravel().tolist()
+        assert stored == [0, 4, 2, 6, 1, 3, 5, 7]
+
+
+class TestPaletteBlockSize:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 2), (2, 2), (3, 4), (4, 4), (5, 8), (17, 32), (255, 256), (256, 256)]
+    )
+    def test_power_of_two(self, n, expected):
+        size, field = _palette_block_size(n)
+        assert size == expected
+        assert size == 2 << field
+
+    def test_too_many(self):
+        with pytest.raises(GifError):
+            _palette_block_size(300)
+
+
+class TestFrames:
+    def test_frame_to_rgb_bounds_check(self):
+        frame = GifFrame(
+            indices=np.array([[0, 5]], dtype=np.uint8),
+            palette=np.zeros((2, 3), dtype=np.uint8),
+        )
+        with pytest.raises(GifError):
+            frame.to_rgb()
+
+    def test_composite_respects_offsets(self):
+        palette = np.array([[0, 0, 0], [255, 0, 0]], dtype=np.uint8)
+        frame = GifFrame(
+            indices=np.ones((2, 2), dtype=np.uint8), palette=palette, left=3, top=1
+        )
+        img = GifImage(width=6, height=4, frames=[frame])
+        out = img.composite()
+        assert out.get(3, 1) == (255, 0, 0)
+        assert out.get(0, 0) == (255, 255, 255)  # default background
+
+    def test_composite_transparency(self):
+        palette = np.array([[0, 0, 0], [255, 0, 0]], dtype=np.uint8)
+        base = GifFrame(indices=np.zeros((2, 2), dtype=np.uint8), palette=palette)
+        overlay = GifFrame(
+            indices=np.array([[1, 0], [0, 1]], dtype=np.uint8),
+            palette=palette,
+            transparent_index=0,
+        )
+        img = GifImage(width=2, height=2, frames=[base, overlay])
+        out = img.composite()
+        assert out.get(0, 0) == (255, 0, 0)
+        assert out.get(1, 0) == (0, 0, 0)  # transparent: base shows through
+
+    def test_graphic_control_extension_parsed(self):
+        # Hand-build: GCE marking index 0 transparent before the image.
+        r = Raster(2, 2, background=(10, 20, 30))
+        blob = bytearray(encode_gif(r))
+        # Insert a GCE right after the global color table.
+        gce = bytes([0x21, 0xF9, 4, 0x01, 0, 0, 0, 0x00])
+        # Find the image separator (0x2C) and insert before it.
+        pos = blob.index(0x2C, 13)
+        patched = bytes(blob[:pos]) + gce + bytes(blob[pos:])
+        img = decode_gif(patched)
+        assert img.frames[0].transparent_index == 0

@@ -1,0 +1,183 @@
+"""Tests for heatmap rendering, animated GIFs, and the RTS smoother."""
+
+import numpy as np
+import pytest
+
+from repro.core.floorplan import FloorPlan, PixelPoint
+from repro.core.heatmap import colorize, render_heatmap
+from repro.imaging.gif import GifError, decode_gif, encode_animation, write_animation
+from repro.imaging.raster import BLUE, RED, Raster
+
+
+def annotated_plan(w=120, h=100, fpp=0.5):
+    plan = FloorPlan(Raster(w, h))
+    plan.set_scale_direct(fpp)
+    plan.set_origin(PixelPoint(0, h - 1))
+    return plan
+
+
+class TestColorize:
+    def test_shape_and_dtype(self):
+        out = colorize(np.random.default_rng(0).random((4, 6)))
+        assert out.shape == (4, 6, 3)
+        assert out.dtype == np.uint8
+
+    def test_endpoints_hit_ramp_ends(self):
+        out = colorize(np.array([[0.0, 1.0]]))
+        assert tuple(out[0, 0]) == (38, 70, 160)  # ramp low
+        assert tuple(out[0, 1]) == (200, 45, 40)  # ramp high
+
+    def test_nan_is_gray(self):
+        out = colorize(np.array([[np.nan, 1.0]]))
+        assert tuple(out[0, 0]) == (128, 128, 128)
+
+    def test_constant_field(self):
+        out = colorize(np.full((3, 3), 7.0))
+        assert (out == out[0, 0]).all()
+
+    def test_explicit_range_clamps(self):
+        out = colorize(np.array([[-10.0, 100.0]]), vmin=0.0, vmax=1.0)
+        assert tuple(out[0, 0]) == (38, 70, 160)
+        assert tuple(out[0, 1]) == (200, 45, 40)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            colorize(np.zeros(5))
+
+
+class TestRenderHeatmap:
+    def grid(self):
+        xs = np.arange(0.0, 60.0, 10.0)
+        ys = np.arange(0.0, 50.0, 10.0)
+        values = np.add.outer(ys, xs)  # simple ramp
+        return xs, ys, values
+
+    def test_renders_and_differs_from_plain(self):
+        plan = annotated_plan()
+        xs, ys, values = self.grid()
+        out = render_heatmap(plan, xs, ys, values, title="TEST FIELD")
+        assert out.size == plan.image.size
+        assert out != plan.image
+
+    def test_alpha_validation(self):
+        plan = annotated_plan()
+        xs, ys, values = self.grid()
+        with pytest.raises(ValueError):
+            render_heatmap(plan, xs, ys, values, alpha=0.0)
+
+    def test_shape_validation(self):
+        plan = annotated_plan()
+        xs, ys, values = self.grid()
+        with pytest.raises(ValueError):
+            render_heatmap(plan, xs, ys, values.T)
+
+    def test_gradient_visible_in_output(self):
+        plan = annotated_plan()
+        xs, ys, _ = self.grid()
+        hot_left = np.tile(np.linspace(100.0, 0.0, len(xs)), (len(ys), 1))
+        out = render_heatmap(plan, xs, ys, hot_left, alpha=1.0, show_access_points=False)
+        left = out.pixels[40, 5].astype(int)
+        right = out.pixels[40, 110].astype(int)
+        assert left[0] > right[0]  # red (hot) on the left
+        assert right[2] > left[2]  # blue (cold) on the right
+
+
+class TestAnimation:
+    def frames(self, n=3, w=30, h=20):
+        out = []
+        for i in range(n):
+            r = Raster(w, h)
+            r.fill_circle(5 + i * 8, 10, 4, RED)
+            out.append(r)
+        return out
+
+    def test_roundtrip_all_frames(self):
+        frames = self.frames(4)
+        img = decode_gif(encode_animation(frames, delay_cs=5))
+        assert len(img.frames) == 4
+        for i, f in enumerate(img.frames):
+            assert np.array_equal(f.to_rgb(), frames[i].pixels)
+
+    def test_netscape_loop_block_present(self):
+        blob = encode_animation(self.frames(2), loop=True)
+        assert b"NETSCAPE2.0" in blob
+        assert b"NETSCAPE2.0" not in encode_animation(self.frames(2), loop=False)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GifError):
+            encode_animation([])
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(GifError):
+            encode_animation([Raster(10, 10), Raster(11, 10)])
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(GifError):
+            encode_animation(self.frames(1), delay_cs=-1)
+
+    def test_file_write(self, tmp_path):
+        path = tmp_path / "anim.gif"
+        write_animation(path, self.frames(2))
+        assert decode_gif(path.read_bytes()).frames
+
+
+class TestRTSSmoother:
+    def setup_track(self):
+        from repro.algorithms.base import Observation
+        from repro.algorithms.knn import KNNLocalizer
+        from repro.algorithms.tracking import KalmanTracker
+        from repro.core.geometry import Point
+        from repro.core.trainingdb import LocationRecord, TrainingDatabase
+
+        B = [f"02:00:00:00:00:{i:02x}" for i in range(4)]
+        aps = [Point(0, 0), Point(50, 0), Point(50, 40), Point(0, 40)]
+
+        def rssi_at(p):
+            d = np.array([max(p.distance_to(a), 1.0) for a in aps])
+            return -35.0 - 25.0 * np.log10(d)
+
+        rng = np.random.default_rng(0)
+        records = []
+        for y in range(0, 41, 10):
+            for x in range(0, 51, 10):
+                records.append(
+                    LocationRecord(
+                        f"g{x}-{y}",
+                        Point(x, y),
+                        rng.normal(rssi_at(Point(x, y)), 1, (10, 4)).astype(np.float32),
+                    )
+                )
+        db = TrainingDatabase(B, records)
+        path = [Point(5 + 40 * i / 24, 5 + 30 * i / 24) for i in range(25)]
+        obs = [Observation(rng.normal(rssi_at(p), 3, (3, 4))) for p in path]
+        tracker = KalmanTracker(KNNLocalizer(k=3).fit(db), measurement_std_ft=8.0)
+        return tracker, path, obs
+
+    def test_smoother_beats_filter(self):
+        tracker, path, obs = self.setup_track()
+        filt = tracker.track(obs)
+        smooth = tracker.smooth(obs)
+        f_err = np.mean([e.position.distance_to(p) for e, p in zip(filt, path)][3:])
+        s_err = np.mean([e.position.distance_to(p) for e, p in zip(smooth, path)][3:])
+        assert s_err <= f_err
+
+    def test_smoother_output_aligned(self):
+        tracker, path, obs = self.setup_track()
+        smooth = tracker.smooth(obs)
+        assert len(smooth) == len(obs)
+        assert all(e.valid for e in smooth)
+        assert all(e.details.get("smoothed") for e in smooth)
+
+    def test_all_silent_track(self):
+        from repro.algorithms.base import Observation
+
+        tracker, _, _ = self.setup_track()
+        silent = [Observation(np.full((2, 4), np.nan))] * 5
+        out = tracker.smooth(silent)
+        assert len(out) == 5
+        assert not any(e.valid for e in out)
+
+    def test_dt_validation(self):
+        tracker, _, obs = self.setup_track()
+        with pytest.raises(ValueError):
+            tracker.smooth(obs, dt_s=0)

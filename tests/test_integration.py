@@ -1,0 +1,172 @@
+"""End-to-end integration: the complete §3 Figure-1 pipeline, via files.
+
+Replays the paper's whole workflow through on-disk artifacts, exactly as
+a user of the released toolkit would: draw/scan a blueprint → annotate
+it with the Processor → survey the training grid into wi-scan files →
+generate the training database → locate Phase-2 observations → render
+the true/estimate comparison with the Compositor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Observation, make_localizer
+from repro.core.compositor import EstimatePair, FloorPlanCompositor
+from repro.core.floorplan import FloorPlan
+from repro.core.geometry import Point
+from repro.core.processor import FloorPlanProcessor
+from repro.core.system import LocalizationSystem, ap_positions_by_bssid
+from repro.core.trainingdb import TrainingDatabase, generate_training_db
+from repro.experiments.house import ExperimentHouse, HouseConfig
+from repro.experiments.metrics import ExperimentMetrics
+from repro.imaging.blueprint import experiment_house_blueprint
+from repro.imaging.gif import read_gif, write_gif
+from repro.wiscan.collection import WiScanCollection
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """Run the full file-based pipeline once; tests inspect the stages."""
+    root = tmp_path_factory.mktemp("site")
+    house = ExperimentHouse(HouseConfig(dwell_s=10.0))
+
+    # 1. The scanned blueprint arrives as a GIF.
+    blueprint_path = root / "scan.gif"
+    write_gif(blueprint_path, experiment_house_blueprint(pixels_per_foot=8.0))
+
+    # 2. Annotate with the Processor, via its scripted command interface.
+    proc = FloorPlanProcessor()
+    margin, ppf, height_px = 40, 8.0, 40 * 8
+    def px(x_ft, y_ft):
+        return (margin + x_ft * ppf, margin + (40 - y_ft) * ppf)
+
+    ox, oy = px(0, 0)
+    x2, _ = px(50, 0)
+    proc.run_script([f"load {blueprint_path}"])
+    proc.set_scale(ox, oy, x2, oy, 50.0)
+    proc.set_origin(ox, oy)
+    for ap in house.aps:
+        proc.add_access_point(ap.name, *px(ap.position.x, ap.position.y))
+    for sp in house.training_points():
+        proc.add_location(sp.name, *px(sp.position.x, sp.position.y))
+    plan_path = root / "annotated.gif"
+    proc.save(plan_path)
+
+    # 3. Survey into wi-scan files; export the location map.
+    survey_dir = root / "survey"
+    house.survey(rng=0).save_directory(survey_dir)
+    map_path = root / "locations.txt"
+    proc.export_locations(map_path)
+
+    # 4. Generate the training database.
+    db_path = root / "training.tdb"
+    generate_training_db(survey_dir, map_path, output=db_path)
+
+    return {
+        "root": root,
+        "house": house,
+        "plan_path": plan_path,
+        "survey_dir": survey_dir,
+        "map_path": map_path,
+        "db_path": db_path,
+    }
+
+
+class TestPipelineArtifacts:
+    def test_annotated_plan_roundtrips(self, pipeline):
+        plan = FloorPlan.load(pipeline["plan_path"])
+        assert plan.has_scale and plan.has_origin
+        assert len(plan.access_points) == 4
+        assert len(plan.locations) == 30
+        assert plan.feet_per_pixel == pytest.approx(1 / 8.0, rel=1e-6)
+
+    def test_plan_is_also_a_plain_gif(self, pipeline):
+        image = read_gif(pipeline["plan_path"])
+        assert image.width > 0  # any viewer can open the annotated plan
+
+    def test_exported_map_matches_grid(self, pipeline):
+        from repro.core.locationmap import LocationMap
+
+        lm = LocationMap.load(pipeline["map_path"])
+        assert len(lm) == 30
+        # Processor clicks → floor coordinates round-trip within a pixel.
+        assert lm.position("grid-20-10").distance_to(Point(20, 10)) < 0.3
+
+    def test_database_loads_and_aligns(self, pipeline):
+        db = TrainingDatabase.load(pipeline["db_path"])
+        assert len(db) == 30
+        assert len(db.bssids) == 4
+        coll = WiScanCollection.load(pipeline["survey_dir"])
+        assert db.total_samples() == len(
+            {(r.time_s, s.location) for s in coll for r in s.records}
+        )
+
+    def test_tdb_smaller_than_wiscan_collection(self, pipeline):
+        raw = sum(p.stat().st_size for p in pipeline["survey_dir"].glob("*.wi-scan"))
+        tdb = pipeline["db_path"].stat().st_size
+        assert tdb < raw / 2  # the §4.3 compression claim
+
+
+class TestPipelineLocalization:
+    @pytest.mark.parametrize("algorithm", ["probabilistic", "geometric", "knn"])
+    def test_locate_through_files(self, pipeline, algorithm):
+        db = TrainingDatabase.load(pipeline["db_path"])
+        plan = FloorPlan.load(pipeline["plan_path"])
+        house = pipeline["house"]
+        kwargs = {}
+        if algorithm == "geometric":
+            kwargs["ap_positions"] = ap_positions_by_bssid(plan, db)
+        localizer = make_localizer(algorithm, **kwargs).fit(db)
+
+        test_points = house.test_points()
+        observations = house.observe_all(test_points, rng=1)
+        estimates = [localizer.locate(o) for o in observations]
+        metrics = ExperimentMetrics.compute(test_points, estimates, tolerance_ft=10.0)
+        assert metrics.n_reported >= 10
+        assert metrics.mean_deviation_ft < 25.0  # sane indoor-RSSI territory
+
+    def test_compositor_renders_results(self, pipeline):
+        db = TrainingDatabase.load(pipeline["db_path"])
+        plan = FloorPlan.load(pipeline["plan_path"])
+        house = pipeline["house"]
+        localizer = make_localizer("probabilistic").fit(db)
+        test_points = house.test_points()[:5]
+        pairs = [
+            EstimatePair(p, localizer.locate(o).position, label=f"T{i}")
+            for i, (p, o) in enumerate(
+                zip(test_points, house.observe_all(test_points, rng=2))
+            )
+        ]
+        out = FloorPlanCompositor(plan).render(pairs=pairs)
+        result_path = pipeline["root"] / "results.gif"
+        write_gif(result_path, out)
+        assert read_gif(result_path) == out  # Figure-3 artifact round-trips
+
+    def test_system_train_from_paths(self, pipeline, house):
+        system = LocalizationSystem.train(
+            str(pipeline["survey_dir"]),
+            str(pipeline["map_path"]),
+            "probabilistic",
+        )
+        obs = pipeline["house"].observe(Point(25, 20), rng=3)
+        res = system.locate(obs)
+        assert res.valid and res.name.startswith("grid-")
+
+
+class TestCalibration:
+    def test_headline_numbers_in_bands(self):
+        """The §5 reproduction: prob valid-rate and geo deviation bands."""
+        from repro.experiments.calibration import check_calibration
+
+        report = check_calibration(n_runs=4, rng=0)
+        assert report.within_bands, report.summary()
+
+    def test_probabilistic_beats_geometric(self):
+        """The paper's own comparison shape: fingerprinting wins."""
+        from repro.experiments.runner import aggregate_metrics, run_repeated
+
+        house = ExperimentHouse()
+        prob = aggregate_metrics(run_repeated("probabilistic", house=house, n_runs=3, rng=1))
+        geo = aggregate_metrics(run_repeated("geometric", house=house, n_runs=3, rng=1))
+        assert prob["mean_deviation_ft"] < geo["mean_deviation_ft"]
+        assert prob["valid_rate"] > geo["valid_rate"]

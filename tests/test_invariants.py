@@ -1,0 +1,169 @@
+"""Cross-cutting property tests: invariances the system must satisfy.
+
+Each property here spans modules — transforms that must round-trip,
+symmetries the estimators must respect — and is exercised with
+hypothesis-generated inputs rather than fixtures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import Observation
+from repro.algorithms.knn import KNNLocalizer
+from repro.algorithms.multilateration import solve_multilateration
+from repro.algorithms.probabilistic import ProbabilisticLocalizer
+from repro.core.floorplan import FloorPlan, PixelPoint
+from repro.core.geometry import Point
+from repro.core.trainingdb import LocationRecord, TrainingDatabase
+from repro.imaging.raster import Raster
+
+B = [f"02:00:00:00:00:{i:02x}" for i in range(3)]
+
+coord = st.floats(min_value=-500, max_value=500, allow_nan=False)
+
+
+class TestFloorPlanTransform:
+    @given(
+        st.floats(min_value=0.05, max_value=5.0),
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=0, max_value=79),
+        coord,
+        coord,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_any_frame(self, fpp, ox, oy, x, y):
+        plan = FloorPlan(Raster(100, 80))
+        plan.set_scale_direct(fpp)
+        plan.set_origin(PixelPoint(ox, oy))
+        p = Point(x, y)
+        back = plan.to_floor(plan.to_pixel(p))
+        assert back.distance_to(p) < 1e-6 * max(1.0, abs(x), abs(y))
+
+    @given(st.floats(min_value=0.05, max_value=5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_unit_vectors_scale(self, fpp):
+        plan = FloorPlan(Raster(10, 10))
+        plan.set_scale_direct(fpp)
+        plan.set_origin(PixelPoint(5, 5))
+        px0 = plan.to_pixel(Point(0, 0))
+        px1 = plan.to_pixel(Point(1, 0))
+        assert abs((px1.px - px0.px) - 1.0 / fpp) < 1e-9
+        # +y in floor is -y in image.
+        py1 = plan.to_pixel(Point(0, 1))
+        assert py1.py < px0.py
+
+
+class TestTrainingDbProperties:
+    def db(self, seed):
+        rng = np.random.default_rng(seed)
+        records = [
+            LocationRecord(
+                f"p{i}", Point(float(i), 0.0),
+                rng.uniform(-90, -30, (6, 3)).astype(np.float32),
+            )
+            for i in range(4)
+        ]
+        return TrainingDatabase(B, records)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_subset_aps_preserves_columns(self, seed):
+        db = self.db(seed)
+        sub = db.subset_aps([B[2], B[0]])
+        for name in db.locations():
+            orig = db.record(name).samples
+            small = sub.record(name).samples
+            assert np.array_equal(small[:, 0], orig[:, 2], equal_nan=True)
+            assert np.array_equal(small[:, 1], orig[:, 0], equal_nan=True)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_serialization_identity(self, seed):
+        db = self.db(seed)
+        again = TrainingDatabase.from_bytes(db.to_bytes())
+        assert again.to_bytes() == db.to_bytes()  # stable fixpoint
+
+
+class TestEstimatorSymmetries:
+    def db(self):
+        rng = np.random.default_rng(0)
+        profiles = {
+            "a": ((-40.0, -60.0, -80.0), (0.0, 0.0)),
+            "b": ((-60.0, -40.0, -60.0), (20.0, 0.0)),
+            "c": ((-80.0, -60.0, -40.0), (40.0, 0.0)),
+        }
+        return TrainingDatabase(B, [
+            LocationRecord(n, Point(*pos), rng.normal(m, 1.5, (30, 3)).astype(np.float32))
+            for n, (m, pos) in profiles.items()
+        ])
+
+    @given(st.permutations(list(range(6))))
+    @settings(max_examples=30, deadline=None)
+    def test_sweep_order_irrelevant(self, perm):
+        """Shuffling the observation's sweeps must not change the answer
+        (all implemented matchers are exchangeable over sweeps)."""
+        rng = np.random.default_rng(1)
+        samples = rng.normal((-40, -60, -80), 2.0, (6, 3))
+        db = self.db()
+        for loc in (ProbabilisticLocalizer().fit(db), KNNLocalizer(k=2).fit(db)):
+            a = loc.locate(Observation(samples))
+            b = loc.locate(Observation(samples[list(perm)]))
+            assert a.position == b.position
+            assert a.score == pytest.approx(b.score)
+
+    @given(
+        st.floats(min_value=2, max_value=48),
+        st.floats(min_value=2, max_value=38),
+        st.floats(min_value=-np.pi, max_value=np.pi),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_multilateration_rotation_equivariance(self, x, y, theta):
+        """Rotating anchors and ranges together rotates the answer."""
+        anchors = [Point(0, 0), Point(50, 0), Point(50, 40), Point(0, 40)]
+        true = Point(x, y)
+        ranges = [true.distance_to(a) for a in anchors]
+        est = solve_multilateration(anchors, ranges)
+        rot_anchors = [a.rotated(theta) for a in anchors]
+        rot_est = solve_multilateration(rot_anchors, ranges)
+        assert rot_est.distance_to(est.rotated(theta)) < 1e-5
+
+    @given(st.floats(min_value=0.1, max_value=30.0))
+    @settings(max_examples=30, deadline=None)
+    def test_probabilistic_score_monotone_in_mismatch(self, delta):
+        """Moving the observation away from a fingerprint (same direction,
+        growing magnitude) must not raise that fingerprint's likelihood."""
+        db = self.db()
+        loc = ProbabilisticLocalizer().fit(db)
+        base = np.array([-40.0, -60.0, -80.0])
+        near = loc.log_likelihoods(Observation(base[None, :]))[0]
+        far = loc.log_likelihoods(Observation((base - delta)[None, :]))[0]
+        assert far <= near + 1e-9
+
+
+class TestObservationAlgebra:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_truncate_then_mean_consistent(self, n, k):
+        rng = np.random.default_rng(n * 10 + k)
+        samples = rng.uniform(-90, -30, (max(n, k), 3))
+        obs = Observation(samples)
+        take = min(k, obs.n_sweeps)
+        truncated = obs.truncated(take)
+        assert np.allclose(truncated.mean_rssi(), samples[:take].mean(axis=0))
+
+    @given(st.permutations([0, 1, 2]))
+    @settings(max_examples=20, deadline=None)
+    def test_reorder_is_involution_on_permutations(self, perm):
+        rng = np.random.default_rng(0)
+        samples = rng.uniform(-90, -30, (4, 3))
+        obs = Observation(samples, bssids=B)
+        permuted_order = [B[i] for i in perm]
+        there = obs.reordered(permuted_order)
+        back = there.reordered(B)
+        assert np.allclose(back.samples, samples)
+        assert list(back.bssids) == B

@@ -1,0 +1,289 @@
+"""Tests for location maps, the floor-plan model, and the Processor."""
+
+import numpy as np
+import pytest
+
+from repro.core.floorplan import FloorPlan, FloorPlanError, PixelPoint
+from repro.core.geometry import Point
+from repro.core.locationmap import LocationMap, LocationMapError
+from repro.core.processor import FloorPlanProcessor, ProcessorError
+from repro.imaging.gif import write_gif
+from repro.imaging.raster import RED, Raster
+
+
+class TestLocationMap:
+    def test_add_and_lookup(self):
+        lm = LocationMap()
+        lm.add("kitchen", Point(10, 20))
+        assert lm.position("kitchen") == Point(10, 20)
+        assert "kitchen" in lm
+        assert len(lm) == 1
+
+    def test_names_preserve_order(self):
+        lm = LocationMap()
+        for n in ("c", "a", "b"):
+            lm.add(n, Point(0, 0))
+        assert lm.names() == ["c", "a", "b"]
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            LocationMap().position("nope")
+
+    def test_remove(self):
+        lm = LocationMap({"x": Point(0, 0)})
+        lm.remove("x")
+        assert len(lm) == 0
+        with pytest.raises(KeyError):
+            lm.remove("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(LocationMapError):
+            LocationMap().add("  ", Point(0, 0))
+
+    def test_nearest(self):
+        lm = LocationMap({"a": Point(0, 0), "b": Point(10, 0)})
+        name, dist = lm.nearest(Point(7, 0))
+        assert name == "b"
+        assert dist == pytest.approx(3.0)
+
+    def test_nearest_empty(self):
+        with pytest.raises(LocationMapError):
+            LocationMap().nearest(Point(0, 0))
+
+    def test_file_roundtrip(self, tmp_path):
+        lm = LocationMap({"room D22": Point(10.5, 30), "Center of Hallway": Point(27, 18)})
+        path = tmp_path / "map.txt"
+        lm.save(path)
+        assert LocationMap.load(path) == lm
+
+    def test_parse_tabs_and_spaces(self):
+        lm = LocationMap.parse("a\t1\t2\nroom D22   10.5   30\n")
+        assert lm.position("room D22") == Point(10.5, 30)
+
+    def test_parse_comments_and_blanks(self):
+        lm = LocationMap.parse("# header\n\na\t1\t2\n")
+        assert len(lm) == 1
+
+    def test_parse_errors(self):
+        with pytest.raises(LocationMapError, match="expected"):
+            LocationMap.parse("only two\t1\n")
+        with pytest.raises(LocationMapError, match="non-numeric"):
+            LocationMap.parse("a\tx\ty\n")
+        with pytest.raises(LocationMapError, match="duplicate"):
+            LocationMap.parse("a\t1\t2\na\t3\t4\n")
+
+
+def annotated_plan():
+    plan = FloorPlan(Raster(200, 160))
+    plan.set_scale_direct(0.25)  # 4 px per foot
+    plan.set_origin(PixelPoint(0, 159))
+    plan.add_access_point("A", PixelPoint(0, 159))
+    plan.add_access_point("B", PixelPoint(199, 159))
+    plan.add_location("room D22", PixelPoint(40, 40))
+    return plan
+
+
+class TestFloorPlan:
+    def test_scale_from_two_points(self):
+        plan = FloorPlan(Raster(100, 100))
+        fpp = plan.set_scale(PixelPoint(0, 0), PixelPoint(100, 0), 50.0)
+        assert fpp == pytest.approx(0.5)
+        assert plan.feet_per_pixel == pytest.approx(0.5)
+
+    def test_scale_validation(self):
+        plan = FloorPlan(Raster(10, 10))
+        with pytest.raises(FloorPlanError):
+            plan.set_scale(PixelPoint(1, 1), PixelPoint(1, 1), 10.0)
+        with pytest.raises(FloorPlanError):
+            plan.set_scale(PixelPoint(0, 0), PixelPoint(5, 0), -1.0)
+        with pytest.raises(FloorPlanError):
+            plan.set_scale_direct(0)
+
+    def test_scale_required(self):
+        plan = FloorPlan(Raster(10, 10))
+        with pytest.raises(FloorPlanError, match="scale not set"):
+            _ = plan.feet_per_pixel
+
+    def test_origin_bounds(self):
+        plan = FloorPlan(Raster(10, 10))
+        with pytest.raises(FloorPlanError):
+            plan.set_origin(PixelPoint(20, 0))
+
+    def test_transform_roundtrip(self):
+        plan = annotated_plan()
+        p = Point(12.5, 30.0)
+        back = plan.to_floor(plan.to_pixel(p))
+        assert back.x == pytest.approx(p.x)
+        assert back.y == pytest.approx(p.y)
+
+    def test_y_axis_flips(self):
+        plan = annotated_plan()
+        # Floor origin is bottom-left pixel (0, 159); floor +y is pixel -y.
+        assert plan.to_pixel(Point(0, 10)).py == pytest.approx(159 - 40)
+
+    def test_transform_requires_origin(self):
+        plan = FloorPlan(Raster(10, 10))
+        plan.set_scale_direct(1.0)
+        with pytest.raises(FloorPlanError, match="origin"):
+            plan.to_floor(PixelPoint(1, 1))
+
+    def test_ap_floor_positions(self):
+        plan = annotated_plan()
+        pos = plan.ap_floor_positions()
+        assert pos["A"].x == pytest.approx(0.0)
+        assert pos["B"].x == pytest.approx(199 * 0.25)
+
+    def test_location_map_export(self):
+        lm = annotated_plan().location_map()
+        assert "room D22" in lm
+        assert lm.position("room D22").y == pytest.approx((159 - 40) * 0.25)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        plan = annotated_plan()
+        path = tmp_path / "plan.gif"
+        plan.save(path)
+        loaded = FloorPlan.load(path)
+        assert loaded.image == plan.image
+        assert loaded.feet_per_pixel == pytest.approx(plan.feet_per_pixel)
+        assert loaded.origin == plan.origin
+        assert loaded.access_points == plan.access_points
+        assert loaded.locations == plan.locations
+
+    def test_load_plain_gif_unannotated(self, tmp_path):
+        path = tmp_path / "plain.gif"
+        write_gif(path, Raster(20, 20))
+        plan = FloorPlan.load(path)
+        assert not plan.has_scale
+        assert not plan.has_origin
+        assert plan.access_points == {}
+
+    def test_load_ignores_foreign_comments(self, tmp_path):
+        path = tmp_path / "c.gif"
+        write_gif(path, Raster(10, 10), comments=["just a note", '{"magic": "other"}'])
+        plan = FloorPlan.load(path)
+        assert not plan.has_scale
+
+    def test_summary_states(self):
+        plan = FloorPlan(Raster(10, 10))
+        assert "UNSET" in plan.summary()
+        plan2 = annotated_plan()
+        assert "2 access point(s)" in plan2.summary()
+
+    def test_empty_names_rejected(self):
+        plan = FloorPlan(Raster(10, 10))
+        with pytest.raises(FloorPlanError):
+            plan.add_access_point("", PixelPoint(1, 1))
+        with pytest.raises(FloorPlanError):
+            plan.add_location("  ", PixelPoint(1, 1))
+
+
+class TestProcessor:
+    def plan_file(self, tmp_path):
+        path = tmp_path / "base.gif"
+        write_gif(path, Raster(200, 160))
+        return path
+
+    def test_six_operations(self, tmp_path):
+        src = self.plan_file(tmp_path)
+        out = tmp_path / "annotated.gif"
+        proc = FloorPlanProcessor()
+        proc.load(src)                                  # op 1
+        proc.add_access_point("A", 0, 159)              # op 2
+        proc.set_scale(0, 0, 200, 0, 50.0)              # op 3
+        proc.set_origin(0, 159)                         # op 4
+        proc.add_location("room D22", 40, 40)           # op 5
+        proc.save(out)                                  # op 6
+        loaded = FloorPlan.load(out)
+        assert loaded.access_points["A"] == proc.plan.access_points["A"]
+        assert "room D22" in loaded.locations
+
+    def test_script_interface(self, tmp_path):
+        src = self.plan_file(tmp_path)
+        out = tmp_path / "out.gif"
+        proc = FloorPlanProcessor()
+        outputs = proc.run_script(
+            [
+                f"load {src}",
+                "add-ap A 0 159",
+                "set-scale 0 0 200 0 50",
+                "set-origin 0 159",
+                'add-location "room D22" 40 40',
+                "info",
+                f"save {out}",
+            ]
+        )
+        assert any("scale set" in o for o in outputs)
+        assert out.exists()
+
+    def test_script_error_carries_line(self, tmp_path):
+        proc = FloorPlanProcessor()
+        with pytest.raises(ProcessorError, match="script line 1"):
+            proc.run_script(["add-ap A 0 0"])  # no plan loaded
+
+    def test_only_gif_accepted(self, tmp_path):
+        proc = FloorPlanProcessor()
+        with pytest.raises(ProcessorError, match="GIF"):
+            proc.load(tmp_path / "plan.png")
+
+    def test_save_requires_gif_suffix(self, tmp_path):
+        proc = FloorPlanProcessor()
+        proc.new_plan(Raster(10, 10))
+        with pytest.raises(ProcessorError, match="GIF"):
+            proc.save(tmp_path / "x.png")
+
+    def test_undo(self):
+        proc = FloorPlanProcessor()
+        proc.new_plan(Raster(10, 10))
+        proc.add_access_point("A", 1, 1)
+        proc.add_access_point("B", 2, 2)
+        proc.undo()
+        assert list(proc.plan.access_points) == ["A"]
+        proc.undo()
+        assert proc.plan.access_points == {}
+        with pytest.raises(ProcessorError):
+            proc.undo()
+
+    def test_unknown_command(self):
+        proc = FloorPlanProcessor()
+        with pytest.raises(ProcessorError, match="unknown command"):
+            proc.execute("frobnicate 1 2")
+
+    def test_bad_arity(self):
+        proc = FloorPlanProcessor()
+        proc.new_plan(Raster(10, 10))
+        with pytest.raises(ProcessorError, match="usage"):
+            proc.execute("add-ap A 1")
+
+    def test_non_numeric_argument(self):
+        proc = FloorPlanProcessor()
+        proc.new_plan(Raster(10, 10))
+        with pytest.raises(ProcessorError, match="number"):
+            proc.execute("set-origin x y")
+
+    def test_pixel_bounds_checked(self):
+        proc = FloorPlanProcessor()
+        proc.new_plan(Raster(10, 10))
+        with pytest.raises(ProcessorError, match="outside"):
+            proc.add_access_point("A", 50, 50)
+
+    def test_comments_and_blank_commands(self):
+        proc = FloorPlanProcessor()
+        assert proc.execute("") is None
+        assert proc.execute("# a comment") is None
+
+    def test_export_locations(self, tmp_path):
+        proc = FloorPlanProcessor()
+        proc.new_plan(Raster(100, 100))
+        proc.set_scale(0, 0, 100, 0, 50.0)
+        proc.set_origin(0, 99)
+        proc.add_location("spot", 50, 50)
+        out = tmp_path / "locs.txt"
+        proc.export_locations(out)
+        lm = LocationMap.load(out)
+        assert "spot" in lm
+
+    def test_log_records_operations(self):
+        proc = FloorPlanProcessor()
+        proc.new_plan(Raster(10, 10))
+        proc.add_access_point("A", 1, 1)
+        assert any("add-ap A" in entry for entry in proc.log)

@@ -1,0 +1,152 @@
+"""Tests for the GIF-variant LZW codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.lzw import LZWError, _BitReader, _BitWriter, compress, decompress
+
+
+class TestBitIO:
+    def test_roundtrip_mixed_widths(self):
+        w = _BitWriter()
+        codes = [(5, 3), (200, 9), (1, 1), (4095, 12), (0, 2)]
+        for code, width in codes:
+            w.write(code, width)
+        data = w.finish()
+        r = _BitReader(data)
+        for code, width in codes:
+            assert r.read(width) == code
+
+    def test_lsb_first_packing(self):
+        w = _BitWriter()
+        w.write(0b1, 1)
+        w.write(0b11, 2)
+        w.write(0b10101, 5)
+        assert w.finish() == bytes([0b10101111])
+
+    def test_reader_truncation(self):
+        r = _BitReader(b"\x01")
+        r.read(8)
+        with pytest.raises(LZWError):
+            r.read(1)
+
+    def test_exhausted(self):
+        r = _BitReader(b"\xff")
+        assert not r.exhausted(8)
+        r.read(5)
+        assert not r.exhausted(3)
+        assert r.exhausted(4)
+
+
+class TestCompress:
+    def test_empty_input(self):
+        blob = compress([], 2)
+        assert len(blob) >= 1
+        assert decompress(blob, 2).size == 0
+
+    def test_single_symbol(self):
+        blob = compress([3], 2)
+        out = decompress(blob, 2)
+        assert out.tolist() == [3]
+
+    def test_repetitive_input_compresses(self):
+        data = np.zeros(10_000, dtype=np.uint8)
+        blob = compress(data, 8)
+        assert len(blob) < 500  # massive redundancy → tiny stream
+
+    def test_bad_min_code_size(self):
+        with pytest.raises(LZWError):
+            compress([0], 1)
+        with pytest.raises(LZWError):
+            compress([0], 9)
+
+    def test_out_of_range_symbol(self):
+        with pytest.raises(LZWError):
+            compress([4], 2)
+        with pytest.raises(LZWError):
+            compress([-1], 2)
+
+    def test_table_reset_path(self):
+        # Enough distinct patterns to overflow the 4096-entry table and
+        # force a mid-stream CLEAR.
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, size=60_000).astype(np.uint8)
+        blob = compress(data, 8)
+        out = decompress(blob, 8)
+        assert np.array_equal(out, data)
+
+
+class TestDecompress:
+    def test_rejects_bad_min_code_size(self):
+        with pytest.raises(LZWError):
+            decompress(b"\x00", 12)
+
+    def test_rejects_code_beyond_table(self):
+        # Craft: clear(4), then code 9 (beyond next_code) at width 3.
+        w = _BitWriter()
+        w.write(4, 3)  # clear
+        w.write(2, 3)  # literal
+        w.write(7, 3)  # next_code is 6; 7 > 6 → invalid
+        with pytest.raises(LZWError):
+            decompress(w.finish(), 2)
+
+    def test_first_code_must_be_literal(self):
+        w = _BitWriter()
+        w.write(4, 3)  # clear
+        w.write(6, 3)  # non-literal immediately
+        with pytest.raises(LZWError):
+            decompress(w.finish(), 2)
+
+    def test_kwkwk_special_case(self):
+        # The code==next_code ("KwKwK") construction must decode.
+        data = np.array([1, 1, 1, 1, 1], dtype=np.uint8)
+        blob = compress(data, 2)
+        assert np.array_equal(decompress(blob, 2), data)
+
+    def test_expected_length_truncates(self):
+        data = np.arange(16, dtype=np.uint8) % 4
+        blob = compress(data, 2)
+        out = decompress(blob, 2, expected_length=5)
+        assert np.array_equal(out, data[:5])
+
+    def test_stops_at_eoi(self):
+        data = np.array([0, 1, 2, 3], dtype=np.uint8)
+        blob = compress(data, 2) + b"\xff\xff\xff"  # trailing garbage
+        assert np.array_equal(decompress(blob, 2, expected_length=4), data)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mcs", [2, 3, 4, 5, 6, 7, 8])
+    def test_roundtrip_random(self, mcs):
+        rng = np.random.default_rng(mcs)
+        data = rng.integers(0, 1 << mcs, size=4096).astype(np.uint8)
+        assert np.array_equal(decompress(compress(data, mcs), mcs), data)
+
+    @pytest.mark.parametrize("mcs", [2, 8])
+    def test_roundtrip_runs(self, mcs):
+        data = np.repeat(np.arange(1 << mcs, dtype=np.int64) % (1 << mcs), 37).astype(np.uint8)
+        assert np.array_equal(decompress(compress(data, mcs), mcs), data)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), max_size=2000),
+    )
+    @settings(max_examples=80)
+    def test_roundtrip_property_mcs2(self, data):
+        arr = np.array(data, dtype=np.uint8)
+        assert np.array_equal(decompress(compress(arr, 2), 2), arr)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), max_size=3000),
+    )
+    @settings(max_examples=40)
+    def test_roundtrip_property_mcs8(self, data):
+        arr = np.array(data, dtype=np.uint8)
+        assert np.array_equal(decompress(compress(arr, 8), 8), arr)
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=1, max_value=30000))
+    @settings(max_examples=20)
+    def test_roundtrip_long_constant_runs(self, value, length):
+        arr = np.full(length, value, dtype=np.uint8)
+        assert np.array_equal(decompress(compress(arr, 8), 8), arr)

@@ -1,0 +1,117 @@
+"""Tests for palette building and quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.palette import (
+    build_palette,
+    exact_palette,
+    map_to_palette,
+    quantize,
+)
+
+
+def image_with_colors(colors, shape=(8, 8)):
+    rng = np.random.default_rng(0)
+    idx = rng.integers(0, len(colors), size=shape)
+    return np.asarray(colors, dtype=np.uint8)[idx]
+
+
+class TestExactPalette:
+    def test_small_image_exact(self):
+        img = image_with_colors([(255, 0, 0), (0, 255, 0)])
+        result = exact_palette(img)
+        assert result is not None
+        indices, palette = result
+        assert len(palette) == 2
+        assert np.array_equal(palette[indices], img)
+
+    def test_over_budget_returns_none(self):
+        rng = np.random.default_rng(1)
+        img = rng.integers(0, 256, size=(32, 32, 3)).astype(np.uint8)
+        assert exact_palette(img, max_colors=16) is None
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            exact_palette(np.zeros((4, 4), dtype=np.uint8))
+
+
+class TestBuildPalette:
+    def test_few_colors_returned_verbatim(self):
+        img = image_with_colors([(1, 2, 3), (4, 5, 6), (7, 8, 9)])
+        pal = build_palette(img, max_colors=8)
+        assert {tuple(c) for c in pal} == {(1, 2, 3), (4, 5, 6), (7, 8, 9)}
+
+    def test_respects_max_colors(self):
+        rng = np.random.default_rng(2)
+        img = rng.integers(0, 256, size=(64, 64, 3)).astype(np.uint8)
+        for n in (2, 16, 64):
+            assert len(build_palette(img, max_colors=n)) <= n
+
+    def test_min_colors_validation(self):
+        with pytest.raises(ValueError):
+            build_palette(np.zeros((2, 2, 3), dtype=np.uint8), max_colors=1)
+
+    def test_separates_clusters(self):
+        # Two well-separated clusters must land in different palette cells.
+        dark = np.zeros((8, 8, 3), dtype=np.uint8)
+        light = np.full((8, 8, 3), 250, dtype=np.uint8)
+        img = np.concatenate([dark, light], axis=0)
+        pal = build_palette(img, max_colors=2).astype(int)
+        assert len(pal) == 2
+        spread = abs(int(pal[0].mean()) - int(pal[1].mean()))
+        assert spread > 200
+
+
+class TestMapToPalette:
+    def test_nearest_mapping(self):
+        palette = np.array([[0, 0, 0], [255, 255, 255]], dtype=np.uint8)
+        img = np.array([[[10, 10, 10], [240, 240, 240]]], dtype=np.uint8)
+        idx = map_to_palette(img, palette)
+        assert idx.tolist() == [[0, 1]]
+
+    def test_exact_colors_map_to_themselves(self):
+        palette = np.array([[5, 5, 5], [100, 0, 0], [0, 200, 0]], dtype=np.uint8)
+        img = palette[np.array([[0, 1], [2, 1]])]
+        idx = map_to_palette(img, palette)
+        assert np.array_equal(palette[idx], img)
+
+
+class TestQuantize:
+    def test_lossless_under_budget(self):
+        img = image_with_colors([(0, 0, 0), (255, 0, 0), (0, 0, 255)], shape=(16, 16))
+        indices, palette = quantize(img)
+        assert np.array_equal(palette[indices], img)
+
+    def test_budget_enforced(self):
+        rng = np.random.default_rng(3)
+        img = rng.integers(0, 256, size=(40, 40, 3)).astype(np.uint8)
+        indices, palette = quantize(img, max_colors=8)
+        assert len(palette) <= 8
+        assert indices.max() < len(palette)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros((2, 2, 3), dtype=np.uint8), max_colors=257)
+        with pytest.raises(ValueError):
+            quantize(np.zeros((2, 2, 3), dtype=np.uint8), max_colors=1)
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_quantized_error_bounded_by_coarseness(self, n_colors):
+        rng = np.random.default_rng(n_colors)
+        img = rng.integers(0, 256, size=(16, 16, 3)).astype(np.uint8)
+        indices, palette = quantize(img, max_colors=n_colors)
+        recon = palette[indices].astype(int)
+        err = np.abs(recon - img.astype(int)).mean()
+        assert err <= 130  # loose sanity: mapping is nearest-neighbour
+
+    def test_grayscale_quantization_ordered(self):
+        # A gradient image: palette entries should span the range.
+        grad = np.linspace(0, 255, 256).astype(np.uint8)
+        img = np.repeat(grad[None, :, None], 3, axis=2).reshape(1, 256, 3)
+        indices, palette = quantize(img, max_colors=4)
+        values = sorted(int(c[0]) for c in palette)
+        assert values[0] < 70 and values[-1] > 185

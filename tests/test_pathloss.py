@@ -1,0 +1,135 @@
+"""Tests for path-loss models and SS-unit conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.pathloss import (
+    FEET_PER_METER,
+    FreeSpaceModel,
+    InverseSquareModel,
+    LogDistanceModel,
+    dbm_to_ss_units,
+    free_space_path_loss_db,
+    ss_units_to_dbm,
+)
+
+
+class TestSSUnits:
+    def test_conversion_roundtrip(self):
+        rssi = np.array([-30.0, -60.0, -90.0])
+        assert np.allclose(ss_units_to_dbm(dbm_to_ss_units(rssi)), rssi)
+
+    def test_floor_at_zero(self):
+        assert dbm_to_ss_units(-120.0) == 0.0
+
+    def test_known_value(self):
+        assert dbm_to_ss_units(-40.0) == 60.0
+
+
+class TestFreeSpace:
+    def test_known_reference(self):
+        # FSPL at 1 m, 2437 MHz ≈ 40.2 dB.
+        loss = free_space_path_loss_db(FEET_PER_METER)
+        assert loss == pytest.approx(40.2, abs=0.3)
+
+    def test_doubling_distance_costs_6db(self):
+        l1 = free_space_path_loss_db(50.0)
+        l2 = free_space_path_loss_db(100.0)
+        assert l2 - l1 == pytest.approx(6.02, abs=0.01)
+
+    def test_model_rssi_decreases(self):
+        m = FreeSpaceModel()
+        assert m.rssi(10.0) > m.rssi(100.0)
+
+
+class TestLogDistance:
+    def test_reference_loss_defaults_to_free_space(self):
+        m = LogDistanceModel()
+        assert m.ref_loss_db == pytest.approx(
+            free_space_path_loss_db(m.ref_distance_ft), abs=1e-9
+        )
+
+    def test_exponent_slope(self):
+        m = LogDistanceModel(exponent=3.0)
+        # 10x distance costs 30 dB.
+        assert float(m.path_loss_db(100.0) - m.path_loss_db(10.0)) == pytest.approx(30.0)
+
+    def test_invert_is_inverse(self):
+        m = LogDistanceModel(exponent=2.7)
+        d = np.array([5.0, 20.0, 80.0])
+        assert np.allclose(m.invert(m.rssi(d)), d)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogDistanceModel(exponent=0)
+        with pytest.raises(ValueError):
+            LogDistanceModel(ref_distance_ft=-1)
+
+    def test_near_field_clamped(self):
+        m = LogDistanceModel()
+        assert np.isfinite(m.rssi(0.0))
+
+    @given(st.floats(min_value=1.0, max_value=500.0), st.floats(min_value=1.5, max_value=5.0))
+    @settings(max_examples=50)
+    def test_monotone_decreasing(self, d, n):
+        m = LogDistanceModel(exponent=n)
+        assert float(m.rssi(d)) > float(m.rssi(d * 1.5))
+
+
+class TestInverseSquare:
+    def well_behaved(self):
+        return InverseSquareModel(3000.0, 200.0, 5.0, min_distance_ft=2.0, max_distance_ft=100.0)
+
+    def test_ss_formula(self):
+        m = InverseSquareModel(100.0, 10.0, 1.0)
+        assert float(m.ss(10.0)) == pytest.approx(100 / 100 + 10 / 10 + 1)
+
+    def test_invert_roundtrip_on_branch(self):
+        m = self.well_behaved()
+        for d in (3.0, 10.0, 50.0, 90.0):
+            assert float(m.invert(m.ss(d))) == pytest.approx(d, rel=1e-4)
+
+    def test_invert_clamps_hot_signal(self):
+        m = self.well_behaved()
+        assert float(m.invert(1e6)) == pytest.approx(m.min_distance_ft)
+
+    def test_invert_clamps_weak_signal(self):
+        m = self.well_behaved()
+        assert float(m.invert(-1e6)) == pytest.approx(m.max_distance_ft)
+
+    def test_invert_vector_shape(self):
+        m = self.well_behaved()
+        out = m.invert(np.array([50.0, 20.0, 10.0]))
+        assert out.shape == (3,)
+        assert (np.diff(out) > 0).all()  # weaker SS → farther
+
+    def test_negative_a_fit_uses_decreasing_branch(self):
+        # The shape the real fits produce: a < 0, peak at d* = -2a/b.
+        m = InverseSquareModel(-3000.0, 700.0, 20.0, min_distance_ft=1.0, max_distance_ft=80.0)
+        lo, hi = m.monotone_branch()
+        assert lo == pytest.approx(-2 * m.a / m.b)  # 8.57 ft
+        # On the branch, inversion must round-trip.
+        for d in (10.0, 30.0, 70.0):
+            assert float(m.invert(m.ss(d))) == pytest.approx(d, rel=1e-4)
+
+    def test_monotone_branch_full_when_positive(self):
+        m = self.well_behaved()
+        assert m.monotone_branch() == (2.0, 100.0)
+
+    @given(
+        st.floats(min_value=-5000, max_value=5000),
+        st.floats(min_value=-1000, max_value=1000),
+        st.floats(min_value=-50, max_value=80),
+        st.floats(min_value=0, max_value=120),
+    )
+    @settings(max_examples=150)
+    def test_invert_always_in_bounds(self, a, b, c, ss):
+        m = InverseSquareModel(a, b, c, min_distance_ft=1.0, max_distance_ft=200.0)
+        d = float(m.invert(ss))
+        assert 1.0 <= d <= 200.0
+        assert np.isfinite(d)
+
+    def test_coefficients_property(self):
+        assert InverseSquareModel(1, 2, 3).coefficients == (1, 2, 3)

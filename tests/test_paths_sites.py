@@ -1,0 +1,163 @@
+"""Tests for path generation, track metrics, and site presets."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import LocationEstimate
+from repro.core.geometry import Point
+from repro.experiments.house import ExperimentHouse, HouseConfig
+from repro.experiments.paths import (
+    TrackMetrics,
+    patrol_path,
+    path_length,
+    random_waypoint_path,
+    track_errors,
+)
+from repro.experiments.sites import office_floor, paper_house, warehouse
+
+BOUNDS = (0.0, 0.0, 50.0, 40.0)
+
+
+class TestPaths:
+    def test_random_waypoint_inside_bounds(self):
+        path = random_waypoint_path(BOUNDS, n_waypoints=10, margin_ft=3.0, rng=0)
+        assert len(path) == 10
+        for p in path:
+            assert 3.0 <= p.x <= 47.0 and 3.0 <= p.y <= 37.0
+
+    def test_random_waypoint_reproducible(self):
+        assert random_waypoint_path(BOUNDS, rng=5) == random_waypoint_path(BOUNDS, rng=5)
+        assert random_waypoint_path(BOUNDS, rng=5) != random_waypoint_path(BOUNDS, rng=6)
+
+    def test_random_waypoint_validation(self):
+        with pytest.raises(ValueError):
+            random_waypoint_path(BOUNDS, n_waypoints=1)
+        with pytest.raises(ValueError):
+            random_waypoint_path(BOUNDS, margin_ft=100.0)
+
+    def test_patrol_loop_closes(self):
+        loop = patrol_path(BOUNDS, inset_ft=5.0)
+        assert loop[0] == loop[-1]
+        assert len(loop) == 5
+        with pytest.raises(ValueError):
+            patrol_path(BOUNDS, inset_ft=30.0)
+
+    def test_path_length(self):
+        assert path_length([Point(0, 0), Point(3, 4), Point(3, 0)]) == pytest.approx(9.0)
+        assert path_length([Point(1, 1)]) == 0.0
+
+
+class TestTrackErrors:
+    def make(self, offsets, valid=None):
+        truth = [Point(float(i), 0.0) for i in range(len(offsets))]
+        ests = [
+            LocationEstimate(
+                position=Point(float(i) + off, 0.0),
+                valid=True if valid is None else valid[i],
+            )
+            for i, off in enumerate(offsets)
+        ]
+        return truth, ests
+
+    def test_perfect_track(self):
+        truth, ests = self.make([0.0] * 10)
+        m = track_errors(truth, ests, warmup=2)
+        assert m.mean_error_ft == 0.0
+        assert m.rmse_ft == 0.0
+        assert m.n_fixes == 10
+        assert m.jumpiness_ratio == pytest.approx(1.0)
+
+    def test_constant_offset(self):
+        truth, ests = self.make([3.0] * 10)
+        m = track_errors(truth, ests, warmup=0)
+        assert m.mean_error_ft == pytest.approx(3.0)
+        assert m.median_error_ft == pytest.approx(3.0)
+
+    def test_invalid_steps_skipped(self):
+        truth, ests = self.make([0.0] * 6, valid=[True, False, True, True, False, True])
+        m = track_errors(truth, ests, warmup=0)
+        assert m.n_fixes == 4
+        assert m.n_steps == 6
+
+    def test_all_invalid(self):
+        truth, ests = self.make([0.0] * 4, valid=[False] * 4)
+        m = track_errors(truth, ests)
+        assert m.mean_error_ft == float("inf")
+
+    def test_jumpy_estimates_flagged(self):
+        truth = [Point(float(i), 0.0) for i in range(10)]
+        rng = np.random.default_rng(0)
+        ests = [
+            LocationEstimate(position=Point(float(rng.uniform(0, 50)), 0.0))
+            for _ in range(10)
+        ]
+        m = track_errors(truth, ests, warmup=0)
+        assert m.jumpiness_ratio > 3.0
+
+    def test_length_mismatch(self):
+        truth, ests = self.make([0.0] * 3)
+        with pytest.raises(ValueError):
+            track_errors(truth[:-1], ests)
+
+    def test_row_format(self):
+        truth, ests = self.make([1.0] * 5)
+        row = track_errors(truth, ests, warmup=0).row("kalman")
+        assert "kalman" in row and "mean=" in row
+
+
+class TestSitePresets:
+    def test_paper_house_is_default_geometry(self):
+        site = paper_house(dwell_s=10.0)
+        assert site.config.width_ft == 50.0
+        assert len(site.aps) == 4
+
+    def test_office_layout(self):
+        site = office_floor(dwell_s=5.0)
+        assert site.config.width_ft == 120.0
+        assert len(site.aps) == 8
+        # APs sit near the corridor center line.
+        for ap in site.aps:
+            assert abs(ap.position.y - 40.0) <= 6.5
+        assert len(site.environment.walls) > 10
+
+    def test_warehouse_layout(self):
+        site = warehouse(dwell_s=5.0)
+        assert site.config.grid_step_ft == 20.0
+        materials = {w.material.name for w in site.environment.walls}
+        assert materials == {"metal"}
+
+    def test_custom_walls_and_aps_via_house(self):
+        from repro.radio.environment import Wall
+
+        site = ExperimentHouse(
+            HouseConfig(n_aps=3, dwell_s=5.0),
+            walls=[Wall.of(10, 0, 10, 40, "brick")],
+            ap_positions=[Point(0, 0), Point(50, 0), Point(25, 40)],
+        )
+        assert len(site.environment.walls) == 1
+        assert [tuple(a.position) for a in site.aps] == [(0, 0), (50, 0), (25, 40)]
+
+    def test_ap_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentHouse(HouseConfig(n_aps=4), ap_positions=[Point(0, 0)])
+
+    def test_office_protocol_runs(self):
+        from repro.experiments.runner import run_protocol
+
+        site = office_floor(dwell_s=5.0, n_test_points=5)
+        r = run_protocol("probabilistic", house=site, rng=0)
+        assert r.metrics.n_observations == 5
+        assert np.isfinite(r.metrics.mean_deviation_ft)
+
+    def test_blueprint_spec_follows_custom_walls(self):
+        site = office_floor(dwell_s=5.0)
+        spec = site.blueprint_spec()
+        assert spec.width_ft == 120.0
+        assert len(spec.interior_walls) == len(site.environment.walls)
+        assert spec.labels == []  # custom geometry: no house room labels
+
+    def test_floor_plan_renders_for_presets(self):
+        site = warehouse(dwell_s=5.0)
+        plan = site.floor_plan(pixels_per_foot=2.0)
+        assert plan.has_scale and plan.has_origin
+        assert len(plan.access_points) == 6

@@ -1,0 +1,179 @@
+"""Tests for the GP/IDW radio maps and the confusion-analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.probabilistic import ProbabilisticLocalizer
+from repro.algorithms.radiomap import GPRadioMap, IDWRadioMap
+from repro.core.geometry import Point
+from repro.core.trainingdb import LocationRecord, TrainingDatabase
+from repro.experiments.confusion import (
+    ConfusionResult,
+    discrimination_auc,
+    measure_confusion,
+)
+from repro.experiments.house import ExperimentHouse, HouseConfig
+
+B = [f"02:00:00:00:00:{i:02x}" for i in range(4)]
+APS = {B[i]: p for i, p in enumerate(
+    [Point(0, 0), Point(50, 0), Point(50, 40), Point(0, 40)]
+)}
+
+
+def rssi_at(p: Point) -> np.ndarray:
+    d = np.array([max(p.distance_to(a), 1.0) for a in APS.values()])
+    return -35.0 - 25.0 * np.log10(d)
+
+
+def grid_db(step=10.0, seed=0, noise=0.5):
+    rng = np.random.default_rng(seed)
+    records = []
+    for y in np.arange(0, 41, step):
+        for x in np.arange(0, 51, step):
+            p = Point(float(x), float(y))
+            records.append(
+                LocationRecord(
+                    f"g{x:g}-{y:g}", p,
+                    rng.normal(rssi_at(p), noise, (10, 4)).astype(np.float32),
+                )
+            )
+    return TrainingDatabase(B, records)
+
+
+class TestGPRadioMap:
+    def test_interpolates_training_points(self):
+        db = grid_db()
+        gp = GPRadioMap(db, ap_positions=APS, noise_sigma_db=0.3)
+        pred = gp.expected_rssi(db.positions())
+        true = np.where(np.isfinite(db.mean_matrix()), db.mean_matrix(), -95.0)
+        assert np.abs(pred - true).max() < 1.5
+
+    def test_between_points_close_to_physics(self):
+        db = grid_db()
+        gp = GPRadioMap(db, ap_positions=APS)
+        q = np.array([[25.0, 15.0], [12.0, 33.0]])
+        pred = gp.expected_rssi(q)
+        for i, (x, y) in enumerate(q):
+            assert np.abs(pred[i] - rssi_at(Point(x, y))).max() < 4.0
+
+    def test_trend_extrapolates_with_distance_decay(self):
+        """Outside the survey hull, the log-distance trend takes over."""
+        db = grid_db()
+        gp = GPRadioMap(db, ap_positions=APS)
+        far = gp.expected_rssi(np.array([[200.0, 200.0]]))[0]
+        near = gp.expected_rssi(np.array([[25.0, 20.0]]))[0]
+        assert (far < near).all()  # decays away, doesn't plateau at a mean
+
+    def test_posterior_std_grows_off_grid(self):
+        db = grid_db()
+        gp = GPRadioMap(db, ap_positions=APS)
+        on = gp.posterior_std(db.positions()[:1])[0, 0]
+        off = gp.posterior_std(np.array([[25.0, 15.0]]))[0, 0]
+        far = gp.posterior_std(np.array([[300.0, 300.0]]))[0, 0]
+        assert on < off < far
+        assert far == pytest.approx(gp.signal_sigma_db, rel=0.05)
+
+    def test_hyperparameter_tuning_improves_lml(self):
+        db = grid_db()
+        gp = GPRadioMap(db, ap_positions=APS, length_scale_ft=50.0)
+        before = gp.log_marginal_likelihood()
+        gp.fit_hyperparameters()
+        assert gp.log_marginal_likelihood() >= before
+
+    def test_without_ap_positions_constant_trend(self):
+        db = grid_db()
+        gp = GPRadioMap(db)  # no trend info
+        pred = gp.expected_rssi(np.array([[25.0, 20.0]]))
+        assert np.isfinite(pred).all()
+
+    def test_validation(self):
+        db = grid_db()
+        with pytest.raises(ValueError):
+            GPRadioMap(TrainingDatabase(B, []))
+        with pytest.raises(ValueError):
+            GPRadioMap(db, length_scale_ft=0)
+        with pytest.raises(ValueError):
+            GPRadioMap(db, noise_sigma_db=-1)
+
+    def test_idw_wrapper_matches_rssifield(self):
+        from repro.algorithms.tracking.particle import RSSIField
+
+        db = grid_db()
+        idw = IDWRadioMap(db, k=4)
+        field = RSSIField(db, k=4)
+        q = np.array([[25.0, 15.0]])
+        assert np.allclose(idw.expected_rssi(q), field.expected_rssi(q))
+        assert np.allclose(idw.sigma_db, field.sigma_db)
+
+
+class TestConfusion:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        house = ExperimentHouse(HouseConfig(dwell_s=10.0))
+        db = house.training_database(rng=0)
+        localizer = ProbabilisticLocalizer().fit(db)
+        confusion = measure_confusion(localizer, house, db, n_trials=4, dwell_s=5.0, rng=1)
+        return house, db, confusion
+
+    def test_rows_are_distributions(self, setup):
+        _, _, confusion = setup
+        sums = confusion.matrix.sum(axis=1)
+        assert np.allclose(sums[sums > 0], 1.0)
+
+    def test_accuracy_reasonable(self, setup):
+        _, _, confusion = setup
+        assert 0.3 < confusion.accuracy() <= 1.0
+
+    def test_confusion_of_named_point(self, setup):
+        _, db, confusion = setup
+        dist = confusion.confusion_of(db.locations()[0])
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_most_confused_pairs_sorted(self, setup):
+        _, _, confusion = setup
+        pairs = confusion.most_confused_pairs(top=10)
+        probs = [p for _, _, p in pairs]
+        assert probs == sorted(probs, reverse=True)
+        for a, b, _ in pairs:
+            assert a != b
+
+    def test_entropy_nonnegative(self, setup):
+        _, _, confusion = setup
+        assert confusion.entropy_bits() >= 0.0
+
+    def test_reproducible(self, setup):
+        house, db, confusion = setup
+        localizer = ProbabilisticLocalizer().fit(db)
+        again = measure_confusion(localizer, house, db, n_trials=4, dwell_s=5.0, rng=1)
+        assert np.allclose(confusion.matrix, again.matrix)
+
+    def test_trials_validation(self, setup):
+        house, db, _ = setup
+        localizer = ProbabilisticLocalizer().fit(db)
+        with pytest.raises(ValueError):
+            measure_confusion(localizer, house, db, n_trials=0)
+
+    def test_discrimination_auc_bounds(self, setup):
+        house, db, confusion = setup
+        from repro.planning.quality import expected_confusion, fingerprint_separability
+
+        predicted = expected_confusion(
+            fingerprint_separability(house.environment, db.positions())
+        )
+        auc, n = discrimination_auc(confusion, predicted)
+        assert 0.0 <= auc <= 1.0
+        assert n >= 0
+
+    def test_discrimination_auc_shape_check(self, setup):
+        _, _, confusion = setup
+        with pytest.raises(ValueError):
+            discrimination_auc(confusion, np.zeros((2, 2)))
+
+    def test_perfect_predictor_auc_one(self):
+        # Hand-built: confused pairs exactly where prediction is high.
+        names = ["a", "b", "c"]
+        matrix = np.array([[0.5, 0.5, 0.0], [0.5, 0.5, 0.0], [0.0, 0.0, 1.0]])
+        conf = ConfusionResult(locations=names, matrix=matrix, n_trials=2)
+        predicted = np.array([[0.0, 0.9, 0.1], [0.9, 0.0, 0.1], [0.1, 0.1, 0.0]])
+        auc, n = discrimination_auc(conf, predicted)
+        assert auc == 1.0 and n == 2

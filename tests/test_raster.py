@@ -1,0 +1,244 @@
+"""Tests for the Raster drawing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.raster import BLACK, BLUE, GRAY, RED, WHITE, Raster
+
+
+class TestConstruction:
+    def test_filled_with_background(self):
+        r = Raster(10, 5, background=RED)
+        assert r.size == (10, 5)
+        assert r.count_color(RED) == 50
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Raster(0, 5)
+        with pytest.raises(ValueError):
+            Raster(5, -1)
+
+    def test_invalid_color(self):
+        with pytest.raises(ValueError):
+            Raster(2, 2, background=(300, 0, 0))
+        with pytest.raises(ValueError):
+            Raster(2, 2, background=(1, 2))
+
+    def test_from_array_rgb_and_gray(self):
+        rgb = np.zeros((3, 4, 3), dtype=np.uint8)
+        assert Raster.from_array(rgb).size == (4, 3)
+        gray = np.full((3, 4), 77, dtype=np.uint8)
+        r = Raster.from_array(gray)
+        assert r.get(0, 0) == (77, 77, 77)
+
+    def test_from_array_bad_shape(self):
+        with pytest.raises(ValueError):
+            Raster.from_array(np.zeros((3, 4, 2), dtype=np.uint8))
+
+    def test_copy_is_independent(self):
+        a = Raster(4, 4)
+        b = a.copy()
+        b.set(0, 0, RED)
+        assert a.get(0, 0) == WHITE
+        assert a != b
+
+    def test_equality(self):
+        assert Raster(3, 3) == Raster(3, 3)
+        assert Raster(3, 3) != Raster(3, 4)
+        assert (Raster(3, 3) == "nope") is False
+
+
+class TestPixelAccess:
+    def test_get_set(self):
+        r = Raster(4, 4)
+        r.set(1, 2, BLUE)
+        assert r.get(1, 2) == BLUE
+
+    def test_set_out_of_bounds_is_noop(self):
+        r = Raster(4, 4)
+        r.set(10, 10, RED)  # silently clipped
+        assert r.count_color(RED) == 0
+
+    def test_get_out_of_bounds_raises(self):
+        with pytest.raises(IndexError):
+            Raster(4, 4).get(4, 0)
+
+    def test_fill(self):
+        r = Raster(3, 3)
+        r.fill(BLACK)
+        assert r.count_color(BLACK) == 9
+
+
+class TestLines:
+    def test_horizontal_line(self):
+        r = Raster(10, 5)
+        r.draw_line(1, 2, 8, 2, RED)
+        assert r.count_color(RED) == 8
+        assert r.get(1, 2) == RED and r.get(8, 2) == RED
+
+    def test_vertical_line(self):
+        r = Raster(5, 10)
+        r.draw_line(2, 1, 2, 8, RED)
+        assert r.count_color(RED) == 8
+
+    def test_diagonal_line_endpoints(self):
+        r = Raster(20, 20)
+        r.draw_line(0, 0, 19, 19, RED)
+        assert r.get(0, 0) == RED and r.get(19, 19) == RED
+        assert r.count_color(RED) == 20
+
+    def test_single_point_line(self):
+        r = Raster(5, 5)
+        r.draw_line(2, 2, 2, 2, RED)
+        assert r.count_color(RED) == 1
+
+    def test_thick_line_wider(self):
+        thin, thick = Raster(20, 20), Raster(20, 20)
+        thin.draw_line(2, 10, 18, 10, RED, 1)
+        thick.draw_line(2, 10, 18, 10, RED, 3)
+        assert thick.count_color(RED) == 3 * thin.count_color(RED)
+
+    def test_line_clipped_at_border(self):
+        r = Raster(5, 5)
+        r.draw_line(-10, 2, 20, 2, RED)  # no exception, clipped
+        assert r.count_color(RED) == 5
+
+    def test_polyline(self):
+        r = Raster(10, 10)
+        r.draw_polyline([(0, 0), (5, 0), (5, 5)], RED)
+        assert r.get(5, 0) == RED and r.get(0, 0) == RED and r.get(5, 5) == RED
+
+
+class TestShapes:
+    def test_rect_outline(self):
+        r = Raster(10, 10)
+        r.draw_rect(2, 2, 7, 7, RED)
+        assert r.get(2, 2) == RED and r.get(7, 7) == RED
+        assert r.get(4, 4) == WHITE  # hollow
+
+    def test_fill_rect(self):
+        r = Raster(10, 10)
+        r.fill_rect(2, 3, 5, 6, BLUE)
+        assert r.count_color(BLUE) == 4 * 4
+        # Reversed corners work too.
+        r2 = Raster(10, 10)
+        r2.fill_rect(5, 6, 2, 3, BLUE)
+        assert r2.count_color(BLUE) == 16
+
+    def test_fill_rect_clipped(self):
+        r = Raster(4, 4)
+        r.fill_rect(-5, -5, 10, 10, BLUE)
+        assert r.count_color(BLUE) == 16
+
+    def test_fill_circle_area(self):
+        r = Raster(41, 41)
+        r.fill_circle(20, 20, 10, RED)
+        count = r.count_color(RED)
+        assert abs(count - np.pi * 100) < 30  # ~314 ± rasterization
+
+    def test_draw_circle_is_ring(self):
+        r = Raster(41, 41)
+        r.draw_circle(20, 20, 10, RED, thickness=1)
+        assert r.get(20, 20) == WHITE
+        assert r.get(30, 20) == RED
+        assert r.get(20, 10) == RED
+
+    def test_markers(self):
+        for draw in ("draw_cross", "draw_x", "draw_diamond"):
+            r = Raster(21, 21)
+            getattr(r, draw)(10, 10, 5, RED)
+            assert r.count_color(RED) > 0
+
+    def test_cross_shape(self):
+        r = Raster(21, 21)
+        r.draw_cross(10, 10, 4, RED)
+        assert r.get(6, 10) == RED and r.get(14, 10) == RED
+        assert r.get(10, 6) == RED and r.get(10, 14) == RED
+        assert r.get(6, 6) == WHITE
+
+    def test_x_shape(self):
+        r = Raster(21, 21)
+        r.draw_x(10, 10, 4, RED)
+        assert r.get(6, 6) == RED and r.get(14, 14) == RED
+        assert r.get(6, 10) == WHITE
+
+
+class TestFloodFill:
+    def test_fills_enclosed_region(self):
+        r = Raster(20, 20)
+        r.draw_rect(5, 5, 15, 15, BLACK)
+        n = r.flood_fill(10, 10, RED)
+        assert n > 0
+        assert r.get(10, 10) == RED
+        assert r.get(0, 0) == WHITE  # outside untouched
+        assert r.get(5, 5) == BLACK  # border untouched
+
+    def test_fill_same_color_is_noop(self):
+        r = Raster(5, 5)
+        assert r.flood_fill(0, 0, WHITE) == 0
+
+    def test_out_of_bounds_is_noop(self):
+        r = Raster(5, 5)
+        assert r.flood_fill(99, 99, RED) == 0
+
+    def test_counts_pixels(self):
+        r = Raster(6, 6)
+        assert r.flood_fill(0, 0, RED) == 36
+
+
+class TestBlendAndBlit:
+    def test_blend_alpha_zero_keeps_image(self):
+        r = Raster(4, 4)
+        r.blend_rect(0, 0, 3, 3, BLACK, 0.0)
+        assert r.count_color(WHITE) == 16
+
+    def test_blend_alpha_one_replaces(self):
+        r = Raster(4, 4)
+        r.blend_rect(0, 0, 3, 3, BLACK, 1.0)
+        assert r.count_color(BLACK) == 16
+
+    def test_blend_halfway(self):
+        r = Raster(2, 2, background=(200, 100, 0))
+        r.blend_rect(0, 0, 1, 1, (0, 100, 200), 0.5)
+        assert r.get(0, 0) == (100, 100, 100)
+
+    def test_blend_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            Raster(2, 2).blend_rect(0, 0, 1, 1, BLACK, 1.5)
+
+    def test_blit_basic(self):
+        base = Raster(10, 10)
+        patch = Raster(3, 3, background=RED)
+        base.blit(patch, 4, 4)
+        assert base.count_color(RED) == 9
+        assert base.get(4, 4) == RED and base.get(6, 6) == RED
+
+    def test_blit_clipped(self):
+        base = Raster(5, 5)
+        patch = Raster(4, 4, background=RED)
+        base.blit(patch, 3, 3)  # only 2x2 fits
+        assert base.count_color(RED) == 4
+        base.blit(patch, -2, -2)  # top-left clip
+        assert base.get(0, 0) == RED
+
+    def test_blit_fully_outside(self):
+        base = Raster(5, 5)
+        base.blit(Raster(2, 2, background=RED), 99, 99)
+        assert base.count_color(RED) == 0
+
+
+class TestAnalysis:
+    def test_unique_colors(self):
+        r = Raster(4, 4)
+        r.set(0, 0, RED)
+        r.set(1, 1, BLUE)
+        assert len(r.unique_colors()) == 3
+
+    def test_scaled(self):
+        r = Raster(2, 2)
+        r.set(0, 0, RED)
+        up = r.scaled(3)
+        assert up.size == (6, 6)
+        assert up.count_color(RED) == 9
+        with pytest.raises(ValueError):
+            r.scaled(0)

@@ -1,0 +1,157 @@
+"""Failure-injection tests: corrupted inputs must fail *predictably*.
+
+A toolkit that ships file formats must survive hostile bytes: every
+decoder here is attacked with truncations, random byte flips and pure
+noise, and must either succeed or raise its own documented error type —
+never an IndexError/struct.error leak, never a hang.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.floorplan import FloorPlan
+from repro.core.geometry import Point
+from repro.core.locationmap import LocationMap, LocationMapError
+from repro.core.trainingdb import LocationRecord, TrainingDatabase, TrainingDBError
+from repro.imaging.gif import GifError, decode_gif, encode_gif
+from repro.imaging.lzw import LZWError, decompress
+from repro.imaging.pnm import PnmError, decode_pnm
+from repro.imaging.raster import RED, Raster
+from repro.wiscan.format import WiScanFormatError, parse_wiscan
+
+
+def sample_gif() -> bytes:
+    r = Raster(24, 18)
+    r.draw_line(0, 0, 23, 17, RED, 2)
+    return encode_gif(r, comments=["prov"])
+
+
+def sample_tdb() -> bytes:
+    samples = np.array([[-50.0, -70.0]] * 5, dtype=np.float32)
+    db = TrainingDatabase(
+        ["02:00:00:00:00:01", "02:00:00:00:00:02"],
+        [LocationRecord("p", Point(1, 2), samples)],
+    )
+    return db.to_bytes()
+
+
+class TestGifRobustness:
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_never_leaks(self, cut):
+        blob = sample_gif()
+        cut = min(cut, len(blob) - 1)
+        try:
+            decode_gif(blob[:cut])
+        except (GifError, LZWError):
+            pass  # the documented failure modes
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=120, deadline=None)
+    def test_byte_flip_never_leaks(self, pos, value):
+        blob = bytearray(sample_gif())
+        pos = pos % len(blob)
+        blob[pos] = value
+        try:
+            decode_gif(bytes(blob))
+        except (GifError, LZWError):
+            pass
+
+    @given(st.binary(min_size=0, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_random_noise_never_leaks(self, noise):
+        try:
+            decode_gif(noise)
+        except (GifError, LZWError):
+            pass
+
+
+class TestTdbRobustness:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_never_leaks(self, cut):
+        blob = sample_tdb()
+        cut = min(cut, len(blob) - 1)
+        try:
+            TrainingDatabase.from_bytes(blob[:cut])
+        except TrainingDBError:
+            pass
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=120, deadline=None)
+    def test_byte_flip_never_leaks(self, pos, value):
+        blob = bytearray(sample_tdb())
+        pos = pos % len(blob)
+        blob[pos] = value
+        try:
+            TrainingDatabase.from_bytes(bytes(blob))
+        except TrainingDBError:
+            pass
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_random_noise_never_leaks(self, noise):
+        try:
+            TrainingDatabase.from_bytes(noise)
+        except TrainingDBError:
+            pass
+
+
+class TestTextFormatRobustness:
+    @given(st.text(max_size=400))
+    @settings(max_examples=100, deadline=None)
+    def test_wiscan_parser_never_leaks(self, text):
+        try:
+            parse_wiscan(text)
+        except WiScanFormatError:
+            pass
+
+    @given(st.text(max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_locationmap_parser_never_leaks(self, text):
+        try:
+            LocationMap.parse(text)
+        except LocationMapError:
+            pass
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_pnm_decoder_never_leaks(self, noise):
+        try:
+            decode_pnm(noise)
+        except PnmError:
+            pass
+
+
+class TestLzwRobustness:
+    @given(st.binary(max_size=400), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=120, deadline=None)
+    def test_random_streams_never_leak(self, payload, mcs):
+        try:
+            out = decompress(payload, mcs, expected_length=4096)
+            assert len(out) <= 4096
+        except LZWError:
+            pass
+
+
+class TestFloorPlanRobustness:
+    def test_corrupt_annotation_comment_ignored(self, tmp_path):
+        """A plan whose annotation JSON was mangled loads as plain image."""
+        import json
+
+        from repro.core.floorplan import ANNOTATION_MAGIC
+
+        r = Raster(20, 20)
+        # A structurally valid JSON comment with wrong inner types.
+        bad = json.dumps({"magic": ANNOTATION_MAGIC, "origin": "not-a-pair"})
+        blob = encode_gif(r, comments=[bad])
+        path = tmp_path / "bad.gif"
+        path.write_bytes(blob)
+        try:
+            plan = FloorPlan.load(path)
+            # Either loaded without the broken field...
+            assert plan.image == r
+        except (TypeError, ValueError):
+            pytest.fail("corrupt annotations must not raise on load")

@@ -1,0 +1,148 @@
+"""Tests for the simulated scanner and UWB ranging."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Point
+from repro.radio.environment import AccessPoint, RadioEnvironment, Wall
+from repro.radio.scanner import ScanReading, ScanSweep, SimulatedScanner
+from repro.radio.uwb import RangeMeasurement, UWBAnchor, UWBRangingSimulator
+
+
+@pytest.fixture(scope="module")
+def env():
+    aps = [
+        AccessPoint("A", Point(0, 0)),
+        AccessPoint("B", Point(50, 0)),
+        AccessPoint("C", Point(50, 40)),
+        AccessPoint("D", Point(0, 40)),
+    ]
+    return RadioEnvironment(aps, seed=0)
+
+
+class TestScanReading:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScanReading(-1.0, "02:00:00:00:00:01", "x", 6, -50.0)
+        with pytest.raises(ValueError):
+            ScanReading(0.0, "02:00:00:00:00:01", "x", 6, 10.0)
+
+    def test_sweep_rssi_of(self):
+        r = ScanReading(0.0, "02:00:00:00:00:01", "x", 6, -42.0)
+        sweep = ScanSweep(0.0, (r,))
+        assert sweep.rssi_of("02:00:00:00:00:01") == -42.0
+        assert sweep.rssi_of("ff:ff:ff:ff:ff:ff") is None
+
+
+class TestSimulatedScanner:
+    def test_session_count(self, env):
+        sc = SimulatedScanner(env, interval_s=1.0)
+        sweeps = sc.scan_session(Point(25, 20), 10.0, rng=0)
+        assert len(sweeps) == 10
+        assert sweeps[3].timestamp_s == 3.0
+
+    def test_start_time_offsets(self, env):
+        sc = SimulatedScanner(env)
+        sweeps = sc.scan_session(Point(25, 20), 3.0, rng=0, start_time_s=100.0)
+        assert sweeps[0].timestamp_s == 100.0
+
+    def test_readings_have_ap_identity(self, env):
+        sc = SimulatedScanner(env)
+        sweeps = sc.scan_session(Point(25, 20), 5.0, rng=1)
+        bssids = {r.bssid for s in sweeps for r in s.readings}
+        assert bssids <= {ap.bssid for ap in env.aps}
+        assert len(bssids) >= 3  # most APs audible mid-room
+
+    def test_reproducible(self, env):
+        sc = SimulatedScanner(env)
+        a = sc.scan_session(Point(10, 10), 5.0, rng=3)
+        b = sc.scan_session(Point(10, 10), 5.0, rng=3)
+        assert a == b
+
+    def test_interval_validation(self, env):
+        with pytest.raises(ValueError):
+            SimulatedScanner(env, interval_s=0)
+        sc = SimulatedScanner(env)
+        with pytest.raises(ValueError):
+            sc.scan_session(Point(0, 0), -1.0)
+
+    def test_walk_session(self, env):
+        sc = SimulatedScanner(env)
+        path = [Point(5, 5), Point(45, 5), Point(45, 35)]
+        out = sc.walk_session(path, speed_ft_s=4.0, rng=0)
+        assert len(out) >= 15  # ~70 ft at 4 ft/s, 1 Hz
+        positions = [p for p, _ in out]
+        # Walk starts at the first waypoint and stays in the hull.
+        assert positions[0].distance_to(path[0]) < 1e-9
+        for p in positions:
+            assert 0 <= p.x <= 50 and 0 <= p.y <= 40
+        # Timestamps strictly increase.
+        times = [s.timestamp_s for _, s in out]
+        assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+
+    def test_walk_validation(self, env):
+        sc = SimulatedScanner(env)
+        with pytest.raises(ValueError):
+            sc.walk_session([Point(0, 0)], rng=0)
+        with pytest.raises(ValueError):
+            sc.walk_session([Point(0, 0), Point(1, 1)], speed_ft_s=0)
+
+
+class TestUWB:
+    def anchors(self):
+        return [
+            UWBAnchor("A", Point(0, 0)),
+            UWBAnchor("B", Point(50, 0)),
+            UWBAnchor("C", Point(50, 40)),
+            UWBAnchor("D", Point(0, 40)),
+        ]
+
+    def test_los_ranging_accurate(self):
+        sim = UWBRangingSimulator(self.anchors(), jitter_ns=0.3)
+        true = Point(20, 15)
+        ms = sim.range_averaged(true, rounds=20, rng=0)
+        assert len(ms) == 4
+        for m in ms:
+            anchor = next(a for a in self.anchors() if a.name == m.anchor)
+            err = abs(m.distance_ft - anchor.position.distance_to(true))
+            assert err < 0.5  # sub-foot: the whole point of UWB
+            assert m.line_of_sight
+
+    def test_nlos_bias_positive(self):
+        wall = [Wall.of(25, -5, 25, 45, "concrete")]
+        sim = UWBRangingSimulator(
+            self.anchors(), walls=wall, jitter_ns=0.0, nlos_excess_ns_per_wall=3.0, outage_per_wall=0.0
+        )
+        true = Point(40, 20)
+        ms = {m.anchor: m for m in sim.range_averaged(true, rounds=50, rng=1)}
+        # A and D are across the wall: biased long, flagged NLOS.
+        assert not ms["A"].line_of_sight
+        assert ms["A"].distance_ft > Point(0, 0).distance_to(true)
+        assert ms["B"].line_of_sight
+        assert ms["B"].distance_ft == pytest.approx(Point(50, 0).distance_to(true), abs=0.2)
+
+    def test_outage_drops_anchors(self):
+        wall = [Wall.of(25, -5, 25, 45, "concrete")]
+        sim = UWBRangingSimulator(self.anchors(), walls=wall, outage_per_wall=1.0 - 1e-9)
+        ms = sim.range_once(Point(40, 20), rng=2)
+        names = {m.anchor for m in ms}
+        assert "A" not in names and "D" not in names
+
+    def test_colocated_with_environment(self):
+        aps = [AccessPoint("A", Point(0, 0)), AccessPoint("B", Point(10, 0)), AccessPoint("C", Point(5, 8))]
+        env = RadioEnvironment(aps)
+        sim = UWBRangingSimulator.colocated_with(env)
+        assert [a.name for a in sim.anchors] == ["A", "B", "C"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UWBRangingSimulator([])
+        with pytest.raises(ValueError):
+            UWBRangingSimulator(self.anchors(), jitter_ns=-1)
+        with pytest.raises(ValueError):
+            UWBRangingSimulator(self.anchors(), outage_per_wall=1.5)
+        with pytest.raises(ValueError):
+            RangeMeasurement("A", -1.0, True)
+        sim = UWBRangingSimulator(self.anchors())
+        with pytest.raises(ValueError):
+            sim.range_averaged(Point(0, 0), rounds=0)

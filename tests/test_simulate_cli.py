@@ -1,0 +1,82 @@
+"""Tests for the simulate-survey dataset generator CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import locate_main, simulate_main
+from repro.core.floorplan import FloorPlan
+from repro.core.locationmap import LocationMap
+from repro.core.trainingdb import TrainingDatabase
+from repro.wiscan.collection import WiScanCollection
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    out = tmp_path_factory.mktemp("site")
+    rc = simulate_main(
+        [str(out), "--seed", "3", "--dwell", "10", "--tests", "4", "--zip"]
+    )
+    assert rc == 0
+    return out
+
+
+class TestSimulateSurvey:
+    def test_all_artifacts_present(self, dataset):
+        assert (dataset / "plan.gif").is_file()
+        assert (dataset / "survey").is_dir()
+        assert (dataset / "survey.zip").is_file()
+        assert (dataset / "locations.txt").is_file()
+        assert (dataset / "training.tdb").is_file()
+        assert (dataset / "ground_truth.txt").is_file()
+        assert len(list((dataset / "observations").glob("*.wi-scan"))) == 4
+
+    def test_artifacts_are_consistent(self, dataset):
+        plan = FloorPlan.load(dataset / "plan.gif")
+        assert plan.has_scale and len(plan.access_points) == 4
+        lm = LocationMap.load(dataset / "locations.txt")
+        db = TrainingDatabase.load(dataset / "training.tdb")
+        assert sorted(db.locations()) == sorted(lm.names())
+        coll = WiScanCollection.load(dataset / "survey")
+        assert sorted(coll.locations()) == sorted(db.locations())
+        zcoll = WiScanCollection.load(dataset / "survey.zip")
+        assert sorted(zcoll.locations()) == sorted(db.locations())
+
+    def test_locate_works_on_generated_observation(self, dataset, capsys):
+        obs = sorted((dataset / "observations").glob("*.wi-scan"))[0]
+        rc = locate_main([str(dataset / "training.tdb"), str(obs)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "estimated position" in out
+
+    def test_ground_truth_parses_and_matches(self, dataset):
+        lines = [
+            l.split("\t")
+            for l in (dataset / "ground_truth.txt").read_text().splitlines()
+            if not l.startswith("#")
+        ]
+        assert len(lines) == 4
+        for fname, x, y in lines:
+            assert (dataset / fname).is_file()
+            assert 0 <= float(x) <= 50 and 0 <= float(y) <= 40
+
+    def test_reproducible_given_seed(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        simulate_main([str(a), "--seed", "7", "--dwell", "5", "--tests", "2"])
+        simulate_main([str(b), "--seed", "7", "--dwell", "5", "--tests", "2"])
+        assert (a / "training.tdb").read_bytes() == (b / "training.tdb").read_bytes()
+        assert (a / "ground_truth.txt").read_text() == (b / "ground_truth.txt").read_text()
+
+    def test_custom_geometry(self, tmp_path):
+        out = tmp_path / "big"
+        rc = simulate_main(
+            [str(out), "--width", "80", "--height", "60", "--grid-step", "20",
+             "--aps", "6", "--dwell", "5", "--tests", "2"]
+        )
+        assert rc == 0
+        db = TrainingDatabase.load(out / "training.tdb")
+        assert len(db.bssids) == 6
+        assert len(db) == 5 * 4  # 80/20+1 x 60/20+1
+
+    def test_invalid_config_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            simulate_main([str(tmp_path / "x"), "--aps", "1"])

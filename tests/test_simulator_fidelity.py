@@ -1,0 +1,135 @@
+"""Statistical-fidelity tests of the radio simulator.
+
+The substitution argument in DESIGN.md §2 rests on the simulator
+producing the *statistical structure* the paper's algorithms exploit.
+These tests verify that structure quantitatively: the generative model
+parameters must be recoverable from the simulator's own output, the way
+a measurement campaign would recover them from a real site.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.regression import fit_log_distance
+from repro.core.geometry import Point
+from repro.radio.environment import AccessPoint, RadioEnvironment
+from repro.radio.fading import TemporalFading
+from repro.radio.pathloss import LogDistanceModel
+
+
+class TestPathLossRecovery:
+    def test_exponent_recoverable_from_clean_channel(self):
+        """Fitting simulated RSSI vs distance must recover the exponent."""
+        env = RadioEnvironment(
+            [AccessPoint("A", Point(0, 0))],
+            pathloss=LogDistanceModel(exponent=3.2),
+            shadowing_sigma_db=0.0,
+        )
+        rng = np.random.default_rng(0)
+        d = rng.uniform(5, 150, 400)
+        angles = rng.uniform(0, 2 * np.pi, 400)
+        positions = np.column_stack([d * np.cos(angles), d * np.sin(angles)])
+        rssi = env.mean_rssi(positions)[:, 0]
+        fit = fit_log_distance(np.hypot(positions[:, 0], positions[:, 1]), rssi)
+        assert fit.exponent == pytest.approx(3.2, abs=0.02)
+        assert fit.r_squared > 0.999
+
+    def test_exponent_recoverable_through_shadowing(self):
+        """With σ=6 dB shadowing the fit is noisy but unbiased."""
+        exponents = []
+        for seed in range(8):
+            env = RadioEnvironment(
+                [AccessPoint("A", Point(0, 0))],
+                pathloss=LogDistanceModel(exponent=3.0),
+                shadowing_sigma_db=6.0,
+                seed=seed,
+            )
+            rng = np.random.default_rng(seed)
+            d = rng.uniform(5, 200, 500)
+            angles = rng.uniform(0, 2 * np.pi, 500)
+            positions = np.column_stack([d * np.cos(angles), d * np.sin(angles)])
+            rssi = env.mean_rssi(positions)[:, 0]
+            exponents.append(fit_log_distance(np.hypot(*positions.T), rssi).exponent)
+        assert np.mean(exponents) == pytest.approx(3.0, abs=0.15)
+
+
+class TestTemporalStructure:
+    def test_ar1_time_constant_recoverable(self):
+        """lag-1 autocorrelation must match exp(−Δt/τ)."""
+        tau = 8.0
+        f = TemporalFading(sigma_db=3.0, timescale_s=tau, noise_db=0.0, quantize_db=0.0)
+        x = f.sample_series(0.0, 60_000, 1.0, rng=0)
+        r1 = float(np.corrcoef(x[:-1], x[1:])[0, 1])
+        tau_hat = -1.0 / np.log(r1)
+        assert tau_hat == pytest.approx(tau, rel=0.15)
+
+    def test_faster_sampling_higher_correlation(self):
+        f = TemporalFading(sigma_db=3.0, timescale_s=5.0, noise_db=0.0, quantize_db=0.0)
+        x_fast = f.sample_series(0.0, 30_000, 0.5, rng=1)
+        x_slow = f.sample_series(0.0, 30_000, 4.0, rng=1)
+        r_fast = np.corrcoef(x_fast[:-1], x_fast[1:])[0, 1]
+        r_slow = np.corrcoef(x_slow[:-1], x_slow[1:])[0, 1]
+        assert r_fast > r_slow
+
+    def test_marginal_std_matches_components(self):
+        f = TemporalFading(sigma_db=3.0, timescale_s=5.0, noise_db=2.0, quantize_db=0.0)
+        x = f.sample_series(0.0, 60_000, 1.0, rng=2)
+        assert x.std() == pytest.approx(np.hypot(3.0, 2.0), rel=0.1)
+
+
+class TestObservableRates:
+    def four_ap_env(self, **kw):
+        return RadioEnvironment(
+            [
+                AccessPoint("A", Point(0, 0)),
+                AccessPoint("B", Point(50, 0)),
+                AccessPoint("C", Point(50, 40)),
+                AccessPoint("D", Point(0, 40)),
+            ],
+            **kw,
+        )
+
+    def test_miss_rate_matches_configuration(self):
+        env = self.four_ap_env(
+            miss_probability=0.1,
+            shadowing_sigma_db=0.0,
+            detection_threshold_dbm=-120.0,  # nothing drops below it here
+        )
+        s = env.sample_rssi(Point(25, 20), 4000, rng=0)
+        assert np.isnan(s).mean() == pytest.approx(0.1, abs=0.02)
+
+    def test_quantization_grid(self):
+        env = self.four_ap_env(miss_probability=0.0)
+        s = env.sample_rssi(Point(25, 20), 200, rng=1)
+        finite = s[np.isfinite(s)]
+        assert np.allclose(finite, np.round(finite))
+
+    def test_long_average_converges_to_frozen_mean(self):
+        """The training-survey premise: dwell averaging recovers the mean."""
+        env = self.four_ap_env(miss_probability=0.0)
+        p = Point(17.0, 23.0)
+        target = env.mean_rssi(np.array([[p.x, p.y]]))[0]
+        s = env.sample_rssi(p, 5000, rng=2)
+        est = np.nanmean(s, axis=0)
+        # Quantization adds ≤0.5 dB bias; AR(1) slows convergence.
+        assert np.abs(est - target).max() < 0.6
+
+    def test_shadowing_repeatable_across_visits(self):
+        """Re-surveying the same point reproduces the same frozen bias."""
+        env = self.four_ap_env(miss_probability=0.0)
+        p = Point(31.0, 12.0)
+        visit1 = np.nanmean(env.sample_rssi(p, 2000, rng=10), axis=0)
+        visit2 = np.nanmean(env.sample_rssi(p, 2000, rng=99), axis=0)
+        # AR(1) correlation shrinks the effective sample size to
+        # ~n/(2τ) ≈ 167, so the visit-mean SE is ~0.3 dB per AP.
+        assert np.abs(visit1 - visit2).max() < 1.0
+
+    def test_fingerprint_information_exists(self):
+        """Distinct spots must differ by more than the temporal noise —
+        the necessary condition for fingerprinting to work at all."""
+        env = self.four_ap_env()
+        grid = np.array([[x, y] for x in range(0, 51, 10) for y in range(0, 41, 10)])
+        fps = env.mean_rssi(grid)
+        diffs = np.sqrt(((fps[:, None, :] - fps[None, :, :]) ** 2).sum(axis=2))
+        off_diag = diffs[~np.eye(len(grid), dtype=bool)]
+        assert np.median(off_diag) > 2.0 * env.fading.stationary_std()

@@ -1,0 +1,245 @@
+"""Tests for the tracking filters (future work §6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Observation
+from repro.algorithms.knn import KNNLocalizer
+from repro.algorithms.probabilistic import ProbabilisticLocalizer
+from repro.algorithms.tracking import (
+    DiscreteBayesTracker,
+    KalmanTracker,
+    ParticleFilterTracker,
+    RSSIField,
+)
+from repro.core.geometry import Point
+from repro.core.trainingdb import LocationRecord, TrainingDatabase
+
+B = [f"02:00:00:00:00:{i:02x}" for i in range(4)]
+AP_POS = [Point(0, 0), Point(50, 0), Point(50, 40), Point(0, 40)]
+
+
+def rssi_at(p: Point) -> np.ndarray:
+    """A clean synthetic radio map: log-distance, no noise."""
+    d = np.array([max(p.distance_to(a), 1.0) for a in AP_POS])
+    return -35.0 - 25.0 * np.log10(d)
+
+
+def grid_db(step=10.0, n_samples=10, noise=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    records = []
+    y = 0.0
+    while y <= 40.0:
+        x = 0.0
+        while x <= 50.0:
+            mean = rssi_at(Point(x, y))
+            samples = rng.normal(mean, noise, size=(n_samples, 4)).astype(np.float32)
+            records.append(LocationRecord(f"g{x:g}-{y:g}", Point(x, y), samples))
+            x += step
+        y += step
+    return TrainingDatabase(B, records)
+
+
+def walk_observations(path, noise=2.0, seed=1):
+    rng = np.random.default_rng(seed)
+    return [
+        Observation(rng.normal(rssi_at(p), noise, size=(3, 4)))
+        for p in path
+    ]
+
+
+def straight_path(n=30):
+    return [Point(5 + 40 * i / (n - 1), 5 + 30 * i / (n - 1)) for i in range(n)]
+
+
+@pytest.fixture(scope="module")
+def db():
+    return grid_db()
+
+
+@pytest.fixture(scope="module")
+def emission(db):
+    return ProbabilisticLocalizer().fit(db)
+
+
+class TestDiscreteBayes:
+    def test_initial_belief_uniform(self, emission, db):
+        t = DiscreteBayesTracker(emission, db)
+        assert np.allclose(t.belief, 1.0 / len(db))
+
+    def test_belief_stays_normalized(self, emission, db):
+        t = DiscreteBayesTracker(emission, db)
+        for o in walk_observations(straight_path(5)):
+            t.step(o)
+            assert t.belief.sum() == pytest.approx(1.0)
+
+    def test_tracks_a_walk(self, emission, db):
+        t = DiscreteBayesTracker(emission, db, speed_ft_s=4.0)
+        path = straight_path()
+        ests = t.track(walk_observations(path), dt_s=1.0)
+        tail_err = [e.position.distance_to(p) for e, p in zip(ests, path)][5:]
+        assert np.mean(tail_err) < 9.0
+
+    def test_smoother_than_static(self, emission, db):
+        """Filtering must reduce estimate jumpiness vs per-shot argmax."""
+        t = DiscreteBayesTracker(emission, db, speed_ft_s=3.0)
+        path = straight_path()
+        obs = walk_observations(path, noise=4.0, seed=3)
+        tracked = t.track(obs)
+        static = [emission.locate(o) for o in obs]
+
+        def jumpiness(ests):
+            ps = [e.position for e in ests]
+            return np.mean([a.distance_to(b) for a, b in zip(ps, ps[1:])])
+
+        assert jumpiness(tracked) < jumpiness(static)
+
+    def test_reset(self, emission, db):
+        t = DiscreteBayesTracker(emission, db)
+        t.step(walk_observations([Point(5, 5)])[0])
+        assert t.belief.max() > 1.0 / len(db)
+        t.reset()
+        assert np.allclose(t.belief, 1.0 / len(db))
+
+    def test_validation(self, emission, db):
+        with pytest.raises(TypeError):
+            DiscreteBayesTracker(object(), db)
+        with pytest.raises(ValueError):
+            DiscreteBayesTracker(emission, db, speed_ft_s=0)
+        with pytest.raises(ValueError):
+            DiscreteBayesTracker(emission, db, teleport=1.0)
+        t = DiscreteBayesTracker(emission, db)
+        with pytest.raises(ValueError):
+            t.step(walk_observations([Point(0, 0)])[0], dt_s=0)
+
+
+class TestKalman:
+    def test_initializes_on_first_fix(self, db):
+        inner = KNNLocalizer(k=3).fit(db)
+        t = KalmanTracker(inner)
+        est = t.step(walk_observations([Point(10, 10)])[0])
+        assert est.valid
+
+    def test_no_fix_yet_invalid(self, db):
+        inner = KNNLocalizer(k=3).fit(db)
+        t = KalmanTracker(inner)
+        silent = Observation(np.full((2, 4), np.nan))
+        est = t.step(silent)
+        assert not est.valid
+
+    def test_tracks_and_smooths(self, db):
+        inner = KNNLocalizer(k=3).fit(db)
+        path = straight_path()
+        obs = walk_observations(path, noise=4.0, seed=5)
+        raw = [inner.locate(o) for o in obs]
+        t = KalmanTracker(inner, measurement_std_ft=8.0)
+        smoothed = t.track(obs)
+        raw_err = np.mean([e.position.distance_to(p) for e, p in zip(raw, path)][5:])
+        kal_err = np.mean([e.position.distance_to(p) for e, p in zip(smoothed, path)][5:])
+        assert kal_err < raw_err * 1.15  # at worst marginally worse, usually better
+
+    def test_velocity_estimated(self, db):
+        inner = KNNLocalizer(k=3).fit(db)
+        t = KalmanTracker(inner)
+        path = straight_path()
+        ests = t.track(walk_observations(path, noise=1.0), dt_s=1.0)
+        vx, vy = ests[-1].details["velocity_ft_s"]
+        # True velocity ≈ (40/29, 30/29) ≈ (1.4, 1.0) ft/s, same sign.
+        assert vx > 0 and vy > 0
+
+    def test_coasts_through_dropout(self, db):
+        inner = KNNLocalizer(k=3).fit(db)
+        t = KalmanTracker(inner)
+        t.step(walk_observations([Point(10, 10)])[0])
+        est = t.step(Observation(np.full((2, 4), np.nan)))  # measurement gap
+        assert est.valid  # prediction continues
+
+    def test_validation(self, db):
+        inner = KNNLocalizer().fit(db)
+        with pytest.raises(ValueError):
+            KalmanTracker(inner, process_accel_ft_s2=0)
+        with pytest.raises(ValueError):
+            KalmanTracker(inner, measurement_std_ft=0)
+        t = KalmanTracker(inner)
+        with pytest.raises(ValueError):
+            t.step(walk_observations([Point(0, 0)])[0], dt_s=-1)
+
+
+class TestRSSIField:
+    def test_interpolates_training_points_exactly_nearby(self, db):
+        field = RSSIField(db, k=1)
+        rec = db.records[7]
+        pred = field.expected_rssi(np.array([[rec.position.x, rec.position.y]]))[0]
+        assert np.allclose(pred, rec.mean_rssi(), atol=1e-3)
+
+    def test_interpolation_between_points(self, db):
+        field = RSSIField(db, k=4)
+        pred = field.expected_rssi(np.array([[25.0, 20.0]]))[0]
+        true = rssi_at(Point(25, 20))
+        assert np.abs(pred - true).max() < 5.0
+
+    def test_shapes(self, db):
+        field = RSSIField(db)
+        out = field.expected_rssi(np.zeros((7, 2)))
+        assert out.shape == (7, 4)
+        assert field.sigma_db.shape == (4,)
+
+    def test_validation(self, db):
+        with pytest.raises(ValueError):
+            RSSIField(TrainingDatabase(B, []), k=1)
+        with pytest.raises(ValueError):
+            RSSIField(db, k=0)
+
+
+class TestParticleFilter:
+    def make(self, db, seed=0, n=400):
+        return ParticleFilterTracker(
+            RSSIField(db), bounds=(0, 0, 50, 40), n_particles=n, speed_ft_s=3.0, rng=seed
+        )
+
+    def test_converges_to_static_target(self, db):
+        t = self.make(db)
+        target = Point(35, 15)
+        obs = walk_observations([target] * 25, noise=2.0, seed=7)
+        est = t.track(obs)[-1]
+        assert est.position.distance_to(target) < 8.0
+
+    def test_particles_stay_in_bounds(self, db):
+        t = self.make(db)
+        for o in walk_observations([Point(1, 1)] * 10, seed=8):
+            t.step(o)
+            assert (t._particles[:, 0] >= 0).all() and (t._particles[:, 0] <= 50).all()
+            assert (t._particles[:, 1] >= 0).all() and (t._particles[:, 1] <= 40).all()
+
+    def test_tracks_walk(self, db):
+        t = self.make(db, n=600)
+        path = straight_path()
+        ests = t.track(walk_observations(path, noise=2.0, seed=9))
+        tail = [e.position.distance_to(p) for e, p in zip(ests, path)][10:]
+        assert np.mean(tail) < 10.0
+
+    def test_reproducible_given_seed(self, db):
+        obs = walk_observations([Point(20, 20)] * 5, seed=10)
+        a = self.make(db, seed=42).track(obs)[-1]
+        b = self.make(db, seed=42).track(obs)[-1]
+        assert a.position == b.position
+
+    def test_silent_observation_is_motion_only(self, db):
+        t = self.make(db)
+        est = t.step(Observation(np.full((2, 4), np.nan)))
+        assert not est.valid  # nothing heard
+
+    def test_ess_and_resampling(self, db):
+        t = self.make(db)
+        for o in walk_observations([Point(25, 20)] * 5, seed=11):
+            t.step(o)
+        assert t.effective_sample_size() > t.n_particles / 4
+
+    def test_validation(self, db):
+        field = RSSIField(db)
+        with pytest.raises(ValueError):
+            ParticleFilterTracker(field, bounds=(10, 0, 0, 40))
+        with pytest.raises(ValueError):
+            ParticleFilterTracker(field, bounds=(0, 0, 50, 40), n_particles=5)
+        with pytest.raises(ValueError):
+            ParticleFilterTracker(field, bounds=(0, 0, 50, 40), speed_ft_s=0)

@@ -1,0 +1,225 @@
+"""Tests for the Training Database Generator and the .tdb format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Point
+from repro.core.locationmap import LocationMap
+from repro.core.trainingdb import (
+    LocationRecord,
+    TrainingDatabase,
+    TrainingDBError,
+    generate_training_db,
+)
+from repro.wiscan.collection import WiScanCollection
+from repro.wiscan.format import WiScanFile, WiScanRecord
+
+B1 = "02:00:5e:00:00:01"
+B2 = "02:00:5e:00:00:02"
+
+
+def record(name="p1", pos=(1.0, 2.0), samples=None):
+    if samples is None:
+        samples = np.array([[-50.0, -70.0], [-52.0, np.nan], [-48.0, -72.0]], dtype=np.float32)
+    return LocationRecord(name, Point(*pos), np.asarray(samples, dtype=np.float32))
+
+
+def small_db():
+    return TrainingDatabase([B1, B2], [record("p1"), record("p2", pos=(10.0, 0.0))])
+
+
+class TestLocationRecord:
+    def test_mean_ignores_nan(self):
+        r = record()
+        means = r.mean_rssi()
+        assert means[0] == pytest.approx(-50.0)
+        assert means[1] == pytest.approx(-71.0)
+
+    def test_std_floored(self):
+        constant = np.full((5, 1), -40.0, dtype=np.float32)
+        r = LocationRecord("x", Point(0, 0), constant)
+        assert r.std_rssi(min_std=0.5)[0] == 0.5
+
+    def test_never_heard_is_nan(self):
+        r = LocationRecord("x", Point(0, 0), np.full((3, 1), np.nan, dtype=np.float32))
+        assert np.isnan(r.mean_rssi()[0])
+        assert np.isnan(r.std_rssi()[0])
+
+    def test_detection_rate(self):
+        r = record()
+        assert r.detection_rate()[0] == 1.0
+        assert r.detection_rate()[1] == pytest.approx(2 / 3)
+
+    def test_empty_samples(self):
+        r = LocationRecord("x", Point(0, 0), np.zeros((0, 2), dtype=np.float32))
+        assert r.detection_rate().tolist() == [0.0, 0.0]
+
+    def test_requires_2d(self):
+        with pytest.raises(TrainingDBError):
+            LocationRecord("x", Point(0, 0), np.zeros(5, dtype=np.float32))
+
+
+class TestTrainingDatabase:
+    def test_access(self):
+        db = small_db()
+        assert len(db) == 2
+        assert db.locations() == ["p1", "p2"]
+        assert "p1" in db
+        assert db.record("p1").position == Point(1, 2)
+        with pytest.raises(KeyError):
+            db.record("zzz")
+
+    def test_duplicate_locations_rejected(self):
+        with pytest.raises(TrainingDBError):
+            TrainingDatabase([B1, B2], [record("p"), record("p")])
+
+    def test_duplicate_bssids_rejected(self):
+        with pytest.raises(TrainingDBError):
+            TrainingDatabase([B1, B1], [record()])
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(TrainingDBError):
+            TrainingDatabase([B1], [record()])  # record has 2 columns
+
+    def test_matrices(self):
+        db = small_db()
+        assert db.mean_matrix().shape == (2, 2)
+        assert db.std_matrix().shape == (2, 2)
+        assert db.positions().shape == (2, 2)
+        assert db.total_samples() == 6
+
+    def test_subset_aps(self):
+        db = small_db()
+        sub = db.subset_aps([B2])
+        assert sub.bssids == [B2]
+        assert sub.record("p1").samples.shape == (3, 1)
+        assert sub.record("p1").samples[0, 0] == pytest.approx(-70.0)
+
+    def test_bytes_roundtrip(self):
+        db = small_db()
+        back = TrainingDatabase.from_bytes(db.to_bytes())
+        assert back.bssids == db.bssids
+        assert back.locations() == db.locations()
+        for name in db.locations():
+            assert np.array_equal(
+                back.record(name).samples, db.record(name).samples, equal_nan=True
+            )
+            assert back.record(name).position == db.record(name).position
+
+    def test_file_roundtrip(self, tmp_path):
+        db = small_db()
+        path = tmp_path / "t.tdb"
+        size = db.save(path)
+        assert path.stat().st_size == size
+        loaded = TrainingDatabase.load(path)
+        assert loaded.locations() == db.locations()
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(TrainingDBError, match="magic"):
+            TrainingDatabase.from_bytes(b"NOPE!!" + b"\x00" * 10)
+
+    def test_rejects_corrupt_body(self):
+        blob = small_db().to_bytes()
+        corrupted = blob[:8] + bytes([blob[8] ^ 0xFF]) + blob[9:]
+        with pytest.raises(TrainingDBError):
+            TrainingDatabase.from_bytes(corrupted)
+
+    def test_rejects_truncated(self):
+        blob = small_db().to_bytes()
+        with pytest.raises(TrainingDBError):
+            TrainingDatabase.from_bytes(blob[: len(blob) - 4])
+
+    def test_unicode_names_roundtrip(self):
+        db = TrainingDatabase([B1, B2], [record("café-croissant ☕")])
+        assert TrainingDatabase.from_bytes(db.to_bytes()).locations() == ["café-croissant ☕"]
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, n_locs, n_samples, n_aps):
+        rng = np.random.default_rng(n_locs * 100 + n_samples * 10 + n_aps)
+        bssids = [f"02:00:00:00:00:{i:02x}" for i in range(n_aps)]
+        records = []
+        for i in range(n_locs):
+            samples = rng.uniform(-90, -30, size=(n_samples, n_aps)).astype(np.float32)
+            mask = rng.random((n_samples, n_aps)) < 0.2
+            samples[mask] = np.nan
+            records.append(LocationRecord(f"loc{i}", Point(float(i), 0.0), samples))
+        db = TrainingDatabase(bssids, records)
+        back = TrainingDatabase.from_bytes(db.to_bytes())
+        for name in db.locations():
+            assert np.array_equal(back.record(name).samples, db.record(name).samples, equal_nan=True)
+
+
+def make_collection():
+    sessions = {}
+    for name, pos in (("p1", (0.0, 0.0)), ("p2", (10.0, 0.0))):
+        records = [
+            WiScanRecord(float(t), b, "s", 6, -50.0 - t - 10 * j)
+            for t in range(3)
+            for j, b in enumerate([B1, B2])
+        ]
+        sessions[name] = WiScanFile(location=name, records=records, position=pos)
+    return WiScanCollection(sessions)
+
+
+class TestGenerator:
+    def test_generate_from_collection_and_map(self):
+        lm = LocationMap({"p1": Point(0, 0), "p2": Point(10, 0)})
+        db = generate_training_db(make_collection(), lm)
+        assert sorted(db.locations()) == ["p1", "p2"]
+        assert db.bssids == [B1, B2]
+        assert db.record("p2").position == Point(10, 0)
+        assert db.record("p1").samples.shape == (3, 2)
+
+    def test_strict_requires_map_entry(self):
+        lm = LocationMap({"p1": Point(0, 0)})
+        with pytest.raises(TrainingDBError, match="not in the location map"):
+            generate_training_db(make_collection(), lm)
+
+    def test_lenient_falls_back_to_header_position(self):
+        lm = LocationMap({"p1": Point(0, 0)})
+        db = generate_training_db(make_collection(), lm, strict=False)
+        assert db.record("p2").position == Point(10, 0)  # from wi-scan header
+
+    def test_map_position_overrides_header(self):
+        lm = LocationMap({"p1": Point(5, 5), "p2": Point(10, 0)})
+        db = generate_training_db(make_collection(), lm)
+        assert db.record("p1").position == Point(5, 5)
+
+    def test_writes_output_file(self, tmp_path):
+        lm = LocationMap({"p1": Point(0, 0), "p2": Point(10, 0)})
+        out = tmp_path / "db.tdb"
+        generate_training_db(make_collection(), lm, output=out)
+        assert TrainingDatabase.load(out).locations()
+
+    def test_from_directory_path(self, tmp_path):
+        coll_dir = tmp_path / "survey"
+        make_collection().save_directory(coll_dir)
+        lm_path = tmp_path / "map.txt"
+        LocationMap({"p1": Point(0, 0), "p2": Point(10, 0)}).save(lm_path)
+        db = generate_training_db(coll_dir, lm_path)
+        assert len(db) == 2
+
+    def test_from_zip_path(self, tmp_path):
+        zpath = make_collection().save_zip(tmp_path / "survey.zip")
+        lm = LocationMap({"p1": Point(0, 0), "p2": Point(10, 0)})
+        db = generate_training_db(zpath, lm)
+        assert len(db) == 2
+
+    def test_compression_beats_raw_text(self, tmp_path):
+        # The paper's §4.3 claim: the database is smaller than the files.
+        coll_dir = tmp_path / "survey"
+        coll = make_collection()
+        coll.save_directory(coll_dir)
+        raw = sum(p.stat().st_size for p in coll_dir.glob("*.wi-scan"))
+        out = tmp_path / "db.tdb"
+        lm = LocationMap({"p1": Point(0, 0), "p2": Point(10, 0)})
+        db = generate_training_db(coll, lm)
+        size = db.save(out)
+        assert size < raw

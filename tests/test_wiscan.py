@@ -1,0 +1,305 @@
+"""Tests for the wi-scan format, collections, and capture sessions."""
+
+import zipfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Point
+from repro.radio.environment import AccessPoint, RadioEnvironment
+from repro.radio.scanner import SimulatedScanner
+from repro.wiscan.capture import CaptureSession, SurveyPoint
+from repro.wiscan.collection import WiScanCollection, _safe_filename
+from repro.wiscan.format import (
+    WiScanFile,
+    WiScanFormatError,
+    WiScanRecord,
+    parse_wiscan,
+    render_wiscan,
+)
+
+BSSID1 = "02:00:5e:00:00:01"
+BSSID2 = "02:00:5e:00:00:02"
+
+
+def sample_session(location="kitchen", n=3):
+    records = []
+    for t in range(n):
+        records.append(WiScanRecord(float(t), BSSID1, "net-one", 6, -50.0 - t))
+        records.append(WiScanRecord(float(t), BSSID2, "net two", 11, -70.0 + t))
+    return WiScanFile(
+        location=location,
+        records=records,
+        position=(12.0, 30.5),
+        interval_s=1.0,
+        extra_headers={"tool": "test/1.0"},
+    )
+
+
+class TestRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WiScanRecord(-1.0, BSSID1, "x", 6, -50.0)
+        with pytest.raises(ValueError):
+            WiScanRecord(0.0, "not-a-mac", "x", 6, -50.0)
+        with pytest.raises(ValueError):
+            WiScanRecord(0.0, BSSID1, "x", 0, -50.0)
+        with pytest.raises(ValueError):
+            WiScanRecord(0.0, BSSID1, "x", 6, 5.0)
+
+    def test_bssid_normalized_lowercase(self):
+        r = WiScanRecord(0.0, BSSID1.upper(), "x", 6, -50.0)
+        assert r.bssid == BSSID1
+
+    def test_render_escapes_tabs(self):
+        r = WiScanRecord(0.0, BSSID1, "has\ttab", 6, -50.0)
+        assert "\\t" in r.render()
+        assert r.render().count("\t") == 4  # field separators only
+
+
+class TestFormatRoundTrip:
+    def test_roundtrip(self):
+        session = sample_session()
+        parsed = parse_wiscan(render_wiscan(session))
+        assert parsed.location == session.location
+        assert parsed.position == session.position
+        assert parsed.interval_s == session.interval_s
+        assert parsed.extra_headers["tool"] == "test/1.0"
+        assert parsed.records == session.records
+
+    def test_tab_ssid_roundtrip(self):
+        session = WiScanFile(
+            location="x",
+            records=[WiScanRecord(0.0, BSSID1, "a\tb\\c", 6, -50.0)],
+        )
+        parsed = parse_wiscan(render_wiscan(session))
+        assert parsed.records[0].ssid == "a\tb\\c"
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e4, allow_nan=False),
+                st.integers(min_value=1, max_value=14),
+                st.floats(min_value=-119.9, max_value=-1.0, allow_nan=False),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, rows):
+        records = [
+            WiScanRecord(round(t, 3), BSSID1, "s", ch, round(rssi, 1)) for t, ch, rssi in rows
+        ]
+        session = WiScanFile(location="p", records=records)
+        assert parse_wiscan(render_wiscan(session)).records == records
+
+
+class TestParseErrors:
+    def test_missing_magic(self):
+        with pytest.raises(WiScanFormatError):
+            parse_wiscan("# location: x\n")
+
+    def test_empty(self):
+        with pytest.raises(WiScanFormatError):
+            parse_wiscan("")
+
+    def test_missing_location(self):
+        with pytest.raises(WiScanFormatError, match="location"):
+            parse_wiscan("# wi-scan v1\n0.0\t" + BSSID1 + "\ts\t6\t-50.0\n")
+
+    def test_wrong_field_count(self):
+        text = "# wi-scan v1\n# location: x\n0.0\t" + BSSID1 + "\t-50.0\n"
+        with pytest.raises(WiScanFormatError, match="5 tab-separated"):
+            parse_wiscan(text)
+
+    def test_bad_position_header(self):
+        with pytest.raises(WiScanFormatError, match="position"):
+            parse_wiscan("# wi-scan v1\n# location: x\n# position: 1 2 3\n")
+
+    def test_bad_interval(self):
+        with pytest.raises(WiScanFormatError, match="interval"):
+            parse_wiscan("# wi-scan v1\n# location: x\n# interval: fast\n")
+
+    def test_error_carries_line_number(self):
+        text = "# wi-scan v1\n# location: x\nbroken line\twith\ttabs\n"
+        try:
+            parse_wiscan(text)
+            assert False
+        except WiScanFormatError as exc:
+            assert exc.line_no == 3
+
+    def test_free_comments_ignored(self):
+        text = "# wi-scan v1\n# location: x\n# just a note without colon format!!\n"
+        assert parse_wiscan(text).location == "x"
+
+    def test_blank_lines_ignored(self):
+        text = "# wi-scan v1\n\n# location: x\n\n"
+        assert parse_wiscan(text).location == "x"
+
+
+class TestSessionHelpers:
+    def test_bssids_first_appearance_order(self):
+        s = sample_session()
+        assert s.bssids() == [BSSID1, BSSID2]
+
+    def test_rssi_matrix(self):
+        s = sample_session(n=3)
+        m = s.rssi_matrix([BSSID2, BSSID1])
+        assert m.shape == (3, 2)
+        assert m[0, 1] == -50.0  # BSSID1 at t=0
+        assert m[0, 0] == -70.0
+
+    def test_rssi_matrix_missing_ap_nan(self):
+        s = sample_session()
+        m = s.rssi_matrix([BSSID1, "ff:ff:ff:ff:ff:ff"])
+        assert np.isnan(m[:, 1]).all()
+
+    def test_duration(self):
+        assert sample_session(n=5).duration_s() == 4.0
+        assert WiScanFile(location="x").duration_s() == 0.0
+
+
+class TestCollection:
+    def test_directory_roundtrip(self, tmp_path):
+        coll = WiScanCollection({"a": sample_session("a"), "b room": sample_session("b room")})
+        coll.save_directory(tmp_path / "survey")
+        loaded = WiScanCollection.load(tmp_path / "survey")
+        assert sorted(loaded.locations()) == ["a", "b room"]
+        assert loaded.session("b room").records == sample_session().records
+
+    def test_nested_directory(self, tmp_path):
+        root = tmp_path / "survey"
+        (root / "floor1").mkdir(parents=True)
+        (root / "floor1" / "a.wi-scan").write_text(render_wiscan(sample_session("a")))
+        (root / "b.wi-scan").write_text(render_wiscan(sample_session("b")))
+        loaded = WiScanCollection.from_directory(root)
+        assert sorted(loaded.locations()) == ["a", "b"]
+
+    def test_zip_roundtrip(self, tmp_path):
+        coll = WiScanCollection({"a": sample_session("a")})
+        zpath = coll.save_zip(tmp_path / "survey.zip")
+        loaded = WiScanCollection.load(zpath)
+        assert loaded.locations() == ["a"]
+
+    def test_zip_ignores_non_wiscan_members(self, tmp_path):
+        zpath = tmp_path / "s.zip"
+        with zipfile.ZipFile(zpath, "w") as zf:
+            zf.writestr("a.wi-scan", render_wiscan(sample_session("a")))
+            zf.writestr("notes.txt", "hello")
+        assert WiScanCollection.load(zpath).locations() == ["a"]
+
+    def test_directory_ignores_other_files(self, tmp_path):
+        root = tmp_path / "s"
+        root.mkdir()
+        (root / "a.wi-scan").write_text(render_wiscan(sample_session("a")))
+        (root / "plan.gif").write_bytes(b"GIF89a junk")
+        assert WiScanCollection.load(root).locations() == ["a"]
+
+    def test_empty_collection_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(WiScanFormatError):
+            WiScanCollection.load(tmp_path / "empty")
+
+    def test_missing_source(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            WiScanCollection.load(tmp_path / "nope")
+
+    def test_plain_file_rejected(self, tmp_path):
+        p = tmp_path / "x.txt"
+        p.write_text("hi")
+        with pytest.raises(WiScanFormatError):
+            WiScanCollection.load(p)
+
+    def test_same_location_merges(self, tmp_path):
+        root = tmp_path / "s"
+        root.mkdir()
+        (root / "visit1.wi-scan").write_text(render_wiscan(sample_session("spot", n=2)))
+        (root / "visit2.wi-scan").write_text(render_wiscan(sample_session("spot", n=3)))
+        loaded = WiScanCollection.load(root)
+        assert len(loaded) == 1
+        merged = loaded.session("spot")
+        assert len(merged.records) == (2 + 3) * 2
+        # Timestamps must not collide after merge.
+        times = [(r.time_s, r.bssid) for r in merged.records]
+        assert len(set(times)) == len(times)
+
+    def test_conflicting_positions_rejected(self, tmp_path):
+        root = tmp_path / "s"
+        root.mkdir()
+        a = sample_session("spot")
+        b = sample_session("spot")
+        object.__setattr__(b, "position", (99.0, 99.0)) if False else None
+        b.position = (99.0, 99.0)
+        (root / "v1.wi-scan").write_text(render_wiscan(a))
+        (root / "v2.wi-scan").write_text(render_wiscan(b))
+        with pytest.raises(WiScanFormatError, match="conflicting"):
+            WiScanCollection.load(root)
+
+    def test_all_bssids_union(self):
+        coll = WiScanCollection({"a": sample_session("a")})
+        assert coll.all_bssids() == [BSSID1, BSSID2]
+
+    def test_total_records(self):
+        coll = WiScanCollection({"a": sample_session("a", n=4)})
+        assert coll.total_records() == 8
+
+    def test_unknown_location(self):
+        coll = WiScanCollection({"a": sample_session("a")})
+        with pytest.raises(KeyError):
+            coll.session("zzz")
+
+    def test_safe_filename(self):
+        assert _safe_filename("room D22") == "room_D22"
+        assert _safe_filename("a/b\\c") == "a_b_c"
+        assert _safe_filename("") == "unnamed"
+
+
+class TestCaptureSession:
+    @pytest.fixture(scope="class")
+    def scanner(self):
+        aps = [AccessPoint("A", Point(0, 0)), AccessPoint("B", Point(30, 0)), AccessPoint("C", Point(15, 25))]
+        return SimulatedScanner(RadioEnvironment(aps, seed=0))
+
+    def test_capture_point(self, scanner):
+        cs = CaptureSession(scanner, dwell_s=5.0)
+        session = cs.capture_point(SurveyPoint("p1", Point(10, 10)), rng=0)
+        assert session.location == "p1"
+        assert session.position == (10.0, 10.0)
+        assert session.interval_s == 1.0
+        assert len(session.records) > 0
+        assert session.extra_headers["tool"].startswith("repro-simscan")
+
+    def test_capture_survey_independent_streams(self, scanner):
+        cs = CaptureSession(scanner, dwell_s=5.0)
+        pts = [SurveyPoint("a", Point(5, 5)), SurveyPoint("b", Point(20, 10))]
+        c1 = cs.capture_survey(pts, rng=0)
+        # Reordering must not change a point's samples.
+        c2 = cs.capture_survey(list(reversed(pts)), rng=0)
+        m1 = c1.session("a").rssi_matrix(c1.all_bssids())
+        m2 = c2.session("a").rssi_matrix(c1.all_bssids())
+        assert np.array_equal(m1, m2, equal_nan=True)
+
+    def test_duplicate_names_rejected(self, scanner):
+        cs = CaptureSession(scanner)
+        pts = [SurveyPoint("a", Point(0, 0)), SurveyPoint("a", Point(1, 1))]
+        with pytest.raises(ValueError):
+            cs.capture_survey(pts, rng=0)
+
+    def test_empty_survey_rejected(self, scanner):
+        with pytest.raises(ValueError):
+            CaptureSession(scanner).capture_survey([], rng=0)
+
+    def test_validation(self, scanner):
+        with pytest.raises(ValueError):
+            CaptureSession(scanner, dwell_s=0)
+        with pytest.raises(ValueError):
+            SurveyPoint("", Point(0, 0))
+
+    def test_files_parse_back(self, scanner, tmp_path):
+        cs = CaptureSession(scanner, dwell_s=4.0)
+        coll = cs.capture_survey([SurveyPoint("spot x", Point(3, 3))], rng=1)
+        coll.save_directory(tmp_path)
+        loaded = WiScanCollection.load(tmp_path)
+        assert loaded.locations() == ["spot x"]
