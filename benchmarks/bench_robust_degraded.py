@@ -1,0 +1,78 @@
+"""ROBUST-DEGRADED — the fallback chain under AP dropout.
+
+The §5.2 geometric approach needs every AP ranged: under the paper's
+4-AP protocol a single silenced AP (a powered-off unit, a new obstacle)
+drops its validity to zero.  This bench injects exactly that fault —
+one random AP removed from every observation — and compares the
+geometric-only baseline against the degraded-mode fallback chain
+(geometric → probabilistic → nearest training point).
+
+Acceptance (ISSUE): chain validity must beat the geometric baseline,
+and every chain answer must carry diagnostics naming the tier that
+produced it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+from conftest import record
+
+from repro.algorithms import FallbackLocalizer, make_localizer
+from repro.experiments.metrics import ExperimentMetrics
+from repro.robustness import APDropout, inject_observation
+
+EXP_ID = "ROBUST-DEGRADED"
+
+
+def run_degraded(house, training_db, test_points, observations):
+    aps = house.ap_positions_by_bssid()
+    # Paper protocol: §5.2 ranges all four APs; min_aps=4 encodes that.
+    geometric = make_localizer("geometric", ap_positions=aps, min_aps=4).fit(training_db)
+    chain = FallbackLocalizer(ap_positions=aps, bounds=house.bounds()).fit(training_db)
+
+    rng = np.random.default_rng(42)
+    degraded = [inject_observation(o, [APDropout(k=1)], rng) for o in observations]
+
+    geo_est = [geometric.locate(o) for o in degraded]
+    chain_est = [chain.locate(o) for o in degraded]
+    tiers = Counter(e.details.get("tier") for e in chain_est if e.valid)
+    return {
+        "healthy_geo": ExperimentMetrics.compute(
+            test_points, [geometric.locate(o) for o in observations]
+        ),
+        "geo": ExperimentMetrics.compute(test_points, geo_est),
+        "chain": ExperimentMetrics.compute(test_points, chain_est),
+        "tiers": tiers,
+        "chain_est": chain_est,
+    }
+
+
+def test_robust_degraded(benchmark, house, training_db, test_points, observations):
+    results = benchmark.pedantic(
+        run_degraded,
+        args=(house, training_db, test_points, observations),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["One-of-four AP dropout (every observation loses one AP)"]
+    lines.append(results["healthy_geo"].row("geometric (healthy)"))
+    lines.append(results["geo"].row("geometric (dropout)"))
+    lines.append(results["chain"].row("fallback chain"))
+    lines.append(
+        "answering tiers: "
+        + ", ".join(f"{t}={n}" for t, n in sorted(results["tiers"].items()))
+    )
+    record(EXP_ID, "\n".join(lines))
+
+    # The acceptance bar: the chain must beat the geometric-only baseline.
+    assert results["chain"].valid_rate > results["geo"].valid_rate
+    # With the paper's all-APs protocol, one dropout zeroes geometric.
+    assert results["geo"].valid_rate == 0.0
+    # Every chain answer names the tier that produced it.
+    for est in results["chain_est"]:
+        if est.valid:
+            assert est.details.get("tier") in ("geometric", "probabilistic", "nearest")
+            assert "declined" in est.details

@@ -25,6 +25,7 @@ inventory, and EXPERIMENTS.md for paper-vs-measured numbers.
 __version__ = "1.0.0"
 
 from repro.algorithms import (
+    FallbackLocalizer,
     FieldMLELocalizer,
     GeometricLocalizer,
     HistogramLocalizer,
@@ -54,11 +55,13 @@ from repro.core import (
 )
 from repro.experiments import ExperimentHouse, HouseConfig, run_protocol
 from repro.radio import AccessPoint, RadioEnvironment, SimulatedScanner, Wall
+from repro.robustness import IngestReport
 from repro.wiscan import CaptureSession, WiScanCollection
 
 __all__ = [
     "__version__",
     # algorithms
+    "FallbackLocalizer",
     "FieldMLELocalizer",
     "GeometricLocalizer",
     "HistogramLocalizer",
@@ -95,4 +98,6 @@ __all__ = [
     "Wall",
     "CaptureSession",
     "WiScanCollection",
+    # robustness
+    "IngestReport",
 ]

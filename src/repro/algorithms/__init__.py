@@ -25,6 +25,9 @@ its related-work and future-work sections call for:
   interpolated radio map (the §6.2 "finer-grained" processing).
 * :mod:`repro.algorithms.tracking` — §6.2 temporal filters (discrete
   Bayes, Kalman, particle) layered over any static localizer.
+* :mod:`repro.algorithms.fallback` — degraded-mode tiered chain
+  (geometric → probabilistic → nearest training point) with per-request
+  decline diagnostics; see docs/robustness.md.
 
 Every algorithm implements the :class:`~repro.algorithms.base.Localizer`
 interface: ``fit(TrainingDatabase)`` then ``locate(Observation)``.
@@ -35,6 +38,7 @@ from repro.algorithms.base import (
     Localizer,
     Observation,
     available_algorithms,
+    invalid_estimate,
     make_localizer,
     register_algorithm,
 )
@@ -47,12 +51,14 @@ from repro.algorithms.sector import SectorLocalizer
 from repro.algorithms.scene import SceneAnalysisLocalizer
 from repro.algorithms.rank import RankLocalizer
 from repro.algorithms.fieldmle import FieldMLELocalizer
+from repro.algorithms.fallback import FallbackLocalizer
 
 __all__ = [
     "LocationEstimate",
     "Localizer",
     "Observation",
     "available_algorithms",
+    "invalid_estimate",
     "make_localizer",
     "register_algorithm",
     "ProbabilisticLocalizer",
@@ -64,4 +70,5 @@ __all__ = [
     "SceneAnalysisLocalizer",
     "RankLocalizer",
     "FieldMLELocalizer",
+    "FallbackLocalizer",
 ]

@@ -137,6 +137,18 @@ class LocationEstimate:
         return self.position.distance_to(true_position)
 
 
+def invalid_estimate(reason: str, **details) -> LocationEstimate:
+    """A positionless, invalid estimate carrying a machine-readable reason.
+
+    The toolkit-wide convention for declining to answer: ``reason`` goes
+    in ``details["reason"]`` where the CLI, the fallback chain and the
+    benchmarks all look for it.
+    """
+    return LocationEstimate(
+        position=None, valid=False, details={"reason": reason, **details}
+    )
+
+
 class Localizer(abc.ABC):
     """Phase-1 fit / Phase-2 locate, the toolkit's algorithm contract."""
 

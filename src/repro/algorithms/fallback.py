@@ -1,0 +1,189 @@
+"""Degraded-mode localization: a tiered fallback chain.
+
+§5.1 reports that only about 60 % of observations produce a valid
+estimate, and §5.2's geometric approach needs every AP ranged — a
+single silenced AP turns a working deployment into one that answers
+nothing.  A production system cannot shrug; it must degrade.
+
+:class:`FallbackLocalizer` chains localizers from most-precise to
+most-robust (by default geometric → probabilistic → nearest training
+point) and answers with the first tier willing to commit, recording
+*why* each upper tier declined — AP dropout leaving too few ranged
+APs, out-of-bounds intersections, likelihood underflow — so operators
+can see not just the answer but the health of the deployment that
+produced it.  The diagnostics ride in ``LocationEstimate.details``
+(``tier``, ``declined``) and surface through
+:meth:`repro.core.system.LocalizationSystem.locate` as
+``ResolvedLocation.diagnostics``.
+
+Tier failures at *fit* time (e.g. the geometric tier with too few
+usable SS↔distance fits) quarantine the tier rather than abort: a
+degraded chain that can still answer beats a perfect chain that never
+trained.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.algorithms.base import (
+    LocationEstimate,
+    Localizer,
+    Observation,
+    invalid_estimate,
+    make_localizer,
+    register_algorithm,
+)
+from repro.core.trainingdb import TrainingDatabase
+
+#: Default tier order: precise-but-brittle first, coarse-but-sturdy last.
+DEFAULT_CHAIN = ("geometric", "probabilistic", "nearest")
+
+
+def _tier_name(tier: Localizer) -> str:
+    return tier.name or type(tier).__name__
+
+
+@register_algorithm("fallback")
+class FallbackLocalizer(Localizer):
+    """First-willing-tier chain with per-request decline diagnostics.
+
+    Parameters
+    ----------
+    tiers:
+        Localizer instances or registry names, tried in order.  The
+        string ``"nearest"`` is shorthand for 1-NN in signal space (the
+        nearest-training-point tier, which answers whenever any AP at
+        all is heard).  Defaults to :data:`DEFAULT_CHAIN`; the
+        geometric tier is silently omitted when no ``ap_positions``
+        are available (it cannot even be constructed without them).
+    ap_positions:
+        BSSID → floor position, forwarded to tiers that need ranging
+        geometry (``geometric``, ``multilateration``).
+    bounds:
+        Optional ``(x0, y0, x1, y1)`` site rectangle (feet).  A tier
+        whose answer lands outside it (plus ``bounds_margin_ft``) is
+        treated as declined with an out-of-bounds reason — noisy
+        ranging routinely intersects circles far off-site.
+    bounds_margin_ft:
+        Slack added around ``bounds`` before an answer is rejected.
+    min_score:
+        Optional floor on a tier's ``score``; answers scoring below it
+        (e.g. a collapsed log-likelihood) decline as underflow.
+    """
+
+    def __init__(
+        self,
+        tiers: Optional[Sequence[Union[str, Localizer]]] = None,
+        ap_positions: Optional[Dict[str, object]] = None,
+        bounds: Optional[Tuple[float, float, float, float]] = None,
+        bounds_margin_ft: float = 10.0,
+        min_score: Optional[float] = None,
+    ):
+        if bounds is not None and (bounds[2] <= bounds[0] or bounds[3] <= bounds[1]):
+            raise ValueError(f"bounds must be (x0, y0, x1, y1) with x1 > x0, y1 > y0: {bounds}")
+        if bounds_margin_ft < 0:
+            raise ValueError(f"bounds_margin_ft must be non-negative, got {bounds_margin_ft}")
+        self.bounds = bounds
+        self.bounds_margin_ft = float(bounds_margin_ft)
+        self.min_score = min_score
+        self.tiers = self._build_tiers(tiers, ap_positions)
+        if not self.tiers:
+            raise ValueError("fallback chain needs at least one constructible tier")
+        self._fitted: Optional[List[Localizer]] = None
+        #: tier name → error message for tiers dropped during fit().
+        self.fit_errors: Dict[str, str] = {}
+
+    @staticmethod
+    def _build_tiers(
+        tiers: Optional[Sequence[Union[str, Localizer]]],
+        ap_positions: Optional[Dict[str, object]],
+    ) -> List[Localizer]:
+        spec = list(tiers) if tiers is not None else list(DEFAULT_CHAIN)
+        built: List[Localizer] = []
+        for t in spec:
+            if isinstance(t, Localizer):
+                built.append(t)
+                continue
+            if t == "nearest":
+                # Last-resort tier: answers as long as any AP is heard.
+                built.append(make_localizer("knn", k=1, min_heard=1))
+                built[-1].name = "nearest"  # instance-level display name
+                continue
+            kwargs = {}
+            if t in ("geometric", "multilateration"):
+                if ap_positions is None:
+                    if tiers is None:
+                        continue  # default chain degrades gracefully
+                    raise ValueError(f"tier {t!r} needs ap_positions")
+                kwargs["ap_positions"] = ap_positions
+            built.append(make_localizer(t, **kwargs))
+        return built
+
+    # ------------------------------------------------------------------
+    def fit(self, db: TrainingDatabase) -> "FallbackLocalizer":
+        self._fitted = []
+        self.fit_errors = {}
+        for tier in self.tiers:
+            try:
+                tier.fit(db)
+            except (ValueError, RuntimeError) as exc:
+                self.fit_errors[_tier_name(tier)] = str(exc)
+                continue
+            self._fitted.append(tier)
+        if not self._fitted:
+            raise ValueError(
+                f"no fallback tier survived fitting: {self.fit_errors}"
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    def _decline_reason(self, tier: Localizer, est: LocationEstimate) -> Optional[str]:
+        """Why this tier's answer is not good enough, or None if it is."""
+        if not est.valid:
+            reason = est.details.get("reason")
+            if reason is None and "common_aps" in est.details:
+                reason = f"only {est.details['common_aps']} common AP(s)"
+            return str(reason) if reason else "invalid estimate"
+        if est.position is None and est.location_name is None:
+            return "no position or location name"
+        if self.min_score is not None and est.score < self.min_score:
+            return f"score underflow ({est.score:.3g} < {self.min_score:.3g})"
+        if self.bounds is not None and est.position is not None:
+            x0, y0, x1, y1 = self.bounds
+            m = self.bounds_margin_ft
+            p = est.position
+            if not (x0 - m <= p.x <= x1 + m and y0 - m <= p.y <= y1 + m):
+                return f"out-of-bounds estimate ({p.x:.1f}, {p.y:.1f})"
+        return None
+
+    def locate(self, observation: Observation) -> LocationEstimate:
+        self._check_fitted("_fitted")
+        declined: List[Dict[str, str]] = [
+            {"tier": name, "reason": f"fit failed: {msg}"}
+            for name, msg in self.fit_errors.items()
+        ]
+        for tier in self._fitted:
+            name = _tier_name(tier)
+            try:
+                est = tier.locate(observation)
+            except (ValueError, RuntimeError) as exc:
+                declined.append({"tier": name, "reason": f"error: {exc}"})
+                continue
+            reason = self._decline_reason(tier, est)
+            if reason is not None:
+                declined.append({"tier": name, "reason": reason})
+                continue
+            details = dict(est.details)
+            details["tier"] = name
+            details["declined"] = declined
+            return LocationEstimate(
+                position=est.position,
+                location_name=est.location_name,
+                score=est.score,
+                valid=True,
+                details=details,
+            )
+        return invalid_estimate("all fallback tiers declined", tier=None, declined=declined)

@@ -37,6 +37,7 @@ from repro.algorithms.base import (
     LocationEstimate,
     Localizer,
     Observation,
+    invalid_estimate,
     register_algorithm,
 )
 from repro.algorithms.regression import FitResult, fit_per_ap
@@ -155,10 +156,8 @@ class GeometricLocalizer(Localizer):
         self._check_fitted("_fits")
         distances = self.estimate_distances(observation)
         if len(distances) < self.min_aps:
-            return LocationEstimate(
-                position=None,
-                valid=False,
-                details={"reason": f"only {len(distances)} ranged AP(s)", "distances": distances},
+            return invalid_estimate(
+                f"only {len(distances)} ranged AP(s)", distances=distances
             )
 
         # Ring order: configured AP order restricted to the ranged set.
@@ -176,10 +175,8 @@ class GeometricLocalizer(Localizer):
             intersections.append(self._pick_candidate(candidates, others))
 
         if len(intersections) < 2:
-            return LocationEstimate(
-                position=None,
-                valid=False,
-                details={"reason": "fewer than 2 circle-pair intersections", "distances": distances},
+            return invalid_estimate(
+                "fewer than 2 circle-pair intersections", distances=distances
             )
         position = self._AGGREGATORS[self.aggregator](intersections)
         residual = float(

@@ -44,16 +44,30 @@ class KNNLocalizer(Localizer):
     weighted:
         If True, neighbours are weighted by inverse signal distance
         (the common WKNN variant).
+    min_heard:
+        Minimum APs heard in the observation for a valid answer.  The
+        default 2 matches the other fingerprinting methods; the
+        fallback chain's nearest-training-point tier runs with 1 so it
+        can answer as long as *anything* is audible.
     """
 
-    def __init__(self, k: int = 3, mismatch_penalty_db: float = 12.0, weighted: bool = False):
+    def __init__(
+        self,
+        k: int = 3,
+        mismatch_penalty_db: float = 12.0,
+        weighted: bool = False,
+        min_heard: int = 2,
+    ):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if mismatch_penalty_db < 0:
             raise ValueError(f"mismatch penalty must be non-negative, got {mismatch_penalty_db}")
+        if min_heard < 1:
+            raise ValueError(f"min_heard must be >= 1, got {min_heard}")
         self.k = int(k)
         self.mismatch_penalty_db = float(mismatch_penalty_db)
         self.weighted = bool(weighted)
+        self.min_heard = int(min_heard)
         self._db: Optional[TrainingDatabase] = None
         self._means: Optional[np.ndarray] = None
 
@@ -134,7 +148,7 @@ class KNNLocalizer(Localizer):
                     position=Point(float(est[m, 0]), float(est[m, 1])),
                     location_name=nearest.name if k == 1 else None,
                     score=-float(neighbor_d[m, 0]),
-                    valid=bool(np.isfinite(aligned.mean_rssi()).sum() >= 2),
+                    valid=bool(np.isfinite(aligned.mean_rssi()).sum() >= self.min_heard),
                     details={
                         "neighbors": [self._db.records[int(i)].name for i in idx[m]],
                         "signal_distances_db": neighbor_d[m],
@@ -157,7 +171,7 @@ class KNNLocalizer(Localizer):
             w = np.full(k, 1.0 / k)
         est = (positions * w[:, None]).sum(axis=0)
         nearest = self._db.records[int(idx[0])]
-        valid = bool(np.isfinite(observation.mean_rssi()).sum() >= 2)
+        valid = bool(np.isfinite(observation.mean_rssi()).sum() >= self.min_heard)
         return LocationEstimate(
             position=Point(float(est[0]), float(est[1])),
             location_name=nearest.name if k == 1 else None,

@@ -159,12 +159,23 @@ def generator_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--lenient",
         action="store_true",
-        help="allow sessions missing from the map to use their wi-scan position header",
+        help="recover from damaged survey data (skip bad lines, quarantine bad "
+        "files, report what was dropped) and allow sessions missing from the "
+        "map to use their wi-scan position header",
+    )
+    parser.add_argument(
+        "--ingest-report",
+        metavar="PATH",
+        help="also write the ingest report (files read/kept/skipped/quarantined) to PATH",
     )
     args = parser.parse_args(argv)
     try:
         db = generate_training_db(
-            args.collection, args.location_map, output=args.output, strict=not args.lenient
+            args.collection,
+            args.location_map,
+            output=args.output,
+            strict=not args.lenient,
+            lenient=args.lenient,
         )
     except (TrainingDBError, OSError, ValueError) as exc:
         _fail(str(exc))
@@ -173,6 +184,14 @@ def generator_main(argv: Optional[Sequence[str]] = None) -> int:
         f"wrote {args.output}: {len(db)} locations, {len(db.bssids)} APs, "
         f"{db.total_samples()} sweeps, {size} bytes"
     )
+    report = db.ingest_report
+    if report is not None and (args.lenient or not report.clean):
+        print(report.summary())
+    if args.ingest_report:
+        if report is None:
+            _fail("--ingest-report needs a file-based collection (directory or zip)")
+        Path(args.ingest_report).write_text(report.summary() + "\n", encoding="utf-8")
+        print(f"wrote ingest report to {args.ingest_report}")
     return 0
 
 
@@ -184,7 +203,8 @@ def locate_main(argv: Optional[Sequence[str]] = None) -> int:
 
     from repro.algorithms.base import Observation, available_algorithms, make_localizer
     from repro.core.floorplan import FloorPlan
-    from repro.core.system import ap_positions_by_bssid
+    from repro.core.floorplan import FloorPlanError
+    from repro.core.system import ap_positions_by_bssid, site_bounds
     from repro.core.trainingdb import TrainingDatabase
     from repro.wiscan.format import parse_wiscan
 
@@ -203,29 +223,53 @@ def locate_main(argv: Optional[Sequence[str]] = None) -> int:
         "--plan",
         help="annotated floor-plan GIF (needed for geometric/multilateration AP positions)",
     )
+    parser.add_argument(
+        "--fallback",
+        action="store_true",
+        help="use the degraded-mode fallback chain (geometric when --plan is "
+        "given, then probabilistic, then nearest training point) and print "
+        "which tier answered",
+    )
+    parser.add_argument(
+        "--lenient",
+        action="store_true",
+        help="parse the observation in recovering mode (skip bad lines)",
+    )
     args = parser.parse_args(argv)
 
     try:
         db = TrainingDatabase.load(args.database)
         session = parse_wiscan(
-            Path(args.observation).read_text(encoding="utf-8"), source=args.observation
+            Path(args.observation).read_text(encoding="utf-8"),
+            source=args.observation,
+            recover=args.lenient,
         )
     except (ValueError, OSError) as exc:
         _fail(str(exc))
 
+    algorithm = "fallback" if args.fallback else args.algorithm
     kwargs = {}
-    if args.algorithm in ("geometric", "multilateration"):
+    needs_plan = algorithm in ("geometric", "multilateration")
+    if needs_plan or (args.fallback and args.plan):
         if not args.plan:
-            _fail(f"algorithm {args.algorithm!r} needs --plan for AP positions")
+            _fail(f"algorithm {algorithm!r} needs --plan for AP positions")
         plan = FloorPlan.load(args.plan)
         kwargs["ap_positions"] = ap_positions_by_bssid(plan, db)
+        if args.fallback:
+            try:
+                kwargs["bounds"] = site_bounds(plan)
+            except FloorPlanError:
+                pass  # un-framed plan: chain runs without bounds
     try:
-        localizer = make_localizer(args.algorithm, **kwargs).fit(db)
+        localizer = make_localizer(algorithm, **kwargs).fit(db)
     except (KeyError, ValueError) as exc:
         _fail(str(exc))
 
     observation = Observation(session.rssi_matrix(db.bssids), bssids=db.bssids)
     estimate = localizer.locate(observation)
+    declined = estimate.details.get("declined") or ()
+    for d in declined:
+        print(f"tier {d['tier']} declined: {d['reason']}")
     if not estimate.valid or estimate.position is None:
         reason = estimate.details.get("reason", "insufficient data")
         print(f"no valid estimate ({reason})")
@@ -233,6 +277,8 @@ def locate_main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"estimated position: ({estimate.position.x:.2f}, {estimate.position.y:.2f}) ft")
     if estimate.location_name:
         print(f"estimated location: {estimate.location_name}")
+    if args.fallback:
+        print(f"answered by tier: {estimate.details.get('tier')}")
     return 0
 
 

@@ -22,7 +22,7 @@ import numpy as np
 if TYPE_CHECKING:  # import cycle guard: algorithms.base imports core.geometry
     from repro.algorithms.base import LocationEstimate, Localizer, Observation
 
-from repro.core.floorplan import FloorPlan
+from repro.core.floorplan import FloorPlan, FloorPlanError
 from repro.core.geometry import Point
 from repro.core.locationmap import LocationMap
 from repro.core.trainingdb import TrainingDatabase, generate_training_db
@@ -44,6 +44,21 @@ class ResolvedLocation:
     @property
     def valid(self) -> bool:
         return self.estimate.valid
+
+    @property
+    def diagnostics(self) -> Dict[str, object]:
+        """Algorithm-reported request diagnostics (``estimate.details``).
+
+        For the fallback chain this carries ``tier`` (who answered) and
+        ``declined`` (who passed, and why); see docs/robustness.md.
+        """
+        return self.estimate.details
+
+    @property
+    def tier(self) -> Optional[str]:
+        """Name of the fallback tier that answered (None outside chains)."""
+        tier = self.estimate.details.get("tier")
+        return tier if isinstance(tier, str) else None
 
 
 class LocalizationSystem:
@@ -73,20 +88,25 @@ class LocalizationSystem:
         location_map: Union[str, LocationMap],
         algorithm: Union[str, Localizer] = "probabilistic",
         plan: Optional[FloorPlan] = None,
+        lenient: bool = False,
         **algorithm_kwargs,
     ) -> "LocalizationSystem":
         """Phase 1: survey data + location map (+ plan) → working system.
 
         ``algorithm`` may be a registry name (``"probabilistic"``,
         ``"geometric"``, …) or a pre-built localizer.  Algorithms that
-        need AP positions (geometric, multilateration) take them from
-        the annotated floor plan automatically when ``plan`` is given
-        and ``ap_positions`` isn't passed explicitly.
+        need AP positions (geometric, multilateration, the fallback
+        chain's geometric tier) take them from the annotated floor plan
+        automatically when ``plan`` is given and ``ap_positions`` isn't
+        passed explicitly.  ``lenient=True`` ingests the survey in
+        recovering mode (skip/quarantine instead of abort); the
+        resulting :class:`~repro.robustness.report.IngestReport` is
+        available as ``system.training_db.ingest_report``.
         """
         from repro.algorithms.base import Localizer, make_localizer
 
         lmap = location_map if isinstance(location_map, LocationMap) else LocationMap.load(location_map)
-        db = generate_training_db(collection, lmap)
+        db = generate_training_db(collection, lmap, lenient=lenient)
         if isinstance(algorithm, Localizer):
             localizer = algorithm
         else:
@@ -100,6 +120,19 @@ class LocalizationSystem:
                         "annotated floor plan"
                     )
                 algorithm_kwargs["ap_positions"] = ap_positions_by_bssid(plan, db)
+            elif (
+                algorithm == "fallback"
+                and "ap_positions" not in algorithm_kwargs
+                and plan is not None
+            ):
+                # Optional for the chain: without a plan the geometric
+                # tier is simply omitted rather than failing training.
+                algorithm_kwargs["ap_positions"] = ap_positions_by_bssid(plan, db)
+                if "bounds" not in algorithm_kwargs:
+                    try:
+                        algorithm_kwargs["bounds"] = site_bounds(plan)
+                    except FloorPlanError:
+                        pass  # un-framed plan: chain runs without bounds
             localizer = make_localizer(algorithm, **algorithm_kwargs)
         localizer.fit(db)
         return cls(localizer, db, location_map=lmap, plan=plan)
@@ -151,3 +184,21 @@ def ap_positions_by_bssid(plan: FloorPlan, db: TrainingDatabase) -> Dict[str, Po
         f"{db.bssids}; annotate the plan with BSSIDs, or with exactly one "
         "AP per BSSID in survey order"
     )
+
+
+def site_bounds(plan: FloorPlan) -> "tuple[float, float, float, float]":
+    """The plan image's extent as an ``(x0, y0, x1, y1)`` floor-feet box.
+
+    The fallback chain uses this to reject off-site answers; raises
+    :class:`~repro.core.floorplan.FloorPlanError` when the plan has no
+    origin/scale frame yet.
+    """
+    from repro.core.floorplan import PixelPoint
+
+    corners = (
+        plan.to_floor(PixelPoint(0, 0)),
+        plan.to_floor(PixelPoint(plan.image.width - 1, plan.image.height - 1)),
+    )
+    xs = sorted(p.x for p in corners)
+    ys = sorted(p.y for p in corners)
+    return (xs[0], ys[0], xs[1], ys[1])

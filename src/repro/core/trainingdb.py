@@ -91,6 +91,10 @@ class LocationRecord:
 class TrainingDatabase:
     """The §4.3 product: locations × APs observation records."""
 
+    #: Ingest audit trail when built by :func:`generate_training_db`
+    #: from survey files (None for .tdb loads / in-memory builds).
+    ingest_report = None
+
     def __init__(self, bssids: Sequence[str], records: Sequence[LocationRecord]):
         self.bssids = list(bssids)
         if len(set(self.bssids)) != len(self.bssids):
@@ -234,6 +238,7 @@ def generate_training_db(
     location_map: Union[PathLike, LocationMap],
     output: Optional[PathLike] = None,
     strict: bool = True,
+    lenient: bool = False,
 ) -> TrainingDatabase:
     """The Training Database Generator program (§4.3).
 
@@ -252,11 +257,16 @@ def generate_training_db(
         information"); when False, unmapped sessions fall back to the
         position recorded in their wi-scan header, and sessions with
         neither are rejected.
+    lenient:
+        When True, a path ``collection`` is ingested in recovering mode
+        (bad lines skipped, bad files quarantined) instead of
+        all-or-nothing; the ingest audit trail is attached to the
+        returned database as ``db.ingest_report``.
     """
     coll = (
         collection
         if isinstance(collection, WiScanCollection)
-        else WiScanCollection.load(collection)
+        else WiScanCollection.load(collection, lenient=lenient)
     )
     lmap = (
         location_map
@@ -282,6 +292,7 @@ def generate_training_db(
         records.append(LocationRecord(session.location, position, matrix))
 
     db = TrainingDatabase(bssids, records)
+    db.ingest_report = getattr(coll, "ingest_report", None)
     if output is not None:
         db.save(output)
     return db

@@ -11,6 +11,7 @@ RSSI — which the wi-scan file layer then serializes.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -19,6 +20,12 @@ import numpy as np
 from repro.core.geometry import Point
 from repro.parallel.rng import RngLike, resolve_rng
 from repro.radio.environment import RadioEnvironment
+
+# Same identity contract as repro.wiscan.format.WiScanRecord (duplicated
+# rather than imported: wiscan.capture imports this module, so importing
+# the wiscan package from here would be a cycle).  Malformed simulator
+# output must die here, at the source, not later at serialization.
+_BSSID_RE = re.compile(r"^[0-9a-f]{2}(:[0-9a-f]{2}){5}$")
 
 
 @dataclass(frozen=True)
@@ -34,6 +41,12 @@ class ScanReading:
     def __post_init__(self):
         if self.timestamp_s < 0:
             raise ValueError(f"timestamp must be non-negative, got {self.timestamp_s}")
+        bssid = self.bssid.lower()
+        if not _BSSID_RE.match(bssid):
+            raise ValueError(f"invalid BSSID {self.bssid!r}")
+        object.__setattr__(self, "bssid", bssid)
+        if not 1 <= self.channel <= 196:
+            raise ValueError(f"invalid channel {self.channel}")
         if not -120.0 <= self.rssi_dbm <= 0.0:
             raise ValueError(f"implausible RSSI {self.rssi_dbm} dBm (expected [-120, 0])")
 

@@ -1,0 +1,54 @@
+"""Fault tolerance: lenient ingestion reports and fault injection.
+
+Two halves of one concern — §4.3's "must correctly deal with" arbitrary
+survey collections, and §5.1's observation that invalid estimates are a
+third of production traffic:
+
+* :mod:`repro.robustness.report` — the :class:`IngestReport` audit
+  trail produced by lenient wi-scan ingestion (skipped lines,
+  quarantined files, header conflicts);
+* :mod:`repro.robustness.injectors` — composable fault injectors
+  (AP dropout, noise bursts, record corruption, truncation) that wrap
+  the scanner and survey layers for controlled-degradation benchmarks.
+
+The injector names are re-exported lazily: the injectors module imports
+the scanner/wiscan layers, which themselves import
+:mod:`repro.robustness.report`, and eager re-export would close that
+loop into an import cycle.
+"""
+
+from repro.robustness.report import (
+    HeaderConflict,
+    IngestReport,
+    QuarantinedSource,
+    SkippedLine,
+)
+
+_INJECTOR_NAMES = (
+    "Injector",
+    "APDropout",
+    "NoiseBurst",
+    "RecordCorruption",
+    "FileTruncation",
+    "MagicCorruption",
+    "FaultyScanner",
+    "inject_observation",
+    "corrupt_survey_texts",
+    "write_corrupted_survey",
+)
+
+__all__ = [
+    "IngestReport",
+    "SkippedLine",
+    "QuarantinedSource",
+    "HeaderConflict",
+    *_INJECTOR_NAMES,
+]
+
+
+def __getattr__(name):
+    if name in _INJECTOR_NAMES:
+        from repro.robustness import injectors
+
+        return getattr(injectors, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,327 @@
+"""Composable fault injectors for controlled-degradation experiments.
+
+§5.1 of the paper reports that only 60 % of observations produce a
+valid estimate — degradation is the *normal* operating regime of an
+RSSI system, not an edge case.  These injectors manufacture that regime
+on demand so tests and benchmarks can measure validity rate and
+deviation under known faults:
+
+* **sweep-level** faults (:class:`APDropout`, :class:`NoiseBurst`)
+  perturb live scan output; wrap a scanner in :class:`FaultyScanner`
+  and every downstream consumer (:class:`~repro.wiscan.capture.CaptureSession`,
+  surveys, observations) sees the degraded radio;
+* **text-level** faults (:class:`RecordCorruption`,
+  :class:`FileTruncation`, :class:`MagicCorruption`) mangle rendered
+  wi-scan files, exercising the lenient-ingestion path;
+* :func:`write_corrupted_survey` applies text faults to a fraction of a
+  survey's files on disk — the standard fixture for ingest-robustness
+  tests.
+
+Every injector exposes up to three hooks — ``sweeps``, ``observation``,
+``text`` — defaulting to pass-through, so heterogeneous injectors
+compose by simple sequential application.  All randomness flows through
+an explicit ``rng`` so every fault pattern is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel.rng import RngLike, resolve_rng
+from repro.radio.scanner import ScanSweep, SimulatedScanner
+
+
+class Injector:
+    """Base fault injector: every hook defaults to pass-through."""
+
+    def sweeps(self, sweeps: List[ScanSweep], rng) -> List[ScanSweep]:
+        return sweeps
+
+    def observation(self, observation, rng):
+        return observation
+
+    def text(self, text: str, rng) -> str:
+        return text
+
+
+class APDropout(Injector):
+    """Silence access points: named BSSIDs and/or ``k`` random ones.
+
+    Models a powered-off or newly-shadowed AP.  Random victims are
+    drawn once per application from the set actually present, so one
+    call degrades one session coherently (the AP is *gone*, not
+    flickering — flicker is :class:`NoiseBurst`'s regime).
+    """
+
+    def __init__(self, bssids: Sequence[str] = (), k: int = 0):
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.bssids = tuple(b.lower() for b in bssids)
+        self.k = int(k)
+
+    def _victims(self, present: Sequence[str], rng) -> set:
+        victims = {b for b in self.bssids if b in present}
+        candidates = [b for b in present if b not in victims]
+        if self.k and candidates:
+            n = min(self.k, len(candidates))
+            picked = rng.choice(len(candidates), size=n, replace=False)
+            victims.update(candidates[int(i)] for i in np.atleast_1d(picked))
+        return victims
+
+    def sweeps(self, sweeps: List[ScanSweep], rng) -> List[ScanSweep]:
+        present = sorted({r.bssid for sw in sweeps for r in sw.readings})
+        victims = self._victims(present, rng)
+        if not victims:
+            return sweeps
+        return [
+            ScanSweep(
+                timestamp_s=sw.timestamp_s,
+                readings=tuple(r for r in sw.readings if r.bssid not in victims),
+            )
+            for sw in sweeps
+        ]
+
+    def observation(self, observation, rng):
+        from repro.algorithms.base import Observation
+
+        if observation.bssids:
+            present = [b for j, b in enumerate(observation.bssids)
+                       if np.isfinite(observation.samples[:, j]).any()]
+            victims = self._victims(present, rng)
+            cols = [j for j, b in enumerate(observation.bssids) if b in victims]
+        else:
+            if self.bssids:
+                raise ValueError(
+                    "observation carries no BSSIDs; APDropout by name needs them"
+                )
+            heard = [j for j in range(observation.n_aps)
+                     if np.isfinite(observation.samples[:, j]).any()]
+            n = min(self.k, len(heard))
+            picked = rng.choice(len(heard), size=n, replace=False) if n else []
+            cols = [heard[int(i)] for i in np.atleast_1d(picked)] if n else []
+        if not cols:
+            return observation
+        samples = observation.samples.copy()
+        samples[:, cols] = np.nan
+        return Observation(samples, bssids=observation.bssids)
+
+
+class NoiseBurst(Injector):
+    """Random RSSI noise bursts: each reading is hit with probability
+    ``prob`` by a zero-mean Gaussian of ``sigma_db``, clipped to the
+    plausible dBm range.  Models multipath flutter and interference.
+    """
+
+    def __init__(self, sigma_db: float = 8.0, prob: float = 0.15):
+        if sigma_db < 0:
+            raise ValueError(f"sigma_db must be non-negative, got {sigma_db}")
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"prob must be in [0, 1], got {prob}")
+        self.sigma_db = float(sigma_db)
+        self.prob = float(prob)
+
+    def sweeps(self, sweeps: List[ScanSweep], rng) -> List[ScanSweep]:
+        from dataclasses import replace
+
+        out = []
+        for sw in sweeps:
+            readings = []
+            for r in sw.readings:
+                if rng.random() < self.prob:
+                    rssi = float(np.clip(r.rssi_dbm + rng.normal(0.0, self.sigma_db), -120.0, 0.0))
+                    r = replace(r, rssi_dbm=rssi)
+                readings.append(r)
+            out.append(ScanSweep(timestamp_s=sw.timestamp_s, readings=tuple(readings)))
+        return out
+
+    def observation(self, observation, rng):
+        from repro.algorithms.base import Observation
+
+        samples = observation.samples.copy()
+        finite = np.isfinite(samples)
+        hit = finite & (rng.random(samples.shape) < self.prob)
+        noise = rng.normal(0.0, self.sigma_db, samples.shape)
+        samples[hit] = np.clip(samples[hit] + noise[hit], -120.0, 0.0)
+        return Observation(samples, bssids=observation.bssids)
+
+
+class RecordCorruption(Injector):
+    """Mangle a fraction of a wi-scan file's data lines.
+
+    Each non-header line is, with probability ``rate``, replaced by one
+    of the corruptions real logs exhibit: a dropped field, an
+    out-of-range RSSI, or plain garbage.  Strict parsing dies on the
+    first such line; lenient parsing skips them and reports each one.
+    """
+
+    def __init__(self, rate: float = 0.1):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.rate = float(rate)
+
+    def text(self, text: str, rng) -> str:
+        out = []
+        for line in text.splitlines():
+            if line.strip() and not line.lstrip().startswith("#") and rng.random() < self.rate:
+                mode = int(rng.integers(0, 3))
+                if mode == 0:  # drop the last field
+                    line = "\t".join(line.split("\t")[:-1])
+                elif mode == 1:  # implausible RSSI
+                    parts = line.split("\t")
+                    parts[-1] = "+999.0"
+                    line = "\t".join(parts)
+                else:  # garbage bytes
+                    line = "\x00\x01corrupt" + line[: max(0, len(line) // 2)]
+            out.append(line)
+        return "\n".join(out) + "\n"
+
+
+class FileTruncation(Injector):
+    """Cut a file's tail, as a crashed logger or full disk would.
+
+    Keeps the first ``keep_fraction`` of the text; the cut usually lands
+    mid-line, leaving one malformed record at the new end of file.
+    """
+
+    def __init__(self, keep_fraction: float = 0.5):
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+        self.keep_fraction = float(keep_fraction)
+
+    def text(self, text: str, rng) -> str:
+        return text[: max(1, int(len(text) * self.keep_fraction))]
+
+
+class MagicCorruption(Injector):
+    """Destroy the magic line — a file-fatal fault.
+
+    Models a file overwritten at its start (interrupted rsync, bad
+    sector).  Such a file cannot be recovered line-by-line: even
+    lenient ingestion must quarantine it whole.
+    """
+
+    def text(self, text: str, rng) -> str:
+        lines = text.splitlines()
+        if lines:
+            lines[0] = "\x00GARBAGE" + lines[0][2:]
+        return "\n".join(lines) + "\n"
+
+
+class FaultyScanner:
+    """A scanner wrapper that degrades every session it produces.
+
+    Drop-in for :class:`~repro.radio.scanner.SimulatedScanner` wherever
+    one is consumed (:class:`~repro.wiscan.capture.CaptureSession`,
+    :meth:`ExperimentHouse.observe <repro.experiments.house.ExperimentHouse>`
+    plumbing, …): ``scan_session``/``walk_session`` delegate to the
+    wrapped scanner, then run every sweep-level injector in order.
+
+    The fault RNG is separate from the radio RNG on purpose: the same
+    survey seed yields the same clean radio whether or not faults are
+    layered on top, so degraded runs are directly comparable to their
+    clean baselines.
+    """
+
+    def __init__(
+        self,
+        scanner: SimulatedScanner,
+        injectors: Sequence[Injector] = (),
+        rng: RngLike = None,
+    ):
+        self.scanner = scanner
+        self.injectors = tuple(injectors)
+        self._fault_rng = resolve_rng(rng)
+
+    @property
+    def interval_s(self) -> float:
+        return self.scanner.interval_s
+
+    @property
+    def environment(self):
+        return self.scanner.environment
+
+    def _inject(self, sweeps: List[ScanSweep]) -> List[ScanSweep]:
+        for inj in self.injectors:
+            sweeps = inj.sweeps(sweeps, self._fault_rng)
+        return sweeps
+
+    def scan_session(self, position, duration_s, rng: RngLike = None, start_time_s=0.0):
+        sweeps = self.scanner.scan_session(
+            position, duration_s, rng=rng, start_time_s=start_time_s
+        )
+        return self._inject(sweeps)
+
+    def walk_session(self, waypoints, speed_ft_s: float = 3.0, rng: RngLike = None):
+        out = self.scanner.walk_session(waypoints, speed_ft_s=speed_ft_s, rng=rng)
+        positions = [p for p, _ in out]
+        sweeps = self._inject([sw for _, sw in out])
+        return list(zip(positions, sweeps))
+
+
+def inject_observation(observation, injectors: Sequence[Injector], rng: RngLike = None):
+    """Run an observation through every injector in order."""
+    gen = resolve_rng(rng)
+    for inj in injectors:
+        observation = inj.observation(observation, gen)
+    return observation
+
+
+def corrupt_survey_texts(
+    collection,
+    injectors: Sequence[Injector],
+    fraction: float = 0.2,
+    rng: RngLike = None,
+) -> Tuple[List[Tuple[str, str]], List[str]]:
+    """Render a collection to wi-scan texts, corrupting a fraction of files.
+
+    Returns ``(pairs, corrupted)``: ``pairs`` is ``(filename, text)``
+    for every session (corrupted or not), ``corrupted`` the file names
+    that received the text injectors.  ``ceil(fraction × n)`` victims
+    are chosen at random, so ``fraction > 0`` always corrupts at least
+    one file.
+    """
+    from repro.wiscan.collection import _safe_filename
+    from repro.wiscan.format import render_wiscan
+
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    gen = resolve_rng(rng)
+    sessions = list(collection)
+    n_bad = math.ceil(fraction * len(sessions)) if fraction > 0 else 0
+    bad = set(gen.choice(len(sessions), size=n_bad, replace=False)) if n_bad else set()
+    pairs: List[Tuple[str, str]] = []
+    corrupted: List[str] = []
+    for i, session in enumerate(sessions):
+        name = f"{_safe_filename(session.location)}.wi-scan"
+        text = render_wiscan(session)
+        if i in bad:
+            for inj in injectors:
+                text = inj.text(text, gen)
+            corrupted.append(name)
+        pairs.append((name, text))
+    return pairs, corrupted
+
+
+def write_corrupted_survey(
+    collection,
+    directory,
+    injectors: Sequence[Injector],
+    fraction: float = 0.2,
+    rng: RngLike = None,
+) -> List[str]:
+    """Write a survey to ``directory`` with a fraction of files corrupted.
+
+    Returns the corrupted file names.  The standard fixture for
+    lenient-ingestion tests: write, then ``WiScanCollection.load`` the
+    directory in both modes.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    pairs, corrupted = corrupt_survey_texts(collection, injectors, fraction=fraction, rng=rng)
+    for name, text in pairs:
+        (root / name).write_text(text, encoding="utf-8")
+    return corrupted

@@ -1,0 +1,108 @@
+"""Structured ingest diagnostics for wi-scan collections.
+
+The paper (§4.3) insists the Training Database Generator "must
+correctly deal with" arbitrary wi-scan collections.  Real surveys are
+messy — half-written files, encoding accidents, truncated logs — so the
+ingestion layer can run in a *lenient* mode that skips bad lines and
+quarantines bad files instead of aborting the whole survey.  Whatever
+it skipped must stay visible, though: :class:`IngestReport` is the
+audit trail, carried on the resulting
+:class:`~repro.wiscan.collection.WiScanCollection` as
+``collection.ingest_report``.
+
+This module is dependency-free on purpose: every layer of the toolkit
+(format parser, collection loader, CLI) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class SkippedLine:
+    """One unparseable line dropped during lenient parsing."""
+
+    source: str
+    line_no: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class QuarantinedSource:
+    """One whole file excluded from the collection, with the cause."""
+
+    source: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class HeaderConflict:
+    """Two files for one location disagreed on a session header.
+
+    The first-seen value is kept; ``dropped`` is the later value that
+    lost, ``source`` names the file that carried it.
+    """
+
+    location: str
+    key: str
+    kept: str
+    dropped: str
+    source: str
+
+
+@dataclass
+class IngestReport:
+    """Everything the ingestion layer read, kept, skipped and dropped."""
+
+    lenient: bool = False
+    files_read: int = 0
+    records_kept: int = 0
+    skipped_lines: List[SkippedLine] = field(default_factory=list)
+    quarantined: List[QuarantinedSource] = field(default_factory=list)
+    conflicts: List[HeaderConflict] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # recording (called by the parser / collection layers)
+    # ------------------------------------------------------------------
+    def skip_line(self, source: str, line_no: int, reason: str) -> None:
+        self.skipped_lines.append(SkippedLine(source, line_no, reason))
+
+    def quarantine(self, source: str, reason: str) -> None:
+        self.quarantined.append(QuarantinedSource(source, reason))
+
+    def conflict(self, location: str, key: str, kept: str, dropped: str, source: str) -> None:
+        self.conflicts.append(HeaderConflict(location, key, kept, dropped, source))
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def clean(self) -> bool:
+        """True when nothing at all was skipped, dropped or quarantined."""
+        return not (self.skipped_lines or self.quarantined or self.conflicts)
+
+    def quarantined_sources(self) -> List[str]:
+        return [q.source for q in self.quarantined]
+
+    def summary(self) -> str:
+        """Human-readable multi-line account of the ingest."""
+        mode = "lenient" if self.lenient else "strict"
+        lines = [
+            f"ingest ({mode}): {self.files_read} file(s) read, "
+            f"{self.records_kept} record(s) kept, "
+            f"{len(self.skipped_lines)} line(s) skipped, "
+            f"{len(self.quarantined)} file(s) quarantined, "
+            f"{len(self.conflicts)} header conflict(s)"
+        ]
+        for q in self.quarantined:
+            lines.append(f"  quarantined {q.source}: {q.reason}")
+        for s in self.skipped_lines:
+            lines.append(f"  skipped {s.source}:{s.line_no}: {s.reason}")
+        for c in self.conflicts:
+            lines.append(
+                f"  conflict at {c.location!r} header {c.key!r}: "
+                f"kept {c.kept!r}, dropped {c.dropped!r} from {c.source}"
+            )
+        return "\n".join(lines)

@@ -10,6 +10,12 @@ specified, so this package defines it precisely (see
 with line-level diagnostics, directory/zip collection handling
 (:mod:`repro.wiscan.collection`), and capture sessions that produce the
 files from the simulated scanner (:mod:`repro.wiscan.capture`).
+
+Ingestion is strict by default; pass ``lenient=True`` to the collection
+loaders (or ``recover=True`` to :func:`parse_wiscan`) to salvage what a
+damaged survey still holds, with every skip and quarantine recorded in
+an :class:`~repro.robustness.report.IngestReport` — see
+docs/robustness.md for the full error-type taxonomy.
 """
 
 from repro.wiscan.format import (

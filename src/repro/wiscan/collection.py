@@ -19,15 +19,30 @@ shares it:
   name — and multiple files for the same location merge into one
   session (surveyors revisit points), with timestamps offset so merged
   records never collide.
+
+Error contract: loading raises :class:`WiScanFormatError` for any
+malformed content — including non-UTF-8 bytes, which are wrapped and
+attributed to the offending file — and :class:`zipfile.BadZipFile` for
+archives that are not zips at all.
+
+**Lenient mode** (``lenient=True``) trades the all-or-nothing contract
+for maximal salvage: unparseable lines are skipped, files with
+file-level damage are quarantined, header conflicts are resolved
+first-value-wins, and every such decision is recorded in the
+:class:`~repro.robustness.report.IngestReport` carried on the result as
+``collection.ingest_report``.  A collection in which *nothing* could be
+salvaged still raises.
 """
 
 from __future__ import annotations
 
 import os
 import zipfile
+import zlib
 from pathlib import Path
-from typing import Dict, Iterator, List, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.robustness.report import IngestReport
 from repro.wiscan.format import WiScanFile, WiScanFormatError, parse_wiscan
 
 PathLike = Union[str, os.PathLike]
@@ -38,59 +53,133 @@ WISCAN_SUFFIX = ".wi-scan"
 class WiScanCollection:
     """An ordered set of wi-scan sessions keyed by location name."""
 
-    def __init__(self, sessions: Dict[str, WiScanFile]):
+    def __init__(
+        self,
+        sessions: Dict[str, WiScanFile],
+        ingest_report: Optional[IngestReport] = None,
+    ):
         self._sessions = dict(sessions)
+        #: Audit trail of the ingest that produced this collection
+        #: (None for collections assembled in memory).
+        self.ingest_report = ingest_report
 
     # ------------------------------------------------------------------
     # loading
     # ------------------------------------------------------------------
     @classmethod
-    def load(cls, source: PathLike) -> "WiScanCollection":
+    def load(cls, source: PathLike, *, lenient: bool = False) -> "WiScanCollection":
         """Load from a directory or a ``.zip`` archive (auto-detected)."""
         path = Path(source)
         if path.is_dir():
-            return cls.from_directory(path)
+            return cls.from_directory(path, lenient=lenient)
         if path.is_file() and zipfile.is_zipfile(path):
-            return cls.from_zip(path)
+            return cls.from_zip(path, lenient=lenient)
         if path.is_file():
             raise WiScanFormatError(f"{path} is neither a directory nor a zip archive")
         raise FileNotFoundError(f"wi-scan collection source does not exist: {path}")
 
     @classmethod
-    def from_directory(cls, directory: PathLike) -> "WiScanCollection":
+    def from_directory(
+        cls, directory: PathLike, *, lenient: bool = False
+    ) -> "WiScanCollection":
         """Recursively collect ``*.wi-scan`` files under ``directory``."""
         root = Path(directory)
         if not root.is_dir():
             raise NotADirectoryError(f"not a directory: {root}")
+        report = IngestReport(lenient=lenient)
         texts: List[Tuple[str, str]] = []
         for path in sorted(root.rglob(f"*{WISCAN_SUFFIX}")):
-            texts.append((str(path), path.read_text(encoding="utf-8")))
-        return cls._from_texts(texts)
+            text = _decode_member(str(path), path.read_bytes(), lenient, report)
+            if text is not None:
+                texts.append((str(path), text))
+        return cls._from_texts(texts, lenient=lenient, report=report)
 
     @classmethod
-    def from_zip(cls, archive: PathLike) -> "WiScanCollection":
-        """Collect ``*.wi-scan`` members of a zip archive (any depth)."""
+    def from_zip(cls, archive: PathLike, *, lenient: bool = False) -> "WiScanCollection":
+        """Collect ``*.wi-scan`` members of a zip archive (any depth).
+
+        Raises :class:`zipfile.BadZipFile` when ``archive`` is not a zip
+        at all, :class:`WiScanFormatError` for damaged or malformed
+        members (in lenient mode those are quarantined instead).
+        """
+        report = IngestReport(lenient=lenient)
         texts: List[Tuple[str, str]] = []
-        with zipfile.ZipFile(archive) as zf:
+        try:
+            zf = zipfile.ZipFile(archive)
+        except zipfile.BadZipFile:
+            raise
+        except (NotImplementedError, ValueError, OverflowError, UnicodeDecodeError) as exc:
+            # Central-directory damage surfaces from the constructor as a
+            # grab-bag of builtins; normalize to the documented type.
+            raise zipfile.BadZipFile(f"corrupt zip archive: {exc}") from None
+        with zf:
             for name in sorted(zf.namelist()):
                 if name.endswith("/") or not name.endswith(WISCAN_SUFFIX):
                     continue
-                texts.append((f"{archive}!{name}", zf.read(name).decode("utf-8")))
-        return cls._from_texts(texts)
+                source = f"{archive}!{name}"
+                try:
+                    raw = zf.read(name)
+                except (
+                    zipfile.BadZipFile,
+                    zlib.error,
+                    EOFError,
+                    # A flipped central-directory byte can claim an
+                    # unsupported compression method (NotImplementedError),
+                    # an encrypted member (RuntimeError), or a bogus header
+                    # offset that seeks before the start of the file
+                    # (ValueError / OSError) — zipfile leaks them all.
+                    NotImplementedError,
+                    RuntimeError,
+                    ValueError,
+                    OSError,
+                ) as exc:
+                    if lenient:
+                        report.quarantine(source, f"unreadable zip member: {exc}")
+                        continue
+                    raise WiScanFormatError(
+                        f"{source}: unreadable zip member: {exc}"
+                    ) from None
+                text = _decode_member(source, raw, lenient, report)
+                if text is not None:
+                    texts.append((source, text))
+        return cls._from_texts(texts, lenient=lenient, report=report)
 
     @classmethod
-    def _from_texts(cls, texts: List[Tuple[str, str]]) -> "WiScanCollection":
-        if not texts:
+    def _from_texts(
+        cls,
+        texts: List[Tuple[str, str]],
+        *,
+        lenient: bool = False,
+        report: Optional[IngestReport] = None,
+    ) -> "WiScanCollection":
+        report = report if report is not None else IngestReport(lenient=lenient)
+        if not texts and not report.quarantined:
             raise WiScanFormatError("collection contains no *.wi-scan files")
         sessions: Dict[str, WiScanFile] = {}
         for source, text in texts:
-            parsed = parse_wiscan(text, source=source)
+            report.files_read += 1
+            try:
+                parsed = parse_wiscan(text, source=source, recover=lenient, report=report)
+            except WiScanFormatError as exc:
+                if lenient:
+                    report.quarantine(source, str(exc))
+                    continue
+                raise
+            report.records_kept += len(parsed.records)
             existing = sessions.get(parsed.location)
             if existing is None:
                 sessions[parsed.location] = parsed
             else:
-                sessions[parsed.location] = _merge(existing, parsed)
-        return cls(sessions)
+                sessions[parsed.location] = _merge(
+                    existing, parsed, source=source, lenient=lenient, report=report
+                )
+        if not sessions:
+            raise WiScanFormatError(
+                "no usable wi-scan session in collection "
+                f"({len(report.quarantined)} file(s) quarantined: "
+                f"{report.quarantined_sources()})"
+            )
+        return cls(sessions, ingest_report=report)
 
     # ------------------------------------------------------------------
     # saving
@@ -158,19 +247,65 @@ class WiScanCollection:
         return sum(len(s.records) for s in self._sessions.values())
 
 
-def _merge(a: WiScanFile, b: WiScanFile) -> WiScanFile:
-    """Merge two sessions at the same location, shifting b's timestamps."""
+def _decode_member(
+    source: str, raw: bytes, lenient: bool, report: IngestReport
+) -> Optional[str]:
+    """Decode a member's bytes, wrapping encoding damage per the contract."""
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        if lenient:
+            report.quarantine(source, f"not valid UTF-8: {exc}")
+            return None
+        raise WiScanFormatError(f"{source}: not valid UTF-8 ({exc})") from None
+
+
+def _merge(
+    a: WiScanFile,
+    b: WiScanFile,
+    *,
+    source: str = "<merge>",
+    lenient: bool = False,
+    report: Optional[IngestReport] = None,
+) -> WiScanFile:
+    """Merge two sessions at the same location, shifting b's timestamps.
+
+    Header disagreements resolve first-value-wins and are recorded on
+    ``report`` — silent last-writer-wins would let one late file
+    overwrite a whole survey's metadata.  A *position* conflict is
+    grounds to abort in strict mode (two files claiming the same
+    location at different coordinates poisons the training data); in
+    lenient mode it too is kept-first and recorded.
+    """
+
+    def _conflict(key: str, kept, dropped) -> None:
+        if report is not None:
+            report.conflict(a.location, key, str(kept), str(dropped), source)
+
     if a.position is not None and b.position is not None and a.position != b.position:
-        raise WiScanFormatError(
-            f"conflicting positions for location {a.location!r}: "
-            f"{a.position} vs {b.position}"
-        )
+        if not lenient:
+            raise WiScanFormatError(
+                f"conflicting positions for location {a.location!r}: "
+                f"{a.position} vs {b.position}"
+            )
+        _conflict("position", a.position, b.position)
+    if (
+        a.interval_s is not None
+        and b.interval_s is not None
+        and a.interval_s != b.interval_s
+    ):
+        _conflict("interval", a.interval_s, b.interval_s)
     offset = (max(r.time_s for r in a.records) + 1.0) if a.records else 0.0
     from dataclasses import replace
 
     shifted = [replace(r, time_s=r.time_s + offset) for r in b.records]
     merged_extra = dict(a.extra_headers)
-    merged_extra.update(b.extra_headers)
+    for key, value in b.extra_headers.items():
+        if key in merged_extra:
+            if merged_extra[key] != value:
+                _conflict(key, merged_extra[key], value)
+        else:
+            merged_extra[key] = value
     return WiScanFile(
         location=a.location,
         records=list(a.records) + shifted,

@@ -23,16 +23,24 @@ Blank lines are ignored.  A sweep in which an AP was not heard simply
 has no record for it, exactly like real scan logs.  The parser is
 strict about structure (bad lines raise :class:`WiScanFormatError` with
 the line number) but lenient about unknown headers, which real tools
-always grow.
+always grow.  :func:`parse_wiscan` also has a *recovering* mode
+(``recover=True``) that skips unparseable lines instead of raising —
+the per-line half of lenient ingestion (see
+:mod:`repro.robustness.report`); file-level damage (missing magic,
+missing location) still raises so the collection layer can quarantine
+the file whole.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pure-diagnostics type; imported lazily to stay cycle-free
+    from repro.robustness.report import IngestReport
 
 MAGIC = "# wi-scan v1"
 
@@ -137,11 +145,29 @@ def _unescape_ssid(raw: str) -> str:
     return raw.replace("\\t", "\t").replace("\\\\", "\\")
 
 
-def parse_wiscan(text: str, source: str = "<string>") -> WiScanFile:
+def parse_wiscan(
+    text: str,
+    source: str = "<string>",
+    *,
+    recover: bool = False,
+    report: Optional["IngestReport"] = None,
+) -> WiScanFile:
     """Parse wi-scan text into a :class:`WiScanFile`.
 
     ``source`` names the input in error messages (a path, usually).
+
+    With ``recover=True``, line-level damage (malformed data lines,
+    unparseable ``position``/``interval`` headers) is skipped rather
+    than raised, each skip recorded on ``report`` when one is given.
+    File-level damage — missing magic, missing ``location`` header —
+    still raises :class:`WiScanFormatError` in either mode: a file
+    without an identity cannot be partially salvaged.
     """
+
+    def _skip(line_no: int, reason: str) -> None:
+        if report is not None:
+            report.skip_line(source, line_no, reason)
+
     lines = text.splitlines()
     if not lines or lines[0].strip() != MAGIC:
         raise WiScanFormatError(
@@ -170,6 +196,9 @@ def parse_wiscan(text: str, source: str = "<string>") -> WiScanFile:
             elif key == "position":
                 parts = value.split()
                 if len(parts) != 2:
+                    if recover:
+                        _skip(line_no, f"position header needs two numbers, got {value!r}")
+                        continue
                     raise WiScanFormatError(
                         f"{source}: position header needs two numbers, got {value!r}",
                         line_no,
@@ -177,6 +206,9 @@ def parse_wiscan(text: str, source: str = "<string>") -> WiScanFile:
                 try:
                     position = (float(parts[0]), float(parts[1]))
                 except ValueError:
+                    if recover:
+                        _skip(line_no, f"non-numeric position {value!r}")
+                        continue
                     raise WiScanFormatError(
                         f"{source}: non-numeric position {value!r}", line_no
                     ) from None
@@ -184,6 +216,9 @@ def parse_wiscan(text: str, source: str = "<string>") -> WiScanFile:
                 try:
                     interval_s = float(value)
                 except ValueError:
+                    if recover:
+                        _skip(line_no, f"non-numeric interval {value!r}")
+                        continue
                     raise WiScanFormatError(
                         f"{source}: non-numeric interval {value!r}", line_no
                     ) from None
@@ -193,6 +228,9 @@ def parse_wiscan(text: str, source: str = "<string>") -> WiScanFile:
 
         fields = line.split("\t")
         if len(fields) != 5:
+            if recover:
+                _skip(line_no, f"expected 5 tab-separated fields, got {len(fields)}")
+                continue
             raise WiScanFormatError(
                 f"{source}: expected 5 tab-separated fields, got {len(fields)}: {line!r}",
                 line_no,
@@ -206,6 +244,9 @@ def parse_wiscan(text: str, source: str = "<string>") -> WiScanFile:
                 rssi_dbm=float(fields[4]),
             )
         except ValueError as exc:
+            if recover:
+                _skip(line_no, str(exc))
+                continue
             raise WiScanFormatError(f"{source}: {exc}", line_no) from None
         records.append(record)
 

@@ -1,0 +1,220 @@
+"""Degraded-mode localization: the fallback chain and its diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FallbackLocalizer, make_localizer
+from repro.algorithms.base import (
+    LocationEstimate,
+    Localizer,
+    Observation,
+    invalid_estimate,
+)
+from repro.algorithms.fallback import DEFAULT_CHAIN
+from repro.core.geometry import Point
+from repro.core.system import LocalizationSystem
+from repro.core.trainingdb import LocationRecord, TrainingDatabase
+from repro.robustness import APDropout, inject_observation
+
+B = [f"02:00:00:00:00:{i:02x}" for i in range(3)]
+
+
+def synthetic_db(rng_seed=0, n_samples=40):
+    rng = np.random.default_rng(rng_seed)
+    profiles = {
+        "west": ((-40.0, -70.0, -80.0), (0.0, 0.0)),
+        "mid": ((-60.0, -50.0, -60.0), (25.0, 20.0)),
+        "east": ((-80.0, -70.0, -40.0), (50.0, 40.0)),
+    }
+    records = []
+    for name, (means, pos) in profiles.items():
+        samples = rng.normal(means, 2.0, size=(n_samples, 3)).astype(np.float32)
+        records.append(LocationRecord(name, Point(*pos), samples))
+    return TrainingDatabase(B, records)
+
+
+def obs(means, n=10, noise=1.0, seed=1):
+    rng = np.random.default_rng(seed)
+    return Observation(rng.normal(means, noise, size=(n, 3)))
+
+
+class TestChainConstruction:
+    def test_registered(self):
+        loc = make_localizer("fallback")
+        assert isinstance(loc, FallbackLocalizer)
+
+    def test_default_chain_without_ap_positions_drops_geometric(self):
+        loc = FallbackLocalizer()
+        names = [t.name for t in loc.tiers]
+        assert names == ["probabilistic", "nearest"]
+
+    def test_explicit_geometric_without_positions_raises(self):
+        with pytest.raises(ValueError, match="ap_positions"):
+            FallbackLocalizer(tiers=["geometric", "probabilistic"])
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError, match="bounds"):
+            FallbackLocalizer(bounds=(10, 0, 0, 10))
+
+    def test_locate_before_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            FallbackLocalizer().locate(obs((-40, -70, -80)))
+
+
+class TestFitQuarantine:
+    def test_unfittable_tier_is_dropped_not_fatal(self):
+        # Geometric with a single positioned AP cannot fit (needs >= 3).
+        loc = FallbackLocalizer(
+            tiers=["geometric", "probabilistic"],
+            ap_positions={B[0]: Point(0, 0)},
+        )
+        loc.fit(synthetic_db())
+        assert "geometric" in loc.fit_errors
+        est = loc.locate(obs((-40, -70, -80)))
+        assert est.valid and est.details["tier"] == "probabilistic"
+        # The fit failure shows up in the per-request decline trail too.
+        assert any(
+            d["tier"] == "geometric" and "fit failed" in d["reason"]
+            for d in est.details["declined"]
+        )
+
+    def test_no_tier_survives_fit_raises(self):
+        loc = FallbackLocalizer(
+            tiers=["geometric"], ap_positions={B[0]: Point(0, 0)}
+        )
+        with pytest.raises(ValueError, match="no fallback tier survived"):
+            loc.fit(synthetic_db())
+
+
+class TestDegradedLocate:
+    def test_first_tier_answers_when_healthy(self):
+        loc = FallbackLocalizer().fit(synthetic_db())
+        est = loc.locate(obs((-40, -70, -80)))
+        assert est.valid
+        assert est.details["tier"] == "probabilistic"
+        assert est.details["declined"] == []
+        assert est.location_name == "west"
+
+    def test_ap_dropout_falls_through_with_reason(self):
+        # Probabilistic needs >= 2 common APs; leave only one heard.
+        loc = FallbackLocalizer(
+            tiers=[make_localizer("probabilistic", min_common_aps=2), "nearest"]
+        ).fit(synthetic_db())
+        one_ap = Observation(np.array([[-40.0, np.nan, np.nan]] * 5))
+        est = loc.locate(one_ap)
+        assert est.valid
+        assert est.details["tier"] == "nearest"
+        declined = est.details["declined"]
+        assert declined[0]["tier"] == "probabilistic"
+        assert "common AP" in declined[0]["reason"]
+
+    def test_out_of_bounds_answer_declined(self):
+        # A stub tier that always answers off-site.
+        class OffSite(Localizer):
+            name = "offsite"
+
+            def fit(self, db):
+                return self
+
+            def locate(self, observation):
+                return LocationEstimate(position=Point(999.0, 999.0), valid=True)
+
+        loc = FallbackLocalizer(
+            tiers=[OffSite(), "nearest"], bounds=(0, 0, 50, 40), bounds_margin_ft=5.0
+        ).fit(synthetic_db())
+        est = loc.locate(obs((-40, -70, -80)))
+        assert est.valid and est.details["tier"] == "nearest"
+        assert "out-of-bounds" in est.details["declined"][0]["reason"]
+
+    def test_score_underflow_declined(self):
+        class Underflow(Localizer):
+            name = "underflow"
+
+            def fit(self, db):
+                return self
+
+            def locate(self, observation):
+                return LocationEstimate(position=Point(1, 1), valid=True, score=-1e9)
+
+        loc = FallbackLocalizer(tiers=[Underflow(), "nearest"], min_score=-1e6).fit(
+            synthetic_db()
+        )
+        est = loc.locate(obs((-40, -70, -80)))
+        assert est.details["tier"] == "nearest"
+        assert "underflow" in est.details["declined"][0]["reason"]
+
+    def test_tier_error_is_caught_and_recorded(self):
+        class Explodes(Localizer):
+            name = "explodes"
+
+            def fit(self, db):
+                return self
+
+            def locate(self, observation):
+                raise ValueError("boom")
+
+        loc = FallbackLocalizer(tiers=[Explodes(), "nearest"]).fit(synthetic_db())
+        est = loc.locate(obs((-40, -70, -80)))
+        assert est.valid and est.details["tier"] == "nearest"
+        assert est.details["declined"][0]["reason"] == "error: boom"
+
+    def test_all_tiers_decline(self):
+        loc = FallbackLocalizer(
+            tiers=[make_localizer("probabilistic", min_common_aps=3)]
+        ).fit(synthetic_db())
+        est = loc.locate(Observation(np.array([[-40.0, np.nan, np.nan]] * 5)))
+        assert not est.valid
+        assert est.details["reason"] == "all fallback tiers declined"
+        assert [d["tier"] for d in est.details["declined"]] == ["probabilistic"]
+
+    def test_nearest_tier_answers_on_single_ap(self):
+        loc = FallbackLocalizer().fit(synthetic_db())
+        est = loc.locate(Observation(np.array([[-40.0, np.nan, np.nan]] * 5)))
+        assert est.valid
+        assert est.details["tier"] == "nearest"
+
+
+class TestHouseIntegration:
+    """Against the simulated house: dropout degrades, the chain survives."""
+
+    def test_validity_beats_geometric_baseline(self, house, training_db, test_points):
+        aps = {ap.bssid: ap.position for ap in house.aps}
+        geo = make_localizer("geometric", ap_positions=aps, min_aps=4).fit(training_db)
+        chain = FallbackLocalizer(
+            ap_positions=aps, bounds=(0, 0, 50, 40)
+        ).fit(training_db)
+
+        observations = house.observe_all(test_points, rng=1)
+        rng = np.random.default_rng(7)
+        degraded = [inject_observation(o, [APDropout(k=1)], rng) for o in observations]
+
+        geo_valid = sum(geo.locate(o).valid for o in degraded)
+        chain_valid = sum(chain.locate(o).valid for o in degraded)
+        assert chain_valid > geo_valid
+        tiers = {chain.locate(o).details.get("tier") for o in degraded}
+        assert tiers <= {"geometric", "probabilistic", "nearest"}
+
+    def test_system_surfaces_diagnostics(self, house):
+        survey = house.survey(rng=0)
+        system = LocalizationSystem.train(
+            survey, house.location_map(), algorithm="fallback"
+        )
+        observation = house.observe(Point(25, 20), rng=2)
+        resolved = system.locate(observation)
+        assert resolved.valid
+        assert resolved.tier in ("probabilistic", "nearest")
+        assert resolved.diagnostics["tier"] == resolved.tier
+        assert "declined" in resolved.diagnostics
+
+    def test_non_chain_resolved_location_has_no_tier(self, house, training_db):
+        system = LocalizationSystem(
+            make_localizer("probabilistic").fit(training_db),
+            training_db,
+            location_map=house.location_map(),
+        )
+        resolved = system.locate(house.observe(Point(25, 20), rng=2))
+        assert resolved.tier is None
+
+
+def test_default_chain_constant():
+    assert DEFAULT_CHAIN == ("geometric", "probabilistic", "nearest")

@@ -1,0 +1,263 @@
+"""Fault injectors: each fault manufactures exactly its advertised damage."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Observation
+from repro.radio.scanner import ScanReading, ScanSweep
+from repro.robustness import (
+    APDropout,
+    FaultyScanner,
+    FileTruncation,
+    Injector,
+    MagicCorruption,
+    NoiseBurst,
+    RecordCorruption,
+    corrupt_survey_texts,
+    inject_observation,
+)
+from repro.wiscan.capture import CaptureSession, SurveyPoint
+from repro.wiscan.format import WiScanFormatError, parse_wiscan
+from repro.core.geometry import Point
+
+B = [f"02:00:00:00:00:{i:02x}" for i in range(4)]
+
+
+def make_sweeps(n=5, bssids=B):
+    sweeps = []
+    for t in range(n):
+        readings = tuple(
+            ScanReading(
+                timestamp_s=float(t),
+                bssid=b,
+                ssid=f"net{j}",
+                channel=6,
+                rssi_dbm=-50.0 - 5 * j,
+            )
+            for j, b in enumerate(bssids)
+        )
+        sweeps.append(ScanSweep(timestamp_s=float(t), readings=readings))
+    return sweeps
+
+
+def heard_bssids(sweeps):
+    return {r.bssid for sw in sweeps for r in sw.readings}
+
+
+class TestInjectorBase:
+    def test_all_hooks_pass_through(self):
+        inj = Injector()
+        rng = np.random.default_rng(0)
+        sweeps = make_sweeps()
+        obs = Observation(np.full((3, 4), -50.0), bssids=B)
+        assert inj.sweeps(sweeps, rng) is sweeps
+        assert inj.observation(obs, rng) is obs
+        assert inj.text("hello", rng) == "hello"
+
+
+class TestAPDropout:
+    def test_named_victim_removed_from_every_sweep(self):
+        out = APDropout(bssids=[B[1]]).sweeps(make_sweeps(), np.random.default_rng(0))
+        assert heard_bssids(out) == set(B) - {B[1]}
+        assert all(len(sw.readings) == 3 for sw in out)
+
+    def test_k_random_victims(self):
+        out = APDropout(k=2).sweeps(make_sweeps(), np.random.default_rng(0))
+        assert len(heard_bssids(out)) == 2
+
+    def test_absent_bssid_is_a_noop(self):
+        sweeps = make_sweeps()
+        out = APDropout(bssids=["02:00:00:00:00:ff"]).sweeps(
+            sweeps, np.random.default_rng(0)
+        )
+        assert out is sweeps
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            APDropout(k=-1)
+
+    def test_observation_columns_go_nan(self):
+        obs = Observation(np.full((6, 4), -50.0), bssids=B)
+        out = APDropout(k=1).observation(obs, np.random.default_rng(0))
+        nan_cols = np.isnan(out.samples).all(axis=0)
+        assert nan_cols.sum() == 1
+        # Original untouched.
+        assert np.isfinite(obs.samples).all()
+
+    def test_observation_named_victim(self):
+        obs = Observation(np.full((6, 4), -50.0), bssids=B)
+        out = APDropout(bssids=[B[2]]).observation(obs, np.random.default_rng(0))
+        assert np.isnan(out.samples[:, 2]).all()
+        assert np.isfinite(np.delete(out.samples, 2, axis=1)).all()
+
+    def test_observation_without_bssids_needs_k(self):
+        obs = Observation(np.full((6, 4), -50.0))
+        with pytest.raises(ValueError, match="BSSID"):
+            APDropout(bssids=[B[0]]).observation(obs, np.random.default_rng(0))
+        out = APDropout(k=1).observation(obs, np.random.default_rng(0))
+        assert np.isnan(out.samples).all(axis=0).sum() == 1
+
+    def test_deterministic_under_seed(self):
+        obs = Observation(np.full((6, 4), -50.0), bssids=B)
+        a = inject_observation(obs, [APDropout(k=2)], rng=9)
+        b = inject_observation(obs, [APDropout(k=2)], rng=9)
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+
+class TestNoiseBurst:
+    def test_rssi_stays_in_plausible_range(self):
+        inj = NoiseBurst(sigma_db=40.0, prob=1.0)
+        out = inj.sweeps(make_sweeps(), np.random.default_rng(0))
+        for sw in out:
+            for r in sw.readings:
+                assert -120.0 <= r.rssi_dbm <= 0.0
+
+    def test_prob_zero_is_identity(self):
+        obs = Observation(np.full((5, 4), -50.0), bssids=B)
+        out = NoiseBurst(prob=0.0).observation(obs, np.random.default_rng(0))
+        np.testing.assert_array_equal(out.samples, obs.samples)
+
+    def test_nan_misses_stay_nan(self):
+        samples = np.full((5, 4), -50.0)
+        samples[:, 3] = np.nan
+        out = NoiseBurst(prob=1.0).observation(
+            Observation(samples, bssids=B), np.random.default_rng(0)
+        )
+        assert np.isnan(out.samples[:, 3]).all()
+        assert np.isfinite(out.samples[:, :3]).all()
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError, match="sigma_db"):
+            NoiseBurst(sigma_db=-1.0)
+        with pytest.raises(ValueError, match="prob"):
+            NoiseBurst(prob=1.5)
+
+
+GOOD = (
+    "# wi-scan v1\n"
+    "# location: kitchen\n"
+    "0.000\t02:00:00:00:00:01\tnet\t6\t-50.0\n"
+    "1.000\t02:00:00:00:00:02\tnet\t11\t-60.0\n"
+    "2.000\t02:00:00:00:00:03\tnet\t1\t-70.0\n"
+)
+
+
+class TestTextInjectors:
+    def test_record_corruption_breaks_strict_not_lenient(self):
+        inj = RecordCorruption(rate=1.0)
+        text = inj.text(GOOD, np.random.default_rng(0))
+        with pytest.raises(WiScanFormatError):
+            parse_wiscan(text)
+        session = parse_wiscan(text, recover=True)
+        assert session.location == "kitchen"  # headers survive
+
+    def test_record_corruption_rate_zero_identity(self):
+        assert RecordCorruption(rate=0.0).text(GOOD, np.random.default_rng(0)) == GOOD
+
+    def test_truncation_keeps_prefix(self):
+        out = FileTruncation(keep_fraction=0.5).text(GOOD, np.random.default_rng(0))
+        assert GOOD.startswith(out)
+        assert 0 < len(out) < len(GOOD)
+
+    def test_truncated_file_recovers_in_lenient_mode(self):
+        out = FileTruncation(keep_fraction=0.8).text(GOOD, np.random.default_rng(0))
+        session = parse_wiscan(out, recover=True)
+        assert session.location == "kitchen"
+        assert len(session.records) >= 1
+
+    def test_magic_corruption_is_fatal_even_when_recovering(self):
+        out = MagicCorruption().text(GOOD, np.random.default_rng(0))
+        with pytest.raises(WiScanFormatError):
+            parse_wiscan(out, recover=True)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            RecordCorruption(rate=2.0)
+        with pytest.raises(ValueError, match="keep_fraction"):
+            FileTruncation(keep_fraction=0.0)
+
+
+class TestCorruptSurveyTexts:
+    def test_fraction_selects_ceil(self, house):
+        survey = house.survey(rng=0)
+        pairs, corrupted = corrupt_survey_texts(
+            survey, [MagicCorruption()], fraction=0.2, rng=1
+        )
+        assert len(pairs) == len(survey)
+        assert len(corrupted) == -(-len(survey) // 5)
+
+    def test_fraction_zero_corrupts_nothing(self, house):
+        survey = house.survey(rng=0)
+        _, corrupted = corrupt_survey_texts(survey, [MagicCorruption()], fraction=0.0)
+        assert corrupted == []
+
+    def test_bad_fraction_rejected(self, house):
+        survey = house.survey(rng=0)
+        with pytest.raises(ValueError, match="fraction"):
+            corrupt_survey_texts(survey, [], fraction=1.5)
+
+
+class TestFaultyScanner:
+    def test_dropout_silences_ap_in_capture(self, house):
+        faulty = FaultyScanner(
+            house.scanner, [APDropout(bssids=[house.aps[0].bssid])], rng=0
+        )
+        sweeps = faulty.scan_session(Point(25, 20), duration_s=10.0, rng=1)
+        assert house.aps[0].bssid not in heard_bssids(sweeps)
+
+    def test_clean_radio_identical_to_unwrapped(self, house):
+        """Fault RNG is separate: no injectors ⇒ bit-identical sweeps."""
+        faulty = FaultyScanner(house.scanner, [], rng=0)
+        a = faulty.scan_session(Point(25, 20), duration_s=5.0, rng=1)
+        b = house.scanner.scan_session(Point(25, 20), duration_s=5.0, rng=1)
+        assert a == b
+
+    def test_properties_delegate(self, house):
+        faulty = FaultyScanner(house.scanner)
+        assert faulty.interval_s == house.scanner.interval_s
+        assert faulty.environment is house.scanner.environment
+
+    def test_capture_session_accepts_faulty_scanner(self, house):
+        victim = house.aps[1].bssid
+        session = CaptureSession(
+            FaultyScanner(house.scanner, [APDropout(bssids=[victim])], rng=0),
+            dwell_s=5.0,
+        )
+        wf = session.capture_point(SurveyPoint("mid", Point(25, 20)), rng=2)
+        assert victim not in {r.bssid for r in wf.records}
+        assert len(wf.records) > 0
+
+    def test_walk_session_injects(self, house):
+        victim = house.aps[2].bssid
+        faulty = FaultyScanner(house.scanner, [APDropout(bssids=[victim])], rng=0)
+        out = faulty.walk_session([Point(5, 5), Point(30, 20)], rng=3)
+        assert out, "walk produced no sweeps"
+        assert victim not in {r.bssid for _, sw in out for r in sw.readings}
+
+
+class TestScanReadingValidation:
+    """Satellite: simulator output dies at the source, like WiScanRecord."""
+
+    def ok(self, **kw):
+        base = dict(
+            timestamp_s=0.0, bssid=B[0], ssid="net", channel=6, rssi_dbm=-50.0
+        )
+        base.update(kw)
+        return ScanReading(**base)
+
+    def test_bssid_lowercased(self):
+        assert self.ok(bssid=B[0].upper()).bssid == B[0]
+
+    def test_bad_bssid_rejected(self):
+        for bad in ("", "nonsense", "02:00:00:00:00", "0g:00:00:00:00:01"):
+            with pytest.raises(ValueError, match="BSSID"):
+                self.ok(bssid=bad)
+
+    def test_bad_channel_rejected(self):
+        for bad in (0, -3, 197):
+            with pytest.raises(ValueError, match="channel"):
+                self.ok(channel=bad)
+
+    def test_bad_rssi_rejected(self):
+        with pytest.raises(ValueError, match="RSSI"):
+            self.ok(rssi_dbm=5.0)

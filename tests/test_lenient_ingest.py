@@ -1,0 +1,231 @@
+"""Lenient ingestion: recovery, quarantine, and the IngestReport.
+
+The tentpole contract (ISSUE 1): a survey with corrupt files ingests in
+lenient mode with a report listing every quarantined source, while
+strict mode still raises ``WiScanFormatError`` — regression-tested both
+ways — plus the satellite fixes (UTF-8 wrapping, merge-conflict
+recording).
+"""
+
+import zipfile
+
+import pytest
+
+from repro.robustness import (
+    IngestReport,
+    MagicCorruption,
+    RecordCorruption,
+    write_corrupted_survey,
+)
+from repro.wiscan.collection import WiScanCollection
+from repro.wiscan.format import WiScanFormatError, parse_wiscan
+
+GOOD = (
+    "# wi-scan v1\n"
+    "# location: kitchen\n"
+    "# position: 35 12.5\n"
+    "0.000\t02:00:00:00:00:01\tnet\t6\t-50.0\n"
+    "1.000\t02:00:00:00:00:02\tnet\t11\t-60.0\n"
+)
+
+
+def write(path, name, text):
+    p = path / name
+    p.write_text(text, encoding="utf-8")
+    return p
+
+
+class TestRecoveringParser:
+    def test_bad_data_line_skipped_and_reported(self):
+        text = GOOD + "not-a-record\n2.000\t02:00:00:00:00:01\tnet\t6\t-52.0\n"
+        with pytest.raises(WiScanFormatError):
+            parse_wiscan(text)
+        report = IngestReport(lenient=True)
+        session = parse_wiscan(text, recover=True, report=report)
+        assert len(session.records) == 3
+        assert len(report.skipped_lines) == 1
+        assert report.skipped_lines[0].line_no == 6
+        assert "5 tab-separated fields" in report.skipped_lines[0].reason
+
+    def test_bad_record_values_skipped(self):
+        text = GOOD + "2.000\tnot-a-mac\tnet\t6\t-52.0\n3.000\t02:00:00:00:00:01\tnet\t999\t-52.0\n"
+        report = IngestReport()
+        session = parse_wiscan(text, recover=True, report=report)
+        assert len(session.records) == 2
+        reasons = [s.reason for s in report.skipped_lines]
+        assert any("BSSID" in r for r in reasons)
+        assert any("channel" in r for r in reasons)
+
+    def test_bad_headers_skipped_in_recover_mode(self):
+        text = (
+            "# wi-scan v1\n# location: hall\n# position: one two\n"
+            "# interval: fast\n0.000\t02:00:00:00:00:01\tnet\t6\t-50.0\n"
+        )
+        with pytest.raises(WiScanFormatError):
+            parse_wiscan(text)
+        report = IngestReport()
+        session = parse_wiscan(text, recover=True, report=report)
+        assert session.position is None and session.interval_s is None
+        assert len(report.skipped_lines) == 2
+
+    def test_file_level_damage_still_raises(self):
+        # No magic and no location are fatal even when recovering.
+        with pytest.raises(WiScanFormatError):
+            parse_wiscan("garbage\n", recover=True)
+        with pytest.raises(WiScanFormatError):
+            parse_wiscan("# wi-scan v1\n0.0\t02:00:00:00:00:01\tx\t6\t-50.0\n", recover=True)
+
+
+class TestQuarantine:
+    def test_corrupt_files_quarantined_with_report(self, tmp_path):
+        write(tmp_path, "a.wi-scan", GOOD)
+        write(tmp_path, "b.wi-scan", GOOD.replace("kitchen", "hall"))
+        bad = write(tmp_path, "c.wi-scan", "\x00GARBAGE\n")
+
+        with pytest.raises(WiScanFormatError):
+            WiScanCollection.load(tmp_path)
+
+        coll = WiScanCollection.load(tmp_path, lenient=True)
+        assert sorted(coll.locations()) == ["hall", "kitchen"]
+        report = coll.ingest_report
+        assert report.lenient
+        assert report.quarantined_sources() == [str(bad)]
+        assert report.files_read == 3
+        assert report.records_kept == 4
+
+    def test_twenty_percent_corrupt_survey_acceptance(self, house, tmp_path):
+        """The ISSUE 1 acceptance scenario, end to end."""
+        survey = house.survey(rng=0)
+        corrupted = write_corrupted_survey(
+            survey, tmp_path, [MagicCorruption()], fraction=0.2, rng=3
+        )
+        assert len(corrupted) == -(-len(survey) // 5)  # ceil(20 %)
+
+        with pytest.raises(WiScanFormatError):
+            WiScanCollection.load(tmp_path)
+
+        coll = WiScanCollection.load(tmp_path, lenient=True)
+        report = coll.ingest_report
+        assert len(coll) == len(survey) - len(corrupted)
+        assert sorted(report.quarantined_sources()) == sorted(
+            str(tmp_path / name) for name in corrupted
+        )
+        # Every quarantine carries a reason naming the damage.
+        assert all(q.reason for q in report.quarantined)
+
+    def test_line_corruption_recovers_without_quarantine(self, house, tmp_path):
+        survey = house.survey(rng=0)
+        write_corrupted_survey(
+            survey, tmp_path, [RecordCorruption(rate=0.3)], fraction=0.5, rng=5
+        )
+        coll = WiScanCollection.load(tmp_path, lenient=True)
+        report = coll.ingest_report
+        assert len(coll) == len(survey)  # every file salvaged
+        assert not report.quarantined
+        assert report.skipped_lines  # but the damage is on the record
+
+    def test_all_corrupt_still_raises(self, tmp_path):
+        write(tmp_path, "a.wi-scan", "junk\n")
+        write(tmp_path, "b.wi-scan", "more junk\n")
+        with pytest.raises(WiScanFormatError, match="quarantined"):
+            WiScanCollection.load(tmp_path, lenient=True)
+
+    def test_empty_collection_still_raises(self, tmp_path):
+        with pytest.raises(WiScanFormatError, match="no \\*\\.wi-scan files"):
+            WiScanCollection.from_directory(tmp_path, lenient=True)
+
+
+class TestUtf8Contract:
+    """Satellite: non-UTF-8 bytes must surface as WiScanFormatError."""
+
+    def test_directory_wraps_decode_error(self, tmp_path):
+        bad = tmp_path / "bad.wi-scan"
+        bad.write_bytes(b"# wi-scan v1\n# location: x\n\xff\xfe\x80\n")
+        with pytest.raises(WiScanFormatError, match="bad.wi-scan.*UTF-8"):
+            WiScanCollection.from_directory(tmp_path)
+        # lenient: quarantined, not fatal — needs a good file alongside
+        (tmp_path / "ok.wi-scan").write_text(GOOD, encoding="utf-8")
+        coll = WiScanCollection.from_directory(tmp_path, lenient=True)
+        assert coll.ingest_report.quarantined_sources() == [str(bad)]
+
+    def test_zip_wraps_decode_error(self, tmp_path):
+        archive = tmp_path / "survey.zip"
+        with zipfile.ZipFile(archive, "w") as zf:
+            zf.writestr("ok.wi-scan", GOOD)
+            zf.writestr("bad.wi-scan", b"# wi-scan v1\n\xff\xfe\x80\n")
+        with pytest.raises(WiScanFormatError, match="bad.wi-scan.*UTF-8"):
+            WiScanCollection.from_zip(archive)
+        coll = WiScanCollection.from_zip(archive, lenient=True)
+        assert len(coll) == 1
+        assert coll.ingest_report.quarantined_sources() == [f"{archive}!bad.wi-scan"]
+
+
+class TestMergeConflicts:
+    """Satellite: header conflicts keep the first value and are recorded."""
+
+    def two_files(self, tmp_path, second_headers):
+        write(
+            tmp_path,
+            "a.wi-scan",
+            "# wi-scan v1\n# location: desk\n# interval: 1\n# tool: alpha\n"
+            "0.000\t02:00:00:00:00:01\tnet\t6\t-50.0\n",
+        )
+        write(
+            tmp_path,
+            "b.wi-scan",
+            "# wi-scan v1\n# location: desk\n" + second_headers +
+            "0.000\t02:00:00:00:00:01\tnet\t6\t-55.0\n",
+        )
+
+    def test_extra_header_conflict_keeps_first(self, tmp_path):
+        self.two_files(tmp_path, "# interval: 1\n# tool: beta\n")
+        coll = WiScanCollection.load(tmp_path)
+        session = coll.session("desk")
+        assert session.extra_headers["tool"] == "alpha"
+        report = coll.ingest_report
+        assert len(report.conflicts) == 1
+        c = report.conflicts[0]
+        assert (c.key, c.kept, c.dropped) == ("tool", "alpha", "beta")
+        assert c.source.endswith("b.wi-scan")
+
+    def test_interval_conflict_keeps_first_and_records(self, tmp_path):
+        self.two_files(tmp_path, "# interval: 2\n# tool: alpha\n")
+        coll = WiScanCollection.load(tmp_path)
+        assert coll.session("desk").interval_s == 1.0
+        assert [c.key for c in coll.ingest_report.conflicts] == ["interval"]
+
+    def test_position_conflict_strict_raises_lenient_records(self, tmp_path):
+        write(
+            tmp_path,
+            "a.wi-scan",
+            "# wi-scan v1\n# location: desk\n# position: 1 2\n"
+            "0.000\t02:00:00:00:00:01\tnet\t6\t-50.0\n",
+        )
+        write(
+            tmp_path,
+            "b.wi-scan",
+            "# wi-scan v1\n# location: desk\n# position: 9 9\n"
+            "0.000\t02:00:00:00:00:01\tnet\t6\t-55.0\n",
+        )
+        with pytest.raises(WiScanFormatError, match="conflicting positions"):
+            WiScanCollection.load(tmp_path)
+        coll = WiScanCollection.load(tmp_path, lenient=True)
+        assert coll.session("desk").position == (1.0, 2.0)
+        assert [c.key for c in coll.ingest_report.conflicts] == ["position"]
+
+    def test_merge_still_combines_records(self, tmp_path):
+        self.two_files(tmp_path, "# interval: 1\n# tool: alpha\n")
+        coll = WiScanCollection.load(tmp_path)
+        assert len(coll.session("desk").records) == 2
+        assert coll.ingest_report.clean
+
+
+class TestReportSummary:
+    def test_summary_mentions_everything(self, tmp_path):
+        write(tmp_path, "ok.wi-scan", GOOD + "broken line\n")
+        (tmp_path / "bad.wi-scan").write_bytes(b"\xff\xfe")
+        coll = WiScanCollection.load(tmp_path, lenient=True)
+        text = coll.ingest_report.summary()
+        assert "1 file(s) quarantined" in text
+        assert "1 line(s) skipped" in text
+        assert "bad.wi-scan" in text and "ok.wi-scan" in text

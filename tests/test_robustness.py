@@ -6,6 +6,12 @@ noise, and must either succeed or raise its own documented error type —
 never an IndexError/struct.error leak, never a hang.
 """
 
+import io
+import string
+import tempfile
+import zipfile
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -19,7 +25,14 @@ from repro.imaging.gif import GifError, decode_gif, encode_gif
 from repro.imaging.lzw import LZWError, decompress
 from repro.imaging.pnm import PnmError, decode_pnm
 from repro.imaging.raster import RED, Raster
-from repro.wiscan.format import WiScanFormatError, parse_wiscan
+from repro.wiscan.collection import WiScanCollection
+from repro.wiscan.format import (
+    WiScanFile,
+    WiScanFormatError,
+    WiScanRecord,
+    parse_wiscan,
+    render_wiscan,
+)
 
 
 def sample_gif() -> bytes:
@@ -134,6 +147,114 @@ class TestLzwRobustness:
             assert len(out) <= 4096
         except LZWError:
             pass
+
+
+# ----------------------------------------------------------------------
+# Zip-archive ingestion (tentpole satellite): hostile archives must
+# surface only WiScanFormatError or zipfile.BadZipFile — in both modes.
+# ----------------------------------------------------------------------
+
+ZIP_ERRORS = (WiScanFormatError, zipfile.BadZipFile)
+
+
+def sample_survey_zip() -> bytes:
+    """A small valid two-session survey archive, as bytes."""
+    buf = io.BytesIO()
+    text = (
+        "# wi-scan v1\n# location: {loc}\n# position: {x} 5\n"
+        "0.000\t02:00:00:00:00:01\tnet\t6\t-50.0\n"
+        "1.000\t02:00:00:00:00:02\tnet\t11\t-60.0\n"
+    )
+    with zipfile.ZipFile(buf, "w", compression=zipfile.ZIP_DEFLATED) as zf:
+        zf.writestr("kitchen.wi-scan", text.format(loc="kitchen", x=1))
+        zf.writestr("hall.wi-scan", text.format(loc="hall", x=9))
+    return buf.getvalue()
+
+
+# Values chosen to survive render's %.3f / %.1f / %g formatting exactly.
+_bssid = st.tuples(*[st.integers(0, 255)] * 6).map(
+    lambda t: ":".join(f"{b:02x}" for b in t)
+)
+_record = st.builds(
+    WiScanRecord,
+    time_s=st.integers(0, 10_000_000).map(lambda i: i / 1000.0),
+    bssid=_bssid,
+    ssid=st.text(alphabet=string.ascii_letters + string.digits + " _-", max_size=12),
+    channel=st.integers(1, 196),
+    rssi_dbm=st.integers(-1200, 0).map(lambda i: i / 10.0),
+)
+_session = st.builds(
+    WiScanFile,
+    location=st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=12),
+    records=st.lists(_record, max_size=8),
+    position=st.one_of(
+        st.none(), st.tuples(st.integers(0, 500), st.integers(0, 500)).map(
+            lambda t: (float(t[0]), float(t[1]))
+        )
+    ),
+    interval_s=st.one_of(st.none(), st.integers(1, 30).map(float)),
+)
+
+
+class TestCollectionZipRobustness:
+    @given(st.binary(max_size=400))
+    @settings(max_examples=80, deadline=None)
+    def test_random_noise_never_leaks(self, noise):
+        try:
+            WiScanCollection.from_zip(io.BytesIO(noise))
+        except ZIP_ERRORS:
+            pass
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=120, deadline=None)
+    def test_byte_flip_never_leaks(self, pos, value):
+        blob = bytearray(sample_survey_zip())
+        blob[pos % len(blob)] = value
+        for lenient in (False, True):
+            try:
+                WiScanCollection.from_zip(io.BytesIO(bytes(blob)), lenient=lenient)
+            except ZIP_ERRORS:
+                pass
+
+    @given(st.integers(min_value=0, max_value=600))
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_never_leaks(self, cut):
+        blob = sample_survey_zip()
+        cut = min(cut, len(blob) - 1)
+        for lenient in (False, True):
+            try:
+                WiScanCollection.from_zip(io.BytesIO(blob[:cut]), lenient=lenient)
+            except ZIP_ERRORS:
+                pass
+
+    @given(st.binary(min_size=1, max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_member_bytes_never_leak(self, payload):
+        """A zip whose member is hostile bytes (often non-UTF-8)."""
+        buf = io.BytesIO()
+        with zipfile.ZipFile(buf, "w") as zf:
+            zf.writestr("evil.wi-scan", payload)
+        for lenient in (False, True):
+            try:
+                coll = WiScanCollection.from_zip(io.BytesIO(buf.getvalue()), lenient=lenient)
+                assert len(coll) == 1  # payload happened to be a valid session
+            except ZIP_ERRORS:
+                pass
+
+    @given(st.lists(_session, min_size=1, max_size=4, unique_by=lambda s: s.location))
+    @settings(max_examples=40, deadline=None)
+    def test_save_zip_load_round_trip(self, sessions):
+        coll = WiScanCollection({s.location: s for s in sessions})
+        with tempfile.TemporaryDirectory() as tmp:
+            archive = Path(tmp) / "survey.zip"
+            coll.save_zip(archive)
+            loaded = WiScanCollection.from_zip(archive)
+        assert sorted(loaded.locations()) == sorted(coll.locations())
+        for s in sessions:
+            back = loaded.session(s.location)
+            assert back.records == s.records
+            assert back.position == s.position
+            assert back.interval_s == s.interval_s
 
 
 class TestFloorPlanRobustness:
