@@ -8,10 +8,12 @@ with ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.experiments.house import ExperimentHouse, HouseConfig
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -24,6 +26,16 @@ def record(exp_id: str, text: str) -> None:
     body = f"{banner}\n{text.rstrip()}\n"
     print("\n" + body)
     (RESULTS_DIR / f"{exp_id}.txt").write_text(body, encoding="utf-8")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the metrics the bench run emitted (make_report.py renders it)."""
+    snap = obs.snapshot()
+    if any(snap.values()):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "metrics.json").write_text(
+            json.dumps(snap, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
 
 
 @pytest.fixture(scope="session")

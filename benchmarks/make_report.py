@@ -6,13 +6,15 @@ Run after ``pytest benchmarks/ --benchmark-only``:
     python benchmarks/make_report.py
 """
 
+import json
+import sys
 from pathlib import Path
 
 ORDER = [
     "EXP5.1", "EXP5.2", "FIG2", "FIG3", "FIG4", "TAB-DB", "CMP-ALL",
     "ABL-NOISE", "ABL-GRID", "ABL-APS", "ABL-WINDOW", "ABL-DEVICE",
     "ABL-FACTORS", "ABL-MAP", "EXT-TRACK", "EXT-UWB", "EXT-PLAN",
-    "EXT-CONF", "EXT-CRLB", "GEN-SITES", "PERF-BATCH",
+    "EXT-CONF", "EXT-CRLB", "GEN-SITES", "PERF-BATCH", "OBS-OVERHEAD",
 ]
 
 
@@ -39,6 +41,23 @@ def main() -> None:
         out.extend(body[1:])  # drop the == EXP == banner
         out.append("```")
         out.append("")
+
+    metrics_path = results / "metrics.json"
+    if metrics_path.is_file():
+        # Pipeline metrics accumulated across the whole bench run
+        # (written by conftest.pytest_sessionfinish).
+        sys.path.insert(0, str(results.parent.parent / "src"))
+        from repro.obs import render_text
+
+        summary = render_text(json.loads(metrics_path.read_text(encoding="utf-8")))
+        print(summary)
+        out.append("## Pipeline metrics (repro.obs)")
+        out.append("")
+        out.append("```")
+        out.extend(summary.splitlines())
+        out.append("```")
+        out.append("")
+
     target = results.parent / "RESULTS.md"
     target.write_text("\n".join(out), encoding="utf-8")
     print(f"wrote {target} ({len(seen)} experiments)")

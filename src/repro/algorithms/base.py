@@ -16,11 +16,14 @@ the CLI can construct them by string (``make_localizer("probabilistic")``).
 from __future__ import annotations
 
 import abc
+import functools
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Type
 
 import numpy as np
 
+from repro import obs
 from repro.core.geometry import Point
 from repro.core.trainingdb import TrainingDatabase
 
@@ -149,11 +152,98 @@ def invalid_estimate(reason: str, **details) -> LocationEstimate:
     )
 
 
+def _algorithm_label(localizer: "Localizer") -> str:
+    return localizer.name or type(localizer).__name__
+
+
+def _count_estimate(label: str, estimate: LocationEstimate) -> None:
+    obs.counter("locate.valid" if estimate.valid else "locate.invalid", algorithm=label).inc()
+
+
+def _instrument_locate(fn: Callable) -> Callable:
+    """Wrap a ``locate`` implementation with latency + validity metrics.
+
+    Requests served through :meth:`Localizer.locate_many` suppress the
+    per-call emission (``_obs_in_batch``) so each observation is counted
+    exactly once whether it arrives singly or in a batch; nested tiers
+    (the fallback chain calling its member localizers) are separate
+    objects and keep their own per-algorithm series.
+    """
+
+    @functools.wraps(fn)
+    def locate(self, observation):
+        if getattr(self, "_obs_in_batch", False):
+            return fn(self, observation)
+        label = _algorithm_label(self)
+        with obs.span(f"locate.{label}"):
+            t0 = time.perf_counter()
+            estimate = fn(self, observation)
+        obs.histogram("locate.latency_ms", algorithm=label).observe(
+            1000.0 * (time.perf_counter() - t0)
+        )
+        _count_estimate(label, estimate)
+        return estimate
+
+    locate._obs_instrumented = True
+    return locate
+
+
+def _instrument_locate_many(fn: Callable) -> Callable:
+    """Wrap a ``locate_many`` with batch latency + per-request validity."""
+
+    @functools.wraps(fn)
+    def locate_many(self, observations):
+        if getattr(self, "_obs_in_batch", False):
+            return fn(self, observations)
+        label = _algorithm_label(self)
+        self._obs_in_batch = True
+        try:
+            with obs.span(f"locate_many.{label}"):
+                t0 = time.perf_counter()
+                estimates = fn(self, observations)
+        finally:
+            self._obs_in_batch = False
+        obs.histogram("locate.batch_ms", algorithm=label).observe(
+            1000.0 * (time.perf_counter() - t0)
+        )
+        obs.counter("locate.batched", algorithm=label).inc(len(estimates))
+        # One aggregated emission per batch, not one lookup per estimate:
+        # a per-request loop here costs ~5% of the whole PERF-BATCH path.
+        n_valid = sum(1 for e in estimates if e.valid)
+        if n_valid:
+            obs.counter("locate.valid", algorithm=label).inc(n_valid)
+        if n_valid != len(estimates):
+            obs.counter("locate.invalid", algorithm=label).inc(len(estimates) - n_valid)
+        return estimates
+
+    locate_many._obs_instrumented = True
+    return locate_many
+
+
 class Localizer(abc.ABC):
-    """Phase-1 fit / Phase-2 locate, the toolkit's algorithm contract."""
+    """Phase-1 fit / Phase-2 locate, the toolkit's algorithm contract.
+
+    Every concrete ``locate``/``locate_many`` override is transparently
+    instrumented at class-creation time (latency histograms and
+    valid/invalid counters on the global :mod:`repro.obs` registry);
+    the raw implementation stays reachable as ``locate.__wrapped__``.
+    """
 
     #: Registry name, set by :func:`register_algorithm`.
     name: str = ""
+
+    #: Re-entrancy flag: True while this object is inside locate_many.
+    _obs_in_batch: bool = False
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        for attr, wrapper in (
+            ("locate", _instrument_locate),
+            ("locate_many", _instrument_locate_many),
+        ):
+            fn = cls.__dict__.get(attr)
+            if fn is not None and not getattr(fn, "_obs_instrumented", False):
+                setattr(cls, attr, wrapper(fn))
 
     @abc.abstractmethod
     def fit(self, db: TrainingDatabase) -> "Localizer":
@@ -184,6 +274,12 @@ class Localizer(abc.ABC):
         if observation.bssids and list(observation.bssids) != list(bssids):
             return observation.reordered(bssids)
         return observation
+
+
+# The default batch loop is instrumented too, so subclasses that never
+# override locate_many still emit batch metrics (their inner locate
+# calls are suppressed by the re-entrancy flag — one count per request).
+Localizer.locate_many = _instrument_locate_many(Localizer.locate_many)
 
 
 _REGISTRY: Dict[str, Callable[..., Localizer]] = {}

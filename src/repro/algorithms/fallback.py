@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.base import (
     LocationEstimate,
     Localizer,
@@ -131,6 +132,7 @@ class FallbackLocalizer(Localizer):
                 tier.fit(db)
             except (ValueError, RuntimeError) as exc:
                 self.fit_errors[_tier_name(tier)] = str(exc)
+                obs.counter("fallback.tier_fit_failed", tier=_tier_name(tier)).inc()
                 continue
             self._fitted.append(tier)
         if not self._fitted:
@@ -171,14 +173,17 @@ class FallbackLocalizer(Localizer):
                 est = tier.locate(observation)
             except (ValueError, RuntimeError) as exc:
                 declined.append({"tier": name, "reason": f"error: {exc}"})
+                obs.counter("fallback.declined", tier=name).inc()
                 continue
             reason = self._decline_reason(tier, est)
             if reason is not None:
                 declined.append({"tier": name, "reason": reason})
+                obs.counter("fallback.declined", tier=name).inc()
                 continue
             details = dict(est.details)
             details["tier"] = name
             details["declined"] = declined
+            obs.counter("fallback.answered", tier=name).inc()
             return LocationEstimate(
                 position=est.position,
                 location_name=est.location_name,
@@ -186,4 +191,5 @@ class FallbackLocalizer(Localizer):
                 valid=True,
                 details=details,
             )
+        obs.counter("fallback.exhausted").inc()
         return invalid_estimate("all fallback tiers declined", tier=None, declined=declined)

@@ -113,8 +113,10 @@ class KNNLocalizer(Localizer):
         obs_heard = np.isfinite(obs_rows)
         train_heard = np.isfinite(means)
         both = obs_heard[:, None, :] & train_heard[None, :, :]
+        # Same `both` masking as signal_distances — batch and single
+        # paths must stay bit-for-bit identical.
         diff = np.where(
-            both, obs_rows[:, None, :] - np.where(train_heard, means, 0.0)[None, :, :], 0.0
+            both, obs_rows[:, None, :] - np.where(both, means[None, :, :], 0.0), 0.0
         )
         sq = (diff**2).sum(axis=2)
         mismatch = (obs_heard[:, None, :] ^ train_heard[None, :, :]).sum(axis=2)
@@ -151,7 +153,9 @@ class KNNLocalizer(Localizer):
                     valid=bool(np.isfinite(aligned.mean_rssi()).sum() >= self.min_heard),
                     details={
                         "neighbors": [self._db.records[int(i)].name for i in idx[m]],
-                        "signal_distances_db": neighbor_d[m],
+                        # copy: neighbor_d[m] is a live row view of the
+                        # whole (M, k) matrix (see probabilistic.py).
+                        "signal_distances_db": neighbor_d[m].copy(),
                     },
                 )
             )

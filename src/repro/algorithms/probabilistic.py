@@ -144,8 +144,12 @@ class ProbabilisticLocalizer(Localizer):
         train_heard = np.isfinite(means)  # (L, A)
 
         both = obs_heard[:, None, :] & train_heard[None, :, :]  # (M, L, A)
-        z = np.where(both, obs_rows[:, None, :] - np.where(train_heard, means, 0.0)[None, :, :], 0.0)
-        sd = np.where(train_heard, stds, 1.0)[None, :, :]
+        # Mask with `both` exactly as log_likelihoods does — masking sd
+        # by train_heard alone feeds NaN stds (single-sweep sessions)
+        # into the dead branch of the where and diverges from the
+        # single-observation path.
+        z = np.where(both, obs_rows[:, None, :] - np.where(both, means[None, :, :], 0.0), 0.0)
+        sd = np.where(both, stds[None, :, :], 1.0)
         loglik = np.where(both, -0.5 * (z / sd) ** 2 - np.log(sd) - 0.5 * _LOG_2PI, 0.0)
         mismatch = obs_heard[:, None, :] ^ train_heard[None, :, :]
         penalty = -0.5 * self.missing_penalty_sigma**2 - 0.5 * _LOG_2PI
@@ -173,7 +177,10 @@ class ProbabilisticLocalizer(Localizer):
                     score=float(ll[m, best[m]]),
                     valid=common >= self.min_common_aps,
                     details={
-                        "log_likelihoods": ll[m],
+                        # A copy, not a row view: a view would pin the
+                        # whole (M, L) matrix per estimate and let one
+                        # caller's mutation corrupt its siblings.
+                        "log_likelihoods": ll[m].copy(),
                         "common_aps": common,
                         "runner_up": self._db.records[int(order[m, -2])].name
                         if ll.shape[1] > 1

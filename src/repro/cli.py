@@ -37,6 +37,64 @@ def _fail(message: str) -> "NoReturn":  # noqa: F821 - py3.9 compat
 
 
 # ----------------------------------------------------------------------
+# observability plumbing shared by the pipeline commands
+# ----------------------------------------------------------------------
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a JSON metrics snapshot (counters/gauges/histograms) to PATH "
+        "and print the text summary",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL trace of nested pipeline spans (wall/CPU ms) to PATH",
+    )
+
+
+class _ObsSession:
+    """Activates tracing around a command and writes --metrics/--trace out.
+
+    Written from ``__exit__`` even when the command fails partway — a
+    trace of a failed run is exactly when an operator wants one.
+    """
+
+    def __init__(self, args: argparse.Namespace):
+        self.metrics_path = getattr(args, "metrics", None)
+        self.trace_path = getattr(args, "trace", None)
+        self._tracer = None
+        self._activation = None
+
+    def __enter__(self) -> "_ObsSession":
+        from repro import obs
+
+        if self.trace_path:
+            self._tracer = obs.Tracer()
+            self._activation = self._tracer.activate()
+            self._activation.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        import json
+
+        from repro import obs
+
+        if self._activation is not None:
+            self._activation.__exit__(exc_type, exc, tb)
+        if self.trace_path:
+            n = self._tracer.write_jsonl(self.trace_path)
+            print(f"wrote {n} trace span(s) to {self.trace_path}")
+        if self.metrics_path:
+            snap = obs.snapshot()
+            Path(self.metrics_path).write_text(
+                json.dumps(snap, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            print(f"wrote metrics snapshot to {self.metrics_path}")
+            print(obs.render_text(snap))
+
+
+# ----------------------------------------------------------------------
 # floorplan-processor
 # ----------------------------------------------------------------------
 def processor_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -168,30 +226,32 @@ def generator_main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="PATH",
         help="also write the ingest report (files read/kept/skipped/quarantined) to PATH",
     )
+    _add_obs_flags(parser)
     args = parser.parse_args(argv)
-    try:
-        db = generate_training_db(
-            args.collection,
-            args.location_map,
-            output=args.output,
-            strict=not args.lenient,
-            lenient=args.lenient,
+    with _ObsSession(args):
+        try:
+            db = generate_training_db(
+                args.collection,
+                args.location_map,
+                output=args.output,
+                strict=not args.lenient,
+                lenient=args.lenient,
+            )
+        except (TrainingDBError, OSError, ValueError) as exc:
+            _fail(str(exc))
+        size = Path(args.output).stat().st_size
+        print(
+            f"wrote {args.output}: {len(db)} locations, {len(db.bssids)} APs, "
+            f"{db.total_samples()} sweeps, {size} bytes"
         )
-    except (TrainingDBError, OSError, ValueError) as exc:
-        _fail(str(exc))
-    size = Path(args.output).stat().st_size
-    print(
-        f"wrote {args.output}: {len(db)} locations, {len(db.bssids)} APs, "
-        f"{db.total_samples()} sweeps, {size} bytes"
-    )
-    report = db.ingest_report
-    if report is not None and (args.lenient or not report.clean):
-        print(report.summary())
-    if args.ingest_report:
-        if report is None:
-            _fail("--ingest-report needs a file-based collection (directory or zip)")
-        Path(args.ingest_report).write_text(report.summary() + "\n", encoding="utf-8")
-        print(f"wrote ingest report to {args.ingest_report}")
+        report = db.ingest_report
+        if report is not None and (args.lenient or not report.clean):
+            print(report.summary())
+        if args.ingest_report:
+            if report is None:
+                _fail("--ingest-report needs a file-based collection (directory or zip)")
+            Path(args.ingest_report).write_text(report.summary() + "\n", encoding="utf-8")
+            print(f"wrote ingest report to {args.ingest_report}")
     return 0
 
 
@@ -235,50 +295,52 @@ def locate_main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="parse the observation in recovering mode (skip bad lines)",
     )
+    _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
-    try:
-        db = TrainingDatabase.load(args.database)
-        session = parse_wiscan(
-            Path(args.observation).read_text(encoding="utf-8"),
-            source=args.observation,
-            recover=args.lenient,
-        )
-    except (ValueError, OSError) as exc:
-        _fail(str(exc))
+    with _ObsSession(args):
+        try:
+            db = TrainingDatabase.load(args.database)
+            session = parse_wiscan(
+                Path(args.observation).read_text(encoding="utf-8"),
+                source=args.observation,
+                recover=args.lenient,
+            )
+        except (ValueError, OSError) as exc:
+            _fail(str(exc))
 
-    algorithm = "fallback" if args.fallback else args.algorithm
-    kwargs = {}
-    needs_plan = algorithm in ("geometric", "multilateration")
-    if needs_plan or (args.fallback and args.plan):
-        if not args.plan:
-            _fail(f"algorithm {algorithm!r} needs --plan for AP positions")
-        plan = FloorPlan.load(args.plan)
-        kwargs["ap_positions"] = ap_positions_by_bssid(plan, db)
+        algorithm = "fallback" if args.fallback else args.algorithm
+        kwargs = {}
+        needs_plan = algorithm in ("geometric", "multilateration")
+        if needs_plan or (args.fallback and args.plan):
+            if not args.plan:
+                _fail(f"algorithm {algorithm!r} needs --plan for AP positions")
+            plan = FloorPlan.load(args.plan)
+            kwargs["ap_positions"] = ap_positions_by_bssid(plan, db)
+            if args.fallback:
+                try:
+                    kwargs["bounds"] = site_bounds(plan)
+                except FloorPlanError:
+                    pass  # un-framed plan: chain runs without bounds
+        try:
+            localizer = make_localizer(algorithm, **kwargs).fit(db)
+        except (KeyError, ValueError) as exc:
+            _fail(str(exc))
+
+        observation = Observation(session.rssi_matrix(db.bssids), bssids=db.bssids)
+        estimate = localizer.locate(observation)
+        declined = estimate.details.get("declined") or ()
+        for d in declined:
+            print(f"tier {d['tier']} declined: {d['reason']}")
+        if not estimate.valid or estimate.position is None:
+            reason = estimate.details.get("reason", "insufficient data")
+            print(f"no valid estimate ({reason})")
+            return 1
+        print(f"estimated position: ({estimate.position.x:.2f}, {estimate.position.y:.2f}) ft")
+        if estimate.location_name:
+            print(f"estimated location: {estimate.location_name}")
         if args.fallback:
-            try:
-                kwargs["bounds"] = site_bounds(plan)
-            except FloorPlanError:
-                pass  # un-framed plan: chain runs without bounds
-    try:
-        localizer = make_localizer(algorithm, **kwargs).fit(db)
-    except (KeyError, ValueError) as exc:
-        _fail(str(exc))
-
-    observation = Observation(session.rssi_matrix(db.bssids), bssids=db.bssids)
-    estimate = localizer.locate(observation)
-    declined = estimate.details.get("declined") or ()
-    for d in declined:
-        print(f"tier {d['tier']} declined: {d['reason']}")
-    if not estimate.valid or estimate.position is None:
-        reason = estimate.details.get("reason", "insufficient data")
-        print(f"no valid estimate ({reason})")
-        return 1
-    print(f"estimated position: ({estimate.position.x:.2f}, {estimate.position.y:.2f}) ft")
-    if estimate.location_name:
-        print(f"estimated location: {estimate.location_name}")
-    if args.fallback:
-        print(f"answered by tier: {estimate.details.get('tier')}")
+            print(f"answered by tier: {estimate.details.get('tier')}")
     return 0
 
 

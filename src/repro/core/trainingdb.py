@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.geometry import Point
 from repro.core.locationmap import LocationMap
 from repro.wiscan.collection import WiScanCollection
@@ -223,7 +224,8 @@ class TrainingDatabase:
 
     @classmethod
     def load(cls, path: PathLike) -> "TrainingDatabase":
-        return cls.from_bytes(Path(path).read_bytes())
+        with obs.span("trainingdb.load", path=str(path)):
+            return cls.from_bytes(Path(path).read_bytes())
 
 
 def _pack_str(s: str) -> bytes:
@@ -263,36 +265,43 @@ def generate_training_db(
         all-or-nothing; the ingest audit trail is attached to the
         returned database as ``db.ingest_report``.
     """
-    coll = (
-        collection
-        if isinstance(collection, WiScanCollection)
-        else WiScanCollection.load(collection, lenient=lenient)
-    )
-    lmap = (
-        location_map
-        if isinstance(location_map, LocationMap)
-        else LocationMap.load(location_map)
-    )
+    with obs.span("trainingdb.build"):
+        coll = (
+            collection
+            if isinstance(collection, WiScanCollection)
+            else WiScanCollection.load(collection, lenient=lenient)
+        )
+        lmap = (
+            location_map
+            if isinstance(location_map, LocationMap)
+            else LocationMap.load(location_map)
+        )
 
-    bssids = coll.all_bssids()
-    if not bssids:
-        raise TrainingDBError("wi-scan collection contains no AP sightings at all")
-    records: List[LocationRecord] = []
-    for session in coll:
-        if session.location in lmap:
-            position = lmap.position(session.location)
-        elif not strict and session.position is not None:
-            position = Point(*session.position)
-        else:
-            raise TrainingDBError(
-                f"wi-scan location {session.location!r} is not in the location map "
-                f"(map has {sorted(lmap.names())})"
-            )
-        matrix = session.rssi_matrix(bssids).astype(np.float32)
-        records.append(LocationRecord(session.location, position, matrix))
+        bssids = coll.all_bssids()
+        if not bssids:
+            raise TrainingDBError("wi-scan collection contains no AP sightings at all")
+        records: List[LocationRecord] = []
+        with obs.span("trainingdb.assemble"):
+            for session in coll:
+                if session.location in lmap:
+                    position = lmap.position(session.location)
+                elif not strict and session.position is not None:
+                    position = Point(*session.position)
+                else:
+                    raise TrainingDBError(
+                        f"wi-scan location {session.location!r} is not in the location map "
+                        f"(map has {sorted(lmap.names())})"
+                    )
+                matrix = session.rssi_matrix(bssids).astype(np.float32)
+                records.append(LocationRecord(session.location, position, matrix))
 
-    db = TrainingDatabase(bssids, records)
-    db.ingest_report = getattr(coll, "ingest_report", None)
-    if output is not None:
-        db.save(output)
-    return db
+        db = TrainingDatabase(bssids, records)
+        db.ingest_report = getattr(coll, "ingest_report", None)
+        obs.counter("trainingdb.builds").inc()
+        obs.gauge("trainingdb.locations").set(len(db))
+        obs.gauge("trainingdb.aps").set(len(db.bssids))
+        obs.gauge("trainingdb.samples").set(db.total_samples())
+        if output is not None:
+            with obs.span("trainingdb.save", path=str(output)):
+                db.save(output)
+        return db

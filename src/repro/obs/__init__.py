@@ -1,0 +1,50 @@
+"""Observability: metrics, tracing and rendering for the pipeline.
+
+The ingest → train → locate pipeline is instrumented end-to-end
+through this package (see docs/observability.md for the metric-name
+catalogue and the trace format):
+
+* :mod:`repro.obs.metrics` — counters, gauges, reservoir-free
+  streaming histograms, and a process-global default registry.
+* :mod:`repro.obs.trace` — ``span("stage")`` context managers feeding
+  a JSONL :class:`Tracer` with nesting and wall/CPU time.
+* :mod:`repro.obs.render` — ``render_text()`` snapshot formatting.
+
+Everything is stdlib-only so any layer can import it without cycles.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    reset,
+    set_enabled,
+    set_registry,
+    snapshot,
+)
+from repro.obs.render import render_text
+from repro.obs.trace import Tracer, current_tracer, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "counter",
+    "current_tracer",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "render_text",
+    "reset",
+    "set_enabled",
+    "set_registry",
+    "snapshot",
+    "span",
+]

@@ -1,0 +1,278 @@
+"""Counters, gauges and streaming histograms for the toolkit's hot paths.
+
+Design constraints (this is the substrate every perf PR reports
+through, so it must be boring and cheap):
+
+* **Dependency-free** — stdlib only, importable from every layer
+  (format parser, pool, algorithms) without cycles.
+* **Reservoir-free quantiles** — :class:`Histogram` is log-bucketed
+  (multiplicative bucket width ``growth``), so p50/p95/p99 come from a
+  fixed-size dict with a bounded relative error of ``growth - 1``
+  regardless of how many values streamed through.  No sampling, no
+  sorting, no unbounded memory.
+* **Labels** — metrics take keyword labels
+  (``counter("locate.requests", algorithm="knn")``); each label
+  combination is its own time series, rendered as
+  ``name{algorithm=knn}``.
+* **A process-global default registry** — instrumented library code
+  emits into it unconditionally; tests grab :func:`snapshot` and call
+  :func:`reset` around themselves.  :func:`set_enabled` (False) swaps
+  every lookup for shared no-op metrics, which is how the overhead
+  bench isolates instrumentation cost.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_registry",
+    "set_registry",
+    "set_enabled",
+    "snapshot",
+    "reset",
+]
+
+
+def _series_name(name: str, labels: Dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {n})")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (worker counts, database sizes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Streaming log-bucketed histogram with bounded-error quantiles.
+
+    Positive values land in bucket ``floor(log(v) / log(growth))``; a
+    quantile answer is the geometric midpoint of its bucket, so the
+    relative error is at most ``growth - 1`` (4 % by default).  Zero
+    and negative values (legal for e.g. dB deltas) are counted in a
+    single underflow bucket pinned to the exact minimum seen.
+    """
+
+    __slots__ = ("name", "growth", "_log_growth", "count", "total", "min", "max",
+                 "_buckets", "_nonpositive")
+
+    def __init__(self, name: str, growth: float = 1.04):
+        if growth <= 1.0:
+            raise ValueError(f"histogram growth must be > 1, got {growth}")
+        self.name = name
+        self.growth = float(growth)
+        self._log_growth = math.log(self.growth)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets: Dict[int, int] = {}
+        self._nonpositive = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self._nonpositive += 1
+            return
+        idx = int(math.floor(math.log(value) / self._log_growth))
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (0 <= q <= 1) of everything observed."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        target = q * self.count
+        seen = self._nonpositive
+        if seen >= target and self._nonpositive:
+            return self.min  # inside the underflow bucket
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if seen >= target:
+                # geometric midpoint of [growth^idx, growth^(idx+1))
+                mid = math.exp((idx + 0.5) * self._log_growth)
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class _NullMetric:
+    """Shared sink used while the subsystem is disabled."""
+
+    name = "<disabled>"
+    value = 0
+
+    def inc(self, n=1):  # noqa: D102 - deliberate no-ops
+        pass
+
+    def dec(self, n=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+_NULL = _NullMetric()
+
+
+class MetricsRegistry:
+    """A namespace of named metrics; creation is thread-safe."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- lookup-or-create ------------------------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = _series_name(name, labels)
+        m = self._counters.get(key)
+        if m is None:
+            with self._lock:
+                m = self._counters.setdefault(key, Counter(key))
+        return m
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = _series_name(name, labels)
+        m = self._gauges.get(key)
+        if m is None:
+            with self._lock:
+                m = self._gauges.setdefault(key, Gauge(key))
+        return m
+
+    def histogram(self, name: str, growth: float = 1.04, **labels: str) -> Histogram:
+        key = _series_name(name, labels)
+        m = self._histograms.get(key)
+        if m is None:
+            with self._lock:
+                m = self._histograms.setdefault(key, Histogram(key, growth=growth))
+        return m
+
+    # -- reading ---------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-serializable view of every series (stable key order)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {k: h.summary() for k, h in sorted(self._histograms.items())},
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# process-global default registry
+# ----------------------------------------------------------------------
+_default = MetricsRegistry()
+_enabled = True
+
+
+def get_registry() -> MetricsRegistry:
+    return _default
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry; returns the previous one (for tests)."""
+    global _default
+    previous, _default = _default, registry
+    return previous
+
+
+def set_enabled(enabled: bool) -> bool:
+    """Globally enable/disable emission; returns the previous state."""
+    global _enabled
+    previous, _enabled = _enabled, bool(enabled)
+    return previous
+
+
+def counter(name: str, **labels: str):
+    return _default.counter(name, **labels) if _enabled else _NULL
+
+
+def gauge(name: str, **labels: str):
+    return _default.gauge(name, **labels) if _enabled else _NULL
+
+
+def histogram(name: str, **labels: str):
+    return _default.histogram(name, **labels) if _enabled else _NULL
+
+
+def snapshot() -> Dict[str, Dict[str, object]]:
+    return _default.snapshot()
+
+
+def reset() -> None:
+    _default.reset()

@@ -1,0 +1,59 @@
+"""Human-readable rendering of a metrics snapshot.
+
+``render_text()`` is what the CLI prints next to ``--metrics`` output
+and what ``benchmarks/make_report.py`` folds into RESULTS.md — one
+aligned block per metric kind, histogram rows carrying the quantiles an
+operator actually reads (see docs/observability.md for how).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["render_text"]
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "nan"
+    if abs(value) >= 1000 or value == int(value):
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def render_text(snapshot: Optional[Dict[str, Dict[str, object]]] = None) -> str:
+    """Format a snapshot (default: the global registry) as aligned text."""
+    snap = snapshot if snapshot is not None else _metrics.snapshot()
+    counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
+    histograms = snap.get("histograms", {})
+    if not (counters or gauges or histograms):
+        return "no metrics recorded"
+
+    lines = []
+    width = max(
+        (len(k) for k in list(counters) + list(gauges) + list(histograms)),
+        default=0,
+    )
+    if counters:
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}s} {value}")
+    if gauges:
+        lines.append("gauges:")
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}s} {_fmt(float(value))}")
+    if histograms:
+        lines.append("histograms:")
+        for name, s in histograms.items():
+            if not s.get("count"):
+                lines.append(f"  {name:<{width}s} count=0")
+                continue
+            lines.append(
+                f"  {name:<{width}s} count={s['count']} mean={_fmt(s['mean'])} "
+                f"p50={_fmt(s['p50'])} p95={_fmt(s['p95'])} p99={_fmt(s['p99'])} "
+                f"max={_fmt(s['max'])}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Lightweight tracing: nested spans with wall and CPU time, JSONL out.
+
+A :func:`span` context manager wraps a pipeline stage::
+
+    with span("trainingdb.build", source=str(path)):
+        ...
+
+While a :class:`Tracer` is active (``with tracer.activate(): ...``)
+every span that closes appends one event carrying its name, nesting
+depth, parent span id, wall/CPU milliseconds, outcome (``ok`` or the
+exception type) and any keyword attributes.  With no tracer active a
+span costs one context-manager entry and two ``None`` checks — cheap
+enough to leave on the hot paths permanently.
+
+Events are recorded at span *exit*, so children precede their parents
+in the JSONL file; ``id``/``parent``/``depth``/``t_start_ms`` are
+enough to rebuild the tree.  The active-span stack is thread-local:
+spans on worker threads nest correctly within their own thread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = ["Tracer", "span", "current_tracer"]
+
+_state = threading.local()
+
+
+def _stack() -> List[int]:
+    stack = getattr(_state, "stack", None)
+    if stack is None:
+        stack = _state.stack = []
+    return stack
+
+
+_active: Optional["Tracer"] = None
+
+
+def current_tracer() -> Optional["Tracer"]:
+    return _active
+
+
+class Tracer:
+    """Collects span events; activate around the work, then write JSONL."""
+
+    def __init__(self):
+        self.events: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._origin = time.perf_counter()
+
+    @contextmanager
+    def activate(self) -> Iterator["Tracer"]:
+        """Install as the process-wide active tracer for the block."""
+        global _active
+        previous = _active
+        _active = self
+        try:
+            yield self
+        finally:
+            _active = previous
+
+    # -- called by span() ------------------------------------------------
+    def _open(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def _close(self, event: Dict[str, object]) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    # -- output ----------------------------------------------------------
+    def write_jsonl(self, path: Union[str, "os.PathLike"]) -> int:
+        """Write one JSON object per event; returns the event count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+        return len(self.events)
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[None]:
+    """Trace one pipeline stage; records even when the body raises."""
+    tracer = _active
+    if tracer is None:
+        yield
+        return
+    stack = _stack()
+    span_id = tracer._open()
+    parent = stack[-1] if stack else None
+    stack.append(span_id)
+    t0 = time.perf_counter()
+    c0 = time.process_time()
+    status = "ok"
+    try:
+        yield
+    except BaseException as exc:
+        status = type(exc).__name__
+        raise
+    finally:
+        wall_ms = 1000.0 * (time.perf_counter() - t0)
+        cpu_ms = 1000.0 * (time.process_time() - c0)
+        stack.pop()
+        event: Dict[str, object] = {
+            "name": name,
+            "id": span_id,
+            "parent": parent,
+            "depth": len(stack),
+            "t_start_ms": 1000.0 * (t0 - tracer._origin),
+            "wall_ms": wall_ms,
+            "cpu_ms": cpu_ms,
+            "status": status,
+        }
+        if attrs:
+            event["attrs"] = attrs
+        tracer._close(event)

@@ -16,9 +16,12 @@ Design notes (per the hpc-parallel guides):
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro import obs
 
 
 @dataclass(frozen=True)
@@ -68,6 +71,23 @@ def _chunked(items: Sequence[Any], size: int) -> List[Sequence[Any]]:
     return [items[i : i + size] for i in range(0, len(items), size)]
 
 
+def _note_serial_fallback(kind: str, exc: BaseException) -> None:
+    """A pool failed to start: run serially, but *visibly*.
+
+    Sandboxes without fork/spawn are survivable, yet a sweep that
+    quietly lost its parallelism looks identical to a fast one — so the
+    degradation is both counted (``parallel.serial_fallback``) and
+    warned once per occurrence.
+    """
+    obs.counter("parallel.serial_fallback", kind=kind).inc()
+    warnings.warn(
+        f"{kind}: process pool unavailable ({type(exc).__name__}: {exc}); "
+        "falling back to serial execution",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def parallel_map(
     func: Callable[[Any], Any],
     items: Iterable[Any],
@@ -84,13 +104,20 @@ def parallel_map(
     items = list(items)
     workers = config.resolved_workers()
     if len(items) < config.serial_threshold or workers <= 1:
+        obs.counter("parallel.serial_small", kind="map").inc()
         return [func(item) for item in items]
 
     chunks = _chunked(items, config.resolved_chunk_size(len(items), workers))
+    pool_workers = min(workers, len(chunks))
+    obs.counter("parallel.maps", kind="map").inc()
+    obs.counter("parallel.chunks", kind="map").inc(len(chunks))
+    obs.gauge("parallel.workers").set(pool_workers)
     try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-            chunk_results = list(pool.map(_apply_chunk, [func] * len(chunks), chunks))
-    except (OSError, PermissionError):  # sandboxes without fork/spawn
+        with obs.span("parallel.map", n_items=len(items), n_chunks=len(chunks)):
+            with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+                chunk_results = list(pool.map(_apply_chunk, [func] * len(chunks), chunks))
+    except (OSError, PermissionError) as exc:  # sandboxes without fork/spawn
+        _note_serial_fallback("parallel_map", exc)
         return [func(item) for item in items]
     return [result for chunk in chunk_results for result in chunk]
 
@@ -105,12 +132,19 @@ def parallel_starmap(
     argtuples = [tuple(t) for t in argtuples]
     workers = config.resolved_workers()
     if len(argtuples) < config.serial_threshold or workers <= 1:
+        obs.counter("parallel.serial_small", kind="starmap").inc()
         return [func(*args) for args in argtuples]
 
     chunks = _chunked(argtuples, config.resolved_chunk_size(len(argtuples), workers))
+    pool_workers = min(workers, len(chunks))
+    obs.counter("parallel.maps", kind="starmap").inc()
+    obs.counter("parallel.chunks", kind="starmap").inc(len(chunks))
+    obs.gauge("parallel.workers").set(pool_workers)
     try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-            chunk_results = list(pool.map(_star_apply_chunk, [func] * len(chunks), chunks))
-    except (OSError, PermissionError):
+        with obs.span("parallel.starmap", n_items=len(argtuples), n_chunks=len(chunks)):
+            with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+                chunk_results = list(pool.map(_star_apply_chunk, [func] * len(chunks), chunks))
+    except (OSError, PermissionError) as exc:
+        _note_serial_fallback("parallel_starmap", exc)
         return [func(*args) for args in argtuples]
     return [result for chunk in chunk_results for result in chunk]

@@ -10,14 +10,20 @@ audit trail, carried on the resulting
 :class:`~repro.wiscan.collection.WiScanCollection` as
 ``collection.ingest_report``.
 
-This module is dependency-free on purpose: every layer of the toolkit
-(format parser, collection loader, CLI) can import it without cycles.
+This module depends only on :mod:`repro.obs` (itself stdlib-only), so
+every layer of the toolkit (format parser, collection loader, CLI) can
+import it without cycles.  Every tally recorded here is *also* emitted
+as an ``ingest.*`` counter on the global metrics registry, so a
+long-running service sees cumulative ingest health across collections
+while each :class:`IngestReport` stays the per-ingest audit trail.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import List
+
+from repro import obs
 
 
 @dataclass(frozen=True)
@@ -66,14 +72,25 @@ class IngestReport:
     # ------------------------------------------------------------------
     # recording (called by the parser / collection layers)
     # ------------------------------------------------------------------
+    def count_file(self, n: int = 1) -> None:
+        self.files_read += n
+        obs.counter("ingest.files_read").inc(n)
+
+    def count_records(self, n: int) -> None:
+        self.records_kept += n
+        obs.counter("ingest.records_kept").inc(n)
+
     def skip_line(self, source: str, line_no: int, reason: str) -> None:
         self.skipped_lines.append(SkippedLine(source, line_no, reason))
+        obs.counter("ingest.skipped_lines").inc()
 
     def quarantine(self, source: str, reason: str) -> None:
         self.quarantined.append(QuarantinedSource(source, reason))
+        obs.counter("ingest.quarantined").inc()
 
     def conflict(self, location: str, key: str, kept: str, dropped: str, source: str) -> None:
         self.conflicts.append(HeaderConflict(location, key, kept, dropped, source))
+        obs.counter("ingest.header_conflicts").inc()
 
     # ------------------------------------------------------------------
     # reading

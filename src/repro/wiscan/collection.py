@@ -42,6 +42,7 @@ import zlib
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.robustness.report import IngestReport
 from repro.wiscan.format import WiScanFile, WiScanFormatError, parse_wiscan
 
@@ -70,13 +71,14 @@ class WiScanCollection:
     def load(cls, source: PathLike, *, lenient: bool = False) -> "WiScanCollection":
         """Load from a directory or a ``.zip`` archive (auto-detected)."""
         path = Path(source)
-        if path.is_dir():
-            return cls.from_directory(path, lenient=lenient)
-        if path.is_file() and zipfile.is_zipfile(path):
-            return cls.from_zip(path, lenient=lenient)
-        if path.is_file():
-            raise WiScanFormatError(f"{path} is neither a directory nor a zip archive")
-        raise FileNotFoundError(f"wi-scan collection source does not exist: {path}")
+        with obs.span("wiscan.load", source=str(path)):
+            if path.is_dir():
+                return cls.from_directory(path, lenient=lenient)
+            if path.is_file() and zipfile.is_zipfile(path):
+                return cls.from_zip(path, lenient=lenient)
+            if path.is_file():
+                raise WiScanFormatError(f"{path} is neither a directory nor a zip archive")
+            raise FileNotFoundError(f"wi-scan collection source does not exist: {path}")
 
     @classmethod
     def from_directory(
@@ -86,13 +88,14 @@ class WiScanCollection:
         root = Path(directory)
         if not root.is_dir():
             raise NotADirectoryError(f"not a directory: {root}")
-        report = IngestReport(lenient=lenient)
-        texts: List[Tuple[str, str]] = []
-        for path in sorted(root.rglob(f"*{WISCAN_SUFFIX}")):
-            text = _decode_member(str(path), path.read_bytes(), lenient, report)
-            if text is not None:
-                texts.append((str(path), text))
-        return cls._from_texts(texts, lenient=lenient, report=report)
+        with obs.span("wiscan.from_directory", source=str(root)):
+            report = IngestReport(lenient=lenient)
+            texts: List[Tuple[str, str]] = []
+            for path in sorted(root.rglob(f"*{WISCAN_SUFFIX}")):
+                text = _decode_member(str(path), path.read_bytes(), lenient, report)
+                if text is not None:
+                    texts.append((str(path), text))
+            return cls._from_texts(texts, lenient=lenient, report=report)
 
     @classmethod
     def from_zip(cls, archive: PathLike, *, lenient: bool = False) -> "WiScanCollection":
@@ -102,47 +105,48 @@ class WiScanCollection:
         at all, :class:`WiScanFormatError` for damaged or malformed
         members (in lenient mode those are quarantined instead).
         """
-        report = IngestReport(lenient=lenient)
-        texts: List[Tuple[str, str]] = []
-        try:
-            zf = zipfile.ZipFile(archive)
-        except zipfile.BadZipFile:
-            raise
-        except (NotImplementedError, ValueError, OverflowError, UnicodeDecodeError) as exc:
-            # Central-directory damage surfaces from the constructor as a
-            # grab-bag of builtins; normalize to the documented type.
-            raise zipfile.BadZipFile(f"corrupt zip archive: {exc}") from None
-        with zf:
-            for name in sorted(zf.namelist()):
-                if name.endswith("/") or not name.endswith(WISCAN_SUFFIX):
-                    continue
-                source = f"{archive}!{name}"
-                try:
-                    raw = zf.read(name)
-                except (
-                    zipfile.BadZipFile,
-                    zlib.error,
-                    EOFError,
-                    # A flipped central-directory byte can claim an
-                    # unsupported compression method (NotImplementedError),
-                    # an encrypted member (RuntimeError), or a bogus header
-                    # offset that seeks before the start of the file
-                    # (ValueError / OSError) — zipfile leaks them all.
-                    NotImplementedError,
-                    RuntimeError,
-                    ValueError,
-                    OSError,
-                ) as exc:
-                    if lenient:
-                        report.quarantine(source, f"unreadable zip member: {exc}")
+        with obs.span("wiscan.from_zip", source=str(archive)):
+            report = IngestReport(lenient=lenient)
+            texts: List[Tuple[str, str]] = []
+            try:
+                zf = zipfile.ZipFile(archive)
+            except zipfile.BadZipFile:
+                raise
+            except (NotImplementedError, ValueError, OverflowError, UnicodeDecodeError) as exc:
+                # Central-directory damage surfaces from the constructor as a
+                # grab-bag of builtins; normalize to the documented type.
+                raise zipfile.BadZipFile(f"corrupt zip archive: {exc}") from None
+            with zf:
+                for name in sorted(zf.namelist()):
+                    if name.endswith("/") or not name.endswith(WISCAN_SUFFIX):
                         continue
-                    raise WiScanFormatError(
-                        f"{source}: unreadable zip member: {exc}"
-                    ) from None
-                text = _decode_member(source, raw, lenient, report)
-                if text is not None:
-                    texts.append((source, text))
-        return cls._from_texts(texts, lenient=lenient, report=report)
+                    source = f"{archive}!{name}"
+                    try:
+                        raw = zf.read(name)
+                    except (
+                        zipfile.BadZipFile,
+                        zlib.error,
+                        EOFError,
+                        # A flipped central-directory byte can claim an
+                        # unsupported compression method (NotImplementedError),
+                        # an encrypted member (RuntimeError), or a bogus header
+                        # offset that seeks before the start of the file
+                        # (ValueError / OSError) — zipfile leaks them all.
+                        NotImplementedError,
+                        RuntimeError,
+                        ValueError,
+                        OSError,
+                    ) as exc:
+                        if lenient:
+                            report.quarantine(source, f"unreadable zip member: {exc}")
+                            continue
+                        raise WiScanFormatError(
+                            f"{source}: unreadable zip member: {exc}"
+                        ) from None
+                    text = _decode_member(source, raw, lenient, report)
+                    if text is not None:
+                        texts.append((source, text))
+            return cls._from_texts(texts, lenient=lenient, report=report)
 
     @classmethod
     def _from_texts(
@@ -157,7 +161,7 @@ class WiScanCollection:
             raise WiScanFormatError("collection contains no *.wi-scan files")
         sessions: Dict[str, WiScanFile] = {}
         for source, text in texts:
-            report.files_read += 1
+            report.count_file()
             try:
                 parsed = parse_wiscan(text, source=source, recover=lenient, report=report)
             except WiScanFormatError as exc:
@@ -165,7 +169,7 @@ class WiScanCollection:
                     report.quarantine(source, str(exc))
                     continue
                 raise
-            report.records_kept += len(parsed.records)
+            report.count_records(len(parsed.records))
             existing = sessions.get(parsed.location)
             if existing is None:
                 sessions[parsed.location] = parsed

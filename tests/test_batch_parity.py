@@ -1,0 +1,174 @@
+"""Batch/single parity: locate_many must equal [locate(o) ...] bit-for-bit.
+
+The vectorized batch paths (probabilistic, kNN) re-derive the same
+quantities as the per-observation paths through differently-shaped
+broadcasts; this property suite pins them together exactly — score,
+validity, position and runner-up — under hypothesis-generated
+observations with arbitrary missing-AP patterns.  FieldMLE rides along
+to cover the default (loop) locate_many.
+
+Also the aliasing regression: per-estimate detail arrays must be
+copies, never live row views of the shared batch matrix.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import Observation
+from repro.algorithms.fieldmle import FieldMLELocalizer
+from repro.algorithms.knn import KNNLocalizer
+from repro.algorithms.probabilistic import ProbabilisticLocalizer
+from repro.core.geometry import Point
+from repro.core.trainingdb import LocationRecord, TrainingDatabase
+
+B = [f"02:00:00:00:00:{i:02x}" for i in range(4)]
+APS = [Point(0, 0), Point(50, 0), Point(50, 40), Point(0, 40)]
+
+
+def _rssi_at(p: Point) -> np.ndarray:
+    d = np.array([max(p.distance_to(a), 1.0) for a in APS])
+    return -35.0 - 25.0 * np.log10(d)
+
+
+def _grid_db(step=10.0, seed=0, noise=1.0) -> TrainingDatabase:
+    rng = np.random.default_rng(seed)
+    records = []
+    for y in np.arange(0, 41, step):
+        for x in np.arange(0, 51, step):
+            p = Point(float(x), float(y))
+            records.append(
+                LocationRecord(
+                    f"g{x:g}-{y:g}",
+                    p,
+                    rng.normal(_rssi_at(p), noise, (10, 4)).astype(np.float32),
+                )
+            )
+    return TrainingDatabase(B, records)
+
+
+DB = _grid_db()
+LOCALIZERS = {
+    "probabilistic": ProbabilisticLocalizer().fit(DB),
+    "knn": KNNLocalizer(k=3).fit(DB),
+    "fieldmle": FieldMLELocalizer(resolution_ft=5.0, refine=False).fit(DB),
+}
+
+# One observation: a handful of sweeps over 4 APs, RSSI in a realistic
+# band, any entry possibly missing (None -> NaN).
+_rssi_or_miss = st.one_of(
+    st.none(), st.floats(min_value=-95.0, max_value=-30.0, allow_nan=False)
+)
+_sweep = st.lists(_rssi_or_miss, min_size=4, max_size=4)
+_observation = st.lists(_sweep, min_size=1, max_size=4).map(
+    lambda rows: Observation(
+        np.array(
+            [[np.nan if v is None else v for v in row] for row in rows], dtype=float
+        ),
+        bssids=B,
+    )
+)
+_batch = st.lists(_observation, min_size=1, max_size=6)
+
+
+def _assert_identical(single, batched, label):
+    assert len(single) == len(batched)
+    for i, (a, b) in enumerate(zip(single, batched)):
+        ctx = f"{label}[{i}]"
+        assert a.valid == b.valid, ctx
+        assert a.location_name == b.location_name, ctx
+        # bit-for-bit: no tolerance
+        assert a.score == b.score, ctx
+        if a.position is None or b.position is None:
+            assert a.position is None and b.position is None, ctx
+        else:
+            assert a.position.x == b.position.x, ctx
+            assert a.position.y == b.position.y, ctx
+        assert a.details.get("runner_up") == b.details.get("runner_up"), ctx
+
+
+class TestBatchSingleParity:
+    @given(_batch)
+    @settings(max_examples=40, deadline=None)
+    def test_probabilistic(self, observations):
+        loc = LOCALIZERS["probabilistic"]
+        _assert_identical(
+            [loc.locate(o) for o in observations],
+            loc.locate_many(observations),
+            "probabilistic",
+        )
+
+    @given(_batch)
+    @settings(max_examples=40, deadline=None)
+    def test_knn(self, observations):
+        loc = LOCALIZERS["knn"]
+        _assert_identical(
+            [loc.locate(o) for o in observations],
+            loc.locate_many(observations),
+            "knn",
+        )
+
+    @given(_batch)
+    @settings(max_examples=15, deadline=None)
+    def test_fieldmle(self, observations):
+        loc = LOCALIZERS["fieldmle"]
+        _assert_identical(
+            [loc.locate(o) for o in observations],
+            loc.locate_many(observations),
+            "fieldmle",
+        )
+
+    def test_probabilistic_log_likelihood_paths_identical(self):
+        """The (M, L) matrix rows equal the per-observation vectors exactly."""
+        rng = np.random.default_rng(3)
+        observations = [
+            Observation(rng.normal(-60, 4, (3, 4)), bssids=B) for _ in range(8)
+        ]
+        # punch missing-AP holes to exercise the masking
+        for i, o in enumerate(observations):
+            o.samples[:, i % 4] = np.nan
+        loc = LOCALIZERS["probabilistic"]
+        matrix = loc.log_likelihood_matrix(observations)
+        for m, o in enumerate(observations):
+            np.testing.assert_array_equal(matrix[m], loc.log_likelihoods(o))
+
+    def test_knn_distance_paths_identical(self):
+        rng = np.random.default_rng(4)
+        observations = [
+            Observation(rng.normal(-60, 4, (3, 4)), bssids=B) for _ in range(8)
+        ]
+        for i, o in enumerate(observations):
+            o.samples[:, i % 4] = np.nan
+        loc = LOCALIZERS["knn"]
+        matrix = loc.signal_distance_matrix(observations)
+        for m, o in enumerate(observations):
+            np.testing.assert_array_equal(matrix[m], loc.signal_distances(o))
+
+
+class TestDetailsAliasing:
+    """details arrays are copies: mutating one estimate leaves its siblings."""
+
+    def _observations(self, n=4, seed=5):
+        rng = np.random.default_rng(seed)
+        return [Observation(rng.normal(-60, 4, (3, 4)), bssids=B) for _ in range(n)]
+
+    def test_probabilistic_details_not_views(self):
+        loc = LOCALIZERS["probabilistic"]
+        estimates = loc.locate_many(self._observations())
+        arrays = [e.details["log_likelihoods"] for e in estimates]
+        before = [a.copy() for a in arrays]
+        assert all(a.base is None for a in arrays), "row view leaked into details"
+        arrays[0][:] = 12345.0
+        for a, b in zip(arrays[1:], before[1:]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_knn_details_not_views(self):
+        loc = LOCALIZERS["knn"]
+        estimates = loc.locate_many(self._observations())
+        arrays = [e.details["signal_distances_db"] for e in estimates]
+        before = [a.copy() for a in arrays]
+        assert all(a.base is None for a in arrays), "row view leaked into details"
+        arrays[0][:] = -1.0
+        for a, b in zip(arrays[1:], before[1:]):
+            np.testing.assert_array_equal(a, b)

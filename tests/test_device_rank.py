@@ -93,7 +93,19 @@ class TestRankVector:
     def test_all_nan(self):
         assert np.isnan(_rank_vector(np.array([np.nan, np.nan]))).all()
 
-    @given(st.lists(st.floats(min_value=-100, max_value=-1, allow_nan=False), min_size=1, max_size=10))
+    @given(
+        st.lists(
+            # Half-dB grid: every value, and its image under the affine
+            # map below, is exactly representable, so the map is
+            # *strictly* monotone in float arithmetic.  Raw float inputs
+            # would be wrong-by-construction: two adjacent doubles can
+            # round to the same product, silently creating a tie on one
+            # side only (hypothesis found values=[-1.0, -1.0000000000000002]).
+            st.integers(min_value=-200, max_value=-2).map(lambda n: n * 0.5),
+            min_size=1,
+            max_size=10,
+        )
+    )
     @settings(max_examples=50)
     def test_monotone_transform_invariance(self, values):
         arr = np.array(values)

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro import obs
+from repro.parallel import pool
 from repro.parallel.pool import ParallelConfig, parallel_map, parallel_starmap
 from repro.parallel.rng import (
     check_independence,
@@ -103,3 +105,47 @@ class TestParallelMap:
 
     def test_starmap_serial(self):
         assert parallel_starmap(add, [(1, 2)]) == [3]
+
+
+class _UnstartablePool:
+    """Stand-in for ProcessPoolExecutor in a sandbox without fork."""
+
+    def __init__(self, *args, **kwargs):
+        raise OSError("no fork for you")
+
+
+class TestSerialFallbackVisibility:
+    """A pool that cannot start must degrade loudly, not silently."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_registry(self):
+        previous = obs.set_registry(obs.MetricsRegistry())
+        yield
+        obs.set_registry(previous)
+
+    def test_map_warns_counts_and_still_answers(self, monkeypatch):
+        monkeypatch.setattr(pool, "ProcessPoolExecutor", _UnstartablePool)
+        cfg = ParallelConfig(max_workers=2, serial_threshold=1)
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = parallel_map(square, list(range(10)), cfg)
+        assert result == [x * x for x in range(10)]
+        snap = obs.snapshot()
+        assert snap["counters"]["parallel.serial_fallback{kind=parallel_map}"] == 1
+
+    def test_starmap_warns_counts_and_still_answers(self, monkeypatch):
+        monkeypatch.setattr(pool, "ProcessPoolExecutor", _UnstartablePool)
+        cfg = ParallelConfig(max_workers=2, serial_threshold=1)
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = parallel_starmap(add, [(i, i) for i in range(10)], cfg)
+        assert result == [2 * i for i in range(10)]
+        snap = obs.snapshot()
+        assert snap["counters"]["parallel.serial_fallback{kind=parallel_starmap}"] == 1
+
+    def test_healthy_pool_does_not_warn(self, recwarn):
+        cfg = ParallelConfig(max_workers=2, serial_threshold=1)
+        parallel_map(square, list(range(8)), cfg)
+        assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
+        snap = obs.snapshot()
+        assert "parallel.serial_fallback{kind=parallel_map}" not in snap["counters"]
+        assert snap["counters"]["parallel.maps{kind=map}"] == 1
+        assert snap["counters"]["parallel.chunks{kind=map}"] >= 1
