@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Compare a PERF-BATCH run against the committed speedup baseline.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py \
+        benchmarks/results/BENCH_PERF.json [benchmarks/BENCH_PERF_BASELINE.json]
+
+Exits non-zero when any localizer's loop→batch **speedup** dropped more
+than ``TOLERANCE`` below the baseline.  Speedups are self-normalizing —
+both the loop and batch paths run on the same machine in the same
+process — so the comparison is stable across CI runner generations,
+unlike absolute milliseconds.  Localizers that are new relative to the
+baseline pass (there is nothing to regress against); localizers that
+*disappeared* fail, because losing a vectorized path is the regression
+this gate exists to catch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Fractional speedup loss allowed before the gate trips (20%).
+TOLERANCE = 0.20
+
+
+def check(current_path: Path, baseline_path: Path) -> int:
+    current = json.loads(current_path.read_text(encoding="utf-8"))["localizers"]
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))["localizers"]
+
+    failures = []
+    rows = []
+    for name, base in sorted(baseline.items()):
+        now = current.get(name)
+        if now is None:
+            failures.append(f"{name}: present in baseline but missing from this run")
+            continue
+        floor = base["speedup"] * (1.0 - TOLERANCE)
+        status = "ok" if now["speedup"] >= floor else "REGRESSED"
+        rows.append(
+            f"  {name:<18s} baseline {base['speedup']:6.2f}x  "
+            f"now {now['speedup']:6.2f}x  floor {floor:6.2f}x  {status}"
+        )
+        if now["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {now['speedup']:.2f}x fell more than "
+                f"{TOLERANCE:.0%} below baseline {base['speedup']:.2f}x"
+            )
+    for name in sorted(set(current) - set(baseline)):
+        rows.append(f"  {name:<18s} new (no baseline) — passes")
+
+    print("PERF-BATCH regression check (tolerance {:.0%}):".format(TOLERANCE))
+    print("\n".join(rows))
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nOK: no localizer regressed.")
+    return 0
+
+
+def main(argv) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__)
+        return 2
+    current = Path(argv[0])
+    baseline = (
+        Path(argv[1])
+        if len(argv) == 2
+        else Path(__file__).parent / "BENCH_PERF_BASELINE.json"
+    )
+    for p in (current, baseline):
+        if not p.is_file():
+            print(f"error: {p} not found")
+            return 2
+    return check(current, baseline)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

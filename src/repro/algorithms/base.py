@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Type
 import numpy as np
 
 from repro import obs
+from repro.algorithms.engine import run_batched
 from repro.core.geometry import Point
 from repro.core.trainingdb import TrainingDatabase
 
@@ -235,6 +236,21 @@ class Localizer(abc.ABC):
     #: Re-entrancy flag: True while this object is inside locate_many.
     _obs_in_batch: bool = False
 
+    #: Vectorized single-chunk kernel.  Subclasses define this as a
+    #: method ``_locate_chunk(observations) -> List[LocationEstimate]``
+    #: (answer-identical, observation for observation, to ``locate``)
+    #: and the base ``locate_many`` routes batches through the chunked/
+    #: sharded engine automatically.  ``None`` falls back to the loop.
+    _locate_chunk = None
+
+    #: Per-instance :class:`~repro.algorithms.engine.BatchConfig`
+    #: override; ``None`` uses the process-wide default.
+    batch_config = None
+
+    #: Kernel-specific cap on the engine chunk size, for kernels whose
+    #: per-observation working set is large (e.g. a dense lattice).
+    _batch_chunk_cap: Optional[int] = None
+
     def __init_subclass__(cls, **kwargs):
         super().__init_subclass__(**kwargs)
         for attr, wrapper in (
@@ -254,8 +270,25 @@ class Localizer(abc.ABC):
         """Phase 2: resolve one observation to a location."""
 
     def locate_many(self, observations: Sequence[Observation]) -> List[LocationEstimate]:
-        """Batch convenience; subclasses may vectorize."""
-        return [self.locate(o) for o in observations]
+        """Batch Phase 2: chunked, optionally sharded, vectorized scoring.
+
+        Localizers that define ``_locate_chunk`` are evaluated through
+        the batched scoring engine (fixed-size chunks bound the working
+        set; batches above the shard threshold fan out across
+        :mod:`repro.parallel` workers).  Localizers without a kernel
+        fall back to the per-observation loop.  Either way, results are
+        answer-identical to calling :meth:`locate` per observation.
+        """
+        observations = list(observations)
+        if self._locate_chunk is None:
+            return [self.locate(o) for o in observations]
+        return run_batched(
+            self._locate_chunk,
+            observations,
+            label=_algorithm_label(self),
+            config=self.batch_config,
+            max_chunk=self._batch_chunk_cap,
+        )
 
     def _check_fitted(self, attr: str) -> None:
         if not hasattr(self, attr) or getattr(self, attr) is None:
@@ -274,6 +307,30 @@ class Localizer(abc.ABC):
         if observation.bssids and list(observation.bssids) != list(bssids):
             return observation.reordered(bssids)
         return observation
+
+    @staticmethod
+    def _mean_rows(
+        observations: Sequence[Observation], bssids: Sequence[str]
+    ) -> np.ndarray:
+        """``(M, A)`` matrix of aligned per-observation mean RSSI.
+
+        Row ``m`` is exactly ``_aligned(observations[m], bssids)
+        .mean_rssi()`` — the kernels' shared first step, so batch and
+        single paths consume bit-identical inputs.  When every
+        observation has the same sweep count (the common bulk-request
+        shape) the means are computed as one stacked ``(M, S, A)``
+        reduction; numpy's axis reduction order depends only on the
+        reduction length, so the stacked sums equal the per-observation
+        sums bit for bit.
+        """
+        aligned = [Localizer._aligned(o, bssids) for o in observations]
+        if len(aligned) > 1 and len({a.samples.shape[0] for a in aligned}) == 1:
+            stacked = np.stack([a.samples for a in aligned])
+            finite = np.isfinite(stacked)
+            counts = finite.sum(axis=1)
+            sums = np.where(finite, stacked, 0.0).sum(axis=1)
+            return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        return np.vstack([a.mean_rssi() for a in aligned])
 
 
 # The default batch loop is instrumented too, so subclasses that never

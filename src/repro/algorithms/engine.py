@@ -1,0 +1,155 @@
+"""The batched scoring engine: chunked, optionally sharded `locate_many`.
+
+Every localizer's Phase-2 scoring is a broadcastable computation, so a
+bulk request is best served as a handful of matrix passes instead of M
+Python round trips.  This module is the execution layer those kernels
+share:
+
+* **Chunking** — a batch is evaluated in fixed-size chunks so the
+  working set of the ``(M, L, A)`` broadcast stays cache-sized and
+  memory-bounded no matter how large the request.  Chunking never
+  changes answers: every kernel is independent per observation row.
+* **Sharding** — batches at or above ``shard_threshold`` fan the chunks
+  out across :mod:`repro.parallel` worker processes.  The fitted
+  localizer is pickled to the workers, so sharding pays only for big
+  batches on multi-core hosts; it is off by default
+  (``ParallelConfig(max_workers=1)``) and explicit where enabled (the
+  CLI ``--shard`` flag, or :func:`set_batch_config`).
+* **Instrumentation** — per-chunk spans (``batch.chunk``), chunk and
+  shard counters (``batch.chunks``, ``batch.shard``,
+  ``batch.sharded_requests``) on the global :mod:`repro.obs` registry,
+  complementing the per-batch latency histograms emitted by
+  :class:`~repro.algorithms.base.Localizer`.
+
+A localizer participates by defining ``_locate_chunk(observations)``
+— its vectorized single-chunk kernel, answer-identical to ``locate``
+per observation; :meth:`Localizer.locate_many` routes every batch
+through :func:`run_batched` automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro import obs
+from repro.parallel.pool import ParallelConfig, parallel_map
+
+__all__ = [
+    "BatchConfig",
+    "get_batch_config",
+    "set_batch_config",
+    "run_batched",
+]
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Knobs controlling :func:`run_batched`.
+
+    Attributes
+    ----------
+    chunk_size:
+        Observations evaluated per vectorized kernel pass.  Bounds the
+        ``(chunk, L, A)`` broadcast working set; 256 keeps a typical
+        survey's broadcast in the tens of megabytes.
+    shard_threshold:
+        Batches with at least this many observations ship their chunks
+        to a process pool (when ``parallel`` allows more than one
+        worker).  ``None`` disables sharding outright.
+    parallel:
+        Worker-pool configuration for the sharded path.  The default
+        single worker keeps execution serial — sharding is opt-in
+        because pickling a fitted localizer to workers only pays for
+        genuinely large batches.
+    """
+
+    chunk_size: int = 256
+    shard_threshold: Optional[int] = 2048
+    parallel: ParallelConfig = field(
+        default_factory=lambda: ParallelConfig(max_workers=1)
+    )
+
+
+_default_config = BatchConfig()
+
+
+def get_batch_config() -> BatchConfig:
+    """The process-wide default :class:`BatchConfig`."""
+    return _default_config
+
+
+def set_batch_config(config: BatchConfig) -> BatchConfig:
+    """Replace the process-wide default; returns the previous config."""
+    global _default_config
+    previous = _default_config
+    _default_config = config
+    return previous
+
+
+def _chunks(items: Sequence[Any], size: int) -> List[Sequence[Any]]:
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def run_batched(
+    kernel: Callable[[Sequence[Any]], List[Any]],
+    items: Sequence[Any],
+    label: str = "batch",
+    config: Optional[BatchConfig] = None,
+    max_chunk: Optional[int] = None,
+) -> List[Any]:
+    """Evaluate ``kernel`` over ``items`` in chunks, sharding big batches.
+
+    ``kernel`` must be independent per item (every localizer chunk
+    kernel is), so chunk boundaries and sharding cannot change answers
+    — only how many items share one vectorized pass.  ``max_chunk``
+    lets memory-hungry kernels (e.g. the field-MLE lattice broadcast)
+    cap the configured chunk size.  Results come back in input order.
+    """
+    cfg = config if config is not None else _default_config
+    n = len(items)
+    if n == 0:
+        return []
+    size = max(1, int(cfg.chunk_size))
+    if max_chunk is not None:
+        size = max(1, min(size, int(max_chunk)))
+    if n <= size:
+        return list(kernel(items))
+
+    chunks = _chunks(items, size)
+    obs.counter("batch.chunks", algorithm=label).inc(len(chunks))
+
+    workers = cfg.parallel.resolved_workers() if cfg.parallel is not None else 1
+    if (
+        cfg.shard_threshold is not None
+        and n >= cfg.shard_threshold
+        and workers > 1
+        and len(chunks) > 1
+    ):
+        # Fan the chunks out across worker processes.  parallel_map
+        # falls back to serial execution (visibly) when the platform
+        # cannot start a pool, so the sharded path is never a loss of
+        # correctness — only, at worst, of speedup.
+        obs.counter("batch.shard", algorithm=label).inc()
+        obs.counter("batch.sharded_requests", algorithm=label).inc(n)
+        with obs.span(
+            "batch.shard", algorithm=label, n_items=n, n_chunks=len(chunks)
+        ):
+            shard_results = parallel_map(
+                kernel,
+                chunks,
+                config=ParallelConfig(
+                    max_workers=workers,
+                    chunk_size=cfg.parallel.chunk_size,
+                    serial_threshold=2,
+                ),
+            )
+        return [estimate for shard in shard_results for estimate in shard]
+
+    out: List[Any] = []
+    for index, chunk in enumerate(chunks):
+        with obs.span(
+            "batch.chunk", algorithm=label, index=index, size=len(chunk)
+        ):
+            out.extend(kernel(chunk))
+    return out

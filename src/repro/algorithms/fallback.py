@@ -193,3 +193,82 @@ class FallbackLocalizer(Localizer):
             )
         obs.counter("fallback.exhausted").inc()
         return invalid_estimate("all fallback tiers declined", tier=None, declined=declined)
+
+    # ------------------------------------------------------------------
+    def _tier_estimates(self, tier: Localizer, observations):
+        """One tier's answers for a pending subset, error-isolated.
+
+        The fast path batches the whole subset through the tier's own
+        vectorized ``locate_many``.  If the batch raises (one malformed
+        observation poisons a whole vectorized kernel), we re-run the
+        subset per observation so each request keeps exactly the
+        single-path error isolation; failures come back as the exception
+        object in that observation's slot.
+        """
+        try:
+            return tier.locate_many(observations)
+        except (ValueError, RuntimeError):
+            out = []
+            for o in observations:
+                try:
+                    out.append(tier.locate(o))
+                except (ValueError, RuntimeError) as exc:
+                    out.append(exc)
+            return out
+
+    def _locate_chunk(self, observations):
+        """Batched chain: tier-by-tier over the still-pending subset.
+
+        Rather than running the whole chain per observation, each tier
+        scores *all* observations it might still answer in one batched
+        call; only the declined subset moves down a tier.  Per-request
+        diagnostics (``tier``, ``declined``) and the fallback counters
+        are identical to the single-observation path.
+        """
+        self._check_fitted("_fitted")
+        observations = list(observations)
+        fit_declines = [
+            {"tier": name, "reason": f"fit failed: {msg}"}
+            for name, msg in self.fit_errors.items()
+        ]
+        declined: List[List[Dict[str, str]]] = [
+            [dict(d) for d in fit_declines] for _ in observations
+        ]
+        results: List[Optional[LocationEstimate]] = [None] * len(observations)
+        pending = list(range(len(observations)))
+        for tier in self._fitted:
+            if not pending:
+                break
+            name = _tier_name(tier)
+            outcomes = self._tier_estimates(tier, [observations[i] for i in pending])
+            still: List[int] = []
+            for i, outcome in zip(pending, outcomes):
+                if isinstance(outcome, Exception):
+                    declined[i].append({"tier": name, "reason": f"error: {outcome}"})
+                    obs.counter("fallback.declined", tier=name).inc()
+                    still.append(i)
+                    continue
+                reason = self._decline_reason(tier, outcome)
+                if reason is not None:
+                    declined[i].append({"tier": name, "reason": reason})
+                    obs.counter("fallback.declined", tier=name).inc()
+                    still.append(i)
+                    continue
+                details = dict(outcome.details)
+                details["tier"] = name
+                details["declined"] = declined[i]
+                obs.counter("fallback.answered", tier=name).inc()
+                results[i] = LocationEstimate(
+                    position=outcome.position,
+                    location_name=outcome.location_name,
+                    score=outcome.score,
+                    valid=True,
+                    details=details,
+                )
+            pending = still
+        for i in pending:
+            obs.counter("fallback.exhausted").inc()
+            results[i] = invalid_estimate(
+                "all fallback tiers declined", tier=None, declined=declined[i]
+            )
+        return results

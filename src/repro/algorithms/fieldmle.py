@@ -92,6 +92,11 @@ class FieldMLELocalizer(Localizer):
         self._shape: Optional[Tuple[int, int]] = None
         self._xs: Optional[np.ndarray] = None
         self._ys: Optional[np.ndarray] = None
+        self._sigma: Optional[np.ndarray] = None
+
+    #: The chunk kernel's working set is (chunk, n_cells, n_aps) — a
+    #: dense lattice, so cap the engine chunk tighter than the default.
+    _batch_chunk_cap = 128
 
     def fit(self, db: TrainingDatabase) -> "FieldMLELocalizer":
         if len(db) == 0:
@@ -114,27 +119,41 @@ class FieldMLELocalizer(Localizer):
         self._shape = gx.shape
         self._lattice = np.column_stack([gx.ravel(), gy.ravel()])
         # Precompute the expected-RSSI map once: Phase 2 is then a pure
-        # broadcast against the observation.
+        # broadcast against the observation.  sigma_db is a per-call
+        # copy on the field, so snapshot it here too.
         self._expected = self._field.expected_rssi(self._lattice)
+        self._sigma = self._field.sigma_db
         return self
+
+    def _ll_rows(self, obs_rows: np.ndarray) -> np.ndarray:
+        """``(M, A)`` aligned mean rows → ``(M, n_cells)`` log-likelihoods.
+
+        Shared by the single and batch paths: unheard APs contribute
+        exactly zero (masked, not dropped), so each row is independent
+        of its chunk-mates — bit-for-bit batch/single parity.  Rows
+        with nothing heard come back all-zero (the caller decides how
+        to report them).
+        """
+        if obs_rows.shape[1] != self._expected.shape[1]:
+            raise ValueError(
+                f"observation has {obs_rows.shape[1]} AP columns, "
+                f"training had {self._expected.shape[1]}"
+            )
+        heard = np.isfinite(obs_rows)  # (M, A)
+        z = np.where(
+            heard[:, None, :],
+            (obs_rows[:, None, :] - self._expected[None, :, :])
+            / self._sigma[None, None, :],
+            0.0,
+        )
+        return -0.5 * (z**2).sum(axis=2)
 
     def log_likelihood_grid(self, observation: Observation) -> np.ndarray:
         """Per-cell log likelihood, shape ``(ny, nx)``."""
         self._check_fitted("_expected")
         observation = self._aligned(observation, self._db.bssids)
         obs = observation.mean_rssi()
-        if obs.shape[0] != self._expected.shape[1]:
-            raise ValueError(
-                f"observation has {obs.shape[0]} AP columns, "
-                f"training had {self._expected.shape[1]}"
-            )
-        heard = np.isfinite(obs)
-        if not heard.any():
-            return np.zeros(self._shape)
-        sigma = self._field.sigma_db[heard]
-        z = (obs[heard][None, :] - self._expected[:, heard]) / sigma[None, :]
-        ll = -0.5 * (z**2).sum(axis=1)
-        return ll.reshape(self._shape)
+        return self._ll_rows(obs[None, :])[0].reshape(self._shape)
 
     def _refine_peak(self, ll: np.ndarray, iy: int, ix: int) -> Tuple[float, float]:
         """Quadratic sub-cell peak via the 1-D three-point formula per axis."""
@@ -176,3 +195,42 @@ class FieldMLELocalizer(Localizer):
             valid=bool(heard.sum() >= 2),
             details={"grid_peak": (float(self._xs[ix]), float(self._ys[iy]))},
         )
+
+    def _locate_chunk(self, observations):
+        """Vectorized chunk kernel (identical answers to :meth:`locate`)."""
+        self._check_fitted("_expected")
+        obs_rows = self._mean_rows(observations, self._db.bssids)
+        heard = np.isfinite(obs_rows)  # (M, A)
+        ll_rows = self._ll_rows(obs_rows)  # (M, n_cells)
+        # Whole-chunk peak pass: the flat argmax is the same element
+        # locate's np.argmax(grid) finds, and divmod by the row width is
+        # np.unravel_index for C order.
+        heard_any = heard.any(axis=1)
+        valid = heard.sum(axis=1) >= 2
+        best = ll_rows.argmax(axis=1)
+        iy_all, ix_all = np.divmod(best, self._shape[1])
+        scores = ll_rows[np.arange(ll_rows.shape[0]), best]
+        out = []
+        for m in range(len(observations)):
+            if not heard_any[m]:
+                out.append(
+                    LocationEstimate(
+                        position=None, valid=False, details={"reason": "nothing heard"}
+                    )
+                )
+                continue
+            iy, ix = int(iy_all[m]), int(ix_all[m])
+            if self.refine:
+                x, y = self._refine_peak(ll_rows[m].reshape(self._shape), iy, ix)
+            else:
+                x, y = float(self._xs[ix]), float(self._ys[iy])
+            out.append(
+                LocationEstimate(
+                    position=Point(x, y),
+                    location_name=None,
+                    score=float(scores[m]),
+                    valid=bool(valid[m]),
+                    details={"grid_peak": (float(self._xs[ix]), float(self._ys[iy]))},
+                )
+            )
+        return out

@@ -40,7 +40,7 @@ from repro.algorithms.base import (
     invalid_estimate,
     register_algorithm,
 )
-from repro.algorithms.regression import FitResult, fit_per_ap
+from repro.algorithms.regression import FitResult, PackedRanging, fit_per_ap
 from repro.core.geometry import (
     Circle,
     Point,
@@ -49,7 +49,6 @@ from repro.core.geometry import (
     median_point,
 )
 from repro.core.trainingdb import TrainingDatabase
-from repro.radio.pathloss import dbm_to_ss_units
 
 
 @register_algorithm("geometric")
@@ -95,6 +94,7 @@ class GeometricLocalizer(Localizer):
         self.min_aps = int(min_aps)
         self._fits: Optional[Dict[str, FitResult]] = None
         self._bssids: Optional[List[str]] = None
+        self._packed: Optional[PackedRanging] = None
 
     # ------------------------------------------------------------------
     def fit(self, db: TrainingDatabase) -> "GeometricLocalizer":
@@ -105,6 +105,9 @@ class GeometricLocalizer(Localizer):
                 f"only {len(self._fits)} AP(s) produced a usable SS↔distance fit; "
                 f"need >= {self.min_aps}"
             )
+        # Fit-time precomputation: branch endpoints and coefficients of
+        # every fitted AP packed for the vectorized RSSI→distance pass.
+        self._packed = PackedRanging.from_fits(self._fits, self._bssids)
         return self
 
     @property
@@ -124,14 +127,29 @@ class GeometricLocalizer(Localizer):
                 f"observation has {obs.shape[0]} AP columns, "
                 f"training had {len(self._bssids)}"
             )
-        out: Dict[str, float] = {}
-        for j, bssid in enumerate(self._bssids):
-            fit = self._fits.get(bssid)
-            if fit is None or not np.isfinite(obs[j]):
-                continue
-            ss = float(dbm_to_ss_units(obs[j]))
-            out[bssid] = float(fit.model.invert(ss))
-        return out
+        return self._distances_from_row(self._packed.distances(obs[None, :])[0])
+
+    def _distances_from_row(self, row: np.ndarray) -> Dict[str, float]:
+        """One packed-ranging row → BSSID→distance dict (training order)."""
+        return {
+            b: float(row[f])
+            for f, b in enumerate(self._packed.bssids)
+            if np.isfinite(row[f])
+        }
+
+    def estimate_distance_matrix(self, observations) -> np.ndarray:
+        """Batched ranging: ``(n_obs, n_fitted_aps)`` distances (ft).
+
+        Columns follow ``self._packed.bssids``; NaN marks unheard APs.
+        """
+        self._check_fitted("_fits")
+        obs_rows = self._mean_rows(observations, self._bssids)
+        if obs_rows.shape[1] != len(self._bssids):
+            raise ValueError(
+                f"observation has {obs_rows.shape[1]} AP columns, "
+                f"training had {len(self._bssids)}"
+            )
+        return self._packed.distances(obs_rows)
 
     def _pick_candidate(
         self, candidates: Sequence[Point], others: Sequence[Circle]
@@ -154,7 +172,10 @@ class GeometricLocalizer(Localizer):
 
     def locate(self, observation: Observation) -> LocationEstimate:
         self._check_fitted("_fits")
-        distances = self.estimate_distances(observation)
+        return self._locate_from_distances(self.estimate_distances(observation))
+
+    def _locate_from_distances(self, distances: Dict[str, float]) -> LocationEstimate:
+        """Phase-2 steps 2-4 from the ranged distances (shared by both paths)."""
         if len(distances) < self.min_aps:
             return invalid_estimate(
                 f"only {len(distances)} ranged AP(s)", distances=distances
@@ -193,3 +214,15 @@ class GeometricLocalizer(Localizer):
                 "mean_radial_residual_ft": residual,
             },
         )
+
+    def _locate_chunk(self, observations):
+        """Vectorized chunk kernel (identical answers to :meth:`locate`).
+
+        The expensive part — per-AP bisection inversion — runs as one
+        packed ``(M, F)`` pass; the cheap circle-intersection geometry
+        then consumes per-row distance dicts identical to the scalar
+        path's, so every downstream float matches bit for bit.
+        """
+        self._check_fitted("_fits")
+        rows = self.estimate_distance_matrix(observations)
+        return [self._locate_from_distances(self._distances_from_row(row)) for row in rows]

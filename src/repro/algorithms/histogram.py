@@ -102,32 +102,63 @@ class HistogramLocalizer(Localizer):
         self._log_absence = np.log1p(-p_present)
         return self
 
+    def _window_stats(self, observations):
+        """Stack aligned windows into per-``(obs, AP)`` sufficient stats.
+
+        Returns ``(counts (M, A, B), heard_n (M, A), missed_n (M, A))``
+        — everything the histogram likelihood needs, gathered in one
+        pass over the concatenated sweep rows (no per-AP Python loop).
+        """
+        A, B = self._log_pmf.shape[1], self.n_bins
+        aligned = [self._aligned(o, self._db.bssids).samples for o in observations]
+        for s in aligned:
+            if s.shape[1] != A:
+                raise ValueError(
+                    f"observation has {s.shape[1]} AP columns, "
+                    f"training had {A}"
+                )
+        M = len(aligned)
+        n_sweeps = np.array([s.shape[0] for s in aligned])
+        rows = np.vstack(aligned)  # (total_sweeps, A)
+        heard = np.isfinite(rows)
+        obs_id = np.repeat(np.arange(M), n_sweeps)
+        # Bin every heard entry (unheard entries are parked at the range
+        # floor so no NaN ever reaches the int cast, then masked out of
+        # the scatter).
+        bins = self._bin_of(np.where(heard, rows, self.rssi_range[0]))
+        ap = np.broadcast_to(np.arange(A), rows.shape)
+        flat_ap = obs_id[:, None] * A + ap  # (total_sweeps, A)
+        counts = (
+            np.bincount((flat_ap * B + bins)[heard], minlength=M * A * B)
+            .astype(float)
+            .reshape(M, A, B)
+        )
+        heard_n = (
+            np.bincount(flat_ap[heard], minlength=M * A)
+            .astype(float)
+            .reshape(M, A)
+        )
+        missed_n = n_sweeps[:, None] - heard_n
+        return counts, heard_n, missed_n
+
+    def _ll_rows_from_stats(
+        self, counts: np.ndarray, heard_n: np.ndarray, missed_n: np.ndarray
+    ) -> np.ndarray:
+        """Sufficient stats → ``(M, L)`` log-likelihoods.
+
+        The one scoring expression both paths share; the contraction is
+        a plain ``einsum`` (no BLAS), so each row is independent of its
+        chunk-mates — bit-for-bit batch/single parity.
+        """
+        per_ap = np.einsum("mab,lab->mla", counts, self._log_pmf)
+        per_ap += heard_n[:, None, :] * self._log_presence[None, :, :]
+        per_ap += missed_n[:, None, :] * self._log_absence[None, :, :]
+        return per_ap.sum(axis=2)
+
     def log_likelihoods(self, observation: Observation) -> np.ndarray:
         """Per-location log P(observation window | location)."""
         self._check_fitted("_log_pmf")
-        observation = self._aligned(observation, self._db.bssids)
-        samples = observation.samples  # (n, A)
-        if samples.shape[1] != self._log_pmf.shape[1]:
-            raise ValueError(
-                f"observation has {samples.shape[1]} AP columns, "
-                f"training had {self._log_pmf.shape[1]}"
-            )
-        L = self._log_pmf.shape[0]
-        out = np.zeros(L)
-        heard = np.isfinite(samples)
-        for a in range(samples.shape[1]):
-            col = samples[:, a]
-            h = heard[:, a]
-            n_heard = int(h.sum())
-            n_missed = col.shape[0] - n_heard
-            if n_heard:
-                bins = self._bin_of(col[h])
-                # (L, n_heard) gather then sum over sweeps
-                out += self._log_pmf[:, a, :][:, bins].sum(axis=1)
-                out += n_heard * self._log_presence[:, a]
-            if n_missed:
-                out += n_missed * self._log_absence[:, a]
-        return out
+        return self._ll_rows_from_stats(*self._window_stats([observation]))[0].copy()
 
     def posterior(self, observation: Observation) -> np.ndarray:
         ll = self.log_likelihoods(observation)
@@ -148,3 +179,25 @@ class HistogramLocalizer(Localizer):
             valid=valid,
             details={"log_likelihoods": ll},
         )
+
+    def _locate_chunk(self, observations):
+        """Vectorized chunk kernel (identical answers to :meth:`locate`)."""
+        self._check_fitted("_log_pmf")
+        ll = self._ll_rows_from_stats(*self._window_stats(observations))  # (M, L)
+        best = ll.argmax(axis=1)
+        records = self._db.records
+        out = []
+        for m, observation in enumerate(observations):
+            record = records[int(best[m])]
+            out.append(
+                LocationEstimate(
+                    position=record.position,
+                    location_name=record.name,
+                    score=float(ll[m, best[m]]),
+                    # Same raw-window check as locate: validity is about
+                    # hearing anything at all, pre-alignment.
+                    valid=bool(np.isfinite(observation.samples).any()),
+                    details={"log_likelihoods": ll[m].copy()},
+                )
+            )
+        return out

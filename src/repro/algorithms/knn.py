@@ -76,28 +76,41 @@ class KNNLocalizer(Localizer):
             raise ValueError("training database has no locations")
         self._db = db
         self._means = db.mean_matrix()
+        # Fit-time precomputation (see probabilistic.py): NaN-free
+        # filled matrices so scoring is pure broadcast arithmetic.
+        train_heard = np.isfinite(self._means)
+        self._train_heard = train_heard
+        self._mean_filled = np.where(train_heard, self._means, 0.0)
+        self._penalty_sq = self.mismatch_penalty_db**2
+        self._positions = db.positions()
         return self
+
+    def _dist_rows(self, obs_rows: np.ndarray) -> np.ndarray:
+        """``(M, A)`` aligned mean rows → ``(M, L)`` RMS signal distance.
+
+        Shared by the single and batch paths (see
+        ``ProbabilisticLocalizer._ll_rows`` for the parity reasoning).
+        """
+        means = self._means
+        if obs_rows.shape[1] != means.shape[1]:
+            raise ValueError(
+                f"observation has {obs_rows.shape[1]} AP columns, "
+                f"training database has {means.shape[1]}"
+            )
+        obs_heard = np.isfinite(obs_rows)
+        both = obs_heard[:, None, :] & self._train_heard[None, :, :]
+        diff = np.where(both, obs_rows[:, None, :] - self._mean_filled[None, :, :], 0.0)
+        sq = (diff**2).sum(axis=2)
+        mismatch = (obs_heard[:, None, :] ^ self._train_heard[None, :, :]).sum(axis=2)
+        sq = sq + mismatch * self._penalty_sq
+        denom = np.maximum(both.sum(axis=2) + mismatch, 1)
+        return np.sqrt(sq / denom)
 
     def signal_distances(self, observation: Observation) -> np.ndarray:
         """Per-training-point RMS signal distance (dB), vectorized."""
         self._check_fitted("_means")
         observation = self._aligned(observation, self._db.bssids)
-        means = self._means
-        obs = observation.mean_rssi()
-        if obs.shape[0] != means.shape[1]:
-            raise ValueError(
-                f"observation has {obs.shape[0]} AP columns, "
-                f"training database has {means.shape[1]}"
-            )
-        obs_heard = np.isfinite(obs)
-        train_heard = np.isfinite(means)
-        both = train_heard & obs_heard[None, :]
-        diff = np.where(both, obs[None, :] - np.where(both, means, 0.0), 0.0)
-        sq = (diff**2).sum(axis=1)
-        mismatch = (train_heard ^ obs_heard[None, :]).sum(axis=1)
-        sq = sq + mismatch * self.mismatch_penalty_db**2
-        denom = np.maximum(both.sum(axis=1) + mismatch, 1)
-        return np.sqrt(sq / denom)
+        return self._dist_rows(observation.mean_rssi()[None, :])[0].copy()
 
     def signal_distance_matrix(self, observations) -> np.ndarray:
         """Batched :meth:`signal_distances`: ``(n_obs, n_locations)``.
@@ -106,33 +119,17 @@ class KNNLocalizer(Localizer):
         throughput path for bulk queries.
         """
         self._check_fitted("_means")
-        means = self._means
-        obs_rows = np.vstack(
-            [self._aligned(o, self._db.bssids).mean_rssi() for o in observations]
-        )
-        obs_heard = np.isfinite(obs_rows)
-        train_heard = np.isfinite(means)
-        both = obs_heard[:, None, :] & train_heard[None, :, :]
-        # Same `both` masking as signal_distances — batch and single
-        # paths must stay bit-for-bit identical.
-        diff = np.where(
-            both, obs_rows[:, None, :] - np.where(both, means[None, :, :], 0.0), 0.0
-        )
-        sq = (diff**2).sum(axis=2)
-        mismatch = (obs_heard[:, None, :] ^ train_heard[None, :, :]).sum(axis=2)
-        sq = sq + mismatch * self.mismatch_penalty_db**2
-        denom = np.maximum(both.sum(axis=2) + mismatch, 1)
-        return np.sqrt(sq / denom)
+        return self._dist_rows(self._mean_rows(observations, self._db.bssids))
 
-    def locate_many(self, observations):
-        """Vectorized batch :meth:`locate` (identical answers, one pass)."""
-        observations = list(observations)
-        if not observations:
-            return []
-        dist = self.signal_distance_matrix(observations)  # (M, L)
+    def _locate_chunk(self, observations):
+        """Vectorized chunk kernel (identical answers to :meth:`locate`)."""
+        self._check_fitted("_means")
+        obs_rows = self._mean_rows(observations, self._db.bssids)
+        dist = self._dist_rows(obs_rows)  # (M, L)
+        heard_counts = np.isfinite(obs_rows).sum(axis=1)
         k = min(self.k, dist.shape[1])
         idx = np.argsort(dist, axis=1)[:, :k]  # (M, k)
-        positions = self._db.positions()  # (L, 2)
+        positions = self._positions  # (L, 2)
         rows = np.arange(dist.shape[0])[:, None]
         neighbor_d = dist[rows, idx]
         if self.weighted:
@@ -141,18 +138,18 @@ class KNNLocalizer(Localizer):
         else:
             w = np.full((dist.shape[0], k), 1.0 / k)
         est = np.einsum("mk,mkc->mc", w, positions[idx])
+        records = self._db.records
         out = []
-        for m, obs in enumerate(observations):
-            aligned = self._aligned(obs, self._db.bssids)
-            nearest = self._db.records[int(idx[m, 0])]
+        for m in range(len(observations)):
+            nearest = records[int(idx[m, 0])]
             out.append(
                 LocationEstimate(
                     position=Point(float(est[m, 0]), float(est[m, 1])),
                     location_name=nearest.name if k == 1 else None,
                     score=-float(neighbor_d[m, 0]),
-                    valid=bool(np.isfinite(aligned.mean_rssi()).sum() >= self.min_heard),
+                    valid=bool(heard_counts[m] >= self.min_heard),
                     details={
-                        "neighbors": [self._db.records[int(i)].name for i in idx[m]],
+                        "neighbors": [records[int(i)].name for i in idx[m]],
                         # copy: neighbor_d[m] is a live row view of the
                         # whole (M, k) matrix (see probabilistic.py).
                         "signal_distances_db": neighbor_d[m].copy(),

@@ -37,10 +37,9 @@ from repro.algorithms.base import (
     Observation,
     register_algorithm,
 )
-from repro.algorithms.regression import FitResult, fit_per_ap
+from repro.algorithms.regression import FitResult, PackedRanging, fit_per_ap
 from repro.core.geometry import Point
 from repro.core.trainingdb import TrainingDatabase
-from repro.radio.pathloss import dbm_to_ss_units
 
 
 def solve_multilateration(
@@ -112,6 +111,7 @@ class MultilaterationLocalizer(Localizer):
         self.min_aps = int(min_aps)
         self._fits: Optional[Dict[str, FitResult]] = None
         self._bssids: Optional[List[str]] = None
+        self._packed: Optional[PackedRanging] = None
 
     def fit(self, db: TrainingDatabase) -> "MultilaterationLocalizer":
         self._bssids = list(db.bssids)
@@ -120,21 +120,30 @@ class MultilaterationLocalizer(Localizer):
             raise ValueError(
                 f"only {len(self._fits)} usable AP fit(s); need >= {self.min_aps}"
             )
+        self._packed = PackedRanging.from_fits(self._fits, self._bssids)
         return self
 
     def locate(self, observation: Observation) -> LocationEstimate:
         self._check_fitted("_fits")
         observation = self._aligned(observation, self._bssids)
         obs = observation.mean_rssi()
+        if obs.shape[0] != len(self._bssids):
+            raise ValueError(
+                f"observation has {obs.shape[0]} AP columns, "
+                f"training had {len(self._bssids)}"
+            )
+        return self._locate_from_row(self._packed.distances(obs[None, :])[0])
+
+    def _locate_from_row(self, row: np.ndarray) -> LocationEstimate:
+        """One packed-ranging row → estimate (shared by both paths)."""
         anchors: List[Point] = []
         ranges: List[float] = []
         used: List[str] = []
-        for j, bssid in enumerate(self._bssids):
-            fit = self._fits.get(bssid)
-            if fit is None or not np.isfinite(obs[j]):
+        for f, bssid in enumerate(self._packed.bssids):
+            if not np.isfinite(row[f]):
                 continue
             anchors.append(self.ap_positions[bssid])
-            ranges.append(float(fit.model.invert(float(dbm_to_ss_units(obs[j])))))
+            ranges.append(float(row[f]))
             used.append(bssid)
         if len(anchors) < self.min_aps:
             return LocationEstimate(
@@ -150,3 +159,20 @@ class MultilaterationLocalizer(Localizer):
             valid=True,
             details={"ranges_ft": dict(zip(used, ranges)), "residual_rms_ft": rms},
         )
+
+    def _locate_chunk(self, observations):
+        """Vectorized chunk kernel (identical answers to :meth:`locate`).
+
+        Ranging runs as one packed ``(M, F)`` bisection pass; the
+        per-observation least-squares solve then sees exactly the
+        anchors/ranges the scalar path would have built.
+        """
+        self._check_fitted("_fits")
+        obs_rows = self._mean_rows(observations, self._bssids)
+        if obs_rows.shape[1] != len(self._bssids):
+            raise ValueError(
+                f"observation has {obs_rows.shape[1]} AP columns, "
+                f"training had {len(self._bssids)}"
+            )
+        rows = self._packed.distances(obs_rows)
+        return [self._locate_from_row(row) for row in rows]

@@ -94,9 +94,50 @@ class ProbabilisticLocalizer(Localizer):
         self._db = db
         self._means = db.mean_matrix()  # (L, A), NaN = AP unheard there
         self._stds = db.std_matrix(min_std=self.min_std_db)
+        # Fit-time precomputation: everything Phase 2 needs that does
+        # not depend on the observation.  The filled arrays are NaN-free
+        # (values only ever read under the `both` mask), so the scoring
+        # pass is pure broadcast arithmetic.
+        train_heard = np.isfinite(self._means)
+        self._train_heard = train_heard
+        self._mean_filled = np.where(train_heard, self._means, 0.0)
+        self._sd_filled = np.where(train_heard, self._stds, 1.0)
+        self._log_sd = np.log(self._sd_filled)
+        self._penalty = -0.5 * self.missing_penalty_sigma**2 - 0.5 * _LOG_2PI
         return self
 
     # ------------------------------------------------------------------
+    def _ll_rows(self, obs_rows: np.ndarray) -> np.ndarray:
+        """``(M, A)`` aligned mean rows → ``(M, L)`` log-likelihoods.
+
+        The one scoring kernel both paths share: ``locate`` calls it
+        with ``M = 1``, the batch kernel with a whole chunk.  Every
+        operation is an elementwise ufunc or a fixed-length reduction
+        along the AP axis, so each row's result is independent of how
+        many rows ride along — the bit-for-bit parity the tests pin.
+        """
+        means = self._means
+        if obs_rows.shape[1] != means.shape[1]:
+            raise ValueError(
+                f"observation has {obs_rows.shape[1]} AP columns, "
+                f"training database has {means.shape[1]}"
+            )
+        obs_heard = np.isfinite(obs_rows)  # (M, A)
+        both = obs_heard[:, None, :] & self._train_heard[None, :, :]  # (M, L, A)
+        # Gaussian log-density where both sides heard the AP.
+        z = np.where(both, obs_rows[:, None, :] - self._mean_filled[None, :, :], 0.0)
+        loglik = np.where(
+            both,
+            -0.5 * (z / self._sd_filled[None, :, :]) ** 2
+            - self._log_sd[None, :, :]
+            - 0.5 * _LOG_2PI,
+            0.0,
+        )
+        # Presence/absence mismatch: outlier-equivalent penalty.
+        mismatch = obs_heard[:, None, :] ^ self._train_heard[None, :, :]
+        loglik = loglik + np.where(mismatch, self._penalty, 0.0)
+        return loglik.sum(axis=2)
+
     def log_likelihoods(self, observation: Observation) -> np.ndarray:
         """Per-training-point log likelihood of the observation's mean.
 
@@ -106,27 +147,7 @@ class ProbabilisticLocalizer(Localizer):
         """
         self._check_fitted("_means")
         observation = self._aligned(observation, self._db.bssids)
-        means, stds = self._means, self._stds
-        obs = observation.mean_rssi()
-        if obs.shape[0] != means.shape[1]:
-            raise ValueError(
-                f"observation has {obs.shape[0]} AP columns, "
-                f"training database has {means.shape[1]}"
-            )
-        obs_heard = np.isfinite(obs)  # (A,)
-        train_heard = np.isfinite(means)  # (L, A)
-
-        both = train_heard & obs_heard[None, :]
-        # Gaussian log-density where both sides heard the AP.
-        z = np.where(both, (obs[None, :] - np.where(both, means, 0.0)), 0.0)
-        sd = np.where(both, stds, 1.0)
-        loglik = np.where(both, -0.5 * (z / sd) ** 2 - np.log(sd) - 0.5 * _LOG_2PI, 0.0)
-
-        # Presence/absence mismatch: outlier-equivalent penalty.
-        mismatch = train_heard ^ obs_heard[None, :]
-        penalty = -0.5 * self.missing_penalty_sigma**2 - 0.5 * _LOG_2PI
-        loglik = loglik + np.where(mismatch, penalty, 0.0)
-        return loglik.sum(axis=1)
+        return self._ll_rows(observation.mean_rssi()[None, :])[0].copy()
 
     def log_likelihood_matrix(self, observations) -> np.ndarray:
         """Batched :meth:`log_likelihoods`: ``(n_obs, n_locations)``.
@@ -136,54 +157,36 @@ class ProbabilisticLocalizer(Localizer):
         (sweeps, offline evaluation, the PERF-BATCH bench).
         """
         self._check_fitted("_means")
-        means, stds = self._means, self._stds
-        obs_rows = np.vstack(
-            [self._aligned(o, self._db.bssids).mean_rssi() for o in observations]
-        )  # (M, A)
-        obs_heard = np.isfinite(obs_rows)  # (M, A)
-        train_heard = np.isfinite(means)  # (L, A)
+        return self._ll_rows(self._mean_rows(observations, self._db.bssids))
 
-        both = obs_heard[:, None, :] & train_heard[None, :, :]  # (M, L, A)
-        # Mask with `both` exactly as log_likelihoods does — masking sd
-        # by train_heard alone feeds NaN stds (single-sweep sessions)
-        # into the dead branch of the where and diverges from the
-        # single-observation path.
-        z = np.where(both, obs_rows[:, None, :] - np.where(both, means[None, :, :], 0.0), 0.0)
-        sd = np.where(both, stds[None, :, :], 1.0)
-        loglik = np.where(both, -0.5 * (z / sd) ** 2 - np.log(sd) - 0.5 * _LOG_2PI, 0.0)
-        mismatch = obs_heard[:, None, :] ^ train_heard[None, :, :]
-        penalty = -0.5 * self.missing_penalty_sigma**2 - 0.5 * _LOG_2PI
-        loglik = loglik + np.where(mismatch, penalty, 0.0)
-        return loglik.sum(axis=2)
-
-    def locate_many(self, observations):
-        """Vectorized batch :meth:`locate` (identical answers, one pass)."""
-        observations = list(observations)
-        if not observations:
-            return []
-        ll = self.log_likelihood_matrix(observations)  # (M, L)
+    def _locate_chunk(self, observations):
+        """Vectorized chunk kernel (identical answers to :meth:`locate`)."""
+        self._check_fitted("_means")
+        obs_rows = self._mean_rows(observations, self._db.bssids)
+        ll = self._ll_rows(obs_rows)  # (M, L)
+        obs_heard = np.isfinite(obs_rows)
         best = ll.argmax(axis=1)
         order = np.argsort(ll, axis=1)
+        common = (self._train_heard[best] & obs_heard).sum(axis=1)
+        records = self._db.records
+        has_runner_up = ll.shape[1] > 1
         out = []
-        for m, obs in enumerate(observations):
-            record = self._db.records[int(best[m])]
-            aligned = self._aligned(obs, self._db.bssids)
-            obs_heard = np.isfinite(aligned.mean_rssi())
-            common = int((np.isfinite(self._means[int(best[m])]) & obs_heard).sum())
+        for m in range(len(observations)):
+            record = records[int(best[m])]
             out.append(
                 LocationEstimate(
                     position=record.position,
                     location_name=record.name,
                     score=float(ll[m, best[m]]),
-                    valid=common >= self.min_common_aps,
+                    valid=int(common[m]) >= self.min_common_aps,
                     details={
                         # A copy, not a row view: a view would pin the
                         # whole (M, L) matrix per estimate and let one
                         # caller's mutation corrupt its siblings.
                         "log_likelihoods": ll[m].copy(),
-                        "common_aps": common,
-                        "runner_up": self._db.records[int(order[m, -2])].name
-                        if ll.shape[1] > 1
+                        "common_aps": int(common[m]),
+                        "runner_up": records[int(order[m, -2])].name
+                        if has_runner_up
                         else None,
                     },
                 )

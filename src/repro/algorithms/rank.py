@@ -77,7 +77,69 @@ class RankLocalizer(Localizer):
             raise ValueError("training database has no locations")
         self._db = db
         self._means = db.mean_matrix()
+        self._train_heard = np.isfinite(self._means)
         return self
+
+    @staticmethod
+    def _masked_ranks(values: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        """Average-tie ranks among each row's ``valid`` entries; NaN elsewhere.
+
+        Row-vectorized counterpart of :func:`_rank_vector` applied to
+        each row's compressed valid entries.  Rank sums are exact small
+        dyadic floats, so the averaged ranks are bit-identical to the
+        scalar routine no matter how rows are batched.
+        """
+        P, A = values.shape
+        parked = np.where(valid, values, np.inf)  # invalid entries sort last
+        order = np.argsort(parked, axis=1, kind="stable")
+        sorted_vals = np.take_along_axis(parked, order, axis=1)
+        new_run = np.ones((P, A), dtype=bool)
+        new_run[:, 1:] = sorted_vals[:, 1:] != sorted_vals[:, :-1]
+        run_id = np.cumsum(new_run, axis=1) - 1 + np.arange(P)[:, None] * A
+        flat_run = run_id.ravel()
+        positions = np.tile(np.arange(1, A + 1, dtype=float), P)
+        rank_sum = np.bincount(flat_run, weights=positions, minlength=P * A)
+        run_len = np.bincount(flat_run, minlength=P * A)
+        avg = rank_sum / np.maximum(run_len, 1)
+        ranks = np.empty((P, A))
+        np.put_along_axis(ranks, order, avg[flat_run].reshape(P, A), axis=1)
+        return np.where(valid, ranks, np.nan)
+
+    def _rank_rows(self, obs_rows: np.ndarray) -> np.ndarray:
+        """``(M, A)`` aligned mean rows → ``(M, L)`` rank distances.
+
+        The one pair scorer both paths share: every ``(observation,
+        training point)`` pair is ranked over its own commonly-heard AP
+        set, exactly as the scalar loop did, but for all pairs at once.
+        """
+        means = self._means
+        if obs_rows.shape[1] != means.shape[1]:
+            raise ValueError(
+                f"observation has {obs_rows.shape[1]} AP columns, "
+                f"training had {means.shape[1]}"
+            )
+        M, A = obs_rows.shape
+        L = means.shape[0]
+        obs_heard = np.isfinite(obs_rows)
+        both = obs_heard[:, None, :] & self._train_heard[None, :, :]  # (M, L, A)
+        mismatch = (obs_heard[:, None, :] ^ self._train_heard[None, :, :]).sum(axis=2)
+        pair_valid = both.reshape(M * L, A)
+        r_obs = self._masked_ranks(
+            np.broadcast_to(obs_rows[:, None, :], (M, L, A)).reshape(M * L, A),
+            pair_valid,
+        )
+        r_train = self._masked_ranks(
+            np.broadcast_to(means[None, :, :], (M, L, A)).reshape(M * L, A),
+            pair_valid,
+        )
+        sq = np.where(pair_valid, (r_obs - r_train) ** 2, 0.0)
+        n_common = pair_valid.sum(axis=1)
+        # Rank sums/squares are exact dyadic floats, so the masked sum /
+        # count equals the scalar path's compressed mean bit for bit.
+        msd = sq.sum(axis=1) / np.maximum(n_common, 1)
+        scored = msd.reshape(M, L) + self.mismatch_penalty * mismatch
+        fallback = self.mismatch_penalty * (mismatch + 4)
+        return np.where(n_common.reshape(M, L) < 2, fallback, scored)
 
     def rank_distances(self, observation: Observation) -> np.ndarray:
         """Per-training-point mean squared rank difference (lower = better).
@@ -88,28 +150,15 @@ class RankLocalizer(Localizer):
         """
         self._check_fitted("_means")
         observation = self._aligned(observation, self._db.bssids)
-        obs = observation.mean_rssi()
-        if obs.shape[0] != self._means.shape[1]:
-            raise ValueError(
-                f"observation has {obs.shape[0]} AP columns, "
-                f"training had {self._means.shape[1]}"
-            )
-        obs_heard = np.isfinite(obs)
-        out = np.full(self._means.shape[0], np.inf)
-        for i, train in enumerate(self._means):
-            both = obs_heard & np.isfinite(train)
-            mismatch = int((obs_heard ^ np.isfinite(train)).sum())
-            if both.sum() < 2:
-                out[i] = self.mismatch_penalty * (mismatch + 4)
-                continue
-            r_obs = _rank_vector(obs[both])
-            r_train = _rank_vector(train[both])
-            out[i] = float(((r_obs - r_train) ** 2).mean()) + self.mismatch_penalty * mismatch
-        return out
+        return self._rank_rows(observation.mean_rssi()[None, :])[0].copy()
 
-    def locate(self, observation: Observation) -> LocationEstimate:
+    def rank_distance_matrix(self, observations) -> np.ndarray:
+        """Batched :meth:`rank_distances`: ``(n_obs, n_locations)``."""
         self._check_fitted("_means")
-        dist = self.rank_distances(observation)
+        return self._rank_rows(self._mean_rows(observations, self._db.bssids))
+
+    def _estimate_from_row(self, dist: np.ndarray, common: int) -> LocationEstimate:
+        """One estimate from a rank-distance row (shared by both paths)."""
         # Ties are common (24 orderings of 4 APs): average the tied
         # training positions rather than picking arbitrarily.
         best = float(dist.min())
@@ -118,13 +167,6 @@ class RankLocalizer(Localizer):
         mean_xy = positions.mean(axis=0)
         from repro.core.geometry import Point
 
-        common = int(
-            (np.isfinite(observation.mean_rssi())).sum()
-            if not observation.bssids
-            else np.isfinite(
-                self._aligned(observation, self._db.bssids).mean_rssi()
-            ).sum()
-        )
         return LocationEstimate(
             position=Point(float(mean_xy[0]), float(mean_xy[1])),
             location_name=self._db.records[int(tied[0])].name if tied.size == 1 else None,
@@ -135,3 +177,26 @@ class RankLocalizer(Localizer):
                 "tied_locations": [self._db.records[int(i)].name for i in tied],
             },
         )
+
+    def locate(self, observation: Observation) -> LocationEstimate:
+        self._check_fitted("_means")
+        dist = self.rank_distances(observation)
+        common = int(
+            (np.isfinite(observation.mean_rssi())).sum()
+            if not observation.bssids
+            else np.isfinite(
+                self._aligned(observation, self._db.bssids).mean_rssi()
+            ).sum()
+        )
+        return self._estimate_from_row(dist, common)
+
+    def _locate_chunk(self, observations):
+        """Vectorized chunk kernel (identical answers to :meth:`locate`)."""
+        self._check_fitted("_means")
+        obs_rows = self._mean_rows(observations, self._db.bssids)
+        dist = self._rank_rows(obs_rows)  # (M, L)
+        common = np.isfinite(obs_rows).sum(axis=1)
+        return [
+            self._estimate_from_row(dist[m], int(common[m]))
+            for m in range(len(observations))
+        ]

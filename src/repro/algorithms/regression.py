@@ -23,6 +23,15 @@ from repro.core.geometry import Point
 from repro.core.trainingdb import TrainingDatabase
 from repro.radio.pathloss import InverseSquareModel, dbm_to_ss_units
 
+__all__ = [
+    "FitResult",
+    "LogDistanceFit",
+    "PackedRanging",
+    "fit_inverse_square",
+    "fit_log_distance",
+    "fit_per_ap",
+]
+
 
 @dataclass(frozen=True)
 class FitResult:
@@ -116,6 +125,85 @@ def fit_log_distance(distances_ft: np.ndarray, rssi_dbm: np.ndarray) -> LogDista
         r_squared=r2,
         rmse=float(np.sqrt((resid**2).mean())),
     )
+
+
+@dataclass(frozen=True)
+class PackedRanging:
+    """Every fitted AP's inversion constants, packed into arrays.
+
+    Built once at fit time from a ``fit_per_ap`` result, this moves the
+    per-call work of ``InverseSquareModel.invert`` — branch endpoints,
+    endpoint signal strengths, the 80-step bisection — into a single
+    ``(M, n_fitted)`` vectorized pass.  Every elementwise operation
+    mirrors ``_invert_scalar`` exactly (same expressions, same branch
+    precedence), so the packed inversion is bit-for-bit identical to
+    calling the scalar model per entry.
+    """
+
+    bssids: Tuple[str, ...]  # fitted APs, in training column order
+    columns: np.ndarray  # (F,) training column index per fitted AP
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    lo: np.ndarray  # monotone-branch endpoints
+    hi: np.ndarray
+    ss_lo: np.ndarray  # SS at the branch endpoints
+    ss_hi: np.ndarray
+
+    @classmethod
+    def from_fits(
+        cls, fits: Dict[str, FitResult], bssids: Sequence[str]
+    ) -> "PackedRanging":
+        ordered = [b for b in bssids if b in fits]
+        lo_hi = [fits[b].model.monotone_branch() for b in ordered]
+        models = [fits[b].model for b in ordered]
+        return cls(
+            bssids=tuple(ordered),
+            columns=np.array([bssids.index(b) for b in ordered], dtype=int),
+            a=np.array([m.a for m in models]),
+            b=np.array([m.b for m in models]),
+            c=np.array([m.c for m in models]),
+            lo=np.array([lh[0] for lh in lo_hi]),
+            hi=np.array([lh[1] for lh in lo_hi]),
+            ss_lo=np.array([float(m.ss(lh[0])) for m, lh in zip(models, lo_hi)]),
+            ss_hi=np.array([float(m.ss(lh[1])) for m, lh in zip(models, lo_hi)]),
+        )
+
+    def invert_matrix(self, ss: np.ndarray) -> np.ndarray:
+        """``(M, F)`` signal strengths → ``(M, F)`` distances (ft)."""
+        ss = np.asarray(ss, dtype=float)
+        lo = np.broadcast_to(self.lo, ss.shape).copy()
+        hi = np.broadcast_to(self.hi, ss.shape).copy()
+        degenerate = self.ss_lo <= self.ss_hi  # (F,) broadcast over rows
+        clamp_lo = ss >= self.ss_lo
+        clamp_hi = ss <= self.ss_hi
+        active = ~(degenerate | clamp_lo | clamp_hi)
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            d = np.maximum(mid, 1e-6)
+            go_lo = (self.a / d**2 + self.b / d + self.c) > ss
+            lo = np.where(active & go_lo, mid, lo)
+            hi = np.where(active & ~go_lo, mid, hi)
+        out = 0.5 * (lo + hi)
+        # Same precedence as _invert_scalar: degenerate branch first,
+        # then the hot-signal clamp, then the weak-signal clamp.
+        out = np.where(clamp_lo, np.broadcast_to(self.lo, ss.shape), out)
+        out = np.where(clamp_hi & ~clamp_lo, np.broadcast_to(self.hi, ss.shape), out)
+        return np.where(degenerate, 0.5 * (self.lo + self.hi), out)
+
+    def distances(self, obs_rows: np.ndarray) -> np.ndarray:
+        """``(M, A)`` aligned mean dBm rows → ``(M, F)`` ranged distances.
+
+        NaN marks (observation, AP) pairs that cannot be ranged (AP not
+        heard).  Heard entries match the scalar path bit for bit:
+        ``float(model.invert(float(dbm_to_ss_units(obs[j]))))``.
+        """
+        sub = obs_rows[:, self.columns]
+        heard = np.isfinite(sub)
+        # Park unheard entries at the dBm floor (0 SS after conversion)
+        # so no NaN enters the bisection; they are masked back out below.
+        ss = dbm_to_ss_units(np.where(heard, sub, -200.0))
+        return np.where(heard, self.invert_matrix(ss), np.nan)
 
 
 def fit_per_ap(

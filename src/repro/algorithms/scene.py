@@ -57,36 +57,56 @@ class SceneAnalysisLocalizer(Localizer):
             raise ValueError("training database has no locations")
         self._db = db
         self._means = db.mean_matrix()
+        self._train_heard = np.isfinite(self._means)
         return self
+
+    def _corr_rows(self, obs_rows: np.ndarray) -> np.ndarray:
+        """``(M, A)`` aligned mean rows → ``(M, L)`` Pearson r (NaN = unusable).
+
+        Masked-Pearson over each pair's commonly-heard AP set, all pairs
+        at once.  Deliberately avoids ``np.corrcoef`` (whose matmul core
+        is shape-dependent): the same masked formulation serves single
+        and batch paths, so they agree bit for bit.
+        """
+        means = self._means
+        if obs_rows.shape[1] != means.shape[1]:
+            raise ValueError(
+                f"observation has {obs_rows.shape[1]} AP columns, "
+                f"training had {means.shape[1]}"
+            )
+        obs_heard = np.isfinite(obs_rows)
+        both = obs_heard[:, None, :] & self._train_heard[None, :, :]  # (M, L, A)
+        n = both.sum(axis=2)  # (M, L)
+        nf = np.maximum(n, 1)
+        a = np.where(both, obs_rows[:, None, :], 0.0)
+        b = np.where(both, means[None, :, :], 0.0)
+        ca = np.where(both, a - (a.sum(axis=2) / nf)[:, :, None], 0.0)
+        cb = np.where(both, b - (b.sum(axis=2) / nf)[:, :, None], 0.0)
+        va = (ca**2).sum(axis=2)
+        vb = (cb**2).sum(axis=2)
+        # Degenerate signatures (zero variance over the shared APs) are
+        # unusable, exactly like the scalar path's std() gate.
+        usable = (
+            (n >= self.min_common_aps)
+            & (np.sqrt(va / nf) >= 1e-9)
+            & (np.sqrt(vb / nf) >= 1e-9)
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            r = np.clip((ca * cb).sum(axis=2) / np.sqrt(va * vb), -1.0, 1.0)
+        return np.where(usable, r, np.nan)
 
     def correlations(self, observation: Observation) -> np.ndarray:
         """Pearson r against each training signature (NaN = unusable)."""
         self._check_fitted("_means")
         observation = self._aligned(observation, self._db.bssids)
-        means = self._means
-        obs = observation.mean_rssi()
-        if obs.shape[0] != means.shape[1]:
-            raise ValueError(
-                f"observation has {obs.shape[0]} AP columns, "
-                f"training had {means.shape[1]}"
-            )
-        out = np.full(means.shape[0], np.nan)
-        obs_heard = np.isfinite(obs)
-        for i in range(means.shape[0]):
-            both = obs_heard & np.isfinite(means[i])
-            if both.sum() < self.min_common_aps:
-                continue
-            a = obs[both]
-            b = means[i][both]
-            sa, sb = a.std(), b.std()
-            if sa < 1e-9 or sb < 1e-9:
-                continue
-            out[i] = float(np.corrcoef(a, b)[0, 1])
-        return out
+        return self._corr_rows(observation.mean_rssi()[None, :])[0].copy()
 
-    def locate(self, observation: Observation) -> LocationEstimate:
+    def correlation_matrix(self, observations) -> np.ndarray:
+        """Batched :meth:`correlations`: ``(n_obs, n_locations)``."""
         self._check_fitted("_means")
-        corr = self.correlations(observation)
+        return self._corr_rows(self._mean_rows(observations, self._db.bssids))
+
+    def _estimate_from_row(self, corr: np.ndarray) -> LocationEstimate:
         if not np.isfinite(corr).any():
             return LocationEstimate(
                 position=None,
@@ -102,3 +122,41 @@ class SceneAnalysisLocalizer(Localizer):
             valid=True,
             details={"correlations": corr},
         )
+
+    def locate(self, observation: Observation) -> LocationEstimate:
+        self._check_fitted("_means")
+        return self._estimate_from_row(self.correlations(observation))
+
+    def _locate_chunk(self, observations):
+        """Vectorized chunk kernel (identical answers to :meth:`locate`)."""
+        self._check_fitted("_means")
+        corr = self._corr_rows(self._mean_rows(observations, self._db.bssids))
+        finite = np.isfinite(corr)
+        usable = finite.any(axis=1)
+        # nanargmax, all rows at once: NaN parked at -inf picks the same
+        # first-maximum index the per-row np.nanargmax would.
+        best = np.argmax(np.where(finite, corr, -np.inf), axis=1)
+        out = []
+        for m in range(corr.shape[0]):
+            if not usable[m]:
+                out.append(
+                    LocationEstimate(
+                        position=None,
+                        valid=False,
+                        details={"reason": "no training signature shares enough APs"},
+                    )
+                )
+                continue
+            record = self._db.records[int(best[m])]
+            out.append(
+                LocationEstimate(
+                    position=record.position,
+                    location_name=record.name,
+                    score=float(corr[m, best[m]]),
+                    valid=True,
+                    # Row copies, not views: an estimate must not pin (or
+                    # expose mutation of) the whole (M, L) matrix.
+                    details={"correlations": corr[m].copy()},
+                )
+            )
+        return out

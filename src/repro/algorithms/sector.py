@@ -127,6 +127,30 @@ class SectorLocalizer(Localizer):
             )
             self._codes[rec.name] = code
             self._table.setdefault(code, []).append(i)
+        # Fit-time precomputation for the batch kernel: the table as a
+        # bool matrix (rows in table insertion order, so nearest-code
+        # tie collection walks codes exactly like the dict loop), an
+        # exact-match index keyed by the packed bits, and the per-entry
+        # answer pieces (centroid, names) that exact hits reuse.
+        self._code_order: List[Code] = list(self._table)
+        self._code_matrix = np.array(
+            [[b in code for b in db.bssids] for code in self._code_order],
+            dtype=bool,
+        )
+        self._exact_index = {
+            self._code_matrix[i].tobytes(): i for i in range(len(self._code_order))
+        }
+        self._entry_cache = []
+        for code in self._code_order:
+            records = [db.records[i] for i in self._table[code]]
+            self._entry_cache.append(
+                (
+                    centroid([r.position for r in records]),
+                    records[0].name if len(records) == 1 else None,
+                    [r.name for r in records],
+                    sorted(code),
+                )
+            )
         return self
 
     @property
@@ -177,3 +201,56 @@ class SectorLocalizer(Localizer):
                 "matched_locations": [r.name for r in records],
             },
         )
+
+    def _locate_chunk(self, observations):
+        """Vectorized chunk kernel (identical answers to :meth:`locate`)."""
+        self._check_fitted("_table")
+        bssids = self._db.bssids
+        aligned = [self._aligned(o, bssids) for o in observations]
+        # Same-sweep-count batches (the common bulk shape) compute all
+        # detection rates in one stacked pass; boolean sums are exact,
+        # so the rates equal per-observation detection_rate() bit for bit.
+        if (
+            len(aligned) > 1
+            and len({a.samples.shape[0] for a in aligned}) == 1
+            and aligned[0].samples.shape[0] > 0
+        ):
+            rates = np.isfinite(np.stack([a.samples for a in aligned])).mean(axis=1)
+        else:
+            rates = np.vstack([a.detection_rate() for a in aligned])
+        code_bits = rates >= self.presence_threshold  # (M, A)
+        out = []
+        for m in range(len(observations)):
+            bits = code_bits[m]
+            entry = self._exact_index.get(bits.tobytes())
+            if entry is not None:
+                position, name, matched, code_sorted = self._entry_cache[entry]
+                hamming = 0
+            else:
+                # Nearest code by symmetric difference; ties collect in
+                # table order, exactly like the dict loop in locate.
+                d = (bits[None, :] ^ self._code_matrix).sum(axis=1)
+                hamming = int(d.min())
+                tied = np.nonzero(d == hamming)[0]
+                indices = [i for c in tied for i in self._table[self._code_order[c]]]
+                records = [self._db.records[i] for i in indices]
+                position = centroid([r.position for r in records])
+                name = records[0].name if len(records) == 1 else None
+                matched = [r.name for r in records]
+                code_sorted = sorted(b for b, v in zip(bssids, bits) if v)
+            out.append(
+                LocationEstimate(
+                    position=position,
+                    location_name=name,
+                    score=-float(hamming),
+                    valid=bool(bits.any()),
+                    details={
+                        # Fresh containers per estimate: cached lists must
+                        # not be shared across (or mutable through) answers.
+                        "code": list(code_sorted),
+                        "hamming_distance": hamming,
+                        "matched_locations": list(matched),
+                    },
+                )
+            )
+        return out

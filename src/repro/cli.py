@@ -259,25 +259,38 @@ def generator_main(argv: Optional[Sequence[str]] = None) -> int:
 # locate
 # ----------------------------------------------------------------------
 def locate_main(argv: Optional[Sequence[str]] = None) -> int:
-    import numpy as np
-
-    from repro.algorithms.base import Observation, available_algorithms, make_localizer
-    from repro.core.floorplan import FloorPlan
-    from repro.core.floorplan import FloorPlanError
-    from repro.core.system import ap_positions_by_bssid, site_bounds
-    from repro.core.trainingdb import TrainingDatabase
-    from repro.wiscan.format import parse_wiscan
+    from repro.algorithms.base import available_algorithms
 
     parser = argparse.ArgumentParser(
         prog="locate",
         description="Phase 2: resolve a wi-scan observation against a training database.",
     )
     parser.add_argument("database", help=".tdb training database")
-    parser.add_argument("observation", help="wi-scan file of the observation window")
+    parser.add_argument(
+        "observations",
+        nargs="+",
+        metavar="observation",
+        help="wi-scan file(s) to resolve; several files become one batched "
+        "request through the vectorized scoring engine",
+    )
     parser.add_argument(
         "--algorithm",
         default="probabilistic",
         help=f"one of: {', '.join(available_algorithms())}",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        metavar="N",
+        help="batched-engine chunk size: observations scored per vectorized "
+        "pass (default 256; bounds the working set)",
+    )
+    parser.add_argument(
+        "--shard",
+        type=int,
+        metavar="W",
+        help="fan batched requests out across W worker processes "
+        "(default 1: no sharding)",
     )
     parser.add_argument(
         "--plan",
@@ -298,14 +311,53 @@ def locate_main(argv: Optional[Sequence[str]] = None) -> int:
     _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
+    if args.chunk_size is not None and args.chunk_size < 1:
+        _fail(f"--chunk-size must be >= 1, got {args.chunk_size}")
+    if args.shard is not None and args.shard < 1:
+        _fail(f"--shard must be >= 1, got {args.shard}")
+    prev_config = None
+    if args.chunk_size is not None or args.shard is not None:
+        from repro.algorithms.engine import BatchConfig, get_batch_config, set_batch_config
+        from repro.parallel import ParallelConfig
+
+        base = get_batch_config()
+        workers = args.shard or base.parallel.max_workers
+        prev_config = set_batch_config(
+            BatchConfig(
+                chunk_size=args.chunk_size or base.chunk_size,
+                # With explicit workers, shard any multi-chunk batch.
+                shard_threshold=1 if workers > 1 else base.shard_threshold,
+                parallel=ParallelConfig(max_workers=workers),
+            )
+        )
+
+    try:
+        return _locate_run(args)
+    finally:
+        if prev_config is not None:
+            from repro.algorithms.engine import set_batch_config
+
+            set_batch_config(prev_config)
+
+
+def _locate_run(args: argparse.Namespace) -> int:
+    from repro.algorithms.base import Observation, make_localizer
+    from repro.core.floorplan import FloorPlan, FloorPlanError
+    from repro.core.system import ap_positions_by_bssid, site_bounds
+    from repro.core.trainingdb import TrainingDatabase
+    from repro.wiscan.format import parse_wiscan
+
     with _ObsSession(args):
         try:
             db = TrainingDatabase.load(args.database)
-            session = parse_wiscan(
-                Path(args.observation).read_text(encoding="utf-8"),
-                source=args.observation,
-                recover=args.lenient,
-            )
+            sessions = [
+                parse_wiscan(
+                    Path(path).read_text(encoding="utf-8"),
+                    source=path,
+                    recover=args.lenient,
+                )
+                for path in args.observations
+            ]
         except (ValueError, OSError) as exc:
             _fail(str(exc))
 
@@ -327,21 +379,33 @@ def locate_main(argv: Optional[Sequence[str]] = None) -> int:
         except (KeyError, ValueError) as exc:
             _fail(str(exc))
 
-        observation = Observation(session.rssi_matrix(db.bssids), bssids=db.bssids)
-        estimate = localizer.locate(observation)
-        declined = estimate.details.get("declined") or ()
-        for d in declined:
-            print(f"tier {d['tier']} declined: {d['reason']}")
-        if not estimate.valid or estimate.position is None:
-            reason = estimate.details.get("reason", "insufficient data")
-            print(f"no valid estimate ({reason})")
-            return 1
-        print(f"estimated position: ({estimate.position.x:.2f}, {estimate.position.y:.2f}) ft")
-        if estimate.location_name:
-            print(f"estimated location: {estimate.location_name}")
-        if args.fallback:
-            print(f"answered by tier: {estimate.details.get('tier')}")
-    return 0
+        batch = [
+            Observation(s.rssi_matrix(db.bssids), bssids=db.bssids) for s in sessions
+        ]
+        if len(batch) == 1:
+            estimates = [localizer.locate(batch[0])]
+        else:
+            estimates = localizer.locate_many(batch)
+
+        multi = len(batch) > 1
+        any_invalid = False
+        for path, estimate in zip(args.observations, estimates):
+            if multi:
+                print(f"{path}:")
+            declined = estimate.details.get("declined") or ()
+            for d in declined:
+                print(f"tier {d['tier']} declined: {d['reason']}")
+            if not estimate.valid or estimate.position is None:
+                reason = estimate.details.get("reason", "insufficient data")
+                print(f"no valid estimate ({reason})")
+                any_invalid = True
+                continue
+            print(f"estimated position: ({estimate.position.x:.2f}, {estimate.position.y:.2f}) ft")
+            if estimate.location_name:
+                print(f"estimated location: {estimate.location_name}")
+            if args.fallback:
+                print(f"answered by tier: {estimate.details.get('tier')}")
+    return 1 if any_invalid else 0
 
 
 # ----------------------------------------------------------------------

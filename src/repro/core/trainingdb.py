@@ -111,6 +111,14 @@ class TrainingDatabase:
                 )
         self.records = list(records)
         self._by_name = {r.name: r for r in self.records}
+        # Matrix-view memos.  The database is immutable after
+        # construction, so these never need invalidating; the cached
+        # arrays are marked read-only so an accidental in-place write by
+        # a consumer fails loudly instead of corrupting every fitted
+        # model that shares the cache.
+        self._positions_memo: Optional[np.ndarray] = None
+        self._mean_matrix_memo: Optional[np.ndarray] = None
+        self._std_matrix_memo: Dict[float, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # access
@@ -133,16 +141,42 @@ class TrainingDatabase:
             ) from None
 
     def positions(self) -> np.ndarray:
-        """(n_locations, 2) array of training positions (feet)."""
-        return np.array([[r.position.x, r.position.y] for r in self.records])
+        """(n_locations, 2) array of training positions (feet).
+
+        Memoized (and read-only): the same array object is returned on
+        every call.
+        """
+        if self._positions_memo is None:
+            arr = np.array([[r.position.x, r.position.y] for r in self.records])
+            arr.setflags(write=False)
+            self._positions_memo = arr
+        return self._positions_memo
 
     def mean_matrix(self) -> np.ndarray:
-        """(n_locations, n_aps) of per-location mean RSSI (NaN = unheard)."""
-        return np.vstack([r.mean_rssi() for r in self.records])
+        """(n_locations, n_aps) of per-location mean RSSI (NaN = unheard).
+
+        Memoized (and read-only): the same array object is returned on
+        every call.
+        """
+        if self._mean_matrix_memo is None:
+            arr = np.vstack([r.mean_rssi() for r in self.records])
+            arr.setflags(write=False)
+            self._mean_matrix_memo = arr
+        return self._mean_matrix_memo
 
     def std_matrix(self, min_std: float = 0.5) -> np.ndarray:
-        """(n_locations, n_aps) of per-location RSSI std (floored)."""
-        return np.vstack([r.std_rssi(min_std=min_std) for r in self.records])
+        """(n_locations, n_aps) of per-location RSSI std (floored).
+
+        Memoized per ``min_std`` (and read-only): the same array object
+        is returned on every call with the same floor.
+        """
+        key = float(min_std)
+        cached = self._std_matrix_memo.get(key)
+        if cached is None:
+            cached = np.vstack([r.std_rssi(min_std=min_std) for r in self.records])
+            cached.setflags(write=False)
+            self._std_matrix_memo[key] = cached
+        return cached
 
     def total_samples(self) -> int:
         return sum(r.samples.shape[0] for r in self.records)

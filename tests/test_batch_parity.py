@@ -1,11 +1,12 @@
 """Batch/single parity: locate_many must equal [locate(o) ...] bit-for-bit.
 
-The vectorized batch paths (probabilistic, kNN) re-derive the same
-quantities as the per-observation paths through differently-shaped
-broadcasts; this property suite pins them together exactly — score,
-validity, position and runner-up — under hypothesis-generated
-observations with arbitrary missing-AP patterns.  FieldMLE rides along
-to cover the default (loop) locate_many.
+Every localizer's vectorized batch path re-derives the same quantities
+as its per-observation path through differently-shaped broadcasts; this
+property suite pins them together exactly — score, validity, position
+and runner-up — under hypothesis-generated observations with arbitrary
+missing-AP patterns, for every registered localizer including the
+tiered fallback chain (whose per-request ``tier``/``declined``
+diagnostics must also survive batching unchanged).
 
 Also the aliasing regression: per-estimate detail arrays must be
 copies, never live row views of the shared batch matrix.
@@ -17,14 +18,22 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms.base import Observation
+from repro.algorithms.fallback import FallbackLocalizer
 from repro.algorithms.fieldmle import FieldMLELocalizer
+from repro.algorithms.geometric import GeometricLocalizer
+from repro.algorithms.histogram import HistogramLocalizer
 from repro.algorithms.knn import KNNLocalizer
+from repro.algorithms.multilateration import MultilaterationLocalizer
 from repro.algorithms.probabilistic import ProbabilisticLocalizer
+from repro.algorithms.rank import RankLocalizer
+from repro.algorithms.scene import SceneAnalysisLocalizer
+from repro.algorithms.sector import SectorLocalizer
 from repro.core.geometry import Point
 from repro.core.trainingdb import LocationRecord, TrainingDatabase
 
 B = [f"02:00:00:00:00:{i:02x}" for i in range(4)]
 APS = [Point(0, 0), Point(50, 0), Point(50, 40), Point(0, 40)]
+AP_POS = dict(zip(B, APS))
 
 
 def _rssi_at(p: Point) -> np.ndarray:
@@ -53,6 +62,15 @@ LOCALIZERS = {
     "probabilistic": ProbabilisticLocalizer().fit(DB),
     "knn": KNNLocalizer(k=3).fit(DB),
     "fieldmle": FieldMLELocalizer(resolution_ft=5.0, refine=False).fit(DB),
+    "histogram": HistogramLocalizer().fit(DB),
+    "rank": RankLocalizer().fit(DB),
+    "scene": SceneAnalysisLocalizer().fit(DB),
+    "sector": SectorLocalizer().fit(DB),
+    "geometric": GeometricLocalizer(AP_POS).fit(DB),
+    "multilateration": MultilaterationLocalizer(AP_POS).fit(DB),
+    "fallback": FallbackLocalizer(
+        ap_positions=AP_POS, bounds=(0.0, 0.0, 50.0, 40.0)
+    ).fit(DB),
 }
 
 # One observation: a handful of sweeps over 4 APs, RSSI in a realistic
@@ -118,6 +136,46 @@ class TestBatchSingleParity:
             loc.locate_many(observations),
             "fieldmle",
         )
+
+    @pytest.mark.parametrize(
+        "name",
+        ["histogram", "rank", "scene", "sector", "geometric", "multilateration"],
+    )
+    @given(_batch)
+    @settings(max_examples=15, deadline=None)
+    def test_vectorized_localizer(self, name, observations):
+        loc = LOCALIZERS[name]
+        _assert_identical(
+            [loc.locate(o) for o in observations],
+            loc.locate_many(observations),
+            name,
+        )
+
+    @given(_batch)
+    @settings(max_examples=15, deadline=None)
+    def test_fallback_chain(self, observations):
+        """The tiered chain: answers AND diagnostics survive batching."""
+        loc = LOCALIZERS["fallback"]
+        single = [loc.locate(o) for o in observations]
+        batched = loc.locate_many(observations)
+        _assert_identical(single, batched, "fallback")
+        for i, (a, b) in enumerate(zip(single, batched)):
+            assert a.details.get("tier") == b.details.get("tier"), f"fallback[{i}]"
+            assert a.details.get("declined") == b.details.get("declined"), f"fallback[{i}]"
+
+    def test_every_registered_localizer_is_covered(self):
+        """New localizers must join the parity table (or justify why not)."""
+        from repro.algorithms.base import _REGISTRY
+
+        # Only the toolkit's own localizers: other test modules register
+        # throwaway algorithms into the (global) registry.
+        toolkit = {
+            name
+            for name, factory in _REGISTRY.items()
+            if getattr(factory, "__module__", "").startswith("repro.")
+        }
+        missing = toolkit - set(LOCALIZERS)
+        assert not missing, f"localizers missing batch-parity coverage: {sorted(missing)}"
 
     def test_probabilistic_log_likelihood_paths_identical(self):
         """The (M, L) matrix rows equal the per-observation vectors exactly."""

@@ -243,3 +243,33 @@ class TestLocateCLI:
         db_path, obs_path = self.make_db_and_obs(tmp_path, site, house)
         with pytest.raises(SystemExit):
             locate_main([str(db_path), str(obs_path), "--algorithm", "oracle"])
+
+    def test_multiple_observations_batched(self, tmp_path, site, house, capsys):
+        db_path, obs_path = self.make_db_and_obs(tmp_path, site, house)
+        obs2 = tmp_path / "obs2.wi-scan"
+        obs2.write_text(obs_path.read_text())
+        rc = locate_main(
+            [str(db_path), str(obs_path), str(obs2), "--chunk-size", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        # one labelled block per file, identical answers for identical input
+        assert out.count("estimated position") == 2
+        assert f"{obs_path}:" in out and f"{obs2}:" in out
+        lines = [l for l in out.splitlines() if l.startswith("estimated position")]
+        assert lines[0] == lines[1]
+
+    def test_batch_flags_validated(self, tmp_path, site, house):
+        db_path, obs_path = self.make_db_and_obs(tmp_path, site, house)
+        with pytest.raises(SystemExit):
+            locate_main([str(db_path), str(obs_path), "--chunk-size", "0"])
+        with pytest.raises(SystemExit):
+            locate_main([str(db_path), str(obs_path), "--shard", "0"])
+
+    def test_batch_flags_restore_default_config(self, tmp_path, site, house):
+        from repro.algorithms.engine import get_batch_config
+
+        db_path, obs_path = self.make_db_and_obs(tmp_path, site, house)
+        before = get_batch_config()
+        assert locate_main([str(db_path), str(obs_path), "--chunk-size", "7"]) == 0
+        assert get_batch_config() is before

@@ -90,6 +90,26 @@ class TestTrainingDatabase:
         assert db.positions().shape == (2, 2)
         assert db.total_samples() == 6
 
+    def test_matrices_memoized(self):
+        """Repeated calls return the same cached (read-only) array object.
+
+        The localizers' fit-time precompute leans on this: mean/std/
+        position matrices are built once per database, not once per
+        localizer, and handing out one shared array is only safe because
+        it is frozen.
+        """
+        db = small_db()
+        assert db.mean_matrix() is db.mean_matrix()
+        assert db.positions() is db.positions()
+        assert db.std_matrix() is db.std_matrix()
+        # per-floor memoization: distinct floors are distinct arrays
+        assert db.std_matrix(min_std=2.0) is db.std_matrix(min_std=2.0)
+        assert db.std_matrix(min_std=2.0) is not db.std_matrix()
+        for arr in (db.mean_matrix(), db.positions(), db.std_matrix()):
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[0, 0] = 0.0
+
     def test_subset_aps(self):
         db = small_db()
         sub = db.subset_aps([B2])
