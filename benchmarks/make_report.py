@@ -49,7 +49,8 @@ def main() -> None:
         sys.path.insert(0, str(results.parent.parent / "src"))
         from repro.obs import render_text
 
-        summary = render_text(json.loads(metrics_path.read_text(encoding="utf-8")))
+        snapshot = json.loads(metrics_path.read_text(encoding="utf-8"))
+        summary = render_text(snapshot)
         print(summary)
         out.append("## Pipeline metrics (repro.obs)")
         out.append("")
@@ -57,6 +58,25 @@ def main() -> None:
         out.extend(summary.splitlines())
         out.append("```")
         out.append("")
+
+        quality = {
+            section: {
+                series: value
+                for series, value in snapshot.get(section, {}).items()
+                if series.startswith("quality.")
+            }
+            for section in ("counters", "gauges", "histograms")
+        }
+        if any(quality.values()):
+            # Data-quality telemetry pulled out of the flood: drift
+            # alerts, degraded-mode answers, estimation confidence —
+            # the first place to look when accuracy numbers move.
+            out.append("## Quality telemetry (quality.*)")
+            out.append("")
+            out.append("```")
+            out.extend(render_text(quality).splitlines())
+            out.append("```")
+            out.append("")
 
     target = results.parent / "RESULTS.md"
     target.write_text("\n".join(out), encoding="utf-8")

@@ -183,6 +183,8 @@ def _instrument_locate(fn: Callable) -> Callable:
             1000.0 * (time.perf_counter() - t0)
         )
         _count_estimate(label, estimate)
+        if estimate.valid:
+            obs.histogram("quality.confidence", algorithm=label).observe(estimate.score)
         return estimate
 
     locate._obs_instrumented = True
@@ -213,6 +215,11 @@ def _instrument_locate_many(fn: Callable) -> Callable:
         n_valid = sum(1 for e in estimates if e.valid)
         if n_valid:
             obs.counter("locate.valid", algorithm=label).inc(n_valid)
+            # Estimation-confidence histogram (per localizer): one
+            # lookup + one lock for the whole batch via observe_many.
+            obs.histogram("quality.confidence", algorithm=label).observe_many(
+                e.score for e in estimates if e.valid
+            )
         if n_valid != len(estimates):
             obs.counter("locate.invalid", algorithm=label).inc(len(estimates) - n_valid)
         return estimates

@@ -15,11 +15,15 @@ share:
   batches on multi-core hosts; it is off by default
   (``ParallelConfig(max_workers=1)``) and explicit where enabled (the
   CLI ``--shard`` flag, or :func:`set_batch_config`).
-* **Instrumentation** — per-chunk spans (``batch.chunk``), chunk and
-  shard counters (``batch.chunks``, ``batch.shard``,
-  ``batch.sharded_requests``) on the global :mod:`repro.obs` registry,
-  complementing the per-batch latency histograms emitted by
-  :class:`~repro.algorithms.base.Localizer`.
+* **Instrumentation** — a per-request counter (``batch.requests``),
+  per-chunk spans (``batch.chunk``), chunk and shard counters
+  (``batch.chunks``, ``batch.shard``, ``batch.sharded_requests``) on
+  the global :mod:`repro.obs` registry, complementing the per-batch
+  latency histograms emitted by
+  :class:`~repro.algorithms.base.Localizer`.  Metrics emitted *inside*
+  shard workers (e.g. fallback-tier decisions) ride back to the parent
+  registry as per-chunk deltas merged by :mod:`repro.parallel.pool`,
+  so sharded and serial runs report identical totals.
 
 A localizer participates by defining ``_locate_chunk(observations)``
 — its vectorized single-chunk kernel, answer-identical to ``locate``
@@ -110,6 +114,11 @@ def run_batched(
     n = len(items)
     if n == 0:
         return []
+    # One per-request counter emitted identically on every path (single
+    # chunk, chunked serial, sharded): the parity anchor that sharded
+    # and serial runs of the same batch must agree on after the
+    # worker-delta merge (see docs/observability.md).
+    obs.counter("batch.requests", algorithm=label).inc(n)
     size = max(1, int(cfg.chunk_size))
     if max_chunk is not None:
         size = max(1, min(size, int(max_chunk)))

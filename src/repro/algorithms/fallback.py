@@ -184,6 +184,9 @@ class FallbackLocalizer(Localizer):
             details["tier"] = name
             details["declined"] = declined
             obs.counter("fallback.answered", tier=name).inc()
+            if declined:
+                # Degraded-mode alert: an upper tier had to be skipped.
+                obs.counter("quality.degraded_answers", tier=name).inc()
             return LocationEstimate(
                 position=est.position,
                 location_name=est.location_name,
@@ -192,6 +195,7 @@ class FallbackLocalizer(Localizer):
                 details=details,
             )
         obs.counter("fallback.exhausted").inc()
+        obs.counter("quality.alert", kind="fallback_exhausted").inc()
         return invalid_estimate("all fallback tiers declined", tier=None, declined=declined)
 
     # ------------------------------------------------------------------
@@ -258,6 +262,8 @@ class FallbackLocalizer(Localizer):
                 details["tier"] = name
                 details["declined"] = declined[i]
                 obs.counter("fallback.answered", tier=name).inc()
+                if declined[i]:
+                    obs.counter("quality.degraded_answers", tier=name).inc()
                 results[i] = LocationEstimate(
                     position=outcome.position,
                     location_name=outcome.location_name,
@@ -268,6 +274,7 @@ class FallbackLocalizer(Localizer):
             pending = still
         for i in pending:
             obs.counter("fallback.exhausted").inc()
+            obs.counter("quality.alert", kind="fallback_exhausted").inc()
             results[i] = invalid_estimate(
                 "all fallback tiers declined", tier=None, declined=declined[i]
             )

@@ -47,6 +47,12 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "and print the text summary",
     )
     parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the structured-JSON exporter payload (labels split out, "
+        "schema-tagged; same document as the ObsServer /metrics.json endpoint)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         help="write a JSONL trace of nested pipeline spans (wall/CPU ms) to PATH",
@@ -62,6 +68,7 @@ class _ObsSession:
 
     def __init__(self, args: argparse.Namespace):
         self.metrics_path = getattr(args, "metrics", None)
+        self.metrics_json_path = getattr(args, "metrics_json", None)
         self.trace_path = getattr(args, "trace", None)
         self._tracer = None
         self._activation = None
@@ -85,13 +92,20 @@ class _ObsSession:
         if self.trace_path:
             n = self._tracer.write_jsonl(self.trace_path)
             print(f"wrote {n} trace span(s) to {self.trace_path}")
-        if self.metrics_path:
+        if self.metrics_path or self.metrics_json_path:
             snap = obs.snapshot()
-            Path(self.metrics_path).write_text(
-                json.dumps(snap, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-            )
-            print(f"wrote metrics snapshot to {self.metrics_path}")
-            print(obs.render_text(snap))
+            if self.metrics_path:
+                Path(self.metrics_path).write_text(
+                    json.dumps(snap, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+                )
+                print(f"wrote metrics snapshot to {self.metrics_path}")
+            if self.metrics_json_path:
+                Path(self.metrics_json_path).write_text(
+                    obs.render_json(snap), encoding="utf-8"
+                )
+                print(f"wrote JSON metrics payload to {self.metrics_json_path}")
+            if self.metrics_path:
+                print(obs.render_text(snap))
 
 
 # ----------------------------------------------------------------------
@@ -577,6 +591,198 @@ def simulate_main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"  training.tdb        {db_path.stat().st_size} bytes")
     print(f"  observations/       {args.tests} Phase-2 wi-scan files + ground_truth.txt")
     return 0
+
+
+# ----------------------------------------------------------------------
+# repro (umbrella command) — currently the `obs` telemetry group
+# ----------------------------------------------------------------------
+def _load_snapshot(path: str) -> dict:
+    import json
+
+    p = Path(path)
+    if not p.is_file():
+        _fail(f"snapshot file not found: {p}")
+    try:
+        snap = json.loads(p.read_text(encoding="utf-8"))
+    except (ValueError, OSError) as exc:
+        _fail(f"cannot read snapshot {p}: {exc}")
+    if not isinstance(snap, dict):
+        _fail(f"{p} is not a metrics snapshot (expected a JSON object)")
+    return snap
+
+
+def _obs_demo_workload(drift_offset_db: float):
+    """Populate the live registry with a small end-to-end workload.
+
+    Returns the health checks to wire into the server: the RSSI drift
+    monitor (fed live observations shifted by ``drift_offset_db`` on
+    the first AP — 0 keeps it healthy, a large offset trips it) and the
+    fallback-exhaustion check.
+    """
+    from repro.algorithms.fallback import FallbackLocalizer
+    from repro.experiments.house import ExperimentHouse, HouseConfig
+    from repro.obs.quality import APDriftMonitor, fallback_exhaustion_check
+
+    house = ExperimentHouse(HouseConfig(dwell_s=5.0))
+    db = house.training_database(rng=0)
+    chain = FallbackLocalizer().fit(db)
+    # Live traffic at the survey grid itself: position-matched to the
+    # training reference, so the drift monitor's healthy baseline is
+    # genuinely healthy and only the injected offset trips it.
+    positions = [sp.position for sp in house.training_points()]
+    observations = house.observe_all(positions, rng=1, dwell_s=5.0)
+    monitor = APDriftMonitor(db, min_samples=20)
+    for o in observations:
+        samples = o.samples.copy()
+        samples[:, 0] += drift_offset_db
+        live = type(o)(samples, bssids=o.bssids)
+        chain.locate(live)
+        monitor.observe(live)
+    monitor.status()  # compute + emit the drift gauges/alerts once
+    return [
+        ("rssi_drift", monitor.health),
+        ("fallback_exhaustion", fallback_exhaustion_check()),
+    ]
+
+
+def _obs_serve(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro import obs
+
+    checks = []
+    if args.demo:
+        print("running demo workload (simulated site, fallback chain, drift monitor)...")
+        checks = _obs_demo_workload(args.drift_offset)
+        snapshot_fn = obs.snapshot
+    elif args.snapshot:
+        path = Path(args.snapshot)
+        _load_snapshot(args.snapshot)  # validate up front
+
+        def snapshot_fn():
+            # Re-read per scrape: rewriting the file updates the scrape.
+            return json.loads(path.read_text(encoding="utf-8"))
+
+    else:
+        _fail("repro obs serve needs a snapshot file or --demo")
+
+    server = obs.ObsServer(snapshot_fn, host=args.host, port=args.port)
+    for name, check in checks:
+        server.add_health_check(name, check)
+    server.add_health_check(
+        "snapshot",
+        lambda: (True, {k: len(v) for k, v in snapshot_fn().items() if isinstance(v, dict)}),
+    )
+    server.start()
+    try:
+        print(f"serving {server.url}/metrics  /metrics.json  /healthz", flush=True)
+        if args.for_seconds is not None:
+            time.sleep(args.for_seconds)
+        else:
+            print("Ctrl-C to stop", flush=True)
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _obs_dump(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    snap = _load_snapshot(args.snapshot)
+    if args.format == "text":
+        print(obs.render_text(snap))
+    elif args.format == "prometheus":
+        print(obs.render_prometheus(snap), end="")
+    else:
+        print(obs.render_json(snap), end="")
+    return 0
+
+
+def _obs_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+
+    before = _load_snapshot(args.before)
+    after = _load_snapshot(args.after)
+    if args.format == "json":
+        print(json.dumps(obs.diff_snapshots(before, after), indent=2, sort_keys=True))
+    else:
+        print(obs.render_diff(before, after))
+    return 0
+
+
+def repro_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Toolkit umbrella command (see also the per-program "
+        "entry points: floorplan-processor, training-db-generator, locate, ...).",
+    )
+    sub = parser.add_subparsers(dest="group", required=True)
+
+    obs_parser = sub.add_parser(
+        "obs",
+        help="telemetry: serve /metrics over HTTP, render snapshots, diff them",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="command", required=True)
+
+    serve = obs_sub.add_parser(
+        "serve",
+        help="serve a metrics snapshot (or a --demo workload) on "
+        "/metrics, /metrics.json and /healthz",
+    )
+    serve.add_argument(
+        "snapshot", nargs="?", help="snapshot JSON written by --metrics (re-read per scrape)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9477)
+    serve.add_argument(
+        "--demo",
+        action="store_true",
+        help="populate the registry from a small simulated workload and wire "
+        "the RSSI drift monitor + fallback health checks into /healthz",
+    )
+    serve.add_argument(
+        "--drift-offset",
+        type=float,
+        default=0.0,
+        metavar="DB",
+        help="with --demo: shift live RSSI of the first AP by DB dB "
+        "(e.g. 15 trips the drift monitor and /healthz goes degraded)",
+    )
+    serve.add_argument(
+        "--for-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="serve for S seconds then exit (default: until Ctrl-C)",
+    )
+    serve.set_defaults(func=_obs_serve)
+
+    dump = obs_sub.add_parser(
+        "dump", help="render a snapshot file as text, Prometheus exposition, or JSON"
+    )
+    dump.add_argument("snapshot", help="snapshot JSON written by --metrics")
+    dump.add_argument(
+        "--format", choices=("text", "prometheus", "json"), default="text"
+    )
+    dump.set_defaults(func=_obs_dump)
+
+    diff = obs_sub.add_parser(
+        "diff", help="what changed between two snapshots (counter deltas, gauge moves)"
+    )
+    diff.add_argument("before", help="earlier snapshot JSON")
+    diff.add_argument("after", help="later snapshot JSON")
+    diff.add_argument("--format", choices=("text", "json"), default="text")
+    diff.set_defaults(func=_obs_diff)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual smoke entry

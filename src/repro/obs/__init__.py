@@ -1,33 +1,51 @@
-"""Observability: metrics, tracing and rendering for the pipeline.
+"""Observability: metrics, tracing, exporters and rendering for the pipeline.
 
 The ingest → train → locate pipeline is instrumented end-to-end
 through this package (see docs/observability.md for the metric-name
-catalogue and the trace format):
+catalogue, exporter formats and the trace format):
 
 * :mod:`repro.obs.metrics` — counters, gauges, reservoir-free
-  streaming histograms, and a process-global default registry.
+  streaming histograms, a process-global default registry, and
+  cross-process aggregation (``MetricsRegistry.dump_state/merge``).
 * :mod:`repro.obs.trace` — ``span("stage")`` context managers feeding
   a JSONL :class:`Tracer` with nesting and wall/CPU time.
-* :mod:`repro.obs.render` — ``render_text()`` snapshot formatting.
+* :mod:`repro.obs.render` — ``render_text()`` snapshot formatting
+  (deterministic series order).
+* :mod:`repro.obs.export` — Prometheus text exposition
+  (``render_prometheus``) and structured JSON (``render_json``).
+* :mod:`repro.obs.compare` — ``diff_snapshots``/``render_diff``
+  between two snapshots.
+* :mod:`repro.obs.server` — :class:`ObsServer`, a stdlib HTTP thread
+  serving ``/metrics``, ``/metrics.json`` and ``/healthz``.
+* :mod:`repro.obs.quality` — RSSI drift monitors and degraded-mode
+  health checks.  The one numpy-using module; import it explicitly
+  (``from repro.obs.quality import APDriftMonitor``) — it is kept out
+  of this namespace so everything imported here stays stdlib-only.
 
-Everything is stdlib-only so any layer can import it without cycles.
+Everything re-exported here is stdlib-only so any layer can import it
+without cycles.
 """
 
+from repro.obs.compare import diff_snapshots, render_diff
+from repro.obs.export import json_payload, render_json, render_prometheus
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     counter,
+    enabled,
     gauge,
     get_registry,
     histogram,
+    merge_state,
     reset,
     set_enabled,
     set_registry,
     snapshot,
 )
 from repro.obs.render import render_text
+from repro.obs.server import ObsServer
 from repro.obs.trace import Tracer, current_tracer, span
 
 __all__ = [
@@ -35,12 +53,20 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ObsServer",
     "Tracer",
     "counter",
     "current_tracer",
+    "diff_snapshots",
+    "enabled",
     "gauge",
     "get_registry",
     "histogram",
+    "json_payload",
+    "merge_state",
+    "render_diff",
+    "render_json",
+    "render_prometheus",
     "render_text",
     "reset",
     "set_enabled",

@@ -1,0 +1,119 @@
+"""Snapshot diffing: what happened between two metric snapshots.
+
+An operator grabs ``--metrics`` (or ``/metrics.json``) before and after
+an incident window and asks *what moved*.  :func:`diff_snapshots`
+answers structurally; :func:`render_diff` formats it for a terminal.
+
+Counter semantics are monotonic, so a negative delta can only mean the
+process restarted (or the registry was reset) between the snapshots —
+those series are flagged ``reset`` and reported at their new absolute
+value instead of a meaningless negative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.render import sorted_series
+
+__all__ = ["diff_snapshots", "render_diff"]
+
+
+def diff_snapshots(
+    before: Dict[str, Dict[str, object]],
+    after: Dict[str, Dict[str, object]],
+) -> Dict[str, object]:
+    """Structured delta ``after - before`` over two snapshot dicts.
+
+    Returns ``{"counters": {series: delta}, "resets": [series...],
+    "gauges": {series: (before, after)}, "histograms": {series:
+    {"count": dcount, "sum": dsum}}}``.  Unchanged series are omitted;
+    series absent from ``before`` diff against zero/empty.
+    """
+    out: Dict[str, object] = {"counters": {}, "resets": [], "gauges": {}, "histograms": {}}
+
+    b_counters = before.get("counters", {})
+    for series, value in after.get("counters", {}).items():
+        delta = int(value) - int(b_counters.get(series, 0))
+        if delta < 0:  # restart/reset between snapshots: report absolute
+            out["resets"].append(series)
+            delta = int(value)
+        if delta:
+            out["counters"][series] = delta
+    for series in b_counters:
+        if series not in after.get("counters", {}):
+            out["resets"].append(series)
+
+    b_gauges = before.get("gauges", {})
+    for series, value in after.get("gauges", {}).items():
+        prev = b_gauges.get(series)
+        if prev is None or float(prev) != float(value):
+            out["gauges"][series] = (
+                None if prev is None else float(prev),
+                float(value),
+            )
+
+    b_hists = before.get("histograms", {})
+    for series, summary in after.get("histograms", {}).items():
+        prev = b_hists.get(series, {})
+        dcount = int(summary.get("count", 0)) - int(prev.get("count", 0))
+        dsum = float(summary.get("sum", 0.0)) - float(prev.get("sum", 0.0))
+        if dcount < 0:
+            out["resets"].append(series)
+            dcount = int(summary.get("count", 0))
+            dsum = float(summary.get("sum", 0.0))
+        if dcount:
+            out["histograms"][series] = {"count": dcount, "sum": dsum}
+
+    out["resets"] = sorted(set(out["resets"]))
+    return out
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    if value != value:
+        return "nan"
+    if abs(value) >= 1000 or value == int(value):
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def render_diff(
+    before: Dict[str, Dict[str, object]],
+    after: Dict[str, Dict[str, object]],
+) -> str:
+    """Aligned text for :func:`diff_snapshots` (deterministic order)."""
+    d = diff_snapshots(before, after)
+    counters, gauges, histograms = d["counters"], d["gauges"], d["histograms"]
+    if not (counters or gauges or histograms or d["resets"]):
+        return "no change between snapshots"
+
+    lines: List[str] = []
+    width = max(
+        (len(k) for k in list(counters) + list(gauges) + list(histograms)),
+        default=0,
+    )
+    if counters:
+        lines.append("counters (delta):")
+        for series, delta in sorted_series(counters):
+            mark = "  [reset]" if series in d["resets"] else ""
+            lines.append(f"  {series:<{width}s} +{delta}{mark}")
+    if gauges:
+        lines.append("gauges (before -> after):")
+        for series, (prev, now) in sorted_series(gauges):
+            lines.append(f"  {series:<{width}s} {_fmt(prev)} -> {_fmt(now)}")
+    if histograms:
+        lines.append("histograms (delta):")
+        for series, h in sorted_series(histograms):
+            mark = "  [reset]" if series in d["resets"] else ""
+            sign = "+" if h["sum"] >= 0 else ""  # negatives carry their own sign
+            lines.append(
+                f"  {series:<{width}s} count=+{h['count']} sum={sign}{_fmt(h['sum'])}{mark}"
+            )
+    vanished = [s for s in d["resets"] if s not in counters and s not in histograms]
+    if vanished:
+        lines.append("series present before, missing after (reset):")
+        for series in vanished:
+            lines.append(f"  {series}")
+    return "\n".join(lines)

@@ -1,0 +1,276 @@
+"""Quality telemetry: is live RSSI still the RSSI we trained on?
+
+Fingerprinting dies silently: an AP gets moved, replaced, or its power
+level changes, live RSSI drifts away from the training database, and
+accuracy decays with no error anywhere — the dominant failure mode the
+RADAR and Horus lines of work both call out.  This module watches for
+it at serve time:
+
+* :class:`APDriftMonitor` — per-AP live-vs-training health.  Live
+  observations stream in; per AP it tracks the **mean shift** (live
+  mean minus the training mean from
+  ``TrainingDatabase.mean_matrix()``) and a **KS-style distribution
+  distance** (sup-norm between the live empirical CDF and the training
+  reference CDF, a per-location Gaussian mixture built from
+  ``mean_matrix``/``std_matrix``).  Crossing either threshold marks
+  the AP *drifted*, increments ``quality.drift_alerts{ap=...}`` and
+  flips the monitor's :meth:`health` — wire that into
+  :meth:`repro.obs.server.ObsServer.add_health_check` and ``/healthz``
+  goes degraded while the deployment no longer matches its survey.
+* :func:`fallback_exhaustion_check` — degraded-mode health from the
+  fallback chain's own counters (``fallback.exhausted`` vs answered).
+
+Unlike the rest of :mod:`repro.obs` this module uses numpy (it reasons
+about RSSI matrices); it is therefore *not* imported by
+``repro.obs.__init__`` — import it explicitly::
+
+    from repro.obs.quality import APDriftMonitor
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["APDriftMonitor", "fallback_exhaustion_check"]
+
+
+def _gaussian_cdf(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+class APDriftMonitor:
+    """Streaming per-AP drift detection against a training database.
+
+    Parameters
+    ----------
+    db:
+        A fitted :class:`~repro.core.trainingdb.TrainingDatabase` (duck
+        typed: needs ``bssids``, ``mean_matrix()``, ``std_matrix()``).
+    mean_shift_db:
+        Absolute live-vs-training mean divergence (dB) that marks an AP
+        drifted.  6 dB ≈ halving/doubling received power twice over.
+    ks_threshold:
+        KS-style distance (sup-norm of CDF difference, in [0, 1]) that
+        marks an AP drifted even when means agree (e.g. a bimodal live
+        distribution from an AP now heard through a new wall).
+    min_samples:
+        Per-AP live readings required before the AP is judged at all —
+        below it the AP reports ``insufficient data`` and never trips.
+    bin_width_db / rssi_range:
+        Fixed binning grid for the live empirical distribution.  2 dB
+        bins over [-100, -20] dBm keep state tiny (40 ints per AP) and
+        bound the CDF discretization error well under any sane
+        ``ks_threshold``.
+    """
+
+    def __init__(
+        self,
+        db,
+        mean_shift_db: float = 6.0,
+        ks_threshold: float = 0.35,
+        min_samples: int = 50,
+        bin_width_db: float = 2.0,
+        rssi_range: Tuple[float, float] = (-100.0, -20.0),
+        min_std: float = 0.5,
+    ):
+        if mean_shift_db <= 0 or not 0 < ks_threshold <= 1:
+            raise ValueError(
+                f"thresholds out of range: mean_shift_db={mean_shift_db}, "
+                f"ks_threshold={ks_threshold}"
+            )
+        lo, hi = rssi_range
+        if hi <= lo or bin_width_db <= 0:
+            raise ValueError(f"bad binning: range={rssi_range}, width={bin_width_db}")
+        self.bssids: List[str] = list(db.bssids)
+        self.mean_shift_db = float(mean_shift_db)
+        self.ks_threshold = float(ks_threshold)
+        self.min_samples = int(min_samples)
+        self._lo = float(lo)
+        self._width = float(bin_width_db)
+        self._n_bins = int(math.ceil((hi - lo) / bin_width_db))
+
+        mean = np.asarray(db.mean_matrix(), dtype=float)  # (L, A)
+        std = np.asarray(db.std_matrix(min_std), dtype=float)
+        heard = np.isfinite(mean)
+        counts = heard.sum(axis=0)
+        self.train_mean = np.where(
+            counts > 0,
+            np.where(heard, mean, 0.0).sum(axis=0) / np.maximum(counts, 1),
+            np.nan,
+        )
+        # Reference CDF at each bin's upper edge: an equal-weight
+        # Gaussian mixture over the training locations that heard the
+        # AP — exactly the distribution the probabilistic localizer
+        # scores against, so "drifted" means "the model's world moved".
+        edges = self._lo + self._width * np.arange(1, self._n_bins + 1)
+        self.train_cdf = np.full((len(self.bssids), self._n_bins), np.nan)
+        for a in range(len(self.bssids)):
+            rows = np.nonzero(heard[:, a])[0]
+            if rows.size == 0:
+                continue
+            for e, edge in enumerate(edges):
+                acc = 0.0
+                for l in rows:
+                    acc += _gaussian_cdf((edge - mean[l, a]) / std[l, a])
+                self.train_cdf[a, e] = acc / rows.size
+
+        # live accumulation
+        A = len(self.bssids)
+        self._n = np.zeros(A, dtype=np.int64)
+        self._sum = np.zeros(A)
+        self._hist = np.zeros((A, self._n_bins), dtype=np.int64)
+        self._drifted = np.zeros(A, dtype=bool)
+
+    # ------------------------------------------------------------------
+    def observe(self, observation) -> None:
+        """Feed one live observation (or a raw ``(sweeps, aps)`` matrix).
+
+        Observations carrying BSSIDs are aligned to the training column
+        order; bare matrices are trusted to already be in it.
+        """
+        samples = observation
+        if hasattr(samples, "samples"):
+            if getattr(samples, "bssids", None) and list(samples.bssids) != self.bssids:
+                samples = samples.reordered(self.bssids)
+            samples = samples.samples
+        samples = np.atleast_2d(np.asarray(samples, dtype=float))
+        if samples.shape[1] != len(self.bssids):
+            raise ValueError(
+                f"observation has {samples.shape[1]} AP columns, "
+                f"monitor expects {len(self.bssids)}"
+            )
+        finite = np.isfinite(samples)
+        self._n += finite.sum(axis=0)
+        self._sum += np.where(finite, samples, 0.0).sum(axis=0)
+        rows, cols = np.nonzero(finite)
+        if rows.size:
+            bins = np.clip(
+                ((samples[rows, cols] - self._lo) / self._width).astype(int),
+                0,
+                self._n_bins - 1,
+            )
+            np.add.at(self._hist, (cols, bins), 1)
+
+    def observe_many(self, observations: Sequence) -> None:
+        for o in observations:
+            self.observe(o)
+
+    # ------------------------------------------------------------------
+    def status(self, emit: bool = True) -> Dict[str, Dict[str, object]]:
+        """Per-AP drift report; also emits gauges/alert counters.
+
+        Alert counters fire on the *transition* into drifted (one alert
+        per incident, not per scrape); gauges always reflect the latest
+        computed shift/distance.
+        """
+        report: Dict[str, Dict[str, object]] = {}
+        for a, bssid in enumerate(self.bssids):
+            entry: Dict[str, object] = {"n": int(self._n[a])}
+            if self._n[a] < self.min_samples:
+                entry["judged"] = False
+                entry["drifted"] = False
+                report[bssid] = entry
+                continue
+            live_mean = self._sum[a] / self._n[a]
+            shift = live_mean - self.train_mean[a]
+            live_cdf = np.cumsum(self._hist[a]) / self._n[a]
+            if np.all(np.isfinite(self.train_cdf[a])):
+                ks = float(np.max(np.abs(live_cdf - self.train_cdf[a])))
+            else:
+                ks = math.nan  # AP never heard in training: mean test only
+            drifted = bool(
+                (math.isfinite(shift) and abs(shift) > self.mean_shift_db)
+                or (math.isfinite(ks) and ks > self.ks_threshold)
+            )
+            entry.update(
+                judged=True,
+                live_mean_dbm=float(live_mean),
+                train_mean_dbm=float(self.train_mean[a])
+                if math.isfinite(self.train_mean[a])
+                else None,
+                mean_shift_db=float(shift) if math.isfinite(shift) else None,
+                ks_distance=ks if math.isfinite(ks) else None,
+                drifted=drifted,
+            )
+            report[bssid] = entry
+            if emit:
+                if math.isfinite(shift):
+                    _metrics.gauge("quality.ap_mean_shift_db", ap=bssid).set(shift)
+                if math.isfinite(ks):
+                    _metrics.gauge("quality.ap_ks_distance", ap=bssid).set(ks)
+                if drifted and not self._drifted[a]:
+                    _metrics.counter("quality.drift_alerts", ap=bssid).inc()
+                    _metrics.counter("quality.alert", kind="rssi_drift").inc()
+            self._drifted[a] = drifted
+        return report
+
+    def drifted_aps(self) -> List[str]:
+        status = self.status()
+        return [b for b, e in status.items() if e.get("drifted")]
+
+    def health(self) -> Tuple[bool, Dict[str, object]]:
+        """(ok, detail) in the :class:`~repro.obs.server.ObsServer` shape."""
+        status = self.status()
+        drifted = [b for b, e in status.items() if e.get("drifted")]
+        judged = sum(1 for e in status.values() if e.get("judged"))
+        detail = {
+            "aps": len(self.bssids),
+            "aps_judged": judged,
+            "drifted": drifted,
+            "thresholds": {
+                "mean_shift_db": self.mean_shift_db,
+                "ks_distance": self.ks_threshold,
+            },
+        }
+        return not drifted, detail
+
+    def reset(self) -> None:
+        """Forget the live window (e.g. after re-surveying the site)."""
+        self._n[:] = 0
+        self._sum[:] = 0.0
+        self._hist[:] = 0
+        self._drifted[:] = False
+
+
+def fallback_exhaustion_check(
+    max_ratio: float = 0.25,
+    min_requests: int = 20,
+    registry: Optional[_metrics.MetricsRegistry] = None,
+):
+    """Health check: the degraded-mode chain still answers.
+
+    Reads the ``fallback.*`` counters (see
+    :mod:`repro.algorithms.fallback`) from ``registry`` (default: the
+    global one) and fails once more than ``max_ratio`` of chain
+    requests exhausted every tier.  Returns a callable in the
+    :class:`~repro.obs.server.ObsServer` health-check shape.
+    """
+    if not 0 <= max_ratio <= 1:
+        raise ValueError(f"max_ratio must be in [0, 1], got {max_ratio}")
+
+    def check() -> Tuple[bool, Dict[str, object]]:
+        reg = registry if registry is not None else _metrics.get_registry()
+        counters = reg.snapshot()["counters"]
+        answered = sum(
+            v for k, v in counters.items() if k.startswith("fallback.answered")
+        )
+        exhausted = int(counters.get("fallback.exhausted", 0))
+        total = answered + exhausted
+        detail: Dict[str, object] = {
+            "answered": answered,
+            "exhausted": exhausted,
+            "max_ratio": max_ratio,
+        }
+        if total < min_requests:
+            detail["note"] = f"insufficient traffic ({total} < {min_requests})"
+            return True, detail
+        ratio = exhausted / total
+        detail["ratio"] = round(ratio, 4)
+        return ratio <= max_ratio, detail
+
+    return check

@@ -4,15 +4,21 @@
 and what ``benchmarks/make_report.py`` folds into RESULTS.md — one
 aligned block per metric kind, histogram rows carrying the quantiles an
 operator actually reads (see docs/observability.md for how).
+
+Output is fully deterministic: series are re-sorted by (base name,
+label tuple) regardless of the snapshot dict's insertion order (merged
+or JSON-round-tripped snapshots arrive unsorted), and floats render
+through one stable formatter — so two snapshots of the same state are
+line-comparable with a plain ``diff``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs import metrics as _metrics
 
-__all__ = ["render_text"]
+__all__ = ["render_text", "sorted_series"]
 
 
 def _fmt(value: float) -> str:
@@ -21,6 +27,15 @@ def _fmt(value: float) -> str:
     if abs(value) >= 1000 or value == int(value):
         return f"{value:.0f}"
     return f"{value:.3g}"
+
+
+def sorted_series(table: Dict[str, object]) -> List[Tuple[str, object]]:
+    """Items of a snapshot section ordered by (name, label tuple).
+
+    The one sort rule every renderer (text, Prometheus, JSON) shares,
+    so the same registry state always serializes in the same order.
+    """
+    return sorted(table.items(), key=lambda kv: _metrics.split_series(kv[0]))
 
 
 def render_text(snapshot: Optional[Dict[str, Dict[str, object]]] = None) -> str:
@@ -39,15 +54,15 @@ def render_text(snapshot: Optional[Dict[str, Dict[str, object]]] = None) -> str:
     )
     if counters:
         lines.append("counters:")
-        for name, value in counters.items():
+        for name, value in sorted_series(counters):
             lines.append(f"  {name:<{width}s} {value}")
     if gauges:
         lines.append("gauges:")
-        for name, value in gauges.items():
+        for name, value in sorted_series(gauges):
             lines.append(f"  {name:<{width}s} {_fmt(float(value))}")
     if histograms:
         lines.append("histograms:")
-        for name, s in histograms.items():
+        for name, s in sorted_series(histograms):
             if not s.get("count"):
                 lines.append(f"  {name:<{width}s} count=0")
                 continue

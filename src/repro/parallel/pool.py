@@ -11,6 +11,12 @@ Design notes (per the hpc-parallel guides):
 * *Determinism* — callers pass pure functions of their arguments; any
   randomness must arrive through explicit seeds (see
   :mod:`repro.parallel.rng`), never through process-local global state.
+* *Telemetry round trip* — metrics emitted inside worker processes
+  would otherwise vanish with the worker, so each chunk runs against a
+  fresh worker-local registry and ships its delta state back with the
+  results; the parent folds every delta into its own registry
+  (counters sum, histograms merge bucket-wise).  Sharded and serial
+  runs therefore report identical totals.
 """
 
 from __future__ import annotations
@@ -59,12 +65,62 @@ class ParallelConfig:
         return max(1, -(-n_items // (4 * workers)))
 
 
-def _apply_chunk(func: Callable[[Any], Any], chunk: Sequence[Any]) -> List[Any]:
-    return [func(item) for item in chunk]
+def _apply_chunk(
+    func: Callable[[Any], Any], chunk: Sequence[Any], collect: bool = False
+) -> Tuple[List[Any], Optional[dict]]:
+    """Run one chunk in a worker; optionally capture its metrics delta.
+
+    With ``collect`` the worker swaps a fresh registry in around the
+    chunk, so the returned state holds exactly what *this chunk*
+    emitted — re-used pool workers never leak one chunk's counts into
+    another's delta, and the parent can fold every delta in without
+    double-counting.
+    """
+    if not collect:
+        return [func(item) for item in chunk], None
+    from repro.obs import metrics as _metrics
+
+    delta = _metrics.MetricsRegistry()
+    previous = _metrics.set_registry(delta)
+    try:
+        results = [func(item) for item in chunk]
+    finally:
+        _metrics.set_registry(previous)
+    return results, delta.dump_state()
 
 
-def _star_apply_chunk(func: Callable[..., Any], chunk: Sequence[Tuple]) -> List[Any]:
-    return [func(*args) for args in chunk]
+def _star_apply_chunk(
+    func: Callable[..., Any], chunk: Sequence[Tuple], collect: bool = False
+) -> Tuple[List[Any], Optional[dict]]:
+    if not collect:
+        return [func(*args) for args in chunk], None
+    from repro.obs import metrics as _metrics
+
+    delta = _metrics.MetricsRegistry()
+    previous = _metrics.set_registry(delta)
+    try:
+        results = [func(*args) for args in chunk]
+    finally:
+        _metrics.set_registry(previous)
+    return results, delta.dump_state()
+
+
+def _fold_deltas(kind: str, pairs: Sequence[Tuple[List[Any], Optional[dict]]]) -> List[Any]:
+    """Merge worker registry deltas into the parent registry, in order.
+
+    Counters sum and histograms merge bucket-wise, so a sharded run
+    reports the same totals a serial run would; gauges are last-write
+    in submission order (deterministic, matching serial emission
+    order).  Returns the flattened, order-preserving results.
+    """
+    merged = 0
+    for _, state in pairs:
+        if state:
+            obs.merge_state(state)
+            merged += 1
+    if merged:
+        obs.counter("parallel.deltas_merged", kind=kind).inc(merged)
+    return [result for results, _ in pairs for result in results]
 
 
 def _chunked(items: Sequence[Any], size: int) -> List[Sequence[Any]]:
@@ -112,14 +168,22 @@ def parallel_map(
     obs.counter("parallel.maps", kind="map").inc()
     obs.counter("parallel.chunks", kind="map").inc(len(chunks))
     obs.gauge("parallel.workers").set(pool_workers)
+    collect = obs.enabled()
     try:
         with obs.span("parallel.map", n_items=len(items), n_chunks=len(chunks)):
             with ProcessPoolExecutor(max_workers=pool_workers) as pool:
-                chunk_results = list(pool.map(_apply_chunk, [func] * len(chunks), chunks))
+                pairs = list(
+                    pool.map(
+                        _apply_chunk,
+                        [func] * len(chunks),
+                        chunks,
+                        [collect] * len(chunks),
+                    )
+                )
     except (OSError, PermissionError) as exc:  # sandboxes without fork/spawn
         _note_serial_fallback("parallel_map", exc)
         return [func(item) for item in items]
-    return [result for chunk in chunk_results for result in chunk]
+    return _fold_deltas("map", pairs)
 
 
 def parallel_starmap(
@@ -140,11 +204,19 @@ def parallel_starmap(
     obs.counter("parallel.maps", kind="starmap").inc()
     obs.counter("parallel.chunks", kind="starmap").inc(len(chunks))
     obs.gauge("parallel.workers").set(pool_workers)
+    collect = obs.enabled()
     try:
         with obs.span("parallel.starmap", n_items=len(argtuples), n_chunks=len(chunks)):
             with ProcessPoolExecutor(max_workers=pool_workers) as pool:
-                chunk_results = list(pool.map(_star_apply_chunk, [func] * len(chunks), chunks))
+                pairs = list(
+                    pool.map(
+                        _star_apply_chunk,
+                        [func] * len(chunks),
+                        chunks,
+                        [collect] * len(chunks),
+                    )
+                )
     except (OSError, PermissionError) as exc:
         _note_serial_fallback("parallel_starmap", exc)
         return [func(*args) for args in argtuples]
-    return [result for chunk in chunk_results for result in chunk]
+    return _fold_deltas("starmap", pairs)

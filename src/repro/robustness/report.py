@@ -87,6 +87,10 @@ class IngestReport:
     def quarantine(self, source: str, reason: str) -> None:
         self.quarantined.append(QuarantinedSource(source, reason))
         obs.counter("ingest.quarantined").inc()
+        # A quarantined survey file is a data-quality incident, not
+        # just an ingest statistic: surface it on the alert series the
+        # health endpoint and make_report.py watch.
+        obs.counter("quality.alert", kind="ingest_quarantine").inc()
 
     def conflict(self, location: str, key: str, kept: str, dropped: str, source: str) -> None:
         self.conflicts.append(HeaderConflict(location, key, kept, dropped, source))

@@ -230,6 +230,83 @@ class TestRenderText:
         assert "ingest.files_read" in text
         assert "p95=" in text
 
+    def test_output_independent_of_insertion_order(self):
+        # Same series created in opposite orders must render identically
+        # (exporters and diffs depend on deterministic series order).
+        forward, backward = obs.MetricsRegistry(), obs.MetricsRegistry()
+        for reg, order in ((forward, (1, 2, 3)), (backward, (3, 2, 1))):
+            for i in order:
+                reg.counter("req", algo=f"a{i}").inc(i)
+                reg.gauge("lvl", algo=f"a{i}").set(i)
+                reg.histogram("lat", algo=f"a{i}").observe(float(i))
+        assert obs.render_text(forward.snapshot()) == obs.render_text(
+            backward.snapshot()
+        )
+
+    def test_series_sorted_by_name_then_label_tuple(self, registry):
+        obs.counter("x", b="1").inc()
+        obs.counter("x", a="2").inc()
+        obs.counter("w").inc()
+        text = obs.render_text()
+        assert (
+            text.index("w") < text.index("x{a=2}") < text.index("x{b=1}")
+        )
+
+
+class TestMetricsCliFlags:
+    def test_metrics_and_metrics_json_written(self, registry, tmp_path, house):
+        from repro.cli import generator_main
+        from repro.obs.export import JSON_SCHEMA
+
+        survey_dir = tmp_path / "survey"
+        house.survey(rng=0).save_directory(survey_dir)
+        map_path = tmp_path / "locations.txt"
+        house.location_map().save(map_path)
+
+        raw_path = tmp_path / "metrics.json"
+        exporter_path = tmp_path / "metrics.export.json"
+        rc = generator_main(
+            [
+                str(survey_dir),
+                str(map_path),
+                str(tmp_path / "out.tdb"),
+                "--metrics",
+                str(raw_path),
+                "--metrics-json",
+                str(exporter_path),
+            ]
+        )
+        assert rc == 0
+
+        raw = json.loads(raw_path.read_text())
+        assert raw["counters"]["trainingdb.builds"] == 1  # raw snapshot shape
+
+        payload = json.loads(exporter_path.read_text())
+        assert payload["schema"] == JSON_SCHEMA  # exporter document shape
+        names = {entry["name"] for entry in payload["counters"]}
+        assert "trainingdb.builds" in names and "ingest.files_read" in names
+
+    def test_metrics_json_alone(self, registry, tmp_path, house):
+        from repro.cli import generator_main
+
+        survey_dir = tmp_path / "survey"
+        house.survey(rng=0).save_directory(survey_dir)
+        map_path = tmp_path / "locations.txt"
+        house.location_map().save(map_path)
+
+        exporter_path = tmp_path / "m.json"
+        rc = generator_main(
+            [
+                str(survey_dir),
+                str(map_path),
+                str(tmp_path / "out.tdb"),
+                "--metrics-json",
+                str(exporter_path),
+            ]
+        )
+        assert rc == 0
+        assert json.loads(exporter_path.read_text())["schema"]
+
 
 class TestPipelineInstrumentation:
     """The hot paths actually emit (light integration checks)."""

@@ -1,0 +1,307 @@
+"""Exporters, snapshot diffing and the live ObsServer endpoint."""
+
+import json
+import re
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.export import JSON_SCHEMA, json_payload, render_json, render_prometheus
+from repro.obs.compare import diff_snapshots, render_diff
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, ObsServer
+
+
+@pytest.fixture()
+def registry():
+    previous = obs.set_registry(obs.MetricsRegistry())
+    yield obs.get_registry()
+    obs.set_registry(previous)
+
+
+# One exposition sample line: name{labels} value — the grammar every
+# Prometheus scraper parses (we allow NaN/±Inf as the spec does).
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r" (NaN|[+-]Inf|[+-]?[0-9.eE+-]+)$"
+)
+_TYPE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)$")
+
+
+def _assert_valid_exposition(text):
+    assert text.endswith("\n")
+    typed = set()
+    for line in text.splitlines():
+        if line.startswith("#"):
+            m = _TYPE.match(line)
+            assert m, f"bad comment line: {line!r}"
+            metric = line.split()[2]
+            assert metric not in typed, f"duplicate TYPE for {metric}"
+            typed.add(metric)
+        else:
+            assert _SAMPLE.match(line), f"bad sample line: {line!r}"
+
+
+def _populate():
+    obs.counter("batch.requests", algorithm="knn").inc(12)
+    obs.counter("batch.requests", algorithm="fallback").inc(3)
+    obs.counter("plain").inc()
+    obs.gauge("pool.workers").set(4)
+    obs.gauge("weird name-with/chars", label_x="a\"b\\c").set(1.5)
+    h = obs.histogram("locate.latency_ms", algorithm="knn")
+    h.observe_many([1.0, 2.0, 4.0, 8.0, 100.0])
+
+
+class TestPrometheusExposition:
+    def test_every_line_parses(self, registry):
+        _populate()
+        _assert_valid_exposition(render_prometheus())
+
+    def test_counter_total_suffix_and_grouping(self, registry):
+        _populate()
+        text = render_prometheus()
+        assert "# TYPE repro_batch_requests_total counter" in text
+        assert 'repro_batch_requests_total{algorithm="knn"} 12' in text
+        assert 'repro_batch_requests_total{algorithm="fallback"} 3' in text
+        # one TYPE line covers both labeled series
+        assert text.count("# TYPE repro_batch_requests_total") == 1
+
+    def test_histogram_exports_as_summary(self, registry):
+        _populate()
+        text = render_prometheus()
+        assert "# TYPE repro_locate_latency_ms summary" in text
+        assert 'repro_locate_latency_ms{algorithm="knn",quantile="0.5"}' in text
+        assert 'repro_locate_latency_ms_sum{algorithm="knn"} 115' in text
+        assert 'repro_locate_latency_ms_count{algorithm="knn"} 5' in text
+
+    def test_empty_histogram_skips_quantiles(self, registry):
+        obs.histogram("empty.h")  # series exists, nothing observed
+        text = render_prometheus()
+        assert "quantile" not in text
+        assert "repro_empty_h_count 0" in text
+
+    def test_names_and_label_values_sanitized(self, registry):
+        _populate()
+        text = render_prometheus()
+        # "weird name-with/chars" → metric charset, value escaped
+        assert 'repro_weird_name_with_chars{label_x="a\\"b\\\\c"} 1.5' in text
+        _assert_valid_exposition(text)
+
+    def test_gauge_nan_renders_spec_style(self, registry):
+        obs.gauge("g").set(float("nan"))
+        text = render_prometheus()
+        assert "repro_g NaN" in text
+        _assert_valid_exposition(text)
+
+    def test_empty_snapshot(self, registry):
+        assert render_prometheus() == "\n"
+
+    def test_custom_prefix(self, registry):
+        obs.counter("c").inc()
+        assert "site_c_total 1" in render_prometheus(prefix="site_")
+
+
+class TestJsonPayload:
+    def test_schema_and_label_split(self, registry):
+        _populate()
+        payload = json_payload()
+        assert payload["schema"] == JSON_SCHEMA
+        entry = next(
+            e for e in payload["counters"] if e["labels"].get("algorithm") == "knn"
+        )
+        assert entry["name"] == "batch.requests"
+        assert entry["series"] == "batch.requests{algorithm=knn}"
+        assert entry["value"] == 12
+
+    def test_histogram_entry_carries_summary_stats(self, registry):
+        _populate()
+        (entry,) = json_payload()["histograms"]
+        assert entry["count"] == 5
+        assert entry["sum"] == 115.0
+        assert entry["min"] == 1.0 and entry["max"] == 100.0
+        assert entry["p50"] > 0
+
+    def test_non_finite_becomes_null_and_json_is_strict(self, registry):
+        obs.gauge("g").set(float("inf"))
+        text = render_json()
+        payload = json.loads(text)  # would raise on bare Infinity
+        assert payload["gauges"][0]["value"] is None
+
+    def test_render_json_round_trips_a_file_snapshot(self, registry, tmp_path):
+        _populate()
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(obs.snapshot()))
+        payload = json.loads(render_json(json.loads(path.read_text())))
+        assert payload == json_payload(obs.snapshot())
+
+
+class TestDiff:
+    def test_counter_deltas_and_new_series(self, registry):
+        obs.counter("c").inc(2)
+        before = obs.snapshot()
+        obs.counter("c").inc(5)
+        obs.counter("new").inc(1)
+        d = diff_snapshots(before, obs.snapshot())
+        assert d["counters"] == {"c": 5, "new": 1}
+        assert d["resets"] == []
+
+    def test_counter_reset_reported_absolute(self, registry):
+        obs.counter("c").inc(10)
+        before = obs.snapshot()
+        obs.reset()
+        obs.counter("c").inc(3)
+        d = diff_snapshots(before, obs.snapshot())
+        assert d["counters"] == {"c": 3}
+        assert d["resets"] == ["c"]
+
+    def test_vanished_series_is_a_reset(self, registry):
+        obs.counter("gone").inc()
+        before = obs.snapshot()
+        obs.reset()
+        d = diff_snapshots(before, obs.snapshot())
+        assert d["resets"] == ["gone"]
+        assert "gone" in render_diff(before, obs.snapshot())
+
+    def test_gauge_and_histogram_moves(self, registry):
+        obs.gauge("g").set(1.0)
+        obs.histogram("h").observe(2.0)
+        before = obs.snapshot()
+        obs.gauge("g").set(4.0)
+        obs.histogram("h").observe(3.0)
+        d = diff_snapshots(before, obs.snapshot())
+        assert d["gauges"]["g"] == (1.0, 4.0)
+        assert d["histograms"]["h"] == {"count": 1, "sum": 3.0}
+
+    def test_no_change(self, registry):
+        obs.counter("c").inc()
+        snap = obs.snapshot()
+        assert render_diff(snap, snap) == "no change between snapshots"
+
+    def test_render_diff_is_deterministic(self, registry):
+        obs.counter("b").inc()
+        obs.counter("a").inc(2)
+        before = {"counters": {}, "gauges": {}, "histograms": {}}
+        text = render_diff(before, obs.snapshot())
+        assert text.index("  a ") < text.index("  b ")
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url) as r:
+            return r.status, dict(r.headers), r.read().decode()
+    except urllib.error.HTTPError as e:
+        return e.code, dict(e.headers), e.read().decode()
+
+
+class TestObsServer:
+    def test_metrics_endpoint_serves_valid_exposition(self, registry):
+        _populate()
+        with ObsServer() as server:
+            status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        _assert_valid_exposition(body)
+        assert "repro_batch_requests_total" in body
+        assert "repro_pool_workers 4" in body
+        assert "repro_locate_latency_ms_count" in body
+
+    def test_metrics_json_endpoint(self, registry):
+        _populate()
+        with ObsServer() as server:
+            status, headers, body = _get(server.url + "/metrics.json")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body)["schema"] == JSON_SCHEMA
+
+    def test_healthz_ok_then_degraded(self, registry):
+        healthy = [True]
+        server = ObsServer().add_health_check(
+            "toggle", lambda: (healthy[0], "state")
+        )
+        with server:
+            status, _, body = _get(server.url + "/healthz")
+            assert status == 200 and json.loads(body)["status"] == "ok"
+            healthy[0] = False
+            status, _, body = _get(server.url + "/healthz")
+            report = json.loads(body)
+            assert status == 503
+            assert report["status"] == "degraded"
+            assert report["checks"]["toggle"]["ok"] is False
+
+    def test_raising_check_degrades_not_crashes(self, registry):
+        def bad_check():
+            raise RuntimeError("monitor bug")
+
+        with ObsServer().add_health_check("bad", bad_check) as server:
+            status, _, body = _get(server.url + "/healthz")
+        assert status == 503
+        assert "RuntimeError" in json.loads(body)["checks"]["bad"]["detail"]
+
+    def test_unknown_path_404(self, registry):
+        with ObsServer() as server:
+            status, _, _ = _get(server.url + "/nope")
+        assert status == 404
+
+    def test_custom_snapshot_fn(self, registry):
+        snap = {"counters": {"frozen": 7}, "gauges": {}, "histograms": {}}
+        with ObsServer(lambda: snap) as server:
+            _, _, body = _get(server.url + "/metrics")
+        assert "repro_frozen_total 7" in body
+
+    def test_port_is_real_and_url_matches(self, registry):
+        with ObsServer() as server:
+            assert server.port > 0
+            assert server.url == f"http://127.0.0.1:{server.port}"
+        with pytest.raises(RuntimeError):
+            server.port
+
+
+class _FakeDb:
+    """Duck-typed TrainingDatabase: two APs at known Gaussian levels."""
+
+    bssids = ["ap-one", "ap-two"]
+
+    def mean_matrix(self):
+        return np.array([[-50.0, -70.0], [-52.0, -72.0]])
+
+    def std_matrix(self, min_std=0.5):
+        return np.full((2, 2), 3.0)
+
+
+class TestHealthzDriftFlip:
+    """Acceptance: /healthz flips degraded when live RSSI drifts."""
+
+    def test_injected_ap_offset_degrades_healthz(self, registry):
+        from repro.obs.quality import APDriftMonitor
+
+        rng = np.random.default_rng(0)
+        monitor = APDriftMonitor(_FakeDb(), min_samples=50)
+        with ObsServer().add_health_check("rssi_drift", monitor.health) as server:
+            # Live traffic matching training: healthy.
+            matched = np.stack(
+                [rng.normal(-51.0, 3.0, 200), rng.normal(-71.0, 3.0, 200)], axis=1
+            )
+            monitor.observe(matched)
+            status, _, body = _get(server.url + "/healthz")
+            assert status == 200, body
+            assert json.loads(body)["status"] == "ok"
+
+            # The first AP moves 15 dB (power change / relocation).
+            shifted = matched.copy()
+            shifted[:, 0] += 15.0
+            monitor.observe(shifted)
+            status, _, body = _get(server.url + "/healthz")
+            report = json.loads(body)
+            assert status == 503
+            assert report["status"] == "degraded"
+            assert "ap-one" in report["checks"]["rssi_drift"]["detail"]["drifted"]
+            assert "ap-two" not in report["checks"]["rssi_drift"]["detail"]["drifted"]
+
+        # The incident is on the alert counters too.
+        counters = obs.snapshot()["counters"]
+        assert counters["quality.drift_alerts{ap=ap-one}"] == 1
+        assert counters["quality.alert{kind=rssi_drift}"] == 1
