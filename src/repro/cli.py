@@ -594,7 +594,88 @@ def simulate_main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 # ----------------------------------------------------------------------
-# repro (umbrella command) — currently the `obs` telemetry group
+# repro serve — the localization service front door
+# ----------------------------------------------------------------------
+def _serve_cmd(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.floorplan import FloorPlan, FloorPlanError
+    from repro.core.system import ap_positions_by_bssid, site_bounds
+    from repro.core.trainingdb import TrainingDatabase
+    from repro.serve import LocalizationHTTPServer, LocalizationService
+
+    if args.max_batch < 1:
+        _fail(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.max_wait_ms < 0:
+        _fail(f"--max-wait-ms must be >= 0, got {args.max_wait_ms}")
+    if args.max_queue < 1:
+        _fail(f"--max-queue must be >= 1, got {args.max_queue}")
+
+    ap_positions = None
+    bounds = None
+    if args.plan:
+        try:
+            plan = FloorPlan.load(args.plan)
+            db_for_plan = TrainingDatabase.load(args.database)
+            ap_positions = ap_positions_by_bssid(plan, db_for_plan)
+        except (FloorPlanError, ValueError, OSError) as exc:
+            _fail(str(exc))
+        try:
+            bounds = site_bounds(plan)
+        except FloorPlanError:
+            pass  # un-framed plan: serve without bounds filtering
+    elif args.algorithm in ("geometric", "multilateration"):
+        _fail(f"algorithm {args.algorithm!r} needs --plan for AP positions")
+
+    try:
+        service = LocalizationService(
+            args.database,
+            algorithm=args.algorithm,
+            ap_positions=ap_positions,
+            bounds=bounds,
+        )
+    except (KeyError, ValueError, OSError) as exc:
+        _fail(str(exc))
+
+    server = LocalizationHTTPServer(
+        service,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.default_deadline_ms,
+    )
+    server.start()
+    try:
+        info = service.describe()
+        model = f"{info['algorithm']} ({info['locations']} locations, {info['aps']} APs"
+        if info.get("tiers"):
+            model += f"; tiers: {'>'.join(info['tiers'])}"
+        model += ")"
+        # The URL line is machine-readable on purpose: the CI smoke and
+        # the load bench launch `repro serve --port 0` and parse it.
+        print(f"serving {server.url}  model: {model}", flush=True)
+        print(
+            f"micro-batching: max_batch={args.max_batch} "
+            f"max_wait_ms={args.max_wait_ms} max_queue={args.max_queue}",
+            flush=True,
+        )
+        if args.for_seconds is not None:
+            time.sleep(args.for_seconds)
+        else:
+            print("Ctrl-C to stop", flush=True)
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro (umbrella command) — the `obs` telemetry group and `serve`
 # ----------------------------------------------------------------------
 def _load_snapshot(path: str) -> dict:
     import json
@@ -780,6 +861,50 @@ def repro_main(argv: Optional[Sequence[str]] = None) -> int:
     diff.add_argument("after", help="later snapshot JSON")
     diff.add_argument("--format", choices=("text", "json"), default="text")
     diff.set_defaults(func=_obs_diff)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the localization service: JSON observations over HTTP, "
+        "micro-batched into the vectorized scoring engine",
+    )
+    serve.add_argument("database", help=".tdb training database to load and warm")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8311,
+        help="bind port (0 picks a free one; the bound URL is printed)",
+    )
+    serve.add_argument(
+        "--algorithm", default="fallback",
+        help="localizer registry name (default: the degraded-mode fallback chain)",
+    )
+    serve.add_argument(
+        "--plan",
+        help="annotated floor-plan GIF: supplies AP positions (geometric tiers) "
+        "and site bounds for the fallback chain",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="dispatch a micro-batch as soon as N requests are queued "
+        "(1 disables coalescing)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=5.0, metavar="MS",
+        help="how long the first queued request may wait for company",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="admission control: queued requests beyond N are answered "
+        "429 + Retry-After",
+    )
+    serve.add_argument(
+        "--default-deadline-ms", type=float, default=None, metavar="MS",
+        help="deadline applied to locate requests that do not carry their own",
+    )
+    serve.add_argument(
+        "--for-seconds", type=float, default=None, metavar="S",
+        help="serve for S seconds then exit (default: until Ctrl-C)",
+    )
+    serve.set_defaults(func=_serve_cmd)
 
     args = parser.parse_args(argv)
     return args.func(args)

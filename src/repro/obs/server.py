@@ -28,13 +28,36 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.obs import metrics as _metrics
 from repro.obs.export import render_json, render_prometheus
 
-__all__ = ["ObsServer", "HealthCheck"]
+__all__ = ["ObsServer", "HealthCheck", "run_health_checks"]
 
 #: A health check: () -> (ok, detail).  ``detail`` may be any
 #: JSON-serializable value (string, dict of per-AP findings, ...).
 HealthCheck = Callable[[], Tuple[bool, object]]
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def run_health_checks(
+    checks: List[Tuple[str, HealthCheck]]
+) -> Tuple[bool, Dict[str, object]]:
+    """Run named checks: (all_ok, JSON-ready ``/healthz`` report).
+
+    A check that raises is itself a failed check (the endpoint must
+    never 500 out of a monitor bug), recorded with the exception.
+    Shared by :class:`ObsServer` and the localization service's
+    ``/healthz`` (:mod:`repro.serve.http`), so both report the same
+    shape: ``{"status": ..., "checks": {name: {ok, detail}}}``.
+    """
+    report: Dict[str, object] = {}
+    all_ok = True
+    for name, check in checks:
+        try:
+            ok, detail = check()
+        except Exception as exc:  # noqa: BLE001 - monitor bugs degrade, not crash
+            ok, detail = False, f"check error: {type(exc).__name__}: {exc}"
+        report[name] = {"ok": bool(ok), "detail": detail}
+        all_ok = all_ok and bool(ok)
+    return all_ok, {"status": "ok" if all_ok else "degraded", "checks": report}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -98,6 +121,14 @@ class ObsServer:
         daemon_threads = True
         owner: "ObsServer"
 
+        def service_actions(self):
+            # First pass through the serve_forever poll loop: the server
+            # is demonstrably live.  start() blocks on this event, so a
+            # stop() issued immediately after start() can never race a
+            # not-yet-entered serve loop, and scrapes after start() hit
+            # a serving socket — event-based, no sleep/poll.
+            self.owner._ready.set()
+
     def __init__(
         self,
         snapshot_fn: Optional[Callable[[], Dict[str, Dict[str, object]]]] = None,
@@ -112,6 +143,7 @@ class ObsServer:
         self._httpd: Optional[ObsServer._HTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._checks: List[Tuple[str, HealthCheck]] = []
+        self._ready = threading.Event()
 
     # -- health ----------------------------------------------------------
     def add_health_check(self, name: str, check: HealthCheck) -> "ObsServer":
@@ -120,21 +152,8 @@ class ObsServer:
         return self
 
     def health(self) -> Tuple[bool, Dict[str, object]]:
-        """Run every check: (all_ok, JSON-ready report).
-
-        A check that raises is itself a failed check (the endpoint must
-        never 500 out of a monitor bug), recorded with the exception.
-        """
-        checks: Dict[str, object] = {}
-        all_ok = True
-        for name, check in self._checks:
-            try:
-                ok, detail = check()
-            except Exception as exc:  # noqa: BLE001 - monitor bugs degrade, not crash
-                ok, detail = False, f"check error: {type(exc).__name__}: {exc}"
-            checks[name] = {"ok": bool(ok), "detail": detail}
-            all_ok = all_ok and bool(ok)
-        return all_ok, {"status": "ok" if all_ok else "degraded", "checks": checks}
+        """Run every check: (all_ok, JSON-ready report)."""
+        return run_health_checks(self._checks)
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> "ObsServer":
@@ -143,10 +162,16 @@ class ObsServer:
         httpd = ObsServer._HTTPServer((self.host, self._requested_port), _Handler)
         httpd.owner = self
         self._httpd = httpd
+        self._ready.clear()
         self._thread = threading.Thread(
-            target=httpd.serve_forever, name="repro-obs-server", daemon=True
+            # A short poll interval keeps the readiness handshake fast;
+            # service_actions (above) runs once per poll.
+            target=lambda: httpd.serve_forever(poll_interval=0.05),
+            name="repro-obs-server",
+            daemon=True,
         )
         self._thread.start()
+        self._ready.wait(timeout=5.0)
         return self
 
     def stop(self) -> None:

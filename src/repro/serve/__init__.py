@@ -1,0 +1,59 @@
+"""The localization service layer: HTTP front door over the toolkit.
+
+The ROADMAP's production target needs more than a library: it needs a
+process that accepts observations from the network and answers them at
+the throughput the vectorized scoring engine (PR 3) already delivers
+offline.  This package is that front door, stdlib-only like the rest
+of the serving substrate:
+
+* :mod:`repro.serve.batcher` — :class:`MicroBatcher`, the concurrency
+  heart: single requests from many connections are collected for up to
+  ``max_wait_ms`` (or ``max_batch``) and dispatched as **one**
+  ``locate_many`` call, so live traffic rides the same chunked/sharded
+  kernels as bulk scoring.  Bounded queue (admission control),
+  per-request deadlines, injectable clock.
+* :mod:`repro.serve.service` — :class:`LocalizationService`, model
+  lifecycle: load + warm a fitted localizer from a training database,
+  atomic hot-reload, and the dispatch path the batcher calls.
+* :mod:`repro.serve.wire` — the JSON wire format (observations in,
+  estimates out), deterministic so HTTP answers are bit-for-bit
+  comparable with direct ``locate_many`` results.
+* :mod:`repro.serve.http` — :class:`LocalizationHTTPServer`:
+  ``POST /v1/locate``, ``POST /v1/locate/batch``, ``GET /healthz``,
+  ``GET /metrics``, ``POST /admin/reload``; 429 + ``Retry-After`` on
+  overflow; full :mod:`repro.obs` instrumentation.
+* :mod:`repro.serve.clock` — real and manual time sources (the manual
+  one drives wait-timeout tests without real sleeps).
+
+``repro serve <training.tdb>`` (see :mod:`repro.cli`) runs it from the
+command line; docs/serving.md documents endpoints and knobs.
+"""
+
+from repro.serve.batcher import (
+    DeadlineExceededError,
+    MicroBatcher,
+    QueueFullError,
+)
+from repro.serve.clock import ManualClock, SystemClock
+from repro.serve.http import LocalizationHTTPServer
+from repro.serve.service import LocalizationService
+from repro.serve.wire import (
+    WireError,
+    canonical_json,
+    estimate_to_json,
+    observation_from_json,
+)
+
+__all__ = [
+    "DeadlineExceededError",
+    "LocalizationHTTPServer",
+    "LocalizationService",
+    "ManualClock",
+    "MicroBatcher",
+    "QueueFullError",
+    "SystemClock",
+    "WireError",
+    "canonical_json",
+    "estimate_to_json",
+    "observation_from_json",
+]

@@ -1,0 +1,248 @@
+"""The micro-batching queue: many concurrent requests, one kernel pass.
+
+PR 3 made ``locate_many`` 4–9x faster per observation than ``locate``
+— but only bulk callers saw it.  A live service receives observations
+one at a time from many connections; dispatching each alone would pay
+the slow path forever.  :class:`MicroBatcher` closes the gap: incoming
+single requests are queued, a dedicated dispatcher thread collects
+them for up to ``max_wait_ms`` (or until ``max_batch`` are waiting)
+and hands the whole group to one ``dispatch`` call — for the
+localization service, one ``locate_many`` through the chunked/sharded
+engine.  Each caller gets a :class:`concurrent.futures.Future`
+resolved with *its* answer, exactly once, in submission order.
+
+Admission control is part of the contract, not an afterthought:
+
+* the queue is bounded (``max_queue``); a full queue raises
+  :class:`QueueFullError` immediately instead of building unbounded
+  latency — the HTTP layer turns that into 429 + ``Retry-After``;
+* each request may carry an absolute deadline; requests that expire
+  while queued are failed with :class:`DeadlineExceededError` *before*
+  wasting kernel time on them.
+
+Instrumented on the global :mod:`repro.obs` registry: queue-depth
+gauge, batch-size and queue-wait histograms, dispatch/rejection/expiry
+counters (catalogue in docs/serving.md).  Time is injectable (see
+:mod:`repro.serve.clock`) so wait-timeout behaviour is testable
+without real sleeps.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Callable, Deque, List, Optional, Sequence
+
+from repro import obs
+from repro.serve.clock import SystemClock
+
+__all__ = ["MicroBatcher", "QueueFullError", "DeadlineExceededError"]
+
+
+class QueueFullError(RuntimeError):
+    """Admission control: the bounded request queue is at capacity."""
+
+
+class DeadlineExceededError(RuntimeError):
+    """The request's deadline passed before it could be dispatched."""
+
+
+class _Request:
+    __slots__ = ("payload", "future", "deadline", "enqueued_at")
+
+    def __init__(self, payload: Any, future: Future, deadline: Optional[float], enqueued_at: float):
+        self.payload = payload
+        self.future = future
+        self.deadline = deadline
+        self.enqueued_at = enqueued_at
+
+
+class MicroBatcher:
+    """Collect concurrent single requests into one batched dispatch.
+
+    Parameters
+    ----------
+    dispatch:
+        ``dispatch(payloads) -> results`` with ``len(results) ==
+        len(payloads)`` and result *i* answering payload *i* — exactly
+        the ``locate_many`` contract.  Called from the dispatcher
+        thread only.
+    max_batch:
+        Dispatch as soon as this many requests are waiting.  1 turns
+        micro-batching off (every request dispatches alone) — the
+        baseline the serving bench compares against.
+    max_wait_ms:
+        How long the *first* request of a window may wait for company
+        before the batch goes out regardless of size.  The knob trades
+        a bounded latency floor for throughput; 0 dispatches whatever
+        is queued the moment the dispatcher is free.
+    max_queue:
+        Bound on waiting requests; beyond it :meth:`submit` raises
+        :class:`QueueFullError`.
+    clock:
+        A :mod:`repro.serve.clock` time source (default real time).
+    name:
+        Label on every metric series this batcher emits.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[List[Any]], Sequence[Any]],
+        max_batch: int = 64,
+        max_wait_ms: float = 5.0,
+        max_queue: int = 256,
+        clock=None,
+        name: str = "serve",
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self._dispatch = dispatch
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.max_queue = int(max_queue)
+        self._clock = clock if clock is not None else SystemClock()
+        self.name = name
+        self._queue: Deque[_Request] = deque()
+        self._cond = threading.Condition()
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "MicroBatcher":
+        if self._thread is not None:
+            raise RuntimeError("MicroBatcher already started")
+        self._stopping = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-batcher-{self.name}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting work, drain what is queued, join the thread.
+
+        Every already-accepted request still gets its answer (or its
+        error): the dispatcher keeps draining until the queue is empty
+        before exiting, so no future is left dangling.
+        """
+        thread = self._thread
+        if thread is None:
+            return
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        thread.join(timeout=30.0)
+        self._thread = None
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def alive(self) -> bool:
+        """Whether the dispatcher thread is running (a /healthz input)."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # -- producer side ---------------------------------------------------
+    def submit(self, payload: Any, deadline: Optional[float] = None) -> "Future":
+        """Enqueue one request; returns the Future carrying its answer.
+
+        ``deadline`` is an absolute time on this batcher's clock
+        (``clock.monotonic() + budget``); expired requests fail with
+        :class:`DeadlineExceededError` instead of being dispatched.
+        Raises :class:`QueueFullError` when admission control rejects
+        the request — the caller never blocks on a saturated queue.
+        """
+        future: Future = Future()
+        with self._cond:
+            if self._stopping or self._thread is None:
+                raise RuntimeError("MicroBatcher is not running")
+            if len(self._queue) >= self.max_queue:
+                obs.counter("serve.rejected", batcher=self.name, reason="queue_full").inc()
+                raise QueueFullError(
+                    f"request queue at capacity ({self.max_queue}); retry later"
+                )
+            self._queue.append(
+                _Request(payload, future, deadline, self._clock.monotonic())
+            )
+            obs.gauge("serve.queue_depth", batcher=self.name).set(len(self._queue))
+            self._cond.notify_all()
+        return future
+
+    def submit_wait(self, payload: Any, timeout: Optional[float] = None) -> Any:
+        """Blocking convenience: submit and wait for the answer."""
+        return self.submit(payload).result(timeout)
+
+    # -- dispatcher side -------------------------------------------------
+    def _collect(self) -> Optional[List[_Request]]:
+        """Wait for work, apply the batching window, drain one batch.
+
+        Returns None exactly once: when stopping with an empty queue.
+        """
+        with self._cond:
+            while not self._queue:
+                if self._stopping:
+                    return None
+                self._cond.wait()  # untimed: no work means nothing to time
+            window_ends = self._queue[0].enqueued_at + self.max_wait_s
+            while len(self._queue) < self.max_batch and not self._stopping:
+                remaining = window_ends - self._clock.monotonic()
+                if remaining <= 0:
+                    break
+                self._clock.wait(self._cond, remaining)
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(self.max_batch, len(self._queue)))
+            ]
+            obs.gauge("serve.queue_depth", batcher=self.name).set(len(self._queue))
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            now = self._clock.monotonic()
+            live: List[_Request] = []
+            for req in batch:
+                if req.deadline is not None and now > req.deadline:
+                    obs.counter("serve.deadline_expired", batcher=self.name).inc()
+                    req.future.set_exception(
+                        DeadlineExceededError(
+                            f"deadline passed {now - req.deadline:.4f}s before dispatch"
+                        )
+                    )
+                else:
+                    live.append(req)
+            if not live:
+                continue
+            obs.counter("serve.batches", batcher=self.name).inc()
+            obs.histogram("serve.batch_size", batcher=self.name).observe(len(live))
+            obs.histogram("serve.batch_wait_ms", batcher=self.name).observe_many(
+                1000.0 * (now - req.enqueued_at) for req in live
+            )
+            try:
+                with obs.span("serve.dispatch", batcher=self.name, size=len(live)):
+                    results = self._dispatch([req.payload for req in live])
+                if len(results) != len(live):
+                    raise RuntimeError(
+                        f"dispatch returned {len(results)} results for {len(live)} requests"
+                    )
+            except Exception as exc:  # noqa: BLE001 - every caller must hear about it
+                obs.counter("serve.dispatch_errors", batcher=self.name).inc()
+                for req in live:
+                    req.future.set_exception(exc)
+                continue
+            for req, result in zip(live, results):
+                req.future.set_result(result)

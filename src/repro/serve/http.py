@@ -1,0 +1,399 @@
+"""The localization service's HTTP surface (stdlib only).
+
+:class:`LocalizationHTTPServer` fronts a
+:class:`~repro.serve.service.LocalizationService` with a threaded
+HTTP/1.1 server and a :class:`~repro.serve.batcher.MicroBatcher`:
+
+* ``POST /v1/locate`` — one observation document; the request parks in
+  the micro-batching queue and is answered from a shared
+  ``locate_many`` dispatch.  Honors ``deadline_ms`` in the body;
+  answers 429 + ``Retry-After`` when admission control rejects, 504
+  when the deadline expires first.
+* ``POST /v1/locate/batch`` — ``{"observations": [...]}``; already a
+  batch, so it goes straight through the vectorized engine.
+* ``GET /healthz`` — model / dispatcher / queue-headroom checks plus
+  any caller-registered ones, same report shape as
+  :class:`~repro.obs.server.ObsServer` (200 ok / 503 degraded).
+* ``GET /metrics`` and ``GET /metrics.json`` — the
+  :mod:`repro.obs.export` exporters over the live registry.
+* ``POST /admin/reload`` — atomic hot-reload of the model, optionally
+  from a new ``{"database": path}``.
+* ``GET /`` — model card + endpoint index.
+
+Every request lands in ``serve.http_requests{endpoint=...,code=...}``
+and ``serve.http_latency_ms{endpoint=...}``; the batcher adds queue
+depth, batch-size and wait histograms.  Answer bytes for a locate are
+:func:`repro.serve.wire.canonical_json` of the estimate document —
+bit-for-bit what a direct ``locate_many`` caller would encode.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, HealthCheck, run_health_checks
+from repro.serve.batcher import DeadlineExceededError, MicroBatcher, QueueFullError
+from repro.serve.clock import SystemClock
+from repro.serve.service import LocalizationService
+from repro.serve.wire import (
+    WireError,
+    canonical_json,
+    estimate_to_json,
+    observation_from_json,
+)
+
+__all__ = ["LocalizationHTTPServer"]
+
+#: Hard cap on request bodies (a locate document is a few KB; anything
+#: near this is a mistake or an attack).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Cap on observations per /v1/locate/batch request.
+MAX_BATCH_REQUEST = 4096
+
+
+class _ApiError(Exception):
+    """An error with a wire representation (status + JSON body)."""
+
+    def __init__(self, status: int, error: str, detail: str = "", **extra):
+        super().__init__(detail or error)
+        self.status = status
+        self.doc = {"error": error, **({"detail": detail} if detail else {}), **extra}
+        self.headers: Dict[str, str] = {}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # HTTP/1.1 keeps client connections alive between requests — a load
+    # generator (or a real deployment behind a proxy) reuses sockets
+    # instead of paying a TCP handshake per observation.
+    protocol_version = "HTTP/1.1"
+    # Each response leaves in two writes (header buffer, then body); with
+    # Nagle on, the body segment waits for the client's delayed ACK of
+    # the headers — ~40 ms per request on loopback.  TCP_NODELAY turns a
+    # latency disaster into sub-millisecond turnarounds.
+    disable_nagle_algorithm = True
+    server: "LocalizationHTTPServer._HTTPServer"
+
+    # -- plumbing --------------------------------------------------------
+    def _reply(self, status: int, body: bytes, content_type: str = "application/json",
+               headers: Optional[Dict[str, str]] = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _ApiError(400, "empty_body", "POST body must be a JSON document")
+        if length > MAX_BODY_BYTES:
+            raise _ApiError(413, "body_too_large", f"body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise _ApiError(400, "bad_json", str(exc)) from None
+
+    def log_message(self, fmt, *args):  # noqa: D102 - metrics, not stderr noise
+        pass
+
+    # -- routing ---------------------------------------------------------
+    def do_GET(self):  # noqa: N802 - http.server API
+        self._route("GET")
+
+    def do_POST(self):  # noqa: N802 - http.server API
+        self._route("POST")
+
+    def _route(self, method: str) -> None:
+        owner = self.server.owner
+        path = self.path.split("?", 1)[0]
+        routes = {
+            ("POST", "/v1/locate"): ("locate", owner._handle_locate),
+            ("POST", "/v1/locate/batch"): ("locate_batch", owner._handle_locate_batch),
+            ("POST", "/admin/reload"): ("reload", owner._handle_reload),
+            ("GET", "/healthz"): ("healthz", owner._handle_healthz),
+            ("GET", "/metrics"): ("metrics", owner._handle_metrics),
+            ("GET", "/metrics.json"): ("metrics_json", owner._handle_metrics_json),
+            ("GET", "/"): ("index", owner._handle_index),
+        }
+        entry = routes.get((method, path))
+        if entry is None:
+            endpoint = "unknown"
+            status, body, content_type, headers = (
+                404,
+                canonical_json({"error": "not_found", "paths": sorted(p for _, p in routes)}),
+                "application/json",
+                {},
+            )
+        else:
+            endpoint, handler = entry
+            t0 = time.perf_counter()
+            try:
+                status, body, content_type, headers = handler(self)
+            except _ApiError as exc:
+                status, body, content_type, headers = (
+                    exc.status, canonical_json(exc.doc), "application/json", exc.headers,
+                )
+            except Exception as exc:  # noqa: BLE001 - the server must keep serving
+                obs.counter("serve.http_errors", endpoint=endpoint,
+                            kind=type(exc).__name__).inc()
+                status, body, content_type, headers = (
+                    500,
+                    canonical_json({"error": "internal", "detail": f"{type(exc).__name__}: {exc}"}),
+                    "application/json",
+                    {},
+                )
+            obs.histogram("serve.http_latency_ms", endpoint=endpoint).observe(
+                1000.0 * (time.perf_counter() - t0)
+            )
+        obs.counter("serve.http_requests", endpoint=endpoint, code=str(status)).inc()
+        try:
+            self._reply(status, body, content_type, headers)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up first; its problem, not the service's
+
+
+_Route = Tuple[int, bytes, str, Dict[str, str]]
+
+
+class LocalizationHTTPServer:
+    """Serve a :class:`LocalizationService` over HTTP with micro-batching.
+
+    Parameters
+    ----------
+    service:
+        The model owner; must be loaded (or loadable via its reload).
+    host, port:
+        Bind address; ``port=0`` picks a free port (read :attr:`url`).
+    max_batch, max_wait_ms, max_queue:
+        Micro-batcher knobs (see :class:`~repro.serve.batcher.MicroBatcher`).
+        ``max_batch=1`` disables coalescing — the serving bench's baseline.
+    default_deadline_ms:
+        Deadline applied to locate requests that do not send their own
+        ``deadline_ms`` (None: wait as long as it takes).
+    clock:
+        Injectable time source shared with the batcher.
+
+    Use as a context manager or ``start()``/``stop()``.
+    """
+
+    class _HTTPServer(ThreadingHTTPServer):
+        daemon_threads = True
+        # socketserver's default listen backlog is 5: a burst of N>5
+        # clients connecting at once gets connection-reset at the door.
+        request_queue_size = 128
+        owner: "LocalizationHTTPServer"
+
+        def service_actions(self):
+            self.owner._ready.set()  # same event-based readiness as ObsServer
+
+    def __init__(
+        self,
+        service: LocalizationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 64,
+        max_wait_ms: float = 5.0,
+        max_queue: int = 256,
+        default_deadline_ms: Optional[float] = None,
+        clock=None,
+        retry_after_s: int = 1,
+    ):
+        self.service = service
+        self.host = host
+        self._requested_port = int(port)
+        self._clock = clock if clock is not None else SystemClock()
+        self.default_deadline_ms = default_deadline_ms
+        self.retry_after_s = int(retry_after_s)
+        self.batcher = MicroBatcher(
+            service.locate_many,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_queue=max_queue,
+            clock=self._clock,
+            name="http",
+        )
+        self._checks: List[Tuple[str, HealthCheck]] = [
+            ("model", service.health_check),
+            ("dispatcher", self._dispatcher_check),
+            ("queue", self._queue_check),
+        ]
+        self._httpd: Optional[LocalizationHTTPServer._HTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+
+    # -- health ----------------------------------------------------------
+    def _dispatcher_check(self):
+        return self.batcher.alive, f"micro-batcher thread alive: {self.batcher.alive}"
+
+    def _queue_check(self):
+        depth, cap = self.batcher.queue_depth(), self.batcher.max_queue
+        return depth < cap, {"depth": depth, "capacity": cap}
+
+    def add_health_check(self, name: str, check: HealthCheck) -> "LocalizationHTTPServer":
+        """Register an extra named ``/healthz`` check (drift monitors...)."""
+        self._checks.append((name, check))
+        return self
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "LocalizationHTTPServer":
+        if self._httpd is not None:
+            raise RuntimeError("LocalizationHTTPServer already started")
+        self.service.model()  # fail fast: no point binding without a model
+        self.batcher.start()
+        httpd = LocalizationHTTPServer._HTTPServer(
+            (self.host, self._requested_port), _Handler
+        )
+        httpd.owner = self
+        self._httpd = httpd
+        self._ready.clear()
+        self._thread = threading.Thread(
+            target=lambda: httpd.serve_forever(poll_interval=0.05),
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait(timeout=5.0)
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.batcher.stop()
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "LocalizationHTTPServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("LocalizationHTTPServer is not running")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- endpoint handlers ----------------------------------------------
+    def _handle_locate(self, handler: _Handler) -> _Route:
+        doc = handler._read_json()
+        try:
+            observation = observation_from_json(doc)
+        except WireError as exc:
+            raise _ApiError(400, "bad_observation", str(exc)) from None
+        deadline_ms = doc.get("deadline_ms", self.default_deadline_ms)
+        deadline = None
+        budget_s = None
+        if deadline_ms is not None:
+            try:
+                budget_s = float(deadline_ms) / 1000.0
+            except (TypeError, ValueError):
+                raise _ApiError(400, "bad_deadline", f"deadline_ms not a number: {deadline_ms!r}") from None
+            if budget_s <= 0:
+                raise _ApiError(400, "bad_deadline", f"deadline_ms must be > 0, got {deadline_ms}")
+            deadline = self._clock.monotonic() + budget_s
+        try:
+            future = self.batcher.submit(observation, deadline=deadline)
+        except QueueFullError as exc:
+            err = _ApiError(429, "queue_full", str(exc), retry_after_s=self.retry_after_s)
+            err.headers["Retry-After"] = str(self.retry_after_s)
+            raise err from None
+        try:
+            # The dispatcher enforces the queue-side deadline; the extra
+            # slack here only bounds a dispatch that is itself slow.
+            estimate = future.result(
+                timeout=None if budget_s is None else budget_s + 30.0
+            )
+        except DeadlineExceededError as exc:
+            raise _ApiError(504, "deadline_exceeded", str(exc)) from None
+        return 200, canonical_json(estimate_to_json(estimate)), "application/json", {}
+
+    def _handle_locate_batch(self, handler: _Handler) -> _Route:
+        doc = handler._read_json()
+        if not isinstance(doc, dict) or not isinstance(doc.get("observations"), list):
+            raise _ApiError(400, "bad_request", "body must be {'observations': [...]}")
+        docs = doc["observations"]
+        if not docs:
+            raise _ApiError(400, "bad_request", "'observations' must not be empty")
+        if len(docs) > MAX_BATCH_REQUEST:
+            raise _ApiError(
+                413, "batch_too_large",
+                f"{len(docs)} observations exceed the {MAX_BATCH_REQUEST} cap; split the request",
+            )
+        try:
+            observations = [observation_from_json(d) for d in docs]
+        except WireError as exc:
+            raise _ApiError(400, "bad_observation", str(exc)) from None
+        # Already a batch: no coalescing window to gain, straight through
+        # the chunked/sharded engine.
+        estimates = self.service.locate_many(observations)
+        body = canonical_json(
+            {"estimates": [estimate_to_json(e) for e in estimates]}
+        )
+        return 200, body, "application/json", {}
+
+    def _handle_reload(self, handler: _Handler) -> _Route:
+        length = int(handler.headers.get("Content-Length") or 0)
+        database = None
+        if length > 0:
+            doc = handler._read_json()
+            if not isinstance(doc, dict):
+                raise _ApiError(400, "bad_request", "reload body must be a JSON object")
+            database = doc.get("database")
+        try:
+            info = self.service.reload(database)
+        except Exception as exc:  # noqa: BLE001 - old model keeps serving
+            raise _ApiError(
+                500, "reload_failed", f"{type(exc).__name__}: {exc}", serving="previous model",
+            ) from None
+        return 200, canonical_json({"reloaded": True, "model": info}), "application/json", {}
+
+    def _handle_healthz(self, handler: _Handler) -> _Route:
+        ok, report = run_health_checks(self._checks)
+        body = (json.dumps(report, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        return (200 if ok else 503), body, "application/json", {}
+
+    def _handle_metrics(self, handler: _Handler) -> _Route:
+        body = render_prometheus(obs.snapshot()).encode("utf-8")
+        return 200, body, PROMETHEUS_CONTENT_TYPE, {}
+
+    def _handle_metrics_json(self, handler: _Handler) -> _Route:
+        return 200, render_json(obs.snapshot()).encode("utf-8"), "application/json", {}
+
+    def _handle_index(self, handler: _Handler) -> _Route:
+        doc = {
+            "service": "repro-localization",
+            "model": self.service.describe(),
+            "batching": {
+                "max_batch": self.batcher.max_batch,
+                "max_wait_ms": 1000.0 * self.batcher.max_wait_s,
+                "max_queue": self.batcher.max_queue,
+            },
+            "endpoints": [
+                "POST /v1/locate",
+                "POST /v1/locate/batch",
+                "POST /admin/reload",
+                "GET /healthz",
+                "GET /metrics",
+                "GET /metrics.json",
+            ],
+        }
+        return 200, canonical_json(doc), "application/json", {}

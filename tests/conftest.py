@@ -17,6 +17,18 @@ from repro.core.geometry import Point
 from repro.experiments.house import ExperimentHouse, HouseConfig
 
 
+def pytest_collection_modifyitems(config, items):
+    """Tier marking: everything not slow/service is tier1 by definition.
+
+    Keeps the fast lane selectable positively (``-m tier1``) without
+    hand-marking hundreds of tests; a test opting into ``slow`` or
+    ``service`` drops out of tier1 automatically.
+    """
+    for item in items:
+        if "slow" not in item.keywords and "service" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)
+
+
 @pytest.fixture(scope="session")
 def fast_config() -> HouseConfig:
     return HouseConfig(dwell_s=10.0)

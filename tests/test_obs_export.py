@@ -197,7 +197,24 @@ def _get(url):
         return e.code, dict(e.headers), e.read().decode()
 
 
+@pytest.mark.service
 class TestObsServer:
+    def test_start_is_ready_immediately(self, registry):
+        """start() returns only once serve_forever is polling.
+
+        The readiness handshake is event-based (``service_actions``),
+        so the very first request after ``start()`` must succeed — no
+        connection-refused window, no sleep-and-retry.
+        """
+        for _ in range(5):  # a startup race would flake across restarts
+            server = ObsServer()
+            server.start()
+            try:
+                status, _, _ = _get(server.url + "/healthz")
+                assert status == 200
+            finally:
+                server.stop()
+
     def test_metrics_endpoint_serves_valid_exposition(self, registry):
         _populate()
         with ObsServer() as server:
@@ -272,6 +289,7 @@ class _FakeDb:
         return np.full((2, 2), 3.0)
 
 
+@pytest.mark.service
 class TestHealthzDriftFlip:
     """Acceptance: /healthz flips degraded when live RSSI drifts."""
 

@@ -1,0 +1,190 @@
+"""The service-layer acceptance criterion: wire answers == direct answers.
+
+Every response body from ``POST /v1/locate`` must be *bit-for-bit*
+identical to ``canonical_json(estimate_to_json(...))`` of a direct
+``locate_many`` call on the same fitted model — single requests, batch
+requests, coalesced micro-batches, and the fallback-chain diagnostics
+paths (tier taken, tiers declined, invalid-with-reason).
+
+Canonical JSON (sorted keys, compact separators, shortest-repr floats)
+is what makes byte comparison meaningful: Python floats survive a JSON
+round-trip exactly, so equal bytes ⇔ equal IEEE doubles.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.serve import LocalizationHTTPServer, LocalizationService
+from repro.serve.wire import canonical_json, estimate_to_json, observation_from_json
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = obs.set_registry(obs.MetricsRegistry())
+    yield
+    obs.set_registry(previous)
+
+
+@pytest.fixture(scope="module")
+def service(house, training_db):
+    return LocalizationService(
+        training_db,
+        ap_positions=house.ap_positions_by_bssid(),
+        bounds=house.bounds(),
+    )
+
+
+def observation_doc(observation):
+    return {
+        "samples": [
+            [None if v != v else v for v in row]
+            for row in observation.samples.tolist()
+        ],
+        "bssids": list(observation.bssids),
+    }
+
+
+def post(url, doc):
+    req = urllib.request.Request(
+        url, data=json.dumps(doc).encode("utf-8"), method="POST"
+    )
+    with urllib.request.urlopen(req, timeout=60) as r:
+        return r.status, r.read()
+
+
+def expected_bytes(service, docs):
+    """What the wire *must* carry: direct locate_many, canonically encoded.
+
+    Decoding each document exactly as the server does keeps the
+    comparison honest — both sides see the same post-JSON floats.
+    """
+    decoded = [observation_from_json(doc) for doc in docs]
+    return [
+        canonical_json(estimate_to_json(e))
+        for e in service.locate_many(decoded)
+    ]
+
+
+def declining_docs(observations):
+    """Observations that exercise every fallback path, as wire documents.
+
+    - all columns but two NaN-ed: too few APs for the geometric tier,
+      so the chain falls through with recorded declines;
+    - all-NaN: every tier declines, the answer is invalid-with-reason.
+    """
+    docs = []
+    base = observations[0]
+    few = base.samples.copy()
+    few[:, 2:] = np.nan
+    docs.append(
+        {
+            "samples": [[None if v != v else v for v in row] for row in few.tolist()],
+            "bssids": list(base.bssids),
+        }
+    )
+    nothing = np.full_like(base.samples, np.nan)
+    docs.append(
+        {
+            "samples": [[None] * nothing.shape[1]] * nothing.shape[0],
+            "bssids": list(base.bssids),
+        }
+    )
+    return docs
+
+
+class TestSingleRequestParity:
+    def test_wire_bytes_match_direct_locate_many(self, service, observations):
+        docs = [observation_doc(o) for o in observations]
+        expected = expected_bytes(service, docs)
+        with LocalizationHTTPServer(service) as server:
+            for doc, want in zip(docs, expected):
+                status, body = post(server.url + "/v1/locate", doc)
+                assert status == 200
+                assert body == want  # bit-for-bit
+
+    def test_fallback_diagnostics_survive_the_wire(self, service, observations):
+        docs = declining_docs(observations)
+        expected = expected_bytes(service, docs)
+        with LocalizationHTTPServer(service) as server:
+            bodies = [post(server.url + "/v1/locate", d)[1] for d in docs]
+        assert bodies == expected
+        degraded = json.loads(bodies[0])
+        assert degraded["diagnostics"]["declined"], "expected tier declines"
+        assert all("tier" in d and "reason" in d for d in degraded["diagnostics"]["declined"])
+        exhausted = json.loads(bodies[1])
+        assert exhausted["valid"] is False
+        assert exhausted["reason"]
+
+
+class TestBatchEndpointParity:
+    def test_batch_bytes_match_direct_locate_many(self, service, observations):
+        docs = [observation_doc(o) for o in observations] + declining_docs(observations)
+        decoded = [observation_from_json(d) for d in docs]
+        want = canonical_json(
+            {"estimates": [estimate_to_json(e) for e in service.locate_many(decoded)]}
+        )
+        with LocalizationHTTPServer(service) as server:
+            status, body = post(
+                server.url + "/v1/locate/batch", {"observations": docs}
+            )
+        assert status == 200
+        assert body == want
+
+
+class TestCoalescedBatchParity:
+    def test_concurrent_requests_coalesce_and_stay_correct(self, service, observations):
+        """N concurrent singles ride one micro-batch; each caller still
+        gets exactly the bytes a direct solo call would have produced."""
+        n = 6
+        docs = [observation_doc(o) for o in observations[:n]]
+        expected = expected_bytes(service, docs)
+
+        entered, release = threading.Event(), threading.Event()
+        armed = [True]
+        inner = service.locate_many
+
+        def gated(batch):
+            if armed[0]:
+                armed[0] = False
+                entered.set()
+                assert release.wait(timeout=30.0)
+            return inner(batch)
+
+        server = LocalizationHTTPServer(
+            service, max_batch=64, max_wait_ms=5.0, max_queue=256
+        )
+        server.batcher._dispatch = gated
+        with server:
+            # Park the dispatcher on a probe so the N requests below are
+            # all queued together — coalescing is then structural, not a
+            # race against the batch window.
+            probe = server.batcher.submit(observation_from_json(docs[0]))
+            assert entered.wait(timeout=30.0)
+
+            bodies = [None] * n
+
+            def call(i):
+                bodies[i] = post(server.url + "/v1/locate", docs[i])[1]
+
+            threads = [threading.Thread(target=call, args=(i,)) for i in range(n)]
+            for t in threads:
+                t.start()
+            while server.batcher.queue_depth() < n:
+                pass  # HTTP workers are enqueueing; depth only grows
+            release.set()
+            for t in threads:
+                t.join(timeout=60.0)
+            assert probe.result(timeout=30).valid
+
+        assert bodies == expected  # parity per caller, through one dispatch
+        sizes = obs.snapshot()["histograms"]["serve.batch_size{batcher=http}"]
+        assert sizes["max"] >= n, "requests were not coalesced into one batch"
