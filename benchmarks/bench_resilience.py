@@ -1,0 +1,225 @@
+"""BENCH-RESILIENCE — availability under injected faults.
+
+The resilience-layer acceptance criterion: under chaos — failing
+fallback tiers, injected dispatch latency, dropped connections, a
+mid-load graceful drain — every request must be *answered or cleanly
+rejected*.  A clean rejection is a well-formed 429/503/504 with a
+machine-readable body; the only dirty outcome is a transport error the
+retrying client could not absorb.  The floor is ≥ 99% clean per
+scenario (``availability`` in the shared error-budget schema).
+
+Load comes from ``loadgen`` — the identical ServiceClient-based
+generator BENCH-SERVE uses — so throughput and error-budget numbers
+are directly comparable across the two benches.
+
+Scenarios
+---------
+* ``baseline``        — breakers armed, no chaos: the control run.
+* ``tier_chaos``      — geometric + probabilistic tiers always raise;
+                        circuit breakers must open (asserted via
+                        ``serve.breaker.transitions``) and the nearest
+                        tier keeps answering.
+* ``latency_chaos``   — injected dispatch latency with client deadlines
+                        propagated via ``X-Deadline-Ms``.
+* ``reset_chaos``     — a fraction of responses become connection
+                        resets; client retries must absorb them.
+* ``drain``           — ``/admin/drain`` lands mid-load: in-flight work
+                        finishes (``unfinished == 0``), later requests
+                        are clean 503s.
+
+Numbers land in ``benchmarks/results/BENCH_RESILIENCE.json`` alongside
+the paper-style table.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from conftest import RESULTS_DIR, record
+from loadgen import observation_doc, run_load, summarize
+
+from repro import obs
+from repro.serve import (
+    ChaosPolicy,
+    LocalizationHTTPServer,
+    LocalizationService,
+    ServiceClient,
+)
+
+N_WORKERS = 16
+REQUESTS_PER_WORKER = 25
+
+#: The answered-or-cleanly-rejected floor per scenario.  Conservative on
+#: purpose: the reset scenario's worst case (every retry also reset) is
+#: ~rate**(1+max_retries) per request — orders of magnitude under 1%.
+MIN_AVAILABILITY = 0.99
+
+
+def _breaker_opens(snapshot) -> int:
+    return sum(
+        count for key, count in snapshot["counters"].items()
+        if key.startswith("serve.breaker.transitions{") and "to=open" in key
+    )
+
+
+def _service(house, training_db, chaos=None):
+    return LocalizationService(
+        training_db,
+        ap_positions=house.ap_positions_by_bssid(),
+        bounds=house.bounds(),
+        chaos=chaos,
+    )
+
+
+def _run_scenario(label, service, docs, *, chaos=None, deadline_ms=None,
+                  max_retries=0, **extra):
+    with LocalizationHTTPServer(
+        service, max_batch=64, max_wait_ms=2.0, max_queue=4096, chaos=chaos
+    ) as server:
+        wall, reports = run_load(
+            server.port, docs, N_WORKERS, REQUESTS_PER_WORKER,
+            deadline_ms=deadline_ms, max_retries=max_retries,
+        )
+    return summarize(label, wall, reports, **extra)
+
+
+def _drain_scenario(house, training_db, docs):
+    """Graceful drain under live load: old work finishes, new is 503."""
+    service = _service(house, training_db)
+    stop = threading.Event()
+    background = {}
+    with LocalizationHTTPServer(
+        service, max_batch=64, max_wait_ms=2.0, max_queue=4096
+    ) as server:
+        port = server.port
+
+        def load():
+            # Oversized request count: the drain lands mid-run and the
+            # stop event (set after the drain completes) ends the loop.
+            background["result"] = run_load(
+                port, docs, N_WORKERS, 10_000, stop=stop
+            )
+
+        loader = threading.Thread(target=load)
+        loader.start()
+        admin = ServiceClient(port=port, max_retries=0)
+        try:
+            time.sleep(0.5)  # let the load ramp: drains must land mid-flight
+            t0 = time.perf_counter()
+            ack = admin.drain()
+            assert ack.status == 200 and ack.doc["draining"] is True, ack
+            # The drain report surfaces on /healthz (lifecycle check)
+            # once the off-thread wait finishes.
+            report = None
+            while report is None and time.perf_counter() - t0 < 30.0:
+                health = admin.healthz()
+                lifecycle = health.doc["checks"]["lifecycle"]["detail"]
+                report = lifecycle.get("report")
+                if report is None:
+                    time.sleep(0.05)
+            assert report is not None, "drain never reported completion"
+            drain_s = time.perf_counter() - t0
+            # Post-drain data-plane traffic: a clean, machine-readable 503.
+            turned_away = admin.locate(docs[0])
+        finally:
+            admin.close()
+            stop.set()
+            loader.join(timeout=60.0)
+        assert not loader.is_alive(), "load workers wedged after drain"
+    wall, reports = background["result"]
+    result = summarize("drain", wall, reports,
+                       drain_s=round(drain_s, 3), drain_report=report)
+    budget = result["error_budget"]
+    assert report["unfinished"] == 0, f"drain abandoned in-flight work: {report}"
+    assert turned_away.category == "draining_503", turned_away
+    assert turned_away.doc["error"] == "draining"
+    assert budget["ok"] > 0, "drain landed before any request was answered"
+    assert budget["draining_503"] > 0, "no request observed the draining state"
+    return result
+
+
+def test_resilience_availability(house, training_db, test_points):
+    observations = house.observe_all(test_points, rng=5, dwell_s=5.0)
+    docs = [observation_doc(o) for o in observations]
+    scenarios = {}
+
+    scenarios["baseline"] = _run_scenario(
+        "baseline", _service(house, training_db), docs
+    )
+    assert scenarios["baseline"]["ok_fraction"] == 1.0, scenarios["baseline"]
+
+    tier_chaos = ChaosPolicy(
+        tier_error_rate=1.0, tiers=("geometric", "probabilistic"), seed=7
+    )
+    before = _breaker_opens(obs.snapshot())
+    scenarios["tier_chaos"] = _run_scenario(
+        "tier_chaos", _service(house, training_db, chaos=tier_chaos), docs,
+        chaos=tier_chaos,
+    )
+    opens = _breaker_opens(obs.snapshot()) - before
+    scenarios["tier_chaos"]["breaker_opens"] = opens
+    assert opens >= 1, "tier chaos never tripped a circuit breaker"
+    assert scenarios["tier_chaos"]["ok_fraction"] >= MIN_AVAILABILITY, (
+        "the nearest tier should have absorbed every request"
+    )
+
+    latency_chaos = ChaosPolicy(
+        latency_ms=5.0, latency_rate=0.5, latency_jitter_ms=10.0, seed=11
+    )
+    scenarios["latency_chaos"] = _run_scenario(
+        "latency_chaos", _service(house, training_db), docs,
+        chaos=latency_chaos, deadline_ms=5_000.0,
+    )
+
+    reset_chaos = ChaosPolicy(reset_rate=0.05, seed=13)
+    scenarios["reset_chaos"] = _run_scenario(
+        "reset_chaos", _service(house, training_db), docs,
+        chaos=reset_chaos, max_retries=3,
+    )
+    assert scenarios["reset_chaos"]["error_budget"]["ok"] > 0
+
+    scenarios["drain"] = _drain_scenario(house, training_db, docs)
+
+    lines = [
+        f"Closed-loop /v1/locate chaos runs: {N_WORKERS} retrying clients, "
+        f"availability floor {MIN_AVAILABILITY:.0%} (clean = answered or "
+        f"well-formed 429/503/504)",
+        f"{'scenario':<16s}{'req':>6s}{'ok':>6s}{'429':>5s}{'503':>5s}"
+        f"{'504':>5s}{'xport':>6s}{'avail':>8s}{'rps':>8s}",
+    ]
+    for name, r in scenarios.items():
+        b = r["error_budget"]
+        lines.append(
+            f"{name:<16s}{r['requests']:>6d}{b['ok']:>6d}{b['rejected_429']:>5d}"
+            f"{b['draining_503']:>5d}{b['deadline_504']:>5d}"
+            f"{b['transport_error']:>6d}{r['availability']:>8.4f}"
+            f"{(r['rps'] or 0):>8.1f}"
+        )
+    lines.append(
+        f"tier_chaos breaker opens: {scenarios['tier_chaos']['breaker_opens']}; "
+        f"drain: unfinished={scenarios['drain']['drain_report']['unfinished']} "
+        f"in {scenarios['drain']['drain_s']:.2f}s"
+    )
+    record("BENCH-RESILIENCE", "\n".join(lines))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_RESILIENCE.json").write_text(
+        json.dumps(
+            {
+                "scenarios": scenarios,
+                "floors": {"availability": MIN_AVAILABILITY},
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    for name, r in scenarios.items():
+        assert r["availability"] >= MIN_AVAILABILITY, (
+            f"{name}: availability {r['availability']} below the "
+            f"{MIN_AVAILABILITY} floor (budget {r['error_budget']})"
+        )

@@ -6,11 +6,11 @@ micro-batching enabled (requests coalesced into one ``locate_many``
 dispatch) versus batch-size-1 serving — same model, same wire format,
 same admission control, only the coalescing window differs.
 
-The load generator is closed-loop: W workers, each holding one
-keep-alive HTTP/1.1 connection, each submitting its next request only
-after the previous answer arrives — the shape of real interactive
-clients, and the regime micro-batching is designed for (concurrency
-creates batches; an open-loop firehose would just overflow the queue).
+Load comes from ``loadgen`` — the same :class:`repro.serve.client`
+-based generator BENCH-RESILIENCE uses — so both benches share one
+client and one result schema, including the ``error_budget`` breakdown
+(2xx / 429 / 504 / transport error).  Under this bench's sizing the
+budget must be all-ok: anything else is a failure, not a statistic.
 
 Numbers land machine-readable in ``benchmarks/results/BENCH_SERVE.json``
 alongside the paper-style table.
@@ -18,13 +18,10 @@ alongside the paper-style table.
 
 from __future__ import annotations
 
-import http.client
 import json
-import statistics
-import threading
-import time
 
 from conftest import RESULTS_DIR, record
+from loadgen import observation_doc, run_load, summarize
 
 from repro.serve import LocalizationHTTPServer, LocalizationService
 
@@ -41,89 +38,24 @@ MIN_SPEEDUP = 2.0
 MIN_BATCHED_RPS = 150.0
 
 
-def _observation_doc(observation):
-    return {
-        "samples": [
-            [None if v != v else v for v in row]
-            for row in observation.samples.tolist()
-        ],
-        "bssids": list(observation.bssids),
-    }
-
-
-def _worker(host, port, bodies, n_requests, start_gate, latencies, errors, wid):
-    conn = http.client.HTTPConnection(host, port, timeout=60)
-    try:
-        start_gate.wait()
-        mine = []
-        for i in range(n_requests):
-            body = bodies[(wid + i) % len(bodies)]
-            t0 = time.perf_counter()
-            conn.request(
-                "POST", "/v1/locate", body, {"Content-Type": "application/json"}
-            )
-            resp = conn.getresponse()
-            payload = resp.read()
-            dt = time.perf_counter() - t0
-            if resp.status != 200 or not json.loads(payload).get("valid"):
-                errors.append((wid, i, resp.status))
-            mine.append(dt)
-        latencies.extend(mine)
-    finally:
-        conn.close()
-
-
-def _run_load(server, bodies, n_workers, n_requests):
-    """Closed-loop run; returns wall time and per-request latencies."""
-    start_gate = threading.Event()
-    latencies, errors = [], []
-    threads = [
-        threading.Thread(
-            target=_worker,
-            args=(
-                "127.0.0.1",
-                server.port,
-                bodies,
-                n_requests,
-                start_gate,
-                latencies,
-                errors,
-                wid,
-            ),
-        )
-        for wid in range(n_workers)
-    ]
-    for t in threads:
-        t.start()
-    t0 = time.perf_counter()
-    start_gate.set()
-    for t in threads:
-        t.join()
-    wall = time.perf_counter() - t0
-    assert not errors, f"non-200/invalid answers under load: {errors[:5]}"
-    return wall, latencies
-
-
-def _measure(service, bodies, *, max_batch, max_wait_ms, label):
+def _measure(service, docs, *, max_batch, max_wait_ms, label):
     with LocalizationHTTPServer(
         service, max_batch=max_batch, max_wait_ms=max_wait_ms, max_queue=4096
     ) as server:
         # Warmup: populate caches, spin up worker connections once.
-        _run_load(server, bodies, N_WORKERS, WARMUP_PER_WORKER)
-        wall, latencies = _run_load(server, bodies, N_WORKERS, REQUESTS_PER_WORKER)
-    n = N_WORKERS * REQUESTS_PER_WORKER
-    latencies.sort()
-    return {
-        "label": label,
-        "max_batch": max_batch,
-        "max_wait_ms": max_wait_ms,
-        "requests": n,
-        "workers": N_WORKERS,
-        "wall_s": round(wall, 3),
-        "rps": round(n / wall, 1),
-        "p50_ms": round(1000 * statistics.median(latencies), 2),
-        "p99_ms": round(1000 * latencies[int(0.99 * (len(latencies) - 1))], 2),
-    }
+        run_load(server.port, docs, N_WORKERS, WARMUP_PER_WORKER)
+        wall, reports = run_load(server.port, docs, N_WORKERS, REQUESTS_PER_WORKER)
+    result = summarize(
+        label, wall, reports,
+        max_batch=max_batch, max_wait_ms=max_wait_ms, workers=N_WORKERS,
+    )
+    bad = [r for r in reports if not r.ok or not (r.doc or {}).get("valid")]
+    assert not bad, (
+        f"{label}: non-ok/invalid answers under load "
+        f"(budget {result['error_budget']}): "
+        f"{[(r.category, r.status) for r in bad[:5]]}"
+    )
+    return result
 
 
 def test_serve_load_microbatching_speedup(house, training_db, test_points):
@@ -133,26 +65,25 @@ def test_serve_load_microbatching_speedup(house, training_db, test_points):
         bounds=house.bounds(),
     )
     observations = house.observe_all(test_points, rng=5, dwell_s=5.0)
-    bodies = [
-        json.dumps(_observation_doc(o)).encode("utf-8") for o in observations
-    ]
+    docs = [observation_doc(o) for o in observations]
 
     unbatched = _measure(
-        service, bodies, max_batch=1, max_wait_ms=0.0, label="batch-size-1"
+        service, docs, max_batch=1, max_wait_ms=0.0, label="batch-size-1"
     )
     batched = _measure(
-        service, bodies, max_batch=64, max_wait_ms=2.0, label="micro-batched"
+        service, docs, max_batch=64, max_wait_ms=2.0, label="micro-batched"
     )
     speedup = batched["rps"] / unbatched["rps"]
 
     lines = [
         f"Closed-loop /v1/locate load: {N_WORKERS} keep-alive workers, "
         f"{N_WORKERS * REQUESTS_PER_WORKER} requests per run",
-        f"{'serving mode':<16s}{'req/s':>9s}{'p50 ms':>9s}{'p99 ms':>9s}",
+        f"{'serving mode':<16s}{'req/s':>9s}{'p50 ms':>9s}{'p99 ms':>9s}{'ok':>7s}",
     ]
     for r in (unbatched, batched):
         lines.append(
-            f"{r['label']:<16s}{r['rps']:>9.1f}{r['p50_ms']:>9.1f}{r['p99_ms']:>9.1f}"
+            f"{r['label']:<16s}{r['rps']:>9.1f}{r['p50_ms']:>9.1f}"
+            f"{r['p99_ms']:>9.1f}{r['error_budget']['ok']:>7d}"
         )
     lines.append(f"micro-batching speedup: {speedup:.2f}x (floor {MIN_SPEEDUP:.1f}x)")
     record("BENCH-SERVE", "\n".join(lines))

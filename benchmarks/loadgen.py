@@ -1,0 +1,116 @@
+"""Shared closed-loop load generator for the serving benches.
+
+BENCH-SERVE and BENCH-RESILIENCE drive the service with the *same*
+client (:class:`repro.serve.client.ServiceClient` — the reference
+retrying client) and report the *same* result schema, so their numbers
+are directly comparable:
+
+* ``error_budget`` — request outcomes classified into the shared
+  vocabulary (``ok`` / ``rejected_429`` / ``deadline_504`` /
+  ``draining_503`` / ``client_4xx`` / ``server_5xx`` /
+  ``transport_error``);
+* ``availability`` — the answered-or-cleanly-rejected fraction (every
+  category except ``transport_error``), the resilience floor;
+* ``rps`` / ``p50_ms`` / ``p99_ms`` — throughput and latency of the
+  requests that were answered OK.
+
+The generator is closed-loop: W workers, each one keep-alive HTTP/1.1
+connection, each submitting its next request only after the previous
+answer arrives — the shape of real interactive clients, and the regime
+micro-batching is designed for.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.serve.client import ClientReport, RetryBudget, ServiceClient, fold_reports
+
+__all__ = ["observation_doc", "run_load", "summarize"]
+
+
+def observation_doc(observation) -> Dict[str, object]:
+    """An Observation → its wire document (NaN → null)."""
+    return {
+        "samples": [
+            [None if v != v else v for v in row]
+            for row in observation.samples.tolist()
+        ],
+        "bssids": list(observation.bssids),
+    }
+
+
+def run_load(
+    port: int,
+    docs: Sequence[Dict[str, object]],
+    n_workers: int,
+    requests_per_worker: int,
+    *,
+    host: str = "127.0.0.1",
+    deadline_ms: Optional[float] = None,
+    max_retries: int = 0,
+    timeout_s: float = 60.0,
+    shared_budget: Optional[RetryBudget] = None,
+    stop: Optional[threading.Event] = None,
+):
+    """Closed-loop run; returns ``(wall_s, reports)``.
+
+    Each worker holds one :class:`ServiceClient` (keep-alive connection,
+    seeded jitter RNG).  ``max_retries=0`` measures the raw service;
+    retries on measure the client-and-service system.  An optional
+    ``stop`` event ends workers early (the drain scenario).
+    """
+    start_gate = threading.Event()
+    buckets: List[List[ClientReport]] = [[] for _ in range(n_workers)]
+
+    def worker(wid: int) -> None:
+        client = ServiceClient(
+            host=host, port=port, timeout_s=timeout_s,
+            max_retries=max_retries, seed=wid,
+            budget=shared_budget if shared_budget is not None else RetryBudget(),
+        )
+        try:
+            start_gate.wait()
+            for i in range(requests_per_worker):
+                if stop is not None and stop.is_set():
+                    return
+                doc = docs[(wid + i) % len(docs)]
+                buckets[wid].append(client.locate(doc, deadline_ms=deadline_ms))
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker, args=(wid,)) for wid in range(n_workers)]
+    for t in threads:
+        t.start()
+    t0 = time.perf_counter()
+    start_gate.set()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    return wall, [report for bucket in buckets for report in bucket]
+
+
+def summarize(label: str, wall_s: float, reports: Sequence[ClientReport],
+              **extra) -> Dict[str, object]:
+    """One run → the shared result schema (error budget + latency)."""
+    folded = fold_reports(list(reports))
+    ok_latencies = sorted(r.latency_s for r in reports if r.ok)
+    out: Dict[str, object] = {
+        "label": label,
+        "requests": folded["total"],
+        "wall_s": round(wall_s, 3),
+        "rps": round(folded["total"] / wall_s, 1) if wall_s > 0 else None,
+        "error_budget": folded["error_budget"],
+        "availability": folded["availability"],
+        "ok_fraction": folded["ok_fraction"],
+    }
+    if ok_latencies:
+        out["p50_ms"] = round(1000 * statistics.median(ok_latencies), 2)
+        out["p99_ms"] = round(
+            1000 * ok_latencies[int(0.99 * (len(ok_latencies) - 1))], 2
+        )
+    out.update(extra)
+    return out

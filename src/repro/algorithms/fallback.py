@@ -96,6 +96,15 @@ class FallbackLocalizer(Localizer):
         self._fitted: Optional[List[Localizer]] = None
         #: tier name → error message for tiers dropped during fit().
         self.fit_errors: Dict[str, str] = {}
+        #: Optional tier guard (e.g. a circuit-breaker board, see
+        #: :class:`repro.serve.resilience.TierBreakerBoard`): an object
+        #: with ``check(tier_name) -> Optional[str]`` — None to let the
+        #: tier run, a reason string to skip it as declined — and
+        #: ``record(tier_name, ok)`` hearing every per-request outcome
+        #: (exceptions are failures; legitimate declines are successes).
+        #: ``None`` (the default) keeps the chain byte-identical to the
+        #: unguarded behaviour.
+        self.tier_guard = None
 
     @staticmethod
     def _build_tiers(
@@ -167,14 +176,25 @@ class FallbackLocalizer(Localizer):
             {"tier": name, "reason": f"fit failed: {msg}"}
             for name, msg in self.fit_errors.items()
         ]
+        guard = self.tier_guard
         for tier in self._fitted:
             name = _tier_name(tier)
+            if guard is not None:
+                skip = guard.check(name)
+                if skip is not None:
+                    declined.append({"tier": name, "reason": skip})
+                    obs.counter("fallback.declined", tier=name).inc()
+                    continue
             try:
                 est = tier.locate(observation)
             except (ValueError, RuntimeError) as exc:
+                if guard is not None:
+                    guard.record(name, False)
                 declined.append({"tier": name, "reason": f"error: {exc}"})
                 obs.counter("fallback.declined", tier=name).inc()
                 continue
+            if guard is not None:
+                guard.record(name, True)
             reason = self._decline_reason(tier, est)
             if reason is not None:
                 declined.append({"tier": name, "reason": reason})
@@ -240,11 +260,25 @@ class FallbackLocalizer(Localizer):
         ]
         results: List[Optional[LocationEstimate]] = [None] * len(observations)
         pending = list(range(len(observations)))
+        guard = self.tier_guard
         for tier in self._fitted:
             if not pending:
                 break
             name = _tier_name(tier)
+            if guard is not None:
+                # One guard decision per tier per chunk: a half-open
+                # breaker admits a whole probe chunk, whose per-request
+                # outcomes are recorded individually below.
+                skip = guard.check(name)
+                if skip is not None:
+                    for i in pending:
+                        declined[i].append({"tier": name, "reason": skip})
+                        obs.counter("fallback.declined", tier=name).inc()
+                    continue
             outcomes = self._tier_estimates(tier, [observations[i] for i in pending])
+            if guard is not None:
+                for outcome in outcomes:
+                    guard.record(name, not isinstance(outcome, Exception))
             still: List[int] = []
             for i, outcome in zip(pending, outcomes):
                 if isinstance(outcome, Exception):

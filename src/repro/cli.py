@@ -596,8 +596,45 @@ def simulate_main(argv: Optional[Sequence[str]] = None) -> int:
 # ----------------------------------------------------------------------
 # repro serve — the localization service front door
 # ----------------------------------------------------------------------
+def _build_chaos(args: argparse.Namespace):
+    """--chaos → a ChaosPolicy (None when the harness is off).
+
+    ``--chaos`` alone enables a representative default mix (injected
+    dispatch latency + tier faults); any explicit ``--chaos-*`` rate
+    overrides the defaults.  Without ``--chaos`` the knobs are inert —
+    chaos must be asked for by name.
+    """
+    if not args.chaos:
+        return None
+    from repro.serve import ChaosPolicy
+
+    latency_ms = args.chaos_latency_ms
+    tier_error_rate = args.chaos_tier_error_rate
+    if (
+        latency_ms == 0.0
+        and tier_error_rate == 0.0
+        and args.chaos_reset_rate == 0.0
+        and args.chaos_slowloris_rate == 0.0
+    ):
+        latency_ms, tier_error_rate = 25.0, 0.25  # the default mix
+    try:
+        return ChaosPolicy(
+            latency_ms=latency_ms,
+            latency_rate=args.chaos_latency_rate,
+            latency_jitter_ms=args.chaos_latency_jitter_ms,
+            tier_error_rate=tier_error_rate,
+            tiers=tuple(t for t in (args.chaos_tiers or "").split(",") if t),
+            reset_rate=args.chaos_reset_rate,
+            slowloris_rate=args.chaos_slowloris_rate,
+            seed=args.chaos_seed,
+        )
+    except ValueError as exc:
+        _fail(str(exc))
+
+
 def _serve_cmd(args: argparse.Namespace) -> int:
-    import time
+    import signal
+    import threading
 
     from repro.core.floorplan import FloorPlan, FloorPlanError
     from repro.core.system import ap_positions_by_bssid, site_bounds
@@ -627,12 +664,15 @@ def _serve_cmd(args: argparse.Namespace) -> int:
     elif args.algorithm in ("geometric", "multilateration"):
         _fail(f"algorithm {args.algorithm!r} needs --plan for AP positions")
 
+    chaos = _build_chaos(args)
     try:
         service = LocalizationService(
             args.database,
             algorithm=args.algorithm,
             ap_positions=ap_positions,
             bounds=bounds,
+            breakers=not args.no_breakers,
+            chaos=chaos,
         )
     except (KeyError, ValueError, OSError) as exc:
         _fail(str(exc))
@@ -645,8 +685,15 @@ def _serve_cmd(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         max_queue=args.max_queue,
         default_deadline_ms=args.default_deadline_ms,
+        p99_limit_ms=args.p99_limit_ms,
+        chaos=chaos,
+        drain_deadline_s=args.drain_deadline_s,
     )
     server.start()
+    # SIGTERM must end with a graceful drain, not a mid-request kill:
+    # the handler only sets an event; the drain runs on the main thread.
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
     try:
         info = service.describe()
         model = f"{info['algorithm']} ({info['locations']} locations, {info['aps']} APs"
@@ -661,17 +708,30 @@ def _serve_cmd(args: argparse.Namespace) -> int:
             f"max_wait_ms={args.max_wait_ms} max_queue={args.max_queue}",
             flush=True,
         )
-        if args.for_seconds is not None:
-            time.sleep(args.for_seconds)
-        else:
+        print(
+            f"resilience: breakers={'off' if args.no_breakers else 'on'} "
+            f"p99_limit_ms={args.p99_limit_ms} "
+            f"drain_deadline_s={args.drain_deadline_s}",
+            flush=True,
+        )
+        if chaos is not None:
+            print(f"chaos: {chaos.describe()}", flush=True)
+        if args.for_seconds is None:
             print("Ctrl-C to stop", flush=True)
-            while True:
-                time.sleep(3600)
+        stop.wait(timeout=args.for_seconds)
     except KeyboardInterrupt:
         pass
-    finally:
-        server.stop()
-    return 0
+    # Graceful exit either way (SIGTERM, --for-seconds, Ctrl-C): stop
+    # accepting, finish in-flight, flush the batcher, then report.  The
+    # CI chaos smoke parses this line and asserts unfinished == 0.
+    report = server.drain()
+    print(
+        f"drain complete: unfinished={report['unfinished']} "
+        f"waited_s={report['waited_s']}",
+        flush=True,
+    )
+    server.stop()
+    return 0 if report["unfinished"] == 0 else 1
 
 
 # ----------------------------------------------------------------------
@@ -899,6 +959,60 @@ def repro_main(argv: Optional[Sequence[str]] = None) -> int:
     serve.add_argument(
         "--default-deadline-ms", type=float, default=None, metavar="MS",
         help="deadline applied to locate requests that do not carry their own",
+    )
+    serve.add_argument(
+        "--p99-limit-ms", type=float, default=None, metavar="MS",
+        help="latency brake: shed bulk traffic when the rolling p99 exceeds "
+        "MS, normal traffic at 2x MS (default: queue watermarks only)",
+    )
+    serve.add_argument(
+        "--drain-deadline-s", type=float, default=10.0, metavar="S",
+        help="graceful drain (SIGTERM or POST /admin/drain): wait up to S "
+        "seconds for in-flight requests before reporting them unfinished",
+    )
+    serve.add_argument(
+        "--no-breakers", action="store_true",
+        help="disable the per-tier circuit breakers around the fallback chain",
+    )
+    serve.add_argument(
+        "--chaos", action="store_true",
+        help="enable the chaos harness; alone it injects a default mix "
+        "(25ms dispatch latency + 25%% tier faults), the --chaos-* knobs "
+        "tune it",
+    )
+    serve.add_argument(
+        "--chaos-latency-ms", type=float, default=0.0, metavar="MS",
+        help="with --chaos: inject MS of dispatch latency",
+    )
+    serve.add_argument(
+        "--chaos-latency-rate", type=float, default=1.0, metavar="R",
+        help="with --chaos: fraction of locate requests paying the latency",
+    )
+    serve.add_argument(
+        "--chaos-latency-jitter-ms", type=float, default=0.0, metavar="MS",
+        help="with --chaos: uniform jitter added on top of --chaos-latency-ms",
+    )
+    serve.add_argument(
+        "--chaos-tier-error-rate", type=float, default=0.0, metavar="R",
+        help="with --chaos: fraction of fallback-tier calls raising an "
+        "injected fault (the circuit-breaker workout)",
+    )
+    serve.add_argument(
+        "--chaos-tiers", default="", metavar="NAMES",
+        help="with --chaos: comma-separated tier names to fault (default: all)",
+    )
+    serve.add_argument(
+        "--chaos-reset-rate", type=float, default=0.0, metavar="R",
+        help="with --chaos: fraction of data-plane responses answered by "
+        "abruptly closing the connection",
+    )
+    serve.add_argument(
+        "--chaos-slowloris-rate", type=float, default=0.0, metavar="R",
+        help="with --chaos: fraction of responses written in dribbled chunks",
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="with --chaos: seed for the chaos draws (reproducible runs)",
     )
     serve.add_argument(
         "--for-seconds", type=float, default=None, metavar="S",

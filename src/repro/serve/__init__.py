@@ -22,11 +22,21 @@ of the serving substrate:
   ``POST /v1/locate``, ``POST /v1/locate/batch``, ``GET /healthz``,
   ``GET /metrics``, ``POST /admin/reload``; 429 + ``Retry-After`` on
   overflow; full :mod:`repro.obs` instrumentation.
+* :mod:`repro.serve.resilience` — the degraded-conditions substrate:
+  per-tier circuit breakers (:class:`TierBreakerBoard`), adaptive
+  admission control (:class:`AdmissionController`, priority classes,
+  drain-rate-derived ``Retry-After``) and the chaos harness
+  (:class:`ChaosPolicy`) behind ``repro serve --chaos``.
+* :mod:`repro.serve.client` — :class:`ServiceClient`, the reference
+  stdlib client: bounded retries with exponential backoff + full
+  jitter, a retry budget, ``Retry-After`` obedience and
+  ``X-Deadline-Ms`` deadline propagation.
 * :mod:`repro.serve.clock` — real and manual time sources (the manual
   one drives wait-timeout tests without real sleeps).
 
 ``repro serve <training.tdb>`` (see :mod:`repro.cli`) runs it from the
-command line; docs/serving.md documents endpoints and knobs.
+command line; docs/serving.md documents endpoints and knobs,
+docs/resilience.md the overload/breaker/drain behaviour.
 """
 
 from repro.serve.batcher import (
@@ -34,8 +44,18 @@ from repro.serve.batcher import (
     MicroBatcher,
     QueueFullError,
 )
+from repro.serve.client import ClientReport, RetryBudget, ServiceClient
 from repro.serve.clock import ManualClock, SystemClock
-from repro.serve.http import LocalizationHTTPServer
+from repro.serve.http import DEADLINE_HEADER, LocalizationHTTPServer
+from repro.serve.resilience import (
+    AdmissionController,
+    ChaosError,
+    ChaosPolicy,
+    CircuitBreaker,
+    Priority,
+    TierBreakerBoard,
+    compute_retry_after_s,
+)
 from repro.serve.service import LocalizationService
 from repro.serve.wire import (
     WireError,
@@ -45,15 +65,26 @@ from repro.serve.wire import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "ChaosError",
+    "ChaosPolicy",
+    "CircuitBreaker",
+    "ClientReport",
+    "DEADLINE_HEADER",
     "DeadlineExceededError",
     "LocalizationHTTPServer",
     "LocalizationService",
     "ManualClock",
     "MicroBatcher",
+    "Priority",
     "QueueFullError",
+    "RetryBudget",
+    "ServiceClient",
     "SystemClock",
+    "TierBreakerBoard",
     "WireError",
     "canonical_json",
+    "compute_retry_after_s",
     "estimate_to_json",
     "observation_from_json",
 ]

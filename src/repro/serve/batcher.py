@@ -16,9 +16,14 @@ Admission control is part of the contract, not an afterthought:
 * the queue is bounded (``max_queue``); a full queue raises
   :class:`QueueFullError` immediately instead of building unbounded
   latency — the HTTP layer turns that into 429 + ``Retry-After``;
-* each request may carry an absolute deadline; requests that expire
-  while queued are failed with :class:`DeadlineExceededError` *before*
-  wasting kernel time on them.
+* each request may carry an absolute deadline; a request whose
+  deadline has *already* passed is refused at :meth:`submit` time (it
+  would only waste a bounded-queue slot), and one that expires while
+  queued is failed with :class:`DeadlineExceededError` *before*
+  wasting kernel time on it;
+* the batcher measures its own drain rate (an EWMA of requests
+  leaving the queue per second) so the HTTP layer can compute an
+  honest ``Retry-After`` from live behaviour instead of a constant.
 
 Instrumented on the global :mod:`repro.obs` registry: queue-depth
 gauge, batch-size and queue-wait histograms, dispatch/rejection/expiry
@@ -111,6 +116,10 @@ class MicroBatcher:
         self._cond = threading.Condition()
         self._stopping = False
         self._thread: Optional[threading.Thread] = None
+        # Drain-rate EWMA (requests/s leaving the queue), updated after
+        # each dispatch; None until the first inter-dispatch interval.
+        self._drain_rate: Optional[float] = None
+        self._last_dispatch_at: Optional[float] = None
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> "MicroBatcher":
@@ -154,20 +163,60 @@ class MicroBatcher:
         with self._cond:
             return len(self._queue)
 
+    def drain_rate(self) -> Optional[float]:
+        """EWMA of requests leaving the queue per second (None = no data).
+
+        The live input to ``Retry-After``: ``queue_depth / drain_rate``
+        is how long a rejected client should expect the backlog to
+        take.
+        """
+        with self._cond:
+            return self._drain_rate
+
+    def _note_drained(self, n: int) -> None:
+        """Fold one completed dispatch of ``n`` requests into the EWMA."""
+        now = self._clock.monotonic()
+        with self._cond:
+            if self._last_dispatch_at is not None:
+                dt = now - self._last_dispatch_at
+                if dt > 0:
+                    instant = n / dt
+                    self._drain_rate = (
+                        instant
+                        if self._drain_rate is None
+                        else 0.7 * self._drain_rate + 0.3 * instant
+                    )
+                    obs.gauge("serve.drain_rate", batcher=self.name).set(
+                        round(self._drain_rate, 3)
+                    )
+            self._last_dispatch_at = now
+
     # -- producer side ---------------------------------------------------
     def submit(self, payload: Any, deadline: Optional[float] = None) -> "Future":
         """Enqueue one request; returns the Future carrying its answer.
 
         ``deadline`` is an absolute time on this batcher's clock
         (``clock.monotonic() + budget``); expired requests fail with
-        :class:`DeadlineExceededError` instead of being dispatched.
-        Raises :class:`QueueFullError` when admission control rejects
-        the request — the caller never blocks on a saturated queue.
+        :class:`DeadlineExceededError` instead of being dispatched.  A
+        deadline that has already passed at submit time is refused
+        immediately — a doomed request must not occupy a bounded-queue
+        slot that a live one could use.  Raises :class:`QueueFullError`
+        when admission control rejects the request — the caller never
+        blocks on a saturated queue.
         """
         future: Future = Future()
         with self._cond:
             if self._stopping or self._thread is None:
                 raise RuntimeError("MicroBatcher is not running")
+            if deadline is not None:
+                now = self._clock.monotonic()
+                if now >= deadline:
+                    obs.counter(
+                        "serve.rejected", batcher=self.name, reason="deadline_expired"
+                    ).inc()
+                    raise DeadlineExceededError(
+                        f"deadline passed {now - deadline:.4f}s before enqueue"
+                    )
             if len(self._queue) >= self.max_queue:
                 obs.counter("serve.rejected", batcher=self.name, reason="queue_full").inc()
                 raise QueueFullError(
@@ -226,6 +275,7 @@ class MicroBatcher:
                 else:
                     live.append(req)
             if not live:
+                self._note_drained(len(batch))
                 continue
             obs.counter("serve.batches", batcher=self.name).inc()
             obs.histogram("serve.batch_size", batcher=self.name).observe(len(live))
@@ -243,6 +293,8 @@ class MicroBatcher:
                 obs.counter("serve.dispatch_errors", batcher=self.name).inc()
                 for req in live:
                     req.future.set_exception(exc)
+                self._note_drained(len(batch))
                 continue
             for req, result in zip(live, results):
                 req.future.set_result(result)
+            self._note_drained(len(batch))

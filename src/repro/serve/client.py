@@ -1,0 +1,345 @@
+"""The reference client for the localization service (stdlib only).
+
+A resilient service is only half the story — the other half is a
+client that retries *politely*.  :class:`ServiceClient` wraps
+:mod:`http.client` with the behaviours the resilience layer expects
+from callers:
+
+* **bounded retries with exponential backoff + full jitter** — retry
+  sleep is ``uniform(0, min(cap, base * 2**attempt))``, the decorrelated
+  schedule that avoids thundering-herd synchronization after a shed;
+* **``Retry-After`` obedience** — a 429/503 hint from the server
+  replaces the computed backoff (the server knows its drain rate;
+  the client does not);
+* **a retry budget** (:class:`RetryBudget`) — a token bucket refilled
+  by successful requests, so a hard-down server sees a bounded retry
+  *rate* instead of ``max_retries`` times the offered load;
+* **deadline propagation** — a per-call ``deadline_ms`` budget becomes
+  an absolute deadline; every attempt (including retries) re-stamps the
+  *remaining* budget into ``X-Deadline-Ms``, so the server can refuse
+  work the client has already given up on.  A spent budget ends the
+  call client-side with a ``deadline`` outcome — no retry.
+
+Every call returns a :class:`ClientReport` that classifies the outcome
+into the error-budget categories the serving and resilience benches
+aggregate (``ok`` / ``rejected_429`` / ``deadline_504`` /
+``draining_503`` / ``server_5xx`` / ``client_4xx`` /
+``transport_error``), so "what fraction of requests were answered or
+cleanly rejected" is one dictionary fold away.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.wire import canonical_json
+
+__all__ = ["CATEGORIES", "ClientReport", "RetryBudget", "ServiceClient",
+           "classify_status", "fold_reports"]
+
+#: Kept in sync with repro.serve.http.DEADLINE_HEADER (no import: the
+#: client must be usable against a remote server with only this module).
+DEADLINE_HEADER = "X-Deadline-Ms"
+
+#: Outcome categories, the shared error-budget vocabulary of
+#: BENCH_SERVE / BENCH_RESILIENCE.  "Clean" means the server answered
+#: with an intentional, well-formed verdict (incl. rejections);
+#: transport errors are the only unclean category.
+CATEGORIES = (
+    "ok",
+    "rejected_429",
+    "deadline_504",
+    "draining_503",
+    "client_4xx",
+    "server_5xx",
+    "transport_error",
+)
+
+
+def classify_status(status: int) -> str:
+    """Map an HTTP status onto the error-budget category vocabulary."""
+    if 200 <= status < 300:
+        return "ok"
+    if status == 429:
+        return "rejected_429"
+    if status == 504:
+        return "deadline_504"
+    if status == 503:
+        return "draining_503"
+    if 400 <= status < 500:
+        return "client_4xx"
+    return "server_5xx"
+
+
+class ClientReport:
+    """One call's outcome: category, status, parsed body, retry trail."""
+
+    __slots__ = ("category", "status", "doc", "attempts", "latency_s")
+
+    def __init__(self, category: str, status: Optional[int], doc: object,
+                 attempts: int, latency_s: float):
+        self.category = category
+        self.status = status
+        self.doc = doc
+        self.attempts = attempts
+        self.latency_s = latency_s
+
+    @property
+    def ok(self) -> bool:
+        return self.category == "ok"
+
+    @property
+    def clean(self) -> bool:
+        """Answered or *cleanly* rejected (the availability-floor notion)."""
+        return self.category != "transport_error"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (f"ClientReport(category={self.category!r}, status={self.status},"
+                f" attempts={self.attempts})")
+
+
+class RetryBudget:
+    """A token bucket bounding the client's total retry *rate*.
+
+    Each retry spends one token; each successful request earns back
+    ``refill_per_success`` (capped at ``capacity``).  Against a healthy
+    server the bucket stays full and every retry is allowed; against a
+    hard-down server the bucket empties and the client degrades to
+    first-attempt-only — failing fast instead of tripling the load on
+    a service that is already on fire.
+    """
+
+    def __init__(self, capacity: float = 10.0, refill_per_success: float = 0.1):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = float(capacity)
+        self.refill_per_success = float(refill_per_success)
+        self._tokens = float(capacity)
+        self._lock = threading.Lock()
+
+    def try_spend(self) -> bool:
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+    def note_success(self) -> None:
+        with self._lock:
+            self._tokens = min(self.capacity, self._tokens + self.refill_per_success)
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+
+class ServiceClient:
+    """A retrying, deadline-propagating HTTP client for one instance.
+
+    Parameters
+    ----------
+    host, port:
+        The instance to talk to (one persistent HTTP/1.1 connection,
+        re-opened transparently after a transport error).
+    timeout_s:
+        Socket timeout per attempt — the slow-loris bound: a server
+        dribbling bytes slower than this is a transport error, not a
+        hang.
+    max_retries:
+        Retry attempts after the first try (retryable outcomes only:
+        429, 503 and transport errors; 4xx and 504 are final).
+    backoff_base_s, backoff_cap_s:
+        Full-jitter schedule: sleep ``uniform(0, min(cap, base*2**n))``
+        before retry *n*, unless the server sent ``Retry-After``.
+    budget:
+        Shared :class:`RetryBudget` (one per client fleet); None gives
+        this client its own.
+    seed:
+        Seeds the jitter RNG so retry timing is reproducible in tests.
+    sleep:
+        Injectable ``sleep(seconds)`` (tests capture backoff without
+        waiting through it).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout_s: float = 10.0,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        budget: Optional[RetryBudget] = None,
+        seed: Optional[int] = None,
+        sleep=time.sleep,
+    ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.budget = budget if budget is not None else RetryBudget()
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    @classmethod
+    def from_url(cls, url: str, **kwargs) -> "ServiceClient":
+        """``http://host:port`` → a client (the common bench spelling)."""
+        stripped = url.split("://", 1)[-1].rstrip("/")
+        host, _, port = stripped.partition(":")
+        return cls(host=host, port=int(port or 80), **kwargs)
+
+    # -- transport -------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _attempt(self, method: str, path: str, body: Optional[bytes],
+                 headers: Dict[str, str]) -> Tuple[int, Dict[str, str], object]:
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+        except Exception:
+            # Any transport-layer failure poisons the persistent
+            # connection; drop it so the retry starts from a clean socket.
+            self.close()
+            raise
+        resp_headers = {k.lower(): v for k, v in resp.getheaders()}
+        try:
+            doc = json.loads(raw) if raw else None
+        except ValueError:
+            doc = raw.decode("utf-8", errors="replace")
+        return resp.status, resp_headers, doc
+
+    # -- the retry loop --------------------------------------------------
+    def request(self, method: str, path: str, doc: Optional[object] = None,
+                deadline_ms: Optional[float] = None) -> ClientReport:
+        """One logical call: attempts, backoff, budget, deadline.
+
+        ``deadline_ms`` is the *total* budget across all attempts; the
+        remaining budget is re-stamped into ``X-Deadline-Ms`` on every
+        attempt so the server's view of the deadline tracks reality.
+        """
+        body = canonical_json(doc) if doc is not None else None
+        started = time.monotonic()
+        deadline = None if deadline_ms is None else started + float(deadline_ms) / 1000.0
+        attempts = 0
+        last: Optional[Tuple[str, Optional[int], object]] = None
+        while True:
+            headers: Dict[str, str] = {}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            if deadline is not None:
+                remaining_ms = 1000.0 * (deadline - time.monotonic())
+                if remaining_ms <= 0:
+                    # Budget spent between attempts: report the last
+                    # server verdict if there was one, else a client-side
+                    # deadline outcome.
+                    if last is not None:
+                        return ClientReport(last[0], last[1], last[2], attempts,
+                                            time.monotonic() - started)
+                    return ClientReport("deadline_504", None,
+                                        {"error": "deadline_exceeded",
+                                         "detail": "budget spent before first attempt"},
+                                        attempts, time.monotonic() - started)
+                headers[DEADLINE_HEADER] = f"{remaining_ms:.0f}"
+            attempts += 1
+            retry_after_s: Optional[float] = None
+            try:
+                status, resp_headers, resp_doc = self._attempt(method, path, body, headers)
+            except (http.client.HTTPException, ConnectionError, socket.timeout, OSError) as exc:
+                last = ("transport_error", None,
+                        {"error": "transport", "detail": f"{type(exc).__name__}: {exc}"})
+            else:
+                category = classify_status(status)
+                last = (category, status, resp_doc)
+                if category == "ok":
+                    self.budget.note_success()
+                    return ClientReport(category, status, resp_doc, attempts,
+                                        time.monotonic() - started)
+                if category not in ("rejected_429", "draining_503"):
+                    # 4xx / 504 / 5xx: retrying cannot change the verdict.
+                    return ClientReport(category, status, resp_doc, attempts,
+                                        time.monotonic() - started)
+                hint = resp_headers.get("retry-after")
+                if hint is not None:
+                    try:
+                        retry_after_s = max(0.0, float(hint))
+                    except ValueError:
+                        retry_after_s = None
+            if attempts > self.max_retries or not self.budget.try_spend():
+                return ClientReport(last[0], last[1], last[2], attempts,
+                                    time.monotonic() - started)
+            # Full jitter unless the server told us exactly when to come
+            # back; either way never sleep past the caller's deadline.
+            if retry_after_s is None:
+                cap = min(self.backoff_cap_s, self.backoff_base_s * (2 ** (attempts - 1)))
+                pause = self._rng.uniform(0.0, cap)
+            else:
+                pause = retry_after_s
+            if deadline is not None:
+                pause = min(pause, max(0.0, deadline - time.monotonic()))
+            if pause > 0:
+                self._sleep(pause)
+
+    # -- endpoint sugar --------------------------------------------------
+    def locate(self, observation_doc: Dict[str, object],
+               deadline_ms: Optional[float] = None) -> ClientReport:
+        return self.request("POST", "/v1/locate", observation_doc, deadline_ms=deadline_ms)
+
+    def locate_batch(self, observation_docs: Sequence[Dict[str, object]],
+                     deadline_ms: Optional[float] = None) -> ClientReport:
+        return self.request("POST", "/v1/locate/batch",
+                            {"observations": list(observation_docs)},
+                            deadline_ms=deadline_ms)
+
+    def healthz(self) -> ClientReport:
+        return self.request("GET", "/healthz")
+
+    def drain(self, deadline_s: Optional[float] = None) -> ClientReport:
+        doc = None if deadline_s is None else {"deadline_s": deadline_s}
+        return self.request("POST", "/admin/drain", doc)
+
+
+def fold_reports(reports: Sequence[ClientReport]) -> Dict[str, object]:
+    """Aggregate reports into the shared error-budget dictionary."""
+    counts = {category: 0 for category in CATEGORIES}
+    for report in reports:
+        counts[report.category] += 1
+    total = len(reports)
+    clean = sum(1 for r in reports if r.clean)
+    return {
+        "total": total,
+        "error_budget": counts,
+        "answered_ok": counts["ok"],
+        "clean": clean,
+        "availability": round(clean / total, 6) if total else None,
+        "ok_fraction": round(counts["ok"] / total, 6) if total else None,
+    }

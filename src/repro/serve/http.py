@@ -6,19 +6,37 @@ HTTP/1.1 server and a :class:`~repro.serve.batcher.MicroBatcher`:
 
 * ``POST /v1/locate`` — one observation document; the request parks in
   the micro-batching queue and is answered from a shared
-  ``locate_many`` dispatch.  Honors ``deadline_ms`` in the body;
-  answers 429 + ``Retry-After`` when admission control rejects, 504
-  when the deadline expires first.
+  ``locate_many`` dispatch.  Honors a deadline from the
+  ``X-Deadline-Ms`` header and/or ``deadline_ms`` in the body (the
+  tighter one wins); answers 429 + ``Retry-After`` when admission
+  control rejects, 504 when the deadline expires first — including
+  *at enqueue time*, so a dead-on-arrival request never occupies a
+  bounded-queue slot.
 * ``POST /v1/locate/batch`` — ``{"observations": [...]}``; already a
-  batch, so it goes straight through the vectorized engine.
-* ``GET /healthz`` — model / dispatcher / queue-headroom checks plus
-  any caller-registered ones, same report shape as
-  :class:`~repro.obs.server.ObsServer` (200 ok / 503 degraded).
+  batch, so it goes straight through the vectorized engine.  Sheds
+  first under pressure (bulk priority class).
+* ``GET /healthz`` — model / dispatcher / queue-headroom / breaker /
+  lifecycle checks plus any caller-registered ones, same report shape
+  as :class:`~repro.obs.server.ObsServer` (200 ok / 503 degraded; a
+  draining instance reports 503 so load balancers eject it).
 * ``GET /metrics`` and ``GET /metrics.json`` — the
   :mod:`repro.obs.export` exporters over the live registry.
 * ``POST /admin/reload`` — atomic hot-reload of the model, optionally
   from a new ``{"database": path}``.
+* ``POST /admin/drain`` — graceful drain: stop accepting data-plane
+  work, flush the batcher, finish in-flight requests under the drain
+  deadline (see :meth:`LocalizationHTTPServer.drain`).
 * ``GET /`` — model card + endpoint index.
+
+Overload behaviour is adaptive, not constant: an
+:class:`~repro.serve.resilience.AdmissionController` sheds by priority
+class (control-plane endpoints are never shed) on queue depth and
+rolling p99 latency, and every 429/503 carries a ``Retry-After``
+computed from the batcher's live drain rate
+(:func:`~repro.serve.resilience.compute_retry_after_s`).  A
+:class:`~repro.serve.resilience.ChaosPolicy` can inject dispatch
+latency, connection resets and slow-loris response writes for
+resilience tests (``repro serve --chaos``).
 
 Every request lands in ``serve.http_requests{endpoint=...,code=...}``
 and ``serve.http_latency_ms{endpoint=...}``; the batcher adds queue
@@ -40,6 +58,12 @@ from repro.obs.export import render_json, render_prometheus
 from repro.obs.server import PROMETHEUS_CONTENT_TYPE, HealthCheck, run_health_checks
 from repro.serve.batcher import DeadlineExceededError, MicroBatcher, QueueFullError
 from repro.serve.clock import SystemClock
+from repro.serve.resilience import (
+    AdmissionController,
+    ChaosPolicy,
+    Priority,
+    compute_retry_after_s,
+)
 from repro.serve.service import LocalizationService
 from repro.serve.wire import (
     WireError,
@@ -49,6 +73,16 @@ from repro.serve.wire import (
 )
 
 __all__ = ["LocalizationHTTPServer"]
+
+#: Header carrying the client's remaining deadline budget in
+#: milliseconds; flows client → HTTP → MicroBatcher → dispatch, and
+#: :class:`repro.serve.client.ServiceClient` re-stamps the *remaining*
+#: budget on every retry hop.
+DEADLINE_HEADER = "X-Deadline-Ms"
+
+#: Endpoints that carry localization traffic (shed / drained / chaos'd);
+#: everything else is control plane and always answered.
+DATA_PLANE = frozenset({"locate", "locate_batch"})
 
 #: Hard cap on request bodies (a locate document is a few KB; anything
 #: near this is a mistake or an attack).
@@ -82,14 +116,23 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing --------------------------------------------------------
     def _reply(self, status: int, body: bytes, content_type: str = "application/json",
-               headers: Optional[Dict[str, str]] = None) -> None:
+               headers: Optional[Dict[str, str]] = None, trickle_s: float = 0.0) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for key, value in (headers or {}).items():
             self.send_header(key, value)
         self.end_headers()
-        self.wfile.write(body)
+        if trickle_s > 0.0 and body:
+            # Chaos slow-loris: dribble the body out in small chunks so
+            # a client without a read timeout would hang here.
+            step = max(1, len(body) // 8)
+            for i in range(0, len(body), step):
+                self.wfile.write(body[i:i + step])
+                self.wfile.flush()
+                time.sleep(trickle_s)
+        else:
+            self.wfile.write(body)
 
     def _read_json(self) -> object:
         length = int(self.headers.get("Content-Length") or 0)
@@ -98,10 +141,39 @@ class _Handler(BaseHTTPRequestHandler):
         if length > MAX_BODY_BYTES:
             raise _ApiError(413, "body_too_large", f"body exceeds {MAX_BODY_BYTES} bytes")
         raw = self.rfile.read(length)
+        self._body_read = True
         try:
             return json.loads(raw)
         except ValueError as exc:
             raise _ApiError(400, "bad_json", str(exc)) from None
+
+    def _discard_body(self) -> None:
+        """Consume an unread request body before an early reply.
+
+        Paths that answer without ever reading the body — the draining
+        503, an admission shed raised before parsing, a 404 with a
+        payload — would otherwise leave the body bytes in the socket,
+        where a keep-alive client's *next* request line would be parsed
+        starting mid-payload (a framing desync that turns every later
+        request on the connection into a 501).  Oversized bodies are
+        not worth reading to save the connection: hang up instead.
+        """
+        if self._body_read:
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 65536))
+            if not chunk:
+                self.close_connection = True
+                return
+            remaining -= len(chunk)
+        self._body_read = True
 
     def log_message(self, fmt, *args):  # noqa: D102 - metrics, not stderr noise
         pass
@@ -115,17 +187,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route(self, method: str) -> None:
         owner = self.server.owner
+        self._body_read = False  # per-request: the handler instance spans a connection
         path = self.path.split("?", 1)[0]
         routes = {
             ("POST", "/v1/locate"): ("locate", owner._handle_locate),
             ("POST", "/v1/locate/batch"): ("locate_batch", owner._handle_locate_batch),
             ("POST", "/admin/reload"): ("reload", owner._handle_reload),
+            ("POST", "/admin/drain"): ("drain", owner._handle_drain),
             ("GET", "/healthz"): ("healthz", owner._handle_healthz),
             ("GET", "/metrics"): ("metrics", owner._handle_metrics),
             ("GET", "/metrics.json"): ("metrics_json", owner._handle_metrics_json),
             ("GET", "/"): ("index", owner._handle_index),
         }
         entry = routes.get((method, path))
+        trickle_s = 0.0
         if entry is None:
             endpoint = "unknown"
             status, body, content_type, headers = (
@@ -136,6 +211,24 @@ class _Handler(BaseHTTPRequestHandler):
             )
         else:
             endpoint, handler = entry
+            data_plane = endpoint in DATA_PLANE
+            chaos = owner.chaos
+            if data_plane and chaos is not None and chaos.reset_connection():
+                # Injected connection reset: hang up without an answer.
+                # The one fault class the availability floor does NOT
+                # forgive when chaos isn't asking for it explicitly.
+                obs.counter("serve.http_requests", endpoint=endpoint, code="reset").inc()
+                self.close_connection = True
+                return
+            if data_plane and not owner._admit_data_plane():
+                status, body, content_type, headers = owner._draining_response()
+                obs.counter("serve.http_requests", endpoint=endpoint, code=str(status)).inc()
+                self._discard_body()
+                try:
+                    self._reply(status, body, content_type, headers)
+                except (BrokenPipeError, ConnectionResetError):
+                    pass
+                return
             t0 = time.perf_counter()
             try:
                 status, body, content_type, headers = handler(self)
@@ -152,12 +245,22 @@ class _Handler(BaseHTTPRequestHandler):
                     "application/json",
                     {},
                 )
-            obs.histogram("serve.http_latency_ms", endpoint=endpoint).observe(
-                1000.0 * (time.perf_counter() - t0)
-            )
+            finally:
+                if data_plane:
+                    owner._exit_data_plane()
+            latency_ms = 1000.0 * (time.perf_counter() - t0)
+            obs.histogram("serve.http_latency_ms", endpoint=endpoint).observe(latency_ms)
+            if data_plane and status != 429:
+                # Feed the admission controller's rolling p99 with
+                # latencies of requests that actually traversed the
+                # service (shed fast-rejects would dilute the signal).
+                owner.admission.note_latency_ms(latency_ms)
+            if data_plane and chaos is not None and chaos.slowloris():
+                trickle_s = chaos.slowloris_delay_s
         obs.counter("serve.http_requests", endpoint=endpoint, code=str(status)).inc()
+        self._discard_body()
         try:
-            self._reply(status, body, content_type, headers)
+            self._reply(status, body, content_type, headers, trickle_s=trickle_s)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client hung up first; its problem, not the service's
 
@@ -179,9 +282,28 @@ class LocalizationHTTPServer:
         ``max_batch=1`` disables coalescing — the serving bench's baseline.
     default_deadline_ms:
         Deadline applied to locate requests that do not send their own
-        ``deadline_ms`` (None: wait as long as it takes).
+        (header or body; None: wait as long as it takes).
     clock:
         Injectable time source shared with the batcher.
+    retry_after_s:
+        *Floor* on the adaptive ``Retry-After`` hint.  The served value
+        is computed per rejection from the queue depth and the
+        batcher's live drain rate; this floor is what clients see
+        before any drain-rate data exists.
+    admission:
+        A ready :class:`~repro.serve.resilience.AdmissionController`,
+        or None to build one from ``max_queue`` and ``p99_limit_ms``.
+    p99_limit_ms:
+        Optional latency brake for the built-in admission controller:
+        bulk traffic sheds when the rolling p99 exceeds it, normal
+        traffic at twice it.
+    chaos:
+        Optional :class:`~repro.serve.resilience.ChaosPolicy` injecting
+        dispatch latency / connection resets / slow-loris writes (tier
+        faults are the service's business — pass the policy there too).
+    drain_deadline_s:
+        Default bound on how long :meth:`drain` waits for in-flight
+        requests before reporting them unfinished.
 
     Use as a context manager or ``start()``/``stop()``.
     """
@@ -207,6 +329,10 @@ class LocalizationHTTPServer:
         default_deadline_ms: Optional[float] = None,
         clock=None,
         retry_after_s: int = 1,
+        admission: Optional[AdmissionController] = None,
+        p99_limit_ms: Optional[float] = None,
+        chaos: Optional[ChaosPolicy] = None,
+        drain_deadline_s: float = 10.0,
     ):
         self.service = service
         self.host = host
@@ -214,6 +340,11 @@ class LocalizationHTTPServer:
         self._clock = clock if clock is not None else SystemClock()
         self.default_deadline_ms = default_deadline_ms
         self.retry_after_s = int(retry_after_s)
+        self.admission = admission if admission is not None else AdmissionController(
+            max_queue=max_queue, p99_limit_ms=p99_limit_ms
+        )
+        self.chaos = chaos
+        self.drain_deadline_s = float(drain_deadline_s)
         self.batcher = MicroBatcher(
             service.locate_many,
             max_batch=max_batch,
@@ -226,18 +357,37 @@ class LocalizationHTTPServer:
             ("model", service.health_check),
             ("dispatcher", self._dispatcher_check),
             ("queue", self._queue_check),
+            ("breakers", service.breaker_health),
+            ("lifecycle", self._lifecycle_check),
         ]
         self._httpd: Optional[LocalizationHTTPServer._HTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
+        # Drain lifecycle: data-plane requests register in/out so drain
+        # can wait for the last one; the flag and the counter share one
+        # condition so admit-vs-drain cannot race.
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self._draining = False
+        self._drain_report: Optional[Dict[str, object]] = None
 
     # -- health ----------------------------------------------------------
     def _dispatcher_check(self):
+        if self._draining:
+            # A drained batcher is stopped by design; don't double-report.
+            return True, "micro-batcher drained (instance draining)"
         return self.batcher.alive, f"micro-batcher thread alive: {self.batcher.alive}"
 
     def _queue_check(self):
         depth, cap = self.batcher.queue_depth(), self.batcher.max_queue
         return depth < cap, {"depth": depth, "capacity": cap}
+
+    def _lifecycle_check(self):
+        if self._draining:
+            # Deliberately unhealthy: a draining instance must drop out
+            # of its load balancer's rotation.
+            return False, {"phase": "draining", "report": self._drain_report}
+        return True, {"phase": "serving"}
 
     def add_health_check(self, name: str, check: HealthCheck) -> "LocalizationHTTPServer":
         """Register an extra named ``/healthz`` check (drift monitors...)."""
@@ -292,29 +442,165 @@ class LocalizationHTTPServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    # -- overload / drain machinery --------------------------------------
+    def _retry_after_s(self) -> int:
+        """Adaptive Retry-After from live queue depth and drain rate."""
+        return compute_retry_after_s(
+            self.batcher.queue_depth(),
+            drain_rate=self.batcher.drain_rate(),
+            max_batch=self.batcher.max_batch,
+            max_wait_s=self.batcher.max_wait_s,
+            floor_s=self.retry_after_s,
+        )
+
+    def _shed(self, reason: str) -> _ApiError:
+        retry_after = self._retry_after_s()
+        # Queue-pressure sheds keep the wire name pre-dating the
+        # admission controller ("queue_full"); the latency brake is new.
+        error = "queue_full" if reason.startswith("queue") else "overloaded"
+        err = _ApiError(429, error, reason, retry_after_s=retry_after)
+        err.headers["Retry-After"] = str(retry_after)
+        return err
+
+    def _admit_data_plane(self) -> bool:
+        """Register one data-plane request, atomically vs. drain.
+
+        The draining check and the in-flight increment happen under one
+        lock, so :meth:`drain` can never observe zero in-flight while a
+        request that already passed the check is about to start.
+        """
+        with self._inflight_cond:
+            if self._draining:
+                return False
+            self._inflight += 1
+            return True
+
+    def _exit_data_plane(self) -> None:
+        with self._inflight_cond:
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
+
+    def _draining_response(self) -> _Route:
+        retry_after = self._retry_after_s()
+        body = canonical_json(
+            {"error": "draining", "detail": "instance is draining; retry elsewhere"}
+        )
+        return 503, body, "application/json", {"Retry-After": str(retry_after)}
+
+    def in_flight(self) -> int:
+        with self._inflight_cond:
+            return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, deadline_s: Optional[float] = None) -> Dict[str, object]:
+        """Graceful drain: refuse new data-plane work, finish the old.
+
+        1. Flip the draining flag (atomically vs. request admission) —
+           new locate traffic answers 503 + ``Retry-After``, ``/healthz``
+           flips unhealthy so load balancers eject this instance;
+           control-plane endpoints keep answering.
+        2. Wait for in-flight data-plane requests to finish, bounded by
+           ``deadline_s`` (default: the constructor's
+           ``drain_deadline_s``).
+        3. Stop the micro-batcher, which drains every already-accepted
+           queued request before its thread exits.
+
+        Returns a report: ``{"drained", "waited_s", "unfinished"}``.
+        ``unfinished == 0`` is the graceful-exit contract the CI chaos
+        smoke asserts.  Idempotent: a second call waits on the same
+        drain rather than re-running it.
+        """
+        with self._inflight_cond:
+            already = self._draining
+            self._draining = True
+        if not already:
+            obs.counter("serve.drain.initiated").inc()
+        limit = self.drain_deadline_s if deadline_s is None else float(deadline_s)
+        t0 = time.monotonic()  # real time: bounds a real wait, even with ManualClock
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = limit - (time.monotonic() - t0)
+                if remaining <= 0:
+                    break
+                self._inflight_cond.wait(timeout=min(remaining, 0.05))
+            unfinished = self._inflight
+        if not already:
+            # Drains the accepted backlog: every queued future resolves.
+            self.batcher.stop()
+        report: Dict[str, object] = {
+            "drained": unfinished == 0,
+            "waited_s": round(time.monotonic() - t0, 4),
+            "unfinished": unfinished,
+        }
+        self._drain_report = report
+        obs.counter("serve.drain.completed",
+                    result="clean" if unfinished == 0 else "timeout").inc()
+        obs.gauge("serve.drain.unfinished").set(unfinished)
+        return report
+
     # -- endpoint handlers ----------------------------------------------
+    def _deadline_from(self, handler: _Handler, doc: Optional[dict]) -> Optional[float]:
+        """Resolve the request's deadline budget in seconds (or None).
+
+        The tightest of the ``X-Deadline-Ms`` header and the body's
+        ``deadline_ms`` wins; ``default_deadline_ms`` applies only when
+        neither is present.  Invalid values are 400s; a non-positive
+        *header* budget is a 504 (the client's clock says the request
+        is already dead — distinct from a malformed body deadline).
+        """
+        budgets: List[float] = []
+        body_ms = (doc or {}).get("deadline_ms")
+        if body_ms is not None:
+            try:
+                body_s = float(body_ms) / 1000.0
+            except (TypeError, ValueError):
+                raise _ApiError(400, "bad_deadline",
+                                f"deadline_ms not a number: {body_ms!r}") from None
+            if body_s <= 0:
+                raise _ApiError(400, "bad_deadline",
+                                f"deadline_ms must be > 0, got {body_ms}")
+            budgets.append(body_s)
+        header_ms = handler.headers.get(DEADLINE_HEADER)
+        if header_ms is not None:
+            try:
+                header_s = float(header_ms) / 1000.0
+            except (TypeError, ValueError):
+                raise _ApiError(400, "bad_deadline",
+                                f"{DEADLINE_HEADER} not a number: {header_ms!r}") from None
+            if header_s <= 0:
+                raise _ApiError(504, "deadline_exceeded",
+                                f"{DEADLINE_HEADER} budget already spent ({header_ms}ms)")
+            budgets.append(header_s)
+        if not budgets and self.default_deadline_ms is not None:
+            budgets.append(float(self.default_deadline_ms) / 1000.0)
+        return min(budgets) if budgets else None
     def _handle_locate(self, handler: _Handler) -> _Route:
+        shed = self.admission.admit(Priority.NORMAL, self.batcher.queue_depth())
+        if shed is not None:
+            raise self._shed(shed)
         doc = handler._read_json()
         try:
             observation = observation_from_json(doc)
         except WireError as exc:
             raise _ApiError(400, "bad_observation", str(exc)) from None
-        deadline_ms = doc.get("deadline_ms", self.default_deadline_ms)
-        deadline = None
-        budget_s = None
-        if deadline_ms is not None:
-            try:
-                budget_s = float(deadline_ms) / 1000.0
-            except (TypeError, ValueError):
-                raise _ApiError(400, "bad_deadline", f"deadline_ms not a number: {deadline_ms!r}") from None
-            if budget_s <= 0:
-                raise _ApiError(400, "bad_deadline", f"deadline_ms must be > 0, got {deadline_ms}")
-            deadline = self._clock.monotonic() + budget_s
+        budget_s = self._deadline_from(handler, doc if isinstance(doc, dict) else None)
+        deadline = None if budget_s is None else self._clock.monotonic() + budget_s
+        if self.chaos is not None:
+            chaos_s = self.chaos.dispatch_latency_s()
+            if chaos_s > 0:
+                time.sleep(chaos_s)
         try:
             future = self.batcher.submit(observation, deadline=deadline)
+        except DeadlineExceededError as exc:
+            # Refused at enqueue: already dead on arrival, never queued.
+            raise _ApiError(504, "deadline_exceeded", str(exc)) from None
         except QueueFullError as exc:
-            err = _ApiError(429, "queue_full", str(exc), retry_after_s=self.retry_after_s)
-            err.headers["Retry-After"] = str(self.retry_after_s)
+            retry_after = self._retry_after_s()
+            err = _ApiError(429, "queue_full", str(exc), retry_after_s=retry_after)
+            err.headers["Retry-After"] = str(retry_after)
             raise err from None
         try:
             # The dispatcher enforces the queue-side deadline; the extra
@@ -327,6 +613,10 @@ class LocalizationHTTPServer:
         return 200, canonical_json(estimate_to_json(estimate)), "application/json", {}
 
     def _handle_locate_batch(self, handler: _Handler) -> _Route:
+        # Bulk priority: first to shed under queue pressure or latency.
+        shed = self.admission.admit(Priority.BULK, self.batcher.queue_depth())
+        if shed is not None:
+            raise self._shed(shed)
         doc = handler._read_json()
         if not isinstance(doc, dict) or not isinstance(doc.get("observations"), list):
             raise _ApiError(400, "bad_request", "body must be {'observations': [...]}")
@@ -342,6 +632,13 @@ class LocalizationHTTPServer:
             observations = [observation_from_json(d) for d in docs]
         except WireError as exc:
             raise _ApiError(400, "bad_observation", str(exc)) from None
+        # A non-positive header budget 504s before any kernel time is
+        # spent on a batch the client has already given up on.
+        self._deadline_from(handler, None)
+        if self.chaos is not None:
+            chaos_s = self.chaos.dispatch_latency_s()
+            if chaos_s > 0:
+                time.sleep(chaos_s)
         # Already a batch: no coalescing window to gain, straight through
         # the chunked/sharded engine.
         estimates = self.service.locate_many(observations)
@@ -365,6 +662,36 @@ class LocalizationHTTPServer:
                 500, "reload_failed", f"{type(exc).__name__}: {exc}", serving="previous model",
             ) from None
         return 200, canonical_json({"reloaded": True, "model": info}), "application/json", {}
+
+    def _handle_drain(self, handler: _Handler) -> _Route:
+        deadline_s = None
+        length = int(handler.headers.get("Content-Length") or 0)
+        if length > 0:
+            doc = handler._read_json()
+            if not isinstance(doc, dict):
+                raise _ApiError(400, "bad_request", "drain body must be a JSON object")
+            if doc.get("deadline_s") is not None:
+                try:
+                    deadline_s = float(doc["deadline_s"])
+                except (TypeError, ValueError):
+                    raise _ApiError(400, "bad_request",
+                                    f"deadline_s not a number: {doc['deadline_s']!r}") from None
+        with self._inflight_cond:
+            already = self._draining
+        if not already:
+            # drain() blocks until in-flight work finishes; answer the
+            # admin caller now and let the wait happen off-thread.  The
+            # report lands on /healthz (lifecycle check) when done.
+            threading.Thread(
+                target=self.drain, args=(deadline_s,),
+                name="repro-serve-drain", daemon=True,
+            ).start()
+        body = canonical_json({
+            "draining": True,
+            "already_draining": already,
+            "in_flight": self.in_flight(),
+        })
+        return 200, body, "application/json", {}
 
     def _handle_healthz(self, handler: _Handler) -> _Route:
         ok, report = run_health_checks(self._checks)
@@ -391,6 +718,7 @@ class LocalizationHTTPServer:
                 "POST /v1/locate",
                 "POST /v1/locate/batch",
                 "POST /admin/reload",
+                "POST /admin/drain",
                 "GET /healthz",
                 "GET /metrics",
                 "GET /metrics.json",

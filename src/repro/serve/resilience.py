@@ -1,0 +1,556 @@
+"""The serving layer's resilience substrate (stdlib only).
+
+PR 5 built a fast happy path; this module is what keeps the service
+*up* when the path stops being happy.  Production indoor localization
+is a degraded-conditions system by nature — crowdsensed inputs, APs
+that move or die, fleets where partial failure is the steady state —
+so the serve path must shed load it cannot carry, stop paying for
+dependencies that are wedged, and reject hopeless work early instead
+of hanging on it.  Four cooperating pieces:
+
+* :class:`CircuitBreaker` / :class:`TierBreakerBoard` — the classic
+  closed → open → half-open state machine, one breaker per fallback
+  tier.  A tier that keeps *raising* (not merely declining) trips its
+  breaker and is skipped for a cooldown instead of being paid for on
+  every request; a half-open probe re-admits it when it recovers.
+  Time is injectable, so every transition is testable without sleeps.
+* :class:`AdmissionController` — adaptive load shedding in front of
+  the micro-batcher: priority classes (control-plane endpoints are
+  never shed), queue-depth watermarks per class, and an optional
+  rolling-p99 latency brake.  :func:`compute_retry_after_s` turns the
+  live queue drain rate into an honest ``Retry-After`` hint instead of
+  a constant.
+* :class:`ChaosPolicy` — the service-layer extension of PR 1's fault
+  injectors: injected dispatch latency, tier exceptions
+  (:class:`ChaosError`), connection resets and slow-loris response
+  writes, all seeded and rate-controlled.  ``repro serve --chaos``
+  wires it in for tests and the resilience bench.
+
+Everything reports on the global :mod:`repro.obs` registry under
+``serve.breaker.*``, ``serve.admission.*`` and ``serve.chaos.*``
+(catalogue in docs/resilience.md).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro import obs
+from repro.serve.clock import SystemClock
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "CircuitBreaker",
+    "TierBreakerBoard",
+    "AdmissionController",
+    "Priority",
+    "compute_retry_after_s",
+    "ChaosError",
+    "ChaosPolicy",
+    "ChaosTier",
+]
+
+
+# ----------------------------------------------------------------------
+# circuit breakers
+# ----------------------------------------------------------------------
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding for the ``serve.breaker.state`` gauge (a text state
+#: cannot ride a Prometheus gauge): closed < half-open < open.
+_STATE_CODE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker over a sliding outcome window.
+
+    The contract, which the hypothesis property in
+    ``tests/test_serve_resilience.py`` enforces over arbitrary event
+    sequences:
+
+    * **closed**: calls flow; the last ``window`` outcomes are kept.
+      Once at least ``min_calls`` outcomes are recorded and the failure
+      fraction reaches ``failure_threshold``, the breaker opens.
+    * **open**: :meth:`allow` answers False (a *short circuit*) until
+      ``cooldown_s`` has elapsed on the injected clock; the first
+      :meth:`allow` after the cooldown flips to half-open and admits
+      the caller as the probe.  An open breaker can therefore never
+      wedge: enough elapsed time always re-enables probing.
+    * **half-open**: up to ``half_open_probes`` concurrent probes are
+      admitted.  A recorded success closes the breaker (window reset);
+      a recorded failure re-opens it and re-arms the full cooldown.
+      There is no open → closed edge that skips the probe state.
+
+    Thread-safe; every transition lands in
+    ``serve.breaker.transitions{breaker=...,to=...}`` and the live state in
+    the ``serve.breaker.state{breaker=...}`` gauge.
+    """
+
+    def __init__(
+        self,
+        name: str = "default",
+        window: int = 20,
+        failure_threshold: float = 0.5,
+        min_calls: int = 5,
+        cooldown_s: float = 5.0,
+        half_open_probes: int = 1,
+        clock=None,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError(f"failure_threshold must be in (0, 1], got {failure_threshold}")
+        if min_calls < 1:
+            raise ValueError(f"min_calls must be >= 1, got {min_calls}")
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be > 0, got {cooldown_s}")
+        if half_open_probes < 1:
+            raise ValueError(f"half_open_probes must be >= 1, got {half_open_probes}")
+        self.name = name
+        self.window = int(window)
+        self.failure_threshold = float(failure_threshold)
+        self.min_calls = int(min_calls)
+        self.cooldown_s = float(cooldown_s)
+        self.half_open_probes = int(half_open_probes)
+        self._clock = clock if clock is not None else SystemClock()
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._outcomes: Deque[bool] = deque(maxlen=self.window)
+        self._opened_at: Optional[float] = None
+        self._probes_in_flight = 0
+        self._opened_count = 0
+        obs.gauge("serve.breaker.state", breaker=self.name).set(0)
+
+    # -- state machine (always called with the lock held) ---------------
+    def _transition(self, to: str) -> None:
+        self._state = to
+        obs.counter("serve.breaker.transitions", breaker=self.name, to=to).inc()
+        obs.gauge("serve.breaker.state", breaker=self.name).set(_STATE_CODE[to])
+        if to == OPEN:
+            self._opened_at = self._clock.monotonic()
+            self._opened_count += 1
+            self._outcomes.clear()
+        elif to == HALF_OPEN:
+            self._probes_in_flight = 0
+        elif to == CLOSED:
+            self._opened_at = None
+            self._outcomes.clear()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  Claims a probe slot if half-open."""
+        with self._lock:
+            if self._state == OPEN:
+                elapsed = self._clock.monotonic() - self._opened_at
+                if elapsed < self.cooldown_s:
+                    obs.counter("serve.breaker.short_circuits", breaker=self.name).inc()
+                    return False
+                self._transition(HALF_OPEN)
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight >= self.half_open_probes:
+                    obs.counter("serve.breaker.short_circuits", breaker=self.name).inc()
+                    return False
+                self._probes_in_flight += 1
+                return True
+            return True  # closed
+
+    def record(self, ok: bool) -> None:
+        """Record one call outcome (exceptions are failures; a tier
+        *declining* for a legitimate reason is a success — it ran)."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # The probe's verdict decides; no window statistics here.
+                self._transition(CLOSED if ok else OPEN)
+                return
+            if self._state == OPEN:
+                return  # late result from a call admitted pre-open
+            self._outcomes.append(bool(ok))
+            if len(self._outcomes) >= self.min_calls:
+                failures = sum(1 for o in self._outcomes if not o)
+                if failures / len(self._outcomes) >= self.failure_threshold:
+                    self._transition(OPEN)
+
+    def record_success(self) -> None:
+        self.record(True)
+
+    def record_failure(self) -> None:
+        self.record(False)
+
+    def cooldown_remaining_s(self) -> float:
+        """Seconds until an open breaker will admit a probe (0 otherwise)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(0.0, self.cooldown_s - (self._clock.monotonic() - self._opened_at))
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe state card (served on ``/healthz``)."""
+        with self._lock:
+            out: Dict[str, object] = {
+                "state": self._state,
+                "window": list(self._outcomes).count(False),
+                "window_calls": len(self._outcomes),
+                "opened_count": self._opened_count,
+            }
+            if self._state == OPEN:
+                out["cooldown_remaining_s"] = round(
+                    max(0.0, self.cooldown_s - (self._clock.monotonic() - self._opened_at)), 3
+                )
+            return out
+
+
+class TierBreakerBoard:
+    """One :class:`CircuitBreaker` per fallback tier, as a tier guard.
+
+    Plugs into :class:`repro.algorithms.fallback.FallbackLocalizer` via
+    its ``tier_guard`` hook: :meth:`check` is consulted before a tier
+    runs (returning a decline reason while its breaker refuses calls)
+    and :meth:`record` hears every per-request outcome.  Breakers are
+    created lazily per tier name, so the board survives model
+    hot-reloads with its state intact — a wedged tier stays quarantined
+    across a reload that did not fix it.
+    """
+
+    def __init__(
+        self,
+        window: int = 20,
+        failure_threshold: float = 0.5,
+        min_calls: int = 5,
+        cooldown_s: float = 5.0,
+        half_open_probes: int = 1,
+        clock=None,
+    ):
+        self._kwargs = dict(
+            window=window,
+            failure_threshold=failure_threshold,
+            min_calls=min_calls,
+            cooldown_s=cooldown_s,
+            half_open_probes=half_open_probes,
+        )
+        self._clock = clock if clock is not None else SystemClock()
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, tier: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(tier)
+            if breaker is None:
+                breaker = CircuitBreaker(name=tier, clock=self._clock, **self._kwargs)
+                self._breakers[tier] = breaker
+            return breaker
+
+    # -- the FallbackLocalizer tier-guard protocol -----------------------
+    def check(self, tier: str) -> Optional[str]:
+        """None to proceed, or a human-readable skip reason."""
+        breaker = self.breaker(tier)
+        if breaker.allow():
+            return None
+        remaining = breaker.cooldown_remaining_s()
+        if remaining > 0:
+            return f"circuit open ({remaining:.1f}s cooldown remaining)"
+        return "circuit half-open (probe in flight)"
+
+    def record(self, tier: str, ok: bool) -> None:
+        self.breaker(tier).record(ok)
+
+    # -- reporting -------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {tier: b.snapshot() for tier, b in sorted(breakers.items())}
+
+    def health(self) -> Tuple[bool, object]:
+        """/healthz check: degraded only when *every* tier is open.
+
+        One open breaker means the chain is degraded but still
+        answering from lower tiers — ejecting the instance for that
+        would turn a partial failure into a total one.
+        """
+        snap = self.snapshot()
+        if not snap:
+            return True, {"breakers": "no calls yet"}
+        all_open = all(s["state"] == OPEN for s in snap.values())
+        return not all_open, snap
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+class Priority:
+    """Request priority classes, shed in reverse order under pressure.
+
+    ``CRITICAL`` (health, metrics, admin) is never shed: an overloaded
+    instance that stops answering ``/healthz`` looks *dead* instead of
+    *busy*, and the load balancer's response to dead is worse.
+    """
+
+    CRITICAL = "critical"
+    NORMAL = "normal"
+    BULK = "bulk"
+
+
+def compute_retry_after_s(
+    queue_depth: int,
+    drain_rate: Optional[float] = None,
+    max_batch: int = 1,
+    max_wait_s: float = 0.0,
+    floor_s: int = 1,
+    cap_s: int = 60,
+) -> int:
+    """An honest ``Retry-After``: how long until the queue has drained.
+
+    Prefers the measured drain rate (requests/s leaving the queue);
+    before any dispatch has been observed it falls back to the
+    structural estimate ``queue_depth / max_batch`` batch windows of
+    ``max_wait_s`` each.  Clamped to ``[floor_s, cap_s]`` so a client
+    never sees 0 (hammer me now) or an absurd hour.
+    """
+    queue_depth = max(0, int(queue_depth))
+    if drain_rate is not None and drain_rate > 0:
+        estimate = queue_depth / drain_rate
+    else:
+        estimate = math.ceil(queue_depth / max(1, int(max_batch))) * max(0.0, max_wait_s)
+    return int(min(max(math.ceil(estimate), floor_s), cap_s))
+
+
+class AdmissionController:
+    """Adaptive load shedding in front of the micro-batcher.
+
+    Two brakes, both per priority class:
+
+    * **queue watermarks** — a class is shed once the live queue depth
+      reaches its fraction of ``max_queue`` (``queue_watermarks``).
+      By default only bulk traffic sheds early (at 75 % depth); normal
+      traffic's shed point is the hard queue bound itself — the
+      batcher's ``QueueFullError`` — so the queue's last 25 % is
+      reserved headroom for single-observation traffic.  Critical
+      traffic is never shed at all.
+    * **latency** — with ``p99_limit_ms`` set, a rolling window of
+      observed request latencies is kept; bulk sheds when the window
+      p99 crosses the limit, normal when it crosses twice the limit.
+      This is the backstop for the regime where the queue is short but
+      every request is slow (a degraded dependency, chaos latency).
+
+    :meth:`admit` returns ``None`` to admit or a machine-readable shed
+    reason; every shed lands in
+    ``serve.admission.shed{class=...,reason=...}``.
+    """
+
+    #: Default shed watermarks as fractions of ``max_queue``
+    #: (None = no early queue shed for that class).
+    DEFAULT_WATERMARKS = {Priority.CRITICAL: None, Priority.NORMAL: None, Priority.BULK: 0.75}
+
+    def __init__(
+        self,
+        max_queue: int,
+        p99_limit_ms: Optional[float] = None,
+        latency_window: int = 256,
+        queue_watermarks: Optional[Dict[str, Optional[float]]] = None,
+    ):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if latency_window < 8:
+            raise ValueError(f"latency_window must be >= 8, got {latency_window}")
+        self.max_queue = int(max_queue)
+        self.p99_limit_ms = None if p99_limit_ms is None else float(p99_limit_ms)
+        self._latencies: Deque[float] = deque(maxlen=int(latency_window))
+        self._lock = threading.Lock()
+        self.queue_watermarks = dict(self.DEFAULT_WATERMARKS)
+        if queue_watermarks:
+            self.queue_watermarks.update(queue_watermarks)
+
+    def note_latency_ms(self, latency_ms: float) -> None:
+        with self._lock:
+            self._latencies.append(float(latency_ms))
+
+    def p99_ms(self) -> Optional[float]:
+        """Rolling p99 over the observed window (None until 8 samples)."""
+        with self._lock:
+            if len(self._latencies) < 8:
+                return None
+            ordered = sorted(self._latencies)
+        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+    def admit(self, priority: str, queue_depth: int) -> Optional[str]:
+        """None = admitted; otherwise the shed reason."""
+        if priority == Priority.CRITICAL:
+            return None  # critical class: never shed
+        watermark = self.queue_watermarks.get(priority)
+        if watermark is not None and queue_depth >= watermark * self.max_queue:
+            obs.counter("serve.admission.shed", **{"class": priority, "reason": "queue_pressure"}).inc()
+            return (
+                f"queue pressure: depth {queue_depth} >= "
+                f"{watermark:.0%} of {self.max_queue} for class {priority}"
+            )
+        if self.p99_limit_ms is not None:
+            p99 = self.p99_ms()
+            limit = self.p99_limit_ms * (2.0 if priority == Priority.NORMAL else 1.0)
+            if p99 is not None and p99 > limit:
+                obs.counter("serve.admission.shed", **{"class": priority, "reason": "latency"}).inc()
+                return f"latency pressure: p99 {p99:.0f}ms > {limit:.0f}ms for class {priority}"
+        return None
+
+
+# ----------------------------------------------------------------------
+# chaos
+# ----------------------------------------------------------------------
+class ChaosError(RuntimeError):
+    """An injected fault (subclasses RuntimeError so the fallback chain
+    treats it exactly like a real tier error: decline, move on)."""
+
+
+class ChaosPolicy:
+    """Seeded, rate-controlled fault injection for the service layer.
+
+    The serve-path analogue of :mod:`repro.robustness.injectors`: where
+    PR 1's injectors mangle *data* (sweeps, wi-scan text), this one
+    mangles *service behaviour*:
+
+    * ``latency_ms``/``latency_rate`` — added dispatch latency on that
+      fraction of locate requests (plus uniform jitter up to
+      ``latency_jitter_ms``);
+    * ``tier_error_rate``/``tiers`` — that fraction of calls into the
+      named fallback tiers raises :class:`ChaosError` (all tiers when
+      ``tiers`` is empty) — the input that trips circuit breakers;
+    * ``reset_rate`` — that fraction of data-plane responses is
+      answered by abruptly closing the connection instead (the client
+      sees a reset/EOF — transport-error handling food);
+    * ``slowloris_rate`` — that fraction of responses is written in
+      dribbled chunks with ``slowloris_delay_s`` pauses, exercising
+      client read-timeout handling.
+
+    All randomness flows through one seeded ``random.Random`` behind a
+    lock, so a chaos run is reproducible.  Every injected fault counts
+    in ``serve.chaos.injected{kind=...}``.
+    """
+
+    def __init__(
+        self,
+        latency_ms: float = 0.0,
+        latency_rate: float = 1.0,
+        latency_jitter_ms: float = 0.0,
+        tier_error_rate: float = 0.0,
+        tiers: Iterable[str] = (),
+        reset_rate: float = 0.0,
+        slowloris_rate: float = 0.0,
+        slowloris_delay_s: float = 0.02,
+        seed: int = 0,
+    ):
+        for rate_name in ("latency_rate", "tier_error_rate", "reset_rate", "slowloris_rate"):
+            rate = locals()[rate_name]
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{rate_name} must be in [0, 1], got {rate}")
+        if latency_ms < 0 or latency_jitter_ms < 0:
+            raise ValueError("latency injections must be non-negative")
+        self.latency_ms = float(latency_ms)
+        self.latency_rate = float(latency_rate)
+        self.latency_jitter_ms = float(latency_jitter_ms)
+        self.tier_error_rate = float(tier_error_rate)
+        self.tiers = tuple(tiers)
+        self.reset_rate = float(reset_rate)
+        self.slowloris_rate = float(slowloris_rate)
+        self.slowloris_delay_s = float(slowloris_delay_s)
+        self.seed = int(seed)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def _hit(self, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            return rate >= 1.0 or self._rng.random() < rate
+
+    def dispatch_latency_s(self) -> float:
+        """Seconds of injected latency for this request (0 = none)."""
+        if self.latency_ms <= 0 or not self._hit(self.latency_rate):
+            return 0.0
+        with self._lock:
+            jitter = self._rng.uniform(0.0, self.latency_jitter_ms) if self.latency_jitter_ms else 0.0
+        obs.counter("serve.chaos.injected", kind="latency").inc()
+        return (self.latency_ms + jitter) / 1000.0
+
+    def tier_fails(self, tier: str) -> bool:
+        if self.tiers and tier not in self.tiers:
+            return False
+        if not self._hit(self.tier_error_rate):
+            return False
+        obs.counter("serve.chaos.injected", kind="tier_error", tier=tier).inc()
+        return True
+
+    def reset_connection(self) -> bool:
+        if not self._hit(self.reset_rate):
+            return False
+        obs.counter("serve.chaos.injected", kind="reset").inc()
+        return True
+
+    def slowloris(self) -> bool:
+        if not self._hit(self.slowloris_rate):
+            return False
+        obs.counter("serve.chaos.injected", kind="slowloris").inc()
+        return True
+
+    @property
+    def active(self) -> bool:
+        return any(
+            (
+                self.latency_ms > 0,
+                self.tier_error_rate > 0,
+                self.reset_rate > 0,
+                self.slowloris_rate > 0,
+            )
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "latency_ms": self.latency_ms,
+            "latency_rate": self.latency_rate,
+            "latency_jitter_ms": self.latency_jitter_ms,
+            "tier_error_rate": self.tier_error_rate,
+            "tiers": list(self.tiers),
+            "reset_rate": self.reset_rate,
+            "slowloris_rate": self.slowloris_rate,
+            "slowloris_delay_s": self.slowloris_delay_s,
+            "seed": self.seed,
+        }
+
+
+class ChaosTier:
+    """A fitted fallback tier wrapped in fault injection.
+
+    Quacks exactly like the tier the chain calls (``name``, ``locate``,
+    ``locate_many``); per the policy's draw a call raises
+    :class:`ChaosError` instead of running.  Failures therefore enter
+    the chain through the same path a genuinely broken tier would use —
+    the breaker, the decline diagnostics and the metrics cannot tell
+    the difference, which is the point.
+    """
+
+    def __init__(self, tier, policy: ChaosPolicy):
+        self._tier = tier
+        self._policy = policy
+        self.name = getattr(tier, "name", "") or type(tier).__name__
+
+    def locate(self, observation):
+        if self._policy.tier_fails(self.name):
+            raise ChaosError(f"injected fault in tier {self.name}")
+        return self._tier.locate(observation)
+
+    def locate_many(self, observations):
+        if self._policy.tier_fails(self.name):
+            raise ChaosError(f"injected fault in tier {self.name}")
+        return self._tier.locate_many(observations)
+
+    def __getattr__(self, attr):  # pragma: no cover - passthrough plumbing
+        return getattr(self._tier, attr)

@@ -9,6 +9,17 @@ reference, so in-flight requests keep scoring against a consistent
 model and a failed reload leaves the old model serving.  Dispatch
 never takes the reload lock; it reads one attribute.
 
+Resilience: when the model is a fallback chain, each tier runs behind
+a per-tier circuit breaker (:class:`~repro.serve.resilience.TierBreakerBoard`)
+— a tier that keeps *raising* is skipped for a cooldown instead of
+being paid for on every request, and its state rides ``/healthz``.
+The board outlives hot-reloads on purpose: a reload that did not fix
+a wedged tier should not reset its quarantine.  A
+:class:`~repro.serve.resilience.ChaosPolicy` with tier faults wraps
+the fitted tiers in :class:`~repro.serve.resilience.ChaosTier`
+proxies, so injected failures exercise exactly the breaker path real
+failures would.
+
 The service is transport-agnostic: :mod:`repro.serve.http` puts it
 behind HTTP, tests and benches call :meth:`locate_many` directly.
 """
@@ -27,6 +38,7 @@ from repro.algorithms.base import (
 )
 from repro.algorithms.fallback import FallbackLocalizer
 from repro.core.trainingdb import TrainingDatabase
+from repro.serve.resilience import ChaosPolicy, ChaosTier, TierBreakerBoard
 
 __all__ = ["LocalizationService"]
 
@@ -61,6 +73,16 @@ class LocalizationService:
     warm:
         Fit (and thereby precompute every kernel's fitted arrays) at
         construction time so the first request pays nothing.
+    breakers:
+        Per-tier circuit breakers around the fallback chain (default
+        on; pass ``None``/``False`` to disable, or a ready
+        :class:`~repro.serve.resilience.TierBreakerBoard` to share one).
+        With breakers closed the chain's answers are byte-identical to
+        the unguarded chain — the wire-parity suite enforces that.
+    chaos:
+        Optional :class:`~repro.serve.resilience.ChaosPolicy`; when its
+        ``tier_error_rate`` is set, fitted fallback tiers are wrapped
+        in fault-injecting proxies (tests, benches, ``--chaos``).
     """
 
     def __init__(
@@ -70,6 +92,8 @@ class LocalizationService:
         ap_positions: Optional[Dict[str, object]] = None,
         bounds=None,
         warm: bool = True,
+        breakers: Union[TierBreakerBoard, bool, None] = True,
+        chaos: Optional[ChaosPolicy] = None,
     ):
         self.algorithm = algorithm
         self._ap_positions = ap_positions
@@ -78,6 +102,11 @@ class LocalizationService:
         self._model: Optional[_Model] = None
         self._generation = 0
         self._initial: Union[str, TrainingDatabase, None] = database
+        if isinstance(breakers, TierBreakerBoard):
+            self.breaker_board: Optional[TierBreakerBoard] = breakers
+        else:
+            self.breaker_board = TierBreakerBoard() if breakers else None
+        self.chaos = chaos
         if warm:
             self.reload(database)
 
@@ -100,6 +129,12 @@ class LocalizationService:
                 kwargs["bounds"] = self._bounds
         with obs.span("serve.model_fit", algorithm=self.algorithm):
             localizer = make_localizer(self.algorithm, **kwargs).fit(db)
+        if isinstance(localizer, FallbackLocalizer):
+            if self.chaos is not None and self.chaos.tier_error_rate > 0:
+                localizer._fitted = [
+                    ChaosTier(tier, self.chaos) for tier in localizer._fitted
+                ]
+            localizer.tier_guard = self.breaker_board
         self._generation += 1
         return _Model(localizer, db, path, self._generation)
 
@@ -174,3 +209,14 @@ class LocalizationService:
         if not self.loaded:
             return False, "no model loaded"
         return True, self.describe()
+
+    def breaker_health(self):
+        """(ok, detail) for /healthz: per-tier circuit-breaker states.
+
+        Degraded only when every tier's breaker is open (the chain can
+        no longer answer from anywhere); one open breaker is a detail,
+        not an ejection — lower tiers are still serving.
+        """
+        if self.breaker_board is None:
+            return True, "breakers disabled"
+        return self.breaker_board.health()

@@ -138,6 +138,35 @@ class TestAdmissionControl:
             future = b.submit("timely", deadline=clock.monotonic() + 60.0)
             assert future.result(timeout=30) == {"answer": "timely"}
 
+    def test_already_expired_deadline_is_refused_at_enqueue(self):
+        """Dead-on-arrival work must not occupy a bounded-queue slot."""
+        clock = ManualClock()
+        clock.advance(10.0)
+        with MicroBatcher(echo_dispatch, max_batch=4, max_wait_ms=0.0, clock=clock) as b:
+            with pytest.raises(DeadlineExceededError):
+                b.submit("doa", deadline=clock.monotonic() - 0.001)
+            with pytest.raises(DeadlineExceededError):
+                b.submit("exactly-now", deadline=clock.monotonic())
+            assert b.queue_depth() == 0  # nothing was accepted
+            # A live request right after is unaffected.
+            assert b.submit("alive").result(timeout=30) == {"answer": "alive"}
+        snap = obs.snapshot()
+        # Distinct from dispatch-time expiry: a dedicated rejection
+        # counter, and the dispatch-time one untouched.
+        assert snap["counters"]["serve.rejected{batcher=serve,reason=deadline_expired}"] == 2
+        assert "serve.deadline_expired{batcher=serve}" not in snap["counters"]
+
+    def test_drain_rate_ewma_tracks_dispatches(self):
+        clock = ManualClock()
+        with MicroBatcher(echo_dispatch, max_batch=2, max_wait_ms=0.0, clock=clock) as b:
+            assert b.drain_rate() is None  # no inter-dispatch interval yet
+            b.submit("a").result(timeout=30)
+            b._note_drained(10)  # fold a synthetic dispatch in directly
+            clock.advance(1.0)
+            b._note_drained(10)
+        rate = b.drain_rate()
+        assert rate is not None and rate > 0
+
 
 class TestLifecycleAndErrors:
     def test_submit_before_start_and_after_stop_raises(self):

@@ -110,7 +110,9 @@ class TestEndpoints:
             status, _, body = request(server.url + "/healthz")
         report = json.loads(body)
         assert status == 200 and report["status"] == "ok"
-        assert set(report["checks"]) == {"model", "dispatcher", "queue"}
+        assert set(report["checks"]) == {
+            "model", "dispatcher", "queue", "breakers", "lifecycle",
+        }
         assert report["checks"]["model"]["detail"]["algorithm"] == "fallback"
 
     def test_metrics_exposition_carries_serve_series(self, service, observations):
