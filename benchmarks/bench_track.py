@@ -1,0 +1,213 @@
+"""BENCH-TRACK — streaming tracking sessions against a live server.
+
+The tracking-session acceptance criterion: 10k concurrent simulated
+trajectories stepped over ``POST /v1/track/{session}`` must (a) keep
+p99 step latency sane while the measurement passes are coalesced onto
+the vectorized ``locate_many`` kernels, and (b) actually *track* —
+the filtered position must beat the single-shot fix the same response
+carries (``tracking.raw``), scan for scan, on median error.
+
+Each session perturbs a shared template walk with its own RSSI noise,
+so ground truth is known per step and the 10k devices are distinct
+streams, not one request replayed.  Load is closed-loop: W workers,
+each stepping its share of the sessions round-robin, so every session
+interleaves with thousands of others inside the coalescing window —
+the regime the session batcher exists for.
+
+Numbers land machine-readable in ``benchmarks/results/BENCH_TRACK.json``
+alongside the paper-style table.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import threading
+import time
+
+import numpy as np
+from conftest import RESULTS_DIR, record
+from loadgen import observation_doc
+
+from repro.serve import LocalizationHTTPServer, LocalizationService
+from repro.serve.client import ServiceClient
+
+N_SESSIONS = 10_000
+N_WORKERS = 32
+N_TEMPLATES = 8
+STEPS_PER_SESSION = 6
+SESSION_NOISE_DB = 2.0  # per-session RSSI perturbation on the templates
+
+#: Acceptance floors.  p99 is deliberately loose (CI machines vary;
+#: the reference machine sits well under 100 ms); the accuracy floor
+#: is the point of the subsystem — filtering must not *lose* to the
+#: single-shot fix it is built on.
+MAX_P99_MS = 400.0
+MAX_MEDIAN_RATIO = 1.0  # median tracking error / median single-shot error
+
+
+WALK_SPEED_FT_S = 4.0  # per-step displacement at dt_s = 1.0
+
+
+def _template_walks(house, rng):
+    """N short ground-truth walks with their clean observations.
+
+    Walks are straight segments at walking speed — motion the kalman
+    constant-velocity model is built for (a random hop between survey
+    points would be teleportation, which no filter should smooth)."""
+    x0, y0, x1, y1 = house.bounds()
+    margin = 3.0
+    walks = []
+    for _ in range(N_TEMPLATES):
+        while True:
+            start = np.array([rng.uniform(x0 + margin, x1 - margin),
+                              rng.uniform(y0 + margin, y1 - margin)])
+            heading = rng.uniform(0.0, 2.0 * np.pi)
+            step = WALK_SPEED_FT_S * np.array([np.cos(heading), np.sin(heading)])
+            end = start + step * (STEPS_PER_SESSION - 1)
+            if (x0 + margin <= end[0] <= x1 - margin
+                    and y0 + margin <= end[1] <= y1 - margin):
+                break
+        path = [type(house.test_points()[0])(*(start + i * step))
+                for i in range(STEPS_PER_SESSION)]
+        observations = [house.observe(p, rng=int(rng.integers(1 << 30)), dwell_s=2.0)
+                        for p in path]
+        walks.append((path, observations))
+    return walks
+
+
+def _session_docs(walks, session_i, rng):
+    """One device's stream: its template walk + private RSSI noise."""
+    path, observations = walks[session_i % N_TEMPLATES]
+    docs = []
+    for o in observations:
+        samples = o.samples + rng.normal(0.0, SESSION_NOISE_DB, size=o.samples.shape)
+        docs.append(observation_doc(type(o)(samples, o.bssids)))
+    return path, docs
+
+
+def test_track_sessions_at_scale(house, training_db):
+    service = LocalizationService(
+        training_db,
+        ap_positions=house.ap_positions_by_bssid(),
+        bounds=house.bounds(),
+    )
+    rng = np.random.default_rng(7)
+    walks = _template_walks(house, rng)
+    session_seeds = rng.integers(1 << 30, size=N_SESSIONS)
+
+    reports = []
+    track_err = []  # (step_i, error_ft) for the filtered position
+    shot_err = []   # same scans, the raw single-shot fix
+    lock = threading.Lock()
+
+    def worker(worker_i, port):
+        client = ServiceClient(port=port, max_retries=0, timeout_s=60.0)
+        own = range(worker_i, N_SESSIONS, N_WORKERS)
+        streams = {
+            s: _session_docs(walks, s, np.random.default_rng(session_seeds[s]))
+            for s in own
+        }
+        local_reports, local_track, local_shot = [], [], []
+        for step_i in range(STEPS_PER_SESSION):
+            for s in own:
+                path, docs = streams[s]
+                r = client.track(f"dev-{s}", docs[step_i], dt_s=1.0)
+                local_reports.append(r)
+                if r.ok and r.doc.get("valid"):
+                    truth = path[step_i]
+                    pos = r.doc["position"]
+                    local_track.append(
+                        (step_i, truth.distance_to(type(truth)(pos["x"], pos["y"])))
+                    )
+                    raw = r.doc["tracking"]["raw"]
+                    if raw["valid"]:
+                        local_shot.append(
+                            (step_i,
+                             truth.distance_to(type(truth)(raw["x"], raw["y"])))
+                        )
+        with lock:
+            reports.extend(local_reports)
+            track_err.extend(local_track)
+            shot_err.extend(local_shot)
+
+    with LocalizationHTTPServer(
+        service,
+        max_batch=64,
+        max_wait_ms=2.0,
+        max_queue=4096,
+        session_capacity=N_SESSIONS + 2000,
+    ) as server:
+        started = time.monotonic()
+        threads = [
+            threading.Thread(target=worker, args=(w, server.port))
+            for w in range(N_WORKERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.monotonic() - started
+        health = ServiceClient(port=server.port).healthz()
+
+    n_ok = sum(1 for r in reports if r.ok)
+    assert n_ok == N_SESSIONS * STEPS_PER_SESSION, (
+        f"non-ok steps under load: "
+        f"{[(r.category, r.status) for r in reports if not r.ok][:5]}"
+    )
+    occupancy = health.doc["checks"]["sessions"]["detail"]
+    assert occupancy["active"] == N_SESSIONS
+
+    latencies_ms = sorted(1000.0 * r.latency_s for r in reports)
+    p50 = latencies_ms[len(latencies_ms) // 2]
+    p99 = latencies_ms[int(0.99 * (len(latencies_ms) - 1))]
+    rps = len(reports) / wall
+
+    # Accuracy: skip the first scan — the filter has no history yet,
+    # so step 0 *is* the single-shot answer and would dilute both sides.
+    settled_track = [e for i, e in track_err if i >= 1]
+    settled_shot = [e for i, e in shot_err if i >= 1]
+    med_track = statistics.median(settled_track)
+    med_shot = statistics.median(settled_shot)
+    ratio = med_track / med_shot
+
+    lines = [
+        f"{N_SESSIONS} concurrent tracking sessions x {STEPS_PER_SESSION} steps, "
+        f"{N_WORKERS} closed-loop workers",
+        f"steps/s: {rps:.0f}   p50: {p50:.1f} ms   p99: {p99:.1f} ms "
+        f"(floor {MAX_P99_MS:.0f} ms)",
+        f"median error (steps>=2): tracked {med_track:.2f} ft, "
+        f"single-shot {med_shot:.2f} ft  ({ratio:.2f}x, floor {MAX_MEDIAN_RATIO:.2f}x)",
+    ]
+    record("BENCH-TRACK", "\n".join(lines))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_TRACK.json").write_text(
+        json.dumps(
+            {
+                "sessions": N_SESSIONS,
+                "steps_per_session": STEPS_PER_SESSION,
+                "workers": N_WORKERS,
+                "wall_s": round(wall, 3),
+                "steps_per_s": round(rps, 1),
+                "p50_ms": round(p50, 2),
+                "p99_ms": round(p99, 2),
+                "median_tracking_error_ft": round(med_track, 3),
+                "median_single_shot_error_ft": round(med_shot, 3),
+                "tracking_error_ratio": round(ratio, 3),
+                "floors": {"p99_ms": MAX_P99_MS, "error_ratio": MAX_MEDIAN_RATIO},
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    assert p99 <= MAX_P99_MS, (
+        f"p99 step latency {p99:.1f} ms above the {MAX_P99_MS:.0f} ms floor"
+    )
+    assert ratio <= MAX_MEDIAN_RATIO, (
+        f"tracking (median {med_track:.2f} ft) lost to the single-shot fix "
+        f"(median {med_shot:.2f} ft) it filters"
+    )

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.algorithms.base import LocationEstimate, Observation
+from repro.algorithms.base import LocationEstimate, Localizer, Observation
 
 
 class Tracker(abc.ABC):
@@ -14,6 +14,16 @@ class Tracker(abc.ABC):
     Unlike a :class:`~repro.algorithms.base.Localizer`, a tracker owns
     state between observations — "the combination of the historical
     location value and the current signal strength value" (§6.2).
+
+    Trackers whose measurement pass is a static localizer call (the
+    Kalman filter) additionally expose the *measurement split*:
+    :attr:`measurement_localizer` names the localizer and
+    :meth:`step_with_measurement` folds in a measurement computed
+    elsewhere.  The serving layer uses the split to coalesce many
+    concurrent session steps into **one** vectorized ``locate_many``
+    pass instead of N scalar ``locate`` calls; ``step(obs)`` must stay
+    equivalent to ``step_with_measurement(measurement_localizer.
+    locate(obs), obs)`` so batched and unbatched tracks agree exactly.
     """
 
     @abc.abstractmethod
@@ -23,6 +33,29 @@ class Tracker(abc.ABC):
     @abc.abstractmethod
     def step(self, observation: Observation, dt_s: float = 1.0) -> LocationEstimate:
         """Fold in one observation taken ``dt_s`` after the previous one."""
+
+    @property
+    def measurement_localizer(self) -> Optional[Localizer]:
+        """The localizer whose ``locate`` answers are this tracker's
+        measurements, or None when the filter has no separable
+        measurement pass (callers then use :meth:`step` directly)."""
+        return None
+
+    def step_with_measurement(
+        self,
+        measurement: LocationEstimate,
+        observation: Observation,
+        dt_s: float = 1.0,
+    ) -> LocationEstimate:
+        """Fold in one observation whose measurement is already computed.
+
+        ``measurement`` must be ``measurement_localizer.locate(observation)``
+        (or one row of the equivalent ``locate_many``).  Only meaningful
+        on trackers that report a :attr:`measurement_localizer`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no separable measurement pass"
+        )
 
     def track(
         self, observations: Sequence[Observation], dt_s: float = 1.0

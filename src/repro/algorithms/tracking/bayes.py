@@ -16,6 +16,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.base import LocationEstimate, Observation
 from repro.algorithms.histogram import HistogramLocalizer
 from repro.algorithms.probabilistic import ProbabilisticLocalizer
@@ -86,29 +87,96 @@ class DiscreteBayesTracker(Tracker):
         """Current posterior over training points."""
         return self._belief.copy()
 
+    def rebind(self, emission: EmissionModel, db: Optional[TrainingDatabase] = None) -> bool:
+        """Swap the emission model (and optionally the state grid) in place.
+
+        Hot-reload support for serving sessions.  With the same (or a
+        same-size) grid the belief carries over — the track survives the
+        model swap; a grid of a *different* size has no belief mapping,
+        so the filter resets to uniform.  Returns True iff the belief
+        was preserved.
+        """
+        if not hasattr(emission, "log_likelihoods"):
+            raise TypeError(
+                f"emission model {type(emission).__name__} lacks log_likelihoods()"
+            )
+        self.emission = emission
+        if db is None or db is self.db:
+            return True
+        kept = len(db) == len(self.db)
+        self.db = db
+        self._positions = db.positions()
+        diff = self._positions[:, None, :] - self._positions[None, :, :]
+        self._pair_d2 = (diff**2).sum(axis=2)
+        if not kept:
+            self.reset()
+        return kept
+
     def step(self, observation: Observation, dt_s: float = 1.0) -> LocationEstimate:
         if dt_s <= 0:
             raise ValueError(f"dt must be positive, got {dt_s}")
         # Predict.
-        belief = self._belief @ self._transition(dt_s)
+        predicted = self._belief @ self._transition(dt_s)
+        predicted = predicted / predicted.sum()  # renormalize fp drift
+        if not bool(np.isfinite(observation.mean_rssi()).any()):
+            # Zero evidence (nothing heard): the update is a no-op, so
+            # this is a predict-only step and — matching the particle
+            # and Kalman trackers — not a valid fix.
+            self._belief = predicted
+            return self._estimate(valid=False, reason="no APs heard")
         # Update.
-        ll = self.emission.log_likelihoods(observation)
-        ll = ll - ll.max()
-        belief = belief * np.exp(ll)
+        ll = np.asarray(self.emission.log_likelihoods(observation), dtype=float)
+        finite = np.isfinite(ll)
+        if not finite.any():
+            # Degenerate emission (zero probability everywhere, e.g. a
+            # histogram model off its support): ``ll - ll.max()`` would
+            # be NaN and poison the belief permanently.  Keep the
+            # predicted belief instead.
+            obs.counter("tracking.degenerate_updates", tracker="bayes").inc()
+            self._belief = predicted
+            return self._estimate(degenerate=True)
+        lik = np.where(finite, np.exp(np.where(finite, ll - ll[finite].max(), 0.0)), 0.0)
+        belief = predicted * lik
         total = belief.sum()
         if total <= 0 or not np.isfinite(total):
-            # Degenerate update: fall back to the emission alone.
-            belief = np.exp(ll)
+            # Kidnapped-robot fallback: the prediction has no mass where
+            # the emission does — trust the emission alone.
+            belief = lik
             total = belief.sum()
+        if total <= 0 or not np.isfinite(total):
+            obs.counter("tracking.degenerate_updates", tracker="bayes").inc()
+            self._belief = predicted
+            return self._estimate(degenerate=True)
         self._belief = belief / total
+        return self._estimate()
 
+    def _estimate(
+        self, valid: bool = True, degenerate: bool = False, reason: Optional[str] = None
+    ) -> LocationEstimate:
         best = int(np.argmax(self._belief))
         record = self.db.records[best]
         mean_xy = (self._positions * self._belief[:, None]).sum(axis=0)
+        p = self._belief
+        nz = p[p > 0]
+        top = np.argsort(p)[::-1][: min(3, len(p))]
+        # Wire-safe posterior summary (entropy + top-k), not the raw
+        # numpy array — session responses carry these details as JSON.
+        details = {
+            "map_point": record.name,
+            "posterior_entropy": float(-(nz * np.log(nz)).sum()),
+            "top_k": [
+                {"point": self.db.records[int(i)].name, "p": float(p[int(i)])}
+                for i in top
+            ],
+        }
+        if degenerate:
+            details["degenerate_update"] = True
+        if reason is not None:
+            details["reason"] = reason
         return LocationEstimate(
             position=Point(float(mean_xy[0]), float(mean_xy[1])),
             location_name=record.name,
-            score=float(self._belief[best]),
-            valid=True,
-            details={"map_point": record.name, "posterior": self._belief.copy()},
+            score=float(p[best]),
+            valid=valid,
+            details=details,
         )

@@ -10,6 +10,7 @@ invalid answers are handled as missed measurements — predict only).
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
@@ -17,6 +18,26 @@ import numpy as np
 from repro.algorithms.base import LocationEstimate, Localizer, Observation
 from repro.algorithms.tracking.base import Tracker
 from repro.core.geometry import Point
+
+
+def _raw_fix(measurement: LocationEstimate) -> dict:
+    """JSON-safe summary of the static localizer's fix: plain floats only."""
+    score = measurement.score
+    if score is not None:
+        score = float(score)
+        if not math.isfinite(score):
+            score = None
+    raw = {
+        "valid": bool(measurement.valid),
+        "x": None,
+        "y": None,
+        "location_name": measurement.location_name,
+        "score": score,
+    }
+    if measurement.position is not None:
+        raw["x"] = float(measurement.position.x)
+        raw["y"] = float(measurement.position.y)
+    return raw
 
 
 class KalmanTracker(Tracker):
@@ -71,10 +92,39 @@ class KalmanTracker(Tracker):
 
     _H = np.array([[1.0, 0, 0, 0], [0, 1.0, 0, 0]])
 
+    @property
+    def measurement_localizer(self) -> Localizer:
+        """The wrapped static localizer (the separable measurement pass)."""
+        return self.localizer
+
+    def rebind(self, localizer: Localizer) -> bool:
+        """Swap the measurement localizer in place, keeping filter state.
+
+        Hot-reload support for serving sessions: the state ``[x, y, vx,
+        vy]`` and covariance survive a model swap (the track does not
+        restart mid-walk); only future measurements come from the new
+        model.  Returns True (the state was preserved).
+        """
+        self.localizer = localizer
+        return True
+
+    def measure(self, observation: Observation) -> LocationEstimate:
+        """The measurement pass alone: one static fix for ``observation``."""
+        return self.localizer.locate(observation)
+
     def step(self, observation: Observation, dt_s: float = 1.0) -> LocationEstimate:
         if dt_s <= 0:
             raise ValueError(f"dt must be positive, got {dt_s}")
-        measurement = self.localizer.locate(observation)
+        return self.step_with_measurement(self.measure(observation), observation, dt_s)
+
+    def step_with_measurement(
+        self,
+        measurement: LocationEstimate,
+        observation: Observation,
+        dt_s: float = 1.0,
+    ) -> LocationEstimate:
+        if dt_s <= 0:
+            raise ValueError(f"dt must be positive, got {dt_s}")
         z = (
             np.array([measurement.position.x, measurement.position.y])
             if measurement.valid and measurement.position is not None
@@ -113,9 +163,12 @@ class KalmanTracker(Tracker):
             score=-float(np.trace(self._P[:2, :2])),
             valid=True,
             details={
-                "velocity_ft_s": (float(self._x[2]), float(self._x[3])),
-                "position_var_ft2": (float(self._P[0, 0]), float(self._P[1, 1])),
-                "raw_measurement": measurement,
+                "velocity_ft_s": [float(self._x[2]), float(self._x[3])],
+                "position_var_ft2": [float(self._P[0, 0]), float(self._P[1, 1])],
+                # Wire-safe summary of the static fix this step fused (the
+                # canonical JSON codec must be able to carry it; a nested
+                # LocationEstimate full of numpy internals cannot ride).
+                "raw": _raw_fix(measurement),
             },
         )
 
@@ -182,7 +235,7 @@ class KalmanTracker(Tracker):
                 score=-float(np.trace(sP[t][:2, :2])),
                 valid=True,
                 details={
-                    "velocity_ft_s": (float(sx[t][2]), float(sx[t][3])),
+                    "velocity_ft_s": [float(sx[t][2]), float(sx[t][3])],
                     "smoothed": True,
                 },
             )

@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.base import LocationEstimate, Observation
 from repro.algorithms.tracking.base import Tracker
 from repro.core.geometry import Point
@@ -116,6 +117,12 @@ class ParticleFilterTracker(Tracker):
         )
         self._weights = np.full(n, 1.0 / n)
 
+    def rebind(self, field: RSSIField) -> bool:
+        """Swap the radio map in place (hot reload), keeping the particle
+        cloud — the track survives a model swap.  Returns True."""
+        self.field = field
+        return True
+
     def _reflect(self) -> None:
         x0, y0, x1, y1 = self.bounds
         p = self._particles
@@ -148,16 +155,17 @@ class ParticleFilterTracker(Tracker):
         self._reflect()
 
         # Emission: Gaussian around the interpolated radio map.
-        obs = observation.mean_rssi()
-        heard = np.isfinite(obs)
+        rssi = observation.mean_rssi()
+        heard = np.isfinite(rssi)
         if heard.any():
             expected = self.field.expected_rssi(self._particles)  # (n, A)
-            z = (obs[None, heard] - expected[:, heard]) / self.field.sigma_db[None, heard]
+            z = (rssi[None, heard] - expected[:, heard]) / self.field.sigma_db[None, heard]
             loglik = -0.5 * (z**2).sum(axis=1)
             loglik -= loglik.max()
             self._weights = self._weights * np.exp(loglik)
             total = self._weights.sum()
             if total <= 0 or not np.isfinite(total):
+                obs.counter("tracking.degenerate_updates", tracker="particle").inc()
                 self._weights = np.full(self.n_particles, 1.0 / self.n_particles)
             else:
                 self._weights /= total

@@ -647,6 +647,10 @@ def _serve_cmd(args: argparse.Namespace) -> int:
         _fail(f"--max-wait-ms must be >= 0, got {args.max_wait_ms}")
     if args.max_queue < 1:
         _fail(f"--max-queue must be >= 1, got {args.max_queue}")
+    if args.session_capacity < 1:
+        _fail(f"--session-capacity must be >= 1, got {args.session_capacity}")
+    if args.session_ttl_s <= 0:
+        _fail(f"--session-ttl-s must be > 0, got {args.session_ttl_s}")
 
     ap_positions = None
     bounds = None
@@ -688,6 +692,9 @@ def _serve_cmd(args: argparse.Namespace) -> int:
         p99_limit_ms=args.p99_limit_ms,
         chaos=chaos,
         drain_deadline_s=args.drain_deadline_s,
+        track_filter=args.track_filter,
+        session_capacity=args.session_capacity,
+        session_ttl_s=args.session_ttl_s,
     )
     server.start()
     # SIGTERM must end with a graceful drain, not a mid-request kill:
@@ -712,6 +719,12 @@ def _serve_cmd(args: argparse.Namespace) -> int:
             f"resilience: breakers={'off' if args.no_breakers else 'on'} "
             f"p99_limit_ms={args.p99_limit_ms} "
             f"drain_deadline_s={args.drain_deadline_s}",
+            flush=True,
+        )
+        print(
+            f"tracking: filter={args.track_filter} "
+            f"session_capacity={args.session_capacity} "
+            f"session_ttl_s={args.session_ttl_s}",
             flush=True,
         )
         if chaos is not None:
@@ -969,6 +982,19 @@ def repro_main(argv: Optional[Sequence[str]] = None) -> int:
         "--drain-deadline-s", type=float, default=10.0, metavar="S",
         help="graceful drain (SIGTERM or POST /admin/drain): wait up to S "
         "seconds for in-flight requests before reporting them unfinished",
+    )
+    serve.add_argument(
+        "--track-filter", choices=("kalman", "bayes", "particle"),
+        default="kalman",
+        help="which filter /v1/track/{session} sessions run",
+    )
+    serve.add_argument(
+        "--session-capacity", type=int, default=10000, metavar="N",
+        help="bound on live tracking sessions (LRU eviction beyond it)",
+    )
+    serve.add_argument(
+        "--session-ttl-s", type=float, default=300.0, metavar="S",
+        help="idle tracking sessions expire after S seconds without a scan",
     )
     serve.add_argument(
         "--no-breakers", action="store_true",

@@ -22,6 +22,11 @@ of the serving substrate:
   ``POST /v1/locate``, ``POST /v1/locate/batch``, ``GET /healthz``,
   ``GET /metrics``, ``POST /admin/reload``; 429 + ``Retry-After`` on
   overflow; full :mod:`repro.obs` instrumentation.
+* :mod:`repro.serve.sessions` — stateful tracking sessions
+  (:class:`TrackingSessions`): a bounded TTL+LRU :class:`SessionStore`
+  of live filters (kalman / bayes / particle) behind
+  ``POST/GET/DELETE /v1/track/{session}``, with concurrent session
+  steps coalesced onto one vectorized measurement pass.
 * :mod:`repro.serve.resilience` — the degraded-conditions substrate:
   per-tier circuit breakers (:class:`TierBreakerBoard`), adaptive
   admission control (:class:`AdmissionController`, priority classes,
@@ -40,6 +45,7 @@ docs/resilience.md the overload/breaker/drain behaviour.
 """
 
 from repro.serve.batcher import (
+    BatchFailure,
     DeadlineExceededError,
     MicroBatcher,
     QueueFullError,
@@ -57,15 +63,25 @@ from repro.serve.resilience import (
     compute_retry_after_s,
 )
 from repro.serve.service import LocalizationService
+from repro.serve.sessions import (
+    SessionClosedError,
+    SessionStore,
+    TrackerFactory,
+    TrackingSession,
+    TrackingSessions,
+    UnknownSessionError,
+)
 from repro.serve.wire import (
     WireError,
     canonical_json,
     estimate_to_json,
     observation_from_json,
+    track_estimate_to_json,
 )
 
 __all__ = [
     "AdmissionController",
+    "BatchFailure",
     "ChaosError",
     "ChaosPolicy",
     "CircuitBreaker",
@@ -80,11 +96,18 @@ __all__ = [
     "QueueFullError",
     "RetryBudget",
     "ServiceClient",
+    "SessionClosedError",
+    "SessionStore",
     "SystemClock",
     "TierBreakerBoard",
+    "TrackerFactory",
+    "TrackingSession",
+    "TrackingSessions",
+    "UnknownSessionError",
     "WireError",
     "canonical_json",
     "compute_retry_after_s",
     "estimate_to_json",
     "observation_from_json",
+    "track_estimate_to_json",
 ]

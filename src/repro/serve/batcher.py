@@ -42,7 +42,7 @@ from typing import Any, Callable, Deque, List, Optional, Sequence
 from repro import obs
 from repro.serve.clock import SystemClock
 
-__all__ = ["MicroBatcher", "QueueFullError", "DeadlineExceededError"]
+__all__ = ["BatchFailure", "MicroBatcher", "QueueFullError", "DeadlineExceededError"]
 
 
 class QueueFullError(RuntimeError):
@@ -51,6 +51,22 @@ class QueueFullError(RuntimeError):
 
 class DeadlineExceededError(RuntimeError):
     """The request's deadline passed before it could be dispatched."""
+
+
+class BatchFailure:
+    """A per-item failure inside an otherwise-successful dispatch.
+
+    A dispatch may return ``BatchFailure(exc)`` at position *i* to
+    resolve request *i*'s future with ``exc`` while the rest of the
+    batch completes normally — the tracking-session dispatcher uses
+    this so one closed session cannot fail a whole coalesced batch.
+    A dispatch that *raises* still fails every request in the batch.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException):
+        self.error = error
 
 
 class _Request:
@@ -296,5 +312,8 @@ class MicroBatcher:
                 self._note_drained(len(batch))
                 continue
             for req, result in zip(live, results):
-                req.future.set_result(result)
+                if isinstance(result, BatchFailure):
+                    req.future.set_exception(result.error)
+                else:
+                    req.future.set_result(result)
             self._note_drained(len(batch))

@@ -320,6 +320,29 @@ class ServiceClient:
                             {"observations": list(observation_docs)},
                             deadline_ms=deadline_ms)
 
+    def track(self, session_id: str, observation_doc: Dict[str, object],
+              dt_s: Optional[float] = None,
+              deadline_ms: Optional[float] = None) -> ClientReport:
+        """One tracking-session step (``POST /v1/track/{session}``).
+
+        Note the retry semantics: a retried step is *at-least-once* —
+        a transport error after the server applied the scan re-applies
+        it on retry.  Filters tolerate a duplicated scan gracefully
+        (it is one more measurement), but sequence-sensitive callers
+        should set ``max_retries=0``.
+        """
+        doc = dict(observation_doc)
+        if dt_s is not None:
+            doc["dt_s"] = dt_s
+        return self.request("POST", f"/v1/track/{session_id}", doc,
+                            deadline_ms=deadline_ms)
+
+    def track_status(self, session_id: str) -> ClientReport:
+        return self.request("GET", f"/v1/track/{session_id}")
+
+    def track_close(self, session_id: str) -> ClientReport:
+        return self.request("DELETE", f"/v1/track/{session_id}")
+
     def healthz(self) -> ClientReport:
         return self.request("GET", "/healthz")
 

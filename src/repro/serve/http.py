@@ -15,6 +15,12 @@ HTTP/1.1 server and a :class:`~repro.serve.batcher.MicroBatcher`:
 * ``POST /v1/locate/batch`` — ``{"observations": [...]}``; already a
   batch, so it goes straight through the vectorized engine.  Sheds
   first under pressure (bulk priority class).
+* ``POST /v1/track/{session}`` — one scan into a *stateful* tracking
+  session (see :mod:`repro.serve.sessions`): first POST creates the
+  session's filter, every POST rides the ``track`` micro-batcher so
+  concurrent sessions share one vectorized measurement pass.  Same
+  deadline and admission semantics as ``/v1/locate``.  ``GET`` reads
+  the current estimate, ``DELETE`` closes the session (exactly once).
 * ``GET /healthz`` — model / dispatcher / queue-headroom / breaker /
   lifecycle checks plus any caller-registered ones, same report shape
   as :class:`~repro.obs.server.ObsServer` (200 ok / 503 degraded; a
@@ -48,6 +54,7 @@ bit-for-bit what a direct ``locate_many`` caller would encode.
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -65,11 +72,17 @@ from repro.serve.resilience import (
     compute_retry_after_s,
 )
 from repro.serve.service import LocalizationService
+from repro.serve.sessions import (
+    SessionClosedError,
+    TrackingSessions,
+    UnknownSessionError,
+)
 from repro.serve.wire import (
     WireError,
     canonical_json,
     estimate_to_json,
     observation_from_json,
+    track_estimate_to_json,
 )
 
 __all__ = ["LocalizationHTTPServer"]
@@ -81,8 +94,16 @@ __all__ = ["LocalizationHTTPServer"]
 DEADLINE_HEADER = "X-Deadline-Ms"
 
 #: Endpoints that carry localization traffic (shed / drained / chaos'd);
-#: everything else is control plane and always answered.
-DATA_PLANE = frozenset({"locate", "locate_batch"})
+#: everything else is control plane and always answered.  Track *reads*
+#: (GET) and closes (DELETE) stay control plane so clients can fetch a
+#: last estimate and clean up even while an instance drains.
+DATA_PLANE = frozenset({"locate", "locate_batch", "track"})
+
+#: Path prefix of the tracking-session endpoints.
+TRACK_PREFIX = "/v1/track/"
+
+#: Session ids are client-chosen path segments; keep them boring.
+_SESSION_ID_RE = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
 
 #: Hard cap on request bodies (a locate document is a few KB; anything
 #: near this is a mistake or an attack).
@@ -185,6 +206,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self):  # noqa: N802 - http.server API
         self._route("POST")
 
+    def do_DELETE(self):  # noqa: N802 - http.server API
+        self._route("DELETE")
+
     def _route(self, method: str) -> None:
         owner = self.server.owner
         self._body_read = False  # per-request: the handler instance spans a connection
@@ -200,12 +224,26 @@ class _Handler(BaseHTTPRequestHandler):
             ("GET", "/"): ("index", owner._handle_index),
         }
         entry = routes.get((method, path))
+        if entry is None and path.startswith(TRACK_PREFIX) and len(path) > len(TRACK_PREFIX):
+            session_id = path[len(TRACK_PREFIX):]
+            track_routes = {
+                "POST": ("track", owner._handle_track_step),
+                "GET": ("track_status", owner._handle_track_get),
+                "DELETE": ("track_close", owner._handle_track_close),
+            }
+            if method in track_routes:
+                endpoint_name, track_handler = track_routes[method]
+                entry = (
+                    endpoint_name,
+                    lambda h, _f=track_handler, _sid=session_id: _f(h, _sid),
+                )
         trickle_s = 0.0
         if entry is None:
             endpoint = "unknown"
+            known = sorted({p for _, p in routes} | {TRACK_PREFIX + "{session}"})
             status, body, content_type, headers = (
                 404,
-                canonical_json({"error": "not_found", "paths": sorted(p for _, p in routes)}),
+                canonical_json({"error": "not_found", "paths": known}),
                 "application/json",
                 {},
             )
@@ -304,6 +342,12 @@ class LocalizationHTTPServer:
     drain_deadline_s:
         Default bound on how long :meth:`drain` waits for in-flight
         requests before reporting them unfinished.
+    track_filter, session_capacity, session_ttl_s:
+        Tracking-session knobs: which filter ``/v1/track`` sessions run
+        (kalman / bayes / particle), the session-store bound (LRU
+        evicts beyond it) and the idle TTL.  Alternatively pass a ready
+        :class:`~repro.serve.sessions.TrackingSessions` as ``sessions``
+        (tests inject manual clocks this way) and these are ignored.
 
     Use as a context manager or ``start()``/``stop()``.
     """
@@ -333,6 +377,10 @@ class LocalizationHTTPServer:
         p99_limit_ms: Optional[float] = None,
         chaos: Optional[ChaosPolicy] = None,
         drain_deadline_s: float = 10.0,
+        track_filter: str = "kalman",
+        session_capacity: int = 10000,
+        session_ttl_s: float = 300.0,
+        sessions: Optional[TrackingSessions] = None,
     ):
         self.service = service
         self.host = host
@@ -353,11 +401,24 @@ class LocalizationHTTPServer:
             clock=self._clock,
             name="http",
         )
+        # Stateful tracking sessions share the batching knobs and (by
+        # default) the clock, so deadline math is one coordinate system.
+        self.sessions = sessions if sessions is not None else TrackingSessions(
+            service,
+            kind=track_filter,
+            capacity=session_capacity,
+            ttl_s=session_ttl_s,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_queue=max_queue,
+            clock=self._clock,
+        )
         self._checks: List[Tuple[str, HealthCheck]] = [
             ("model", service.health_check),
             ("dispatcher", self._dispatcher_check),
             ("queue", self._queue_check),
             ("breakers", service.breaker_health),
+            ("sessions", self._sessions_check),
             ("lifecycle", self._lifecycle_check),
         ]
         self._httpd: Optional[LocalizationHTTPServer._HTTPServer] = None
@@ -382,6 +443,13 @@ class LocalizationHTTPServer:
         depth, cap = self.batcher.queue_depth(), self.batcher.max_queue
         return depth < cap, {"depth": depth, "capacity": cap}
 
+    def _sessions_check(self):
+        """Session-store occupancy (+ the track dispatcher's liveness)."""
+        ok, detail = self.sessions.health_check()
+        if not self._draining and self._httpd is not None:
+            ok = ok and self.sessions.alive
+        return ok, detail
+
     def _lifecycle_check(self):
         if self._draining:
             # Deliberately unhealthy: a draining instance must drop out
@@ -400,6 +468,7 @@ class LocalizationHTTPServer:
             raise RuntimeError("LocalizationHTTPServer already started")
         self.service.model()  # fail fast: no point binding without a model
         self.batcher.start()
+        self.sessions.start()
         httpd = LocalizationHTTPServer._HTTPServer(
             (self.host, self._requested_port), _Handler
         )
@@ -423,6 +492,7 @@ class LocalizationHTTPServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
         self.batcher.stop()
+        self.sessions.stop()
         self._httpd = None
         self._thread = None
 
@@ -528,8 +598,10 @@ class LocalizationHTTPServer:
                 self._inflight_cond.wait(timeout=min(remaining, 0.05))
             unfinished = self._inflight
         if not already:
-            # Drains the accepted backlog: every queued future resolves.
+            # Drains the accepted backlog: every queued future resolves,
+            # including queued tracking-session steps.
             self.batcher.stop()
+            self.sessions.stop()
         report: Dict[str, object] = {
             "drained": unfinished == 0,
             "waited_s": round(time.monotonic() - t0, 4),
@@ -647,6 +719,111 @@ class LocalizationHTTPServer:
         )
         return 200, body, "application/json", {}
 
+    # -- tracking sessions ----------------------------------------------
+    @staticmethod
+    def _check_session_id(session_id: str) -> None:
+        if not _SESSION_ID_RE.match(session_id):
+            raise _ApiError(
+                400, "bad_session_id",
+                "session ids are 1-128 chars of [A-Za-z0-9._:-]",
+            )
+
+    def _track_retry_after_s(self) -> int:
+        return compute_retry_after_s(
+            self.sessions.batcher.queue_depth(),
+            drain_rate=self.sessions.batcher.drain_rate(),
+            max_batch=self.sessions.batcher.max_batch,
+            max_wait_s=self.sessions.batcher.max_wait_s,
+            floor_s=self.retry_after_s,
+        )
+
+    def _handle_track_step(self, handler: _Handler, session_id: str) -> _Route:
+        self._check_session_id(session_id)
+        shed = self.admission.admit(Priority.NORMAL, self.sessions.batcher.queue_depth())
+        if shed is not None:
+            raise self._shed(shed)
+        doc = handler._read_json()
+        try:
+            observation = observation_from_json(doc)
+        except WireError as exc:
+            raise _ApiError(400, "bad_observation", str(exc)) from None
+        dt_s = None
+        if isinstance(doc, dict) and doc.get("dt_s") is not None:
+            try:
+                dt_s = float(doc["dt_s"])
+            except (TypeError, ValueError):
+                raise _ApiError(400, "bad_dt",
+                                f"dt_s not a number: {doc['dt_s']!r}") from None
+            if dt_s <= 0:
+                raise _ApiError(400, "bad_dt", f"dt_s must be > 0, got {doc['dt_s']}")
+        budget_s = self._deadline_from(handler, doc if isinstance(doc, dict) else None)
+        # Deadlines live on the *track* batcher's clock (the default
+        # construction shares the server clock, so they coincide).
+        deadline = (
+            None if budget_s is None else self.sessions.clock.monotonic() + budget_s
+        )
+        if self.chaos is not None:
+            chaos_s = self.chaos.dispatch_latency_s()
+            if chaos_s > 0:
+                time.sleep(chaos_s)
+        try:
+            future, created = self.sessions.step(
+                session_id, observation, dt_s, deadline=deadline
+            )
+        except DeadlineExceededError as exc:
+            raise _ApiError(504, "deadline_exceeded", str(exc)) from None
+        except QueueFullError as exc:
+            retry_after = self._track_retry_after_s()
+            err = _ApiError(429, "queue_full", str(exc), retry_after_s=retry_after)
+            err.headers["Retry-After"] = str(retry_after)
+            raise err from None
+        try:
+            estimate, seq = future.result(
+                timeout=None if budget_s is None else budget_s + 30.0
+            )
+        except DeadlineExceededError as exc:
+            raise _ApiError(504, "deadline_exceeded", str(exc)) from None
+        except SessionClosedError as exc:
+            # Closed (delete/TTL/LRU) between enqueue and apply: the
+            # scan was NOT applied; 410 tells the client its session is
+            # gone for good (vs the 404 of an id that never existed).
+            raise _ApiError(410, "session_closed", str(exc)) from None
+        body = canonical_json(
+            track_estimate_to_json(estimate, session_id, seq, created=created)
+        )
+        return 200, body, "application/json", {}
+
+    def _handle_track_get(self, handler: _Handler, session_id: str) -> _Route:
+        self._check_session_id(session_id)
+        try:
+            estimate, seq = self.sessions.current(session_id)
+        except UnknownSessionError as exc:
+            raise _ApiError(404, "unknown_session", str(exc)) from None
+        if estimate is None:
+            doc: Dict[str, object] = {
+                "valid": False,
+                "position": None,
+                "location_name": None,
+                "score": None,
+                "reason": "no scans applied yet",
+                "session": {"id": session_id, "seq": 0, "created": False},
+            }
+        else:
+            doc = track_estimate_to_json(estimate, session_id, seq)
+        return 200, canonical_json(doc), "application/json", {}
+
+    def _handle_track_close(self, handler: _Handler, session_id: str) -> _Route:
+        self._check_session_id(session_id)
+        try:
+            report = self.sessions.close(session_id)
+        except UnknownSessionError as exc:
+            # Also the answer for a *second* DELETE: close is exactly-once.
+            raise _ApiError(404, "unknown_session", str(exc)) from None
+        body = canonical_json(
+            {"closed": True, "session": {"id": session_id, "seq": report["steps"]}}
+        )
+        return 200, body, "application/json", {}
+
     def _handle_reload(self, handler: _Handler) -> _Route:
         length = int(handler.headers.get("Content-Length") or 0)
         database = None
@@ -661,7 +838,15 @@ class LocalizationHTTPServer:
             raise _ApiError(
                 500, "reload_failed", f"{type(exc).__name__}: {exc}", serving="previous model",
             ) from None
-        return 200, canonical_json({"reloaded": True, "model": info}), "application/json", {}
+        # Live tracking sessions follow the swap coherently: each filter
+        # re-binds to the new generation, keeping its state where it can.
+        rebound = self.sessions.rebind()
+        return (
+            200,
+            canonical_json({"reloaded": True, "model": info, "sessions": rebound}),
+            "application/json",
+            {},
+        )
 
     def _handle_drain(self, handler: _Handler) -> _Route:
         deadline_s = None
@@ -714,9 +899,17 @@ class LocalizationHTTPServer:
                 "max_wait_ms": 1000.0 * self.batcher.max_wait_s,
                 "max_queue": self.batcher.max_queue,
             },
+            "tracking": {
+                "filter": self.sessions.kind,
+                "session_capacity": self.sessions.store.capacity,
+                "session_ttl_s": self.sessions.store.ttl_s,
+            },
             "endpoints": [
                 "POST /v1/locate",
                 "POST /v1/locate/batch",
+                "POST /v1/track/{session}",
+                "GET /v1/track/{session}",
+                "DELETE /v1/track/{session}",
                 "POST /admin/reload",
                 "POST /admin/drain",
                 "GET /healthz",

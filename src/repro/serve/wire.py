@@ -38,6 +38,7 @@ __all__ = [
     "observation_from_json",
     "estimate_to_json",
     "estimates_to_json",
+    "track_estimate_to_json",
     "canonical_json",
 ]
 
@@ -124,6 +125,57 @@ def estimate_to_json(estimate: LocationEstimate) -> Dict[str, object]:
 
 def estimates_to_json(estimates) -> List[Dict[str, object]]:
     return [estimate_to_json(e) for e in estimates]
+
+
+def _json_safe(value: object) -> object:
+    """Total projection of a details value into strict JSON.
+
+    The trackers emit JSON-safe details by construction (that is
+    test-enforced); this projection is the codec's safety net — numpy
+    scalars become Python numbers, arrays become lists, non-finite
+    floats become null, and anything else serializes as its ``str``
+    rather than crashing the response.
+    """
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return _clean_float(float(value))
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_json_safe(v) for v in value.tolist()]
+    return str(value)
+
+
+def track_estimate_to_json(
+    estimate: LocationEstimate,
+    session_id: str,
+    seq: int,
+    created: bool = False,
+) -> Dict[str, object]:
+    """Encode one tracking-session estimate as a JSON-safe document.
+
+    Same answer schema as :func:`estimate_to_json` plus ``tracking``
+    (the filter's details — velocity / covariance / raw fix for the
+    Kalman filter, posterior entropy and top-k for the discrete Bayes
+    filter, ESS and spread for the particle filter) and the ``session``
+    envelope: id, ``seq`` (1-based count of scans applied) and whether
+    this request ``created`` the session.
+    """
+    doc = estimate_to_json(estimate)
+    doc["tracking"] = _json_safe(dict(estimate.details))
+    doc["session"] = {
+        "id": str(session_id),
+        "seq": int(seq),
+        "created": bool(created),
+    }
+    return doc
 
 
 def canonical_json(doc: object) -> bytes:

@@ -111,8 +111,9 @@ class TestEndpoints:
         report = json.loads(body)
         assert status == 200 and report["status"] == "ok"
         assert set(report["checks"]) == {
-            "model", "dispatcher", "queue", "breakers", "lifecycle",
+            "model", "dispatcher", "queue", "breakers", "sessions", "lifecycle",
         }
+        assert report["checks"]["sessions"]["detail"]["active"] == 0
         assert report["checks"]["model"]["detail"]["algorithm"] == "fallback"
 
     def test_metrics_exposition_carries_serve_series(self, service, observations):
@@ -333,3 +334,125 @@ class TestLifecycle:
         assert status == 503
         assert report["status"] == "degraded"
         assert report["checks"]["dispatcher"]["ok"] is False
+
+
+class TestTrackingSessionsHTTP:
+    def test_post_creates_steps_and_reports_sequence(self, service, observations):
+        with LocalizationHTTPServer(service) as server:
+            url = server.url + "/v1/track/dev-1"
+            status, headers, body = request(url, "POST", observation_doc(observations[0]))
+            first = json.loads(body)
+            status2, _, body2 = request(url, "POST", observation_doc(observations[1]))
+            second = json.loads(body2)
+        assert status == 200 and status2 == 200
+        assert headers["Content-Type"] == "application/json"
+        assert first["session"] == {"id": "dev-1", "seq": 1, "created": True}
+        assert second["session"] == {"id": "dev-1", "seq": 2, "created": False}
+        assert first["valid"] is True and {"x", "y"} == set(first["position"])
+        assert "raw" in first["tracking"]  # kalman details ride along
+        counters = obs.snapshot()["counters"]
+        assert counters["serve.http_requests{code=200,endpoint=track}"] == 2
+        assert counters["serve.sessions.created"] == 1
+        assert counters["serve.track.steps"] == 2
+
+    def test_get_before_and_after_steps(self, service, observations):
+        with LocalizationHTTPServer(service) as server:
+            url = server.url + "/v1/track/dev-1"
+            request(url, "POST", observation_doc(observations[0]))  # create
+            status, _, body = request(url)
+            stepped = json.loads(body)
+            status_new, _, body_new = request(server.url + "/v1/track/never-stepped")
+        assert status == 200
+        assert stepped["session"]["seq"] == 1 and stepped["valid"] is True
+        # GET never creates: an unknown id is 404, not an empty session.
+        assert status_new == 404
+        assert json.loads(body_new)["error"] == "unknown_session"
+
+    def test_delete_closes_exactly_once(self, service, observations):
+        with LocalizationHTTPServer(service) as server:
+            url = server.url + "/v1/track/dev-1"
+            request(url, "POST", observation_doc(observations[0]))
+            status, _, body = request(url, "DELETE")
+            doc = json.loads(body)
+            again, _, again_body = request(url, "DELETE")
+            after, _, _ = request(url)
+        assert status == 200
+        assert doc == {"closed": True, "session": {"id": "dev-1", "seq": 1}}
+        assert again == 404  # idempotent-delete contract
+        assert json.loads(again_body)["error"] == "unknown_session"
+        assert after == 404  # and it is gone for reads too
+
+    def test_bad_session_id_and_bad_dt_are_400(self, service, observations):
+        with LocalizationHTTPServer(service) as server:
+            status_id, _, body_id = request(
+                server.url + "/v1/track/bad!id", "POST", observation_doc(observations[0])
+            )
+            status_dt, _, body_dt = request(
+                server.url + "/v1/track/dev-1", "POST",
+                observation_doc(observations[0], dt_s=-1.0),
+            )
+        assert status_id == 400
+        assert json.loads(body_id)["error"] == "bad_session_id"
+        assert status_dt == 400
+        assert json.loads(body_dt)["error"] == "bad_dt"
+
+    def test_healthz_and_index_surface_session_occupancy(self, service, observations):
+        with LocalizationHTTPServer(service, session_capacity=77) as server:
+            request(server.url + "/v1/track/dev-1", "POST", observation_doc(observations[0]))
+            _, _, health = request(server.url + "/healthz")
+            _, _, index = request(server.url + "/")
+        detail = json.loads(health)["checks"]["sessions"]["detail"]
+        assert detail["active"] == 1 and detail["capacity"] == 77
+        assert detail["filter"] == "kalman"
+        card = json.loads(index)
+        assert card["tracking"]["session_capacity"] == 77
+        assert "POST /v1/track/{session}" in card["endpoints"]
+
+    def test_ttl_expiry_over_http(self, service, observations):
+        from repro.serve import TrackingSessions
+
+        clock = ManualClock()
+        sessions = TrackingSessions(service, ttl_s=30.0, clock=clock)
+        with LocalizationHTTPServer(service, sessions=sessions) as server:
+            url = server.url + "/v1/track/dev-1"
+            status, _, _ = request(url, "POST", observation_doc(observations[0]))
+            assert status == 200
+            clock.advance(30.0)
+            gone, _, body = request(url)
+            _, _, health = request(server.url + "/healthz")
+        assert gone == 404
+        assert json.loads(body)["error"] == "unknown_session"
+        assert json.loads(health)["checks"]["sessions"]["detail"]["active"] == 0
+        assert obs.snapshot()["counters"]["serve.sessions.expired"] == 1
+
+    def test_reload_rebinds_live_sessions(self, service, observations):
+        with LocalizationHTTPServer(service) as server:
+            url = server.url + "/v1/track/dev-1"
+            request(url, "POST", observation_doc(observations[0]))
+            status, _, body = request(server.url + "/admin/reload", "POST", {})
+            doc = json.loads(body)
+            # The session survived the generation swap and keeps counting.
+            status_step, _, body_step = request(
+                url, "POST", observation_doc(observations[1])
+            )
+        assert status == 200 and doc["reloaded"] is True
+        assert doc["sessions"] == {"sessions": 1, "kept": 1, "reset": 0}
+        assert status_step == 200
+        assert json.loads(body_step)["session"]["seq"] == 2
+
+    def test_track_deadline_already_expired_is_504(self, service, observations):
+        """A dead-on-arrival ``X-Deadline-Ms`` budget 504s before any
+        tracker time is spent, same contract as ``/v1/locate``."""
+        with LocalizationHTTPServer(service) as server:
+            data = json.dumps(observation_doc(observations[0])).encode("utf-8")
+            req = urllib.request.Request(
+                server.url + "/v1/track/dev-1", data=data, method="POST",
+                headers={"X-Deadline-Ms": "0"},
+            )
+            try:
+                with urllib.request.urlopen(req, timeout=60) as r:
+                    status, body = r.status, r.read()
+            except urllib.error.HTTPError as e:
+                status, body = e.code, e.read()
+        assert status == 504
+        assert json.loads(body)["error"] == "deadline_exceeded"

@@ -1,0 +1,521 @@
+"""The serving-side tracking engine: store lifecycle, batched stepping.
+
+Everything here is tier-1 — no sockets.  The store tests drive time
+with :class:`ManualClock`; the concurrency test races real threads but
+synchronizes on futures, not sleeps.  The HTTP surface over this
+engine is covered in ``test_serve_http.py`` (service tier).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.algorithms.base import Observation
+from repro.algorithms.knn import KNNLocalizer
+from repro.core.geometry import Point
+from repro.core.trainingdb import LocationRecord, TrainingDatabase
+from repro.serve import (
+    BatchFailure,
+    ManualClock,
+    QueueFullError,
+    SessionClosedError,
+    SessionStore,
+    TrackingSessions,
+    UnknownSessionError,
+    canonical_json,
+    track_estimate_to_json,
+)
+from repro.serve.sessions import _StepJob
+
+B = [f"02:00:00:00:00:{i:02x}" for i in range(4)]
+AP_POS = [Point(0, 0), Point(50, 0), Point(50, 40), Point(0, 40)]
+
+
+def rssi_at(p: Point) -> np.ndarray:
+    d = np.array([max(p.distance_to(a), 1.0) for a in AP_POS])
+    return -35.0 - 25.0 * np.log10(d)
+
+
+def grid_db(step=10.0, n_samples=10, noise=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    records = []
+    y = 0.0
+    while y <= 40.0:
+        x = 0.0
+        while x <= 50.0:
+            mean = rssi_at(Point(x, y))
+            samples = rng.normal(mean, noise, size=(n_samples, 4)).astype(np.float32)
+            records.append(LocationRecord(f"g{x:g}-{y:g}", Point(x, y), samples))
+            x += step
+        y += step
+    return TrainingDatabase(B, records)
+
+
+def walk_observations(path, noise=2.0, seed=1):
+    rng = np.random.default_rng(seed)
+    return [Observation(rng.normal(rssi_at(p), noise, size=(3, 4))) for p in path]
+
+
+def straight_path(n=10):
+    return [Point(5 + 40 * i / (n - 1), 5 + 30 * i / (n - 1)) for i in range(n)]
+
+
+class _Model:
+    """Stand-in for LocalizationService._Model: just the three fields
+    the tracking factory reads."""
+
+    def __init__(self, localizer, db, generation):
+        self.localizer = localizer
+        self.db = db
+        self.generation = generation
+
+
+class _FakeService:
+    def __init__(self, localizer, db):
+        self._model = _Model(localizer, db, 1)
+
+    def model(self):
+        return self._model
+
+    def bump(self, localizer=None, db=None):
+        """Simulate a hot reload: new generation, optionally new chain/db."""
+        m = self._model
+        self._model = _Model(
+            localizer if localizer is not None else m.localizer,
+            db if db is not None else m.db,
+            m.generation + 1,
+        )
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = obs.set_registry(obs.MetricsRegistry())
+    yield
+    obs.set_registry(previous)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return grid_db()
+
+
+@pytest.fixture(scope="module")
+def localizer(db):
+    return KNNLocalizer(k=3).fit(db)
+
+
+@pytest.fixture()
+def service(localizer, db):
+    return _FakeService(localizer, db)
+
+
+def fresh_store(capacity=3, ttl_s=10.0):
+    clock = ManualClock()
+    store = SessionStore(lambda: None, capacity=capacity, ttl_s=ttl_s, clock=clock)
+    return store, clock
+
+
+class TestSessionStore:
+    def test_obtain_creates_then_reuses(self):
+        store, _ = fresh_store()
+        a, created = store.obtain("dev-1")
+        b, created_again = store.obtain("dev-1")
+        assert created is True and created_again is False
+        assert a is b
+        assert store.active() == 1
+        assert obs.snapshot()["counters"]["serve.sessions.created"] == 1
+
+    def test_ttl_expiry_makes_session_unreachable(self):
+        store, clock = fresh_store(ttl_s=10.0)
+        sess, _ = store.obtain("dev-1")
+        clock.advance(10.0)
+        with pytest.raises(UnknownSessionError):
+            store.get("dev-1")
+        assert sess.closed and sess.close_reason == "expired"
+        assert store.active() == 0
+        assert obs.snapshot()["counters"]["serve.sessions.expired"] == 1
+
+    def test_touch_refreshes_ttl(self):
+        store, clock = fresh_store(ttl_s=10.0)
+        store.obtain("dev-1")
+        clock.advance(6.0)
+        store.get("dev-1")  # touch
+        clock.advance(6.0)  # 12s since create, 6s since touch
+        assert store.get("dev-1") is not None
+
+    def test_lru_eviction_never_exceeds_capacity(self):
+        store, _ = fresh_store(capacity=3)
+        first, _ = store.obtain("a")
+        for sid in ("b", "c", "d"):
+            store.obtain(sid)
+        assert store.active() == 3
+        assert first.closed and first.close_reason == "evicted"
+        with pytest.raises(UnknownSessionError):
+            store.get("a")
+        assert obs.snapshot()["counters"]["serve.sessions.evicted"] == 1
+
+    def test_lru_eviction_respects_recency(self):
+        store, _ = fresh_store(capacity=3)
+        for sid in ("a", "b", "c"):
+            store.obtain(sid)
+        store.get("a")  # a is now most recent; b is the LRU victim
+        store.obtain("d")
+        with pytest.raises(UnknownSessionError):
+            store.get("b")
+        assert store.get("a") is not None
+
+    def test_close_is_exactly_once(self):
+        store, _ = fresh_store()
+        sess, _ = store.obtain("dev-1")
+        closed = store.close("dev-1")
+        assert closed is sess and sess.closed
+        with pytest.raises(UnknownSessionError):
+            store.close("dev-1")
+        # Even a direct second close on the session object is a no-op.
+        assert sess.close("again") is False
+        assert sess.close_reason == "closed"
+
+    def test_occupancy_sweeps_expired(self):
+        store, clock = fresh_store(ttl_s=10.0)
+        store.obtain("dev-1")
+        assert store.occupancy() == {"active": 1, "capacity": 3, "ttl_s": 10.0}
+        clock.advance(10.0)
+        assert store.occupancy()["active"] == 0
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SessionStore(lambda: None, capacity=0)
+        with pytest.raises(ValueError):
+            SessionStore(lambda: None, ttl_s=0.0)
+
+
+class _ShadowStore:
+    """Reference model for the hypothesis suite: a plain recency list."""
+
+    def __init__(self, capacity, ttl_s):
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self.now = 0.0
+        self.last_seen = {}  # id -> last_seen, dict order = recency order
+
+    def _sweep(self):
+        for sid in list(self.last_seen):
+            if self.now - self.last_seen[sid] >= self.ttl_s:
+                del self.last_seen[sid]
+            else:
+                break  # recency order: the rest are fresher
+
+    def _touch(self, sid):
+        del self.last_seen[sid]
+        self.last_seen[sid] = self.now
+
+    def obtain(self, sid):
+        self._sweep()
+        if sid in self.last_seen:
+            self._touch(sid)
+            return False
+        while len(self.last_seen) >= self.capacity:
+            del self.last_seen[next(iter(self.last_seen))]
+        self.last_seen[sid] = self.now
+        return True
+
+    def get(self, sid):
+        self._sweep()
+        if sid not in self.last_seen:
+            return False
+        self._touch(sid)
+        return True
+
+    def close(self, sid):
+        self._sweep()
+        return self.last_seen.pop(sid, None) is not None
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("obtain"), st.sampled_from("abcde")),
+        st.tuples(st.just("get"), st.sampled_from("abcde")),
+        st.tuples(st.just("close"), st.sampled_from("abcde")),
+        st.tuples(st.just("advance"), st.integers(min_value=1, max_value=7)),
+    ),
+    max_size=40,
+)
+
+
+class TestSessionStoreProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_OPS)
+    def test_store_matches_reference_model(self, ops):
+        store, clock = fresh_store(capacity=3, ttl_s=10.0)
+        shadow = _ShadowStore(capacity=3, ttl_s=10.0)
+        seen = {}  # every session object ever handed out, by identity
+        for op, arg in ops:
+            if op == "advance":
+                clock.advance(float(arg))
+                shadow.now += float(arg)
+                continue
+            if op == "obtain":
+                sess, created = store.obtain(arg)
+                assert created == shadow.obtain(arg)
+                seen[id(sess)] = sess
+            elif op == "get":
+                live = shadow.get(arg)
+                if live:
+                    seen_sess = store.get(arg)
+                    assert not seen_sess.closed
+                else:
+                    with pytest.raises(UnknownSessionError):
+                        store.get(arg)
+            elif op == "close":
+                if shadow.close(arg):
+                    store.close(arg)
+                else:
+                    with pytest.raises(UnknownSessionError):
+                        store.close(arg)
+            # Invariants after every operation:
+            assert store.active() <= 3
+            assert store.active() == len(shadow.last_seen)
+        # Exactly-once lifecycle: every session ever created is either
+        # still live (open) or was closed exactly once — a second close
+        # attempt on any of them reports "already closed".
+        shadow._sweep()  # trailing advances may have expired the rest
+        store.occupancy()  # expiry closes lazily: force one sweep
+        live = {id(store.get(sid)) for sid in list(shadow.last_seen)}
+        for key, sess in seen.items():
+            assert sess.closed == (key not in live)
+            if sess.closed:
+                assert sess.close("double") is False
+
+
+class TestTrackingSessionsEngine:
+    def test_batched_steps_match_offline_tracker(self, service, localizer):
+        """HTTP-path stepping (measurement split, locate_many) must be
+        bit-for-bit the offline ``KalmanTracker.step`` sequence."""
+        from repro.algorithms.tracking import KalmanTracker
+
+        paths = {f"dev-{i}": straight_path(6) for i in range(3)}
+        observed = {
+            sid: walk_observations(path, seed=i)
+            for i, (sid, path) in enumerate(paths.items())
+        }
+        offline = {}
+        for sid, observations in observed.items():
+            t = KalmanTracker(localizer)
+            offline[sid] = [t.step(o) for o in observations]
+        with TrackingSessions(service, kind="kalman", max_wait_ms=0.5) as engine:
+            for step_i in range(6):
+                futures = {
+                    sid: engine.step(sid, observed[sid][step_i])[0]
+                    for sid in paths
+                }
+                for sid, future in futures.items():
+                    est, seq = future.result(timeout=30)
+                    want = offline[sid][step_i]
+                    assert seq == step_i + 1
+                    assert est.position.x == want.position.x
+                    assert est.position.y == want.position.y
+                    assert est.valid == want.valid
+
+    def test_one_locate_many_call_per_batch(self, service, db):
+        calls = []
+
+        class _SpyLocalizer:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def locate(self, observation):
+                return self.inner.locate(observation)
+
+            def locate_many(self, observations):
+                calls.append(len(observations))
+                return self.inner.locate_many(observations)
+
+        spy = _SpyLocalizer(KNNLocalizer(k=3).fit(db))
+        engine = TrackingSessions(_FakeService(spy, db), kind="kalman")
+        jobs = []
+        for i in range(8):
+            sess, _ = engine.store.obtain(f"dev-{i}")
+            jobs.append(_StepJob(sess, walk_observations([Point(10, 10)])[0], 1.0))
+        results = engine._step_batch(jobs)
+        assert calls == [8]  # one vectorized pass, not 8 scalar locates
+        assert all(seq == 1 for _, seq in results)
+
+    def test_closed_session_fails_its_step_only(self, service):
+        engine = TrackingSessions(service, kind="kalman")
+        alive, _ = engine.store.obtain("alive")
+        doomed, _ = engine.store.obtain("doomed")
+        engine.store.close("doomed")
+        o = walk_observations([Point(10, 10)])[0]
+        results = engine._step_batch([_StepJob(alive, o, 1.0), _StepJob(doomed, o, 1.0)])
+        est, seq = results[0]
+        assert seq == 1 and est is not None
+        assert isinstance(results[1], BatchFailure)
+        assert isinstance(results[1].error, SessionClosedError)
+        counters = obs.snapshot()["counters"]
+        assert counters["serve.track.step_errors{kind=session_closed}"] == 1
+
+    def test_bayes_and_particle_step_serially_in_batch(self, localizer, db):
+        for kind in ("bayes", "particle"):
+            engine = TrackingSessions(
+                _FakeService(localizer, db), kind=kind,
+                tracker_kwargs={"rng": 0} if kind == "particle" else None,
+            )
+            sess, _ = engine.store.obtain("dev-1")
+            assert sess.tracker.measurement_localizer is None
+            o = walk_observations([Point(25, 20)])[0]
+            results = engine._step_batch([_StepJob(sess, o, 1.0)])
+            est, seq = results[0]
+            assert seq == 1 and est.valid
+
+    def test_step_validates_dt(self, service):
+        engine = TrackingSessions(service)
+        with pytest.raises(ValueError):
+            engine.step("dev-1", walk_observations([Point(10, 10)])[0], dt_s=0.0)
+        with pytest.raises(ValueError):
+            TrackingSessions(service, default_dt_s=0.0)
+        with pytest.raises(ValueError):
+            TrackingSessions(service, kind="madgwick")
+
+    def test_current_and_close_report_progress(self, service):
+        with TrackingSessions(service, kind="kalman") as engine:
+            future, created = engine.step("dev-1", walk_observations([Point(10, 10)])[0])
+            assert created is True
+            est, seq = future.result(timeout=30)
+            assert engine.current("dev-1") == (est, 1)
+            assert engine.close("dev-1") == {"steps": 1}
+            with pytest.raises(UnknownSessionError):
+                engine.current("dev-1")
+
+    def test_concurrent_steps_and_close_never_lose_a_scan(self, service):
+        """Race many steppers against a close: every accepted scan is
+        either applied exactly once (distinct seq) or failed exactly
+        once with SessionClosedError — never both, never neither."""
+        engine = TrackingSessions(service, kind="kalman", max_batch=8)
+        o = walk_observations([Point(10, 10)])[0]
+        futures, futures_lock = [], threading.Lock()
+        stop = threading.Event()
+
+        def stepper():
+            while not stop.is_set():
+                try:
+                    future, _ = engine.step("shared", o)
+                except QueueFullError:
+                    continue  # backpressure; not under test here
+                with futures_lock:
+                    futures.append(future)
+
+        first, _ = engine.store.obtain("shared")
+        with engine:
+            threads = [threading.Thread(target=stepper) for _ in range(4)]
+            for t in threads:
+                t.start()
+            # Wait for real progress (applied steps, not just queued
+            # futures) so the close genuinely lands mid-stream.
+            deadline = time.monotonic() + 30.0
+            while engine.current("shared")[1] < 16:
+                assert time.monotonic() < deadline, "no steps applied"
+            engine.store.close("shared")
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+        applied, failed = [], 0
+        for future in futures:
+            try:
+                _, seq = future.result(timeout=30)
+                applied.append(seq)
+            except SessionClosedError:
+                failed += 1
+        # A stepper racing past the close may have re-created the id;
+        # that second session's seqs restart at 1 and are legitimate.
+        expected = list(range(1, first.steps + 1))
+        try:
+            reborn = engine.store.get("shared")
+            if reborn is not first:
+                expected += range(1, reborn.steps + 1)
+        except UnknownSessionError:
+            pass
+        assert applied, "no step applied before the close"
+        # Exactly-once application: every applied seq accounted for,
+        # no scan applied twice, none silently dropped.
+        assert sorted(applied) == sorted(expected)
+        assert len(applied) + failed == len(futures)
+
+
+class TestRebindAfterReload:
+    def test_kalman_sessions_survive_reload(self, service, db):
+        engine = TrackingSessions(service, kind="kalman")
+        sess, _ = engine.store.obtain("dev-1")
+        engine._step_batch([_StepJob(sess, walk_observations([Point(10, 10)])[0], 1.0)])
+        state = sess.tracker._x.copy()
+        service.bump(localizer=KNNLocalizer(k=4).fit(db))
+        assert engine.rebind() == {"sessions": 1, "kept": 1, "reset": 0}
+        assert sess.tracker.localizer is service.model().localizer
+        assert np.array_equal(sess.tracker._x, state)
+
+    def test_bayes_rebind_same_grid_keeps_belief(self, service):
+        engine = TrackingSessions(service, kind="bayes")
+        sess, _ = engine.store.obtain("dev-1")
+        engine._step_batch([_StepJob(sess, walk_observations([Point(5, 5)])[0], 1.0)])
+        belief = sess.tracker.belief
+        service.bump()  # same db, new generation
+        assert engine.rebind()["kept"] == 1
+        assert np.array_equal(sess.tracker.belief, belief)
+
+    def test_bayes_rebind_new_grid_resets(self, service):
+        engine = TrackingSessions(service, kind="bayes")
+        sess, _ = engine.store.obtain("dev-1")
+        engine._step_batch([_StepJob(sess, walk_observations([Point(5, 5)])[0], 1.0)])
+        service.bump(db=grid_db(step=25.0))
+        assert engine.rebind()["reset"] == 1
+        assert np.allclose(sess.tracker.belief, 1.0 / len(service.model().db))
+
+    def test_shared_materials_cached_per_generation(self, service):
+        engine = TrackingSessions(service, kind="bayes")
+        a, _ = engine.store.obtain("dev-a")
+        b, _ = engine.store.obtain("dev-b")
+        assert a.tracker.emission is b.tracker.emission
+        service.bump()
+        engine.rebind()
+        assert a.tracker.emission is b.tracker.emission
+        assert a.tracker.emission is not None
+
+
+class TestWireRoundTrip:
+    def test_every_tracker_estimate_round_trips_canonically(self, service, localizer, db):
+        """canonical_json over every tracker's wire doc must survive a
+        strict JSON round trip byte-identically (no NaN, no numpy)."""
+        for kind, kwargs in (
+            ("kalman", {}),
+            ("bayes", {}),
+            ("particle", {"rng": 0}),
+        ):
+            engine = TrackingSessions(
+                _FakeService(localizer, db), kind=kind, tracker_kwargs=kwargs
+            )
+            sess, _ = engine.store.obtain("dev-1")
+            for i, o in enumerate(walk_observations(straight_path(3))):
+                (est, seq), = engine._step_batch([_StepJob(sess, o, 1.0)])
+                doc = track_estimate_to_json(est, "dev-1", seq, created=(i == 0))
+                blob = canonical_json(doc)
+                parsed = json.loads(blob, parse_constant=pytest.fail)
+                assert canonical_json(parsed) == blob
+                assert parsed["session"] == {
+                    "id": "dev-1", "seq": i + 1, "created": i == 0,
+                }
+                assert "tracking" in parsed
+
+    def test_silent_observation_round_trips(self, service):
+        engine = TrackingSessions(service, kind="kalman")
+        sess, _ = engine.store.obtain("dev-1")
+        silent = Observation(np.full((2, 4), np.nan))
+        (est, _), = engine._step_batch([_StepJob(sess, silent, 1.0)])
+        blob = canonical_json(track_estimate_to_json(est, "dev-1", 1))
+        assert json.loads(blob)["valid"] is False

@@ -243,3 +243,257 @@ class TestParticleFilter:
             ParticleFilterTracker(field, bounds=(0, 0, 50, 40), n_particles=5)
         with pytest.raises(ValueError):
             ParticleFilterTracker(field, bounds=(0, 0, 50, 40), speed_ft_s=0)
+
+
+# ----------------------------------------------------------------------
+# PR 7 correctness fixes: degenerate updates, zero evidence, wire-safe
+# details, and the measurement split the serving sessions batch over.
+# ----------------------------------------------------------------------
+class _DegenerateEmission:
+    """Emission stub assigning zero probability everywhere (all -inf)."""
+
+    def __init__(self, n, fill=-np.inf):
+        self.n = n
+        self.fill = fill
+
+    def log_likelihoods(self, observation):
+        return np.full(self.n, self.fill)
+
+
+class _FlakyEmission:
+    """Real emission that returns one degenerate row on demand."""
+
+    def __init__(self, real, n):
+        self.real = real
+        self.n = n
+        self.fail_next = False
+
+    def log_likelihoods(self, observation):
+        if self.fail_next:
+            self.fail_next = False
+            return np.full(self.n, -np.inf)
+        return self.real.log_likelihoods(observation)
+
+
+def _silent():
+    return Observation(np.full((2, 4), np.nan))
+
+
+class TestBayesDegenerateUpdate:
+    """bayes.py bugfix: an all -inf / non-finite emission row used to
+    turn the belief into NaN permanently (``ll - ll.max()`` with
+    ``max() == -inf``); now it is a predict-only step."""
+
+    @pytest.mark.parametrize("fill", [-np.inf, np.nan])
+    def test_predict_only_keeps_belief_normalized(self, db, fill):
+        t = DiscreteBayesTracker(_DegenerateEmission(len(db), fill), db)
+        est = t.step(walk_observations([Point(5, 5)])[0])
+        assert np.all(np.isfinite(t.belief))
+        assert t.belief.sum() == pytest.approx(1.0)
+        assert est.valid  # evidence existed; the emission just refused it
+        assert est.details["degenerate_update"] is True
+
+    def test_degenerate_step_is_counted(self, db):
+        from repro import obs
+
+        previous = obs.set_registry(obs.MetricsRegistry())
+        try:
+            t = DiscreteBayesTracker(_DegenerateEmission(len(db)), db)
+            t.step(walk_observations([Point(5, 5)])[0])
+            t.step(walk_observations([Point(5, 5)])[0])
+            counters = obs.snapshot()["counters"]
+            assert counters["tracking.degenerate_updates{tracker=bayes}"] == 2
+        finally:
+            obs.set_registry(previous)
+
+    def test_belief_not_poisoned_recovers_next_step(self, emission, db):
+        flaky = _FlakyEmission(emission, len(db))
+        t = DiscreteBayesTracker(flaky, db, speed_ft_s=4.0)
+        path = straight_path(8)
+        observations = walk_observations(path)
+        t.step(observations[0])
+        flaky.fail_next = True
+        t.step(observations[1])  # degenerate mid-track
+        for o in observations[2:]:
+            est = t.step(o)
+            assert np.all(np.isfinite(t.belief))
+        # The filter still tracks after the bad row — belief was kept,
+        # not poisoned into NaN.
+        assert est.position.distance_to(path[-1]) < 12.0
+
+    def test_old_fallback_path_still_works(self, emission, db):
+        """A *partially* finite row with no overlap vs the prediction
+        still answers from the emission alone (kidnapped robot)."""
+        t = DiscreteBayesTracker(emission, db, speed_ft_s=1.0, teleport=0.0)
+        # Lock the belief onto one corner...
+        for o in walk_observations([Point(0, 0)] * 4):
+            t.step(o)
+        # ...then observe the far corner; the update must follow the
+        # emission rather than zero out.
+        est = t.step(walk_observations([Point(50, 40)], seed=9)[0])
+        assert np.all(np.isfinite(t.belief))
+        assert t.belief.sum() == pytest.approx(1.0)
+        assert est.valid
+
+
+class TestZeroEvidenceParity:
+    """bayes.py bugfix: an all-unheard observation is not a fix.  All
+    three trackers must agree on a silent *first* observation."""
+
+    def test_bayes_silent_step_invalid(self, emission, db):
+        t = DiscreteBayesTracker(emission, db)
+        before = t.belief
+        est = t.step(_silent())
+        assert not est.valid
+        assert est.details["reason"] == "no APs heard"
+        # Predict-only: still normalized, still finite.
+        assert t.belief.sum() == pytest.approx(1.0)
+        assert np.all(np.isfinite(t.belief))
+
+    def test_cross_tracker_parity_on_silence(self, emission, db):
+        inner = KNNLocalizer(k=3).fit(db)
+        trackers = {
+            "bayes": DiscreteBayesTracker(emission, db),
+            "kalman": KalmanTracker(inner),
+            "particle": ParticleFilterTracker(
+                RSSIField(db), bounds=(0, 0, 50, 40), rng=0
+            ),
+        }
+        verdicts = {name: t.step(_silent()).valid for name, t in trackers.items()}
+        assert verdicts == {"bayes": False, "kalman": False, "particle": False}
+
+    def test_bayes_recovers_validity_after_silence(self, emission, db):
+        t = DiscreteBayesTracker(emission, db)
+        t.step(_silent())
+        est = t.step(walk_observations([Point(5, 5)])[0])
+        assert est.valid
+
+
+def _assert_json_safe(value, path="details"):
+    if isinstance(value, dict):
+        for k, v in value.items():
+            assert isinstance(k, str), f"non-str key at {path}: {k!r}"
+            _assert_json_safe(v, f"{path}.{k}")
+    elif isinstance(value, (list, tuple)):
+        for i, v in enumerate(value):
+            _assert_json_safe(v, f"{path}[{i}]")
+    else:
+        assert value is None or isinstance(value, (bool, int, float, str)), (
+            f"non-JSON value at {path}: {type(value).__name__}"
+        )
+        if isinstance(value, float):
+            assert np.isfinite(value), f"non-finite float at {path}"
+
+
+class TestWireSafeDetails:
+    """Details bugfix: estimates must carry JSON-safe summaries, not a
+    nested LocationEstimate (kalman) or a numpy posterior (bayes)."""
+
+    def test_kalman_raw_fix_is_plain_floats(self, db):
+        t = KalmanTracker(KNNLocalizer(k=3).fit(db))
+        est = t.step(walk_observations([Point(10, 10)])[0])
+        raw = est.details["raw"]
+        assert isinstance(raw, dict)
+        assert isinstance(raw["x"], float) and isinstance(raw["y"], float)
+        assert raw["valid"] is True
+        _assert_json_safe(est.details)
+
+    def test_kalman_coast_raw_reports_invalid_fix(self, db):
+        t = KalmanTracker(KNNLocalizer(k=3).fit(db))
+        t.step(walk_observations([Point(10, 10)])[0])
+        est = t.step(_silent())
+        assert est.valid  # coasting is still a track
+        assert est.details["raw"]["valid"] is False
+        _assert_json_safe(est.details)
+
+    def test_bayes_posterior_summary(self, emission, db):
+        t = DiscreteBayesTracker(emission, db)
+        est = t.step(walk_observations([Point(5, 5)])[0])
+        assert "posterior" not in est.details
+        assert est.details["posterior_entropy"] >= 0.0
+        top = est.details["top_k"]
+        assert top[0]["point"] == est.details["map_point"]
+        assert all(a["p"] >= b["p"] for a, b in zip(top, top[1:]))
+        _assert_json_safe(est.details)
+
+    def test_particle_details(self, db):
+        t = ParticleFilterTracker(RSSIField(db), bounds=(0, 0, 50, 40), rng=0)
+        est = t.step(walk_observations([Point(25, 20)])[0])
+        _assert_json_safe(est.details)
+
+    def test_every_tracker_details_survive_strict_json(self, emission, db):
+        import json
+
+        inner = KNNLocalizer(k=3).fit(db)
+        trackers = [
+            DiscreteBayesTracker(emission, db),
+            KalmanTracker(inner),
+            ParticleFilterTracker(RSSIField(db), bounds=(0, 0, 50, 40), rng=0),
+        ]
+        for t in trackers:
+            for o in walk_observations(straight_path(4)):
+                est = t.step(o)
+                json.dumps(est.details, allow_nan=False)  # raises if unsafe
+
+
+class TestMeasurementSplit:
+    """The serving layer batches kalman measurement passes; split and
+    unsplit stepping must agree bit for bit."""
+
+    def test_kalman_split_parity(self, db):
+        inner = KNNLocalizer(k=3).fit(db)
+        whole = KalmanTracker(inner)
+        split = KalmanTracker(inner)
+        assert split.measurement_localizer is inner
+        for o in walk_observations(straight_path(10)):
+            a = whole.step(o)
+            m = split.measure(o)
+            b = split.step_with_measurement(m, o)
+            assert a.position.x == b.position.x and a.position.y == b.position.y
+            assert a.score == b.score
+
+    def test_non_splittable_trackers_say_so(self, emission, db):
+        bayes = DiscreteBayesTracker(emission, db)
+        particle = ParticleFilterTracker(RSSIField(db), bounds=(0, 0, 50, 40))
+        assert bayes.measurement_localizer is None
+        assert particle.measurement_localizer is None
+        with pytest.raises(NotImplementedError):
+            bayes.step_with_measurement(None, _silent())
+
+
+class TestRebind:
+    """Hot-reload support: trackers re-point at a new model generation
+    without discarding filter state (where a mapping exists)."""
+
+    def test_kalman_rebind_keeps_state(self, db):
+        t = KalmanTracker(KNNLocalizer(k=3).fit(db))
+        t.step(walk_observations([Point(10, 10)])[0])
+        state = t._x.copy()
+        new_inner = KNNLocalizer(k=4).fit(db)
+        assert t.rebind(new_inner) is True
+        assert t.localizer is new_inner
+        assert np.array_equal(t._x, state)
+
+    def test_bayes_rebind_same_grid_keeps_belief(self, emission, db):
+        t = DiscreteBayesTracker(emission, db)
+        t.step(walk_observations([Point(5, 5)])[0])
+        belief = t.belief
+        assert t.rebind(ProbabilisticLocalizer().fit(db), db) is True
+        assert np.array_equal(t.belief, belief)
+
+    def test_bayes_rebind_new_grid_resets(self, emission, db):
+        t = DiscreteBayesTracker(emission, db)
+        t.step(walk_observations([Point(5, 5)])[0])
+        small = grid_db(step=25.0)
+        assert len(small) != len(db)
+        assert t.rebind(ProbabilisticLocalizer().fit(small), small) is False
+        assert np.allclose(t.belief, 1.0 / len(small))
+
+    def test_particle_rebind_keeps_cloud(self, db):
+        t = ParticleFilterTracker(RSSIField(db), bounds=(0, 0, 50, 40), rng=0)
+        t.step(walk_observations([Point(25, 20)])[0])
+        cloud = t._particles.copy()
+        new_field = RSSIField(db, k=6)
+        assert t.rebind(new_field) is True
+        assert t.field is new_field
+        assert np.array_equal(t._particles, cloud)
