@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""BENCH-SERVE-MP — multi-process serving vs one worker, plus pack sharing.
+
+The ``--workers N`` acceptance bench, run as a script (it forks real
+CLI server processes, so it lives outside the pytest bench tier)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_mp.py
+
+Two runs of the same closed-loop ``/v1/locate`` load (the shared
+``loadgen`` client) against ``repro serve <pack> --workers W``:
+
+* ``workers=1`` — the single-process ceiling: every request contends
+  for one GIL no matter how many handler threads run.
+* ``workers=N`` — the prefork fleet on one ``SO_REUSEPORT`` port.
+
+Alongside throughput it measures what the frozen pack buys: each
+worker's ``/proc/<pid>/smaps`` entries for the ``.tdbx`` mapping.  Rss
+is what the process touched; Pss divides shared pages by their mapping
+count, so the fleet-wide model cost is the **sum of Pss** — with mmap
+sharing it stays near one copy (ratio ≤ 1.25), where pickled/heap
+models would pay N full copies.
+
+Floors: combined-Pss ratio always; the ≥ 3x throughput speedup only on
+≥ 4 cores (a 1-2 core runner cannot express parallel speedup — the
+result is still recorded, gating is skipped).  Results land in
+``benchmarks/results/BENCH_SERVE_MP.json`` for
+``check_perf_regression.py`` and the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # loadgen, same as conftest
+
+from loadgen import observation_doc, run_load, summarize  # noqa: E402
+
+from repro.experiments.house import ExperimentHouse, HouseConfig  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_CLIENTS = 16
+REQUESTS_PER_CLIENT = 40
+WARMUP_PER_CLIENT = 3
+
+MIN_SPEEDUP = 3.0  # enforced only on >= SPEEDUP_MIN_CORES cores
+SPEEDUP_MIN_CORES = 4
+MAX_SHARING_RATIO = 1.25  # combined pack Pss vs one worker's Rss
+
+_LAUNCHER = [
+    sys.executable,
+    "-c",
+    "import sys; from repro.cli import repro_main; sys.exit(repro_main(sys.argv[1:]))",
+]
+
+
+def pack_mapping_kb(pid: int, pack_path: str) -> dict:
+    """Sum Rss/Pss (kB) of a process's mappings of the pack file."""
+    rss = pss = 0
+    current = False
+    try:
+        with open(f"/proc/{pid}/smaps", "r", encoding="utf-8") as fh:
+            for line in fh:
+                if "-" in line.split(" ", 1)[0] and ":" not in line.split(" ", 1)[0]:
+                    current = line.rstrip("\n").endswith(pack_path)
+                elif current and line.startswith("Rss:"):
+                    rss += int(line.split()[1])
+                elif current and line.startswith("Pss:"):
+                    pss += int(line.split()[1])
+    except OSError:
+        pass
+    return {"rss_kb": rss, "pss_kb": pss}
+
+
+def launch_fleet(pack: Path, workers: int, rundir: Path):
+    env = dict(os.environ, PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        _LAUNCHER
+        + [
+            "serve",
+            str(pack),
+            "--port",
+            "0",
+            "--workers",
+            str(workers),
+            "--rundir",
+            str(rundir),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    url = None
+    for line in proc.stdout:
+        if line.startswith("serving "):
+            url = line.split()[1]
+        if "Ctrl-C to stop" in line:
+            break
+    if url is None:
+        proc.kill()
+        raise RuntimeError("serve never printed its banner")
+    return proc, int(url.rsplit(":", 1)[1])
+
+
+def drain_fleet(proc) -> str:
+    proc.send_signal(signal.SIGTERM)
+    tail, _ = proc.communicate(timeout=120)
+    if proc.returncode != 0:
+        raise RuntimeError(f"serve exited {proc.returncode}:\n{tail}")
+    if "drain complete: unfinished=0" not in tail:
+        raise RuntimeError(f"no clean drain line in:\n{tail}")
+    return tail
+
+
+def measure(pack: Path, workers: int, docs, scratch: Path) -> dict:
+    rundir = scratch / f"run-{workers}"
+    proc, port = launch_fleet(pack, workers, rundir)
+    try:
+        run_load(port, docs, N_CLIENTS, WARMUP_PER_CLIENT)
+        wall, reports = run_load(port, docs, N_CLIENTS, REQUESTS_PER_CLIENT)
+        if workers == 1:
+            pids = [proc.pid]  # single-process path: the CLI is the server
+        else:
+            pids = [
+                json.loads((rundir / f"worker-{i}.json").read_text())["pid"]
+                for i in range(workers)
+            ]
+        mappings = [pack_mapping_kb(pid, str(pack)) for pid in pids]
+    finally:
+        drain_fleet(proc)
+    result = summarize(f"workers-{workers}", wall, reports, workers=workers)
+    bad = [r for r in reports if not r.ok]
+    if bad:
+        raise RuntimeError(
+            f"workers={workers}: {len(bad)} failed requests "
+            f"(budget {result['error_budget']})"
+        )
+    result["pack_mapping_kb"] = mappings
+    return result
+
+
+def main() -> int:
+    cores = os.cpu_count() or 1
+    fleet_size = max(2, min(4, cores))
+
+    house = ExperimentHouse(HouseConfig())
+    db = house.training_database(rng=0)
+    docs = [
+        observation_doc(o)
+        for o in house.observe_all(house.test_points(), rng=5, dwell_s=5.0)
+    ]
+    with tempfile.TemporaryDirectory(prefix="bench-serve-mp-") as scratch_dir:
+        scratch = Path(scratch_dir)
+        pack = scratch / "model.tdbx"
+        pack_bytes = db.freeze(pack, ap_positions=house.ap_positions_by_bssid())
+
+        single = measure(pack, 1, docs, scratch)
+        multi = measure(pack, fleet_size, docs, scratch)
+
+    speedup = multi["rps"] / single["rps"]
+    single_rss = max(single["pack_mapping_kb"][0]["rss_kb"], 1)
+    combined_pss = sum(m["pss_kb"] for m in multi["pack_mapping_kb"])
+    sharing_ratio = combined_pss / single_rss
+
+    doc = {
+        "bench": "serve_mp",
+        "cores": cores,
+        "workers": fleet_size,
+        "pack_bytes": pack_bytes,
+        "single": single,
+        "multi": multi,
+        "speedup": round(speedup, 3),
+        "pack_sharing": {
+            "single_worker_rss_kb": single_rss,
+            "fleet_combined_pss_kb": combined_pss,
+            "ratio": round(sharing_ratio, 3),
+        },
+        "floors": {
+            "speedup": MIN_SPEEDUP,
+            "speedup_min_cores": SPEEDUP_MIN_CORES,
+            "sharing_ratio": MAX_SHARING_RATIO,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_SERVE_MP.json"
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    print(
+        f"BENCH-SERVE-MP: {cores} cores, fleet of {fleet_size}\n"
+        f"  workers=1           {single['rps']:>8.1f} req/s  "
+        f"p99 {single['p99_ms']:.1f} ms\n"
+        f"  workers={fleet_size}           {multi['rps']:>8.1f} req/s  "
+        f"p99 {multi['p99_ms']:.1f} ms\n"
+        f"  speedup             {speedup:.2f}x "
+        f"(floor {MIN_SPEEDUP}x on >= {SPEEDUP_MIN_CORES} cores)\n"
+        f"  pack sharing        one copy {single_rss} kB, fleet Pss "
+        f"{combined_pss} kB -> ratio {sharing_ratio:.2f} "
+        f"(ceiling {MAX_SHARING_RATIO})\n"
+        f"  -> {out}"
+    )
+
+    failures = []
+    if sharing_ratio > MAX_SHARING_RATIO:
+        failures.append(
+            f"pack sharing ratio {sharing_ratio:.2f} exceeds {MAX_SHARING_RATIO} "
+            f"— the fleet is paying for multiple model copies"
+        )
+    if cores >= SPEEDUP_MIN_CORES and speedup < MIN_SPEEDUP:
+        failures.append(
+            f"multi-worker speedup {speedup:.2f}x below {MIN_SPEEDUP}x "
+            f"on a {cores}-core machine"
+        )
+    elif cores < SPEEDUP_MIN_CORES:
+        print(
+            f"  note: {cores} cores < {SPEEDUP_MIN_CORES} — speedup floor "
+            f"not enforced (recorded only)"
+        )
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nOK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,19 +1,29 @@
 #!/usr/bin/env python
-"""Compare a PERF-BATCH run against the committed speedup baseline.
+"""Compare a perf bench run against its committed baseline.
 
 Usage::
 
     python benchmarks/check_perf_regression.py \
         benchmarks/results/BENCH_PERF.json [benchmarks/BENCH_PERF_BASELINE.json]
+    python benchmarks/check_perf_regression.py \
+        benchmarks/results/BENCH_SERVE_MP.json [benchmarks/BENCH_SERVE_MP_BASELINE.json]
 
-Exits non-zero when any localizer's loop→batch **speedup** dropped more
-than ``TOLERANCE`` below the baseline.  Speedups are self-normalizing —
-both the loop and batch paths run on the same machine in the same
-process — so the comparison is stable across CI runner generations,
-unlike absolute milliseconds.  Localizers that are new relative to the
-baseline pass (there is nothing to regress against); localizers that
-*disappeared* fail, because losing a vectorized path is the regression
-this gate exists to catch.
+The schema is sniffed from the result document:
+
+* **PERF-BATCH** (``localizers`` key): exits non-zero when any
+  localizer's loop→batch **speedup** dropped more than ``TOLERANCE``
+  below the baseline.  Speedups are self-normalizing — both the loop
+  and batch paths run on the same machine in the same process — so the
+  comparison is stable across CI runner generations, unlike absolute
+  milliseconds.  Localizers that are new relative to the baseline pass
+  (there is nothing to regress against); localizers that *disappeared*
+  fail, because losing a vectorized path is the regression this gate
+  exists to catch.
+* **SERVE-MP** (``bench == "serve_mp"``): the pack-sharing ceiling is
+  enforced on every machine (mmap sharing does not depend on core
+  count); the multi-worker throughput floor — and the baseline
+  comparison — only on machines with enough cores to express parallel
+  speedup at all.
 """
 
 from __future__ import annotations
@@ -62,20 +72,92 @@ def check(current_path: Path, baseline_path: Path) -> int:
     return 0
 
 
+def check_serve_mp(current_path: Path, baseline_path: Path) -> int:
+    current = json.loads(current_path.read_text(encoding="utf-8"))
+    baseline = (
+        json.loads(baseline_path.read_text(encoding="utf-8"))
+        if baseline_path.is_file()
+        else None
+    )
+    floors = current["floors"]
+    cores = int(current["cores"])
+    min_cores = int(floors["speedup_min_cores"])
+    ratio = float(current["pack_sharing"]["ratio"])
+    speedup = float(current["speedup"])
+
+    failures = []
+    print(f"SERVE-MP regression check ({cores} cores, {current['workers']} workers):")
+    status = "ok" if ratio <= floors["sharing_ratio"] else "REGRESSED"
+    print(
+        f"  pack sharing ratio  {ratio:6.2f}  "
+        f"ceiling {floors['sharing_ratio']:.2f}  {status}"
+    )
+    if ratio > floors["sharing_ratio"]:
+        failures.append(
+            f"pack sharing ratio {ratio:.2f} exceeds {floors['sharing_ratio']} — "
+            f"workers are paying for private model copies"
+        )
+    if cores >= min_cores:
+        status = "ok" if speedup >= floors["speedup"] else "REGRESSED"
+        print(
+            f"  mp speedup          {speedup:6.2f}x floor   "
+            f"{floors['speedup']:.2f}x  {status}"
+        )
+        if speedup < floors["speedup"]:
+            failures.append(
+                f"multi-worker speedup {speedup:.2f}x below the "
+                f"{floors['speedup']}x floor on a {cores}-core machine"
+            )
+        if baseline is not None and int(baseline.get("cores", 0)) >= min_cores:
+            floor = float(baseline["speedup"]) * (1.0 - TOLERANCE)
+            status = "ok" if speedup >= floor else "REGRESSED"
+            print(
+                f"  vs baseline         {speedup:6.2f}x floor   "
+                f"{floor:.2f}x  {status}"
+            )
+            if speedup < floor:
+                failures.append(
+                    f"speedup {speedup:.2f}x fell more than {TOLERANCE:.0%} "
+                    f"below baseline {baseline['speedup']:.2f}x"
+                )
+    else:
+        print(
+            f"  mp speedup          {speedup:6.2f}x recorded only "
+            f"({cores} cores < {min_cores})"
+        )
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nOK: multi-process serving holds its floors.")
+    return 0
+
+
 def main(argv) -> int:
     if not 1 <= len(argv) <= 2:
         print(__doc__)
         return 2
     current = Path(argv[0])
+    if not current.is_file():
+        print(f"error: {current} not found")
+        return 2
+    doc = json.loads(current.read_text(encoding="utf-8"))
+    if doc.get("bench") == "serve_mp":
+        baseline = (
+            Path(argv[1])
+            if len(argv) == 2
+            else Path(__file__).parent / "BENCH_SERVE_MP_BASELINE.json"
+        )
+        return check_serve_mp(current, baseline)
     baseline = (
         Path(argv[1])
         if len(argv) == 2
         else Path(__file__).parent / "BENCH_PERF_BASELINE.json"
     )
-    for p in (current, baseline):
-        if not p.is_file():
-            print(f"error: {p} not found")
-            return 2
+    if not baseline.is_file():
+        print(f"error: {baseline} not found")
+        return 2
     return check(current, baseline)
 
 

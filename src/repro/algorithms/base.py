@@ -258,6 +258,15 @@ class Localizer(abc.ABC):
     #: per-observation working set is large (e.g. a dense lattice).
     _batch_chunk_cap: Optional[int] = None
 
+    #: Optional frozen-pack shard spec ``{"pack_path", "stat",
+    #: "algorithm", "kwargs"}``.  When set (the serving layer sets it
+    #: on models fitted from a :mod:`repro.core.frozenpack` pack), the
+    #: sharded engine ships this small dict to worker processes instead
+    #: of pickling the fitted arrays per shard; workers rebuild from
+    #: the mmap'd pack once and memoize.  Answers are identical either
+    #: way — the rebuild is the same fit on the same bytes.
+    shard_pack_spec: Optional[dict] = None
+
     def __init_subclass__(cls, **kwargs):
         super().__init_subclass__(**kwargs)
         for attr, wrapper in (
@@ -295,6 +304,7 @@ class Localizer(abc.ABC):
             label=_algorithm_label(self),
             config=self.batch_config,
             max_chunk=self._batch_chunk_cap,
+            pack_spec=self.shard_pack_spec,
         )
 
     def _check_fitted(self, attr: str) -> None:

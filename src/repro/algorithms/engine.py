@@ -33,8 +33,9 @@ through :func:`run_batched` automatically.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.parallel.pool import ParallelConfig, parallel_map
@@ -95,12 +96,70 @@ def _chunks(items: Sequence[Any], size: int) -> List[Sequence[Any]]:
     return [items[i : i + size] for i in range(0, len(items), size)]
 
 
+# ----------------------------------------------------------------------
+# Pack-spec sharding: ship a frozen-pack *path* to workers, not arrays.
+#
+# The classic shard path pickles the bound chunk kernel — and with it
+# the whole fitted localizer (mean/std matrices, ranging tables) — to
+# every worker, per call.  A localizer fitted from a frozen pack
+# (:mod:`repro.core.frozenpack`) can instead advertise a small spec
+# ``{"pack_path", "stat", "algorithm", "kwargs"}``; workers rebuild the
+# localizer once from the mmap'd pack (page-cache shared with the
+# parent) and memoize it for the life of the worker process.
+# ----------------------------------------------------------------------
+
+#: Worker-process memo: spec key → fitted localizer.  One entry only —
+#: a worker serves one model at a time; a new spec (new pack file or
+#: new algorithm) evicts the old.
+_SPEC_MEMO: Dict[Tuple, Any] = {}
+
+
+def _spec_key(spec: Dict[str, Any]) -> Tuple:
+    return (
+        spec["pack_path"],
+        tuple(spec.get("stat") or ()),
+        spec["algorithm"],
+        repr(sorted((spec.get("kwargs") or {}).items())),
+    )
+
+
+def _localizer_from_spec(spec: Dict[str, Any]):
+    key = _spec_key(spec)
+    localizer = _SPEC_MEMO.get(key)
+    if localizer is None:
+        import repro.algorithms  # populate the registry  # noqa: F401
+        from repro.algorithms.base import make_localizer
+        from repro.core.frozenpack import load_frozen_db
+
+        # The rebuild must not perturb the worker's metrics delta:
+        # sharded and serial runs of the same batch report identical
+        # totals (the PR 4 invariant), and fit-time counters fired
+        # inside a worker would break that equality.
+        was_enabled = obs.set_enabled(False)
+        try:
+            db = load_frozen_db(spec["pack_path"])
+            localizer = make_localizer(
+                spec["algorithm"], **(spec.get("kwargs") or {})
+            ).fit(db)
+        finally:
+            obs.set_enabled(was_enabled)
+        _SPEC_MEMO.clear()
+        _SPEC_MEMO[key] = localizer
+    return localizer
+
+
+def _pack_shard_kernel(spec: Dict[str, Any], chunk: Sequence[Any]) -> List[Any]:
+    """Worker-side chunk kernel: rebuild-from-pack (memoized), then score."""
+    return _localizer_from_spec(spec)._locate_chunk(chunk)
+
+
 def run_batched(
     kernel: Callable[[Sequence[Any]], List[Any]],
     items: Sequence[Any],
     label: str = "batch",
     config: Optional[BatchConfig] = None,
     max_chunk: Optional[int] = None,
+    pack_spec: Optional[Dict[str, Any]] = None,
 ) -> List[Any]:
     """Evaluate ``kernel`` over ``items`` in chunks, sharding big batches.
 
@@ -141,11 +200,18 @@ def run_batched(
         # correctness — only, at worst, of speedup.
         obs.counter("batch.shard", algorithm=label).inc()
         obs.counter("batch.sharded_requests", algorithm=label).inc(n)
+        if pack_spec is not None:
+            # Ship the pack path, not the model: workers rebuild from
+            # the mmap'd pack once and memoize (_localizer_from_spec).
+            obs.counter("batch.shard_pack", algorithm=label).inc()
+            shard_kernel = functools.partial(_pack_shard_kernel, pack_spec)
+        else:
+            shard_kernel = kernel
         with obs.span(
             "batch.shard", algorithm=label, n_items=n, n_chunks=len(chunks)
         ):
             shard_results = parallel_map(
-                kernel,
+                shard_kernel,
                 chunks,
                 config=ParallelConfig(
                     max_workers=workers,

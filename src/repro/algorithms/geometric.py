@@ -107,7 +107,16 @@ class GeometricLocalizer(Localizer):
             )
         # Fit-time precomputation: branch endpoints and coefficients of
         # every fitted AP packed for the vectorized RSSI→distance pass.
-        self._packed = PackedRanging.from_fits(self._fits, self._bssids)
+        # A pack-loaded database frozen with the same AP map already
+        # carries these arrays (mmap-shared, byte-identical by
+        # construction); adopt them instead of rebuilding on the heap.
+        from repro.core.frozenpack import frozen_ranging_for
+
+        frozen = frozen_ranging_for(db, self.ap_positions)
+        self._packed = (
+            frozen if frozen is not None
+            else PackedRanging.from_fits(self._fits, self._bssids)
+        )
         return self
 
     @property

@@ -120,7 +120,15 @@ class MultilaterationLocalizer(Localizer):
             raise ValueError(
                 f"only {len(self._fits)} usable AP fit(s); need >= {self.min_aps}"
             )
-        self._packed = PackedRanging.from_fits(self._fits, self._bssids)
+        # Adopt mmap-shared ranging tables from a frozen pack when its
+        # AP-map fingerprint matches (byte-identical to from_fits).
+        from repro.core.frozenpack import frozen_ranging_for
+
+        frozen = frozen_ranging_for(db, self.ap_positions)
+        self._packed = (
+            frozen if frozen is not None
+            else PackedRanging.from_fits(self._fits, self._bssids)
+        )
         return self
 
     def locate(self, observation: Observation) -> LocationEstimate:

@@ -41,6 +41,38 @@ class Tracker(abc.ABC):
         measurement pass (callers then use :meth:`step` directly)."""
         return None
 
+    @property
+    def emission_localizer(self):
+        """The emission model whose per-state log-likelihood row is
+        this tracker's update input, or None when the filter has no
+        separable emission pass.
+
+        The grid-Bayes analogue of :attr:`measurement_localizer`: an
+        object exposing ``log_likelihood_matrix(observations)`` whose
+        row ``k`` is bit-identical to ``log_likelihoods(observations
+        [k])``, so the serving layer can compute one matrix for a whole
+        batch of sessions and feed each row to
+        :meth:`step_with_loglik`.
+        """
+        return None
+
+    def step_with_loglik(
+        self,
+        loglik,
+        observation: Observation,
+        dt_s: float = 1.0,
+    ) -> LocationEstimate:
+        """Fold in one observation whose emission row is already computed.
+
+        ``loglik`` must be ``emission_localizer.log_likelihoods(
+        observation)`` (or one row of the equivalent matrix).  Must
+        stay bit-equivalent to :meth:`step`; only meaningful on
+        trackers that report an :attr:`emission_localizer`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no separable emission pass"
+        )
+
     def step_with_measurement(
         self,
         measurement: LocationEstimate,

@@ -112,7 +112,30 @@ class DiscreteBayesTracker(Tracker):
             self.reset()
         return kept
 
+    @property
+    def emission_localizer(self):
+        """The emission model, when it supports the batched matrix pass.
+
+        Only emissions exposing ``log_likelihood_matrix`` (whose rows
+        are bit-identical to per-observation ``log_likelihoods`` — the
+        probabilistic model guarantees this) qualify; others step
+        serially.
+        """
+        if hasattr(self.emission, "log_likelihood_matrix"):
+            return self.emission
+        return None
+
     def step(self, observation: Observation, dt_s: float = 1.0) -> LocationEstimate:
+        return self._step(observation, dt_s, None)
+
+    def step_with_loglik(
+        self, loglik, observation: Observation, dt_s: float = 1.0
+    ) -> LocationEstimate:
+        return self._step(observation, dt_s, np.asarray(loglik, dtype=float))
+
+    def _step(
+        self, observation: Observation, dt_s: float, ll: Optional[np.ndarray]
+    ) -> LocationEstimate:
         if dt_s <= 0:
             raise ValueError(f"dt must be positive, got {dt_s}")
         # Predict.
@@ -121,11 +144,14 @@ class DiscreteBayesTracker(Tracker):
         if not bool(np.isfinite(observation.mean_rssi()).any()):
             # Zero evidence (nothing heard): the update is a no-op, so
             # this is a predict-only step and — matching the particle
-            # and Kalman trackers — not a valid fix.
+            # and Kalman trackers — not a valid fix.  A precomputed
+            # emission row is ignored here, exactly as step() never
+            # computes one.
             self._belief = predicted
             return self._estimate(valid=False, reason="no APs heard")
         # Update.
-        ll = np.asarray(self.emission.log_likelihoods(observation), dtype=float)
+        if ll is None:
+            ll = np.asarray(self.emission.log_likelihoods(observation), dtype=float)
         finite = np.isfinite(ll)
         if not finite.any():
             # Degenerate emission (zero probability everywhere, e.g. a

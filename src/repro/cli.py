@@ -357,13 +357,13 @@ def locate_main(argv: Optional[Sequence[str]] = None) -> int:
 def _locate_run(args: argparse.Namespace) -> int:
     from repro.algorithms.base import Observation, make_localizer
     from repro.core.floorplan import FloorPlan, FloorPlanError
+    from repro.core.frozenpack import load_database
     from repro.core.system import ap_positions_by_bssid, site_bounds
-    from repro.core.trainingdb import TrainingDatabase
     from repro.wiscan.format import parse_wiscan
 
     with _ObsSession(args):
         try:
-            db = TrainingDatabase.load(args.database)
+            db = load_database(args.database)  # .tdb or frozen .tdbx
             sessions = [
                 parse_wiscan(
                     Path(path).read_text(encoding="utf-8"),
@@ -437,8 +437,8 @@ def coverage_main(argv: Optional[Sequence[str]] = None) -> int:
 
     from repro.algorithms.tracking.particle import RSSIField
     from repro.core.floorplan import FloorPlan, FloorPlanError
+    from repro.core.frozenpack import load_database
     from repro.core.heatmap import render_heatmap
-    from repro.core.trainingdb import TrainingDatabase
     from repro.imaging.gif import write_gif
 
     parser = argparse.ArgumentParser(
@@ -461,7 +461,7 @@ def coverage_main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         plan = FloorPlan.load(args.plan)
-        db = TrainingDatabase.load(args.database)
+        db = load_database(args.database)  # .tdb or frozen .tdbx
     except (FloorPlanError, ValueError, OSError) as exc:
         _fail(str(exc))
     if args.resolution <= 0:
@@ -596,18 +596,18 @@ def simulate_main(argv: Optional[Sequence[str]] = None) -> int:
 # ----------------------------------------------------------------------
 # repro serve — the localization service front door
 # ----------------------------------------------------------------------
-def _build_chaos(args: argparse.Namespace):
-    """--chaos → a ChaosPolicy (None when the harness is off).
+def _chaos_kwargs(args: argparse.Namespace):
+    """--chaos → ChaosPolicy constructor kwargs (None when off).
 
     ``--chaos`` alone enables a representative default mix (injected
     dispatch latency + tier faults); any explicit ``--chaos-*`` rate
     overrides the defaults.  Without ``--chaos`` the knobs are inert —
-    chaos must be asked for by name.
+    chaos must be asked for by name.  Returned as kwargs (not a
+    policy) so ``--workers`` can ship them to worker processes, each
+    of which builds its own seed-offset policy.
     """
     if not args.chaos:
         return None
-    from repro.serve import ChaosPolicy
-
     latency_ms = args.chaos_latency_ms
     tier_error_rate = args.chaos_tier_error_rate
     if (
@@ -617,19 +617,38 @@ def _build_chaos(args: argparse.Namespace):
         and args.chaos_slowloris_rate == 0.0
     ):
         latency_ms, tier_error_rate = 25.0, 0.25  # the default mix
+    return {
+        "latency_ms": latency_ms,
+        "latency_rate": args.chaos_latency_rate,
+        "latency_jitter_ms": args.chaos_latency_jitter_ms,
+        "tier_error_rate": tier_error_rate,
+        "tiers": tuple(t for t in (args.chaos_tiers or "").split(",") if t),
+        "reset_rate": args.chaos_reset_rate,
+        "slowloris_rate": args.chaos_slowloris_rate,
+        "seed": args.chaos_seed,
+    }
+
+
+def _build_chaos(args: argparse.Namespace):
+    """--chaos → a ChaosPolicy (None when the harness is off)."""
+    kwargs = _chaos_kwargs(args)
+    if kwargs is None:
+        return None
+    from repro.serve import ChaosPolicy
+
     try:
-        return ChaosPolicy(
-            latency_ms=latency_ms,
-            latency_rate=args.chaos_latency_rate,
-            latency_jitter_ms=args.chaos_latency_jitter_ms,
-            tier_error_rate=tier_error_rate,
-            tiers=tuple(t for t in (args.chaos_tiers or "").split(",") if t),
-            reset_rate=args.chaos_reset_rate,
-            slowloris_rate=args.chaos_slowloris_rate,
-            seed=args.chaos_seed,
-        )
+        return ChaosPolicy(**kwargs)
     except ValueError as exc:
         _fail(str(exc))
+
+
+def _model_banner(info: dict) -> str:
+    """The model clause of the machine-readable ``serving`` line."""
+    model = f"{info['algorithm']} ({info['locations']} locations, {info['aps']} APs"
+    if info.get("tiers"):
+        model += f"; tiers: {'>'.join(info['tiers'])}"
+    model += ")"
+    return model
 
 
 def _serve_cmd(args: argparse.Namespace) -> int:
@@ -638,7 +657,6 @@ def _serve_cmd(args: argparse.Namespace) -> int:
 
     from repro.core.floorplan import FloorPlan, FloorPlanError
     from repro.core.system import ap_positions_by_bssid, site_bounds
-    from repro.core.trainingdb import TrainingDatabase
     from repro.serve import LocalizationHTTPServer, LocalizationService
 
     if args.max_batch < 1:
@@ -651,13 +669,17 @@ def _serve_cmd(args: argparse.Namespace) -> int:
         _fail(f"--session-capacity must be >= 1, got {args.session_capacity}")
     if args.session_ttl_s <= 0:
         _fail(f"--session-ttl-s must be > 0, got {args.session_ttl_s}")
+    if args.workers < 1:
+        _fail(f"--workers must be >= 1, got {args.workers}")
 
     ap_positions = None
     bounds = None
     if args.plan:
         try:
+            from repro.core.frozenpack import load_database
+
             plan = FloorPlan.load(args.plan)
-            db_for_plan = TrainingDatabase.load(args.database)
+            db_for_plan = load_database(args.database)  # .tdb or frozen .tdbx
             ap_positions = ap_positions_by_bssid(plan, db_for_plan)
         except (FloorPlanError, ValueError, OSError) as exc:
             _fail(str(exc))
@@ -667,6 +689,9 @@ def _serve_cmd(args: argparse.Namespace) -> int:
             pass  # un-framed plan: serve without bounds filtering
     elif args.algorithm in ("geometric", "multilateration"):
         _fail(f"algorithm {args.algorithm!r} needs --plan for AP positions")
+
+    if args.workers > 1:
+        return _serve_multiproc(args, ap_positions, bounds)
 
     chaos = _build_chaos(args)
     try:
@@ -702,11 +727,7 @@ def _serve_cmd(args: argparse.Namespace) -> int:
     stop = threading.Event()
     signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
     try:
-        info = service.describe()
-        model = f"{info['algorithm']} ({info['locations']} locations, {info['aps']} APs"
-        if info.get("tiers"):
-            model += f"; tiers: {'>'.join(info['tiers'])}"
-        model += ")"
+        model = _model_banner(service.describe())
         # The URL line is machine-readable on purpose: the CI smoke and
         # the load bench launch `repro serve --port 0` and parse it.
         print(f"serving {server.url}  model: {model}", flush=True)
@@ -745,6 +766,116 @@ def _serve_cmd(args: argparse.Namespace) -> int:
     )
     server.stop()
     return 0 if report["unfinished"] == 0 else 1
+
+
+def _serve_multiproc(args: argparse.Namespace, ap_positions, bounds) -> int:
+    """``repro serve --workers N``: supervise a SO_REUSEPORT fleet.
+
+    Prints the same machine-readable banner and ``drain complete:``
+    line as the single-process path, so the CI smoke and the load
+    bench drive both modes with one parser.
+    """
+    import signal
+    import threading
+
+    from repro.serve.workers import Supervisor, WorkerSpec
+
+    spec = WorkerSpec(
+        database=args.database,
+        host=args.host,
+        port=args.port,
+        algorithm=args.algorithm,
+        ap_positions=ap_positions,
+        bounds=bounds,
+        breakers=not args.no_breakers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.default_deadline_ms,
+        p99_limit_ms=args.p99_limit_ms,
+        drain_deadline_s=args.drain_deadline_s,
+        track_filter=args.track_filter,
+        session_capacity=args.session_capacity,
+        session_ttl_s=args.session_ttl_s,
+        chaos_kwargs=_chaos_kwargs(args),
+    )
+    supervisor = Supervisor(spec, args.workers, rundir=args.rundir)
+    try:
+        infos = supervisor.start()
+    except (RuntimeError, OSError, ValueError) as exc:
+        _fail(str(exc))
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    print(f"serving {supervisor.url}  model: {_model_banner(infos[0]['model'])}",
+          flush=True)
+    print(
+        f"micro-batching: max_batch={args.max_batch} "
+        f"max_wait_ms={args.max_wait_ms} max_queue={args.max_queue}",
+        flush=True,
+    )
+    print(
+        f"resilience: breakers={'off' if args.no_breakers else 'on'} "
+        f"p99_limit_ms={args.p99_limit_ms} "
+        f"drain_deadline_s={args.drain_deadline_s}",
+        flush=True,
+    )
+    print(
+        f"tracking: filter={args.track_filter} "
+        f"session_capacity={args.session_capacity} "
+        f"session_ttl_s={args.session_ttl_s}",
+        flush=True,
+    )
+    print(
+        f"workers: {args.workers} rundir: {supervisor.rundir} "
+        f"pids: {','.join(str(i['pid']) for i in infos)}",
+        flush=True,
+    )
+    if args.chaos:
+        print("chaos: enabled (per-worker seed offsets)", flush=True)
+    if args.for_seconds is None:
+        print("Ctrl-C to stop", flush=True)
+    try:
+        supervisor.monitor(stop, for_seconds=args.for_seconds)
+    except KeyboardInterrupt:
+        pass
+    report = supervisor.stop()
+    print(
+        f"drain complete: unfinished={report['unfinished']} "
+        f"waited_s={report['waited_s']}",
+        flush=True,
+    )
+    return 0 if report["drained"] else 1
+
+
+def _freeze_cmd(args: argparse.Namespace) -> int:
+    """``repro freeze``: write a training database as a frozen pack."""
+    from repro.core.floorplan import FloorPlan, FloorPlanError
+    from repro.core.frozenpack import load_database
+    from repro.core.system import ap_positions_by_bssid
+    from repro.core.trainingdb import TrainingDBError
+
+    try:
+        db = load_database(args.database)
+    except (TrainingDBError, OSError, ValueError) as exc:
+        _fail(str(exc))
+    ap_positions = None
+    if args.plan:
+        try:
+            plan = FloorPlan.load(args.plan)
+            ap_positions = ap_positions_by_bssid(plan, db)
+        except (FloorPlanError, ValueError, OSError) as exc:
+            _fail(str(exc))
+    floors = tuple(args.std_floor) if args.std_floor else (0.5,)
+    try:
+        size = db.freeze(args.output, std_floors=floors, ap_positions=ap_positions)
+    except (ValueError, OSError) as exc:
+        _fail(str(exc))
+    ranging = "with ranging" if ap_positions else "no ranging"
+    print(
+        f"froze {len(db)} locations, {len(db.bssids)} APs -> "
+        f"{args.output} ({size} bytes, {ranging})"
+    )
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -1044,7 +1175,37 @@ def repro_main(argv: Optional[Sequence[str]] = None) -> int:
         "--for-seconds", type=float, default=None, metavar="S",
         help="serve for S seconds then exit (default: until Ctrl-C)",
     )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="prefork N worker processes sharing the port via SO_REUSEPORT "
+        "(1 = classic single process); freeze the database to a .tdbx "
+        "pack first so the N model copies share one mmap",
+    )
+    serve.add_argument(
+        "--rundir", default=None, metavar="DIR",
+        help="with --workers: directory for worker readiness / metrics / "
+        "control files (default: a fresh temp dir)",
+    )
     serve.set_defaults(func=_serve_cmd)
+
+    freeze = sub.add_parser(
+        "freeze",
+        help="write a training database as a frozen model pack (.tdbx): "
+        "mmap-able, checksummed, zero-copy on load — the format "
+        "`repro serve --workers N` shares across processes",
+    )
+    freeze.add_argument("database", help=".tdb training database (or a pack to re-freeze)")
+    freeze.add_argument("output", help="output pack path (convention: .tdbx)")
+    freeze.add_argument(
+        "--plan", default=None,
+        help="annotated floor-plan GIF: also freeze the fitted ranging "
+        "model so geometric tiers skip their per-AP regression at load",
+    )
+    freeze.add_argument(
+        "--std-floor", type=float, action="append", default=None, metavar="F",
+        help="extra std-matrix floor to precompute (repeatable; default 0.5)",
+    )
+    freeze.set_defaults(func=_freeze_cmd)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -261,6 +261,20 @@ class TrainingDatabase:
         with obs.span("trainingdb.load", path=str(path)):
             return cls.from_bytes(Path(path).read_bytes())
 
+    def freeze(self, path: PathLike, std_floors: Sequence[float] = (0.5,),
+               ap_positions=None) -> int:
+        """Write this database as a mmap-able frozen pack (``.tdbx``).
+
+        See :mod:`repro.core.frozenpack`; returns the pack size in
+        bytes.  ``ap_positions`` additionally freezes the §5.2 packed
+        ranging tables under a fingerprint of the AP map.
+        """
+        from repro.core.frozenpack import freeze_training_db
+
+        return freeze_training_db(
+            self, path, std_floors=std_floors, ap_positions=ap_positions
+        )
+
 
 def _pack_str(s: str) -> bytes:
     raw = s.encode("utf-8")

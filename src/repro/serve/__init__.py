@@ -38,6 +38,12 @@ of the serving substrate:
   ``X-Deadline-Ms`` deadline propagation.
 * :mod:`repro.serve.clock` — real and manual time sources (the manual
   one drives wait-timeout tests without real sleeps).
+* :mod:`repro.serve.workers` — multi-process scale-out
+  (``repro serve --workers N``): a :class:`Supervisor` preforks N
+  workers sharing one ``SO_REUSEPORT`` port, restarts crashed ones,
+  fans out admin commands, and aggregates fleet metrics — frozen model
+  packs (:mod:`repro.core.frozenpack`) keep the N model copies at one
+  set of physical pages via mmap.
 
 ``repro serve <training.tdb>`` (see :mod:`repro.cli`) runs it from the
 command line; docs/serving.md documents endpoints and knobs,
@@ -64,12 +70,20 @@ from repro.serve.resilience import (
 )
 from repro.serve.service import LocalizationService
 from repro.serve.sessions import (
+    BadTimestampError,
     SessionClosedError,
     SessionStore,
     TrackerFactory,
     TrackingSession,
     TrackingSessions,
     UnknownSessionError,
+)
+from repro.serve.workers import (
+    ControlChannel,
+    FleetMetrics,
+    Supervisor,
+    WorkerSpec,
+    worker_main,
 )
 from repro.serve.wire import (
     WireError,
@@ -81,13 +95,16 @@ from repro.serve.wire import (
 
 __all__ = [
     "AdmissionController",
+    "BadTimestampError",
     "BatchFailure",
     "ChaosError",
     "ChaosPolicy",
     "CircuitBreaker",
     "ClientReport",
+    "ControlChannel",
     "DEADLINE_HEADER",
     "DeadlineExceededError",
+    "FleetMetrics",
     "LocalizationHTTPServer",
     "LocalizationService",
     "ManualClock",
@@ -98,6 +115,7 @@ __all__ = [
     "ServiceClient",
     "SessionClosedError",
     "SessionStore",
+    "Supervisor",
     "SystemClock",
     "TierBreakerBoard",
     "TrackerFactory",
@@ -105,9 +123,11 @@ __all__ = [
     "TrackingSessions",
     "UnknownSessionError",
     "WireError",
+    "WorkerSpec",
     "canonical_json",
     "compute_retry_after_s",
     "estimate_to_json",
     "observation_from_json",
     "track_estimate_to_json",
+    "worker_main",
 ]

@@ -54,11 +54,13 @@ bit-for-bit what a direct ``locate_many`` caller would encode.
 from __future__ import annotations
 
 import json
+import math
 import re
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.obs.export import render_json, render_prometheus
@@ -73,6 +75,7 @@ from repro.serve.resilience import (
 )
 from repro.serve.service import LocalizationService
 from repro.serve.sessions import (
+    BadTimestampError,
     SessionClosedError,
     TrackingSessions,
     UnknownSessionError,
@@ -348,6 +351,20 @@ class LocalizationHTTPServer:
         evicts beyond it) and the idle TTL.  Alternatively pass a ready
         :class:`~repro.serve.sessions.TrackingSessions` as ``sessions``
         (tests inject manual clocks this way) and these are ignored.
+    reuse_port:
+        Bind with ``SO_REUSEPORT`` so N worker processes can share one
+        listening port and the kernel load-balances accepted
+        connections among them (``repro serve --workers N``).
+    metrics_source:
+        Optional zero-arg callable returning the metrics snapshot for
+        ``/metrics`` / ``/metrics.json`` instead of the process-local
+        registry — the multi-process supervisor plugs in the fleet
+        merge here so any worker answers with fleet totals.
+    admin_hook:
+        Optional callable invoked after a *locally handled* admin
+        action (``{"cmd": "reload"/"drain", ...}``) so a worker can
+        broadcast it to its siblings.  Failures are counted, never
+        surfaced to the admin caller.
 
     Use as a context manager or ``start()``/``stop()``.
     """
@@ -381,9 +398,15 @@ class LocalizationHTTPServer:
         session_capacity: int = 10000,
         session_ttl_s: float = 300.0,
         sessions: Optional[TrackingSessions] = None,
+        reuse_port: bool = False,
+        metrics_source: Optional[Callable[[], dict]] = None,
+        admin_hook: Optional[Callable[[Dict[str, object]], None]] = None,
     ):
         self.service = service
         self.host = host
+        self.reuse_port = bool(reuse_port)
+        self.metrics_source = metrics_source
+        self.admin_hook = admin_hook
         self._requested_port = int(port)
         self._clock = clock if clock is not None else SystemClock()
         self.default_deadline_ms = default_deadline_ms
@@ -469,9 +492,28 @@ class LocalizationHTTPServer:
         self.service.model()  # fail fast: no point binding without a model
         self.batcher.start()
         self.sessions.start()
-        httpd = LocalizationHTTPServer._HTTPServer(
-            (self.host, self._requested_port), _Handler
-        )
+        if self.reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise RuntimeError("SO_REUSEPORT is not available on this platform")
+            # Manual bind dance (bind_and_activate=False) so the option
+            # lands on the socket *before* bind — required for the
+            # kernel to admit a second worker onto the same port.
+            # (ThreadingHTTPServer grew allow_reuse_port only in 3.11;
+            # this works on every supported Python.)
+            httpd = LocalizationHTTPServer._HTTPServer(
+                (self.host, self._requested_port), _Handler, bind_and_activate=False
+            )
+            try:
+                httpd.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+                httpd.server_bind()
+                httpd.server_activate()
+            except BaseException:
+                httpd.server_close()
+                raise
+        else:
+            httpd = LocalizationHTTPServer._HTTPServer(
+                (self.host, self._requested_port), _Handler
+            )
         httpd.owner = self
         self._httpd = httpd
         self._ready.clear()
@@ -756,6 +798,18 @@ class LocalizationHTTPServer:
                                 f"dt_s not a number: {doc['dt_s']!r}") from None
             if dt_s <= 0:
                 raise _ApiError(400, "bad_dt", f"dt_s must be > 0, got {doc['dt_s']}")
+        ts = None
+        if isinstance(doc, dict) and doc.get("ts") is not None:
+            # Client scan timestamp (seconds, any consistent epoch):
+            # the session derives Δt from consecutive ts values, with
+            # an explicit dt_s always winning (see sessions.step).
+            try:
+                ts = float(doc["ts"])
+            except (TypeError, ValueError):
+                raise _ApiError(400, "bad_ts",
+                                f"ts not a number: {doc['ts']!r}") from None
+            if not math.isfinite(ts):
+                raise _ApiError(400, "bad_ts", f"ts must be finite, got {doc['ts']}")
         budget_s = self._deadline_from(handler, doc if isinstance(doc, dict) else None)
         # Deadlines live on the *track* batcher's clock (the default
         # construction shares the server clock, so they coincide).
@@ -768,7 +822,7 @@ class LocalizationHTTPServer:
                 time.sleep(chaos_s)
         try:
             future, created = self.sessions.step(
-                session_id, observation, dt_s, deadline=deadline
+                session_id, observation, dt_s, deadline=deadline, ts=ts
             )
         except DeadlineExceededError as exc:
             raise _ApiError(504, "deadline_exceeded", str(exc)) from None
@@ -788,6 +842,10 @@ class LocalizationHTTPServer:
             # scan was NOT applied; 410 tells the client its session is
             # gone for good (vs the 404 of an id that never existed).
             raise _ApiError(410, "session_closed", str(exc)) from None
+        except BadTimestampError as exc:
+            # ts rewound past the rejection window: the scan was NOT
+            # applied (any Δt would corrupt the filter state).
+            raise _ApiError(400, "bad_timestamp", str(exc)) from None
         body = canonical_json(
             track_estimate_to_json(estimate, session_id, seq, created=created)
         )
@@ -841,12 +899,23 @@ class LocalizationHTTPServer:
         # Live tracking sessions follow the swap coherently: each filter
         # re-binds to the new generation, keeping its state where it can.
         rebound = self.sessions.rebind()
+        self._notify_admin({"cmd": "reload", "database": database})
         return (
             200,
             canonical_json({"reloaded": True, "model": info, "sessions": rebound}),
             "application/json",
             {},
         )
+
+    def _notify_admin(self, event: Dict[str, object]) -> None:
+        """Tell the admin hook (sibling-worker broadcast) what just
+        happened locally; hook failures never fail the admin caller."""
+        if self.admin_hook is None:
+            return
+        try:
+            self.admin_hook(event)
+        except Exception as exc:  # noqa: BLE001 - broadcast is best-effort
+            obs.counter("serve.admin_hook_errors", kind=type(exc).__name__).inc()
 
     def _handle_drain(self, handler: _Handler) -> _Route:
         deadline_s = None
@@ -871,6 +940,7 @@ class LocalizationHTTPServer:
                 target=self.drain, args=(deadline_s,),
                 name="repro-serve-drain", daemon=True,
             ).start()
+            self._notify_admin({"cmd": "drain", "deadline_s": deadline_s})
         body = canonical_json({
             "draining": True,
             "already_draining": already,
@@ -883,12 +953,18 @@ class LocalizationHTTPServer:
         body = (json.dumps(report, indent=2, sort_keys=True) + "\n").encode("utf-8")
         return (200 if ok else 503), body, "application/json", {}
 
+    def _metrics_snapshot(self) -> dict:
+        if self.metrics_source is not None:
+            return self.metrics_source()
+        return obs.snapshot()
+
     def _handle_metrics(self, handler: _Handler) -> _Route:
-        body = render_prometheus(obs.snapshot()).encode("utf-8")
+        body = render_prometheus(self._metrics_snapshot()).encode("utf-8")
         return 200, body, PROMETHEUS_CONTENT_TYPE, {}
 
     def _handle_metrics_json(self, handler: _Handler) -> _Route:
-        return 200, render_json(obs.snapshot()).encode("utf-8"), "application/json", {}
+        body = render_json(self._metrics_snapshot()).encode("utf-8")
+        return 200, body, "application/json", {}
 
     def _handle_index(self, handler: _Handler) -> _Route:
         doc = {

@@ -116,7 +116,13 @@ class LocalizationService:
             db, path = database, None
         else:
             path = str(database)
-            db = TrainingDatabase.load(path)
+            # Magic-sniffing load: a frozen pack (.tdbx) opens as
+            # read-only mmap views — no zlib.decompress, no per-record
+            # copies on the serving path — so a hot reload of a pack is
+            # "open, verify checksums, swap one reference".
+            from repro.core.frozenpack import load_database
+
+            db = load_database(path)
         kwargs: Dict[str, object] = {}
         if self.algorithm in ("geometric", "multilateration"):
             if self._ap_positions is None:
@@ -135,6 +141,18 @@ class LocalizationService:
                     ChaosTier(tier, self.chaos) for tier in localizer._fitted
                 ]
             localizer.tier_guard = self.breaker_board
+        frozen_path = getattr(db, "frozen_path", None)
+        if frozen_path is not None and self.chaos is None:
+            # Pack-backed model: big sharded batches ship this spec to
+            # worker processes instead of pickling the fitted arrays
+            # (chaos wrappers are process-local, so a chaos'd model
+            # keeps the classic pickle path).
+            localizer.shard_pack_spec = {
+                "pack_path": frozen_path,
+                "stat": list(db.frozen_pack.stat),
+                "algorithm": self.algorithm,
+                "kwargs": kwargs,
+            }
         self._generation += 1
         return _Model(localizer, db, path, self._generation)
 
@@ -185,6 +203,7 @@ class LocalizationService:
             "generation": model.generation,
             "locations": len(model.db),
             "aps": len(model.db.bssids),
+            "frozen": getattr(model.db, "frozen_pack", None) is not None,
         }
         if isinstance(model.localizer, FallbackLocalizer):
             info["tiers"] = [

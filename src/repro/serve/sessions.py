@@ -32,6 +32,7 @@ serving-side home of :mod:`repro.algorithms.tracking`:
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -53,6 +54,7 @@ __all__ = [
     "SessionError",
     "UnknownSessionError",
     "SessionClosedError",
+    "BadTimestampError",
     "TrackerFactory",
     "TrackingSession",
     "SessionStore",
@@ -85,6 +87,26 @@ class SessionClosedError(SessionError):
         )
         self.session_id = session_id
         self.reason = reason
+
+
+class BadTimestampError(SessionError):
+    """A client ``ts`` rewound past the rejection window.
+
+    Small regressions (clock skew between a device's cores, NTP
+    stepping) are *clamped* to a minimal Δt and counted; a rewind
+    beyond ``max_ts_rewind_s`` means the client's clock is lying and
+    the scan is rejected — applying it with any Δt would corrupt the
+    filter state.
+    """
+
+    def __init__(self, session_id: str, ts: float, last_ts: float, limit_s: float):
+        super().__init__(
+            f"session {session_id!r}: ts {ts} rewinds {last_ts - ts:.3f}s "
+            f"behind the previous scan (limit {limit_s}s)"
+        )
+        self.session_id = session_id
+        self.ts = ts
+        self.last_ts = last_ts
 
 
 class TrackerFactory:
@@ -173,6 +195,7 @@ class TrackingSession:
     __slots__ = (
         "session_id", "tracker", "lock", "created_at", "last_seen",
         "steps", "closed", "close_reason", "last_estimate", "generation",
+        "last_ts",
     )
 
     def __init__(self, session_id: str, tracker: Tracker, now: float):
@@ -185,6 +208,10 @@ class TrackingSession:
         self.closed = False
         self.close_reason: Optional[str] = None
         self.last_estimate = None
+        #: Latest client timestamp applied (None before the first
+        #: ``ts``-carrying scan).  Monotonic by construction: a clamped
+        #: regression never moves it backwards.
+        self.last_ts: Optional[float] = None
 
     def close(self, reason: str) -> bool:
         """Flip to closed; True only for the one call that did the flip."""
@@ -374,14 +401,21 @@ class SessionStore:
 
 
 class _StepJob:
-    """One queued scan: which session, which observation, which Δt."""
+    """One queued scan: which session, which observation, which Δt.
 
-    __slots__ = ("session", "observation", "dt_s")
+    ``dt_s`` is None when the client sent a ``ts`` instead — the Δt is
+    then *derived at apply time* under the session lock (concurrent
+    steps of one session would otherwise race on ``last_ts``).
+    """
 
-    def __init__(self, session: TrackingSession, observation, dt_s: float):
+    __slots__ = ("session", "observation", "dt_s", "ts")
+
+    def __init__(self, session: TrackingSession, observation,
+                 dt_s: Optional[float], ts: Optional[float] = None):
         self.session = session
         self.observation = observation
         self.dt_s = dt_s
+        self.ts = ts
 
 
 class TrackingSessions:
@@ -391,11 +425,13 @@ class TrackingSessions:
     batcher; the dispatch groups the batch's jobs by measurement
     localizer, answers each group with **one** ``locate_many`` call,
     then applies each measurement to its session under the session
-    lock.  Trackers without a measurement split (bayes / particle)
-    step serially inside the same dispatch.  Results resolve each
+    lock.  Bayes trackers group the same way on their emission model —
+    one ``log_likelihood_matrix`` per batch feeds every session's
+    update; trackers with neither split (particle) step serially
+    inside the same dispatch.  Results resolve each
     job's future with ``(estimate, seq)``; per-job failures (a closed
-    session, a bad Δt) ride :class:`~repro.serve.batcher.BatchFailure`
-    so they never fail their batch-mates.
+    session, a bad Δt or timestamp) ride :class:`~repro.serve.batcher.
+    BatchFailure` so they never fail their batch-mates.
     """
 
     def __init__(
@@ -411,9 +447,15 @@ class TrackingSessions:
         bounds=None,
         tracker_kwargs: Optional[Dict[str, object]] = None,
         default_dt_s: float = 1.0,
+        max_ts_rewind_s: float = 60.0,
+        min_dt_s: float = 1e-3,
     ):
         if default_dt_s <= 0:
             raise ValueError(f"default_dt_s must be > 0, got {default_dt_s}")
+        if max_ts_rewind_s < 0:
+            raise ValueError(f"max_ts_rewind_s must be >= 0, got {max_ts_rewind_s}")
+        if min_dt_s <= 0:
+            raise ValueError(f"min_dt_s must be > 0, got {min_dt_s}")
         self.service = service
         self.clock = clock if clock is not None else SystemClock()
         self.factory = TrackerFactory(
@@ -431,6 +473,10 @@ class TrackingSessions:
             name="track",
         )
         self.default_dt_s = float(default_dt_s)
+        #: Rewind tolerance for client timestamps: smaller regressions
+        #: clamp to ``min_dt_s``, larger ones reject the scan.
+        self.max_ts_rewind_s = float(max_ts_rewind_s)
+        self.min_dt_s = float(min_dt_s)
 
     @property
     def kind(self) -> str:
@@ -457,20 +503,34 @@ class TrackingSessions:
 
     # -- the API the HTTP layer calls ------------------------------------
     def step(self, session_id: str, observation, dt_s: Optional[float] = None,
-             deadline: Optional[float] = None):
+             deadline: Optional[float] = None, ts: Optional[float] = None):
         """Queue one scan; returns ``(future, created)``.
 
         The future resolves with ``(estimate, seq)`` — ``seq`` is the
         1-based count of scans applied to the session — or fails with
-        the batcher's deadline/queue errors or
-        :class:`SessionClosedError`.
+        the batcher's deadline/queue errors, :class:`SessionClosedError`
+        or :class:`BadTimestampError`.
+
+        Δt precedence: an explicit ``dt_s`` always wins; otherwise a
+        client ``ts`` (seconds, any consistent epoch) derives Δt from
+        the session's previous ``ts`` with a monotonic-regression
+        guard; with neither, ``default_dt_s`` applies.
         """
-        dt = self.default_dt_s if dt_s is None else float(dt_s)
-        if dt <= 0:
-            raise ValueError(f"dt_s must be > 0, got {dt_s}")
+        if dt_s is not None:
+            dt: Optional[float] = float(dt_s)
+            if dt <= 0:
+                raise ValueError(f"dt_s must be > 0, got {dt_s}")
+        elif ts is not None:
+            dt = None  # resolved at apply time, under the session lock
+        else:
+            dt = self.default_dt_s
+        if ts is not None:
+            ts = float(ts)
+            if not math.isfinite(ts):
+                raise ValueError(f"ts must be finite, got {ts}")
         session, created = self.store.obtain(session_id)
         future = self.batcher.submit(
-            _StepJob(session, observation, dt), deadline=deadline
+            _StepJob(session, observation, dt, ts), deadline=deadline
         )
         return future, created
 
@@ -497,18 +557,57 @@ class TrackingSessions:
         return True, detail
 
     # -- the batched dispatch --------------------------------------------
-    def _apply(self, job: _StepJob, measurement=None):
+    def _resolve_dt_locked(self, session: TrackingSession, job: _StepJob) -> float:
+        """Turn a job's (dt_s, ts) into the Δt to step with.
+
+        Runs under the session lock: concurrent steps of one session
+        serialize here, so each sees its predecessor's ``last_ts``.
+        An explicit ``dt_s`` always wins; a ``ts`` still advances
+        ``last_ts`` (to its max — the guard stays monotonic either
+        way).  Derived Δt: forward gap if ``ts`` advanced; a small
+        rewind (device clock skew, NTP stepping) clamps to ``min_dt_s``
+        and counts ``tracking.bad_timestamps{kind=clamped}``; a rewind
+        past ``max_ts_rewind_s`` raises :class:`BadTimestampError`
+        (counted as ``kind=rejected``) — the clock is lying and no Δt
+        would be right.
+        """
+        ts, last = job.ts, session.last_ts
+        if ts is not None and last is not None and last - ts > self.max_ts_rewind_s:
+            obs.counter("tracking.bad_timestamps", kind="rejected").inc()
+            raise BadTimestampError(
+                session.session_id, ts, last, self.max_ts_rewind_s
+            )
+        if job.dt_s is not None:
+            dt = job.dt_s
+        elif last is None:
+            # First ts-carrying scan: nothing to difference against.
+            dt = self.default_dt_s
+        elif ts > last:
+            dt = ts - last
+        else:
+            obs.counter("tracking.bad_timestamps", kind="clamped").inc()
+            dt = self.min_dt_s
+        if ts is not None and (last is None or ts > last):
+            session.last_ts = ts
+        return dt
+
+    def _apply(self, job: _StepJob, measurement=None, loglik=None):
         session = job.session
         try:
             with session.lock:
                 if session.closed:
                     raise SessionClosedError(session.session_id, session.close_reason)
+                dt = self._resolve_dt_locked(session, job)
                 if measurement is not None:
                     est = session.tracker.step_with_measurement(
-                        measurement, job.observation, job.dt_s
+                        measurement, job.observation, dt
+                    )
+                elif loglik is not None:
+                    est = session.tracker.step_with_loglik(
+                        loglik, job.observation, dt
                     )
                 else:
-                    est = session.tracker.step(job.observation, job.dt_s)
+                    est = session.tracker.step(job.observation, dt)
                 session.steps += 1
                 session.last_estimate = est
                 seq = session.steps
@@ -527,16 +626,27 @@ class TrackingSessions:
         Groups jobs by measurement localizer identity, runs one
         ``locate_many`` per group (normally exactly one group: every
         kalman session of one model generation shares the chain), then
-        applies each measurement under its session's lock.
+        applies each measurement under its session's lock.  Trackers
+        with an *emission* split instead (bayes) group the same way:
+        one ``log_likelihood_matrix`` call per emission model, each row
+        fed to ``step_with_loglik`` — bit-identical to serial stepping
+        because the matrix rows are bit-identical to per-observation
+        ``log_likelihoods``.  Trackers with neither split (particle)
+        step serially inside the same dispatch.
         """
         results = [None] * len(jobs)
         groups: Dict[int, Tuple[object, List[int]]] = {}
+        em_groups: Dict[int, Tuple[object, List[int]]] = {}
         for i, job in enumerate(jobs):
             loc = job.session.tracker.measurement_localizer
-            if loc is None:
-                results[i] = self._apply(job)
-            else:
+            if loc is not None:
                 groups.setdefault(id(loc), (loc, []))[1].append(i)
+                continue
+            em = job.session.tracker.emission_localizer
+            if em is not None:
+                em_groups.setdefault(id(em), (em, []))[1].append(i)
+            else:
+                results[i] = self._apply(job)
         for loc, idxs in groups.values():
             try:
                 measurements = loc.locate_many([jobs[i].observation for i in idxs])
@@ -547,4 +657,16 @@ class TrackingSessions:
             obs.histogram("serve.track.measurement_batch").observe(len(idxs))
             for i, m in zip(idxs, measurements):
                 results[i] = self._apply(jobs[i], measurement=m)
+        for em, idxs in em_groups.values():
+            try:
+                matrix = em.log_likelihood_matrix(
+                    [jobs[i].observation for i in idxs]
+                )
+            except Exception as exc:  # noqa: BLE001 - fail this group only
+                for i in idxs:
+                    results[i] = BatchFailure(exc)
+                continue
+            obs.histogram("serve.track.emission_batch").observe(len(idxs))
+            for k, i in enumerate(idxs):
+                results[i] = self._apply(jobs[i], loglik=matrix[k])
         return results

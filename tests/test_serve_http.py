@@ -396,6 +396,44 @@ class TestTrackingSessionsHTTP:
         assert status_dt == 400
         assert json.loads(body_dt)["error"] == "bad_dt"
 
+    def test_ts_field_drives_dt_and_rejects_rewinds(self, service, observations):
+        with LocalizationHTTPServer(service) as server:
+            url = server.url + "/v1/track/dev-1"
+            status1, _, body1 = request(
+                url, "POST", observation_doc(observations[0], ts=1000.0)
+            )
+            status2, _, body2 = request(
+                url, "POST", observation_doc(observations[1], ts=1002.5)
+            )
+            # 90 seconds behind the high-water mark: the clock is lying.
+            status3, _, body3 = request(
+                url, "POST", observation_doc(observations[0], ts=910.0)
+            )
+            status4, _, body4 = request(
+                url, "POST", observation_doc(observations[0], ts=1003.0)
+            )
+        assert status1 == 200 and status2 == 200
+        assert json.loads(body2)["session"]["seq"] == 2
+        assert status3 == 400
+        assert json.loads(body3)["error"] == "bad_timestamp"
+        assert "rewinds" in json.loads(body3)["detail"]
+        # the rejected scan left the session usable
+        assert status4 == 200
+        assert json.loads(body4)["session"]["seq"] == 3
+        counters = obs.snapshot()["counters"]
+        assert counters["tracking.bad_timestamps{kind=rejected}"] == 1
+
+    def test_non_numeric_ts_is_400(self, service, observations):
+        with LocalizationHTTPServer(service) as server:
+            for bad in ("noon", float("nan")):
+                status, _, body = request(
+                    server.url + "/v1/track/dev-1",
+                    "POST",
+                    observation_doc(observations[0], ts=bad),
+                )
+                assert status == 400
+                assert json.loads(body)["error"] == "bad_ts"
+
     def test_healthz_and_index_surface_session_occupancy(self, service, observations):
         with LocalizationHTTPServer(service, session_capacity=77) as server:
             request(server.url + "/v1/track/dev-1", "POST", observation_doc(observations[0]))

@@ -23,6 +23,7 @@ from repro.algorithms.knn import KNNLocalizer
 from repro.core.geometry import Point
 from repro.core.trainingdb import LocationRecord, TrainingDatabase
 from repro.serve import (
+    BadTimestampError,
     BatchFailure,
     ManualClock,
     QueueFullError,
@@ -519,3 +520,137 @@ class TestWireRoundTrip:
         (est, _), = engine._step_batch([_StepJob(sess, silent, 1.0)])
         blob = canonical_json(track_estimate_to_json(est, "dev-1", 1))
         assert json.loads(blob)["valid"] is False
+
+
+class TestTimestamps:
+    """Client ``ts`` → per-session Δt with a monotonic-regression guard."""
+
+    def test_ts_derived_dt_matches_explicit_dt(self, service, localizer):
+        from repro.algorithms.tracking import KalmanTracker
+
+        observed = walk_observations(straight_path(4))
+        # ts stream 100, 101.5, 101.75, 104.75 → dts 1.0 (default), 1.5,
+        # 0.25, 3.0 — the offline tracker stepped with those exact dts
+        # must agree bit-for-bit.
+        dts = [1.0, 1.5, 0.25, 3.0]
+        offline = KalmanTracker(localizer)
+        want = [offline.step(o, dt) for o, dt in zip(observed, dts)]
+        with TrackingSessions(service, kind="kalman", max_wait_ms=0.5) as engine:
+            for o, ts, w in zip(observed, [100.0, 101.5, 101.75, 104.75], want):
+                future, _ = engine.step("dev-1", o, ts=ts)
+                est, _ = future.result(timeout=30)
+                assert est.position.x == w.position.x
+                assert est.position.y == w.position.y
+                assert est.valid == w.valid
+
+    def test_small_rewind_clamps_and_keeps_high_water_mark(self, service):
+        engine = TrackingSessions(service, kind="kalman")
+        sess, _ = engine.store.obtain("dev-1")
+        o = walk_observations([Point(10, 10)])[0]
+        engine._step_batch([_StepJob(sess, o, None, 100.0)])
+        (est, seq), = engine._step_batch([_StepJob(sess, o, None, 99.9)])
+        assert seq == 2 and est is not None  # accepted, dt clamped
+        assert sess.last_ts == 100.0  # a rewind never moves the mark back
+        counters = obs.snapshot()["counters"]
+        assert counters["tracking.bad_timestamps{kind=clamped}"] == 1
+        engine._step_batch([_StepJob(sess, o, None, 100.5)])
+        assert sess.last_ts == 100.5
+
+    def test_large_rewind_rejected_session_survives(self, service):
+        engine = TrackingSessions(service, kind="kalman")  # rewind limit 60s
+        sess, _ = engine.store.obtain("dev-1")
+        o = walk_observations([Point(10, 10)])[0]
+        engine._step_batch([_StepJob(sess, o, None, 1000.0)])
+        result, = engine._step_batch([_StepJob(sess, o, None, 900.0)])
+        assert isinstance(result, BatchFailure)
+        assert isinstance(result.error, BadTimestampError)
+        assert result.error.ts == 900.0 and result.error.last_ts == 1000.0
+        assert sess.steps == 1 and sess.last_ts == 1000.0  # scan not applied
+        counters = obs.snapshot()["counters"]
+        assert counters["tracking.bad_timestamps{kind=rejected}"] == 1
+        # One lying clock reading poisons nothing: the next sane scan lands.
+        (_, seq), = engine._step_batch([_StepJob(sess, o, None, 1001.0)])
+        assert seq == 2
+
+    def test_explicit_dt_wins_but_guard_still_applies(self, service):
+        engine = TrackingSessions(service, kind="kalman")
+        sess, _ = engine.store.obtain("dev-1")
+        o = walk_observations([Point(10, 10)])[0]
+        engine._step_batch([_StepJob(sess, o, 2.0, 50.0)])
+        assert sess.last_ts == 50.0  # ts advances the mark even with dt_s
+        result, = engine._step_batch([_StepJob(sess, o, 1.0, -100.0)])
+        assert isinstance(result, BatchFailure)
+        assert isinstance(result.error, BadTimestampError)
+
+    def test_ts_and_guard_validation(self, service):
+        engine = TrackingSessions(service)
+        o = walk_observations([Point(10, 10)])[0]
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                engine.step("dev-1", o, ts=bad)
+        with pytest.raises(ValueError):
+            TrackingSessions(service, max_ts_rewind_s=-1.0)
+        with pytest.raises(ValueError):
+            TrackingSessions(service, min_dt_s=0.0)
+
+
+class TestBayesEmissionBatching:
+    """Grouped ``log_likelihood_matrix`` stepping is bit-parity with serial."""
+
+    def test_batched_bayes_bit_identical_to_serial(self, service, db):
+        from repro.algorithms.tracking import DiscreteBayesTracker
+
+        engine = TrackingSessions(service, kind="bayes")
+        paths = {
+            f"dev-{i}": walk_observations(straight_path(4), seed=10 + i)
+            for i in range(4)
+        }
+        sessions = {sid: engine.store.obtain(sid)[0] for sid in paths}
+        # All sessions of one generation share the factory's emission
+        # fit; the offline reference steps serially on that same fit.
+        emission = sessions["dev-0"].tracker.emission
+        assert all(s.tracker.emission is emission for s in sessions.values())
+        offline = {sid: DiscreteBayesTracker(emission, db) for sid in paths}
+        for step_i in range(4):
+            sids = list(paths)
+            jobs = [_StepJob(sessions[sid], paths[sid][step_i], 1.0) for sid in sids]
+            results = engine._step_batch(jobs)
+            for sid, result in zip(sids, results):
+                est, seq = result
+                want = offline[sid].step(paths[sid][step_i], 1.0)
+                assert seq == step_i + 1
+                assert canonical_json(
+                    track_estimate_to_json(est, sid, seq)
+                ) == canonical_json(track_estimate_to_json(want, sid, seq))
+        hist = obs.snapshot()["histograms"]["serve.track.emission_batch"]
+        assert hist["count"] == 4 and hist["min"] == hist["max"] == 4.0
+
+    def test_one_matrix_call_per_batch(self, service):
+        engine = TrackingSessions(service, kind="bayes")
+        sessions = [engine.store.obtain(f"dev-{i}")[0] for i in range(6)]
+        emission = sessions[0].tracker.emission
+        calls = []
+        original = emission.log_likelihood_matrix
+        emission.log_likelihood_matrix = lambda obs_list: (
+            calls.append(len(obs_list)),
+            original(obs_list),
+        )[1]
+        try:
+            o = walk_observations([Point(25, 20)])[0]
+            results = engine._step_batch(
+                [_StepJob(sess, o, 1.0) for sess in sessions]
+            )
+        finally:
+            del emission.log_likelihood_matrix
+        assert calls == [6]  # one matrix pass, not 6 log_likelihoods calls
+        assert all(seq == 1 for _, seq in results)
+
+    def test_silent_scan_in_batch_is_predict_only(self, service):
+        engine = TrackingSessions(service, kind="bayes")
+        sess, _ = engine.store.obtain("dev-1")
+        engine._step_batch(
+            [_StepJob(sess, walk_observations([Point(25, 20)])[0], 1.0)]
+        )
+        silent = Observation(np.full((2, 4), np.nan))
+        (est, seq), = engine._step_batch([_StepJob(sess, silent, 1.0)])
+        assert seq == 2 and est.valid is False

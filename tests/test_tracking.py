@@ -112,6 +112,39 @@ class TestDiscreteBayes:
         with pytest.raises(ValueError):
             t.step(walk_observations([Point(0, 0)])[0], dt_s=0)
 
+    def test_step_with_loglik_bit_identical_to_step(self, emission, db):
+        """The serving layer's batched path: a precomputed emission row
+        fed to ``step_with_loglik`` must reproduce ``step`` exactly."""
+        observed = walk_observations(straight_path(8))
+        serial = DiscreteBayesTracker(emission, db)
+        batched = DiscreteBayesTracker(emission, db)
+        matrix = emission.log_likelihood_matrix(observed)
+        for i, o in enumerate(observed):
+            a = serial.step(o, 1.0)
+            b = batched.step_with_loglik(matrix[i], o, 1.0)
+            assert a.position.x == b.position.x
+            assert a.position.y == b.position.y
+            assert a.score == b.score
+            np.testing.assert_array_equal(serial.belief, batched.belief)
+
+    def test_emission_localizer_requires_matrix_support(self, emission, db):
+        assert DiscreteBayesTracker(emission, db).emission_localizer is emission
+
+        class _NoMatrix:
+            def log_likelihoods(self, observation):
+                return np.zeros(len(db))
+
+        assert DiscreteBayesTracker(_NoMatrix(), db).emission_localizer is None
+
+    def test_loglik_ignored_on_silent_scan(self, emission, db):
+        """A precomputed row must not inject evidence ``step`` would
+        never compute: nothing heard → predict-only, invalid fix."""
+        t = DiscreteBayesTracker(emission, db)
+        t.step(walk_observations([Point(25, 20)])[0], 1.0)
+        silent = Observation(np.full((2, 4), np.nan))
+        est = t.step_with_loglik(np.zeros(len(db)), silent, 1.0)
+        assert est.valid is False
+
 
 class TestKalman:
     def test_initializes_on_first_fix(self, db):
