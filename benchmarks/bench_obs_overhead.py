@@ -136,3 +136,63 @@ def test_obs_overhead_under_sharding(house, training_db, test_points):
         f"sharded telemetry round trip costs {100 * overhead:.1f}% "
         f"(budget 10%)"
     )
+
+
+def test_tracing_overhead_under_5_percent(house, training_db, test_points):
+    """Request tracing (context + recorder, sampling on) rides the gate.
+
+    The traced-serving scenario: every request runs under a bound
+    :class:`~repro.obs.TraceContext` with the flight recorder installed
+    and ``sample_every=1`` (the worst case — production can sample
+    down, the bench must not).  Per request that is an edge span, a
+    recorder begin/record/finish, and an exemplar-carrying histogram
+    observation — everything ``serve.http`` adds around the kernel.
+    The baseline is the same kernel with no context bound, which is
+    the same code path every non-serving caller takes.
+    """
+    from repro.obs.trace import FlightRecorder, TraceContext
+
+    observations = house.observe_all(
+        list(test_points) * (N_OBSERVATIONS // len(test_points) + 1),
+        rng=13,
+        dwell_s=5.0,
+    )[:N_OBSERVATIONS]
+    loc = ProbabilisticLocalizer().fit(training_db)
+
+    def untraced():
+        loc.locate_many(observations)
+
+    def traced():
+        recorder = FlightRecorder(sample_every=1)
+        previous = obs.set_recorder(recorder)
+        try:
+            ctx = TraceContext.mint()
+            recorder.begin(ctx, endpoint="locate_batch")
+            with obs.bind(ctx):
+                with obs.span("serve.request", endpoint="locate_batch"):
+                    loc.locate_many(observations)
+            recorder.finish(ctx.trace_id, status="ok")
+            obs.histogram("serve.http_latency_ms", endpoint="locate_batch").observe(
+                1.0, trace_id=ctx.trace_id
+            )
+        finally:
+            obs.set_recorder(previous)
+
+    untraced()
+    traced()  # warm both paths
+    t_untraced = _best_of(untraced)
+    t_traced = _best_of(traced)
+
+    overhead = t_traced / t_untraced - 1.0
+    lines = [
+        f"Tracing overhead on PERF-BATCH ({N_OBSERVATIONS} obs, best of {REPEATS})",
+        f"{'path':<22s}{'ms':>10s}{'overhead':>10s}",
+        f"{'untraced':<22s}{1000 * t_untraced:>10.2f}{'—':>10s}",
+        f"{'traced + recorder':<22s}{1000 * t_traced:>10.2f}{100 * overhead:>9.1f}%",
+    ]
+    record("OBS-TRACE-OVERHEAD", "\n".join(lines))
+
+    assert overhead < MAX_OVERHEAD, (
+        f"traced serving path is {100 * overhead:.1f}% slower than untraced "
+        f"(budget {100 * MAX_OVERHEAD:.0f}%)"
+    )

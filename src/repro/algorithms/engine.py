@@ -34,6 +34,7 @@ through :func:`run_batched` automatically.
 from __future__ import annotations
 
 import functools
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -153,6 +154,41 @@ def _pack_shard_kernel(spec: Dict[str, Any], chunk: Sequence[Any]) -> List[Any]:
     return _localizer_from_spec(spec)._locate_chunk(chunk)
 
 
+class _TracedKernel:
+    """Picklable shard-kernel wrapper carrying the request's trace context.
+
+    The serving worker's :class:`~repro.obs.TraceContext` rides to the
+    pool worker inside the job (as a plain dict, like the pack spec);
+    the worker binds it, runs the chunk under a ``batch.shard_chunk``
+    span stamped with its pid, and ships every completed span back with
+    the results.  :func:`run_batched` unwraps the envelope and absorbs
+    the spans into the parent's flight recorder/tracer — so a sharded
+    request's trace shows the worker-process spans under the same
+    trace id, exactly like an unsharded one shows its chunk spans.
+    """
+
+    __slots__ = ("kernel", "ctx_doc")
+
+    def __init__(self, kernel: Callable[[Sequence[Any]], List[Any]], ctx_doc: Dict[str, Any]):
+        self.kernel = kernel
+        self.ctx_doc = ctx_doc
+
+    def __call__(self, chunk: Sequence[Any]) -> Dict[str, Any]:
+        ctx = obs.TraceContext.from_dict(self.ctx_doc)
+        with obs.bind(ctx), obs.capture_spans() as events:
+            with obs.span("batch.shard_chunk", size=len(chunk), pid=os.getpid()):
+                results = self.kernel(chunk)
+        return {"__spans__": events, "results": results}
+
+
+def _unwrap_traced(result: Any) -> Any:
+    """Open one worker envelope: absorb its spans, return its results."""
+    if isinstance(result, dict) and "__spans__" in result:
+        obs.deliver_spans(result["__spans__"])
+        return result["results"]
+    return result
+
+
 def run_batched(
     kernel: Callable[[Sequence[Any]], List[Any]],
     items: Sequence[Any],
@@ -207,6 +243,11 @@ def run_batched(
             shard_kernel = functools.partial(_pack_shard_kernel, pack_spec)
         else:
             shard_kernel = kernel
+        ctx = obs.current_context()
+        if ctx is not None:
+            # Serialize the request's trace context into the job so the
+            # pool workers' spans stitch under the same trace id.
+            shard_kernel = _TracedKernel(shard_kernel, ctx.to_dict())
         with obs.span(
             "batch.shard", algorithm=label, n_items=n, n_chunks=len(chunks)
         ):
@@ -219,6 +260,8 @@ def run_batched(
                     serial_threshold=2,
                 ),
             )
+            if ctx is not None:
+                shard_results = [_unwrap_traced(shard) for shard in shard_results]
         return [estimate for shard in shard_results for estimate in shard]
 
     out: List[Any] = []

@@ -652,6 +652,7 @@ def _model_banner(info: dict) -> str:
 
 
 def _serve_cmd(args: argparse.Namespace) -> int:
+    import os
     import signal
     import threading
 
@@ -721,6 +722,22 @@ def _serve_cmd(args: argparse.Namespace) -> int:
         session_capacity=args.session_capacity,
         session_ttl_s=args.session_ttl_s,
     )
+    # Always-on flight recorder: /debug/traces answers from it, and
+    # SIGUSR2 dumps the retained traces to a JSONL for offline reading.
+    from repro import obs
+
+    recorder = obs.FlightRecorder()
+    obs.set_recorder(recorder)
+    if hasattr(signal, "SIGUSR2"):
+        import tempfile
+
+        trace_dump = Path(tempfile.gettempdir()) / f"repro-traces-{os.getpid()}.jsonl"
+
+        def _dump_traces(signum, frame):
+            n = recorder.dump_jsonl(trace_dump)
+            print(f"dumped {n} traces -> {trace_dump}", flush=True)
+
+        signal.signal(signal.SIGUSR2, _dump_traces)
     server.start()
     # SIGTERM must end with a graceful drain, not a mid-request kill:
     # the handler only sets an event; the drain runs on the main thread.
@@ -1002,6 +1019,134 @@ def _obs_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _span_line(span: dict) -> str:
+    """One rendered span: name, timing, status, the useful attributes."""
+    name = str(span.get("name", "?"))
+    wall = span.get("wall_ms")
+    timing = f" {float(wall):.2f}ms" if isinstance(wall, (int, float)) else ""
+    status = str(span.get("status", "ok"))
+    suffix = "" if status == "ok" else f" !{status}"
+    attrs = span.get("attrs")
+    extra = ""
+    if isinstance(attrs, dict):
+        shown = []
+        for key in sorted(attrs):
+            if key == "links":
+                shown.append(f"links={len(attrs[key])}")
+            else:
+                shown.append(f"{key}={attrs[key]}")
+        if shown:
+            extra = "  {" + ", ".join(shown) + "}"
+    return f"{name}{timing}{suffix}{extra}"
+
+
+def _render_trace_tree(trace: dict) -> str:
+    """ASCII span tree for one flight-recorder trace doc."""
+    head = f"trace {trace.get('trace_id', '?')}"
+    for key in ("method", "endpoint", "request_id"):
+        if trace.get(key):
+            head += f"  {key}={trace[key]}"
+    if trace.get("status"):
+        head += f"  status={trace['status']}"
+    wall = trace.get("wall_ms")
+    if isinstance(wall, (int, float)):
+        head += f"  wall_ms={float(wall):.2f}"
+    if trace.get("pinned"):
+        head += f"  [pinned: {trace.get('reason', '?')}]"
+    spans = [s for s in trace.get("spans", []) if isinstance(s, dict)]
+    by_id = {s.get("span"): s for s in spans if s.get("span")}
+    children: dict = {}
+    roots = []
+    for s in spans:
+        parent = s.get("parent_span")
+        if parent and parent in by_id and parent != s.get("span"):
+            children.setdefault(parent, []).append(s)
+        else:
+            # No in-trace parent: an edge span, or a linked span copied
+            # from a sibling trace (the batch-dispatch fan-in).
+            roots.append(s)
+    lines = [head]
+
+    def walk(span: dict, prefix: str, is_last: bool) -> None:
+        branch = "`- " if is_last else "|- "
+        lines.append(prefix + branch + _span_line(span))
+        kids = children.get(span.get("span"), [])
+        kids.sort(key=lambda s: float(s.get("ts") or 0.0))
+        child_prefix = prefix + ("   " if is_last else "|  ")
+        for i, kid in enumerate(kids):
+            walk(kid, child_prefix, i == len(kids) - 1)
+
+    roots.sort(key=lambda s: float(s.get("ts") or 0.0))
+    for i, root in enumerate(roots):
+        walk(root, "", i == len(roots) - 1)
+    if not spans:
+        lines.append("   (no spans retained)")
+    return "\n".join(lines)
+
+
+def _obs_traces(args: argparse.Namespace) -> int:
+    """``repro obs traces``: render flight-recorder traces as span trees.
+
+    The source is either a live server (``http://host:port`` — its
+    ``/debug/traces`` endpoint, which on a fleet merges every worker's
+    recorder) or a file: a ``/debug/traces`` JSON capture, a
+    ``traces-<i>.json`` rundir dump, or a SIGUSR2 ``.jsonl`` dump.
+    """
+    import json
+
+    source = args.source
+    if source.startswith(("http://", "https://")):
+        import urllib.error
+        import urllib.parse
+        import urllib.request
+
+        url = source.rstrip("/")
+        if "/debug/traces" not in url:
+            url += "/debug/traces"
+        if args.trace_id:
+            url += "?" + urllib.parse.urlencode({"trace_id": args.trace_id})
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as resp:
+                doc = json.loads(resp.read())
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            _fail(f"cannot fetch {url}: {exc}")
+    else:
+        path = Path(source)
+        if not path.is_file():
+            _fail(f"trace source not found: {path}")
+        try:
+            text = path.read_text(encoding="utf-8")
+            if path.suffix == ".jsonl":
+                traces = [json.loads(line) for line in text.splitlines() if line.strip()]
+                doc = {"traces": traces}
+            else:
+                doc = json.loads(text)
+        except (OSError, ValueError) as exc:
+            _fail(f"cannot read {path}: {exc}")
+    traces = [t for t in doc.get("traces", []) if isinstance(t, dict)]
+    if args.trace_id:
+        traces = [t for t in traces if t.get("trace_id") == args.trace_id]
+    traces.sort(key=lambda t: float(t.get("ts") or 0.0))
+    if args.json:
+        out = dict(doc)
+        out["traces"] = traces
+        print(json.dumps(out, indent=2, sort_keys=True, default=str))
+        return 0
+    stats = doc.get("stats")
+    if isinstance(stats, dict) and stats:
+        summary = ", ".join(f"{k}={stats[k]}" for k in sorted(stats))
+        workers = doc.get("workers")
+        prefix = f"workers={workers}  " if workers else ""
+        print(f"# {prefix}{summary}")
+    if not traces:
+        print("no traces retained" + (f" for trace_id={args.trace_id}" if args.trace_id else ""))
+        return 1 if args.trace_id else 0
+    for trace in traces:
+        print(_render_trace_tree(trace))
+        print()
+    return 0
+
+
 def repro_main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1065,6 +1210,24 @@ def repro_main(argv: Optional[Sequence[str]] = None) -> int:
     diff.add_argument("after", help="later snapshot JSON")
     diff.add_argument("--format", choices=("text", "json"), default="text")
     diff.set_defaults(func=_obs_diff)
+
+    traces = obs_sub.add_parser(
+        "traces",
+        help="render flight-recorder traces (from a live server's "
+        "/debug/traces or a dump file) as span trees",
+    )
+    traces.add_argument(
+        "source",
+        help="server URL (http://host:port), a /debug/traces JSON capture, "
+        "a rundir traces-<i>.json, or a SIGUSR2 .jsonl dump",
+    )
+    traces.add_argument(
+        "--trace-id", help="show only this trace (exit 1 if not retained)"
+    )
+    traces.add_argument(
+        "--json", action="store_true", help="print the raw trace documents"
+    )
+    traces.set_defaults(func=_obs_traces)
 
     serve = sub.add_parser(
         "serve",

@@ -8,7 +8,10 @@ catalogue, exporter formats and the trace format):
   streaming histograms, a process-global default registry, and
   cross-process aggregation (``MetricsRegistry.dump_state/merge``).
 * :mod:`repro.obs.trace` — ``span("stage")`` context managers feeding
-  a JSONL :class:`Tracer` with nesting and wall/CPU time.
+  a JSONL :class:`Tracer` with nesting and wall/CPU time, plus the
+  request-tracing layer: W3C-compatible :class:`TraceContext`
+  propagation (``bind``/``current_context``) and the per-process
+  :class:`FlightRecorder` ring of completed traces.
 * :mod:`repro.obs.render` — ``render_text()`` snapshot formatting
   (deterministic series order).
 * :mod:`repro.obs.export` — Prometheus text exposition
@@ -46,17 +49,41 @@ from repro.obs.metrics import (
 )
 from repro.obs.render import render_text
 from repro.obs.server import ObsServer
-from repro.obs.trace import Tracer, current_tracer, span
+from repro.obs.trace import (
+    FlightRecorder,
+    TraceContext,
+    Tracer,
+    annotate,
+    bind,
+    capture_spans,
+    current_context,
+    current_tracer,
+    deliver_spans,
+    get_recorder,
+    new_span_id,
+    set_recorder,
+    span,
+)
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ObsServer",
+    "TraceContext",
     "Tracer",
+    "annotate",
+    "bind",
+    "capture_spans",
     "counter",
+    "current_context",
     "current_tracer",
+    "deliver_spans",
+    "get_recorder",
+    "new_span_id",
+    "set_recorder",
     "diff_snapshots",
     "enabled",
     "gauge",

@@ -19,6 +19,7 @@ Series order follows the same deterministic (name, label tuple) sort as
 from __future__ import annotations
 
 import json
+import math
 import re
 from typing import Dict, List, Optional, Tuple
 
@@ -27,13 +28,18 @@ from repro.obs.render import sorted_series
 
 __all__ = [
     "render_prometheus",
+    "render_openmetrics",
     "render_json",
     "json_payload",
     "JSON_SCHEMA",
+    "OPENMETRICS_CONTENT_TYPE",
 ]
 
 #: Schema tag stamped into every JSON payload.
 JSON_SCHEMA = "repro.obs/2"
+
+#: What ``GET /metrics`` negotiates to when the scraper accepts it.
+OPENMETRICS_CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
 _NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
 _LABEL_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
@@ -125,6 +131,118 @@ def render_prometheus(
         lines.extend(rows)
 
     return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def _openmetrics_histogram(
+    metric: str,
+    labels: Tuple[Tuple[str, str], ...],
+    hstate: Dict[str, object],
+    max_buckets: int,
+) -> List[str]:
+    """Cumulative ``le`` bucket rows for one histogram's dumped state.
+
+    The registry's log buckets (index ``i`` covers
+    ``[growth^i, growth^(i+1))``) are coalesced into at most
+    ``max_buckets`` groups of consecutive occupied buckets; each group
+    renders one cumulative bucket whose ``le`` is the group's upper
+    bound.  Non-positive observations sit below every positive bucket,
+    so they seed the running cumulative count.  A bucket whose source
+    buckets carry an exemplar gets the newest one appended in
+    OpenMetrics exemplar syntax (``# {trace_id="..."} value ts``) —
+    the jump-link from a latency bucket to a flight-recorder trace.
+    """
+    growth = float(hstate.get("growth", 1.04))
+    log_growth = math.log(growth)
+    buckets = {int(k): int(v) for k, v in (hstate.get("buckets") or {}).items()}
+    exemplars = {int(k): v for k, v in (hstate.get("exemplars") or {}).items()}
+    count = int(hstate.get("count", 0))
+    total = float(hstate.get("total", 0.0))
+    rows: List[str] = []
+    cumulative = int(hstate.get("nonpositive", 0))
+    idxs = sorted(buckets)
+    if idxs:
+        stride = max(1, -(-len(idxs) // max_buckets))  # ceil division
+        for start in range(0, len(idxs), stride):
+            group = idxs[start:start + stride]
+            cumulative += sum(buckets[i] for i in group)
+            le = math.exp((group[-1] + 1) * log_growth)
+            exemplar = None
+            for i in group:
+                candidate = exemplars.get(i)
+                if candidate is not None and (
+                    exemplar is None or float(candidate[2]) >= float(exemplar[2])
+                ):
+                    exemplar = candidate
+            le_label = 'le="%s"' % _prom_value(le)
+            line = f"{metric}_bucket{_prom_labels(labels, le_label)} {cumulative}"
+            if exemplar is not None:
+                line += ' # {trace_id="%s"} %s %.3f' % (
+                    _escape(str(exemplar[1])),
+                    _prom_value(float(exemplar[0])),
+                    float(exemplar[2]),
+                )
+            rows.append(line)
+    inf_label = 'le="+Inf"'
+    rows.append(f"{metric}_bucket{_prom_labels(labels, inf_label)} {count}")
+    rows.append(f"{metric}_sum{_prom_labels(labels)} {_prom_value(total)}")
+    rows.append(f"{metric}_count{_prom_labels(labels)} {count}")
+    return rows
+
+
+def render_openmetrics(
+    state: Optional[Dict[str, Dict[str, object]]] = None,
+    prefix: str = "repro_",
+    max_buckets: int = 32,
+) -> str:
+    """OpenMetrics 1.0 exposition of a registry *state* (with exemplars).
+
+    Takes :meth:`MetricsRegistry.dump_state` form — not a snapshot —
+    because only the dumped state carries histogram buckets and
+    exemplars (a snapshot collapses them into quantile answers).
+    Defaults to the live default registry's state.  Histograms export
+    as real cumulative-``le`` histograms (vs the summary series of
+    :func:`render_prometheus`), latency buckets carry sample trace ids
+    as exemplars, and the body is terminated with the mandatory
+    ``# EOF`` line.
+    """
+    st = state if state is not None else _metrics.get_registry().dump_state()
+    lines: List[str] = []
+
+    groups: Dict[str, List[str]] = {}
+    for series, value in sorted_series(st.get("counters", {})):
+        name, labels = _metrics.split_series(series)
+        metric = _prom_name(name, prefix)
+        groups.setdefault(metric, []).append(
+            f"{metric}_total{_prom_labels(labels)} {_prom_value(value)}"
+        )
+    for metric, rows in groups.items():
+        lines.append(f"# TYPE {metric} counter")
+        lines.extend(rows)
+
+    groups = {}
+    for series, value in sorted_series(st.get("gauges", {})):
+        name, labels = _metrics.split_series(series)
+        metric = _prom_name(name, prefix)
+        groups.setdefault(metric, []).append(
+            f"{metric}{_prom_labels(labels)} {_prom_value(value)}"
+        )
+    for metric, rows in groups.items():
+        lines.append(f"# TYPE {metric} gauge")
+        lines.extend(rows)
+
+    groups = {}
+    for series, hstate in sorted_series(st.get("histograms", {})):
+        name, labels = _metrics.split_series(series)
+        metric = _prom_name(name, prefix)
+        groups.setdefault(metric, []).extend(
+            _openmetrics_histogram(metric, labels, hstate, max_buckets)
+        )
+    for metric, rows in groups.items():
+        lines.append(f"# TYPE {metric} histogram")
+        lines.extend(rows)
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
 
 
 def _clean_float(value) -> Optional[float]:

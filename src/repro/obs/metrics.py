@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -135,7 +136,10 @@ class Histogram:
     """
 
     __slots__ = ("name", "growth", "_log_growth", "count", "total", "min", "max",
-                 "_buckets", "_nonpositive", "_lock")
+                 "_buckets", "_nonpositive", "_exemplars", "_lock")
+
+    #: At most this many buckets carry an exemplar (bounded memory).
+    MAX_EXEMPLAR_BUCKETS = 64
 
     def __init__(self, name: str, growth: float = 1.04):
         if growth <= 1.0:
@@ -149,12 +153,26 @@ class Histogram:
         self.max = -math.inf
         self._buckets: Dict[int, int] = {}
         self._nonpositive = 0
+        self._exemplars: Dict[int, Tuple[float, str, float]] = {}
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: Optional[str] = None) -> None:
+        """Record one value; optionally tag its bucket with an exemplar.
+
+        An exemplar is ``(value, trace_id, unix_ts)`` — a sample request
+        id living in the bucket the observation landed in, so a scraper
+        reading the OpenMetrics exposition can jump from "the p99 bucket
+        grew" straight to a concrete trace in the flight recorder.
+        Last write per bucket wins; at most ``MAX_EXEMPLAR_BUCKETS``
+        buckets hold one.
+        """
         value = float(value)
         with self._lock:
             self._observe_locked(value)
+            if trace_id and value > 0.0:
+                idx = int(math.floor(math.log(value) / self._log_growth))
+                if idx in self._exemplars or len(self._exemplars) < self.MAX_EXEMPLAR_BUCKETS:
+                    self._exemplars[idx] = (value, str(trace_id), time.time())
 
     def observe_many(self, values: Iterable[float]) -> None:
         """Observe a whole batch under one lock acquisition.
@@ -222,7 +240,7 @@ class Histogram:
         """Full picklable state — everything a merge needs, unlike
         :meth:`summary` which collapses buckets into quantile answers."""
         with self._lock:
-            return {
+            state: Dict[str, object] = {
                 "growth": self.growth,
                 "count": self.count,
                 "total": self.total,
@@ -231,6 +249,9 @@ class Histogram:
                 "nonpositive": self._nonpositive,
                 "buckets": dict(self._buckets),
             }
+            if self._exemplars:
+                state["exemplars"] = {k: list(v) for k, v in self._exemplars.items()}
+            return state
 
     def merge_state(self, state: Dict[str, object]) -> None:
         """Fold another histogram's :meth:`dump_state` into this one.
@@ -254,6 +275,14 @@ class Histogram:
             for idx, n in state.get("buckets", {}).items():
                 idx = int(idx)  # JSON round trips turn keys into strings
                 self._buckets[idx] = self._buckets.get(idx, 0) + int(n)
+            for idx, ex in state.get("exemplars", {}).items():
+                idx = int(idx)
+                incoming = (float(ex[0]), str(ex[1]), float(ex[2]))
+                held = self._exemplars.get(idx)
+                # newest exemplar per bucket wins across merges
+                if held is None or incoming[2] >= held[2]:
+                    if idx in self._exemplars or len(self._exemplars) < self.MAX_EXEMPLAR_BUCKETS:
+                        self._exemplars[idx] = incoming
 
 
 class _NullMetric:
@@ -271,7 +300,7 @@ class _NullMetric:
     def set(self, value):
         pass
 
-    def observe(self, value):
+    def observe(self, value, trace_id=None):
         pass
 
     def observe_many(self, values):

@@ -70,13 +70,24 @@ class BatchFailure:
 
 
 class _Request:
-    __slots__ = ("payload", "future", "deadline", "enqueued_at")
+    __slots__ = ("payload", "future", "deadline", "enqueued_at", "ctx")
 
-    def __init__(self, payload: Any, future: Future, deadline: Optional[float], enqueued_at: float):
+    def __init__(
+        self,
+        payload: Any,
+        future: Future,
+        deadline: Optional[float],
+        enqueued_at: float,
+        ctx=None,
+    ):
         self.payload = payload
         self.future = future
         self.deadline = deadline
         self.enqueued_at = enqueued_at
+        # The submitter's TraceContext (or None): captured at submit so
+        # the dispatcher thread can stitch the fan-in — N request
+        # traces share one dispatch span via span links.
+        self.ctx = ctx
 
 
 class MicroBatcher:
@@ -239,7 +250,13 @@ class MicroBatcher:
                     f"request queue at capacity ({self.max_queue}); retry later"
                 )
             self._queue.append(
-                _Request(payload, future, deadline, self._clock.monotonic())
+                _Request(
+                    payload,
+                    future,
+                    deadline,
+                    self._clock.monotonic(),
+                    ctx=obs.current_context(),
+                )
             )
             obs.gauge("serve.queue_depth", batcher=self.name).set(len(self._queue))
             self._cond.notify_all()
@@ -298,9 +315,22 @@ class MicroBatcher:
             obs.histogram("serve.batch_wait_ms", batcher=self.name).observe_many(
                 1000.0 * (now - req.enqueued_at) for req in live
             )
+            # The fan-in stitch: the dispatch runs under the *first*
+            # live request's trace context (so engine/chunk/shard spans
+            # land in one trace), and the dispatch span links every
+            # coalesced request's (trace_id, span_id) — the flight
+            # recorder copies it into each linked trace, so all N
+            # requests see the shared dispatch in their own tree.
+            ctxs = [req.ctx for req in live if req.ctx is not None]
+            attrs: dict = {"batcher": self.name, "size": len(live)}
+            if ctxs:
+                attrs["links"] = [
+                    {"trace_id": c.trace_id, "span_id": c.span_id} for c in ctxs
+                ]
             try:
-                with obs.span("serve.dispatch", batcher=self.name, size=len(live)):
-                    results = self._dispatch([req.payload for req in live])
+                with obs.bind(ctxs[0] if ctxs else None):
+                    with obs.span("serve.dispatch", **attrs):
+                        results = self._dispatch([req.payload for req in live])
                 if len(results) != len(live):
                     raise RuntimeError(
                         f"dispatch returned {len(results)} results for {len(live)} requests"

@@ -18,7 +18,15 @@ from callers:
   an absolute deadline; every attempt (including retries) re-stamps the
   *remaining* budget into ``X-Deadline-Ms``, so the server can refuse
   work the client has already given up on.  A spent budget ends the
-  call client-side with a ``deadline`` outcome — no retry.
+  call client-side with a ``deadline`` outcome — no retry;
+* **trace propagation** — each logical call mints a
+  :class:`~repro.obs.TraceContext` (or inherits the caller's bound
+  one) and sends ``traceparent`` with a *fresh span id per attempt*,
+  so retries appear as sibling edge spans under one trace instead of
+  colliding.  ``X-Request-Id`` stays constant across the attempts of
+  one call; the server echoes it, and the :class:`ClientReport`
+  carries both ids so client-side outcomes join against the server's
+  flight-recorder traces (``/debug/traces?trace_id=...``).
 
 Every call returns a :class:`ClientReport` that classifies the outcome
 into the error-budget categories the serving and resilience benches
@@ -38,14 +46,18 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.trace import TraceContext, current_context
 from repro.serve.wire import canonical_json
 
 __all__ = ["CATEGORIES", "ClientReport", "RetryBudget", "ServiceClient",
            "classify_status", "fold_reports"]
 
-#: Kept in sync with repro.serve.http.DEADLINE_HEADER (no import: the
-#: client must be usable against a remote server with only this module).
+#: Kept in sync with repro.serve.http header constants (no import of the
+#: server module: the client must be usable against a remote server with
+#: only this module and the stdlib-only obs/wire helpers).
 DEADLINE_HEADER = "X-Deadline-Ms"
+TRACEPARENT_HEADER = "traceparent"
+REQUEST_ID_HEADER = "X-Request-Id"
 
 #: Outcome categories, the shared error-budget vocabulary of
 #: BENCH_SERVE / BENCH_RESILIENCE.  "Clean" means the server answered
@@ -78,17 +90,27 @@ def classify_status(status: int) -> str:
 
 
 class ClientReport:
-    """One call's outcome: category, status, parsed body, retry trail."""
+    """One call's outcome: category, status, parsed body, retry trail.
 
-    __slots__ = ("category", "status", "doc", "attempts", "latency_s")
+    ``trace_id`` is the trace the call ran under; ``request_id`` is the
+    id the server echoed (falling back to the one the client sent) —
+    the join keys against the server's ``/debug/traces`` view.
+    """
+
+    __slots__ = ("category", "status", "doc", "attempts", "latency_s",
+                 "trace_id", "request_id")
 
     def __init__(self, category: str, status: Optional[int], doc: object,
-                 attempts: int, latency_s: float):
+                 attempts: int, latency_s: float,
+                 trace_id: Optional[str] = None,
+                 request_id: Optional[str] = None):
         self.category = category
         self.status = status
         self.doc = doc
         self.attempts = attempts
         self.latency_s = latency_s
+        self.trace_id = trace_id
+        self.request_id = request_id
 
     @property
     def ok(self) -> bool:
@@ -246,14 +268,33 @@ class ServiceClient:
         ``deadline_ms`` is the *total* budget across all attempts; the
         remaining budget is re-stamped into ``X-Deadline-Ms`` on every
         attempt so the server's view of the deadline tracks reality.
+        Likewise each attempt sends ``traceparent`` with a fresh span
+        id under one per-call trace, and a constant ``X-Request-Id``.
         """
         body = canonical_json(doc) if doc is not None else None
         started = time.monotonic()
         deadline = None if deadline_ms is None else started + float(deadline_ms) / 1000.0
+        # One trace per logical call: inherit the caller's bound context
+        # (so a traced caller sees this call inside its own trace) or
+        # mint a new root.  The request id stays stable across retries —
+        # it is the join key, not the span identity.
+        ctx = current_context() or TraceContext.mint()
+        request_id = ctx.trace_id
+
+        def report(category: str, status: Optional[int], doc: object,
+                   echoed_id: Optional[str] = None) -> ClientReport:
+            return ClientReport(category, status, doc, attempts,
+                                time.monotonic() - started,
+                                trace_id=ctx.trace_id,
+                                request_id=echoed_id or request_id)
+
         attempts = 0
-        last: Optional[Tuple[str, Optional[int], object]] = None
+        last: Optional[Tuple[str, Optional[int], object, Optional[str]]] = None
         while True:
-            headers: Dict[str, str] = {}
+            headers: Dict[str, str] = {
+                TRACEPARENT_HEADER: ctx.child().to_traceparent(),
+                REQUEST_ID_HEADER: request_id,
+            }
             if body is not None:
                 headers["Content-Type"] = "application/json"
             if deadline is not None:
@@ -263,12 +304,10 @@ class ServiceClient:
                     # server verdict if there was one, else a client-side
                     # deadline outcome.
                     if last is not None:
-                        return ClientReport(last[0], last[1], last[2], attempts,
-                                            time.monotonic() - started)
-                    return ClientReport("deadline_504", None,
-                                        {"error": "deadline_exceeded",
-                                         "detail": "budget spent before first attempt"},
-                                        attempts, time.monotonic() - started)
+                        return report(last[0], last[1], last[2], last[3])
+                    return report("deadline_504", None,
+                                  {"error": "deadline_exceeded",
+                                   "detail": "budget spent before first attempt"})
                 headers[DEADLINE_HEADER] = f"{remaining_ms:.0f}"
             attempts += 1
             retry_after_s: Optional[float] = None
@@ -276,18 +315,18 @@ class ServiceClient:
                 status, resp_headers, resp_doc = self._attempt(method, path, body, headers)
             except (http.client.HTTPException, ConnectionError, socket.timeout, OSError) as exc:
                 last = ("transport_error", None,
-                        {"error": "transport", "detail": f"{type(exc).__name__}: {exc}"})
+                        {"error": "transport", "detail": f"{type(exc).__name__}: {exc}"},
+                        None)
             else:
                 category = classify_status(status)
-                last = (category, status, resp_doc)
+                echoed = resp_headers.get("x-request-id")
+                last = (category, status, resp_doc, echoed)
                 if category == "ok":
                     self.budget.note_success()
-                    return ClientReport(category, status, resp_doc, attempts,
-                                        time.monotonic() - started)
+                    return report(category, status, resp_doc, echoed)
                 if category not in ("rejected_429", "draining_503"):
                     # 4xx / 504 / 5xx: retrying cannot change the verdict.
-                    return ClientReport(category, status, resp_doc, attempts,
-                                        time.monotonic() - started)
+                    return report(category, status, resp_doc, echoed)
                 hint = resp_headers.get("retry-after")
                 if hint is not None:
                     try:
@@ -295,8 +334,7 @@ class ServiceClient:
                     except ValueError:
                         retry_after_s = None
             if attempts > self.max_retries or not self.budget.try_spend():
-                return ClientReport(last[0], last[1], last[2], attempts,
-                                    time.monotonic() - started)
+                return report(last[0], last[1], last[2], last[3])
             # Full jitter unless the server told us exactly when to come
             # back; either way never sleep past the caller's deadline.
             if retry_after_s is None:

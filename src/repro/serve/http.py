@@ -26,7 +26,21 @@ HTTP/1.1 server and a :class:`~repro.serve.batcher.MicroBatcher`:
   as :class:`~repro.obs.server.ObsServer` (200 ok / 503 degraded; a
   draining instance reports 503 so load balancers eject it).
 * ``GET /metrics`` and ``GET /metrics.json`` — the
-  :mod:`repro.obs.export` exporters over the live registry.
+  :mod:`repro.obs.export` exporters over the live registry.  A scraper
+  accepting ``application/openmetrics-text`` gets real cumulative-le
+  histograms whose latency buckets carry trace-id exemplars.
+* ``GET /debug/traces`` (+ ``?trace_id=``) — the flight recorder's
+  retained traces (fleet-merged when running under ``--workers N``).
+
+Every request is traced end to end: the edge adopts the client's W3C
+``traceparent`` (or mints a :class:`~repro.obs.TraceContext`), the
+edge span wraps the handler, the micro-batcher links the coalesced
+request spans into its dispatch span, engine chunk/shard spans nest
+beneath, and shard worker processes ship their spans back under the
+same trace id.  ``X-Request-Id`` is echoed (or assigned) on **every**
+response — errors and early rejects included — and appears in JSON
+error bodies; admission/deadline/drain decisions land as edge-span
+attributes so a rejected request still leaves a one-span trace.
 * ``POST /admin/reload`` — atomic hot-reload of the model, optionally
   from a new ``{"database": path}``.
 * ``POST /admin/drain`` — graceful drain: stop accepting data-plane
@@ -63,8 +77,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs
-from repro.obs.export import render_json, render_prometheus
+from repro.obs.export import (
+    OPENMETRICS_CONTENT_TYPE,
+    render_json,
+    render_openmetrics,
+    render_prometheus,
+)
 from repro.obs.server import PROMETHEUS_CONTENT_TYPE, HealthCheck, run_health_checks
+from repro.obs.trace import SNAPSHOT_SCHEMA as TRACE_SCHEMA
 from repro.serve.batcher import DeadlineExceededError, MicroBatcher, QueueFullError
 from repro.serve.clock import SystemClock
 from repro.serve.resilience import (
@@ -95,6 +115,27 @@ __all__ = ["LocalizationHTTPServer"]
 #: :class:`repro.serve.client.ServiceClient` re-stamps the *remaining*
 #: budget on every retry hop.
 DEADLINE_HEADER = "X-Deadline-Ms"
+
+#: W3C trace-context header; parsed leniently (a malformed value mints
+#: a fresh context instead of erroring).
+TRACEPARENT_HEADER = "traceparent"
+
+#: Client-correlatable request id: echoed (or assigned) on *every*
+#: response — including 4xx/5xx and early-reject paths — and injected
+#: into JSON error bodies, so a client's ``ClientReport`` joins against
+#: the server-side trace.  When the server assigns one, it *is* the
+#: trace id.
+REQUEST_ID_HEADER = "X-Request-Id"
+
+#: Trace id of the request, echoed on every response for joining.
+TRACE_ID_HEADER = "X-Trace-Id"
+
+#: Request ids are client-chosen; keep them boring (else reassigned).
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
+
+#: Control-plane endpoints that still record a trace (admin actions are
+#: exactly what an operator wants in the flight recorder).
+_TRACED_CONTROL = frozenset({"reload", "drain"})
 
 #: Endpoints that carry localization traffic (shed / drained / chaos'd);
 #: everything else is control plane and always answered.  Track *reads*
@@ -144,6 +185,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        # Request identity rides on every reply this request produces —
+        # success, error, 404 and early rejects alike.
+        for key, value in getattr(self, "_trace_headers", {}).items():
+            self.send_header(key, value)
         for key, value in (headers or {}).items():
             self.send_header(key, value)
         self.end_headers()
@@ -224,6 +269,7 @@ class _Handler(BaseHTTPRequestHandler):
             ("GET", "/healthz"): ("healthz", owner._handle_healthz),
             ("GET", "/metrics"): ("metrics", owner._handle_metrics),
             ("GET", "/metrics.json"): ("metrics_json", owner._handle_metrics_json),
+            ("GET", "/debug/traces"): ("debug_traces", owner._handle_debug_traces),
             ("GET", "/"): ("index", owner._handle_index),
         }
         entry = routes.get((method, path))
@@ -241,12 +287,29 @@ class _Handler(BaseHTTPRequestHandler):
                     lambda h, _f=track_handler, _sid=session_id: _f(h, _sid),
                 )
         trickle_s = 0.0
+        # Request identity: adopt the client's W3C traceparent (or mint
+        # a fresh context) and echo/assign X-Request-Id.  The headers
+        # land on every reply via _reply, including the 404 and the
+        # early-reject paths below.
+        client_ctx = obs.TraceContext.from_traceparent(
+            self.headers.get(TRACEPARENT_HEADER)
+        )
+        ctx = client_ctx if client_ctx is not None else obs.TraceContext.mint()
+        request_id = (self.headers.get(REQUEST_ID_HEADER) or "").strip()
+        if not _REQUEST_ID_RE.match(request_id):
+            request_id = ctx.trace_id
+        self._trace_headers = {
+            REQUEST_ID_HEADER: request_id,
+            TRACE_ID_HEADER: ctx.trace_id,
+        }
         if entry is None:
             endpoint = "unknown"
             known = sorted({p for _, p in routes} | {TRACK_PREFIX + "{session}"})
             status, body, content_type, headers = (
                 404,
-                canonical_json({"error": "not_found", "paths": known}),
+                canonical_json(
+                    {"error": "not_found", "paths": known, "request_id": request_id}
+                ),
                 "application/json",
                 {},
             )
@@ -261,8 +324,33 @@ class _Handler(BaseHTTPRequestHandler):
                 obs.counter("serve.http_requests", endpoint=endpoint, code="reset").inc()
                 self.close_connection = True
                 return
+            # Data-plane requests (and admin actions, and anything the
+            # client explicitly asked to trace) leave a trace in the
+            # flight recorder; metrics/health scrapes stay untraced so
+            # the ok-ring holds requests, not monitoring noise.
+            traced = (
+                data_plane or client_ctx is not None or endpoint in _TRACED_CONTROL
+            )
+            recorder = obs.get_recorder() if traced else None
+            if recorder is not None:
+                recorder.begin(
+                    ctx, endpoint=endpoint, method=method, request_id=request_id
+                )
             if data_plane and not owner._admit_data_plane():
-                status, body, content_type, headers = owner._draining_response()
+                status, body, content_type, headers = owner._draining_response(request_id)
+                if traced:
+                    # A drained-away request still leaves a one-span
+                    # trace saying why it never ran.
+                    with obs.bind(ctx):
+                        with obs.span(
+                            "serve.request", endpoint=endpoint, method=method,
+                            decision="draining", http_status=status,
+                        ):
+                            pass
+                if recorder is not None:
+                    recorder.finish(
+                        ctx.trace_id, status="draining", pin=True, reason="draining"
+                    )
                 obs.counter("serve.http_requests", endpoint=endpoint, code=str(status)).inc()
                 self._discard_body()
                 try:
@@ -270,27 +358,62 @@ class _Handler(BaseHTTPRequestHandler):
                 except (BrokenPipeError, ConnectionResetError):
                     pass
                 return
+
+            def invoke() -> _Route:
+                try:
+                    return handler(self)
+                except _ApiError as exc:
+                    exc.doc.setdefault("request_id", request_id)
+                    # The admission/breaker/deadline decision lands on
+                    # the edge span, so a rejected request's one-span
+                    # trace says why (shed, deadline_expired, ...).
+                    obs.annotate(
+                        decision=str(exc.doc.get("error")), http_status=exc.status
+                    )
+                    return (
+                        exc.status, canonical_json(exc.doc), "application/json",
+                        exc.headers,
+                    )
+                except Exception as exc:  # noqa: BLE001 - the server must keep serving
+                    obs.counter("serve.http_errors", endpoint=endpoint,
+                                kind=type(exc).__name__).inc()
+                    obs.annotate(decision="internal_error", http_status=500)
+                    return (
+                        500,
+                        canonical_json({
+                            "error": "internal",
+                            "detail": f"{type(exc).__name__}: {exc}",
+                            "request_id": request_id,
+                        }),
+                        "application/json",
+                        {},
+                    )
+
             t0 = time.perf_counter()
             try:
-                status, body, content_type, headers = handler(self)
-            except _ApiError as exc:
-                status, body, content_type, headers = (
-                    exc.status, canonical_json(exc.doc), "application/json", exc.headers,
-                )
-            except Exception as exc:  # noqa: BLE001 - the server must keep serving
-                obs.counter("serve.http_errors", endpoint=endpoint,
-                            kind=type(exc).__name__).inc()
-                status, body, content_type, headers = (
-                    500,
-                    canonical_json({"error": "internal", "detail": f"{type(exc).__name__}: {exc}"}),
-                    "application/json",
-                    {},
-                )
+                if traced:
+                    with obs.bind(ctx):
+                        with obs.span(
+                            "serve.request", endpoint=endpoint, method=method
+                        ):
+                            status, body, content_type, headers = invoke()
+                else:
+                    status, body, content_type, headers = invoke()
             finally:
                 if data_plane:
                     owner._exit_data_plane()
             latency_ms = 1000.0 * (time.perf_counter() - t0)
-            obs.histogram("serve.http_latency_ms", endpoint=endpoint).observe(latency_ms)
+            obs.histogram("serve.http_latency_ms", endpoint=endpoint).observe(
+                latency_ms, trace_id=ctx.trace_id if traced else None
+            )
+            if recorder is not None:
+                trace_status = "ok" if status < 400 else f"http_{status}"
+                recorder.finish(
+                    ctx.trace_id,
+                    status=trace_status,
+                    wall_ms=latency_ms,
+                    reason="deadline_miss" if status == 504 else None,
+                )
             if data_plane and status != 429:
                 # Feed the admission controller's rolling p99 with
                 # latencies of requests that actually traversed the
@@ -360,6 +483,19 @@ class LocalizationHTTPServer:
         ``/metrics`` / ``/metrics.json`` instead of the process-local
         registry — the multi-process supervisor plugs in the fleet
         merge here so any worker answers with fleet totals.
+    metrics_state_source:
+        Optional zero-arg callable returning a full
+        ``MetricsRegistry.dump_state`` (buckets + exemplars) for the
+        OpenMetrics content negotiation on ``/metrics`` — the fleet
+        analogue of ``metrics_source``, needed because a snapshot
+        collapses the buckets an OpenMetrics histogram (and its
+        exemplars) is made of.
+    trace_source:
+        Optional zero-arg callable returning a flight-recorder
+        snapshot doc for ``GET /debug/traces`` instead of the
+        process-local recorder — the multi-process supervisor plugs in
+        the fleet-merged view so any worker can answer for a trace
+        that lives in a sibling's recorder.
     admin_hook:
         Optional callable invoked after a *locally handled* admin
         action (``{"cmd": "reload"/"drain", ...}``) so a worker can
@@ -400,12 +536,16 @@ class LocalizationHTTPServer:
         sessions: Optional[TrackingSessions] = None,
         reuse_port: bool = False,
         metrics_source: Optional[Callable[[], dict]] = None,
+        metrics_state_source: Optional[Callable[[], dict]] = None,
+        trace_source: Optional[Callable[[], dict]] = None,
         admin_hook: Optional[Callable[[Dict[str, object]], None]] = None,
     ):
         self.service = service
         self.host = host
         self.reuse_port = bool(reuse_port)
         self.metrics_source = metrics_source
+        self.metrics_state_source = metrics_state_source
+        self.trace_source = trace_source
         self.admin_hook = admin_hook
         self._requested_port = int(port)
         self._clock = clock if clock is not None else SystemClock()
@@ -592,11 +732,14 @@ class LocalizationHTTPServer:
             self._inflight -= 1
             self._inflight_cond.notify_all()
 
-    def _draining_response(self) -> _Route:
+    def _draining_response(self, request_id: Optional[str] = None) -> _Route:
         retry_after = self._retry_after_s()
-        body = canonical_json(
-            {"error": "draining", "detail": "instance is draining; retry elsewhere"}
-        )
+        doc: Dict[str, object] = {
+            "error": "draining", "detail": "instance is draining; retry elsewhere",
+        }
+        if request_id:
+            doc["request_id"] = request_id
+        body = canonical_json(doc)
         return 503, body, "application/json", {"Retry-After": str(retry_after)}
 
     def in_flight(self) -> int:
@@ -959,11 +1102,53 @@ class LocalizationHTTPServer:
         return obs.snapshot()
 
     def _handle_metrics(self, handler: _Handler) -> _Route:
+        accept = handler.headers.get("Accept") or ""
+        if "application/openmetrics-text" in accept:
+            # OpenMetrics negotiation: real cumulative-le histograms
+            # with trace-id exemplars, rendered from full bucket state
+            # (a snapshot has already collapsed the buckets away).
+            if self.metrics_state_source is not None:
+                state = self.metrics_state_source()
+            else:
+                state = obs.get_registry().dump_state()
+            body = render_openmetrics(state).encode("utf-8")
+            return 200, body, OPENMETRICS_CONTENT_TYPE, {}
         body = render_prometheus(self._metrics_snapshot()).encode("utf-8")
         return 200, body, PROMETHEUS_CONTENT_TYPE, {}
 
     def _handle_metrics_json(self, handler: _Handler) -> _Route:
         body = render_json(self._metrics_snapshot()).encode("utf-8")
+        return 200, body, "application/json", {}
+
+    def _handle_debug_traces(self, handler: _Handler) -> _Route:
+        """The flight recorder's window: retained traces as JSON.
+
+        ``?trace_id=<32hex>`` filters to one trace.  With a
+        ``trace_source`` installed (the worker fleet), the answer is
+        the fleet-merged view, so *any* worker can produce a trace
+        that was served (and recorded) by a sibling.
+        """
+        query = handler.path.partition("?")[2]
+        want: Optional[str] = None
+        for part in query.split("&"):
+            key, _, value = part.partition("=")
+            if key == "trace_id" and value:
+                want = value.strip().lower()
+        if self.trace_source is not None:
+            doc = self.trace_source()
+        else:
+            recorder = obs.get_recorder()
+            doc = (
+                recorder.snapshot()
+                if recorder is not None
+                else {"schema": TRACE_SCHEMA, "stats": {}, "traces": []}
+            )
+        if want is not None:
+            doc = dict(doc)
+            doc["traces"] = [
+                t for t in doc.get("traces", []) if t.get("trace_id") == want
+            ]
+        body = (json.dumps(doc, sort_keys=True, default=str) + "\n").encode("utf-8")
         return 200, body, "application/json", {}
 
     def _handle_index(self, handler: _Handler) -> _Route:
@@ -991,6 +1176,7 @@ class LocalizationHTTPServer:
                 "GET /healthz",
                 "GET /metrics",
                 "GET /metrics.json",
+                "GET /debug/traces",
             ],
         }
         return 200, canonical_json(doc), "application/json", {}

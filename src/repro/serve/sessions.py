@@ -195,7 +195,7 @@ class TrackingSession:
     __slots__ = (
         "session_id", "tracker", "lock", "created_at", "last_seen",
         "steps", "closed", "close_reason", "last_estimate", "generation",
-        "last_ts",
+        "last_ts", "origin_trace",
     )
 
     def __init__(self, session_id: str, tracker: Tracker, now: float):
@@ -208,6 +208,11 @@ class TrackingSession:
         self.closed = False
         self.close_reason: Optional[str] = None
         self.last_estimate = None
+        #: Trace id of the request that created this session — the
+        #: lineage every later step's ``track.step`` span carries, so a
+        #: device's whole stream joins back to one origin trace (and
+        #: survives hot reloads: rebind never touches it).
+        self.origin_trace: Optional[str] = None
         #: Latest client timestamp applied (None before the first
         #: ``ts``-carrying scan).  Monotonic by construction: a clamped
         #: regression never moves it backwards.
@@ -408,14 +413,19 @@ class _StepJob:
     steps of one session would otherwise race on ``last_ts``).
     """
 
-    __slots__ = ("session", "observation", "dt_s", "ts")
+    __slots__ = ("session", "observation", "dt_s", "ts", "ctx")
 
     def __init__(self, session: TrackingSession, observation,
-                 dt_s: Optional[float], ts: Optional[float] = None):
+                 dt_s: Optional[float], ts: Optional[float] = None,
+                 ctx=None):
         self.session = session
         self.observation = observation
         self.dt_s = dt_s
         self.ts = ts
+        # The originating request's TraceContext (or None): re-bound
+        # around the per-session apply so each coalesced step's
+        # ``track.step`` span lands in its own request's trace.
+        self.ctx = ctx
 
 
 class TrackingSessions:
@@ -529,8 +539,11 @@ class TrackingSessions:
             if not math.isfinite(ts):
                 raise ValueError(f"ts must be finite, got {ts}")
         session, created = self.store.obtain(session_id)
+        ctx = obs.current_context()
+        if created and ctx is not None:
+            session.origin_trace = ctx.trace_id
         future = self.batcher.submit(
-            _StepJob(session, observation, dt, ts), deadline=deadline
+            _StepJob(session, observation, dt, ts, ctx=ctx), deadline=deadline
         )
         return future, created
 
@@ -592,6 +605,27 @@ class TrackingSessions:
         return dt
 
     def _apply(self, job: _StepJob, measurement=None, loglik=None):
+        """Apply one job under its originating request's trace context.
+
+        The batcher dispatches under the *first* job's context; each
+        job here re-binds its own, so its ``track.step`` span (stamped
+        with the session id and the session's origin-trace lineage)
+        lands in its own request's trace — N coalesced steps, N
+        correctly-attributed traces, one shared dispatch span linking
+        them.
+        """
+        if job.ctx is None:
+            return self._apply_inner(job, measurement, loglik)
+        session = job.session
+        with obs.bind(job.ctx):
+            with obs.span(
+                "track.step",
+                session=session.session_id,
+                lineage=session.origin_trace,
+            ):
+                return self._apply_inner(job, measurement, loglik)
+
+    def _apply_inner(self, job: _StepJob, measurement=None, loglik=None):
         session = job.session
         try:
             with session.lock:

@@ -22,6 +22,15 @@ module is the scale-out answer (``repro serve --workers N``):
   :meth:`~repro.obs.metrics.MetricsRegistry.merge`, so the fleet total
   is exactly the sum of the per-worker dumps (counters add, histogram
   buckets add, gauges are last-write).
+* :class:`FleetTraces` — the same rundir pattern for the flight
+  recorder: each worker dumps its retained traces to
+  ``traces-<i>.json`` on every tick, and ``/debug/traces`` on *any*
+  worker merges every file through
+  :meth:`~repro.obs.FlightRecorder.merge_docs` — so a sharded request
+  whose spans landed on worker 2 is retrievable from worker 0.
+  ``SIGUSR2`` dumps a worker's recorder to
+  ``traces-<i>-<pid>.jsonl`` for offline inspection without touching
+  the serving path.
 * :class:`ControlChannel` — admin fan-out: the worker that happened to
   receive ``/admin/drain`` or ``/admin/reload`` applies it locally and
   bumps ``control.json``; every sibling applies the command on its
@@ -53,6 +62,7 @@ from repro import obs
 __all__ = [
     "WorkerSpec",
     "FleetMetrics",
+    "FleetTraces",
     "ControlChannel",
     "Supervisor",
     "worker_main",
@@ -130,7 +140,7 @@ class FleetMetrics:
     def flush(self) -> None:
         _write_atomic(self.path, obs.get_registry().dump_state())
 
-    def merged_snapshot(self) -> dict:
+    def _merged_registry(self):
         from repro.obs.metrics import MetricsRegistry
 
         self.flush()
@@ -139,7 +149,53 @@ class FleetMetrics:
             state = _read_json(path)
             if state:
                 merged.merge(state)
-        return merged.snapshot()
+        return merged
+
+    def merged_snapshot(self) -> dict:
+        return self._merged_registry().snapshot()
+
+    def merged_state(self) -> dict:
+        """Fleet-wide ``dump_state`` form (buckets + exemplars intact).
+
+        The OpenMetrics exposition needs raw log-bucket state — the
+        snapshot form collapses histogram buckets to quantiles — so
+        the HTTP server's ``metrics_state_source`` plugs in here.
+        """
+        return self._merged_registry().dump_state()
+
+
+class FleetTraces:
+    """Per-worker flight-recorder dumps + the fleet-wide trace merge.
+
+    Mirrors :class:`FleetMetrics`: each worker owns
+    ``traces-<index>.json`` (an atomic rewrite of
+    :meth:`~repro.obs.FlightRecorder.snapshot` per tick), and
+    :meth:`merged` — the HTTP server's ``trace_source`` — flushes the
+    local recorder first, then dedupes every worker's file through
+    :meth:`~repro.obs.FlightRecorder.merge_docs`.  A trace whose spans
+    were recorded by a sibling (the kernel load-balanced the request
+    there) is thus visible from any worker's ``/debug/traces``,
+    lagging at most the siblings' flush interval.
+    """
+
+    def __init__(self, rundir: Path, index: int):
+        self.rundir = Path(rundir)
+        self.index = int(index)
+        self.path = self.rundir / f"traces-{self.index}.json"
+
+    def flush(self) -> None:
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            _write_atomic(self.path, recorder.snapshot())
+
+    def merged(self) -> dict:
+        from repro.obs.trace import FlightRecorder
+
+        self.flush()
+        docs = [
+            _read_json(path) for path in sorted(self.rundir.glob("traces-*.json"))
+        ]
+        return FlightRecorder.merge_docs(doc for doc in docs if doc)
 
 
 class ControlChannel:
@@ -202,6 +258,7 @@ def _build_server(spec: WorkerSpec, index: int, rundir: Path):
         chaos=chaos,
     )
     fleet = FleetMetrics(rundir, index)
+    traces = FleetTraces(rundir, index)
     control = ControlChannel(rundir, index)
     server = LocalizationHTTPServer(
         service,
@@ -219,9 +276,11 @@ def _build_server(spec: WorkerSpec, index: int, rundir: Path):
         session_ttl_s=spec.session_ttl_s,
         reuse_port=True,
         metrics_source=fleet.merged_snapshot,
+        metrics_state_source=fleet.merged_state,
+        trace_source=traces.merged,
         admin_hook=control.originate,
     )
-    return service, server, fleet, control
+    return service, server, fleet, traces, control
 
 
 def worker_main(spec: WorkerSpec, index: int, rundir: str) -> int:
@@ -230,8 +289,11 @@ def worker_main(spec: WorkerSpec, index: int, rundir: str) -> int:
 
     # The fork inherited the parent's registry contents; a fresh one
     # makes metrics-<index>.json a pure record of *this* worker's work,
-    # which is what makes the fleet merge exactly a sum.
+    # which is what makes the fleet merge exactly a sum.  Same story
+    # for the flight recorder: each worker records its own traces.
     set_registry(MetricsRegistry())
+    recorder = obs.FlightRecorder()
+    obs.set_recorder(recorder)
     rundir_path = Path(rundir)
     stop = threading.Event()
     signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
@@ -239,7 +301,15 @@ def worker_main(spec: WorkerSpec, index: int, rundir: str) -> int:
     # supervisor turns it into per-worker SIGTERMs, so the workers'
     # own SIGINT must be inert or they'd die mid-request.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    service, server, fleet, control = _build_server(spec, index, rundir_path)
+    # SIGUSR2: dump this worker's retained traces to a JSONL in the
+    # rundir — live-fleet debugging without touching the serving path.
+    if hasattr(signal, "SIGUSR2"):
+        dump_path = Path(rundir) / f"traces-{index}-{os.getpid()}.jsonl"
+        signal.signal(
+            signal.SIGUSR2,
+            lambda signum, frame: recorder.dump_jsonl(dump_path),
+        )
+    service, server, fleet, traces, control = _build_server(spec, index, rundir_path)
     server.start()
     obs.gauge("serve.fleet.worker_index").set(index)
     _write_atomic(
@@ -252,6 +322,7 @@ def worker_main(spec: WorkerSpec, index: int, rundir: str) -> int:
         },
     )
     fleet.flush()
+    traces.flush()
     while not stop.is_set():
         stop.wait(timeout=spec.flush_interval_s)
         event = control.poll()
@@ -274,9 +345,11 @@ def worker_main(spec: WorkerSpec, index: int, rundir: str) -> int:
                     "serve.fleet.control_errors", cmd=str(cmd), kind=type(exc).__name__
                 ).inc()
         fleet.flush()
+        traces.flush()
     report = server.drain()
     server.stop()
     fleet.flush()
+    traces.flush()
     _write_atomic(rundir_path / f"drain-{index}.json", dict(report))
     return 0 if report["unfinished"] == 0 else 1
 

@@ -1,0 +1,339 @@
+"""End-to-end request tracing through the HTTP front door.
+
+Satellite coverage rides along: ``X-Request-Id`` on every reply
+(including 4xx/5xx and early-reject paths), admission decisions as
+span attributes on one-span traces, and trace continuity across
+hot-reload and drain.  Everything binds a localhost socket
+(``service`` tier).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.core.trainingdb import generate_training_db
+from repro.obs.trace import FlightRecorder
+from repro.serve import LocalizationHTTPServer, LocalizationService
+from repro.serve.client import ServiceClient
+
+pytestmark = pytest.mark.service
+
+TRACE_A = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = obs.set_registry(obs.MetricsRegistry())
+    yield
+    obs.set_registry(previous)
+
+
+@pytest.fixture(autouse=True)
+def recorder():
+    rec = FlightRecorder()
+    previous = obs.set_recorder(rec)
+    yield rec
+    obs.set_recorder(previous)
+
+
+@pytest.fixture(scope="module")
+def db_path(tmp_path_factory, house):
+    path = tmp_path_factory.mktemp("serve-tracing") / "training.tdb"
+    generate_training_db(house.survey(rng=0), house.location_map(), output=path)
+    return str(path)
+
+
+@pytest.fixture()
+def service(db_path, house):
+    cfg = house.config
+    return LocalizationService(
+        db_path,
+        ap_positions=house.ap_positions_by_bssid(),
+        bounds=(0.0, 0.0, cfg.width_ft, cfg.height_ft),
+    )
+
+
+def observation_doc(observation, **extra):
+    doc = {
+        "samples": [
+            [None if v != v else v for v in row]
+            for row in observation.samples.tolist()
+        ],
+        "bssids": list(observation.bssids),
+    }
+    doc.update(extra)
+    return doc
+
+
+def request(url, method="GET", doc=None, headers=None):
+    data = None if doc is None else json.dumps(doc).encode("utf-8")
+    req = urllib.request.Request(url, data=data, method=method,
+                                 headers=dict(headers or {}))
+    try:
+        with urllib.request.urlopen(req, timeout=60) as r:
+            return r.status, dict(r.headers), r.read()
+    except urllib.error.HTTPError as e:
+        return e.code, dict(e.headers), e.read()
+
+
+class TestRequestIdEverywhere:
+    def test_ok_reply_carries_request_and_trace_ids(self, service, observations):
+        with LocalizationHTTPServer(service) as server:
+            status, headers, _ = request(
+                server.url + "/v1/locate", "POST", observation_doc(observations[0])
+            )
+        assert status == 200
+        assert len(headers["X-Trace-Id"]) == 32
+        assert headers["X-Request-Id"] == headers["X-Trace-Id"]
+
+    def test_client_request_id_is_echoed(self, service, observations):
+        with LocalizationHTTPServer(service) as server:
+            _, headers, _ = request(
+                server.url + "/v1/locate", "POST", observation_doc(observations[0]),
+                headers={"X-Request-Id": "my-req-42"},
+            )
+        assert headers["X-Request-Id"] == "my-req-42"
+
+    def test_hostile_request_id_is_reassigned(self, service):
+        with LocalizationHTTPServer(service) as server:
+            _, headers, _ = request(
+                server.url + "/healthz",
+                headers={"X-Request-Id": "bad id with spaces " + "x" * 200},
+            )
+        assert headers["X-Request-Id"] == headers["X-Trace-Id"]
+
+    def test_404_and_400_bodies_carry_request_id(self, service):
+        with LocalizationHTTPServer(service) as server:
+            s404, h404, b404 = request(server.url + "/nope")
+            s400, h400, b400 = request(
+                server.url + "/v1/locate", "POST", {"rows": [1]}
+            )
+        assert s404 == 404
+        assert json.loads(b404)["request_id"] == h404["X-Request-Id"]
+        assert s400 == 400
+        assert json.loads(b400)["request_id"] == h400["X-Request-Id"]
+
+    def test_draining_503_carries_request_id(self, service):
+        with LocalizationHTTPServer(service) as server:
+            server._draining = True
+            status, headers, body = request(
+                server.url + "/v1/locate", "POST", {"samples": [], "bssids": []}
+            )
+        assert status == 503
+        assert json.loads(body)["request_id"] == headers["X-Request-Id"]
+
+
+class TestTraceparentAdoption:
+    def test_client_trace_id_is_adopted(self, service, observations):
+        with LocalizationHTTPServer(service) as server:
+            _, headers, _ = request(
+                server.url + "/v1/locate", "POST", observation_doc(observations[0]),
+                headers={"traceparent": TRACE_A},
+            )
+        assert headers["X-Trace-Id"] == "ab" * 16
+
+    def test_malformed_traceparent_mints_fresh(self, service):
+        with LocalizationHTTPServer(service) as server:
+            _, headers, _ = request(
+                server.url + "/healthz", headers={"traceparent": "00-zzz-yyy-01"}
+            )
+        assert len(headers["X-Trace-Id"]) == 32
+        assert headers["X-Trace-Id"] != "zzz"
+
+
+class TestDebugTraces:
+    def test_locate_leaves_a_stitched_trace(self, service, observations, recorder):
+        with LocalizationHTTPServer(service) as server:
+            request(
+                server.url + "/v1/locate", "POST", observation_doc(observations[0]),
+                headers={"traceparent": TRACE_A},
+            )
+            status, headers, body = request(
+                server.url + "/debug/traces?trace_id=" + "ab" * 16
+            )
+        assert status == 200
+        doc = json.loads(body)
+        assert len(doc["traces"]) == 1
+        trace = doc["traces"][0]
+        assert trace["endpoint"] == "locate" and trace["status"] == "ok"
+        names = [s["name"] for s in trace["spans"]]
+        assert "serve.request" in names and "serve.dispatch" in names
+        dispatch = next(s for s in trace["spans"] if s["name"] == "serve.dispatch")
+        links = dispatch["attrs"]["links"]
+        assert any(link["trace_id"] == "ab" * 16 for link in links)
+        # every span shares the request's trace id
+        assert {s["trace_id"] for s in trace["spans"]} == {"ab" * 16}
+
+    def test_monitoring_scrapes_stay_untraced(self, service, recorder):
+        with LocalizationHTTPServer(service) as server:
+            request(server.url + "/healthz")
+            request(server.url + "/metrics")
+            _, _, body = request(server.url + "/debug/traces")
+        assert json.loads(body)["traces"] == []
+
+    def test_unknown_trace_id_filters_to_empty(self, service):
+        with LocalizationHTTPServer(service) as server:
+            _, _, body = request(server.url + "/debug/traces?trace_id=" + "9" * 32)
+        assert json.loads(body)["traces"] == []
+
+    def test_index_advertises_debug_traces(self, service):
+        with LocalizationHTTPServer(service) as server:
+            _, _, body = request(server.url + "/")
+        assert "GET /debug/traces" in json.loads(body)["endpoints"]
+
+
+class TestRejectionTraces:
+    def test_bad_request_leaves_one_span_trace_with_decision(self, service, recorder):
+        with LocalizationHTTPServer(service) as server:
+            status, headers, _ = request(
+                server.url + "/v1/locate", "POST", {"rows": [1]}
+            )
+        assert status == 400
+        trace = recorder.get(headers["X-Trace-Id"])
+        assert trace is not None and trace["pinned"] is True
+        assert trace["status"] == "http_400"
+        (span,) = trace["spans"]
+        assert span["name"] == "serve.request"
+        assert span["attrs"]["decision"] == "bad_observation"
+        assert span["attrs"]["http_status"] == 400
+
+    def test_drained_request_leaves_pinned_draining_trace(self, service, recorder):
+        with LocalizationHTTPServer(service) as server:
+            server._draining = True
+            _, headers, _ = request(
+                server.url + "/v1/locate", "POST", {"samples": [], "bssids": []}
+            )
+        trace = recorder.get(headers["X-Trace-Id"])
+        assert trace is not None
+        assert trace["status"] == "draining" and trace["reason"] == "draining"
+        (span,) = trace["spans"]
+        assert span["attrs"]["decision"] == "draining"
+
+
+class _Gate:
+    """Holds the service's locate_many open until released."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.armed = True
+
+    def __call__(self, observations):
+        if self.armed:
+            self.armed = False
+            self.entered.set()
+            assert self.release.wait(timeout=30.0)
+        return self.inner(observations)
+
+
+class TestContinuity:
+    def test_session_keeps_lineage_across_reload(self, service, observations, recorder):
+        """Satellite: one trace lineage across a hot-reload.
+
+        The session records the trace that created it; a step after
+        ``/admin/reload`` (which rebinds every live session to the new
+        model generation) still stamps that lineage on its
+        ``track.step`` span — the operator can follow one device's
+        session across a model swap.
+        """
+        trace_b = "00-" + "ef" * 16 + "-" + "12" * 8 + "-01"
+        with LocalizationHTTPServer(service) as server:
+            url = server.url + "/v1/track/dev-1"
+            status, _, _ = request(
+                url, "POST", observation_doc(observations[0]),
+                headers={"traceparent": TRACE_A},
+            )
+            assert status == 200
+            status_reload, _, _ = request(server.url + "/admin/reload", "POST", {})
+            assert status_reload == 200
+            status2, _, body2 = request(
+                url, "POST", observation_doc(observations[1]),
+                headers={"traceparent": trace_b},
+            )
+            assert status2 == 200
+            assert json.loads(body2)["session"]["seq"] == 2
+        trace = recorder.get("ef" * 16)
+        step = next(s for s in trace["spans"] if s["name"] == "track.step")
+        assert step["attrs"]["session"] == "dev-1"
+        assert step["attrs"]["lineage"] == "ab" * 16  # created under trace A
+
+    def test_request_accepted_before_drain_completes_its_trace(
+        self, service, observations, recorder
+    ):
+        """Satellite: drain waits for in-flight work, trace included."""
+        gate = _Gate(service.locate_many)
+        server = LocalizationHTTPServer(service, max_batch=1, max_wait_ms=0.0)
+        server.batcher._dispatch = gate
+        with server:
+            results = {}
+
+            def post_parked():
+                results["parked"] = request(
+                    server.url + "/v1/locate", "POST",
+                    observation_doc(observations[0]),
+                    headers={"traceparent": TRACE_A},
+                )
+
+            t = threading.Thread(target=post_parked)
+            t.start()
+            assert gate.entered.wait(timeout=30.0)  # request is in dispatch
+            done = threading.Event()
+
+            def drain():
+                server.drain(10.0)
+                done.set()
+
+            threading.Thread(target=drain, daemon=True).start()
+            gate.release.set()
+            assert done.wait(timeout=30.0)
+            t.join(timeout=30.0)
+        assert results["parked"][0] == 200
+        trace = recorder.get("ab" * 16)
+        assert trace is not None and trace["status"] == "ok"
+        assert "serve.request" in [s["name"] for s in trace["spans"]]
+
+
+class TestClientJoin:
+    def test_client_report_joins_server_trace(self, service, observations, recorder):
+        with LocalizationHTTPServer(service) as server:
+            with ServiceClient(port=server.port) as client:
+                report = client.locate(observation_doc(observations[0]))
+        assert report.ok
+        assert report.request_id == report.trace_id
+        trace = recorder.get(report.trace_id)
+        assert trace is not None
+        assert trace["request_id"] == report.request_id
+
+    def test_each_logical_call_gets_its_own_trace(self, service, observations, recorder):
+        with LocalizationHTTPServer(service) as server:
+            with ServiceClient(port=server.port, max_retries=2) as client:
+                r1 = client.locate(observation_doc(observations[0]))
+                r2 = client.locate(observation_doc(observations[1]))
+        assert r1.trace_id != r2.trace_id  # one trace per logical call
+        assert recorder.get(r1.trace_id) is not None
+        assert recorder.get(r2.trace_id) is not None
+
+    def test_retry_attempts_restamp_fresh_span_ids(self):
+        """Every attempt's traceparent: same trace id, new span id."""
+        sent = []
+
+        class _Client(ServiceClient):
+            def _attempt(self, method, path, body, headers):
+                sent.append(headers["traceparent"])
+                return 429, {"retry-after": "0"}, {"error": "queue_full"}
+
+        client = _Client(max_retries=2, sleep=lambda s: None)
+        report = client.request("POST", "/v1/locate", {"x": 1})
+        assert report.category == "rejected_429" and report.attempts == 3
+        trace_ids = {h.split("-")[1] for h in sent}
+        span_ids = {h.split("-")[2] for h in sent}
+        assert len(trace_ids) == 1
+        assert len(span_ids) == 3
+        assert report.trace_id == trace_ids.pop()

@@ -32,8 +32,15 @@ import pytest
 
 from repro import obs
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import FlightRecorder, TraceContext
 from repro.serve import LocalizationHTTPServer, LocalizationService
-from repro.serve.workers import ControlChannel, FleetMetrics, Supervisor, WorkerSpec
+from repro.serve.workers import (
+    ControlChannel,
+    FleetMetrics,
+    FleetTraces,
+    Supervisor,
+    WorkerSpec,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -90,6 +97,58 @@ def test_fleet_metrics_ignores_torn_or_missing_files(tmp_path):
     (tmp_path / "metrics-1.json").write_text("{ torn wri")
     snap = FleetMetrics(tmp_path, 0).merged_snapshot()
     assert snap["counters"]["x.only"] == 1
+
+
+def test_fleet_metrics_merged_state_keeps_buckets_and_exemplars(tmp_path):
+    obs.histogram("x.lat").observe(3.0, trace_id="a" * 32)
+    sibling = MetricsRegistry()
+    sibling.histogram("x.lat").observe(3.0, trace_id="b" * 32)
+    (tmp_path / "metrics-1.json").write_text(json.dumps(sibling.dump_state()))
+    state = FleetMetrics(tmp_path, 0).merged_state()
+    ((_, hstate),) = list(state["histograms"].items())
+    assert sum(hstate["buckets"].values()) == 2  # dump form, not quantiles
+    assert len(hstate["exemplars"]) == 1  # same bucket: one survives
+
+
+# ----------------------------------------------------------------------
+# FleetTraces: any worker answers for a sibling's trace
+# ----------------------------------------------------------------------
+def test_fleet_traces_merges_sibling_dumps(tmp_path):
+    # Worker 1's recorder state arrives the production way: a snapshot
+    # through a rundir JSON file.  This process plays worker 0.
+    recorder = FlightRecorder()
+    previous = obs.set_recorder(recorder)
+    try:
+        local_ctx = TraceContext.mint()
+        recorder.begin(local_ctx, endpoint="locate")
+        recorder.record({"name": "serve.request", "trace_id": local_ctx.trace_id})
+        recorder.finish(local_ctx.trace_id)
+
+        sibling = FlightRecorder()
+        remote_ctx = TraceContext.mint()
+        sibling.begin(remote_ctx, endpoint="locate")
+        sibling.record({"name": "serve.request", "trace_id": remote_ctx.trace_id})
+        sibling.finish(remote_ctx.trace_id, status="http_500")
+        (tmp_path / "traces-1.json").write_text(json.dumps(sibling.snapshot()))
+
+        merged = FleetTraces(tmp_path, 0).merged()
+        ids = {t["trace_id"] for t in merged["traces"]}
+        assert ids == {local_ctx.trace_id, remote_ctx.trace_id}
+        assert merged["workers"] == 2
+        assert merged["stats"]["finished"] == 2
+    finally:
+        obs.set_recorder(previous)
+
+
+def test_fleet_traces_flush_is_noop_without_recorder(tmp_path):
+    previous = obs.set_recorder(None)
+    try:
+        traces = FleetTraces(tmp_path, 0)
+        traces.flush()
+        assert not traces.path.exists()
+        assert traces.merged()["traces"] == []
+    finally:
+        obs.set_recorder(previous)
 
 
 # ----------------------------------------------------------------------
@@ -325,6 +384,37 @@ class TestFleet:
             c["value"] for c in counters if c["series"] == series
         )
         assert fleet_total == sum(per_worker)
+
+    def test_debug_traces_stitches_across_workers(self, fleet, observations):
+        """The acceptance check: a trace is retrievable from any worker.
+
+        The kernel load-balances each connection, so the worker that
+        served the traced request and the worker answering the
+        ``/debug/traces`` read are often different processes — the
+        rundir merge is what joins them.
+        """
+        doc = observation_doc(observations[0])
+        trace_id = "ab" * 16
+        req = urllib.request.Request(
+            fleet.url + "/v1/locate",
+            data=json.dumps(doc).encode("utf-8"),
+            method="POST",
+            headers={"traceparent": f"00-{trace_id}-{'cd' * 8}-01"},
+        )
+        with urllib.request.urlopen(req, timeout=60) as r:
+            assert r.status == 200
+            assert r.headers["X-Trace-Id"] == trace_id
+        time.sleep(2.2)  # > flush_interval_s: the serving worker flushed
+        # Ask repeatedly so both workers answer at least once each way.
+        for _ in range(6):
+            status, body = request(
+                fleet.url + f"/debug/traces?trace_id={trace_id}"
+            )
+            assert status == 200
+            traces = json.loads(body)["traces"]
+            assert len(traces) == 1, body
+            names = [s["name"] for s in traces[0]["spans"]]
+            assert "serve.request" in names and "serve.dispatch" in names
 
     def test_supervisor_restarts_killed_worker(self, fleet, observations):
         info = json.loads((fleet.rundir / "worker-0.json").read_text())
