@@ -24,6 +24,9 @@ The schema is sniffed from the result document:
   count); the multi-worker throughput floor — and the baseline
   comparison — only on machines with enough cores to express parallel
   speedup at all.
+* **SITES** (``bench == "sites"``): the fleet-registry floors — warm
+  cache-hit throughput and the hot-p99-under-churn ratio — plus a
+  baseline comparison on throughput when a baseline is committed.
 """
 
 from __future__ import annotations
@@ -134,6 +137,68 @@ def check_serve_mp(current_path: Path, baseline_path: Path) -> int:
     return 0
 
 
+def check_sites(current_path: Path, baseline_path: Path) -> int:
+    current = json.loads(current_path.read_text(encoding="utf-8"))
+    baseline = (
+        json.loads(baseline_path.read_text(encoding="utf-8"))
+        if baseline_path.is_file()
+        else None
+    )
+    floors = current["floors"]
+    warm_rps = float(current["warm"]["rps"])
+    ratio = float(current["mixed_p99_ratio"])
+
+    failures = []
+    print(
+        f"SITES regression check ({current['sites']} sites, "
+        f"capacity {current['capacity']}, {current['hot_sites']} hot):"
+    )
+    status = "ok" if warm_rps >= floors["cache_hit_rps"] else "REGRESSED"
+    print(
+        f"  cache-hit rps       {warm_rps:6.1f}  "
+        f"floor {floors['cache_hit_rps']:.1f}  {status}"
+    )
+    if warm_rps < floors["cache_hit_rps"]:
+        failures.append(
+            f"warm cache-hit throughput {warm_rps:.0f} req/s below the "
+            f"{floors['cache_hit_rps']:.0f} req/s floor — the registry "
+            f"fast path got expensive"
+        )
+    status = "ok" if ratio <= floors["mixed_p99_ratio"] else "REGRESSED"
+    print(
+        f"  p99 churn ratio     {ratio:6.2f}x "
+        f"ceiling {floors['mixed_p99_ratio']:.2f}x  {status}"
+    )
+    if ratio > floors["mixed_p99_ratio"]:
+        failures.append(
+            f"hot-site p99 stretched {ratio:.2f}x under cold-site churn "
+            f"(ceiling {floors['mixed_p99_ratio']}x) — model loads are "
+            f"blocking the hot path"
+        )
+    if int(current["churn"]["evictions"]) < 1:
+        failures.append("mixed phase forced no evictions — bench did not churn")
+    if baseline is not None:
+        base_rps = float(baseline["warm"]["rps"])
+        floor = base_rps * (1.0 - TOLERANCE)
+        status = "ok" if warm_rps >= floor else "REGRESSED"
+        print(
+            f"  vs baseline         {warm_rps:6.1f}  "
+            f"floor {floor:.1f}  {status}"
+        )
+        if warm_rps < floor:
+            failures.append(
+                f"cache-hit throughput {warm_rps:.0f} req/s fell more than "
+                f"{TOLERANCE:.0%} below baseline {base_rps:.0f} req/s"
+            )
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nOK: fleet serving holds its floors.")
+    return 0
+
+
 def main(argv) -> int:
     if not 1 <= len(argv) <= 2:
         print(__doc__)
@@ -143,6 +208,13 @@ def main(argv) -> int:
         print(f"error: {current} not found")
         return 2
     doc = json.loads(current.read_text(encoding="utf-8"))
+    if doc.get("bench") == "sites":
+        baseline = (
+            Path(argv[1])
+            if len(argv) == 2
+            else Path(__file__).parent / "BENCH_SITES_BASELINE.json"
+        )
+        return check_sites(current, baseline)
     if doc.get("bench") == "serve_mp":
         baseline = (
             Path(argv[1])

@@ -55,13 +55,17 @@ def run_load(
     timeout_s: float = 60.0,
     shared_budget: Optional[RetryBudget] = None,
     stop: Optional[threading.Event] = None,
+    sites: Optional[Sequence[str]] = None,
 ):
     """Closed-loop run; returns ``(wall_s, reports)``.
 
     Each worker holds one :class:`ServiceClient` (keep-alive connection,
     seeded jitter RNG).  ``max_retries=0`` measures the raw service;
     retries on measure the client-and-service system.  An optional
-    ``stop`` event ends workers early (the drain scenario).
+    ``stop`` event ends workers early (the drain scenario).  With
+    ``sites``, worker *wid* pins itself to ``sites[wid % len(sites)]``
+    and drives the site-routed ``/v1/sites/{id}/locate`` endpoint —
+    the skewed-fleet regime BENCH-SITES measures.
     """
     start_gate = threading.Event()
     buckets: List[List[ClientReport]] = [[] for _ in range(n_workers)]
@@ -72,13 +76,16 @@ def run_load(
             max_retries=max_retries, seed=wid,
             budget=shared_budget if shared_budget is not None else RetryBudget(),
         )
+        site = sites[wid % len(sites)] if sites else None
         try:
             start_gate.wait()
             for i in range(requests_per_worker):
                 if stop is not None and stop.is_set():
                     return
                 doc = docs[(wid + i) % len(docs)]
-                buckets[wid].append(client.locate(doc, deadline_ms=deadline_ms))
+                buckets[wid].append(
+                    client.locate(doc, deadline_ms=deadline_ms, site=site)
+                )
         finally:
             client.close()
 

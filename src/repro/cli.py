@@ -672,6 +672,16 @@ def _serve_cmd(args: argparse.Namespace) -> int:
         _fail(f"--session-ttl-s must be > 0, got {args.session_ttl_s}")
     if args.workers < 1:
         _fail(f"--workers must be >= 1, got {args.workers}")
+    if args.site_capacity < 1:
+        _fail(f"--site-capacity must be >= 1, got {args.site_capacity}")
+    if args.sites is None and args.database is None:
+        _fail("serve needs a training database (or --sites FLEET)")
+    if args.sites is not None and args.database is not None:
+        _fail("give either a single database or --sites, not both")
+    if args.sites is not None and args.plan:
+        _fail("--plan is single-site; fleet manifests carry per-site ap_positions")
+    if args.sites is None and args.default_site is not None:
+        _fail("--default-site needs --sites")
 
     ap_positions = None
     bounds = None
@@ -688,27 +698,40 @@ def _serve_cmd(args: argparse.Namespace) -> int:
             bounds = site_bounds(plan)
         except FloorPlanError:
             pass  # un-framed plan: serve without bounds filtering
-    elif args.algorithm in ("geometric", "multilateration"):
+    elif args.sites is None and args.algorithm in ("geometric", "multilateration"):
         _fail(f"algorithm {args.algorithm!r} needs --plan for AP positions")
 
     if args.workers > 1:
         return _serve_multiproc(args, ap_positions, bounds)
 
     chaos = _build_chaos(args)
+    service = None
+    registry = None
     try:
-        service = LocalizationService(
-            args.database,
-            algorithm=args.algorithm,
-            ap_positions=ap_positions,
-            bounds=bounds,
-            breakers=not args.no_breakers,
-            chaos=chaos,
-        )
+        if args.sites is not None:
+            from repro.serve import ModelRegistry
+
+            registry = ModelRegistry(
+                args.sites,
+                capacity=args.site_capacity,
+                default_site=args.default_site,
+                service_kwargs={"breakers": not args.no_breakers, "chaos": chaos},
+            )
+        else:
+            service = LocalizationService(
+                args.database,
+                algorithm=args.algorithm,
+                ap_positions=ap_positions,
+                bounds=bounds,
+                breakers=not args.no_breakers,
+                chaos=chaos,
+            )
     except (KeyError, ValueError, OSError) as exc:
         _fail(str(exc))
 
     server = LocalizationHTTPServer(
         service,
+        registry=registry,
         host=args.host,
         port=args.port,
         max_batch=args.max_batch,
@@ -744,7 +767,9 @@ def _serve_cmd(args: argparse.Namespace) -> int:
     stop = threading.Event()
     signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
     try:
-        model = _model_banner(service.describe())
+        # In fleet mode server.service is the pinned default site's
+        # service, so the banner names the model legacy routes hit.
+        model = _model_banner(server.service.describe())
         # The URL line is machine-readable on purpose: the CI smoke and
         # the load bench launch `repro serve --port 0` and parse it.
         print(f"serving {server.url}  model: {model}", flush=True)
@@ -765,6 +790,13 @@ def _serve_cmd(args: argparse.Namespace) -> int:
             f"session_ttl_s={args.session_ttl_s}",
             flush=True,
         )
+        if registry is not None:
+            print(
+                f"sites: {len(registry.site_ids())} "
+                f"(default {registry.default_site}, "
+                f"capacity {args.site_capacity})",
+                flush=True,
+            )
         if chaos is not None:
             print(f"chaos: {chaos.describe()}", flush=True)
         if args.for_seconds is None:
@@ -798,7 +830,7 @@ def _serve_multiproc(args: argparse.Namespace, ap_positions, bounds) -> int:
     from repro.serve.workers import Supervisor, WorkerSpec
 
     spec = WorkerSpec(
-        database=args.database,
+        database=args.database or "",
         host=args.host,
         port=args.port,
         algorithm=args.algorithm,
@@ -815,6 +847,9 @@ def _serve_multiproc(args: argparse.Namespace, ap_positions, bounds) -> int:
         session_capacity=args.session_capacity,
         session_ttl_s=args.session_ttl_s,
         chaos_kwargs=_chaos_kwargs(args),
+        sites=args.sites,
+        default_site=args.default_site,
+        site_capacity=args.site_capacity,
     )
     supervisor = Supervisor(spec, args.workers, rundir=args.rundir)
     try:
@@ -842,6 +877,11 @@ def _serve_multiproc(args: argparse.Namespace, ap_positions, bounds) -> int:
         f"session_ttl_s={args.session_ttl_s}",
         flush=True,
     )
+    if args.sites is not None:
+        print(
+            f"sites: fleet {args.sites} (capacity {args.site_capacity})",
+            flush=True,
+        )
     print(
         f"workers: {args.workers} rundir: {supervisor.rundir} "
         f"pids: {','.join(str(i['pid']) for i in infos)}",
@@ -892,6 +932,126 @@ def _freeze_cmd(args: argparse.Namespace) -> int:
         f"froze {len(db)} locations, {len(db.bssids)} APs -> "
         f"{args.output} ({size} bytes, {ranging})"
     )
+    return 0
+
+
+def _sites_gen_fleet(args: argparse.Namespace) -> int:
+    """``repro sites gen-fleet``: synthesize a multi-site fleet on disk.
+
+    Cycles the experiment site presets (house / office / warehouse) so
+    neighbouring sites have genuinely different radio maps, writes one
+    pack per site plus a ``fleet.json`` manifest — ready for
+    ``repro serve --sites <dir>``.
+    """
+    from repro.experiments.sites import office_floor, paper_house, warehouse
+    from repro.serve.registry import SiteDefinition, write_fleet_manifest
+
+    if args.count < 1:
+        _fail(f"--count must be >= 1, got {args.count}")
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    presets = (
+        ("house", paper_house),
+        ("office", office_floor),
+        ("warehouse", warehouse),
+    )
+    sites = {}
+    for i in range(args.count):
+        kind, factory = presets[i % len(presets)]
+        site_id = f"{kind}-{i:02d}"
+        site = factory(dwell_s=args.dwell_s)
+        db = site.training_database(rng=args.seed + i)
+        ap_positions = site.ap_positions_by_bssid()
+        path = out / f"{site_id}{'.tdbx' if args.freeze else '.tdb'}"
+        if args.freeze:
+            db.freeze(str(path), ap_positions=ap_positions)
+        else:
+            db.save(str(path))
+        sites[site_id] = SiteDefinition(
+            site_id,
+            str(path),
+            algorithm=args.algorithm,
+            ap_positions=ap_positions,
+            bounds=site.bounds(),
+        )
+        print(
+            f"{site_id}: {len(db)} locations, {len(db.bssids)} APs "
+            f"-> {path.name}"
+        )
+    default = sorted(sites)[0]
+    manifest = write_fleet_manifest(out, sites, default=default)
+    print(f"fleet: {len(sites)} sites, default {default} -> {manifest}")
+    return 0
+
+
+def _sites_freeze(args: argparse.Namespace) -> int:
+    """``repro sites freeze``: freeze fleet packs to .tdbx, repoint manifest."""
+    from repro.core.frozenpack import load_database
+    from repro.core.trainingdb import TrainingDBError
+    from repro.serve.registry import load_fleet, write_fleet_manifest
+
+    target = Path(args.fleet)
+    try:
+        sites, default = load_fleet(target)
+    except (TrainingDBError, OSError, ValueError) as exc:
+        _fail(str(exc))
+    root = target if target.is_dir() else target.parent
+    wanted = set(args.site)
+    if not args.all and not wanted:
+        _fail("name site ids to freeze, or pass --all")
+    unknown = wanted - set(sites)
+    if unknown:
+        _fail(f"unknown sites {sorted(unknown)} (fleet has {sorted(sites)})")
+    frozen = 0
+    for sid in sorted(sites):
+        if not args.all and sid not in wanted:
+            continue
+        definition = sites[sid]
+        src = Path(definition.database)
+        if src.suffix == ".tdbx":
+            print(f"{sid}: already frozen ({src.name})")
+            continue
+        dst = src.with_suffix(".tdbx")
+        try:
+            db = load_database(str(src))
+            size = db.freeze(str(dst), ap_positions=definition.ap_positions)
+        except (TrainingDBError, OSError, ValueError) as exc:
+            _fail(f"{sid}: {exc}")
+        definition.database = str(dst)
+        frozen += 1
+        print(f"{sid}: froze {len(db)} locations -> {dst.name} ({size} bytes)")
+    manifest = write_fleet_manifest(root, sites, default=default)
+    print(f"fleet: {frozen} newly frozen -> {manifest}")
+    return 0
+
+
+def _sites_status(args: argparse.Namespace) -> int:
+    """``repro sites status``: the registry card, live or from disk."""
+    import json
+
+    if args.target.startswith(("http://", "https://")):
+        from urllib.request import urlopen
+
+        try:
+            with urlopen(args.target.rstrip("/") + "/v1/sites", timeout=10) as resp:
+                doc = json.loads(resp.read().decode("utf-8"))
+        except (OSError, ValueError) as exc:
+            _fail(f"cannot read {args.target}/v1/sites: {exc}")
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    from repro.serve.registry import load_fleet
+
+    try:
+        sites, default = load_fleet(args.target)
+    except (OSError, ValueError) as exc:
+        _fail(str(exc))
+    print(f"fleet: {len(sites)} sites, default {default}")
+    for sid in sorted(sites):
+        definition = sites[sid]
+        pack = Path(definition.database)
+        kind = "frozen" if pack.suffix == ".tdbx" else "heap"
+        geo = "with geometry" if definition.ap_positions else "no geometry"
+        print(f"  {sid}: {definition.algorithm}, {kind} pack {pack.name}, {geo}")
     return 0
 
 
@@ -1234,7 +1394,26 @@ def repro_main(argv: Optional[Sequence[str]] = None) -> int:
         help="run the localization service: JSON observations over HTTP, "
         "micro-batched into the vectorized scoring engine",
     )
-    serve.add_argument("database", help=".tdb training database to load and warm")
+    serve.add_argument(
+        "database", nargs="?", default=None,
+        help=".tdb training database to load and warm (omit with --sites)",
+    )
+    serve.add_argument(
+        "--sites", default=None, metavar="FLEET",
+        help="serve a multi-site fleet: a fleet.json manifest or a directory "
+        "of .tdb/.tdbx packs; routes /v1/sites/{id}/... and aliases the "
+        "legacy routes to the default site (see docs/sites.md)",
+    )
+    serve.add_argument(
+        "--default-site", default=None, metavar="ID",
+        help="with --sites: site the legacy single-site routes hit "
+        "(default: the manifest's default)",
+    )
+    serve.add_argument(
+        "--site-capacity", type=int, default=8, metavar="N",
+        help="with --sites: bound on concurrently resident site models; "
+        "LRU eviction beyond it, but in-flight sites are never unloaded",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=8311,
@@ -1369,6 +1548,62 @@ def repro_main(argv: Optional[Sequence[str]] = None) -> int:
         help="extra std-matrix floor to precompute (repeatable; default 0.5)",
     )
     freeze.set_defaults(func=_freeze_cmd)
+
+    sites_parser = sub.add_parser(
+        "sites",
+        help="multi-site fleet tools: generate synthetic fleets, freeze "
+        "their packs, inspect a registry (docs/sites.md)",
+    )
+    sites_sub = sites_parser.add_subparsers(dest="sites_command", required=True)
+    gen = sites_sub.add_parser(
+        "gen-fleet",
+        help="synthesize N training databases (house/office/warehouse "
+        "presets) plus a fleet.json manifest",
+    )
+    gen.add_argument("output", help="fleet directory to create")
+    gen.add_argument(
+        "--count", type=int, default=4, metavar="N",
+        help="number of sites to generate",
+    )
+    gen.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="base RNG seed (site i surveys with seed+i)",
+    )
+    gen.add_argument(
+        "--dwell-s", type=float, default=10.0, metavar="S",
+        help="survey dwell per location (lower = faster generation, "
+        "noisier radio maps)",
+    )
+    gen.add_argument(
+        "--algorithm", default="fallback",
+        help="localizer each site's manifest entry names",
+    )
+    gen.add_argument(
+        "--freeze", action="store_true",
+        help="write frozen .tdbx packs (mmap-shareable across --workers) "
+        "instead of heap .tdb databases",
+    )
+    gen.set_defaults(func=_sites_gen_fleet)
+    sfreeze = sites_sub.add_parser(
+        "freeze",
+        help="freeze fleet sites to .tdbx packs and repoint the manifest",
+    )
+    sfreeze.add_argument("fleet", help="fleet manifest or directory")
+    sfreeze.add_argument("site", nargs="*", help="site ids to freeze")
+    sfreeze.add_argument(
+        "--all", action="store_true",
+        help="freeze every heap (.tdb) site in the fleet",
+    )
+    sfreeze.set_defaults(func=_sites_freeze)
+    sstatus = sites_sub.add_parser(
+        "status",
+        help="show a fleet: sites + default from a manifest/directory, or "
+        "the live registry card from a running server URL",
+    )
+    sstatus.add_argument(
+        "target", help="fleet manifest/directory or a server base URL",
+    )
+    sstatus.set_defaults(func=_sites_status)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -66,6 +66,19 @@ class APDriftMonitor:
         bins over [-100, -20] dBm keep state tiny (40 ints per AP) and
         bound the CDF discretization error well under any sane
         ``ks_threshold``.
+    site:
+        Optional site id: every emitted ``quality.*`` series gains a
+        ``site`` label (fleet mode) and a ``quality.drifted_aps{site=}``
+        summary gauge is kept.  Without it, series names are exactly
+        the single-site ones.
+    max_ap_series:
+        Cardinality cap on the per-AP gauge/alert series this monitor
+        emits per scrape.  With more judged APs than the cap, only the
+        ``max_ap_series`` most severe (mean shift and KS distance
+        measured in units of their thresholds) get per-AP series — so
+        a fleet's ``/metrics`` grows as ``sites × cap``, never
+        ``sites × APs``.  The :meth:`status` report itself always
+        covers every AP; ``None`` disables the cap.
     """
 
     def __init__(
@@ -77,6 +90,8 @@ class APDriftMonitor:
         bin_width_db: float = 2.0,
         rssi_range: Tuple[float, float] = (-100.0, -20.0),
         min_std: float = 0.5,
+        site: Optional[str] = None,
+        max_ap_series: Optional[int] = 12,
     ):
         if mean_shift_db <= 0 or not 0 < ks_threshold <= 1:
             raise ValueError(
@@ -86,10 +101,14 @@ class APDriftMonitor:
         lo, hi = rssi_range
         if hi <= lo or bin_width_db <= 0:
             raise ValueError(f"bad binning: range={rssi_range}, width={bin_width_db}")
+        if max_ap_series is not None and max_ap_series < 1:
+            raise ValueError(f"max_ap_series must be >= 1 or None, got {max_ap_series}")
         self.bssids: List[str] = list(db.bssids)
         self.mean_shift_db = float(mean_shift_db)
         self.ks_threshold = float(ks_threshold)
         self.min_samples = int(min_samples)
+        self.site = site
+        self.max_ap_series = max_ap_series
         self._lo = float(lo)
         self._width = float(bin_width_db)
         self._n_bins = int(math.ceil((hi - lo) / bin_width_db))
@@ -166,9 +185,12 @@ class APDriftMonitor:
 
         Alert counters fire on the *transition* into drifted (one alert
         per incident, not per scrape); gauges always reflect the latest
-        computed shift/distance.
+        computed shift/distance.  Per-AP series respect the
+        ``max_ap_series`` cap — the report covers every AP regardless,
+        so nothing is lost, only the exposition is bounded.
         """
         report: Dict[str, Dict[str, object]] = {}
+        judged: List[Tuple[str, float, float, bool, bool]] = []
         for a, bssid in enumerate(self.bssids):
             entry: Dict[str, object] = {"n": int(self._n[a])}
             if self._n[a] < self.min_samples:
@@ -198,16 +220,52 @@ class APDriftMonitor:
                 drifted=drifted,
             )
             report[bssid] = entry
-            if emit:
-                if math.isfinite(shift):
-                    _metrics.gauge("quality.ap_mean_shift_db", ap=bssid).set(shift)
-                if math.isfinite(ks):
-                    _metrics.gauge("quality.ap_ks_distance", ap=bssid).set(ks)
-                if drifted and not self._drifted[a]:
-                    _metrics.counter("quality.drift_alerts", ap=bssid).inc()
-                    _metrics.counter("quality.alert", kind="rssi_drift").inc()
+            judged.append((bssid, shift, ks, drifted, drifted and not self._drifted[a]))
             self._drifted[a] = drifted
+        if emit:
+            self._emit(judged)
         return report
+
+    def _severity(self, shift: float, ks: float) -> float:
+        """How far past its thresholds an AP is (unitless, max of both)."""
+        s = abs(shift) / self.mean_shift_db if math.isfinite(shift) else 0.0
+        k = ks / self.ks_threshold if math.isfinite(ks) else 0.0
+        return max(s, k)
+
+    def _emit(self, judged: List[Tuple[str, float, float, bool, bool]]) -> None:
+        labels: Dict[str, str] = {"site": self.site} if self.site is not None else {}
+        emitted = judged
+        if self.max_ap_series is not None and len(judged) > self.max_ap_series:
+            # Bounded exposition: only the most severe APs get per-AP
+            # series.  (A previously emitted AP that drops out of the
+            # top-K keeps its last gauge value — read the cap as "the
+            # K series worth watching", not a complete census.)
+            emitted = sorted(
+                judged,
+                key=lambda j: self._severity(j[1], j[2]),
+                reverse=True,
+            )[: self.max_ap_series]
+        visible = {j[0] for j in emitted}
+        for bssid, shift, ks, drifted, transition in judged:
+            if bssid in visible:
+                if math.isfinite(shift):
+                    _metrics.gauge(
+                        "quality.ap_mean_shift_db", ap=bssid, **labels
+                    ).set(shift)
+                if math.isfinite(ks):
+                    _metrics.gauge(
+                        "quality.ap_ks_distance", ap=bssid, **labels
+                    ).set(ks)
+                if transition:
+                    _metrics.counter("quality.drift_alerts", ap=bssid, **labels).inc()
+            if transition:
+                # The aggregate alert never misses an incident, capped
+                # per-AP series or not.
+                _metrics.counter("quality.alert", kind="rssi_drift").inc()
+        if self.site is not None:
+            _metrics.gauge("quality.drifted_aps", site=self.site).set(
+                sum(1 for j in judged if j[3])
+            )
 
     def drifted_aps(self) -> List[str]:
         status = self.status()

@@ -38,6 +38,12 @@ of the serving substrate:
   ``X-Deadline-Ms`` deadline propagation.
 * :mod:`repro.serve.clock` — real and manual time sources (the manual
   one drives wait-timeout tests without real sleeps).
+* :mod:`repro.serve.registry` — multi-site fleet serving
+  (``repro serve --sites <fleet>``): a :class:`ModelRegistry` maps
+  site ids to fitted models with a bounded LRU of resident sites —
+  lazy single-flight loading, pinned-while-in-flight eviction, and
+  per-site generation counters that survive evict/reload cycles.
+  Routed through ``/v1/sites/{id}/...``; docs/sites.md has the story.
 * :mod:`repro.serve.workers` — multi-process scale-out
   (``repro serve --workers N``): a :class:`Supervisor` preforks N
   workers sharing one ``SO_REUSEPORT`` port, restarts crashed ones,
@@ -67,6 +73,15 @@ from repro.serve.resilience import (
     Priority,
     TierBreakerBoard,
     compute_retry_after_s,
+)
+from repro.serve.registry import (
+    FLEET_MANIFEST,
+    ModelRegistry,
+    SiteDefinition,
+    SiteRuntime,
+    UnknownSiteError,
+    load_fleet,
+    write_fleet_manifest,
 )
 from repro.serve.service import LocalizationService
 from repro.serve.sessions import (
@@ -104,17 +119,21 @@ __all__ = [
     "ControlChannel",
     "DEADLINE_HEADER",
     "DeadlineExceededError",
+    "FLEET_MANIFEST",
     "FleetMetrics",
     "LocalizationHTTPServer",
     "LocalizationService",
     "ManualClock",
     "MicroBatcher",
+    "ModelRegistry",
     "Priority",
     "QueueFullError",
     "RetryBudget",
     "ServiceClient",
     "SessionClosedError",
     "SessionStore",
+    "SiteDefinition",
+    "SiteRuntime",
     "Supervisor",
     "SystemClock",
     "TierBreakerBoard",
@@ -122,12 +141,15 @@ __all__ = [
     "TrackingSession",
     "TrackingSessions",
     "UnknownSessionError",
+    "UnknownSiteError",
     "WireError",
     "WorkerSpec",
     "canonical_json",
     "compute_retry_after_s",
     "estimate_to_json",
+    "load_fleet",
     "observation_from_json",
     "track_estimate_to_json",
     "worker_main",
+    "write_fleet_manifest",
 ]

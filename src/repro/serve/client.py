@@ -349,12 +349,19 @@ class ServiceClient:
 
     # -- endpoint sugar --------------------------------------------------
     def locate(self, observation_doc: Dict[str, object],
-               deadline_ms: Optional[float] = None) -> ClientReport:
-        return self.request("POST", "/v1/locate", observation_doc, deadline_ms=deadline_ms)
+               deadline_ms: Optional[float] = None,
+               site: Optional[str] = None) -> ClientReport:
+        """``POST /v1/locate``, or the site-routed variant when a fleet
+        server is on the other end and ``site`` is given."""
+        path = f"/v1/sites/{site}/locate" if site is not None else "/v1/locate"
+        return self.request("POST", path, observation_doc, deadline_ms=deadline_ms)
 
     def locate_batch(self, observation_docs: Sequence[Dict[str, object]],
-                     deadline_ms: Optional[float] = None) -> ClientReport:
-        return self.request("POST", "/v1/locate/batch",
+                     deadline_ms: Optional[float] = None,
+                     site: Optional[str] = None) -> ClientReport:
+        path = (f"/v1/sites/{site}/locate/batch" if site is not None
+                else "/v1/locate/batch")
+        return self.request("POST", path,
                             {"observations": list(observation_docs)},
                             deadline_ms=deadline_ms)
 

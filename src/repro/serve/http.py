@@ -43,6 +43,14 @@ error bodies; admission/deadline/drain decisions land as edge-span
 attributes so a rejected request still leaves a one-span trace.
 * ``POST /admin/reload`` — atomic hot-reload of the model, optionally
   from a new ``{"database": path}``.
+* Fleet mode (constructed with a :class:`~repro.serve.registry.
+  ModelRegistry`): ``/v1/sites/{site}/locate[|/batch]``, site-scoped
+  ``/v1/sites/{site}/track/{session}`` and ``/v1/sites/{site}/admin/
+  reload``, plus ``GET /v1/sites`` (the registry card).  The legacy
+  single-site paths above alias the registry's default site, request
+  metrics and spans gain a ``site`` label, and each request holds a
+  lease pinning its site's runtime so eviction never races in-flight
+  work (see docs/sites.md).
 * ``POST /admin/drain`` — graceful drain: stop accepting data-plane
   work, flush the batcher, finish in-flight requests under the drain
   deadline (see :meth:`LocalizationHTTPServer.drain`).
@@ -73,8 +81,10 @@ import re
 import socket
 import threading
 import time
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Dict, List, Optional, Tuple
+from types import SimpleNamespace
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro import obs
 from repro.obs.export import (
@@ -87,6 +97,7 @@ from repro.obs.server import PROMETHEUS_CONTENT_TYPE, HealthCheck, run_health_ch
 from repro.obs.trace import SNAPSHOT_SCHEMA as TRACE_SCHEMA
 from repro.serve.batcher import DeadlineExceededError, MicroBatcher, QueueFullError
 from repro.serve.clock import SystemClock
+from repro.serve.registry import ModelRegistry, UnknownSiteError
 from repro.serve.resilience import (
     AdmissionController,
     ChaosPolicy,
@@ -146,8 +157,23 @@ DATA_PLANE = frozenset({"locate", "locate_batch", "track"})
 #: Path prefix of the tracking-session endpoints.
 TRACK_PREFIX = "/v1/track/"
 
+#: Path prefix of the multi-site (fleet) endpoints; only routed when
+#: the server fronts a :class:`~repro.serve.registry.ModelRegistry`.
+SITES_PREFIX = "/v1/sites/"
+
 #: Session ids are client-chosen path segments; keep them boring.
 _SESSION_ID_RE = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
+
+#: Site ids live in paths and metric labels; same discipline.
+_SITE_ID_RE = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
+
+#: Endpoints whose metric series / span attributes carry a ``site``
+#: label in fleet mode.  Control-plane scrapes (metrics, health, index)
+#: stay unlabelled, and single-site servers never add the label at all
+#: — their series names are byte-compatible with the pre-fleet ones.
+_SITE_LABELLED = frozenset(
+    {"locate", "locate_batch", "track", "track_status", "track_close", "reload"}
+)
 
 #: Hard cap on request bodies (a locate document is a few KB; anything
 #: near this is a mistake or an attack).
@@ -272,6 +298,8 @@ class _Handler(BaseHTTPRequestHandler):
             ("GET", "/debug/traces"): ("debug_traces", owner._handle_debug_traces),
             ("GET", "/"): ("index", owner._handle_index),
         }
+        if owner.registry is not None:
+            routes[("GET", "/v1/sites")] = ("sites", owner._handle_sites)
         entry = routes.get((method, path))
         if entry is None and path.startswith(TRACK_PREFIX) and len(path) > len(TRACK_PREFIX):
             session_id = path[len(TRACK_PREFIX):]
@@ -285,6 +313,25 @@ class _Handler(BaseHTTPRequestHandler):
                 entry = (
                     endpoint_name,
                     lambda h, _f=track_handler, _sid=session_id: _f(h, _sid),
+                )
+        # Fleet routes: /v1/sites/{site}/... — legacy paths above stay
+        # valid and alias the registry's default site.
+        site_label: Optional[str] = None
+        if owner.registry is not None:
+            site_label = owner.registry.default_site
+            if (
+                entry is None
+                and path.startswith(SITES_PREFIX)
+                and len(path) > len(SITES_PREFIX)
+            ):
+                site_id, _, tail = path[len(SITES_PREFIX):].partition("/")
+                entry = owner._site_entry(method, site_id, tail)
+                # Label with the site only when it is a real fleet
+                # member: client-invented ids must not mint series.
+                site_label = (
+                    site_id
+                    if _SITE_ID_RE.match(site_id) and site_id in owner.registry
+                    else "unknown"
                 )
         trickle_s = 0.0
         # Request identity: adopt the client's W3C traceparent (or mint
@@ -304,24 +351,35 @@ class _Handler(BaseHTTPRequestHandler):
         }
         if entry is None:
             endpoint = "unknown"
-            known = sorted({p for _, p in routes} | {TRACK_PREFIX + "{session}"})
+            req_labels: Dict[str, str] = {"endpoint": endpoint}
+            known = {p for _, p in routes} | {TRACK_PREFIX + "{session}"}
+            if owner.registry is not None:
+                known |= {SITES_PREFIX + "{site}/locate[|/batch]",
+                          SITES_PREFIX + "{site}/track/{session}",
+                          SITES_PREFIX + "{site}/admin/reload"}
             status, body, content_type, headers = (
                 404,
                 canonical_json(
-                    {"error": "not_found", "paths": known, "request_id": request_id}
+                    {"error": "not_found", "paths": sorted(known),
+                     "request_id": request_id}
                 ),
                 "application/json",
                 {},
             )
         else:
             endpoint, handler = entry
+            req_labels = {"endpoint": endpoint}
+            span_extra: Dict[str, str] = {}
+            if site_label is not None and endpoint in _SITE_LABELLED:
+                req_labels["site"] = site_label
+                span_extra["site"] = site_label
             data_plane = endpoint in DATA_PLANE
             chaos = owner.chaos
             if data_plane and chaos is not None and chaos.reset_connection():
                 # Injected connection reset: hang up without an answer.
                 # The one fault class the availability floor does NOT
                 # forgive when chaos isn't asking for it explicitly.
-                obs.counter("serve.http_requests", endpoint=endpoint, code="reset").inc()
+                obs.counter("serve.http_requests", code="reset", **req_labels).inc()
                 self.close_connection = True
                 return
             # Data-plane requests (and admin actions, and anything the
@@ -344,14 +402,14 @@ class _Handler(BaseHTTPRequestHandler):
                     with obs.bind(ctx):
                         with obs.span(
                             "serve.request", endpoint=endpoint, method=method,
-                            decision="draining", http_status=status,
+                            decision="draining", http_status=status, **span_extra,
                         ):
                             pass
                 if recorder is not None:
                     recorder.finish(
                         ctx.trace_id, status="draining", pin=True, reason="draining"
                     )
-                obs.counter("serve.http_requests", endpoint=endpoint, code=str(status)).inc()
+                obs.counter("serve.http_requests", code=str(status), **req_labels).inc()
                 self._discard_body()
                 try:
                     self._reply(status, body, content_type, headers)
@@ -394,7 +452,8 @@ class _Handler(BaseHTTPRequestHandler):
                 if traced:
                     with obs.bind(ctx):
                         with obs.span(
-                            "serve.request", endpoint=endpoint, method=method
+                            "serve.request", endpoint=endpoint, method=method,
+                            **span_extra,
                         ):
                             status, body, content_type, headers = invoke()
                 else:
@@ -403,7 +462,7 @@ class _Handler(BaseHTTPRequestHandler):
                 if data_plane:
                     owner._exit_data_plane()
             latency_ms = 1000.0 * (time.perf_counter() - t0)
-            obs.histogram("serve.http_latency_ms", endpoint=endpoint).observe(
+            obs.histogram("serve.http_latency_ms", **req_labels).observe(
                 latency_ms, trace_id=ctx.trace_id if traced else None
             )
             if recorder is not None:
@@ -421,7 +480,7 @@ class _Handler(BaseHTTPRequestHandler):
                 owner.admission.note_latency_ms(latency_ms)
             if data_plane and chaos is not None and chaos.slowloris():
                 trickle_s = chaos.slowloris_delay_s
-        obs.counter("serve.http_requests", endpoint=endpoint, code=str(status)).inc()
+        obs.counter("serve.http_requests", code=str(status), **req_labels).inc()
         self._discard_body()
         try:
             self._reply(status, body, content_type, headers, trickle_s=trickle_s)
@@ -501,6 +560,18 @@ class LocalizationHTTPServer:
         action (``{"cmd": "reload"/"drain", ...}``) so a worker can
         broadcast it to its siblings.  Failures are counted, never
         surfaced to the admin caller.
+    registry:
+        Optional :class:`~repro.serve.registry.ModelRegistry` — fleet
+        mode.  The server pins the registry's default site for its
+        lifetime (the legacy single-site routes alias it), routes
+        ``/v1/sites/{site}/...`` through per-site runtimes (each with
+        its own micro-batcher, tracking sessions and breaker board —
+        batches never coalesce across sites), and adds a ``site``
+        label to request metrics and trace spans.  ``service`` may be
+        None; the batching/tracking knobs above are pushed into the
+        registry's per-site runtime config where not already set.
+        ``stop()``/``drain()`` close the registry (it is single-use,
+        like the server).
 
     Use as a context manager or ``start()``/``stop()``.
     """
@@ -517,7 +588,7 @@ class LocalizationHTTPServer:
 
     def __init__(
         self,
-        service: LocalizationService,
+        service: Optional[LocalizationService] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         max_batch: int = 64,
@@ -539,8 +610,13 @@ class LocalizationHTTPServer:
         metrics_state_source: Optional[Callable[[], dict]] = None,
         trace_source: Optional[Callable[[], dict]] = None,
         admin_hook: Optional[Callable[[Dict[str, object]], None]] = None,
+        registry: Optional[ModelRegistry] = None,
     ):
-        self.service = service
+        if service is None and registry is None:
+            raise ValueError("pass a LocalizationService or a ModelRegistry")
+        if registry is not None and sessions is not None:
+            raise ValueError("fleet mode builds per-site sessions; don't inject one")
+        self.registry = registry
         self.host = host
         self.reuse_port = bool(reuse_port)
         self.metrics_source = metrics_source
@@ -556,25 +632,61 @@ class LocalizationHTTPServer:
         )
         self.chaos = chaos
         self.drain_deadline_s = float(drain_deadline_s)
-        self.batcher = MicroBatcher(
-            service.locate_many,
-            max_batch=max_batch,
-            max_wait_ms=max_wait_ms,
-            max_queue=max_queue,
-            clock=self._clock,
-            name="http",
-        )
-        # Stateful tracking sessions share the batching knobs and (by
-        # default) the clock, so deadline math is one coordinate system.
-        self.sessions = sessions if sessions is not None else TrackingSessions(
-            service,
-            kind=track_filter,
-            capacity=session_capacity,
-            ttl_s=session_ttl_s,
-            max_batch=max_batch,
-            max_wait_ms=max_wait_ms,
-            max_queue=max_queue,
-            clock=self._clock,
+        if registry is not None:
+            # Fleet mode: per-site runtimes own batchers and sessions.
+            # Push this server's knobs into the registry's runtime
+            # config (where the caller didn't set their own), then pin
+            # the default site for the server's lifetime — the legacy
+            # routes and the health checks run against it, and it can
+            # never be evicted out from under them.
+            registry.configure_runtimes(
+                batch_config={
+                    "max_batch": max_batch,
+                    "max_wait_ms": max_wait_ms,
+                    "max_queue": max_queue,
+                },
+                track_config={
+                    "kind": track_filter,
+                    "capacity": session_capacity,
+                    "ttl_s": session_ttl_s,
+                    "max_batch": max_batch,
+                    "max_wait_ms": max_wait_ms,
+                    "max_queue": max_queue,
+                },
+                clock=self._clock,
+            )
+            self._default_runtime: Optional[object] = registry.acquire(None)
+            service = self._default_runtime.service
+            self.batcher = self._default_runtime.batcher
+            self.sessions = self._default_runtime.sessions
+        else:
+            self._default_runtime = None
+            self.batcher = MicroBatcher(
+                service.locate_many,
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+                max_queue=max_queue,
+                clock=self._clock,
+                name="http",
+            )
+            # Stateful tracking sessions share the batching knobs and (by
+            # default) the clock, so deadline math is one coordinate system.
+            self.sessions = sessions if sessions is not None else TrackingSessions(
+                service,
+                kind=track_filter,
+                capacity=session_capacity,
+                ttl_s=session_ttl_s,
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+                max_queue=max_queue,
+                clock=self._clock,
+            )
+        self.service = service
+        # Leases against this view make the single-site handlers and
+        # the fleet handlers one code path (site_id None ⇒ no labels).
+        self._single_view = SimpleNamespace(
+            service=service, batcher=self.batcher, sessions=self.sessions,
+            site_id=None,
         )
         self._checks: List[Tuple[str, HealthCheck]] = [
             ("model", service.health_check),
@@ -584,6 +696,8 @@ class LocalizationHTTPServer:
             ("sessions", self._sessions_check),
             ("lifecycle", self._lifecycle_check),
         ]
+        if registry is not None:
+            self._checks.append(("registry", self._registry_check))
         self._httpd: Optional[LocalizationHTTPServer._HTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
@@ -613,6 +727,17 @@ class LocalizationHTTPServer:
             ok = ok and self.sessions.alive
         return ok, detail
 
+    def _registry_check(self):
+        """Fleet occupancy: resident sites / capacity / loads in flight."""
+        status = self.registry.status()
+        return True, {
+            "resident": len(status["resident"]),
+            "capacity": status["capacity"],
+            "default": status["default"],
+            "loading": status["loading"],
+            "evictions": status["evictions"],
+        }
+
     def _lifecycle_check(self):
         if self._draining:
             # Deliberately unhealthy: a draining instance must drop out
@@ -630,8 +755,10 @@ class LocalizationHTTPServer:
         if self._httpd is not None:
             raise RuntimeError("LocalizationHTTPServer already started")
         self.service.model()  # fail fast: no point binding without a model
-        self.batcher.start()
-        self.sessions.start()
+        if self.registry is None:
+            # Fleet runtimes start their own dispatchers on first use.
+            self.batcher.start()
+            self.sessions.start()
         if self.reuse_port:
             if not hasattr(socket, "SO_REUSEPORT"):
                 raise RuntimeError("SO_REUSEPORT is not available on this platform")
@@ -673,8 +800,14 @@ class LocalizationHTTPServer:
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
-        self.batcher.stop()
-        self.sessions.stop()
+        if self.registry is not None:
+            if self._default_runtime is not None:
+                self.registry.release(self._default_runtime)
+                self._default_runtime = None
+            self.registry.close()
+        else:
+            self.batcher.stop()
+            self.sessions.stop()
         self._httpd = None
         self._thread = None
 
@@ -695,18 +828,23 @@ class LocalizationHTTPServer:
         return f"http://{self.host}:{self.port}"
 
     # -- overload / drain machinery --------------------------------------
-    def _retry_after_s(self) -> int:
+    def _retry_after_for(self, batcher: MicroBatcher) -> int:
         """Adaptive Retry-After from live queue depth and drain rate."""
         return compute_retry_after_s(
-            self.batcher.queue_depth(),
-            drain_rate=self.batcher.drain_rate(),
-            max_batch=self.batcher.max_batch,
-            max_wait_s=self.batcher.max_wait_s,
+            batcher.queue_depth(),
+            drain_rate=batcher.drain_rate(),
+            max_batch=batcher.max_batch,
+            max_wait_s=batcher.max_wait_s,
             floor_s=self.retry_after_s,
         )
 
-    def _shed(self, reason: str) -> _ApiError:
-        retry_after = self._retry_after_s()
+    def _retry_after_s(self) -> int:
+        return self._retry_after_for(self.batcher)
+
+    def _shed(self, reason: str, batcher: Optional[MicroBatcher] = None) -> _ApiError:
+        retry_after = self._retry_after_for(
+            batcher if batcher is not None else self.batcher
+        )
         # Queue-pressure sheds keep the wire name pre-dating the
         # admission controller ("queue_full"); the latency brake is new.
         error = "queue_full" if reason.startswith("queue") else "overloaded"
@@ -784,9 +922,13 @@ class LocalizationHTTPServer:
             unfinished = self._inflight
         if not already:
             # Drains the accepted backlog: every queued future resolves,
-            # including queued tracking-session steps.
-            self.batcher.stop()
-            self.sessions.stop()
+            # including queued tracking-session steps.  Fleet mode
+            # quiesces every resident site the same way.
+            if self.registry is not None:
+                self.registry.close()
+            else:
+                self.batcher.stop()
+                self.sessions.stop()
         report: Dict[str, object] = {
             "drained": unfinished == 0,
             "waited_s": round(time.monotonic() - t0, 4),
@@ -834,71 +976,134 @@ class LocalizationHTTPServer:
         if not budgets and self.default_deadline_ms is not None:
             budgets.append(float(self.default_deadline_ms) / 1000.0)
         return min(budgets) if budgets else None
-    def _handle_locate(self, handler: _Handler) -> _Route:
-        shed = self.admission.admit(Priority.NORMAL, self.batcher.queue_depth())
-        if shed is not None:
-            raise self._shed(shed)
-        doc = handler._read_json()
-        try:
-            observation = observation_from_json(doc)
-        except WireError as exc:
-            raise _ApiError(400, "bad_observation", str(exc)) from None
-        budget_s = self._deadline_from(handler, doc if isinstance(doc, dict) else None)
-        deadline = None if budget_s is None else self._clock.monotonic() + budget_s
-        if self.chaos is not None:
-            chaos_s = self.chaos.dispatch_latency_s()
-            if chaos_s > 0:
-                time.sleep(chaos_s)
-        try:
-            future = self.batcher.submit(observation, deadline=deadline)
-        except DeadlineExceededError as exc:
-            # Refused at enqueue: already dead on arrival, never queued.
-            raise _ApiError(504, "deadline_exceeded", str(exc)) from None
-        except QueueFullError as exc:
-            retry_after = self._retry_after_s()
-            err = _ApiError(429, "queue_full", str(exc), retry_after_s=retry_after)
-            err.headers["Retry-After"] = str(retry_after)
-            raise err from None
-        try:
-            # The dispatcher enforces the queue-side deadline; the extra
-            # slack here only bounds a dispatch that is itself slow.
-            estimate = future.result(
-                timeout=None if budget_s is None else budget_s + 30.0
+
+    # -- site leases ------------------------------------------------------
+    def _site_entry(self, method: str, site_id: str, tail: str):
+        """Route one ``/v1/sites/{site}/...`` path to a handler closure."""
+        if not _SITE_ID_RE.match(site_id):
+            return None
+        if method == "POST" and tail == "locate":
+            return ("locate", lambda h, _s=site_id: self._handle_locate(h, site=_s))
+        if method == "POST" and tail == "locate/batch":
+            return (
+                "locate_batch",
+                lambda h, _s=site_id: self._handle_locate_batch(h, site=_s),
             )
-        except DeadlineExceededError as exc:
-            raise _ApiError(504, "deadline_exceeded", str(exc)) from None
+        if method == "POST" and tail == "admin/reload":
+            return ("reload", lambda h, _s=site_id: self._handle_reload(h, site=_s))
+        if tail.startswith("track/") and len(tail) > len("track/"):
+            session_id = tail[len("track/"):]
+            track_routes = {
+                "POST": ("track", self._handle_track_step),
+                "GET": ("track_status", self._handle_track_get),
+                "DELETE": ("track_close", self._handle_track_close),
+            }
+            if method in track_routes:
+                name, fn = track_routes[method]
+                return (
+                    name,
+                    lambda h, _f=fn, _sid=session_id, _s=site_id: _f(h, _sid, site=_s),
+                )
+        return None
+
+    @contextmanager
+    def _leased(self, site: Optional[str]) -> Iterator[SimpleNamespace]:
+        """Pin the site's runtime for the duration of one request.
+
+        Single-site servers yield the fixed view (site_id None — no
+        labels, no registry).  Fleet servers acquire through the
+        registry, so the runtime cannot be evicted while the request —
+        including its ``future.result()`` wait — is in flight, and
+        release when the response is built.
+        """
+        if self.registry is None:
+            yield self._single_view
+            return
+        try:
+            runtime = self.registry.acquire(site)
+        except UnknownSiteError as exc:
+            raise _ApiError(
+                404, "unknown_site", str(exc), sites=self.registry.site_ids()
+            ) from None
+        except RuntimeError as exc:
+            # Registry closed by a drain racing this request.
+            raise _ApiError(503, "draining", str(exc)) from None
+        try:
+            yield runtime
+        finally:
+            self.registry.release(runtime)
+
+    def _handle_locate(self, handler: _Handler, site: Optional[str] = None) -> _Route:
+        with self._leased(site) as view:
+            shed = self.admission.admit(Priority.NORMAL, view.batcher.queue_depth())
+            if shed is not None:
+                raise self._shed(shed, batcher=view.batcher)
+            doc = handler._read_json()
+            try:
+                observation = observation_from_json(doc, expect_site=view.site_id)
+            except WireError as exc:
+                raise _ApiError(400, "bad_observation", str(exc)) from None
+            budget_s = self._deadline_from(handler, doc if isinstance(doc, dict) else None)
+            deadline = None if budget_s is None else self._clock.monotonic() + budget_s
+            if self.chaos is not None:
+                chaos_s = self.chaos.dispatch_latency_s()
+                if chaos_s > 0:
+                    time.sleep(chaos_s)
+            try:
+                future = view.batcher.submit(observation, deadline=deadline)
+            except DeadlineExceededError as exc:
+                # Refused at enqueue: already dead on arrival, never queued.
+                raise _ApiError(504, "deadline_exceeded", str(exc)) from None
+            except QueueFullError as exc:
+                retry_after = self._retry_after_for(view.batcher)
+                err = _ApiError(429, "queue_full", str(exc), retry_after_s=retry_after)
+                err.headers["Retry-After"] = str(retry_after)
+                raise err from None
+            try:
+                # The dispatcher enforces the queue-side deadline; the extra
+                # slack here only bounds a dispatch that is itself slow.
+                estimate = future.result(
+                    timeout=None if budget_s is None else budget_s + 30.0
+                )
+            except DeadlineExceededError as exc:
+                raise _ApiError(504, "deadline_exceeded", str(exc)) from None
         return 200, canonical_json(estimate_to_json(estimate)), "application/json", {}
 
-    def _handle_locate_batch(self, handler: _Handler) -> _Route:
-        # Bulk priority: first to shed under queue pressure or latency.
-        shed = self.admission.admit(Priority.BULK, self.batcher.queue_depth())
-        if shed is not None:
-            raise self._shed(shed)
-        doc = handler._read_json()
-        if not isinstance(doc, dict) or not isinstance(doc.get("observations"), list):
-            raise _ApiError(400, "bad_request", "body must be {'observations': [...]}")
-        docs = doc["observations"]
-        if not docs:
-            raise _ApiError(400, "bad_request", "'observations' must not be empty")
-        if len(docs) > MAX_BATCH_REQUEST:
-            raise _ApiError(
-                413, "batch_too_large",
-                f"{len(docs)} observations exceed the {MAX_BATCH_REQUEST} cap; split the request",
-            )
-        try:
-            observations = [observation_from_json(d) for d in docs]
-        except WireError as exc:
-            raise _ApiError(400, "bad_observation", str(exc)) from None
-        # A non-positive header budget 504s before any kernel time is
-        # spent on a batch the client has already given up on.
-        self._deadline_from(handler, None)
-        if self.chaos is not None:
-            chaos_s = self.chaos.dispatch_latency_s()
-            if chaos_s > 0:
-                time.sleep(chaos_s)
-        # Already a batch: no coalescing window to gain, straight through
-        # the chunked/sharded engine.
-        estimates = self.service.locate_many(observations)
+    def _handle_locate_batch(
+        self, handler: _Handler, site: Optional[str] = None
+    ) -> _Route:
+        with self._leased(site) as view:
+            # Bulk priority: first to shed under queue pressure or latency.
+            shed = self.admission.admit(Priority.BULK, view.batcher.queue_depth())
+            if shed is not None:
+                raise self._shed(shed, batcher=view.batcher)
+            doc = handler._read_json()
+            if not isinstance(doc, dict) or not isinstance(doc.get("observations"), list):
+                raise _ApiError(400, "bad_request", "body must be {'observations': [...]}")
+            docs = doc["observations"]
+            if not docs:
+                raise _ApiError(400, "bad_request", "'observations' must not be empty")
+            if len(docs) > MAX_BATCH_REQUEST:
+                raise _ApiError(
+                    413, "batch_too_large",
+                    f"{len(docs)} observations exceed the {MAX_BATCH_REQUEST} cap; split the request",
+                )
+            try:
+                observations = [
+                    observation_from_json(d, expect_site=view.site_id) for d in docs
+                ]
+            except WireError as exc:
+                raise _ApiError(400, "bad_observation", str(exc)) from None
+            # A non-positive header budget 504s before any kernel time is
+            # spent on a batch the client has already given up on.
+            self._deadline_from(handler, None)
+            if self.chaos is not None:
+                chaos_s = self.chaos.dispatch_latency_s()
+                if chaos_s > 0:
+                    time.sleep(chaos_s)
+            # Already a batch: no coalescing window to gain, straight through
+            # the chunked/sharded engine.
+            estimates = view.service.locate_many(observations)
         body = canonical_json(
             {"estimates": [estimate_to_json(e) for e in estimates]}
         )
@@ -913,23 +1118,33 @@ class LocalizationHTTPServer:
                 "session ids are 1-128 chars of [A-Za-z0-9._:-]",
             )
 
-    def _track_retry_after_s(self) -> int:
+    def _track_retry_after_s(self, sessions: Optional[TrackingSessions] = None) -> int:
+        sessions = sessions if sessions is not None else self.sessions
         return compute_retry_after_s(
-            self.sessions.batcher.queue_depth(),
-            drain_rate=self.sessions.batcher.drain_rate(),
-            max_batch=self.sessions.batcher.max_batch,
-            max_wait_s=self.sessions.batcher.max_wait_s,
+            sessions.batcher.queue_depth(),
+            drain_rate=sessions.batcher.drain_rate(),
+            max_batch=sessions.batcher.max_batch,
+            max_wait_s=sessions.batcher.max_wait_s,
             floor_s=self.retry_after_s,
         )
 
-    def _handle_track_step(self, handler: _Handler, session_id: str) -> _Route:
+    def _handle_track_step(
+        self, handler: _Handler, session_id: str, site: Optional[str] = None
+    ) -> _Route:
         self._check_session_id(session_id)
-        shed = self.admission.admit(Priority.NORMAL, self.sessions.batcher.queue_depth())
+        with self._leased(site) as view:
+            return self._track_step(handler, session_id, view)
+
+    def _track_step(
+        self, handler: _Handler, session_id: str, view
+    ) -> _Route:
+        sessions = view.sessions
+        shed = self.admission.admit(Priority.NORMAL, sessions.batcher.queue_depth())
         if shed is not None:
             raise self._shed(shed)
         doc = handler._read_json()
         try:
-            observation = observation_from_json(doc)
+            observation = observation_from_json(doc, expect_site=view.site_id)
         except WireError as exc:
             raise _ApiError(400, "bad_observation", str(exc)) from None
         dt_s = None
@@ -957,20 +1172,20 @@ class LocalizationHTTPServer:
         # Deadlines live on the *track* batcher's clock (the default
         # construction shares the server clock, so they coincide).
         deadline = (
-            None if budget_s is None else self.sessions.clock.monotonic() + budget_s
+            None if budget_s is None else sessions.clock.monotonic() + budget_s
         )
         if self.chaos is not None:
             chaos_s = self.chaos.dispatch_latency_s()
             if chaos_s > 0:
                 time.sleep(chaos_s)
         try:
-            future, created = self.sessions.step(
+            future, created = sessions.step(
                 session_id, observation, dt_s, deadline=deadline, ts=ts
             )
         except DeadlineExceededError as exc:
             raise _ApiError(504, "deadline_exceeded", str(exc)) from None
         except QueueFullError as exc:
-            retry_after = self._track_retry_after_s()
+            retry_after = self._track_retry_after_s(sessions)
             err = _ApiError(429, "queue_full", str(exc), retry_after_s=retry_after)
             err.headers["Retry-After"] = str(retry_after)
             raise err from None
@@ -994,10 +1209,13 @@ class LocalizationHTTPServer:
         )
         return 200, body, "application/json", {}
 
-    def _handle_track_get(self, handler: _Handler, session_id: str) -> _Route:
+    def _handle_track_get(
+        self, handler: _Handler, session_id: str, site: Optional[str] = None
+    ) -> _Route:
         self._check_session_id(session_id)
         try:
-            estimate, seq = self.sessions.current(session_id)
+            with self._leased(site) as view:
+                estimate, seq = view.sessions.current(session_id)
         except UnknownSessionError as exc:
             raise _ApiError(404, "unknown_session", str(exc)) from None
         if estimate is None:
@@ -1013,10 +1231,13 @@ class LocalizationHTTPServer:
             doc = track_estimate_to_json(estimate, session_id, seq)
         return 200, canonical_json(doc), "application/json", {}
 
-    def _handle_track_close(self, handler: _Handler, session_id: str) -> _Route:
+    def _handle_track_close(
+        self, handler: _Handler, session_id: str, site: Optional[str] = None
+    ) -> _Route:
         self._check_session_id(session_id)
         try:
-            report = self.sessions.close(session_id)
+            with self._leased(site) as view:
+                report = view.sessions.close(session_id)
         except UnknownSessionError as exc:
             # Also the answer for a *second* DELETE: close is exactly-once.
             raise _ApiError(404, "unknown_session", str(exc)) from None
@@ -1025,14 +1246,57 @@ class LocalizationHTTPServer:
         )
         return 200, body, "application/json", {}
 
-    def _handle_reload(self, handler: _Handler) -> _Route:
+    def _handle_reload(
+        self, handler: _Handler, site: Optional[str] = None
+    ) -> _Route:
         length = int(handler.headers.get("Content-Length") or 0)
         database = None
+        body_site = None
         if length > 0:
             doc = handler._read_json()
             if not isinstance(doc, dict):
                 raise _ApiError(400, "bad_request", "reload body must be a JSON object")
             database = doc.get("database")
+            body_site = doc.get("site")
+        if body_site is not None:
+            if not isinstance(body_site, str):
+                raise _ApiError(400, "bad_request", "'site' must be a string")
+            if site is not None and body_site != site:
+                raise _ApiError(
+                    400, "bad_request",
+                    f"body site {body_site!r} contradicts path site {site!r}",
+                )
+            site = body_site
+        if self.registry is not None:
+            # Fleet reload: the registry swaps the site's model (loading
+            # the site first if cold), bumps its generation and rebinds
+            # any live trackers on it.
+            try:
+                info = self.registry.reload(site, database)
+            except UnknownSiteError as exc:
+                raise _ApiError(
+                    404, "unknown_site", str(exc), sites=self.registry.site_ids()
+                ) from None
+            except Exception as exc:  # noqa: BLE001 - old model keeps serving
+                raise _ApiError(
+                    500, "reload_failed", f"{type(exc).__name__}: {exc}",
+                    serving="previous model",
+                ) from None
+            info = dict(info)
+            rebound = info.pop("sessions", {"sessions": 0, "kept": 0, "reset": 0})
+            self._notify_admin(
+                {"cmd": "reload", "database": database, "site": info.get("site")}
+            )
+            return (
+                200,
+                canonical_json({"reloaded": True, "model": info, "sessions": rebound}),
+                "application/json",
+                {},
+            )
+        if site is not None:
+            raise _ApiError(
+                400, "bad_request", "this server is single-site; no site to reload"
+            )
         try:
             info = self.service.reload(database)
         except Exception as exc:  # noqa: BLE001 - old model keeps serving
@@ -1049,6 +1313,10 @@ class LocalizationHTTPServer:
             "application/json",
             {},
         )
+
+    def _handle_sites(self, handler: _Handler) -> _Route:
+        """``GET /v1/sites``: the registry's fleet card (control plane)."""
+        return 200, canonical_json(self.registry.status()), "application/json", {}
 
     def _notify_admin(self, event: Dict[str, object]) -> None:
         """Tell the admin hook (sibling-worker broadcast) what just
@@ -1179,4 +1447,21 @@ class LocalizationHTTPServer:
                 "GET /debug/traces",
             ],
         }
+        if self.registry is not None:
+            status = self.registry.status()
+            doc["sites"] = {
+                "default": status["default"],
+                "capacity": status["capacity"],
+                "known": status["sites"],
+                "resident": [entry["site"] for entry in status["resident"]],
+            }
+            doc["endpoints"] += [
+                "GET /v1/sites",
+                "POST /v1/sites/{site}/locate",
+                "POST /v1/sites/{site}/locate/batch",
+                "POST /v1/sites/{site}/track/{session}",
+                "GET /v1/sites/{site}/track/{session}",
+                "DELETE /v1/sites/{site}/track/{session}",
+                "POST /v1/sites/{site}/admin/reload",
+            ]
         return 200, canonical_json(doc), "application/json", {}

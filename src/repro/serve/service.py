@@ -83,6 +83,12 @@ class LocalizationService:
         Optional :class:`~repro.serve.resilience.ChaosPolicy`; when its
         ``tier_error_rate`` is set, fitted fallback tiers are wrapped
         in fault-injecting proxies (tests, benches, ``--chaos``).
+    generation_base:
+        Starting point for the generation counter (first build is
+        ``generation_base + 1``).  The multi-site
+        :class:`~repro.serve.registry.ModelRegistry` seeds this with the
+        site's last known generation so evict + reload keeps the
+        per-site sequence strictly monotonic.
     """
 
     def __init__(
@@ -94,13 +100,14 @@ class LocalizationService:
         warm: bool = True,
         breakers: Union[TierBreakerBoard, bool, None] = True,
         chaos: Optional[ChaosPolicy] = None,
+        generation_base: int = 0,
     ):
         self.algorithm = algorithm
         self._ap_positions = ap_positions
         self._bounds = bounds
         self._reload_lock = threading.Lock()
         self._model: Optional[_Model] = None
-        self._generation = 0
+        self._generation = int(generation_base)
         self._initial: Union[str, TrainingDatabase, None] = database
         if isinstance(breakers, TierBreakerBoard):
             self.breaker_board: Optional[TierBreakerBoard] = breakers

@@ -459,6 +459,7 @@ class TrackingSessions:
         default_dt_s: float = 1.0,
         max_ts_rewind_s: float = 60.0,
         min_dt_s: float = 1e-3,
+        name: Optional[str] = None,
     ):
         if default_dt_s <= 0:
             raise ValueError(f"default_dt_s must be > 0, got {default_dt_s}")
@@ -474,13 +475,16 @@ class TrackingSessions:
         self.store = SessionStore(
             self.factory.build, capacity=capacity, ttl_s=ttl_s, clock=self.clock
         )
+        # ``name`` distinguishes per-site step dispatchers in a fleet
+        # (``track@<site>``); the default keeps single-site metric
+        # series (``batcher=track``) exactly as before.
         self.batcher = MicroBatcher(
             self._step_batch,
             max_batch=max_batch,
             max_wait_ms=max_wait_ms,
             max_queue=max_queue,
             clock=self.clock,
-            name="track",
+            name=name or "track",
         )
         self.default_dt_s = float(default_dt_s)
         #: Rewind tolerance for client timestamps: smaller regressions

@@ -14,8 +14,14 @@ Observation documents::
     {
       "samples": [[-62.0, null, -71.5], ...],   # sweeps x APs, null = miss
       "bssids": ["00:11:...", ...],             # optional column names
-      "deadline_ms": 50                          # optional, single-locate only
+      "deadline_ms": 50,                         # optional, single-locate only
+      "site": "hq-3f"                            # optional site pin (fleet mode)
     }
+
+A document's optional ``site`` member pins it to one building: the
+multi-site routes pass the path's site id as ``expect_site`` and a
+mismatch is a :class:`WireError` (HTTP 400) — a scan surveyed in one
+building must never be scored against another's model.
 
 ``null`` (JSON) and ``NaN`` mean the same thing a missed AP means
 everywhere else in the toolkit.  Estimate documents carry the answer
@@ -47,14 +53,28 @@ class WireError(ValueError):
     """A request document that cannot become an Observation."""
 
 
-def observation_from_json(doc: object) -> Observation:
+def observation_from_json(
+    doc: object, expect_site: Optional[str] = None
+) -> Observation:
     """Decode one observation document into an :class:`Observation`.
 
     Raises :class:`WireError` (a ``ValueError``) on any malformed
-    payload — the HTTP layer maps it to a 400, never a 500.
+    payload — the HTTP layer maps it to a 400, never a 500.  With
+    ``expect_site`` set (the fleet routes), a document carrying a
+    ``site`` member must name that site; without it the member is
+    ignored (single-site servers have no fleet to check against).
     """
     if not isinstance(doc, dict):
         raise WireError(f"observation must be a JSON object, got {type(doc).__name__}")
+    site = doc.get("site")
+    if site is not None:
+        if not isinstance(site, str):
+            raise WireError(f"'site' must be a string, got {type(site).__name__}")
+        if expect_site is not None and site != expect_site:
+            raise WireError(
+                f"observation is pinned to site {site!r} but was routed to "
+                f"site {expect_site!r}"
+            )
     samples = doc.get("samples")
     if samples is None:
         raise WireError("observation needs a 'samples' matrix (sweeps x APs)")

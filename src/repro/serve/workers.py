@@ -78,6 +78,13 @@ class WorkerSpec:
     each worker builds its own RNG stream (the seed is offset by the
     worker index — N workers with identical fault schedules would beat
     in lockstep).
+
+    With ``sites`` set (a fleet manifest or pack directory), each
+    worker builds a :class:`~repro.serve.registry.ModelRegistry`
+    instead of a single service and ``database`` is ignored.  Frozen
+    ``.tdbx`` packs make the fleet cheap: every worker mmaps the same
+    files, so each resident site occupies one set of physical pages
+    fleet-wide no matter how many workers hold it.
     """
 
     database: str
@@ -97,6 +104,10 @@ class WorkerSpec:
     session_capacity: int = 10000
     session_ttl_s: float = 300.0
     chaos_kwargs: Optional[dict] = None
+    #: Fleet manifest path (or pack directory) — enables registry mode.
+    sites: Optional[str] = None
+    default_site: Optional[str] = None
+    site_capacity: int = 8
     #: How often a worker flushes its metrics delta and polls the
     #: control channel.  The staleness bound on fleet ``/metrics``
     #: totals for workers other than the one answering the scrape.
@@ -249,19 +260,32 @@ def _build_server(spec: WorkerSpec, index: int, rundir: Path):
         if kwargs.get("seed") is not None:
             kwargs["seed"] = int(kwargs["seed"]) + index
         chaos = ChaosPolicy(**kwargs)
-    service = LocalizationService(
-        spec.database,
-        algorithm=spec.algorithm,
-        ap_positions=spec.ap_positions,
-        bounds=spec.bounds,
-        breakers=spec.breakers,
-        chaos=chaos,
-    )
+    service = None
+    registry = None
+    if spec.sites is not None:
+        from repro.serve.registry import ModelRegistry
+
+        registry = ModelRegistry(
+            spec.sites,
+            capacity=spec.site_capacity,
+            default_site=spec.default_site,
+            service_kwargs={"breakers": spec.breakers, "chaos": chaos},
+        )
+    else:
+        service = LocalizationService(
+            spec.database,
+            algorithm=spec.algorithm,
+            ap_positions=spec.ap_positions,
+            bounds=spec.bounds,
+            breakers=spec.breakers,
+            chaos=chaos,
+        )
     fleet = FleetMetrics(rundir, index)
     traces = FleetTraces(rundir, index)
     control = ControlChannel(rundir, index)
     server = LocalizationHTTPServer(
         service,
+        registry=registry,
         host=spec.host,
         port=spec.port,
         max_batch=spec.max_batch,
@@ -280,7 +304,10 @@ def _build_server(spec: WorkerSpec, index: int, rundir: Path):
         trace_source=traces.merged,
         admin_hook=control.originate,
     )
-    return service, server, fleet, traces, control
+    # In registry mode the server aliases ``service`` to the pinned
+    # default site's service, so the ready-file model description and
+    # single-site control reloads work unchanged.
+    return server.service, server, fleet, traces, control
 
 
 def worker_main(spec: WorkerSpec, index: int, rundir: str) -> int:
@@ -330,8 +357,17 @@ def worker_main(spec: WorkerSpec, index: int, rundir: str) -> int:
             cmd = event.get("cmd")
             try:
                 if cmd == "reload":
-                    service.reload(event.get("database"))
-                    server.sessions.rebind()
+                    if server.registry is not None:
+                        # Per-site fan-out: every worker reloads the
+                        # named site (or the default) through its own
+                        # registry, which also rebinds that site's
+                        # tracking sessions.
+                        server.registry.reload(
+                            event.get("site"), event.get("database")
+                        )
+                    else:
+                        service.reload(event.get("database"))
+                        server.sessions.rebind()
                 elif cmd == "drain":
                     deadline = event.get("deadline_s")
                     threading.Thread(

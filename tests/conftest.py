@@ -54,6 +54,48 @@ def observations(house, test_points):
     return house.observe_all(test_points, rng=1)
 
 
+@pytest.fixture(scope="session")
+def site_fleet(tmp_path_factory, house, training_db):
+    """Deterministic two-site fleet on disk, cached for the session.
+
+    ``site-a`` is the shared ``training_db`` saved as a heap ``.tdb``
+    pack (the fleet default); ``site-b`` is a second survey of the
+    same house frozen to a ``.tdbx`` pack.  Same house, same bssids —
+    every house observation fixture is a valid request at either site,
+    which lets the parity / HTTP / worker suites share one fleet
+    instead of each building its own model pack.
+    """
+    from types import SimpleNamespace
+
+    from repro.serve.registry import SiteDefinition, write_fleet_manifest
+
+    root = tmp_path_factory.mktemp("site-fleet")
+    ap_positions = house.ap_positions_by_bssid()
+    bounds = house.bounds()
+    path_a = root / "site-a.tdb"
+    training_db.save(str(path_a))
+    path_b = root / "site-b.tdbx"
+    house.training_database(rng=7).freeze(str(path_b), ap_positions=ap_positions)
+    sites = {
+        "site-a": SiteDefinition(
+            "site-a", str(path_a), ap_positions=ap_positions, bounds=bounds
+        ),
+        "site-b": SiteDefinition(
+            "site-b", str(path_b), ap_positions=ap_positions, bounds=bounds
+        ),
+    }
+    manifest = write_fleet_manifest(root, sites, default="site-a")
+    return SimpleNamespace(
+        root=root,
+        manifest=manifest,
+        sites=sites,
+        default="site-a",
+        packs={"site-a": str(path_a), "site-b": str(path_b)},
+        ap_positions=ap_positions,
+        bounds=bounds,
+    )
+
+
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)

@@ -1,0 +1,103 @@
+"""Shared synthetic-site builders for the serving test suites.
+
+One place to make deterministic model databases, in two sizes:
+
+* The **grid site** — a tiny 50 ft x 40 ft synthetic floor with four
+  corner APs and a log-distance path-loss field.  Small enough that a
+  ``LocalizationService`` builds in milliseconds, which is what the
+  registry property suite needs (it loads and evicts sites hundreds of
+  times per run).  ``bias_db`` shifts the whole field so two grid
+  sites with different biases give measurably different answers.
+* The **grid fleet** — N grid sites written to disk as packs plus a
+  ``fleet.json`` manifest, ready for a :class:`ModelRegistry`.
+
+The house-sized two-site fleet lives in ``conftest.py`` as the
+session-scoped ``site_fleet`` fixture; these helpers stay import-level
+so module-scope constants (bssids, AP positions) and hypothesis
+strategies can use them too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import Observation
+from repro.core.geometry import Point
+from repro.core.trainingdb import LocationRecord, TrainingDatabase
+
+GRID_BSSIDS = [f"02:00:00:00:00:{i:02x}" for i in range(4)]
+GRID_AP_POSITIONS = [Point(0, 0), Point(50, 0), Point(50, 40), Point(0, 40)]
+GRID_BOUNDS = (0.0, 0.0, 50.0, 40.0)
+
+
+def rssi_at(p: Point, bias_db: float = 0.0) -> np.ndarray:
+    """Noise-free log-distance RSSI vector at ``p`` (one value per AP)."""
+    d = np.array([max(p.distance_to(a), 1.0) for a in GRID_AP_POSITIONS])
+    return bias_db - 35.0 - 25.0 * np.log10(d)
+
+
+def make_grid_db(
+    step: float = 10.0,
+    n_samples: int = 10,
+    noise: float = 1.0,
+    seed: int = 0,
+    bias_db: float = 0.0,
+) -> TrainingDatabase:
+    """A surveyed grid over the synthetic floor (row-major, stable ids)."""
+    rng = np.random.default_rng(seed)
+    records = []
+    y = 0.0
+    while y <= 40.0:
+        x = 0.0
+        while x <= 50.0:
+            mean = rssi_at(Point(x, y), bias_db=bias_db)
+            samples = rng.normal(mean, noise, size=(n_samples, 4)).astype(np.float32)
+            records.append(LocationRecord(f"g{x:g}-{y:g}", Point(x, y), samples))
+            x += step
+        y += step
+    return TrainingDatabase(GRID_BSSIDS, records)
+
+
+def walk_observations(path: Sequence[Point], noise: float = 2.0, seed: int = 1):
+    rng = np.random.default_rng(seed)
+    return [Observation(rng.normal(rssi_at(p), noise, size=(3, 4))) for p in path]
+
+
+def straight_path(n: int = 10):
+    return [Point(5 + 40 * i / (n - 1), 5 + 30 * i / (n - 1)) for i in range(n)]
+
+
+def write_grid_fleet(
+    root,
+    n_sites: int,
+    step: float = 25.0,
+    n_samples: int = 4,
+    algorithm: str = "knn",
+    freeze: Tuple[int, ...] = (),
+) -> Tuple[Dict[str, "object"], str]:
+    """Write N distinct grid sites + manifest under ``root``.
+
+    Site ``i`` surveys with seed ``i`` and a ``6 * i`` dB field bias,
+    so every site is cheap to build yet answers differently.  Indexes
+    in ``freeze`` are written as frozen ``.tdbx`` packs.  Returns
+    ``(sites, manifest_path)``.
+    """
+    from repro.serve.registry import SiteDefinition, write_fleet_manifest
+
+    sites: Dict[str, SiteDefinition] = {}
+    for i in range(n_sites):
+        site_id = f"g{i:02d}"
+        db = make_grid_db(step=step, n_samples=n_samples, seed=i, bias_db=6.0 * i)
+        if i in freeze:
+            path = root / f"{site_id}.tdbx"
+            db.freeze(str(path))
+        else:
+            path = root / f"{site_id}.tdb"
+            db.save(str(path))
+        sites[site_id] = SiteDefinition(
+            site_id, str(path), algorithm=algorithm, bounds=GRID_BOUNDS
+        )
+    manifest = write_fleet_manifest(root, sites, default=sorted(sites)[0])
+    return sites, manifest

@@ -16,7 +16,6 @@ import urllib.request
 import pytest
 
 from repro import obs
-from repro.core.trainingdb import generate_training_db
 from repro.serve import (
     LocalizationHTTPServer,
     LocalizationService,
@@ -34,19 +33,17 @@ def fresh_registry():
 
 
 @pytest.fixture(scope="module")
-def db_path(tmp_path_factory, house):
-    path = tmp_path_factory.mktemp("serve") / "training.tdb"
-    generate_training_db(house.survey(rng=0), house.location_map(), output=path)
-    return str(path)
+def db_path(site_fleet):
+    # The shared fleet's default site is the house's training database.
+    return site_fleet.packs["site-a"]
 
 
 @pytest.fixture()
-def service(db_path, house):
-    cfg = house.config
+def service(db_path, site_fleet):
     return LocalizationService(
         db_path,
-        ap_positions=house.ap_positions_by_bssid(),
-        bounds=(0.0, 0.0, cfg.width_ft, cfg.height_ft),
+        ap_positions=site_fleet.ap_positions,
+        bounds=site_fleet.bounds,
     )
 
 

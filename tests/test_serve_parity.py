@@ -188,3 +188,98 @@ class TestCoalescedBatchParity:
         assert bodies == expected  # parity per caller, through one dispatch
         sizes = obs.snapshot()["histograms"]["serve.batch_size{batcher=http}"]
         assert sizes["max"] >= n, "requests were not coalesced into one batch"
+
+
+class TestCrossSiteParity:
+    """Fleet routing must not perturb a single byte of any answer.
+
+    Three paths to the same model — ``/v1/sites/{id}/locate``, the
+    legacy ``/v1/locate`` (aliasing the default site) and a direct
+    ``locate_many`` on an independently built service — and two pack
+    formats (``site-a`` heap ``.tdb``, ``site-b`` frozen ``.tdbx``).
+    """
+
+    @pytest.fixture(scope="class")
+    def fleet_server(self, site_fleet):
+        from repro.serve.registry import ModelRegistry
+
+        registry = ModelRegistry(site_fleet.manifest)
+        with LocalizationHTTPServer(registry=registry) as server:
+            yield server
+
+    @pytest.fixture(scope="class")
+    def direct_services(self, site_fleet):
+        """Independently fitted per-site services — the parity oracle."""
+        return {
+            sid: LocalizationService(
+                d.database,
+                algorithm=d.algorithm,
+                ap_positions=d.ap_positions,
+                bounds=d.bounds,
+            )
+            for sid, d in site_fleet.sites.items()
+        }
+
+    @pytest.mark.parametrize("sid", ["site-a", "site-b"])
+    def test_site_route_bytes_match_direct(
+        self, fleet_server, direct_services, observations, sid
+    ):
+        docs = [observation_doc(o) for o in observations[:6]]
+        docs += declining_docs(observations)
+        expected = expected_bytes(direct_services[sid], docs)
+        for doc, want in zip(docs, expected):
+            status, body = post(fleet_server.url + f"/v1/sites/{sid}/locate", doc)
+            assert status == 200
+            assert body == want  # bit-for-bit, heap and frozen alike
+
+    @pytest.mark.parametrize("sid", ["site-a", "site-b"])
+    def test_site_batch_route_bytes_match_direct(
+        self, fleet_server, direct_services, observations, sid
+    ):
+        docs = [observation_doc(o) for o in observations[:5]]
+        docs += declining_docs(observations)
+        decoded = [observation_from_json(d) for d in docs]
+        want = canonical_json(
+            {
+                "estimates": [
+                    estimate_to_json(e)
+                    for e in direct_services[sid].locate_many(decoded)
+                ]
+            }
+        )
+        status, body = post(
+            fleet_server.url + f"/v1/sites/{sid}/locate/batch",
+            {"observations": docs},
+        )
+        assert status == 200
+        assert body == want
+
+    def test_legacy_route_aliases_the_default_site(
+        self, fleet_server, observations
+    ):
+        for obs_ in observations[:6]:
+            doc = observation_doc(obs_)
+            status_a, legacy = post(fleet_server.url + "/v1/locate", doc)
+            status_b, sited = post(
+                fleet_server.url + "/v1/sites/site-a/locate", doc
+            )
+            assert status_a == status_b == 200
+            assert legacy == sited
+
+    def test_routing_actually_switches_models(
+        self, fleet_server, direct_services, observations
+    ):
+        """Different surveys → at least one observation answered
+        differently — proof requests are not all hitting one model."""
+        docs = [observation_doc(o) for o in observations]
+        a = expected_bytes(direct_services["site-a"], docs)
+        b = expected_bytes(direct_services["site-b"], docs)
+        assert a != b, "fleet fixture sites are indistinguishable"
+        via_a = [
+            post(fleet_server.url + "/v1/sites/site-a/locate", d)[1] for d in docs
+        ]
+        via_b = [
+            post(fleet_server.url + "/v1/sites/site-b/locate", d)[1] for d in docs
+        ]
+        assert via_a == a
+        assert via_b == b

@@ -21,7 +21,6 @@ from repro import obs
 from repro.algorithms.base import Observation
 from repro.algorithms.knn import KNNLocalizer
 from repro.core.geometry import Point
-from repro.core.trainingdb import LocationRecord, TrainingDatabase
 from repro.serve import (
     BadTimestampError,
     BatchFailure,
@@ -36,37 +35,15 @@ from repro.serve import (
 )
 from repro.serve.sessions import _StepJob
 
-B = [f"02:00:00:00:00:{i:02x}" for i in range(4)]
-AP_POS = [Point(0, 0), Point(50, 0), Point(50, 40), Point(0, 40)]
-
-
-def rssi_at(p: Point) -> np.ndarray:
-    d = np.array([max(p.distance_to(a), 1.0) for a in AP_POS])
-    return -35.0 - 25.0 * np.log10(d)
-
-
-def grid_db(step=10.0, n_samples=10, noise=1.0, seed=0):
-    rng = np.random.default_rng(seed)
-    records = []
-    y = 0.0
-    while y <= 40.0:
-        x = 0.0
-        while x <= 50.0:
-            mean = rssi_at(Point(x, y))
-            samples = rng.normal(mean, noise, size=(n_samples, 4)).astype(np.float32)
-            records.append(LocationRecord(f"g{x:g}-{y:g}", Point(x, y), samples))
-            x += step
-        y += step
-    return TrainingDatabase(B, records)
-
-
-def walk_observations(path, noise=2.0, seed=1):
-    rng = np.random.default_rng(seed)
-    return [Observation(rng.normal(rssi_at(p), noise, size=(3, 4))) for p in path]
-
-
-def straight_path(n=10):
-    return [Point(5 + 40 * i / (n - 1), 5 + 30 * i / (n - 1)) for i in range(n)]
+# Shared synthetic-site builders (also used by the registry suite).
+from tests.siteutils import (
+    GRID_AP_POSITIONS as AP_POS,
+    GRID_BSSIDS as B,
+    make_grid_db as grid_db,
+    rssi_at,
+    straight_path,
+    walk_observations,
+)
 
 
 class _Model:

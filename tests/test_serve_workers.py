@@ -300,10 +300,11 @@ class _Fleet:
 
 
 @pytest.fixture(scope="module")
-def fleet(tmp_path_factory, training_db, house):
+def fleet(tmp_path_factory, site_fleet):
     root = tmp_path_factory.mktemp("fleet")
-    pack = root / "model.tdbx"
-    training_db.freeze(pack, ap_positions=house.ap_positions_by_bssid())
+    # The shared site fleet's frozen pack: the same mmap-shareable
+    # .tdbx every suite uses, rather than freezing another copy here.
+    pack = site_fleet.packs["site-b"]
     rundir = root / "run"
     env = dict(os.environ, PYTHONUNBUFFERED="1")
     proc = subprocess.Popen(
